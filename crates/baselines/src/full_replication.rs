@@ -1,0 +1,114 @@
+//! The enterprise comparator: full replication.
+//!
+//! §IV-B: "The full-replication approach replicates all subscriptions to
+//! all matchers. A message can be forwarded to any matcher to get matched.
+//! Dispatchers simply forward messages to matchers randomly." Every
+//! matcher stores the complete subscription set (in its dimension-0 set),
+//! so matching cost never decreases as matchers are added — the cause of
+//! the flat scaling curve in Figure 6.
+
+use bluedove_core::{Assignment, DimIdx, MatcherId, Message, PartitionStrategy, Subscription};
+
+/// Replicate everything everywhere; any matcher can match any message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FullReplication {
+    matchers: Vec<MatcherId>,
+}
+
+impl FullReplication {
+    /// Creates the strategy over a fixed matcher set.
+    ///
+    /// # Panics
+    /// Panics when `matchers` is empty.
+    pub fn new(matchers: Vec<MatcherId>) -> Self {
+        assert!(!matchers.is_empty(), "need at least one matcher");
+        let mut matchers = matchers;
+        matchers.sort_unstable();
+        matchers.dedup();
+        FullReplication { matchers }
+    }
+
+    /// Adds a matcher (it must then receive a copy of every subscription —
+    /// the caller's responsibility, and the reason elasticity is expensive
+    /// under full replication).
+    pub fn add_matcher(&mut self, id: MatcherId) {
+        if let Err(pos) = self.matchers.binary_search(&id) {
+            self.matchers.insert(pos, id);
+        }
+    }
+
+    /// Removes a matcher.
+    pub fn remove_matcher(&mut self, id: MatcherId) {
+        self.matchers.retain(|&m| m != id);
+    }
+}
+
+impl PartitionStrategy for FullReplication {
+    fn assign(&self, _sub: &Subscription) -> Vec<Assignment> {
+        // Every matcher stores the subscription; all copies live in the
+        // dimension-0 set (there is no per-dimension partitioning).
+        self.matchers
+            .iter()
+            .map(|&m| Assignment::new(m, DimIdx(0)))
+            .collect()
+    }
+
+    fn candidates(&self, _msg: &Message) -> Vec<Assignment> {
+        self.matchers
+            .iter()
+            .map(|&m| Assignment::new(m, DimIdx(0)))
+            .collect()
+    }
+
+    fn matchers(&self) -> Vec<MatcherId> {
+        self.matchers.clone()
+    }
+
+    fn name(&self) -> &'static str {
+        "full-rep"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bluedove_core::{AttributeSpace, Subscription};
+
+    fn strategy(n: u32) -> FullReplication {
+        FullReplication::new((0..n).map(MatcherId).collect())
+    }
+
+    #[test]
+    fn every_matcher_gets_every_subscription() {
+        let f = strategy(5);
+        let space = AttributeSpace::uniform(2, 0.0, 100.0);
+        let s = Subscription::builder(&space).build().unwrap();
+        let a = f.assign(&s);
+        assert_eq!(a.len(), 5);
+        assert!(a.iter().all(|x| x.dim == DimIdx(0)));
+    }
+
+    #[test]
+    fn any_matcher_is_a_candidate() {
+        let f = strategy(4);
+        let c = f.candidates(&Message::new(vec![1.0, 2.0]));
+        assert_eq!(c.len(), 4);
+    }
+
+    #[test]
+    fn add_remove_matcher_keeps_order_and_dedups() {
+        let mut f = strategy(2);
+        f.add_matcher(MatcherId(5));
+        f.add_matcher(MatcherId(5));
+        assert_eq!(f.matchers(), vec![MatcherId(0), MatcherId(1), MatcherId(5)]);
+        f.remove_matcher(MatcherId(0));
+        assert_eq!(f.matchers(), vec![MatcherId(1), MatcherId(5)]);
+    }
+
+    #[test]
+    fn duplicate_ctor_ids_deduped() {
+        let f = FullReplication::new(vec![MatcherId(2), MatcherId(1), MatcherId(2)]);
+        assert_eq!(f.matchers(), vec![MatcherId(1), MatcherId(2)]);
+        assert_eq!(f.name(), "full-rep");
+    }
+}

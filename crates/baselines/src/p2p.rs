@@ -1,0 +1,176 @@
+//! The peer-to-peer comparator: single-dimension range partitioning.
+//!
+//! §IV-B: "The P2P pub/sub system builds a peer-to-peer DHT over one
+//! dimension of subscriptions and distributes subscriptions to servers
+//! through DHT, very similar to PastryStrings and Sub-2-Sub. […] In P2P,
+//! one dimension is chosen and subscriptions are assigned to matchers
+//! based on its predicate on that dimension. For each message there is
+//! also only one matcher that can match the message." The paper runs this
+//! baseline over the *same* gossip one-hop overlay as BlueDove for a fair
+//! comparison; we reuse the same [`SegmentTable`].
+//!
+//! Correctness nuance: a predicate whose range spans several segments on
+//! the chosen dimension must be stored on *every* overlapping matcher,
+//! otherwise the single candidate matcher could miss matches. With the
+//! paper's parameters (width 250 ≈ segment width) most subscriptions land
+//! on one or two matchers, which is the regime the paper describes.
+
+use bluedove_core::{
+    Assignment, DimIdx, MatcherId, Message, PartitionStrategy, SegmentTable, Subscription,
+};
+
+/// Single-dimension range partitioning over a shared segment table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct P2pPartitioning {
+    table: SegmentTable,
+    dim: DimIdx,
+}
+
+impl P2pPartitioning {
+    /// Partitions along `dim` of `table`'s space.
+    ///
+    /// # Panics
+    /// Panics when `dim` is out of range for the table's space.
+    pub fn new(table: SegmentTable, dim: DimIdx) -> Self {
+        assert!(dim.index() < table.k(), "dimension out of range");
+        P2pPartitioning { table, dim }
+    }
+
+    /// The chosen dimension.
+    #[inline]
+    pub fn dim(&self) -> DimIdx {
+        self.dim
+    }
+
+    /// Read access to the underlying segment table.
+    #[inline]
+    pub fn table(&self) -> &SegmentTable {
+        &self.table
+    }
+
+    /// Mutable access for elastic join/leave.
+    #[inline]
+    pub fn table_mut(&mut self) -> &mut SegmentTable {
+        &mut self.table
+    }
+}
+
+impl PartitionStrategy for P2pPartitioning {
+    fn assign(&self, sub: &Subscription) -> Vec<Assignment> {
+        let range = sub.predicate(self.dim);
+        self.table
+            .overlapping(self.dim, &range)
+            .into_iter()
+            .map(|m| Assignment::new(m, self.dim))
+            .collect()
+    }
+
+    fn candidates(&self, msg: &Message) -> Vec<Assignment> {
+        vec![Assignment::new(
+            self.table.owner_of(self.dim, msg.value(self.dim)),
+            self.dim,
+        )]
+    }
+
+    fn matchers(&self) -> Vec<MatcherId> {
+        self.table.matchers()
+    }
+
+    fn name(&self) -> &'static str {
+        "p2p"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bluedove_core::{AttributeSpace, SubscriberId, SubscriptionId};
+
+    fn strategy(n: u32) -> P2pPartitioning {
+        let ids: Vec<MatcherId> = (0..n).map(MatcherId).collect();
+        P2pPartitioning::new(
+            SegmentTable::uniform(AttributeSpace::uniform(3, 0.0, 1000.0), &ids),
+            DimIdx(0),
+        )
+    }
+
+    fn sub(p: &P2pPartitioning, ranges: &[(usize, f64, f64)], id: u64) -> Subscription {
+        let mut b = Subscription::builder(p.table().space()).subscriber(SubscriberId(id));
+        for &(d, lo, hi) in ranges {
+            b = b.range(d, lo, hi);
+        }
+        let mut s = b.build().unwrap();
+        s.id = SubscriptionId(id);
+        s
+    }
+
+    #[test]
+    fn assignment_only_along_chosen_dimension() {
+        let p = strategy(4);
+        let s = sub(&p, &[(0, 100.0, 150.0), (1, 0.0, 1000.0), (2, 600.0, 700.0)], 1);
+        let a = p.assign(&s);
+        assert_eq!(a.len(), 1);
+        assert_eq!(a[0], Assignment::new(MatcherId(0), DimIdx(0)));
+    }
+
+    #[test]
+    fn spanning_predicate_stored_on_all_overlapping() {
+        let p = strategy(4); // segments of width 250
+        let s = sub(&p, &[(0, 200.0, 600.0)], 1);
+        let a = p.assign(&s);
+        let owners: Vec<MatcherId> = a.iter().map(|x| x.matcher).collect();
+        assert_eq!(owners, vec![MatcherId(0), MatcherId(1), MatcherId(2)]);
+        assert!(a.iter().all(|x| x.dim == DimIdx(0)));
+    }
+
+    #[test]
+    fn exactly_one_candidate_per_message() {
+        let p = strategy(5);
+        let m = Message::new(vec![999.0, 1.0, 2.0]);
+        let c = p.candidates(&m);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].matcher, MatcherId(4));
+    }
+
+    #[test]
+    fn single_candidate_completeness() {
+        // The candidate matcher holds every subscription matching the
+        // message, even with spanning predicates.
+        let p = strategy(4);
+        let subs: Vec<Subscription> = (0..30)
+            .map(|i| {
+                let lo = (i as f64 * 97.0) % 750.0;
+                sub(&p, &[(0, lo, lo + 250.0), (1, 0.0, 500.0)], i + 1)
+            })
+            .collect();
+        let mut store: std::collections::HashMap<MatcherId, Vec<usize>> = Default::default();
+        for (i, s) in subs.iter().enumerate() {
+            for a in p.assign(s) {
+                store.entry(a.matcher).or_default().push(i);
+            }
+        }
+        let msg = Message::new(vec![300.0, 250.0, 0.0]);
+        let truth: Vec<usize> = subs
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.matches(&msg))
+            .map(|(i, _)| i)
+            .collect();
+        assert!(!truth.is_empty());
+        let cand = p.candidates(&msg)[0];
+        let found: Vec<usize> = store[&cand.matcher]
+            .iter()
+            .copied()
+            .filter(|&i| subs[i].matches(&msg))
+            .collect();
+        assert_eq!(found, truth);
+    }
+
+    #[test]
+    fn name_and_matchers_exposed() {
+        let p = strategy(3);
+        assert_eq!(p.name(), "p2p");
+        assert_eq!(p.matchers().len(), 3);
+        assert_eq!(p.dim(), DimIdx(0));
+    }
+}

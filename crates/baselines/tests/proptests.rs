@@ -1,0 +1,121 @@
+//! Property tests: both baselines satisfy the single-candidate
+//! completeness contract of `PartitionStrategy`.
+
+use bluedove_baselines::{FullReplication, P2pPartitioning};
+use bluedove_core::{
+    AttributeSpace, DimIdx, MatcherId, Message, PartitionStrategy, SegmentTable, SubscriberId,
+    Subscription, SubscriptionId,
+};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+const DOMAIN: f64 = 1000.0;
+
+fn make_sub(space: &AttributeSpace, id: u64, ranges: &[(f64, f64)]) -> Subscription {
+    let mut b = Subscription::builder(space).subscriber(SubscriberId(id));
+    for (d, &(lo, hi)) in ranges.iter().enumerate() {
+        b = b.range(d, lo, hi);
+    }
+    let mut s = b.build().unwrap();
+    s.id = SubscriptionId(id);
+    s
+}
+
+fn arb_sub(k: usize) -> impl Strategy<Value = Vec<(f64, f64)>> {
+    proptest::collection::vec(
+        (0.0..DOMAIN - 1.0, 1.0..500.0)
+            .prop_map(|(lo, w): (f64, f64)| (lo, (lo + w).min(DOMAIN))),
+        k,
+    )
+}
+
+fn completeness(strategy: &dyn PartitionStrategy, subs: &[Subscription], msg: &Message) {
+    let mut store: HashMap<(MatcherId, DimIdx), Vec<usize>> = HashMap::new();
+    for (i, s) in subs.iter().enumerate() {
+        for a in strategy.assign(s) {
+            store.entry((a.matcher, a.dim)).or_default().push(i);
+        }
+    }
+    let mut truth: Vec<u64> = subs
+        .iter()
+        .filter(|s| s.matches(msg))
+        .map(|s| s.id.0)
+        .collect();
+    truth.sort_unstable();
+    for cand in strategy.candidates(msg) {
+        let mut found: Vec<u64> = store
+            .get(&(cand.matcher, cand.dim))
+            .map(|v| {
+                v.iter()
+                    .filter(|&&i| subs[i].matches(msg))
+                    .map(|&i| subs[i].id.0)
+                    .collect()
+            })
+            .unwrap_or_default();
+        found.sort_unstable();
+        assert_eq!(found, truth, "candidate {cand:?} incomplete for {}", strategy.name());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn p2p_single_candidate_completeness(
+        subs in proptest::collection::vec(arb_sub(3), 1..50),
+        point in proptest::collection::vec(0.0..DOMAIN, 3),
+        n in 2u32..10,
+        dim in 0u16..3,
+    ) {
+        let space = AttributeSpace::uniform(3, 0.0, DOMAIN);
+        let ids: Vec<MatcherId> = (0..n).map(MatcherId).collect();
+        let strat = P2pPartitioning::new(
+            SegmentTable::uniform(space.clone(), &ids),
+            DimIdx(dim),
+        );
+        let subs: Vec<Subscription> = subs
+            .iter()
+            .enumerate()
+            .map(|(i, r)| make_sub(&space, i as u64 + 1, r))
+            .collect();
+        completeness(&strat, &subs, &Message::new(point));
+    }
+
+    #[test]
+    fn full_replication_completeness(
+        subs in proptest::collection::vec(arb_sub(2), 1..40),
+        point in proptest::collection::vec(0.0..DOMAIN, 2),
+        n in 1u32..8,
+    ) {
+        let space = AttributeSpace::uniform(2, 0.0, DOMAIN);
+        let strat = FullReplication::new((0..n).map(MatcherId).collect());
+        let subs: Vec<Subscription> = subs
+            .iter()
+            .enumerate()
+            .map(|(i, r)| make_sub(&space, i as u64 + 1, r))
+            .collect();
+        completeness(&strat, &subs, &Message::new(point));
+    }
+
+    #[test]
+    fn p2p_stores_fewer_copies_than_bluedove(
+        subs in proptest::collection::vec(arb_sub(4), 10..40),
+        n in 3u32..12,
+    ) {
+        // Structural expectation behind Figure 6(b): P2P stores each
+        // subscription along one dimension only, BlueDove along k.
+        use bluedove_core::MPartition;
+        let space = AttributeSpace::uniform(4, 0.0, DOMAIN);
+        let ids: Vec<MatcherId> = (0..n).map(MatcherId).collect();
+        let p2p = P2pPartitioning::new(SegmentTable::uniform(space.clone(), &ids), DimIdx(0));
+        let blue = MPartition::new(SegmentTable::uniform(space.clone(), &ids));
+        let subs: Vec<Subscription> = subs
+            .iter()
+            .enumerate()
+            .map(|(i, r)| make_sub(&space, i as u64 + 1, r))
+            .collect();
+        let p2p_copies: usize = subs.iter().map(|s| p2p.assign(s).len()).sum();
+        let blue_copies: usize = subs.iter().map(|s| blue.assign(s).len()).sum();
+        prop_assert!(p2p_copies < blue_copies);
+    }
+}

@@ -1,0 +1,71 @@
+//! End-to-end throughput of the *threaded* cluster (real matching work,
+//! real channels): messages published → all deliveries received. This is
+//! the physical counterpart of the simulator's saturation probes; absolute
+//! numbers depend on the host, shapes (BlueDove vs full replication)
+//! should mirror Figure 6's ordering.
+
+use bluedove_cluster::{Cluster, ClusterConfig, PolicyKind, StrategyKind};
+use bluedove_core::Subscription;
+use bluedove_workload::PaperWorkload;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+
+const MESSAGES: usize = 500;
+const SUBS: usize = 2_000;
+
+fn run_once(strategy: StrategyKind, policy: PolicyKind) -> u64 {
+    let w = PaperWorkload { seed: 21, ..Default::default() };
+    let sp = w.space();
+    let mut cluster = Cluster::start(
+        ClusterConfig::new(sp.clone())
+            .matchers(4)
+            .dispatchers(1)
+            .strategy(strategy)
+            .policy(policy)
+            .stats_interval(Duration::from_millis(100)),
+    );
+    // One wildcard subscriber to observe completion of every message.
+    let wildcard = cluster
+        .subscribe(Subscription::builder(&sp).build().unwrap())
+        .unwrap();
+    let mut gen = w.subscriptions();
+    for s in gen.take(SUBS) {
+        let mut b = Subscription::builder(&sp);
+        for (d, p) in s.predicates.iter().enumerate() {
+            b = b.range(d, p.lo, p.hi);
+        }
+        cluster.subscribe(b.build().unwrap()).unwrap();
+    }
+    let mut msgs = w.messages();
+    let mut publisher = cluster.publisher();
+    for m in msgs.take(MESSAGES) {
+        publisher.publish(m).unwrap();
+    }
+    let mut got = 0u64;
+    while got < MESSAGES as u64 {
+        if wildcard.recv_timeout(Duration::from_secs(10)).is_none() {
+            break;
+        }
+        got += 1;
+    }
+    cluster.shutdown();
+    got
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster_end_to_end");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(MESSAGES as u64));
+    for (label, strategy, policy) in [
+        ("bluedove", StrategyKind::BlueDove, PolicyKind::Adaptive),
+        ("full-rep", StrategyKind::FullReplication, PolicyKind::Random),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &label, |b, _| {
+            b.iter(|| run_once(strategy, policy));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Gossip-protocol costs: a full three-message anti-entropy exchange, the
+//! digest construction, and the wire encoding of gossip state — the
+//! per-second background work of §III-C / §IV-C.
+
+use bluedove_net::{from_bytes, to_bytes};
+use bluedove_overlay::{exchange, EndpointState, GossipMsg, GossipNode, NodeId, NodeRole};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn cluster(n: u64) -> Vec<GossipNode> {
+    let mut nodes: Vec<GossipNode> = (0..n)
+        .map(|i| {
+            GossipNode::new(EndpointState::new(
+                NodeId(i),
+                NodeRole::Matcher,
+                format!("10.0.0.{i}:7000"),
+                1,
+            ))
+        })
+        .collect();
+    // Fully meshed knowledge.
+    let all: Vec<EndpointState> = nodes.iter().map(|x| x.own().clone()).collect();
+    for node in nodes.iter_mut() {
+        for s in &all {
+            node.learn(s.clone(), 0.0);
+        }
+    }
+    nodes
+}
+
+fn bench_exchange(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gossip_exchange");
+    for n in [20u64, 100, 500] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut nodes = cluster(n);
+            let mut t = 0.0f64;
+            b.iter(|| {
+                t += 1.0;
+                let (a, rest) = nodes.split_at_mut(1);
+                a[0].heartbeat();
+                exchange(&mut a[0], &mut rest[0], t)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_syn_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gossip_make_syn");
+    for n in [20u64, 500] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut nodes = cluster(n);
+            b.iter(|| nodes[0].make_syn().wire_size());
+        });
+    }
+    group.finish();
+}
+
+fn bench_wire_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gossip_wire");
+    let states: Vec<EndpointState> = (0..100)
+        .map(|i| EndpointState::new(NodeId(i), NodeRole::Matcher, format!("10.0.0.{i}:7000"), 1))
+        .collect();
+    let msg = GossipMsg::Ack { deltas: states, requests: vec![NodeId(1), NodeId(2)] };
+    group.bench_function("encode_ack_100", |b| b.iter(|| to_bytes(&msg).len()));
+    let bytes = to_bytes(&msg);
+    group.bench_function("decode_ack_100", |b| {
+        b.iter(|| from_bytes::<GossipMsg>(&bytes).unwrap().wire_size())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_exchange, bench_syn_construction, bench_wire_codec
+}
+criterion_main!(benches);

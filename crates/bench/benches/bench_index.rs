@@ -1,0 +1,73 @@
+//! Index-structure ablation: matching cost per message for the three
+//! per-dimension index structures, across subscription-set sizes.
+//!
+//! This quantifies the DESIGN.md ablation "linear vs bucketed cells vs
+//! interval tree" and the §III-A claim that separate per-dimension sets
+//! (smaller sets → fewer examined) are the key to matching throughput.
+
+use bluedove_core::{DimIdx, IndexKind, Message};
+use bluedove_workload::PaperWorkload;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_matching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index_matching");
+    for &size in &[1_000usize, 10_000, 40_000] {
+        let w = PaperWorkload { seed: 1, ..Default::default() };
+        let subs = w.subscriptions().take(size);
+        let msgs = w.messages().take(256);
+        group.throughput(Throughput::Elements(msgs.len() as u64));
+        for (label, kind) in [
+            ("linear", IndexKind::Linear),
+            ("cell64", IndexKind::Cell(64)),
+            ("cell1024", IndexKind::Cell(1024)),
+            ("interval-tree", IndexKind::IntervalTree),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, size), &size, |b, _| {
+                let mut idx = kind.build(&w.space(), DimIdx(0));
+                for s in &subs {
+                    idx.insert(s.clone());
+                }
+                let mut out = Vec::new();
+                let mut i = 0;
+                // Warm (forces the interval tree rebuild outside timing).
+                idx.matching(&msgs[0], &mut out);
+                b.iter(|| {
+                    out.clear();
+                    let m: &Message = &msgs[i % msgs.len()];
+                    i += 1;
+                    idx.matching(m, &mut out)
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index_insert");
+    let w = PaperWorkload { seed: 2, ..Default::default() };
+    let subs = w.subscriptions().take(10_000);
+    for (label, kind) in [
+        ("linear", IndexKind::Linear),
+        ("cell64", IndexKind::Cell(64)),
+        ("interval-tree", IndexKind::IntervalTree),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut idx = kind.build(&w.space(), DimIdx(0));
+                for s in &subs {
+                    idx.insert(s.clone());
+                }
+                idx.len()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_matching, bench_insert
+}
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Forwarding-decision cost: how long a dispatcher takes to pick a
+//! candidate under each policy, with a populated stats view. The decision
+//! sits on the dispatcher's per-message fast path, so it must stay
+//! microseconds-cheap for the 1:10 dispatcher:matcher ratio to hold.
+
+use bluedove_bench::Policy;
+use bluedove_core::{Assignment, DimIdx, DimStats, MatcherId, StatsView};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn make_view(n: u32, k: u16) -> StatsView {
+    let mut view = StatsView::new();
+    for m in 0..n {
+        for d in 0..k {
+            view.update(
+                MatcherId(m),
+                DimIdx(d),
+                DimStats {
+                    sub_count: (m as usize * 131 + d as usize * 17) % 4000,
+                    queue_len: (m as usize * 7) % 50,
+                    lambda: 100.0 + m as f64,
+                    mu: 400.0 + d as f64 * 10.0,
+                    updated_at: 0.5,
+                },
+            );
+        }
+    }
+    view
+}
+
+fn bench_choose(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy_choose");
+    group.throughput(Throughput::Elements(1));
+    let view = make_view(20, 4);
+    let candidates: Vec<Assignment> = (0..4u16)
+        .map(|d| Assignment::new(MatcherId((d as u32 * 5) % 20), DimIdx(d)))
+        .collect();
+    for p in Policy::all() {
+        let policy = p.build();
+        group.bench_with_input(BenchmarkId::from_parameter(p.name()), &p, |b, _| {
+            let mut rng = StdRng::seed_from_u64(1);
+            let mut t = 1.0f64;
+            b.iter(|| {
+                t += 1e-6;
+                policy.choose(&candidates, &view, t, &mut rng)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_view_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stats_view");
+    group.bench_function("update", |b| {
+        let mut view = make_view(20, 4);
+        let stats = DimStats { sub_count: 10, queue_len: 1, lambda: 5.0, mu: 9.0, updated_at: 2.0 };
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 1) % 20;
+            view.update(MatcherId(i), DimIdx((i % 4) as u16), stats);
+        });
+    });
+    group.bench_function("reserve_and_get", |b| {
+        let mut view = make_view(20, 4);
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 1) % 20;
+            view.reserve(MatcherId(i), DimIdx(0));
+            view.get(MatcherId(i), DimIdx(0)).queue_len
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(50);
+    targets = bench_choose, bench_view_update
+}
+criterion_main!(benches);

@@ -1,0 +1,220 @@
+//! Experiment building blocks shared by the `experiments` binary, the
+//! Criterion benches and the integration tests.
+
+use bluedove_core::{
+    AdaptivePolicy, ForwardingPolicy, RandomPolicy, ResponseTimePolicy, SubscriptionCountPolicy,
+};
+use bluedove_sim::{SaturationProbe, SimCluster, SimConfig, Strategy};
+use bluedove_workload::{MessageGenerator, PaperWorkload};
+
+/// The three systems Figure 6 compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum System {
+    /// BlueDove (mPartition + adaptive forwarding).
+    BlueDove,
+    /// Single-dimension P2P partitioning (random among its 1 candidate).
+    P2p,
+    /// Full replication with random dispatch.
+    FullRep,
+}
+
+impl System {
+    /// Display name matching the paper's legends.
+    pub fn name(self) -> &'static str {
+        match self {
+            System::BlueDove => "BlueDove",
+            System::P2p => "P2P",
+            System::FullRep => "Full-Rep",
+        }
+    }
+
+    /// All three, in the paper's legend order.
+    pub fn all() -> [System; 3] {
+        [System::BlueDove, System::P2p, System::FullRep]
+    }
+}
+
+/// The four forwarding policies Figure 7 compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// Adaptive (extrapolated processing time).
+    Adaptive,
+    /// Response-time (no extrapolation).
+    ResponseTime,
+    /// Subscription count.
+    SubCount,
+    /// Random.
+    Random,
+}
+
+impl Policy {
+    /// Display name matching Figure 7's x-axis.
+    pub fn name(self) -> &'static str {
+        match self {
+            Policy::Adaptive => "Adaptive",
+            Policy::ResponseTime => "RespTime",
+            Policy::SubCount => "SubNum",
+            Policy::Random => "Random",
+        }
+    }
+
+    /// Builds the policy.
+    pub fn build(self) -> Box<dyn ForwardingPolicy> {
+        match self {
+            Policy::Adaptive => Box::new(AdaptivePolicy),
+            Policy::ResponseTime => Box::new(ResponseTimePolicy),
+            Policy::SubCount => Box::new(SubscriptionCountPolicy),
+            Policy::Random => Box::new(RandomPolicy),
+        }
+    }
+
+    /// All four, in Figure 7's order.
+    pub fn all() -> [Policy; 4] {
+        [Policy::Adaptive, Policy::ResponseTime, Policy::SubCount, Policy::Random]
+    }
+}
+
+/// One experiment configuration: workload scale plus deployment shape.
+#[derive(Debug, Clone)]
+pub struct ExpConfig {
+    /// The workload (dimensions, skew, adverse message dims, seed).
+    pub workload: PaperWorkload,
+    /// Number of subscriptions loaded before measurement.
+    pub subscriptions: usize,
+    /// Simulator cost model.
+    pub sim: SimConfig,
+    /// Saturation probe settings.
+    pub probe: SaturationProbe,
+}
+
+impl Default for ExpConfig {
+    fn default() -> Self {
+        // Scaled-down default (the paper's 40 000 subscriptions make each
+        // probe ~5× slower without changing any ratio; `--paper` restores
+        // the full scale).
+        ExpConfig {
+            workload: PaperWorkload::default(),
+            subscriptions: 10_000,
+            sim: SimConfig::default(),
+            probe: SaturationProbe::default(),
+        }
+    }
+}
+
+impl ExpConfig {
+    /// The paper's full-scale workload (40 000 subscriptions).
+    pub fn paper_scale(mut self) -> Self {
+        self.subscriptions = 40_000;
+        self
+    }
+
+    /// Builds a fresh deployment of `system` with `n` matchers, the
+    /// subscriptions pre-loaded, plus its message generator.
+    pub fn build(&self, system: System, n: u32) -> (SimCluster, MessageGenerator) {
+        self.build_with_policy(system, n, self.default_policy(system))
+    }
+
+    /// Default policy per system: adaptive for BlueDove, random for the
+    /// baselines (P2P has a single candidate anyway; full replication uses
+    /// random dispatch per §IV-B).
+    pub fn default_policy(&self, system: System) -> Box<dyn ForwardingPolicy> {
+        match system {
+            System::BlueDove => Box::new(AdaptivePolicy),
+            System::P2p | System::FullRep => Box::new(RandomPolicy),
+        }
+    }
+
+    /// Builds a deployment with an explicit policy (Figure 7).
+    pub fn build_with_policy(
+        &self,
+        system: System,
+        n: u32,
+        policy: Box<dyn ForwardingPolicy>,
+    ) -> (SimCluster, MessageGenerator) {
+        let space = self.workload.space();
+        let strategy = match system {
+            System::BlueDove => Strategy::bluedove(space.clone(), n),
+            System::P2p => Strategy::p2p(space.clone(), n),
+            System::FullRep => Strategy::full_rep(n),
+        };
+        let mut cluster = SimCluster::new(self.sim.clone(), space, strategy, policy);
+        cluster.subscribe_all(self.workload.subscriptions().take(self.subscriptions));
+        (cluster, self.workload.messages())
+    }
+
+    /// Saturation rate of `system` at `n` matchers.
+    pub fn saturation_rate(&self, system: System, n: u32) -> f64 {
+        let hint = match system {
+            System::BlueDove => 2_000.0,
+            System::P2p => 500.0,
+            System::FullRep => 100.0,
+        };
+        self.probe.find_saturation_rate(|| self.build(system, n), hint)
+    }
+
+    /// Maximum subscriptions `system` at `n` matchers sustains at
+    /// `rate` msg/s (Figure 6(b)): doubling search then bisection on the
+    /// subscription count.
+    pub fn max_subscriptions(&self, system: System, n: u32, rate: f64) -> usize {
+        let saturated_at = |subs: usize| -> bool {
+            let mut cfg = self.clone();
+            cfg.subscriptions = subs;
+            let (mut c, mut g) = cfg.build(system, n);
+            cfg.probe.is_saturated(&mut c, &mut g, rate)
+        };
+        let mut lo = 0usize;
+        let mut hi = 500usize;
+        let mut bracketed = false;
+        for _ in 0..16 {
+            if saturated_at(hi) {
+                bracketed = true;
+                break;
+            }
+            lo = hi;
+            hi *= 2;
+        }
+        if !bracketed {
+            return hi;
+        }
+        for _ in 0..self.probe.refine_iters {
+            let mid = (lo + hi) / 2;
+            if saturated_at(mid) {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        (lo + hi) / 2
+    }
+}
+
+/// Formats a rate in the paper's "10³ msgs/sec" convention.
+pub fn fmt_rate(rate: f64) -> String {
+    format!("{:8.1}k", rate / 1000.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_paper_legends() {
+        assert_eq!(System::BlueDove.name(), "BlueDove");
+        assert_eq!(Policy::SubCount.name(), "SubNum");
+        assert_eq!(System::all().len(), 3);
+        assert_eq!(Policy::all().len(), 4);
+    }
+
+    #[test]
+    fn build_loads_subscriptions() {
+        let cfg = ExpConfig { subscriptions: 100, ..Default::default() };
+        let (c, _g) = cfg.build(System::BlueDove, 4);
+        let total: usize = c.sub_counts().iter().map(|&(_, n)| n).sum();
+        assert!(total >= 100 * 4, "k=4 copies per sub at minimum, got {total}");
+    }
+
+    #[test]
+    fn fmt_rate_scales() {
+        assert_eq!(fmt_rate(114_000.0).trim(), "114.0k");
+    }
+}

@@ -1,0 +1,10 @@
+//! # bluedove-bench
+//!
+//! Shared experiment plumbing for the Criterion micro-benchmarks and the
+//! `experiments` binary that regenerates every figure of the paper's
+//! evaluation (see `DESIGN.md` for the experiment index and
+//! `EXPERIMENTS.md` for paper-vs-measured results).
+
+pub mod exp;
+
+pub use exp::*;

@@ -1,0 +1,171 @@
+//! Multi-application deployments (the paper's §VI future-work item #3:
+//! "different applications may use different sets of attributes. […] One
+//! possibility is to divide dispatchers and matchers into different
+//! subsets and let them handle different applications").
+//!
+//! [`MultiAppCluster`] hosts several applications, each with its own
+//! attribute space, its own subset of matchers and dispatchers, and its
+//! own mPartition — complete isolation with a shared management plane.
+//! [`MultiAppCluster::rebalance`] moves matcher budget between
+//! applications by growing one app's subset (elastic join) — the
+//! cross-application form of the paper's elasticity.
+
+use crate::cluster::{Cluster, ClusterConfig, ClusterError, SubscriberHandle};
+use crate::PolicyKind;
+use bluedove_core::{AttributeSpace, MatcherId, Message, Subscription};
+use std::collections::HashMap;
+
+/// Configuration of one hosted application.
+#[derive(Clone)]
+pub struct AppSpec {
+    /// Application name (routing key for clients).
+    pub name: String,
+    /// The application's attribute space (its own dimensions).
+    pub space: AttributeSpace,
+    /// Matchers dedicated to this application.
+    pub matchers: u32,
+    /// Dispatchers dedicated to this application.
+    pub dispatchers: usize,
+    /// Forwarding policy for this application's dispatchers.
+    pub policy: PolicyKind,
+}
+
+impl AppSpec {
+    /// A spec with one dispatcher and the adaptive policy.
+    pub fn new(name: impl Into<String>, space: AttributeSpace, matchers: u32) -> Self {
+        AppSpec {
+            name: name.into(),
+            space,
+            matchers,
+            dispatchers: 1,
+            policy: PolicyKind::Adaptive,
+        }
+    }
+}
+
+/// Errors from the multi-application layer.
+#[derive(Debug)]
+pub enum AppError {
+    /// No application registered under the name.
+    UnknownApp(String),
+    /// An application with the name already exists.
+    DuplicateApp(String),
+    /// Underlying cluster failure.
+    Cluster(ClusterError),
+}
+
+impl std::fmt::Display for AppError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AppError::UnknownApp(n) => write!(f, "unknown application {n:?}"),
+            AppError::DuplicateApp(n) => write!(f, "application {n:?} already exists"),
+            AppError::Cluster(e) => write!(f, "cluster: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AppError {}
+
+impl From<ClusterError> for AppError {
+    fn from(e: ClusterError) -> Self {
+        AppError::Cluster(e)
+    }
+}
+
+/// A set of isolated per-application deployments under one management
+/// plane.
+#[derive(Default)]
+pub struct MultiAppCluster {
+    apps: HashMap<String, Cluster>,
+}
+
+impl MultiAppCluster {
+    /// Creates an empty multi-application deployment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts an application's subset of dispatchers and matchers.
+    pub fn add_app(&mut self, spec: AppSpec) -> Result<(), AppError> {
+        if self.apps.contains_key(&spec.name) {
+            return Err(AppError::DuplicateApp(spec.name));
+        }
+        let cluster = Cluster::start(
+            ClusterConfig::new(spec.space)
+                .matchers(spec.matchers)
+                .dispatchers(spec.dispatchers)
+                .policy(spec.policy),
+        );
+        self.apps.insert(spec.name, cluster);
+        Ok(())
+    }
+
+    /// Registered application names, sorted.
+    pub fn app_names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.apps.keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// The attribute space of an application.
+    pub fn space(&self, app: &str) -> Result<&AttributeSpace, AppError> {
+        Ok(self.get(app)?.space())
+    }
+
+    fn get(&self, app: &str) -> Result<&Cluster, AppError> {
+        self.apps.get(app).ok_or_else(|| AppError::UnknownApp(app.to_string()))
+    }
+
+    fn get_mut(&mut self, app: &str) -> Result<&mut Cluster, AppError> {
+        self.apps.get_mut(app).ok_or_else(|| AppError::UnknownApp(app.to_string()))
+    }
+
+    /// Subscribes within one application.
+    pub fn subscribe(
+        &mut self,
+        app: &str,
+        sub: Subscription,
+    ) -> Result<SubscriberHandle, AppError> {
+        Ok(self.get_mut(app)?.subscribe(sub)?)
+    }
+
+    /// Publishes within one application.
+    pub fn publish(&mut self, app: &str, msg: Message) -> Result<(), AppError> {
+        Ok(self.get_mut(app)?.publish(msg)?)
+    }
+
+    /// The matcher ids currently serving `app`.
+    pub fn matchers_of(&self, app: &str) -> Result<Vec<MatcherId>, AppError> {
+        Ok(self.get(app)?.matcher_ids())
+    }
+
+    /// Grows `app` by `n` matchers (elastic joins within its subset) —
+    /// the management-plane rebalancing lever when one application's
+    /// workload outgrows its share.
+    pub fn rebalance(&mut self, app: &str, n: u32) -> Result<Vec<MatcherId>, AppError> {
+        let cluster = self.get_mut(app)?;
+        let mut added = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            added.push(cluster.add_matcher()?);
+        }
+        Ok(added)
+    }
+
+    /// Per-application `(published, matched, deliveries, dropped)`.
+    pub fn counters(&self) -> Vec<(String, (u64, u64, u64, u64))> {
+        let mut v: Vec<(String, (u64, u64, u64, u64))> = self
+            .apps
+            .iter()
+            .map(|(n, c)| (n.clone(), c.counters()))
+            .collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+
+    /// Shuts every application down.
+    pub fn shutdown(mut self) {
+        for (_, cluster) in self.apps.drain() {
+            cluster.shutdown();
+        }
+    }
+}

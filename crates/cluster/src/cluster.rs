@@ -1,0 +1,740 @@
+//! The cluster orchestrator and client handles.
+//!
+//! [`Cluster::start`] spawns the two-tier deployment of §II-B —
+//! dispatchers at the front, matchers at the back — over an in-process
+//! channel transport. Clients interact through [`Cluster::subscribe`] /
+//! [`Cluster::publish`] (or a standalone [`Publisher`]); subscribers
+//! receive matching messages directly on their own endpoints.
+//!
+//! Elasticity ([`Cluster::add_matcher`]) performs the §III-C join: split
+//! the segment table, hand the affected subscriptions over, swap the
+//! routing table, retire the donors' stale copies. Fault tolerance
+//! ([`Cluster::kill_matcher`]) crashes a matcher; dispatchers fail over on
+//! the next send error.
+
+use crate::dispatcher::{DispatcherNode, DispatcherNodeConfig, RoutingState};
+use crate::mailbox::MailboxNode;
+use crate::matcher::{MatcherNode, MatcherNodeConfig};
+use crate::proto::ControlMsg;
+use crate::shared::{
+    control_addr, dispatcher_addr, matcher_addr, subscriber_addr, Shared,
+};
+use bluedove_baselines::AnyStrategy;
+use bluedove_core::{
+    AdaptivePolicy, AttributeSpace, DimIdx, ForwardingPolicy, IndexKind, MatcherId, Message,
+    RandomPolicy, ResponseTimePolicy, SubscriberId, Subscription, SubscriptionCountPolicy,
+    SubscriptionId,
+};
+use bluedove_net::{from_bytes, to_bytes, ChannelTransport, NetError, Transport};
+use bytes::Bytes;
+use crossbeam::channel::Receiver;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Forwarding-policy selector (one policy instance is built per
+/// dispatcher).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PolicyKind {
+    /// The paper's default adaptive policy.
+    #[default]
+    Adaptive,
+    /// Processing-time policy without extrapolation.
+    ResponseTime,
+    /// Least-subscriptions policy.
+    SubscriptionCount,
+    /// Uniform random.
+    Random,
+}
+
+impl PolicyKind {
+    /// Builds a policy instance.
+    pub fn build(self) -> Box<dyn ForwardingPolicy> {
+        match self {
+            PolicyKind::Adaptive => Box::new(AdaptivePolicy),
+            PolicyKind::ResponseTime => Box::new(ResponseTimePolicy),
+            PolicyKind::SubscriptionCount => Box::new(SubscriptionCountPolicy),
+            PolicyKind::Random => Box::new(RandomPolicy),
+        }
+    }
+}
+
+/// Partition-strategy selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StrategyKind {
+    /// BlueDove's mPartition.
+    #[default]
+    BlueDove,
+    /// Single-dimension P2P.
+    P2p,
+    /// Full replication.
+    FullReplication,
+}
+
+/// Deployment configuration (builder-style).
+#[derive(Clone)]
+pub struct ClusterConfig {
+    space: AttributeSpace,
+    matchers: u32,
+    dispatchers: usize,
+    policy: PolicyKind,
+    strategy: StrategyKind,
+    index: IndexKind,
+    stats_interval: Duration,
+    gossip_interval: Duration,
+    table_pull_interval: Duration,
+    seed: u64,
+}
+
+impl ClusterConfig {
+    /// A deployment over `space` with 4 matchers, 1 dispatcher, the
+    /// adaptive policy and cell indexes.
+    pub fn new(space: AttributeSpace) -> Self {
+        ClusterConfig {
+            space,
+            matchers: 4,
+            dispatchers: 1,
+            policy: PolicyKind::Adaptive,
+            strategy: StrategyKind::BlueDove,
+            index: IndexKind::Cell(64),
+            stats_interval: Duration::from_millis(200),
+            gossip_interval: Duration::from_millis(250),
+            table_pull_interval: Duration::from_millis(200),
+            seed: 42,
+        }
+    }
+
+    /// Sets the number of matchers.
+    pub fn matchers(mut self, n: u32) -> Self {
+        self.matchers = n.max(1);
+        self
+    }
+
+    /// Sets the number of dispatchers.
+    pub fn dispatchers(mut self, n: usize) -> Self {
+        self.dispatchers = n.max(1);
+        self
+    }
+
+    /// Sets the forwarding policy.
+    pub fn policy(mut self, p: PolicyKind) -> Self {
+        self.policy = p;
+        self
+    }
+
+    /// Sets the partition strategy.
+    pub fn strategy(mut self, s: StrategyKind) -> Self {
+        self.strategy = s;
+        self
+    }
+
+    /// Sets the per-dimension index structure.
+    pub fn index(mut self, k: IndexKind) -> Self {
+        self.index = k;
+        self
+    }
+
+    /// Sets the load-report push interval.
+    pub fn stats_interval(mut self, d: Duration) -> Self {
+        self.stats_interval = d;
+        self
+    }
+
+    /// Sets the gossip round interval (§III-C; the paper uses 1 s).
+    pub fn gossip_interval(mut self, d: Duration) -> Self {
+        self.gossip_interval = d;
+        self
+    }
+
+    /// Sets how often dispatchers pull the segment table from a random
+    /// matcher (§III-C; the paper uses 10 s).
+    pub fn table_pull_interval(mut self, d: Duration) -> Self {
+        self.table_pull_interval = d;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, s: u64) -> Self {
+        self.seed = s;
+        self
+    }
+}
+
+/// Errors surfaced by the cluster API.
+#[derive(Debug)]
+pub enum ClusterError {
+    /// Underlying transport/codec failure.
+    Net(NetError),
+    /// A synchronous operation timed out waiting for an ack.
+    Timeout(&'static str),
+    /// The operation requires the BlueDove strategy.
+    WrongStrategy,
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::Net(e) => write!(f, "net: {e}"),
+            ClusterError::Timeout(w) => write!(f, "timed out waiting for {w}"),
+            ClusterError::WrongStrategy => write!(f, "operation requires the BlueDove strategy"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+impl From<NetError> for ClusterError {
+    fn from(e: NetError) -> Self {
+        ClusterError::Net(e)
+    }
+}
+
+/// A delivered `(message, subscription)` pair with measured latency.
+#[derive(Debug, Clone)]
+pub struct Delivery {
+    /// The subscription that matched.
+    pub sub: SubscriptionId,
+    /// The delivered message.
+    pub msg: Message,
+    /// Dispatcher-admission → subscriber-receipt latency.
+    pub latency: Duration,
+}
+
+/// A subscriber endpoint receiving direct deliveries.
+pub struct SubscriberHandle {
+    /// This endpoint's subscriber id.
+    pub id: SubscriberId,
+    /// The id of the subscription registered by [`Cluster::subscribe`].
+    pub subscription: SubscriptionId,
+    /// The registered subscription, as stamped by the dispatcher (used to
+    /// recompute the deterministic assignment on unsubscribe).
+    sub: Subscription,
+    rx: Receiver<Bytes>,
+    shared: Arc<Shared>,
+}
+
+impl SubscriberHandle {
+    /// Blocks up to `timeout` for the next delivery.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<Delivery> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            let payload = self.rx.recv_timeout(remaining).ok()?;
+            if let Ok(ControlMsg::Deliver { sub, msg, admitted_us, .. }) = from_bytes(&payload) {
+                let latency_us = self.shared.now_us().saturating_sub(admitted_us);
+                return Some(Delivery { sub, msg, latency: Duration::from_micros(latency_us) });
+            }
+            // Skip acks or stray control traffic.
+        }
+    }
+
+    /// Drains every delivery currently queued, without blocking.
+    pub fn drain(&self) -> Vec<Delivery> {
+        let mut out = Vec::new();
+        while let Ok(payload) = self.rx.try_recv() {
+            if let Ok(ControlMsg::Deliver { sub, msg, admitted_us, .. }) = from_bytes(&payload) {
+                let latency_us = self.shared.now_us().saturating_sub(admitted_us);
+                out.push(Delivery { sub, msg, latency: Duration::from_micros(latency_us) });
+            }
+        }
+        out
+    }
+
+    /// Drains raw queued payloads without decoding (used when re-routing
+    /// this endpoint onto the mailbox node).
+    pub(crate) fn drain_raw(&self) -> Vec<Bytes> {
+        let mut out = Vec::new();
+        while let Ok(payload) = self.rx.try_recv() {
+            out.push(payload);
+        }
+        out
+    }
+}
+
+/// A standalone publishing handle (cheap to clone per producer thread).
+#[derive(Clone)]
+pub struct Publisher {
+    transport: Arc<dyn Transport>,
+    dispatchers: Vec<String>,
+    rr: usize,
+}
+
+impl Publisher {
+    /// Publishes one message through the next dispatcher (round-robin).
+    pub fn publish(&mut self, msg: Message) -> Result<(), ClusterError> {
+        let addr = &self.dispatchers[self.rr % self.dispatchers.len()];
+        self.rr = self.rr.wrapping_add(1);
+        self.transport
+            .send(addr, to_bytes(&ControlMsg::Publish(msg)).freeze())?;
+        Ok(())
+    }
+}
+
+/// A polling (indirect-delivery) subscriber endpoint: matching messages
+/// accumulate in the cluster's mailbox node until [`poll`](Self::poll)ed —
+/// the §II-B model for clients that cannot listen for connections.
+pub struct IndirectSubscriber {
+    /// This endpoint's subscriber id.
+    pub id: SubscriberId,
+    /// The id of the registered subscription.
+    pub subscription: SubscriptionId,
+    transport: Arc<dyn Transport>,
+    mailbox_addr: String,
+    reply_addr: String,
+    reply_rx: Receiver<Bytes>,
+    shared: Arc<Shared>,
+}
+
+impl IndirectSubscriber {
+    /// Fetches up to `max` stored deliveries (0 = all currently stored).
+    pub fn poll(&self, max: u32) -> Result<Vec<Delivery>, ClusterError> {
+        let req = ControlMsg::MailboxPoll {
+            subscriber: self.id,
+            reply_to: self.reply_addr.clone(),
+            max,
+        };
+        self.transport.send(&self.mailbox_addr, to_bytes(&req).freeze())?;
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            let payload = self
+                .reply_rx
+                .recv_timeout(remaining)
+                .map_err(|_| ClusterError::Timeout("mailbox batch"))?;
+            if let Ok(ControlMsg::MailboxBatch { entries }) = from_bytes(&payload) {
+                let now_us = self.shared.now_us();
+                return Ok(entries
+                    .into_iter()
+                    .map(|(sub, msg, admitted_us)| Delivery {
+                        sub,
+                        msg,
+                        latency: Duration::from_micros(now_us.saturating_sub(admitted_us)),
+                    })
+                    .collect());
+            }
+        }
+    }
+}
+
+/// The running deployment.
+pub struct Cluster {
+    cfg: ClusterConfig,
+    channel: ChannelTransport,
+    transport: Arc<dyn Transport>,
+    shared: Arc<Shared>,
+    matchers: HashMap<MatcherId, MatcherNode>,
+    dispatchers: Vec<DispatcherNode>,
+    mailbox: Option<MailboxNode>,
+    ctl_rx: Receiver<Bytes>,
+    next_subscriber: u64,
+    next_matcher: u32,
+    publish_rr: usize,
+    /// Monotone management-plane table version (TableUpdate ordering).
+    table_version: u64,
+}
+
+impl Cluster {
+    /// Starts the deployment: binds the control inbox, spawns matchers and
+    /// dispatchers, and registers all addresses.
+    pub fn start(cfg: ClusterConfig) -> Self {
+        let channel = ChannelTransport::new();
+        let transport: Arc<dyn Transport> = Arc::new(channel.clone());
+        let strategy = match cfg.strategy {
+            StrategyKind::BlueDove => AnyStrategy::bluedove(cfg.space.clone(), cfg.matchers),
+            StrategyKind::P2p => AnyStrategy::p2p(cfg.space.clone(), cfg.matchers),
+            StrategyKind::FullReplication => AnyStrategy::full_rep(cfg.matchers),
+        };
+        let shared = Arc::new(Shared::new(cfg.space.clone(), strategy));
+        let ctl_rx = transport.bind(&control_addr()).expect("bind control inbox");
+
+        // Every initial matcher bootstraps with the endpoint states of the
+        // whole initial membership (the paper seeds via a dispatcher).
+        let seeds: Vec<bluedove_overlay::EndpointState> = (0..cfg.matchers)
+            .map(|i| {
+                bluedove_overlay::EndpointState::new(
+                    bluedove_overlay::NodeId(i as u64),
+                    bluedove_overlay::NodeRole::Matcher,
+                    matcher_addr(MatcherId(i)),
+                    1,
+                )
+            })
+            .collect();
+        let mut matchers = HashMap::new();
+        for i in 0..cfg.matchers {
+            let id = MatcherId(i);
+            let addr = matcher_addr(id);
+            shared.matcher_addrs.write().insert(id, addr.clone());
+            let node = MatcherNode::spawn(
+                MatcherNodeConfig {
+                    id,
+                    addr,
+                    index: cfg.index,
+                    stats_interval: cfg.stats_interval,
+                    gossip_interval: cfg.gossip_interval,
+                    gossip_seeds: seeds.clone(),
+                },
+                shared.clone(),
+                transport.clone(),
+            );
+            matchers.insert(id, node);
+        }
+        // Install the initial table on every matcher so dispatcher pulls
+        // have an authoritative source from the first round.
+        let addr_book: Vec<(MatcherId, String)> = (0..cfg.matchers)
+            .map(|i| (MatcherId(i), matcher_addr(MatcherId(i))))
+            .collect();
+        let initial_update = ControlMsg::TableUpdate {
+            version: 1,
+            strategy: shared.strategy.read().clone(),
+            addrs: addr_book.clone(),
+        };
+        for (_, addr) in &addr_book {
+            let _ = transport.send(addr, to_bytes(&initial_update).freeze());
+        }
+        let bootstrap = RoutingState {
+            version: 1,
+            strategy: shared.strategy.read().clone(),
+            addrs: addr_book.iter().cloned().collect(),
+        };
+        let mut dispatchers = Vec::new();
+        for i in 0..cfg.dispatchers {
+            let addr = dispatcher_addr(i);
+            shared.dispatcher_addrs.write().push(addr.clone());
+            dispatchers.push(DispatcherNode::spawn(
+                DispatcherNodeConfig {
+                    index: i,
+                    addr,
+                    policy: cfg.policy.build(),
+                    seed: cfg.seed ^ (i as u64).wrapping_mul(0x9E37_79B9),
+                    bootstrap: bootstrap.clone(),
+                    table_pull_interval: cfg.table_pull_interval,
+                },
+                shared.clone(),
+                transport.clone(),
+            ));
+        }
+        let mailbox = MailboxNode::spawn("mb/0".to_string(), transport.clone());
+        let next_matcher = cfg.matchers;
+        Cluster {
+            cfg,
+            channel,
+            transport,
+            shared,
+            matchers,
+            dispatchers,
+            mailbox: Some(mailbox),
+            ctl_rx,
+            next_subscriber: 1,
+            next_matcher,
+            publish_rr: 0,
+            table_version: 1,
+        }
+    }
+
+    /// The attribute space of the deployment.
+    pub fn space(&self) -> &AttributeSpace {
+        &self.shared.space
+    }
+
+    /// Shared counters (published / matched / deliveries / dropped).
+    pub fn counters(&self) -> (u64, u64, u64, u64) {
+        self.shared.counters.snapshot()
+    }
+
+    /// Total gossip bytes matchers have sent so far (§IV-C overhead).
+    pub fn gossip_bytes(&self) -> u64 {
+        self.shared
+            .counters
+            .gossip_bytes
+            .load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Per-matcher gossip peer counts, as last reported by each matcher's
+    /// gossip tick (membership-convergence observability).
+    pub fn gossip_peer_counts(&self) -> Vec<(MatcherId, usize)> {
+        let mut v: Vec<(MatcherId, usize)> = self
+            .shared
+            .gossip_peers
+            .read()
+            .iter()
+            .map(|(&m, &n)| (m, n))
+            .collect();
+        v.sort_unstable_by_key(|&(m, _)| m);
+        v
+    }
+
+    /// Live matcher ids, ascending.
+    pub fn matcher_ids(&self) -> Vec<MatcherId> {
+        let mut v: Vec<MatcherId> = self.matchers.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Registers `sub` and returns the subscriber endpoint that will
+    /// receive its matching messages. Blocks until the registration is
+    /// acknowledged, so a subsequent [`publish`](Self::publish) is
+    /// guaranteed to be matched against the new subscription.
+    pub fn subscribe(&mut self, mut sub: Subscription) -> Result<SubscriberHandle, ClusterError> {
+        let subscriber = SubscriberId(self.next_subscriber);
+        self.next_subscriber += 1;
+        sub.subscriber = subscriber;
+        let rx = self.transport.bind(&subscriber_addr(subscriber.0))?;
+        let d = &self.dispatchers[(subscriber.0 as usize) % self.dispatchers.len()];
+        self.transport
+            .send(&d.addr, to_bytes(&ControlMsg::Subscribe(sub.clone())).freeze())?;
+        // Wait for the ack (skipping nothing: the ack is the first thing
+        // this fresh endpoint can receive).
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            let payload = rx
+                .recv_timeout(remaining)
+                .map_err(|_| ClusterError::Timeout("subscription ack"))?;
+            if let Ok(ControlMsg::SubAck { sub: id }) = from_bytes(&payload) {
+                sub.id = id;
+                return Ok(SubscriberHandle {
+                    id: subscriber,
+                    subscription: id,
+                    sub,
+                    rx,
+                    shared: self.shared.clone(),
+                });
+            }
+        }
+    }
+
+    /// Unregisters the subscription behind `handle`: every copy is removed
+    /// from the matchers (fire-and-forget; in-flight messages may still be
+    /// delivered).
+    pub fn unsubscribe(&mut self, handle: &SubscriberHandle) -> Result<(), ClusterError> {
+        let d = &self.dispatchers[(handle.id.0 as usize) % self.dispatchers.len()];
+        self.transport
+            .send(&d.addr, to_bytes(&ControlMsg::Unsubscribe(handle.sub.clone())).freeze())?;
+        Ok(())
+    }
+
+    /// Registers `sub` with **indirect delivery** (§II-B): matching
+    /// messages accumulate in the cluster's mailbox node and the returned
+    /// endpoint fetches them with [`IndirectSubscriber::poll`] — the model
+    /// for subscribers (e.g. mobile phones) that cannot listen for
+    /// incoming connections.
+    pub fn subscribe_indirect(
+        &mut self,
+        sub: Subscription,
+    ) -> Result<IndirectSubscriber, ClusterError> {
+        // Register with a live endpoint first so the SubAck handshake
+        // works unchanged...
+        let handle = self.subscribe(sub)?;
+        let mailbox_addr = self.mailbox.as_ref().expect("mailbox running").addr.clone();
+        // ...then atomically re-route the subscriber address onto the
+        // mailbox inbox and forward anything that raced into the
+        // temporary endpoint.
+        self.channel.alias(&subscriber_addr(handle.id.0), &mailbox_addr)?;
+        for raced in handle.drain_raw() {
+            let _ = self.transport.send(&mailbox_addr, raced);
+        }
+        let reply_addr = format!("poll/{}", handle.id.0);
+        let reply_rx = self.transport.bind(&reply_addr)?;
+        Ok(IndirectSubscriber {
+            id: handle.id,
+            subscription: handle.subscription,
+            transport: self.transport.clone(),
+            mailbox_addr,
+            reply_addr,
+            reply_rx,
+            shared: self.shared.clone(),
+        })
+    }
+
+    /// Publishes one message through the next dispatcher (round-robin).
+    pub fn publish(&mut self, msg: Message) -> Result<(), ClusterError> {
+        let addr = &self.dispatchers[self.publish_rr % self.dispatchers.len()].addr;
+        self.publish_rr = self.publish_rr.wrapping_add(1);
+        self.transport
+            .send(addr, to_bytes(&ControlMsg::Publish(msg)).freeze())?;
+        Ok(())
+    }
+
+    /// Creates a standalone publishing handle for producer threads.
+    pub fn publisher(&self) -> Publisher {
+        Publisher {
+            transport: self.transport.clone(),
+            dispatchers: self.dispatchers.iter().map(|d| d.addr.clone()).collect(),
+            rr: 0,
+        }
+    }
+
+    /// Elastic join (§III-C): adds a matcher, splitting the segment of the
+    /// matcher `load` reports heaviest on each dimension (uniform load
+    /// when in doubt), synchronously handing the affected subscriptions
+    /// over before dispatchers start routing to the new matcher.
+    ///
+    /// Only valid under the BlueDove strategy.
+    pub fn add_matcher_with_load(
+        &mut self,
+        mut load: impl FnMut(MatcherId, DimIdx) -> f64,
+    ) -> Result<MatcherId, ClusterError> {
+        let new_id = MatcherId(self.next_matcher);
+        // Compute the post-join table on a clone; dispatchers keep routing
+        // by the old table until the handover completes.
+        let (new_strategy, moves) = {
+            let guard = self.shared.strategy.read();
+            let AnyStrategy::BlueDove(mp) = &*guard else {
+                return Err(ClusterError::WrongStrategy);
+            };
+            let mut mp2 = mp.clone();
+            let moves = mp2.table_mut().split_join(new_id, &mut load);
+            (AnyStrategy::BlueDove(mp2), moves)
+        };
+        self.next_matcher += 1;
+
+        // Spawn the new matcher and register its address so hand-overs and
+        // future routing can reach it.
+        let addr = matcher_addr(new_id);
+        self.shared.matcher_addrs.write().insert(new_id, addr.clone());
+        // Seed the newcomer with the current membership so it can join the
+        // gossip mesh immediately.
+        let seeds: Vec<bluedove_overlay::EndpointState> = self
+            .shared
+            .matcher_addrs
+            .read()
+            .iter()
+            .map(|(&m, a)| {
+                bluedove_overlay::EndpointState::new(
+                    bluedove_overlay::NodeId(m.0 as u64),
+                    bluedove_overlay::NodeRole::Matcher,
+                    a.clone(),
+                    1,
+                )
+            })
+            .collect();
+        let node = MatcherNode::spawn(
+            MatcherNodeConfig {
+                id: new_id,
+                addr: addr.clone(),
+                index: self.cfg.index,
+                stats_interval: self.cfg.stats_interval,
+                gossip_interval: self.cfg.gossip_interval,
+                gossip_seeds: seeds,
+            },
+            self.shared.clone(),
+            self.transport.clone(),
+        );
+        self.matchers.insert(new_id, node);
+
+        // Synchronous hand-over: donors ship copies, we await the acks.
+        for (dim, donor, range) in &moves {
+            let donor_addr = self
+                .shared
+                .matcher_addr(*donor)
+                .ok_or(ClusterError::Timeout("donor address"))?;
+            let handover = ControlMsg::HandOver {
+                dim: *dim,
+                range: *range,
+                to_addr: addr.clone(),
+                reply_to: control_addr(),
+            };
+            self.transport.send(&donor_addr, to_bytes(&handover).freeze())?;
+        }
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let mut acks = 0;
+        while acks < moves.len() {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            let payload = self
+                .ctl_rx
+                .recv_timeout(remaining)
+                .map_err(|_| ClusterError::Timeout("hand-over ack"))?;
+            if let Ok(ControlMsg::HandOverDone { .. }) = from_bytes(&payload) {
+                acks += 1;
+            }
+        }
+
+        // Flip the routing table: install the new table on every matcher
+        // (dispatchers pick it up at their next pull) and record it as the
+        // orchestrator's authoritative copy.
+        let keep_ranges: Vec<(DimIdx, MatcherId, Vec<bluedove_core::Range>)> = {
+            let AnyStrategy::BlueDove(mp2) = &new_strategy else { unreachable!() };
+            moves
+                .iter()
+                .map(|&(dim, donor, _)| {
+                    let keep = mp2
+                        .table()
+                        .segments_of(donor)
+                        .into_iter()
+                        .filter(|(d, _)| *d == dim)
+                        .map(|(_, r)| r)
+                        .collect();
+                    (dim, donor, keep)
+                })
+                .collect()
+        };
+        *self.shared.strategy.write() = new_strategy.clone();
+        self.table_version += 1;
+        let addr_book: Vec<(MatcherId, String)> = self
+            .shared
+            .matcher_addrs
+            .read()
+            .iter()
+            .map(|(&m, a)| (m, a.clone()))
+            .collect();
+        let update = ControlMsg::TableUpdate {
+            version: self.table_version,
+            strategy: new_strategy,
+            addrs: addr_book.clone(),
+        };
+        for (_, a) in &addr_book {
+            let _ = self.transport.send(a, to_bytes(&update).freeze());
+        }
+
+        // Dispatchers may route by the old table for up to one pull
+        // interval; donors keep their copies until then, so completeness
+        // holds throughout. Retire the stale copies afterwards.
+        std::thread::sleep(self.cfg.table_pull_interval * 2);
+        for ((dim, donor, range), (_, _, keep)) in moves.iter().zip(keep_ranges) {
+            if let Some(donor_addr) = self.shared.matcher_addr(*donor) {
+                let retire = ControlMsg::Retire { dim: *dim, range: *range, keep };
+                let _ = self.transport.send(&donor_addr, to_bytes(&retire).freeze());
+            }
+        }
+        Ok(new_id)
+    }
+
+    /// Elastic join with uniform load (splits the lowest-id matcher's
+    /// widest segments).
+    pub fn add_matcher(&mut self) -> Result<MatcherId, ClusterError> {
+        self.add_matcher_with_load(|_, _| 1.0)
+    }
+
+    /// Crashes matcher `m`: its inbox vanishes and its thread stops.
+    /// Dispatchers fail over on their next send to it.
+    pub fn kill_matcher(&mut self, m: MatcherId) {
+        if let Some(node) = self.matchers.remove(&m) {
+            self.channel.unbind(&node.addr);
+            self.shared.matcher_addrs.write().remove(&m);
+            node.crash();
+            node.join();
+        }
+    }
+
+    /// Orderly shutdown: stops every node and joins the threads.
+    pub fn shutdown(mut self) {
+        let shutdown = to_bytes(&ControlMsg::Shutdown).freeze();
+        for d in &self.dispatchers {
+            let _ = self.transport.send(&d.addr, shutdown.clone());
+        }
+        for node in self.matchers.values() {
+            let _ = self.transport.send(&node.addr, shutdown.clone());
+        }
+        if let Some(mb) = self.mailbox.take() {
+            let _ = self.transport.send(&mb.addr, shutdown.clone());
+            mb.join();
+        }
+        for d in self.dispatchers.drain(..) {
+            d.join();
+        }
+        for (_, node) in self.matchers.drain() {
+            node.join();
+        }
+    }
+}

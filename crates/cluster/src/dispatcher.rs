@@ -1,0 +1,243 @@
+//! The dispatcher node: light-weight front-end forwarding (§II-B).
+//!
+//! Dispatchers accept subscriptions and publications from clients, consult
+//! the shared partition strategy and their local view of matcher load
+//! reports, and forward each message to the chosen candidate matcher —
+//! one hop. Failed sends trigger immediate fail-over to another candidate
+//! (§III-A-3).
+
+use crate::proto::ControlMsg;
+use crate::shared::Shared;
+use bluedove_baselines::AnyStrategy;
+use bluedove_core::{
+    Assignment, ForwardingPolicy, MatcherId, Message, MessageId, StatsView,
+    SubscriptionId,
+};
+use bluedove_net::{from_bytes, to_bytes, Transport};
+use bytes::Bytes;
+use crossbeam::channel::{Receiver, RecvTimeoutError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Per-dispatcher runtime configuration.
+pub struct DispatcherNodeConfig {
+    /// Index of this dispatcher (addresses, seeds).
+    pub index: usize,
+    /// Transport address the dispatcher binds.
+    pub addr: String,
+    /// The forwarding policy (one instance per dispatcher).
+    pub policy: Box<dyn ForwardingPolicy>,
+    /// RNG seed (random policy, tie-breaking).
+    pub seed: u64,
+    /// Bootstrap routing state: the initial strategy and matcher address
+    /// book (the paper's dispatchers bootstrap from any matcher; ours are
+    /// handed the same state at spawn).
+    pub bootstrap: RoutingState,
+    /// How often this dispatcher pulls a fresh table from a random
+    /// matcher (§III-C; the paper uses 10 s).
+    pub table_pull_interval: Duration,
+}
+
+/// The dispatcher's private routing state, refreshed by table pulls.
+#[derive(Clone)]
+pub struct RoutingState {
+    /// Monotone table version.
+    pub version: u64,
+    /// The partition strategy routed by.
+    pub strategy: AnyStrategy,
+    /// Matcher address book.
+    pub addrs: HashMap<MatcherId, String>,
+}
+
+/// Handle to a running dispatcher thread.
+pub struct DispatcherNode {
+    /// The dispatcher's transport address.
+    pub addr: String,
+    join: Option<JoinHandle<()>>,
+}
+
+impl DispatcherNode {
+    /// Spawns the dispatcher thread.
+    pub fn spawn(
+        cfg: DispatcherNodeConfig,
+        shared: Arc<Shared>,
+        transport: Arc<dyn Transport>,
+    ) -> Self {
+        let rx = transport.bind(&cfg.addr).expect("bind dispatcher inbox");
+        let addr = cfg.addr.clone();
+        let join = std::thread::Builder::new()
+            .name(format!("dispatcher-{}", cfg.index))
+            .spawn(move || run(cfg, shared, transport, rx))
+            .expect("spawn dispatcher thread");
+        DispatcherNode { addr, join: Some(join) }
+    }
+
+    /// Waits for the thread to exit (after `Shutdown`).
+    pub fn join(mut self) {
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+fn run(
+    cfg: DispatcherNodeConfig,
+    shared: Arc<Shared>,
+    transport: Arc<dyn Transport>,
+    rx: Receiver<Bytes>,
+) {
+    let mut view = StatsView::new();
+    let mut known_dead: HashSet<MatcherId> = HashSet::new();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut routing = cfg.bootstrap.clone();
+    let mut next_pull = Instant::now() + cfg.table_pull_interval;
+
+    loop {
+        // Periodic table pull from a random live matcher (§III-C).
+        if Instant::now() >= next_pull {
+            let live: Vec<&String> = routing
+                .addrs
+                .iter()
+                .filter(|(m, _)| !known_dead.contains(m))
+                .map(|(_, a)| a)
+                .collect();
+            if !live.is_empty() {
+                let target = live[rng.gen_range(0..live.len())].clone();
+                let pull = ControlMsg::TablePull { reply_to: cfg.addr.clone() };
+                let _ = transport.send(&target, to_bytes(&pull).freeze());
+            }
+            next_pull += cfg.table_pull_interval;
+        }
+        let timeout = next_pull.saturating_duration_since(Instant::now());
+        let payload = match rx.recv_timeout(timeout.min(Duration::from_millis(50))) {
+            Ok(p) => p,
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => break,
+        };
+        let Ok(msg) = from_bytes::<ControlMsg>(&payload) else { continue };
+        match msg {
+            ControlMsg::Subscribe(mut sub) => {
+                sub.id = SubscriptionId(shared.next_sub_id.fetch_add(1, Ordering::Relaxed));
+                let assignments = routing.strategy.as_dyn().assign(&sub);
+                for Assignment { matcher, dim } in assignments {
+                    let Some(addr) = routing.addrs.get(&matcher) else { continue };
+                    let store = ControlMsg::StoreSub { dim, sub: sub.clone() };
+                    let _ = transport.send(addr, to_bytes(&store).freeze());
+                }
+                // Ack to the subscriber endpoint: registration complete.
+                let ack = ControlMsg::SubAck { sub: sub.id };
+                let addr = crate::shared::subscriber_addr(sub.subscriber.0);
+                let _ = transport.send(&addr, to_bytes(&ack).freeze());
+            }
+            ControlMsg::Publish(mut m) => {
+                m.id = MessageId(shared.next_msg_id.fetch_add(1, Ordering::Relaxed));
+                shared.counters.published.fetch_add(1, Ordering::Relaxed);
+                let admitted_us = shared.now_us();
+                forward(
+                    &shared, &transport, &cfg, &routing, &mut view, &mut known_dead, &mut rng,
+                    m, admitted_us,
+                );
+            }
+            ControlMsg::Unsubscribe(sub) => {
+                // Deterministic assignment: the same copies are found and
+                // removed wherever the strategy placed them.
+                let assignments = routing.strategy.as_dyn().assign(&sub);
+                for Assignment { matcher, dim } in assignments {
+                    let Some(addr) = routing.addrs.get(&matcher) else { continue };
+                    let remove = ControlMsg::RemoveSub { dim, sub: sub.id };
+                    let _ = transport.send(addr, to_bytes(&remove).freeze());
+                }
+            }
+            ControlMsg::TableState { version, strategy, addrs } => {
+                if version > routing.version {
+                    if let Some(strategy) = strategy {
+                        routing.version = version;
+                        routing.strategy = strategy;
+                        routing.addrs = addrs.into_iter().collect();
+                    }
+                }
+            }
+            ControlMsg::LoadReport { matcher, dim, stats } if !known_dead.contains(&matcher) => {
+                view.update(matcher, dim, stats);
+            }
+            ControlMsg::Shutdown => break,
+            _ => {}
+        }
+    }
+}
+
+/// Chooses a candidate and sends, failing over on dead matchers.
+#[allow(clippy::too_many_arguments)]
+fn forward(
+    shared: &Arc<Shared>,
+    transport: &Arc<dyn Transport>,
+    cfg: &DispatcherNodeConfig,
+    routing: &RoutingState,
+    view: &mut StatsView,
+    known_dead: &mut HashSet<MatcherId>,
+    rng: &mut StdRng,
+    msg: Message,
+    admitted_us: u64,
+) {
+    // Primary candidates plus the degenerate-case clockwise fallbacks
+    // (§III-A-1/3). Fallbacks are kept separate so the policy only
+    // considers them once every live primary has been exhausted — send
+    // failures can kill primaries *during* the loop below.
+    let mut candidates: Vec<Assignment> = routing
+        .strategy
+        .as_dyn()
+        .candidates(&msg)
+        .into_iter()
+        .filter(|a| !known_dead.contains(&a.matcher))
+        .collect();
+    let mut fallbacks: Vec<Assignment> = match &routing.strategy {
+        AnyStrategy::BlueDove(mp) => mp
+            .fallback_candidates(&msg)
+            .into_iter()
+            .filter(|a| !known_dead.contains(&a.matcher))
+            .collect(),
+        _ => Vec::new(),
+    };
+
+    loop {
+        if candidates.is_empty() {
+            fallbacks.retain(|a| !known_dead.contains(&a.matcher));
+            if fallbacks.is_empty() {
+                break;
+            }
+            candidates = std::mem::take(&mut fallbacks);
+        }
+        let chosen = if candidates.len() == 1 {
+            candidates[0]
+        } else {
+            cfg.policy.choose(&candidates, view, shared.now(), rng)
+        };
+        let Some(addr) = routing.addrs.get(&chosen.matcher) else {
+            known_dead.insert(chosen.matcher);
+            candidates.retain(|a| a.matcher != chosen.matcher);
+            continue;
+        };
+        let wire = ControlMsg::MatchMsg { dim: chosen.dim, msg: msg.clone(), admitted_us };
+        match transport.send(addr, to_bytes(&wire).freeze()) {
+            Ok(()) => {
+                if cfg.policy.uses_estimation() {
+                    view.reserve(chosen.matcher, chosen.dim);
+                }
+                return;
+            }
+            Err(_) => {
+                // The matcher is unreachable: remember it, forget its
+                // stats and fail over to another candidate (§III-A-3).
+                known_dead.insert(chosen.matcher);
+                view.forget_matcher(chosen.matcher);
+                candidates.retain(|a| a.matcher != chosen.matcher);
+            }
+        }
+    }
+    shared.counters.dropped.fetch_add(1, Ordering::Relaxed);
+}

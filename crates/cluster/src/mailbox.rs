@@ -1,0 +1,130 @@
+//! Indirect delivery (§II-B): the mailbox node.
+//!
+//! "Otherwise, messages can be delivered indirectly: after receiving a
+//! subscription from a client, a dispatcher returns a handle to some
+//! temporary storage (e.g., a message queue) that the subscriber polls
+//! periodically to retrieve matching messages. […] This delivery model is
+//! suitable for subscribers such as mobile phones that may not be able to
+//! listen on an IP/port waiting for incoming messages."
+//!
+//! Implementation: indirect subscribers' addresses are aliased onto the
+//! mailbox node's inbox, so matchers deliver exactly as they would to a
+//! direct subscriber; the mailbox demultiplexes on the `subscriber` field
+//! and stores deliveries per subscriber (bounded FIFO) until the client
+//! polls with [`ControlMsg::MailboxPoll`].
+
+use crate::proto::ControlMsg;
+use crate::wal::{Wal, WalRecord};
+use bluedove_core::SubscriberId;
+use bluedove_net::{from_bytes, to_bytes, Transport};
+use bytes::Bytes;
+use crossbeam::channel::Receiver;
+use std::collections::{HashMap, VecDeque};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Maximum deliveries retained per subscriber; the oldest are dropped
+/// first when a subscriber stops polling (simple overload protection, the
+/// "message persistence" future-work item in its minimal form).
+pub const MAILBOX_CAPACITY: usize = 16_384;
+
+/// Handle to a running mailbox node.
+pub struct MailboxNode {
+    /// The mailbox's transport address.
+    pub addr: String,
+    join: Option<JoinHandle<()>>,
+}
+
+impl MailboxNode {
+    /// Spawns the mailbox thread bound at `addr` (volatile storage).
+    pub fn spawn(addr: String, transport: Arc<dyn Transport>) -> Self {
+        Self::spawn_inner(addr, transport, None)
+    }
+
+    /// Spawns the mailbox with a write-ahead log at `wal_path`: stored
+    /// deliveries survive a mailbox restart (the §VI "message
+    /// persistence" future-work item). Existing log contents are replayed
+    /// on startup.
+    pub fn spawn_persistent(
+        addr: String,
+        transport: Arc<dyn Transport>,
+        wal_path: PathBuf,
+    ) -> Self {
+        Self::spawn_inner(addr, transport, Some(wal_path))
+    }
+
+    fn spawn_inner(
+        addr: String,
+        transport: Arc<dyn Transport>,
+        wal_path: Option<PathBuf>,
+    ) -> Self {
+        let rx = transport.bind(&addr).expect("bind mailbox inbox");
+        let a = addr.clone();
+        let join = std::thread::Builder::new()
+            .name("mailbox".into())
+            .spawn(move || run(transport, rx, wal_path))
+            .expect("spawn mailbox thread");
+        MailboxNode { addr: a, join: Some(join) }
+    }
+
+    /// Waits for the thread to exit (after `Shutdown`).
+    pub fn join(mut self) {
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+type Stored = (bluedove_core::SubscriptionId, bluedove_core::Message, u64);
+
+/// Compact the WAL after this many appended records.
+const WAL_COMPACT_THRESHOLD: u64 = 10_000;
+
+fn run(transport: Arc<dyn Transport>, rx: Receiver<Bytes>, wal_path: Option<PathBuf>) {
+    // Recover state from the log, then reopen it for appending.
+    let mut boxes: HashMap<SubscriberId, VecDeque<Stored>> = match &wal_path {
+        Some(p) => Wal::replay(p).unwrap_or_default(),
+        None => HashMap::new(),
+    };
+    let mut wal = wal_path.and_then(|p| Wal::open(p).ok());
+
+    for payload in rx.iter() {
+        let Ok(msg) = from_bytes::<ControlMsg>(&payload) else { continue };
+        match msg {
+            ControlMsg::Deliver { subscriber, sub, msg, admitted_us } => {
+                if let Some(w) = wal.as_mut() {
+                    let _ = w.append(&WalRecord::Deliver {
+                        subscriber,
+                        sub,
+                        msg: msg.clone(),
+                        admitted_us,
+                    });
+                }
+                let q = boxes.entry(subscriber).or_default();
+                if q.len() >= MAILBOX_CAPACITY {
+                    q.pop_front();
+                }
+                q.push_back((sub, msg, admitted_us));
+            }
+            ControlMsg::MailboxPoll { subscriber, reply_to, max } => {
+                let q = boxes.entry(subscriber).or_default();
+                let take = if max == 0 { q.len() } else { q.len().min(max as usize) };
+                let entries: Vec<Stored> = q.drain(..take).collect();
+                if let Some(w) = wal.as_mut() {
+                    let _ = w.append(&WalRecord::Polled {
+                        subscriber,
+                        count: entries.len() as u32,
+                    });
+                    if w.appended() > WAL_COMPACT_THRESHOLD {
+                        let _ = w.compact(&boxes);
+                    }
+                }
+                let batch = ControlMsg::MailboxBatch { entries };
+                let _ = transport.send(&reply_to, to_bytes(&batch).freeze());
+            }
+            ControlMsg::Shutdown => break,
+            _ => {}
+        }
+    }
+}

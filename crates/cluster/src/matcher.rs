@@ -1,0 +1,324 @@
+//! The matcher node: a thread owning per-dimension subscription sets and
+//! queues, doing real matching work.
+//!
+//! Mirrors the paper's matcher design: one subscription set and one FIFO
+//! queue per dimension, round-robin service across dimensions, periodic
+//! `(q, λ, µ)` load reports pushed to every dispatcher (§III-B), and
+//! direct delivery to subscriber endpoints (§II-B).
+
+use crate::proto::ControlMsg;
+use crate::shared::Shared;
+use bluedove_core::{DimIdx, IndexKind, MatcherCore, MatcherId, Message};
+use bluedove_net::{from_bytes, to_bytes, Transport};
+use bluedove_overlay::{EndpointState, GossipMsg, GossipNode, NodeId, NodeRole};
+use bytes::Bytes;
+use crossbeam::channel::{Receiver, RecvTimeoutError};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Per-matcher runtime configuration.
+#[derive(Clone)]
+pub struct MatcherNodeConfig {
+    /// This matcher's id.
+    pub id: MatcherId,
+    /// Transport address the matcher binds.
+    pub addr: String,
+    /// Index structure per dimension set.
+    pub index: IndexKind,
+    /// How often load reports are pushed to dispatchers.
+    pub stats_interval: Duration,
+    /// How often the matcher gossips with `log₂ N` random peers (§III-C).
+    pub gossip_interval: Duration,
+    /// Bootstrap knowledge: endpoint states of already-known matchers
+    /// (the paper's "new matcher contacts a dispatcher" step hands these
+    /// over).
+    pub gossip_seeds: Vec<EndpointState>,
+}
+
+/// Handle to a running matcher thread.
+pub struct MatcherNode {
+    /// The matcher's id.
+    pub id: MatcherId,
+    /// The matcher's transport address.
+    pub addr: String,
+    crash: Arc<AtomicBool>,
+    join: Option<JoinHandle<()>>,
+}
+
+impl MatcherNode {
+    /// Spawns the matcher thread.
+    pub fn spawn(
+        cfg: MatcherNodeConfig,
+        shared: Arc<Shared>,
+        transport: Arc<dyn Transport>,
+    ) -> Self {
+        let rx = transport.bind(&cfg.addr).expect("bind matcher inbox");
+        let crash = Arc::new(AtomicBool::new(false));
+        let crash2 = crash.clone();
+        let addr = cfg.addr.clone();
+        let id = cfg.id;
+        let join = std::thread::Builder::new()
+            .name(format!("matcher-{}", id.0))
+            .spawn(move || run(cfg, shared, transport, rx, crash2))
+            .expect("spawn matcher thread");
+        MatcherNode { id, addr, crash, join: Some(join) }
+    }
+
+    /// Simulates a crash: the thread stops without any orderly handover.
+    /// The caller should also unbind the address so senders see errors.
+    pub fn crash(&self) {
+        self.crash.store(true, Ordering::Relaxed);
+    }
+
+    /// Waits for the thread to exit (after `Shutdown` or `crash`).
+    pub fn join(mut self) {
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+struct Queued {
+    dim: DimIdx,
+    msg: Message,
+    admitted_us: u64,
+}
+
+fn run(
+    cfg: MatcherNodeConfig,
+    shared: Arc<Shared>,
+    transport: Arc<dyn Transport>,
+    rx: Receiver<Bytes>,
+    crash: Arc<AtomicBool>,
+) {
+    let k = shared.space.k();
+    let mut core = MatcherCore::new(cfg.id, shared.space.clone(), cfg.index);
+    let mut queues: Vec<VecDeque<Queued>> = (0..k).map(|_| VecDeque::new()).collect();
+    let mut rr = 0usize; // round-robin dimension pointer
+    let mut next_stats = Instant::now() + cfg.stats_interval;
+    let mut hits = Vec::new();
+
+    // The §III-C gossip endpoint: this matcher's own versioned state plus
+    // everything it has heard about the rest of the overlay.
+    let mut gossip = GossipNode::new(EndpointState::new(
+        NodeId(cfg.id.0 as u64),
+        NodeRole::Matcher,
+        cfg.addr.clone(),
+        1,
+    ));
+    for seed in &cfg.gossip_seeds {
+        if seed.node != gossip.id() {
+            gossip.learn(seed.clone(), shared.now());
+        }
+    }
+    let mut gossip_rng = StdRng::seed_from_u64(0x60551 ^ cfg.id.0 as u64);
+    let mut next_gossip = Instant::now() + cfg.gossip_interval;
+    let mut last_gossip_bytes = 0u64;
+    // The authoritative table (installed by TableUpdate) that dispatchers
+    // pull from this matcher (§III-C).
+    let mut table: TableCopy = TableCopy { version: 0, strategy: None, addrs: Vec::new() };
+
+    'outer: loop {
+        if crash.load(Ordering::Relaxed) {
+            break;
+        }
+        // Drain everything pending without blocking.
+        while let Ok(payload) = rx.try_recv() {
+            if handle(&cfg, &shared, &transport, &mut core, &mut queues, &mut gossip, &mut table, payload) {
+                break 'outer;
+            }
+        }
+        // Serve one queued message (round-robin across dimensions).
+        let mut served = false;
+        #[allow(clippy::needless_range_loop)] // rr arithmetic needs the index
+        for off in 0..k {
+            let d = (rr + off) % k;
+            if let Some(q) = queues[d].pop_front() {
+                rr = (d + 1) % k;
+                hits.clear();
+                let started = Instant::now();
+                let examined = core.match_message(q.dim, &q.msg, shared.now(), &mut hits);
+                core.record_service(q.dim, started.elapsed().as_secs_f64());
+                let _ = examined;
+                if !hits.is_empty() {
+                    shared.counters.matched.fetch_add(1, Ordering::Relaxed);
+                }
+                for &(sub_id, subscriber) in &hits {
+                    let deliver = ControlMsg::Deliver {
+                        subscriber,
+                        sub: sub_id,
+                        msg: q.msg.clone(),
+                        admitted_us: q.admitted_us,
+                    };
+                    let addr = crate::shared::subscriber_addr(subscriber.0);
+                    // A vanished subscriber is not an error for the matcher.
+                    let _ = transport.send(&addr, to_bytes(&deliver).freeze());
+                    shared.counters.deliveries.fetch_add(1, Ordering::Relaxed);
+                }
+                served = true;
+                break;
+            }
+        }
+        if !served {
+            // Idle: block until the next message or the next deadline.
+            let timeout = next_stats
+                .min(next_gossip)
+                .saturating_duration_since(Instant::now())
+                .min(Duration::from_millis(20));
+            match rx.recv_timeout(timeout) {
+                Ok(payload) => {
+                    if handle(&cfg, &shared, &transport, &mut core, &mut queues, &mut gossip, &mut table, payload) {
+                        break 'outer;
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => break 'outer,
+            }
+        }
+        // Periodic anti-entropy gossip: heartbeat, then open an exchange
+        // with log₂(N) random live peers.
+        if Instant::now() >= next_gossip {
+            gossip.heartbeat();
+            let now = shared.now();
+            let targets = gossip.pick_targets(&mut gossip_rng);
+            for t in targets {
+                let Some(peer) = gossip.peers().get(&t).map(|p| p.state.addr.clone()) else {
+                    continue;
+                };
+                let syn = gossip.make_syn();
+                let wire = ControlMsg::Gossip { from_addr: cfg.addr.clone(), msg: syn };
+                let _ = transport.send(&peer, to_bytes(&wire).freeze());
+            }
+            bluedove_overlay::sweep(
+                &mut gossip,
+                &bluedove_overlay::FailureDetectorConfig::default(),
+                now,
+            );
+            let sent = gossip.bytes_sent;
+            shared
+                .counters
+                .gossip_bytes
+                .fetch_add(sent - last_gossip_bytes, Ordering::Relaxed);
+            last_gossip_bytes = sent;
+            shared.gossip_peers.write().insert(cfg.id, gossip.peers().len());
+            next_gossip += cfg.gossip_interval;
+        }
+        // Periodic load reports.
+        if Instant::now() >= next_stats {
+            let now = shared.now();
+            let dispatchers = shared.dispatcher_addrs.read().clone();
+            for (d, queue) in queues.iter().enumerate() {
+                let dim = DimIdx(d as u16);
+                let stats = core.stats_report(dim, queue.len(), now);
+                let report = ControlMsg::LoadReport { matcher: cfg.id, dim, stats };
+                let bytes = to_bytes(&report).freeze();
+                for addr in &dispatchers {
+                    let _ = transport.send(addr, bytes.clone());
+                }
+            }
+            next_stats += cfg.stats_interval;
+        }
+    }
+}
+
+/// The matcher's copy of the authoritative table + address book.
+struct TableCopy {
+    version: u64,
+    strategy: Option<bluedove_baselines::AnyStrategy>,
+    addrs: Vec<(MatcherId, String)>,
+}
+
+/// Handles one control message; returns `true` on shutdown.
+#[allow(clippy::too_many_arguments)]
+fn handle(
+    cfg: &MatcherNodeConfig,
+    shared: &Arc<Shared>,
+    transport: &Arc<dyn Transport>,
+    core: &mut MatcherCore,
+    queues: &mut [VecDeque<Queued>],
+    gossip: &mut GossipNode,
+    table: &mut TableCopy,
+    payload: Bytes,
+) -> bool {
+    let Ok(msg) = from_bytes::<ControlMsg>(&payload) else {
+        return false; // corrupt frame: drop, keep serving
+    };
+    match msg {
+        ControlMsg::StoreSub { dim, sub } => {
+            core.insert(dim, sub);
+            shared.counters.stored_copies.fetch_add(1, Ordering::Relaxed);
+        }
+        ControlMsg::RemoveSub { dim, sub } => {
+            core.remove(dim, sub);
+        }
+        ControlMsg::MatchMsg { dim, msg, admitted_us } => {
+            core.record_arrival(dim, shared.now());
+            queues[dim.index()].push_back(Queued { dim, msg, admitted_us });
+        }
+        ControlMsg::HandOver { dim, range, to_addr, reply_to } => {
+            // Move the overlapping copies to the new matcher, but keep
+            // serving local copies until the Retire arrives (routing may
+            // still point here).
+            let moved = core.extract_overlapping(dim, &range);
+            let count = moved.len() as u64;
+            for sub in moved {
+                let store = ControlMsg::StoreSub { dim, sub: sub.clone() };
+                let _ = transport.send(&to_addr, to_bytes(&store).freeze());
+                core.insert(dim, sub);
+            }
+            let done = ControlMsg::HandOverDone { dim, moved: count };
+            let _ = transport.send(&reply_to, to_bytes(&done).freeze());
+        }
+        ControlMsg::Retire { dim, range, keep } => {
+            let extracted = core.extract_overlapping(dim, &range);
+            for sub in extracted {
+                // Keep the copies that still overlap a segment this
+                // matcher owns on the dimension.
+                if keep.iter().any(|r| sub.predicate(dim).overlaps(r)) {
+                    core.insert(dim, sub);
+                }
+            }
+        }
+        ControlMsg::TableUpdate { version, strategy, addrs } => {
+            if version > table.version {
+                table.version = version;
+                table.strategy = Some(strategy);
+                table.addrs = addrs;
+                // Announce the new table version on the gossip mesh too.
+                gossip.set_segments_version(version);
+            }
+        }
+        ControlMsg::TablePull { reply_to } => {
+            let state = ControlMsg::TableState {
+                version: table.version,
+                strategy: table.strategy.clone(),
+                addrs: table.addrs.clone(),
+            };
+            let _ = transport.send(&reply_to, to_bytes(&state).freeze());
+        }
+        ControlMsg::Gossip { from_addr, msg } => {
+            let now = shared.now();
+            let reply = match &msg {
+                GossipMsg::Syn { .. } => Some(gossip.handle_syn(&msg, now)),
+                GossipMsg::Ack { .. } => Some(gossip.handle_ack(&msg, now)),
+                GossipMsg::Ack2 { .. } => {
+                    gossip.handle_ack2(&msg, now);
+                    None
+                }
+            };
+            if let Some(reply) = reply {
+                let wire = ControlMsg::Gossip { from_addr: cfg.addr.clone(), msg: reply };
+                let _ = transport.send(&from_addr, to_bytes(&wire).freeze());
+            }
+        }
+        ControlMsg::Shutdown => return true,
+        // Messages not addressed to matchers are ignored defensively.
+        _ => {}
+    }
+    false
+}

@@ -1,0 +1,462 @@
+//! Control-plane and data-plane messages of the threaded cluster, plus
+//! their wire encoding.
+
+use bluedove_core::{
+    DimIdx, DimStats, MatcherId, Message, Range, SubscriberId, Subscription, SubscriptionId,
+};
+use bluedove_net::{NetError, NetResult, Wire};
+use bytes::{Buf, BufMut, BytesMut};
+
+/// Every message exchanged between clients, dispatchers and matchers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ControlMsg {
+    /// Client → dispatcher: register a subscription.
+    Subscribe(Subscription),
+    /// Client → dispatcher: publish a message.
+    Publish(Message),
+    /// Client → dispatcher: unregister a subscription. The dispatcher
+    /// recomputes the (deterministic) assignment and removes every copy.
+    Unsubscribe(Subscription),
+    /// Dispatcher → matcher: drop the subscription copy with this id from
+    /// the per-`dim` set.
+    RemoveSub {
+        /// Copy dimension.
+        dim: DimIdx,
+        /// The subscription id to drop.
+        sub: SubscriptionId,
+    },
+    /// Dispatcher → matcher: store a subscription copy in the per-`dim`
+    /// set.
+    StoreSub {
+        /// Copy dimension.
+        dim: DimIdx,
+        /// The subscription.
+        sub: Subscription,
+    },
+    /// Dispatcher → matcher: match `msg` against the per-`dim` set.
+    MatchMsg {
+        /// The dimension the dispatcher selected (the candidate's
+        /// dimension mark from §III-B).
+        dim: DimIdx,
+        /// The publication.
+        msg: Message,
+        /// Dispatcher admission timestamp, microseconds since the cluster
+        /// epoch — response time is measured from here.
+        admitted_us: u64,
+    },
+    /// Matcher → dispatcher: per-dimension load report (§III-B feedback).
+    LoadReport {
+        /// Reporting matcher.
+        matcher: MatcherId,
+        /// Dimension the report covers.
+        dim: DimIdx,
+        /// The `(sub_count, q, λ, µ)` snapshot.
+        stats: DimStats,
+    },
+    /// Matcher → subscriber: a matching message delivery.
+    Deliver {
+        /// The subscriber the delivery is for (lets a shared mailbox node
+        /// demultiplex deliveries funneled onto one inbox).
+        subscriber: SubscriberId,
+        /// The subscription that matched.
+        sub: SubscriptionId,
+        /// The message.
+        msg: Message,
+        /// Original admission timestamp (for client-side response-time
+        /// measurement).
+        admitted_us: u64,
+    },
+    /// Client → mailbox: request up to `max` stored deliveries for
+    /// `subscriber`, answered with a `MailboxBatch` to `reply_to`
+    /// (the §II-B indirect delivery model for clients that cannot listen).
+    MailboxPoll {
+        /// Whose mailbox to drain.
+        subscriber: SubscriberId,
+        /// Where to send the batch.
+        reply_to: String,
+        /// Maximum deliveries to return (0 = all).
+        max: u32,
+    },
+    /// Mailbox → client: the stored deliveries.
+    MailboxBatch {
+        /// `(subscription, message, admitted_us)` triples, oldest first.
+        entries: Vec<(SubscriptionId, Message, u64)>,
+    },
+    /// Dispatcher → subscriber: the subscription was registered and its
+    /// copies forwarded to every assigned matcher.
+    SubAck {
+        /// The id stamped on the subscription.
+        sub: SubscriptionId,
+    },
+    /// Orchestrator → matcher: hand the dimension-`dim` subscriptions
+    /// overlapping `range` to the matcher at `to_addr` (elastic join).
+    /// The donor keeps serving copies until a later `Retire`.
+    HandOver {
+        /// Dimension of the moved segment.
+        dim: DimIdx,
+        /// The transferred range.
+        range: Range,
+        /// Transport address of the receiving matcher.
+        to_addr: String,
+        /// Where to send the `HandOverDone` ack.
+        reply_to: String,
+    },
+    /// Matcher → orchestrator: the hand-over for `dim` finished (all
+    /// copies shipped to the new matcher).
+    HandOverDone {
+        /// Dimension the ack covers.
+        dim: DimIdx,
+        /// Number of subscription copies shipped.
+        moved: u64,
+    },
+    /// Orchestrator → matcher: drop the dimension-`dim` copies overlapping
+    /// `range` that no longer overlap the matcher's own segments
+    /// (completes a hand-over after the table switch propagates).
+    Retire {
+        /// Dimension of the retired copies.
+        dim: DimIdx,
+        /// The transferred range.
+        range: Range,
+        /// Ranges this matcher still owns on `dim` (copies overlapping any
+        /// of these stay).
+        keep: Vec<Range>,
+    },
+    /// Orchestrator → matcher: install a new authoritative segment table
+    /// (strategy) and matcher address book. `version` is a monotone
+    /// management-plane counter.
+    TableUpdate {
+        /// Monotone table version.
+        version: u64,
+        /// The full strategy (segment table included).
+        strategy: bluedove_baselines::AnyStrategy,
+        /// Matcher address book as of this version.
+        addrs: Vec<(MatcherId, String)>,
+    },
+    /// Dispatcher → matcher: request the current table (§III-C: "each
+    /// dispatcher pulls the table from a randomly chosen matcher once a
+    /// while").
+    TablePull {
+        /// Where to send the `TableState` reply.
+        reply_to: String,
+    },
+    /// Matcher → dispatcher: the current table and address book.
+    TableState {
+        /// Monotone table version (0 = matcher has no table yet).
+        version: u64,
+        /// The strategy, when the matcher has one.
+        strategy: Option<bluedove_baselines::AnyStrategy>,
+        /// Matcher address book.
+        addrs: Vec<(MatcherId, String)>,
+    },
+    /// Matcher ↔ matcher: one leg of the §III-C anti-entropy gossip
+    /// handshake, carried over the regular transport. `from_addr` tells
+    /// the receiver where to send the next leg.
+    Gossip {
+        /// Sender's transport address (for the reply leg).
+        from_addr: String,
+        /// The gossip payload (Syn / Ack / Ack2).
+        msg: bluedove_overlay::GossipMsg,
+    },
+    /// Orderly shutdown of the receiving node.
+    Shutdown,
+}
+
+const TAG_SUBSCRIBE: u8 = 0;
+const TAG_PUBLISH: u8 = 1;
+const TAG_STORE_SUB: u8 = 2;
+const TAG_MATCH_MSG: u8 = 3;
+const TAG_LOAD_REPORT: u8 = 4;
+const TAG_DELIVER: u8 = 5;
+const TAG_HAND_OVER: u8 = 6;
+const TAG_RETIRE: u8 = 7;
+const TAG_SHUTDOWN: u8 = 8;
+const TAG_SUB_ACK: u8 = 9;
+const TAG_HAND_OVER_DONE: u8 = 10;
+const TAG_MAILBOX_POLL: u8 = 11;
+const TAG_MAILBOX_BATCH: u8 = 12;
+const TAG_GOSSIP: u8 = 13;
+const TAG_UNSUBSCRIBE: u8 = 14;
+const TAG_REMOVE_SUB: u8 = 15;
+const TAG_TABLE_UPDATE: u8 = 16;
+const TAG_TABLE_PULL: u8 = 17;
+const TAG_TABLE_STATE: u8 = 18;
+
+impl Wire for ControlMsg {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            ControlMsg::Subscribe(s) => {
+                buf.put_u8(TAG_SUBSCRIBE);
+                s.encode(buf);
+            }
+            ControlMsg::Publish(m) => {
+                buf.put_u8(TAG_PUBLISH);
+                m.encode(buf);
+            }
+            ControlMsg::Unsubscribe(s) => {
+                buf.put_u8(TAG_UNSUBSCRIBE);
+                s.encode(buf);
+            }
+            ControlMsg::RemoveSub { dim, sub } => {
+                buf.put_u8(TAG_REMOVE_SUB);
+                dim.encode(buf);
+                sub.encode(buf);
+            }
+            ControlMsg::StoreSub { dim, sub } => {
+                buf.put_u8(TAG_STORE_SUB);
+                dim.encode(buf);
+                sub.encode(buf);
+            }
+            ControlMsg::MatchMsg { dim, msg, admitted_us } => {
+                buf.put_u8(TAG_MATCH_MSG);
+                dim.encode(buf);
+                msg.encode(buf);
+                admitted_us.encode(buf);
+            }
+            ControlMsg::LoadReport { matcher, dim, stats } => {
+                buf.put_u8(TAG_LOAD_REPORT);
+                matcher.encode(buf);
+                dim.encode(buf);
+                stats.encode(buf);
+            }
+            ControlMsg::Deliver { subscriber, sub, msg, admitted_us } => {
+                buf.put_u8(TAG_DELIVER);
+                subscriber.encode(buf);
+                sub.encode(buf);
+                msg.encode(buf);
+                admitted_us.encode(buf);
+            }
+            ControlMsg::MailboxPoll { subscriber, reply_to, max } => {
+                buf.put_u8(TAG_MAILBOX_POLL);
+                subscriber.encode(buf);
+                reply_to.encode(buf);
+                max.encode(buf);
+            }
+            ControlMsg::MailboxBatch { entries } => {
+                buf.put_u8(TAG_MAILBOX_BATCH);
+                (entries.len() as u32).encode(buf);
+                for (sub, msg, at) in entries {
+                    sub.encode(buf);
+                    msg.encode(buf);
+                    at.encode(buf);
+                }
+            }
+            ControlMsg::SubAck { sub } => {
+                buf.put_u8(TAG_SUB_ACK);
+                sub.encode(buf);
+            }
+            ControlMsg::HandOver { dim, range, to_addr, reply_to } => {
+                buf.put_u8(TAG_HAND_OVER);
+                dim.encode(buf);
+                range.encode(buf);
+                to_addr.encode(buf);
+                reply_to.encode(buf);
+            }
+            ControlMsg::HandOverDone { dim, moved } => {
+                buf.put_u8(TAG_HAND_OVER_DONE);
+                dim.encode(buf);
+                moved.encode(buf);
+            }
+            ControlMsg::Retire { dim, range, keep } => {
+                buf.put_u8(TAG_RETIRE);
+                dim.encode(buf);
+                range.encode(buf);
+                keep.encode(buf);
+            }
+            ControlMsg::TableUpdate { version, strategy, addrs } => {
+                buf.put_u8(TAG_TABLE_UPDATE);
+                version.encode(buf);
+                strategy.encode(buf);
+                (addrs.len() as u32).encode(buf);
+                for (m, a) in addrs {
+                    m.encode(buf);
+                    a.encode(buf);
+                }
+            }
+            ControlMsg::TablePull { reply_to } => {
+                buf.put_u8(TAG_TABLE_PULL);
+                reply_to.encode(buf);
+            }
+            ControlMsg::TableState { version, strategy, addrs } => {
+                buf.put_u8(TAG_TABLE_STATE);
+                version.encode(buf);
+                strategy.encode(buf);
+                (addrs.len() as u32).encode(buf);
+                for (m, a) in addrs {
+                    m.encode(buf);
+                    a.encode(buf);
+                }
+            }
+            ControlMsg::Gossip { from_addr, msg } => {
+                buf.put_u8(TAG_GOSSIP);
+                from_addr.encode(buf);
+                msg.encode(buf);
+            }
+            ControlMsg::Shutdown => buf.put_u8(TAG_SHUTDOWN),
+        }
+    }
+
+    fn decode(buf: &mut impl Buf) -> NetResult<Self> {
+        let tag = u8::decode(buf)?;
+        Ok(match tag {
+            TAG_SUBSCRIBE => ControlMsg::Subscribe(Subscription::decode(buf)?),
+            TAG_PUBLISH => ControlMsg::Publish(Message::decode(buf)?),
+            TAG_UNSUBSCRIBE => ControlMsg::Unsubscribe(Subscription::decode(buf)?),
+            TAG_REMOVE_SUB => ControlMsg::RemoveSub {
+                dim: DimIdx::decode(buf)?,
+                sub: SubscriptionId::decode(buf)?,
+            },
+            TAG_STORE_SUB => ControlMsg::StoreSub {
+                dim: DimIdx::decode(buf)?,
+                sub: Subscription::decode(buf)?,
+            },
+            TAG_MATCH_MSG => ControlMsg::MatchMsg {
+                dim: DimIdx::decode(buf)?,
+                msg: Message::decode(buf)?,
+                admitted_us: u64::decode(buf)?,
+            },
+            TAG_LOAD_REPORT => ControlMsg::LoadReport {
+                matcher: MatcherId::decode(buf)?,
+                dim: DimIdx::decode(buf)?,
+                stats: DimStats::decode(buf)?,
+            },
+            TAG_DELIVER => ControlMsg::Deliver {
+                subscriber: SubscriberId::decode(buf)?,
+                sub: SubscriptionId::decode(buf)?,
+                msg: Message::decode(buf)?,
+                admitted_us: u64::decode(buf)?,
+            },
+            TAG_MAILBOX_POLL => ControlMsg::MailboxPoll {
+                subscriber: SubscriberId::decode(buf)?,
+                reply_to: String::decode(buf)?,
+                max: u32::decode(buf)?,
+            },
+            TAG_MAILBOX_BATCH => {
+                let n = u32::decode(buf)? as usize;
+                let mut entries = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    entries.push((
+                        SubscriptionId::decode(buf)?,
+                        Message::decode(buf)?,
+                        u64::decode(buf)?,
+                    ));
+                }
+                ControlMsg::MailboxBatch { entries }
+            }
+            TAG_SUB_ACK => ControlMsg::SubAck { sub: SubscriptionId::decode(buf)? },
+            TAG_HAND_OVER => ControlMsg::HandOver {
+                dim: DimIdx::decode(buf)?,
+                range: Range::decode(buf)?,
+                to_addr: String::decode(buf)?,
+                reply_to: String::decode(buf)?,
+            },
+            TAG_HAND_OVER_DONE => ControlMsg::HandOverDone {
+                dim: DimIdx::decode(buf)?,
+                moved: u64::decode(buf)?,
+            },
+            TAG_RETIRE => ControlMsg::Retire {
+                dim: DimIdx::decode(buf)?,
+                range: Range::decode(buf)?,
+                keep: Vec::<Range>::decode(buf)?,
+            },
+            TAG_TABLE_UPDATE => {
+                let version = u64::decode(buf)?;
+                let strategy = bluedove_baselines::AnyStrategy::decode(buf)?;
+                let n = u32::decode(buf)? as usize;
+                let mut addrs = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    addrs.push((MatcherId::decode(buf)?, String::decode(buf)?));
+                }
+                ControlMsg::TableUpdate { version, strategy, addrs }
+            }
+            TAG_TABLE_PULL => ControlMsg::TablePull { reply_to: String::decode(buf)? },
+            TAG_TABLE_STATE => {
+                let version = u64::decode(buf)?;
+                let strategy = Option::<bluedove_baselines::AnyStrategy>::decode(buf)?;
+                let n = u32::decode(buf)? as usize;
+                let mut addrs = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    addrs.push((MatcherId::decode(buf)?, String::decode(buf)?));
+                }
+                ControlMsg::TableState { version, strategy, addrs }
+            }
+            TAG_GOSSIP => ControlMsg::Gossip {
+                from_addr: String::decode(buf)?,
+                msg: bluedove_overlay::GossipMsg::decode(buf)?,
+            },
+            TAG_SHUTDOWN => ControlMsg::Shutdown,
+            t => return Err(NetError::BadTag(t)),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bluedove_core::SubscriberId;
+    use bluedove_net::{from_bytes, to_bytes};
+
+    fn round_trip(m: ControlMsg) {
+        let bytes = to_bytes(&m);
+        let back: ControlMsg = from_bytes(&bytes).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn all_variants_round_trip() {
+        let sub = Subscription {
+            id: SubscriptionId(3),
+            subscriber: SubscriberId(4),
+            predicates: vec![Range::new(0.0, 10.0)],
+        };
+        let msg = Message::with_payload(vec![1.0], b"p".to_vec());
+        round_trip(ControlMsg::Subscribe(sub.clone()));
+        round_trip(ControlMsg::Publish(msg.clone()));
+        round_trip(ControlMsg::StoreSub { dim: DimIdx(1), sub: sub.clone() });
+        round_trip(ControlMsg::MatchMsg { dim: DimIdx(0), msg: msg.clone(), admitted_us: 12345 });
+        round_trip(ControlMsg::LoadReport {
+            matcher: MatcherId(2),
+            dim: DimIdx(1),
+            stats: DimStats { sub_count: 1, queue_len: 2, lambda: 3.0, mu: 4.0, updated_at: 5.0 },
+        });
+        round_trip(ControlMsg::Deliver {
+            subscriber: SubscriberId(8),
+            sub: SubscriptionId(3),
+            msg: msg.clone(),
+            admitted_us: 999,
+        });
+        round_trip(ControlMsg::MailboxPoll {
+            subscriber: SubscriberId(8),
+            reply_to: "poll/1".into(),
+            max: 10,
+        });
+        round_trip(ControlMsg::MailboxBatch {
+            entries: vec![(SubscriptionId(3), msg, 42)],
+        });
+        round_trip(ControlMsg::SubAck { sub: SubscriptionId(3) });
+        round_trip(ControlMsg::HandOver {
+            dim: DimIdx(2),
+            range: Range::new(5.0, 6.0),
+            to_addr: "m/9".into(),
+            reply_to: "ctl/0".into(),
+        });
+        round_trip(ControlMsg::HandOverDone { dim: DimIdx(2), moved: 17 });
+        round_trip(ControlMsg::Retire {
+            dim: DimIdx(2),
+            range: Range::new(5.0, 6.0),
+            keep: vec![Range::new(0.0, 5.0)],
+        });
+        round_trip(ControlMsg::Shutdown);
+        round_trip(ControlMsg::Unsubscribe(sub));
+        round_trip(ControlMsg::RemoveSub { dim: DimIdx(0), sub: SubscriptionId(3) });
+        round_trip(ControlMsg::Gossip {
+            from_addr: "m/1".into(),
+            msg: bluedove_overlay::GossipMsg::Syn { digests: vec![] },
+        });
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        let res: NetResult<ControlMsg> = from_bytes(&[99]);
+        assert!(matches!(res, Err(NetError::BadTag(99))));
+    }
+}

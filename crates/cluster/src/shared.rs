@@ -1,0 +1,150 @@
+//! State shared between the orchestrator, dispatchers and client handles.
+
+use bluedove_baselines::AnyStrategy;
+use bluedove_core::{AttributeSpace, MatcherId};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Cluster-wide counters (all relaxed: they are diagnostics, not
+/// synchronization).
+#[derive(Debug, Default)]
+pub struct Counters {
+    /// Messages admitted by dispatchers.
+    pub published: AtomicU64,
+    /// Messages matched by matchers (per message, not per hit).
+    pub matched: AtomicU64,
+    /// (message, subscription) deliveries sent to subscribers.
+    pub deliveries: AtomicU64,
+    /// Messages dropped because no live candidate matcher remained.
+    pub dropped: AtomicU64,
+    /// Subscription copies stored across all matchers.
+    pub stored_copies: AtomicU64,
+    /// Total gossip bytes sent by all matchers (§IV-C overhead).
+    pub gossip_bytes: AtomicU64,
+}
+
+impl Counters {
+    /// Snapshot of `(published, matched, deliveries, dropped)`.
+    pub fn snapshot(&self) -> (u64, u64, u64, u64) {
+        (
+            self.published.load(Ordering::Relaxed),
+            self.matched.load(Ordering::Relaxed),
+            self.deliveries.load(Ordering::Relaxed),
+            self.dropped.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Shared cluster state: the routing strategy, the address book and the
+/// clock epoch.
+pub struct Shared {
+    /// The attribute space of the deployment.
+    pub space: AttributeSpace,
+    /// The partition strategy dispatchers route by. Swapped under write
+    /// lock on elastic join/leave.
+    pub strategy: RwLock<AnyStrategy>,
+    /// Matcher transport addresses.
+    pub matcher_addrs: RwLock<HashMap<MatcherId, String>>,
+    /// Dispatcher transport addresses (load reports fan out to these).
+    pub dispatcher_addrs: RwLock<Vec<String>>,
+    /// Cluster epoch; all timestamps are seconds (or µs) since this.
+    pub epoch: Instant,
+    /// Allocator for subscription ids.
+    pub next_sub_id: AtomicU64,
+    /// Allocator for message ids.
+    pub next_msg_id: AtomicU64,
+    /// Diagnostics.
+    pub counters: Counters,
+    /// Per-matcher gossip peer counts (membership convergence metric,
+    /// refreshed by each matcher on its gossip tick).
+    pub gossip_peers: RwLock<HashMap<MatcherId, usize>>,
+}
+
+impl Shared {
+    /// Creates shared state around an initial strategy.
+    pub fn new(space: AttributeSpace, strategy: AnyStrategy) -> Self {
+        Shared {
+            space,
+            strategy: RwLock::new(strategy),
+            matcher_addrs: RwLock::new(HashMap::new()),
+            dispatcher_addrs: RwLock::new(Vec::new()),
+            epoch: Instant::now(),
+            next_sub_id: AtomicU64::new(1),
+            next_msg_id: AtomicU64::new(1),
+            counters: Counters::default(),
+            gossip_peers: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Seconds since the cluster epoch.
+    #[inline]
+    pub fn now(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64()
+    }
+
+    /// Microseconds since the cluster epoch.
+    #[inline]
+    pub fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// The transport address of `matcher`, if registered.
+    pub fn matcher_addr(&self, matcher: MatcherId) -> Option<String> {
+        self.matcher_addrs.read().get(&matcher).cloned()
+    }
+}
+
+/// Conventional in-process address for a matcher.
+pub fn matcher_addr(id: MatcherId) -> String {
+    format!("m/{}", id.0)
+}
+
+/// Conventional in-process address for a dispatcher.
+pub fn dispatcher_addr(i: usize) -> String {
+    format!("d/{i}")
+}
+
+/// Conventional in-process address for a subscriber endpoint.
+pub fn subscriber_addr(id: u64) -> String {
+    format!("c/{id}")
+}
+
+/// Conventional in-process address for the orchestrator control inbox.
+pub fn control_addr() -> String {
+    "ctl/0".to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotone() {
+        let s = Shared::new(
+            AttributeSpace::uniform(2, 0.0, 1.0),
+            AnyStrategy::full_rep(1),
+        );
+        let a = s.now();
+        let b = s.now();
+        assert!(b >= a);
+        assert!(s.now_us() >= (a * 1e6) as u64);
+    }
+
+    #[test]
+    fn address_conventions() {
+        assert_eq!(matcher_addr(MatcherId(3)), "m/3");
+        assert_eq!(dispatcher_addr(1), "d/1");
+        assert_eq!(subscriber_addr(42), "c/42");
+        assert_eq!(control_addr(), "ctl/0");
+    }
+
+    #[test]
+    fn counters_snapshot() {
+        let c = Counters::default();
+        c.published.fetch_add(5, Ordering::Relaxed);
+        c.dropped.fetch_add(1, Ordering::Relaxed);
+        assert_eq!(c.snapshot(), (5, 0, 0, 1));
+    }
+}

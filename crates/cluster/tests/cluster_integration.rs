@@ -1,0 +1,428 @@
+//! End-to-end tests of the threaded deployment: routing correctness,
+//! multi-dispatcher operation, all strategies/policies, elastic join and
+//! crash fail-over.
+
+use bluedove_cluster::{Cluster, ClusterConfig, PolicyKind, StrategyKind};
+use bluedove_core::{AttributeSpace, MatcherId, Message, Subscription};
+use bluedove_workload::PaperWorkload;
+use std::time::Duration;
+
+fn space() -> AttributeSpace {
+    AttributeSpace::uniform(4, 0.0, 1000.0)
+}
+
+fn wait_for(mut cond: impl FnMut() -> bool, what: &str) {
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while !cond() {
+        assert!(std::time::Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn matching_and_non_matching_messages() {
+    let sp = space();
+    let mut cluster = Cluster::start(ClusterConfig::new(sp.clone()).matchers(4));
+    let sub = Subscription::builder(&sp)
+        .range(0, 100.0, 200.0)
+        .range(1, 0.0, 500.0)
+        .build()
+        .unwrap();
+    let subscriber = cluster.subscribe(sub).unwrap();
+
+    cluster.publish(Message::new(vec![150.0, 250.0, 10.0, 20.0])).unwrap(); // match
+    cluster.publish(Message::new(vec![950.0, 250.0, 10.0, 20.0])).unwrap(); // no match (dim 0)
+    cluster.publish(Message::new(vec![150.0, 700.0, 10.0, 20.0])).unwrap(); // no match (dim 1)
+    cluster.publish(Message::with_payload(vec![199.9, 499.9, 0.0, 999.9], b"hi".to_vec())).unwrap();
+
+    let d1 = subscriber.recv_timeout(Duration::from_secs(5)).expect("first delivery");
+    assert_eq!(d1.msg.values[0], 150.0);
+    let d2 = subscriber.recv_timeout(Duration::from_secs(5)).expect("second delivery");
+    assert_eq!(d2.msg.payload, b"hi");
+    // No further deliveries.
+    assert!(subscriber.recv_timeout(Duration::from_millis(300)).is_none());
+    cluster.shutdown();
+}
+
+#[test]
+fn multiple_subscribers_each_get_their_matches() {
+    let sp = space();
+    let mut cluster = Cluster::start(ClusterConfig::new(sp.clone()).matchers(3).dispatchers(2));
+    let narrow = cluster
+        .subscribe(Subscription::builder(&sp).range(0, 0.0, 10.0).build().unwrap())
+        .unwrap();
+    let wide = cluster
+        .subscribe(Subscription::builder(&sp).build().unwrap())
+        .unwrap();
+
+    for i in 0..20 {
+        cluster.publish(Message::new(vec![i as f64 * 50.0, 1.0, 2.0, 3.0])).unwrap();
+    }
+    // wide matches all 20, narrow matches only value 0.0 (i = 0).
+    let mut wide_total = 0;
+    while wide.recv_timeout(Duration::from_secs(2)).is_some() {
+        wide_total += 1;
+        if wide_total == 20 {
+            break;
+        }
+    }
+    let mut narrow_total = 0;
+    while narrow.recv_timeout(Duration::from_millis(300)).is_some() {
+        narrow_total += 1;
+    }
+    assert_eq!(wide_total, 20, "wide got {wide_total}");
+    assert_eq!(narrow_total, 1, "narrow got {narrow_total}");
+    cluster.shutdown();
+}
+
+#[test]
+fn all_strategies_deliver_correctly() {
+    for strategy in [StrategyKind::BlueDove, StrategyKind::P2p, StrategyKind::FullReplication] {
+        let sp = space();
+        let mut cluster = Cluster::start(
+            ClusterConfig::new(sp.clone())
+                .matchers(4)
+                .strategy(strategy)
+                .policy(if strategy == StrategyKind::BlueDove {
+                    PolicyKind::Adaptive
+                } else {
+                    PolicyKind::Random
+                }),
+        );
+        let sub = Subscription::builder(&sp).range(2, 300.0, 600.0).build().unwrap();
+        let subscriber = cluster.subscribe(sub).unwrap();
+        cluster.publish(Message::new(vec![1.0, 2.0, 450.0, 3.0])).unwrap();
+        let d = subscriber
+            .recv_timeout(Duration::from_secs(5))
+            .unwrap_or_else(|| panic!("delivery under {strategy:?}"));
+        assert_eq!(d.msg.values[2], 450.0);
+        cluster.shutdown();
+    }
+}
+
+#[test]
+fn all_policies_deliver_correctly() {
+    for policy in [
+        PolicyKind::Adaptive,
+        PolicyKind::ResponseTime,
+        PolicyKind::SubscriptionCount,
+        PolicyKind::Random,
+    ] {
+        let sp = space();
+        let mut cluster =
+            Cluster::start(ClusterConfig::new(sp.clone()).matchers(5).policy(policy));
+        let sub = Subscription::builder(&sp).range(0, 0.0, 100.0).build().unwrap();
+        let subscriber = cluster.subscribe(sub).unwrap();
+        for _ in 0..5 {
+            cluster.publish(Message::new(vec![50.0, 1.0, 2.0, 3.0])).unwrap();
+        }
+        for _ in 0..5 {
+            assert!(
+                subscriber.recv_timeout(Duration::from_secs(5)).is_some(),
+                "missing delivery under {policy:?}"
+            );
+        }
+        cluster.shutdown();
+    }
+}
+
+#[test]
+fn throughput_run_with_paper_workload() {
+    let w = PaperWorkload { seed: 11, ..Default::default() };
+    let sp = w.space();
+    let mut cluster = Cluster::start(ClusterConfig::new(sp.clone()).matchers(6).dispatchers(2));
+    // A wildcard subscriber counts every delivery.
+    let all = cluster
+        .subscribe(Subscription::builder(&sp).build().unwrap())
+        .unwrap();
+    let mut subs = w.subscriptions();
+    for s in subs.take(300) {
+        // Re-register through the cluster (ids are re-stamped).
+        let plain = Subscription::builder(&sp)
+            .range(0, s.predicates[0].lo, s.predicates[0].hi)
+            .range(1, s.predicates[1].lo, s.predicates[1].hi)
+            .range(2, s.predicates[2].lo, s.predicates[2].hi)
+            .range(3, s.predicates[3].lo, s.predicates[3].hi)
+            .build()
+            .unwrap();
+        cluster.subscribe(plain).unwrap();
+    }
+    let mut gen = w.messages();
+    let mut publisher = cluster.publisher();
+    for m in gen.take(2000) {
+        publisher.publish(m).unwrap();
+    }
+    wait_for(
+        || cluster.counters().0 >= 2000,
+        "all messages admitted",
+    );
+    // Every message matches the wildcard subscription: expect ~2000
+    // deliveries to `all`.
+    let mut got = 0;
+    while let Some(_d) = all.recv_timeout(Duration::from_secs(5)) {
+        got += 1;
+        if got == 2000 {
+            break;
+        }
+    }
+    assert_eq!(got, 2000);
+    let (published, matched, deliveries, dropped) = cluster.counters();
+    assert_eq!(published, 2000);
+    assert_eq!(dropped, 0);
+    assert!(matched >= 2000); // every message matched at least the wildcard
+    assert!(deliveries >= 2000);
+    cluster.shutdown();
+}
+
+#[test]
+fn elastic_join_preserves_matching() {
+    let sp = space();
+    let mut cluster = Cluster::start(ClusterConfig::new(sp.clone()).matchers(2));
+    let subscriber = cluster
+        .subscribe(Subscription::builder(&sp).range(0, 400.0, 600.0).build().unwrap())
+        .unwrap();
+
+    cluster.publish(Message::new(vec![500.0, 1.0, 2.0, 3.0])).unwrap();
+    assert!(subscriber.recv_timeout(Duration::from_secs(5)).is_some());
+
+    let new = cluster.add_matcher().unwrap();
+    assert_eq!(new, MatcherId(2));
+    assert_eq!(cluster.matcher_ids().len(), 3);
+
+    // Messages matching the subscription keep arriving after the join,
+    // wherever the copies now live.
+    for _ in 0..10 {
+        cluster.publish(Message::new(vec![550.0, 900.0, 900.0, 900.0])).unwrap();
+    }
+    for i in 0..10 {
+        assert!(
+            subscriber.recv_timeout(Duration::from_secs(5)).is_some(),
+            "delivery {i} missing after elastic join"
+        );
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn crash_failover_keeps_delivering() {
+    let sp = space();
+    let mut cluster = Cluster::start(ClusterConfig::new(sp.clone()).matchers(4));
+    let subscriber = cluster
+        .subscribe(Subscription::builder(&sp).build().unwrap()) // wildcard: on all matchers
+        .unwrap();
+
+    cluster.kill_matcher(MatcherId(1));
+
+    // Publish a burst; some messages will hit the dead matcher first and
+    // fail over. With a wildcard subscription every message must still be
+    // delivered (k=4 candidates, 3 alive).
+    for i in 0..50 {
+        cluster
+            .publish(Message::new(vec![
+                (i * 17 % 1000) as f64,
+                (i * 31 % 1000) as f64,
+                (i * 7 % 1000) as f64,
+                (i * 13 % 1000) as f64,
+            ]))
+            .unwrap();
+    }
+    let mut got = 0;
+    while subscriber.recv_timeout(Duration::from_secs(3)).is_some() {
+        got += 1;
+        if got == 50 {
+            break;
+        }
+    }
+    assert_eq!(got, 50, "deliveries after crash");
+    let (_, _, _, dropped) = cluster.counters();
+    assert_eq!(dropped, 0, "channel fail-over is immediate; nothing dropped");
+    cluster.shutdown();
+}
+
+#[test]
+fn indirect_delivery_via_mailbox_polling() {
+    let sp = space();
+    let mut cluster = Cluster::start(ClusterConfig::new(sp.clone()).matchers(3));
+    let mobile = cluster
+        .subscribe_indirect(
+            Subscription::builder(&sp).range(0, 0.0, 500.0).build().unwrap(),
+        )
+        .unwrap();
+
+    // Nothing stored yet.
+    assert!(mobile.poll(0).unwrap().is_empty());
+
+    for i in 0..10 {
+        cluster
+            .publish(Message::new(vec![i as f64 * 100.0, 1.0, 2.0, 3.0]))
+            .unwrap();
+    }
+    // Values 0..500 match: messages 0,100,200,300,400 → 5 deliveries
+    // accumulate in the mailbox while the "mobile" client is away.
+    wait_for(
+        || cluster.counters().1 >= 5,
+        "mailbox deliveries to accumulate",
+    );
+    std::thread::sleep(Duration::from_millis(200));
+    let first = mobile.poll(3).unwrap();
+    assert_eq!(first.len(), 3, "bounded poll");
+    let rest = mobile.poll(0).unwrap();
+    assert_eq!(rest.len(), 2, "remaining deliveries");
+    assert!(mobile.poll(0).unwrap().is_empty(), "mailbox drained");
+    cluster.shutdown();
+}
+
+#[test]
+fn unsubscribe_stops_deliveries() {
+    let sp = space();
+    let mut cluster = Cluster::start(ClusterConfig::new(sp.clone()).matchers(4));
+    let handle = cluster
+        .subscribe(Subscription::builder(&sp).range(0, 0.0, 1000.0).build().unwrap())
+        .unwrap();
+    cluster.publish(Message::new(vec![10.0, 1.0, 2.0, 3.0])).unwrap();
+    assert!(handle.recv_timeout(Duration::from_secs(5)).is_some());
+
+    cluster.unsubscribe(&handle).unwrap();
+    // Give the removal time to land on all matchers, then publish again.
+    std::thread::sleep(Duration::from_millis(300));
+    for _ in 0..10 {
+        cluster.publish(Message::new(vec![10.0, 1.0, 2.0, 3.0])).unwrap();
+    }
+    assert!(
+        handle.recv_timeout(Duration::from_millis(500)).is_none(),
+        "no deliveries after unsubscribe"
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn gossip_mesh_converges_and_accounts_bytes() {
+    let sp = space();
+    let cluster = Cluster::start(
+        ClusterConfig::new(sp)
+            .matchers(6)
+            .gossip_interval(Duration::from_millis(50)),
+    );
+    // Within a few gossip rounds every matcher should know all 5 peers
+    // and byte counters should be moving.
+    wait_for(
+        || {
+            let counts = cluster.gossip_peer_counts();
+            counts.len() == 6 && counts.iter().all(|&(_, n)| n == 5)
+        },
+        "gossip membership convergence",
+    );
+    assert!(cluster.gossip_bytes() > 0, "gossip traffic accounted");
+    cluster.shutdown();
+}
+
+#[test]
+fn new_matcher_joins_gossip_mesh() {
+    let sp = space();
+    let mut cluster = Cluster::start(
+        ClusterConfig::new(sp)
+            .matchers(3)
+            .gossip_interval(Duration::from_millis(50)),
+    );
+    let new = cluster.add_matcher().unwrap();
+    wait_for(
+        || {
+            cluster
+                .gossip_peer_counts()
+                .iter()
+                .any(|&(m, n)| m == new && n == 3)
+        },
+        "newcomer to learn the full membership",
+    );
+    // And the old members learn the newcomer.
+    wait_for(
+        || cluster.gossip_peer_counts().iter().all(|&(_, n)| n == 3),
+        "existing members to learn the newcomer",
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn load_reports_flow_and_policies_use_them() {
+    // Indirect but observable: with the sub-count policy and a very skewed
+    // subscription placement, messages should avoid the loaded matcher
+    // once reports arrive. We verify the cluster stays correct and the
+    // stats pipeline doesn't wedge anything.
+    let sp = space();
+    let mut cluster = Cluster::start(
+        ClusterConfig::new(sp.clone())
+            .matchers(4)
+            .policy(PolicyKind::SubscriptionCount)
+            .stats_interval(Duration::from_millis(50)),
+    );
+    let subscriber = cluster
+        .subscribe(Subscription::builder(&sp).range(0, 0.0, 250.0).build().unwrap())
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(200)); // let reports flow
+    for _ in 0..10 {
+        cluster.publish(Message::new(vec![100.0, 1.0, 2.0, 3.0])).unwrap();
+    }
+    for _ in 0..10 {
+        assert!(subscriber.recv_timeout(Duration::from_secs(5)).is_some());
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn multi_app_isolation_and_rebalancing() {
+    use bluedove_cluster::{AppSpec, MultiAppCluster};
+    use bluedove_core::Dimension;
+
+    let mut multi = MultiAppCluster::new();
+    // Two applications with different attribute spaces.
+    let traffic = AttributeSpace::new(vec![
+        Dimension::new("longitude", -180.0, 180.0),
+        Dimension::new("latitude", -90.0, 90.0),
+        Dimension::new("speed", 0.0, 120.0),
+    ])
+    .unwrap();
+    let stocks = AttributeSpace::uniform(2, 0.0, 10_000.0);
+    multi.add_app(AppSpec::new("traffic", traffic.clone(), 3)).unwrap();
+    multi.add_app(AppSpec::new("stocks", stocks.clone(), 2)).unwrap();
+    assert!(multi.add_app(AppSpec::new("stocks", stocks.clone(), 1)).is_err());
+    assert_eq!(multi.app_names(), vec!["stocks", "traffic"]);
+
+    let driver = multi
+        .subscribe(
+            "traffic",
+            Subscription::builder(&traffic).range(2, 0.0, 25.0).build().unwrap(),
+        )
+        .unwrap();
+    let trader = multi
+        .subscribe(
+            "stocks",
+            Subscription::builder(&stocks).range(0, 0.0, 100.0).build().unwrap(),
+        )
+        .unwrap();
+
+    // Messages stay inside their application: the slow-traffic reading
+    // reaches only the driver, the quote only the trader.
+    multi.publish("traffic", Message::new(vec![-41.5, 72.0, 10.0])).unwrap();
+    multi.publish("stocks", Message::new(vec![50.0, 123.0])).unwrap();
+    assert!(driver.recv_timeout(Duration::from_secs(5)).is_some());
+    assert!(trader.recv_timeout(Duration::from_secs(5)).is_some());
+    assert!(driver.recv_timeout(Duration::from_millis(200)).is_none());
+    assert!(trader.recv_timeout(Duration::from_millis(200)).is_none());
+
+    // Unknown apps error cleanly.
+    assert!(multi.publish("ghost", Message::new(vec![1.0])).is_err());
+
+    // Rebalancing grows one app's subset without touching the other.
+    let added = multi.rebalance("traffic", 2).unwrap();
+    assert_eq!(added.len(), 2);
+    assert_eq!(multi.matchers_of("traffic").unwrap().len(), 5);
+    assert_eq!(multi.matchers_of("stocks").unwrap().len(), 2);
+
+    // Still delivering after the rebalance.
+    multi.publish("traffic", Message::new(vec![-41.5, 72.0, 5.0])).unwrap();
+    assert!(driver.recv_timeout(Duration::from_secs(5)).is_some());
+
+    let counters = multi.counters();
+    assert_eq!(counters.len(), 2);
+    multi.shutdown();
+}

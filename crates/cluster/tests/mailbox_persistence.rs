@@ -1,0 +1,115 @@
+//! Mailbox persistence: stored deliveries survive a mailbox restart via
+//! the write-ahead log (the paper's §VI message-persistence future work).
+
+use bluedove_cluster::mailbox::MailboxNode;
+use bluedove_cluster::ControlMsg;
+use bluedove_core::{Message, SubscriberId, SubscriptionId};
+use bluedove_net::{from_bytes, to_bytes, ChannelTransport, Transport};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn deliver(subscriber: u64, sub: u64, v: f64) -> ControlMsg {
+    ControlMsg::Deliver {
+        subscriber: SubscriberId(subscriber),
+        sub: SubscriptionId(sub),
+        msg: Message::new(vec![v]),
+        admitted_us: 1,
+    }
+}
+
+fn poll(transport: &ChannelTransport, mb: &str, subscriber: u64, reply: &str) -> usize {
+    let rx = transport.bind(reply).unwrap();
+    transport
+        .send(
+            mb,
+            to_bytes(&ControlMsg::MailboxPoll {
+                subscriber: SubscriberId(subscriber),
+                reply_to: reply.to_string(),
+                max: 0,
+            })
+            .freeze(),
+        )
+        .unwrap();
+    let payload = rx.recv_timeout(Duration::from_secs(5)).expect("batch");
+    match from_bytes::<ControlMsg>(&payload) {
+        Ok(ControlMsg::MailboxBatch { entries }) => entries.len(),
+        other => panic!("unexpected reply: {other:?}"),
+    }
+}
+
+#[test]
+fn deliveries_survive_mailbox_restart() {
+    let dir = std::env::temp_dir().join(format!("bluedove-mbwal-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let wal = dir.join("restart.wal");
+    let _ = std::fs::remove_file(&wal);
+
+    let transport = ChannelTransport::new();
+    let arc: Arc<dyn Transport> = Arc::new(transport.clone());
+
+    // First incarnation: receive three deliveries, poll one, crash.
+    {
+        let mb = MailboxNode::spawn_persistent("mb/p".into(), arc.clone(), wal.clone());
+        for i in 0..3 {
+            transport.send("mb/p", to_bytes(&deliver(7, i, i as f64)).freeze()).unwrap();
+        }
+        // Poll with max=1: acknowledges exactly one entry.
+        let rx = transport.bind("poll/tmp").unwrap();
+        transport
+            .send(
+                "mb/p",
+                to_bytes(&ControlMsg::MailboxPoll {
+                    subscriber: SubscriberId(7),
+                    reply_to: "poll/tmp".into(),
+                    max: 1,
+                })
+                .freeze(),
+            )
+            .unwrap();
+        let payload = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        let Ok(ControlMsg::MailboxBatch { entries }) = from_bytes::<ControlMsg>(&payload) else {
+            panic!("no batch");
+        };
+        assert_eq!(entries.len(), 1);
+        // "Crash": shut the node down; the WAL is the only survivor.
+        transport.send("mb/p", to_bytes(&ControlMsg::Shutdown).freeze()).unwrap();
+        mb.join();
+        transport.unbind("mb/p");
+    }
+
+    // Second incarnation replays the log: 3 delivered − 1 polled = 2 left.
+    {
+        let mb = MailboxNode::spawn_persistent("mb/p".into(), arc.clone(), wal.clone());
+        assert_eq!(poll(&transport, "mb/p", 7, "poll/tmp2"), 2);
+        // Now drained; a third incarnation sees an empty mailbox.
+        transport.send("mb/p", to_bytes(&ControlMsg::Shutdown).freeze()).unwrap();
+        mb.join();
+        transport.unbind("mb/p");
+    }
+    {
+        let mb = MailboxNode::spawn_persistent("mb/p".into(), arc.clone(), wal.clone());
+        assert_eq!(poll(&transport, "mb/p", 7, "poll/tmp3"), 0);
+        transport.send("mb/p", to_bytes(&ControlMsg::Shutdown).freeze()).unwrap();
+        mb.join();
+    }
+}
+
+#[test]
+fn volatile_mailbox_forgets_on_restart() {
+    let transport = ChannelTransport::new();
+    let arc: Arc<dyn Transport> = Arc::new(transport.clone());
+    {
+        let mb = MailboxNode::spawn("mb/v".into(), arc.clone());
+        transport.send("mb/v", to_bytes(&deliver(9, 1, 1.0)).freeze()).unwrap();
+        // Ensure the delivery was processed before shutdown by polling it
+        // back... no: prove it is stored, then crash.
+        assert_eq!(poll(&transport, "mb/v", 9, "poll/v1"), 1);
+        transport.send("mb/v", to_bytes(&ControlMsg::Shutdown).freeze()).unwrap();
+        mb.join();
+        transport.unbind("mb/v");
+    }
+    let mb = MailboxNode::spawn("mb/v".into(), arc.clone());
+    assert_eq!(poll(&transport, "mb/v", 9, "poll/v2"), 0);
+    transport.send("mb/v", to_bytes(&ControlMsg::Shutdown).freeze()).unwrap();
+    mb.join();
+}

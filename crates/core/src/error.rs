@@ -1,0 +1,99 @@
+//! Error types for the core model.
+
+use crate::ids::DimIdx;
+use std::fmt;
+
+/// Errors raised by the core attribute-space model and partitioning logic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A message or subscription has a different number of attributes than
+    /// the space it is used with.
+    DimensionMismatch {
+        /// Number of dimensions the space defines.
+        expected: usize,
+        /// Number of dimensions actually provided.
+        got: usize,
+    },
+    /// A predicate range is empty or inverted (`lo >= hi`).
+    EmptyRange {
+        /// Dimension the bad range was supplied for.
+        dim: DimIdx,
+        /// Lower bound supplied.
+        lo: f64,
+        /// Upper bound supplied.
+        hi: f64,
+    },
+    /// A value lies outside the dimension's domain.
+    OutOfDomain {
+        /// Dimension the value was supplied for.
+        dim: DimIdx,
+        /// The offending value.
+        value: f64,
+    },
+    /// A value is NaN, which has no place in an ordered attribute space.
+    NotANumber {
+        /// Dimension the NaN was supplied for.
+        dim: DimIdx,
+    },
+    /// An operation referenced a matcher unknown to the segment table.
+    UnknownMatcher(u32),
+    /// An attribute space must have at least one dimension.
+    NoDimensions,
+    /// A segment table operation would leave a dimension uncovered.
+    WouldUncover {
+        /// Dimension that would be left with a coverage gap.
+        dim: DimIdx,
+    },
+    /// The segment table cannot remove the last remaining matcher.
+    LastMatcher,
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: space has {expected} dims, got {got}")
+            }
+            CoreError::EmptyRange { dim, lo, hi } => {
+                write!(f, "empty range [{lo}, {hi}) on dimension {dim}")
+            }
+            CoreError::OutOfDomain { dim, value } => {
+                write!(f, "value {value} outside domain of dimension {dim}")
+            }
+            CoreError::NotANumber { dim } => write!(f, "NaN value on dimension {dim}"),
+            CoreError::UnknownMatcher(id) => write!(f, "unknown matcher M{id}"),
+            CoreError::NoDimensions => write!(f, "attribute space needs at least one dimension"),
+            CoreError::WouldUncover { dim } => {
+                write!(f, "operation would leave dimension {dim} uncovered")
+            }
+            CoreError::LastMatcher => write!(f, "cannot remove the last matcher"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+/// Convenience result alias for core operations.
+pub type CoreResult<T> = Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_usefully() {
+        let e = CoreError::DimensionMismatch { expected: 4, got: 3 };
+        assert!(e.to_string().contains("4"));
+        let e = CoreError::EmptyRange { dim: DimIdx(1), lo: 5.0, hi: 5.0 };
+        assert!(e.to_string().contains("d1"));
+        let e = CoreError::OutOfDomain { dim: DimIdx(0), value: -3.0 };
+        assert!(e.to_string().contains("-3"));
+        assert!(CoreError::LastMatcher.to_string().contains("last"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_e: &dyn std::error::Error) {}
+        takes_err(&CoreError::NoDimensions);
+    }
+}

@@ -1,0 +1,137 @@
+//! Small copy-type identifiers used throughout the system.
+//!
+//! All identifiers are plain integer newtypes so they stay cheap to copy,
+//! hash and order; the wire codec in `bluedove-net` serializes them as
+//! fixed-width integers.
+
+use std::fmt;
+
+/// Identifies a matcher (back-end matching server) within a deployment.
+///
+/// Matcher ids are dense small integers assigned by the overlay at join
+/// time; they index directly into per-matcher vectors in the simulator and
+/// the cluster runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MatcherId(pub u32);
+
+impl MatcherId {
+    /// Returns the id as a `usize` for direct vector indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for MatcherId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "M{}", self.0)
+    }
+}
+
+/// Identifies a dispatcher (front-end server) within a deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DispatcherId(pub u32);
+
+impl DispatcherId {
+    /// Returns the id as a `usize` for direct vector indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for DispatcherId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "D{}", self.0)
+    }
+}
+
+/// Identifies a subscription registered with the service.
+///
+/// Unique per deployment; allocated by dispatchers from a shared counter
+/// (cluster) or by the driver (simulator).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SubscriptionId(pub u64);
+
+impl fmt::Display for SubscriptionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+/// Identifies a published message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MessageId(pub u64);
+
+impl fmt::Display for MessageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// Identifies a subscriber endpoint (the client that receives deliveries).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SubscriberId(pub u64);
+
+impl fmt::Display for SubscriberId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C{}", self.0)
+    }
+}
+
+/// Index of a searchable dimension (attribute) within an
+/// [`AttributeSpace`](crate::space::AttributeSpace).
+///
+/// The paper calls these "searchable dimensions"; mPartition maintains one
+/// independent partitioning of the subscription set per dimension, so most
+/// per-matcher state (subscription sets, indexes, queues, load statistics)
+/// is keyed by `(MatcherId, DimIdx)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DimIdx(pub u16);
+
+impl DimIdx {
+    /// Returns the index as a `usize` for direct vector indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for DimIdx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "d{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        let mut set = HashSet::new();
+        set.insert(MatcherId(1));
+        set.insert(MatcherId(2));
+        set.insert(MatcherId(1));
+        assert_eq!(set.len(), 2);
+        assert!(MatcherId(1) < MatcherId(2));
+    }
+
+    #[test]
+    fn display_forms_are_compact() {
+        assert_eq!(MatcherId(7).to_string(), "M7");
+        assert_eq!(DispatcherId(0).to_string(), "D0");
+        assert_eq!(SubscriptionId(42).to_string(), "S42");
+        assert_eq!(MessageId(9).to_string(), "m9");
+        assert_eq!(SubscriberId(3).to_string(), "C3");
+        assert_eq!(DimIdx(2).to_string(), "d2");
+    }
+
+    #[test]
+    fn index_accessors_round_trip() {
+        assert_eq!(MatcherId(11).index(), 11);
+        assert_eq!(DimIdx(3).index(), 3);
+        assert_eq!(DispatcherId(5).index(), 5);
+    }
+}

@@ -1,0 +1,107 @@
+//! Linear scan: the un-indexed baseline.
+//!
+//! Matching examines every stored subscription, which is exactly the cost
+//! model the paper's evaluation reasons about ("each matcher needs to
+//! search through all subscriptions" for full replication, and through
+//! `|Si(Mj)|` for BlueDove). The simulator therefore uses this structure's
+//! examined-count as the canonical matching-cost unit.
+
+use super::{MatchHit, MatchIndex, Slab};
+use crate::ids::{DimIdx, SubscriptionId};
+use crate::message::Message;
+use crate::subscription::{Range, Subscription};
+
+/// Scan-everything index.
+#[derive(Debug)]
+pub struct LinearScanIndex {
+    dim: DimIdx,
+    slab: Slab,
+}
+
+impl LinearScanIndex {
+    /// Creates an empty set for copy dimension `dim`.
+    pub fn new(dim: DimIdx) -> Self {
+        LinearScanIndex { dim, slab: Slab::default() }
+    }
+}
+
+impl MatchIndex for LinearScanIndex {
+    fn dim(&self) -> DimIdx {
+        self.dim
+    }
+
+    fn insert(&mut self, sub: Subscription) {
+        self.slab.insert(sub);
+    }
+
+    fn remove(&mut self, id: SubscriptionId) -> Option<Subscription> {
+        self.slab.remove(id)
+    }
+
+    fn matching(&mut self, msg: &Message, out: &mut Vec<MatchHit>) -> usize {
+        let mut examined = 0;
+        for sub in self.slab.iter() {
+            examined += 1;
+            if sub.matches(msg) {
+                out.push((sub.id, sub.subscriber));
+            }
+        }
+        examined
+    }
+
+    fn len(&self) -> usize {
+        self.slab.len()
+    }
+
+    fn extract_overlapping(&mut self, range: &Range) -> Vec<Subscription> {
+        let ids: Vec<SubscriptionId> = self
+            .slab
+            .iter()
+            .filter(|s| s.predicate(self.dim).overlaps(range))
+            .map(|s| s.id)
+            .collect();
+        ids.into_iter().filter_map(|id| self.slab.remove(id)).collect()
+    }
+
+    fn snapshot(&self) -> Vec<Subscription> {
+        self.slab.iter().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::test_support::{check_index_contract, sub};
+    use crate::space::AttributeSpace;
+
+    #[test]
+    fn satisfies_index_contract() {
+        let space = AttributeSpace::uniform(2, 0.0, 1000.0);
+        check_index_contract(Box::new(LinearScanIndex::new(DimIdx(0))), &space);
+    }
+
+    #[test]
+    fn examined_equals_stored_count() {
+        let space = AttributeSpace::uniform(2, 0.0, 1000.0);
+        let mut idx = LinearScanIndex::new(DimIdx(0));
+        for i in 0..10 {
+            idx.insert(sub(&space, i, &[(0, 0.0, 1.0)]));
+        }
+        let mut out = Vec::new();
+        let examined = idx.matching(&Message::new(vec![500.0, 500.0]), &mut out);
+        assert_eq!(examined, 10);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn duplicate_insert_replaces() {
+        let space = AttributeSpace::uniform(2, 0.0, 1000.0);
+        let mut idx = LinearScanIndex::new(DimIdx(0));
+        idx.insert(sub(&space, 5, &[(0, 0.0, 10.0)]));
+        idx.insert(sub(&space, 5, &[(0, 100.0, 110.0)]));
+        assert_eq!(idx.len(), 1);
+        let mut out = Vec::new();
+        idx.matching(&Message::new(vec![105.0, 0.0]), &mut out);
+        assert_eq!(out.len(), 1);
+    }
+}

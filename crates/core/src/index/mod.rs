@@ -1,0 +1,255 @@
+//! Matching indexes: the per-`(matcher, dimension)` subscription sets.
+//!
+//! A matcher stores the subscriptions received along each dimension in a
+//! *separate* set with its own index (§III-A calls this separation
+//! "critical for high performance"). When a dispatcher forwards a message
+//! marked with dimension `i`, the matcher matches it against the dimension-
+//! `i` set only.
+//!
+//! Three index structures are provided and benchmarked against each other
+//! (`bench_index` in `bluedove-bench`):
+//!
+//! - [`LinearScanIndex`] — no index; scan the whole set. The cost model of
+//!   the paper's evaluation (matching time ∝ subscriptions searched) is
+//!   this structure's behaviour, so the simulator uses its examined-count
+//!   as the canonical service-time driver.
+//! - [`CellIndex`] — the copy dimension's domain is bucketed into uniform
+//!   cells; each cell lists the subscriptions whose predicate overlaps it.
+//!   A point query scans one cell.
+//! - [`IntervalTreeIndex`] — a centered interval tree over the copy
+//!   dimension's predicate ranges; stabbing queries in `O(log n + m)`.
+
+mod cell;
+mod interval_tree;
+mod linear;
+
+pub use cell::CellIndex;
+pub use interval_tree::IntervalTreeIndex;
+pub use linear::LinearScanIndex;
+
+use crate::ids::{DimIdx, SubscriberId, SubscriptionId};
+use crate::message::Message;
+use crate::space::AttributeSpace;
+use crate::subscription::{Range, Subscription};
+
+/// A match result: which subscription matched and whose subscriber to
+/// notify.
+pub type MatchHit = (SubscriptionId, SubscriberId);
+
+/// The interface every per-dimension subscription index implements.
+///
+/// All implementations verify the *full* conjunction of predicates before
+/// reporting a hit; the index structure only prunes along the copy
+/// dimension.
+pub trait MatchIndex: Send {
+    /// The copy dimension this set was populated along.
+    fn dim(&self) -> DimIdx;
+
+    /// Inserts a subscription copy. Duplicate ids replace the previous
+    /// entry (subscriptions are immutable once registered, so this only
+    /// happens on re-registration).
+    fn insert(&mut self, sub: Subscription);
+
+    /// Removes a subscription by id, returning it when present.
+    fn remove(&mut self, id: SubscriptionId) -> Option<Subscription>;
+
+    /// Appends every subscription matching `msg` to `out` and returns the
+    /// number of subscriptions *examined* (the quantity the paper's
+    /// matching-cost argument is about).
+    fn matching(&mut self, msg: &Message, out: &mut Vec<MatchHit>) -> usize;
+
+    /// Number of subscriptions stored — the `|Si(Mj)|` the
+    /// subscription-count forwarding policy keys on.
+    fn len(&self) -> usize;
+
+    /// Whether the set is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Removes and returns every subscription whose predicate along the
+    /// copy dimension overlaps `range` — the handover primitive used when
+    /// segments move between matchers (elastic join/leave).
+    fn extract_overlapping(&mut self, range: &Range) -> Vec<Subscription>;
+
+    /// All stored subscriptions, for tests and state transfer.
+    fn snapshot(&self) -> Vec<Subscription>;
+}
+
+/// Selector for the index structure a matcher builds per dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexKind {
+    /// Scan every subscription (the paper's implicit cost model).
+    Linear,
+    /// Uniform bucketing of the copy dimension with this many cells.
+    Cell(usize),
+    /// Centered interval tree (rebuilt lazily after mutation).
+    IntervalTree,
+}
+
+impl IndexKind {
+    /// Builds an index of this kind for `dim` of `space`.
+    pub fn build(self, space: &AttributeSpace, dim: DimIdx) -> Box<dyn MatchIndex> {
+        match self {
+            IndexKind::Linear => Box::new(LinearScanIndex::new(dim)),
+            IndexKind::Cell(cells) => Box::new(CellIndex::new(space, dim, cells)),
+            IndexKind::IntervalTree => Box::new(IntervalTreeIndex::new(dim)),
+        }
+    }
+}
+
+/// Shared storage used by all index implementations: a slab of
+/// subscriptions with an id → slot map.
+#[derive(Debug, Default)]
+pub(crate) struct Slab {
+    pub(crate) subs: Vec<Option<Subscription>>,
+    pub(crate) by_id: std::collections::HashMap<SubscriptionId, usize>,
+    free: Vec<usize>,
+}
+
+impl Slab {
+    pub(crate) fn insert(&mut self, sub: Subscription) -> (usize, Option<Subscription>) {
+        let prev = self.remove(sub.id);
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.subs[s] = Some(sub.clone());
+                s
+            }
+            None => {
+                self.subs.push(Some(sub.clone()));
+                self.subs.len() - 1
+            }
+        };
+        self.by_id.insert(sub.id, slot);
+        (slot, prev)
+    }
+
+    pub(crate) fn remove(&mut self, id: SubscriptionId) -> Option<Subscription> {
+        let slot = self.by_id.remove(&id)?;
+        let sub = self.subs[slot].take();
+        self.free.push(slot);
+        sub
+    }
+
+    pub(crate) fn get(&self, slot: usize) -> Option<&Subscription> {
+        self.subs.get(slot).and_then(|s| s.as_ref())
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.by_id.len()
+    }
+
+    pub(crate) fn iter(&self) -> impl Iterator<Item = &Subscription> {
+        self.subs.iter().filter_map(|s| s.as_ref())
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::*;
+    use crate::ids::SubscriberId;
+
+    /// Builds a subscription with sequential id over a uniform space.
+    pub fn sub(space: &AttributeSpace, id: u64, ranges: &[(usize, f64, f64)]) -> Subscription {
+        let mut b = Subscription::builder(space).subscriber(SubscriberId(id));
+        for &(d, lo, hi) in ranges {
+            b = b.range(d, lo, hi);
+        }
+        let mut s = b.build().unwrap();
+        s.id = SubscriptionId(id);
+        s
+    }
+
+    /// Exercises the full MatchIndex contract against a reference linear
+    /// implementation; used by each concrete index's tests.
+    pub fn check_index_contract(mut idx: Box<dyn MatchIndex>, space: &AttributeSpace) {
+        let subs: Vec<Subscription> = (0..40)
+            .map(|i| {
+                let lo = (i as f64 * 53.0) % 900.0;
+                sub(
+                    space,
+                    i,
+                    &[(0, lo, lo + 60.0), (1, (i as f64 * 91.0) % 800.0, (i as f64 * 91.0) % 800.0 + 120.0)],
+                )
+            })
+            .collect();
+        for s in &subs {
+            idx.insert(s.clone());
+        }
+        assert_eq!(idx.len(), 40);
+
+        for probe in 0..25 {
+            let msg = Message::new(vec![(probe as f64 * 41.0) % 1000.0, (probe as f64 * 17.0) % 1000.0]);
+            let mut got = Vec::new();
+            let examined = idx.matching(&msg, &mut got);
+            let mut expect: Vec<MatchHit> = subs
+                .iter()
+                .filter(|s| s.matches(&msg))
+                .map(|s| (s.id, s.subscriber))
+                .collect();
+            got.sort_unstable_by_key(|h| h.0);
+            expect.sort_unstable_by_key(|h| h.0);
+            assert_eq!(got, expect, "wrong match set for probe {probe}");
+            assert!(examined >= got.len(), "examined < matched");
+            assert!(examined <= 40, "examined more than stored");
+        }
+
+        // Removal.
+        let removed = idx.remove(SubscriptionId(0)).expect("sub 0 present");
+        assert_eq!(removed.id, SubscriptionId(0));
+        assert!(idx.remove(SubscriptionId(0)).is_none());
+        assert_eq!(idx.len(), 39);
+
+        // Extraction along the copy dimension.
+        let extracted = idx.extract_overlapping(&Range::new(0.0, 300.0));
+        for s in &extracted {
+            assert!(s.predicate(idx.dim()).overlaps(&Range::new(0.0, 300.0)));
+        }
+        let remaining = idx.snapshot();
+        for s in &remaining {
+            assert!(!s.predicate(idx.dim()).overlaps(&Range::new(0.0, 300.0)));
+        }
+        assert_eq!(extracted.len() + remaining.len(), 39);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slab_reuses_slots() {
+        let space = AttributeSpace::uniform(2, 0.0, 1000.0);
+        let mut slab = Slab::default();
+        let s1 = test_support::sub(&space, 1, &[(0, 0.0, 10.0)]);
+        let s2 = test_support::sub(&space, 2, &[(0, 20.0, 30.0)]);
+        let (slot1, prev) = slab.insert(s1);
+        assert!(prev.is_none());
+        slab.remove(SubscriptionId(1)).unwrap();
+        let (slot2, _) = slab.insert(s2);
+        assert_eq!(slot1, slot2, "freed slot should be reused");
+        assert_eq!(slab.len(), 1);
+    }
+
+    #[test]
+    fn slab_insert_replaces_duplicate_id() {
+        let space = AttributeSpace::uniform(2, 0.0, 1000.0);
+        let mut slab = Slab::default();
+        let s1 = test_support::sub(&space, 7, &[(0, 0.0, 10.0)]);
+        let s1b = test_support::sub(&space, 7, &[(0, 50.0, 60.0)]);
+        slab.insert(s1);
+        let (_, prev) = slab.insert(s1b);
+        assert!(prev.is_some());
+        assert_eq!(slab.len(), 1);
+    }
+
+    #[test]
+    fn index_kind_builds_each_structure() {
+        let space = AttributeSpace::uniform(2, 0.0, 1000.0);
+        for kind in [IndexKind::Linear, IndexKind::Cell(64), IndexKind::IntervalTree] {
+            let idx = kind.build(&space, DimIdx(1));
+            assert_eq!(idx.dim(), DimIdx(1));
+            assert!(idx.is_empty());
+        }
+    }
+}

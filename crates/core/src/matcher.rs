@@ -1,0 +1,283 @@
+//! The matcher-side matching engine, shared by the simulator and the
+//! threaded cluster.
+//!
+//! A matcher keeps one subscription set (with its own index) **per
+//! dimension** and matches each incoming message against only the set of
+//! the dimension the dispatcher marked on it (§III-A). It also runs the
+//! per-dimension λ/µ rate estimators that feed the load reports of §III-B.
+//!
+//! Queueing is host-specific (the simulator owns event-driven queues, the
+//! cluster owns channels), so `MatcherCore` deliberately does not queue;
+//! hosts report their queue lengths when asking for a [`DimStats`] report.
+
+use crate::ids::{DimIdx, MatcherId, SubscriptionId};
+use crate::index::{IndexKind, MatchHit, MatchIndex};
+use crate::message::Message;
+use crate::space::AttributeSpace;
+use crate::stats::{DimStats, RateEstimator, Time};
+use crate::subscription::{Range, Subscription};
+
+/// Exponentially weighted mean of per-message matching (service) time.
+///
+/// The load reports ship the matching **capacity** `µ = 1 / mean service
+/// time` — measuring recent throughput instead would make idle matchers
+/// look slow and saturate the adaptive policy's feedback loop the wrong
+/// way around.
+#[derive(Debug, Clone, Default)]
+struct ServiceEwma {
+    mean: f64,
+    samples: u64,
+}
+
+impl ServiceEwma {
+    const ALPHA: f64 = 0.1;
+
+    fn record(&mut self, duration: f64) {
+        if duration <= 0.0 {
+            return;
+        }
+        if self.samples == 0 {
+            self.mean = duration;
+        } else {
+            self.mean = (1.0 - Self::ALPHA) * self.mean + Self::ALPHA * duration;
+        }
+        self.samples += 1;
+    }
+
+    /// Capacity µ in messages/second; 0 until a sample exists.
+    fn mu(&self) -> f64 {
+        if self.samples == 0 || self.mean <= 0.0 {
+            0.0
+        } else {
+            1.0 / self.mean
+        }
+    }
+}
+
+/// Per-dimension subscription storage plus rate accounting for one matcher.
+pub struct MatcherCore {
+    id: MatcherId,
+    space: AttributeSpace,
+    sets: Vec<Box<dyn MatchIndex>>,
+    arrivals: Vec<RateEstimator>,
+    services: Vec<ServiceEwma>,
+}
+
+impl MatcherCore {
+    /// Creates a matcher with one `kind` index per dimension of `space`.
+    pub fn new(id: MatcherId, space: AttributeSpace, kind: IndexKind) -> Self {
+        let sets = (0..space.k())
+            .map(|i| kind.build(&space, DimIdx(i as u16)))
+            .collect();
+        let k = space.k();
+        MatcherCore {
+            id,
+            space,
+            sets,
+            // A short arrival window keeps the reported λ fresh enough for
+            // the adaptive policy's extrapolation to catch redirection
+            // herds within one update interval.
+            arrivals: vec![RateEstimator::new(2.0, 10); k],
+            services: vec![ServiceEwma::default(); k],
+        }
+    }
+
+    /// This matcher's id.
+    #[inline]
+    pub fn id(&self) -> MatcherId {
+        self.id
+    }
+
+    /// The attribute space the matcher serves.
+    #[inline]
+    pub fn space(&self) -> &AttributeSpace {
+        &self.space
+    }
+
+    /// Stores a subscription copy in the dimension-`dim` set.
+    pub fn insert(&mut self, dim: DimIdx, sub: Subscription) {
+        self.sets[dim.index()].insert(sub);
+    }
+
+    /// Removes a subscription copy from the dimension-`dim` set.
+    pub fn remove(&mut self, dim: DimIdx, id: SubscriptionId) -> Option<Subscription> {
+        self.sets[dim.index()].remove(id)
+    }
+
+    /// Removes and returns the dimension-`dim` subscriptions overlapping
+    /// `range` (segment handover on elastic join/leave).
+    pub fn extract_overlapping(&mut self, dim: DimIdx, range: &Range) -> Vec<Subscription> {
+        self.sets[dim.index()].extract_overlapping(range)
+    }
+
+    /// Number of subscriptions in the dimension-`dim` set (`|Si(Mj)|`).
+    pub fn sub_count(&self, dim: DimIdx) -> usize {
+        self.sets[dim.index()].len()
+    }
+
+    /// Total copies stored across all dimensions.
+    pub fn total_subs(&self) -> usize {
+        self.sets.iter().map(|s| s.len()).sum()
+    }
+
+    /// Records that a message for dimension `dim` arrived at `t` (feeds λ).
+    pub fn record_arrival(&mut self, dim: DimIdx, t: Time) {
+        self.arrivals[dim.index()].record(t, 1);
+    }
+
+    /// Matches `msg` against the dimension-`dim` set at time `t`, appending
+    /// hits to `out`; returns the number of subscriptions examined (the
+    /// matching-cost unit). Callers report the matching duration separately
+    /// via [`record_service`](Self::record_service) — the simulator knows
+    /// it from its cost model, the threaded cluster measures it.
+    pub fn match_message(
+        &mut self,
+        dim: DimIdx,
+        msg: &Message,
+        t: Time,
+        out: &mut Vec<MatchHit>,
+    ) -> usize {
+        let _ = t;
+        self.sets[dim.index()].matching(msg, out)
+    }
+
+    /// Records that matching one message on `dim` took `duration` seconds
+    /// (feeds the capacity estimate µ = 1 / mean service time).
+    pub fn record_service(&mut self, dim: DimIdx, duration: Time) {
+        self.services[dim.index()].record(duration);
+    }
+
+    /// Builds the load report for dimension `dim` that a host pushes to
+    /// dispatchers; the host supplies its current queue length.
+    pub fn stats_report(&mut self, dim: DimIdx, queue_len: usize, t: Time) -> DimStats {
+        DimStats {
+            sub_count: self.sets[dim.index()].len(),
+            queue_len,
+            lambda: self.arrivals[dim.index()].rate(t),
+            mu: self.services[dim.index()].mu(),
+            updated_at: t,
+        }
+    }
+
+    /// Snapshot of every stored subscription copy, as `(dim, sub)` pairs.
+    pub fn snapshot(&self) -> Vec<(DimIdx, Subscription)> {
+        self.sets
+            .iter()
+            .enumerate()
+            .flat_map(|(i, set)| {
+                set.snapshot().into_iter().map(move |s| (DimIdx(i as u16), s))
+            })
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for MatcherCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MatcherCore")
+            .field("id", &self.id)
+            .field("k", &self.space.k())
+            .field("total_subs", &self.total_subs())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::SubscriberId;
+
+    fn sub(space: &AttributeSpace, id: u64, ranges: &[(usize, f64, f64)]) -> Subscription {
+        let mut b = Subscription::builder(space).subscriber(SubscriberId(id));
+        for &(d, lo, hi) in ranges {
+            b = b.range(d, lo, hi);
+        }
+        let mut s = b.build().unwrap();
+        s.id = SubscriptionId(id);
+        s
+    }
+
+    #[test]
+    fn per_dimension_sets_are_independent() {
+        let space = AttributeSpace::uniform(2, 0.0, 1000.0);
+        let mut m = MatcherCore::new(MatcherId(0), space.clone(), IndexKind::Linear);
+        let s = sub(&space, 1, &[(0, 0.0, 100.0), (1, 0.0, 100.0)]);
+        m.insert(DimIdx(0), s.clone());
+        assert_eq!(m.sub_count(DimIdx(0)), 1);
+        assert_eq!(m.sub_count(DimIdx(1)), 0);
+
+        // Matching on dim 1 finds nothing; on dim 0 it matches.
+        let msg = Message::new(vec![50.0, 50.0]);
+        let mut out = Vec::new();
+        assert_eq!(m.match_message(DimIdx(1), &msg, 0.0, &mut out), 0);
+        assert!(out.is_empty());
+        m.match_message(DimIdx(0), &msg, 0.0, &mut out);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn stats_report_reflects_counts_and_rates() {
+        let space = AttributeSpace::uniform(2, 0.0, 1000.0);
+        let mut m = MatcherCore::new(MatcherId(3), space.clone(), IndexKind::Linear);
+        for i in 0..5 {
+            m.insert(DimIdx(0), sub(&space, i, &[(0, 0.0, 500.0)]));
+        }
+        let msg = Message::new(vec![100.0, 100.0]);
+        let mut out = Vec::new();
+        for i in 0..50 {
+            let t = i as f64 * 0.1;
+            m.record_arrival(DimIdx(0), t);
+            m.match_message(DimIdx(0), &msg, t, &mut out);
+            m.record_service(DimIdx(0), 0.002);
+        }
+        let r = m.stats_report(DimIdx(0), 7, 5.0);
+        assert_eq!(r.sub_count, 5);
+        assert_eq!(r.queue_len, 7);
+        assert!(r.lambda > 0.0);
+        // µ is capacity: 1 / mean service time = 500/s.
+        assert!((r.mu - 500.0).abs() < 1.0, "mu = {}", r.mu);
+        assert_eq!(r.updated_at, 5.0);
+        // Dim 1 saw no traffic.
+        let r1 = m.stats_report(DimIdx(1), 0, 5.0);
+        assert_eq!(r1.lambda, 0.0);
+        assert_eq!(r1.mu, 0.0);
+    }
+
+    #[test]
+    fn service_ewma_tracks_mean_and_ignores_nonpositive() {
+        let mut e = super::ServiceEwma::default();
+        assert_eq!(e.mu(), 0.0);
+        e.record(0.0); // ignored
+        assert_eq!(e.mu(), 0.0);
+        e.record(0.01);
+        assert!((e.mu() - 100.0).abs() < 1e-9);
+        // Converges toward a new level.
+        for _ in 0..200 {
+            e.record(0.02);
+        }
+        assert!((e.mu() - 50.0).abs() < 2.0, "mu = {}", e.mu());
+    }
+
+    #[test]
+    fn extract_overlapping_moves_subscriptions_out() {
+        let space = AttributeSpace::uniform(2, 0.0, 1000.0);
+        let mut m = MatcherCore::new(MatcherId(0), space.clone(), IndexKind::Cell(16));
+        m.insert(DimIdx(0), sub(&space, 1, &[(0, 0.0, 100.0)]));
+        m.insert(DimIdx(0), sub(&space, 2, &[(0, 800.0, 900.0)]));
+        let moved = m.extract_overlapping(DimIdx(0), &Range::new(500.0, 1000.0));
+        assert_eq!(moved.len(), 1);
+        assert_eq!(moved[0].id, SubscriptionId(2));
+        assert_eq!(m.sub_count(DimIdx(0)), 1);
+    }
+
+    #[test]
+    fn snapshot_tags_dimensions() {
+        let space = AttributeSpace::uniform(2, 0.0, 1000.0);
+        let mut m = MatcherCore::new(MatcherId(0), space.clone(), IndexKind::Linear);
+        m.insert(DimIdx(0), sub(&space, 1, &[(0, 0.0, 100.0)]));
+        m.insert(DimIdx(1), sub(&space, 2, &[(1, 0.0, 100.0)]));
+        let snap = m.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert!(snap.iter().any(|(d, s)| *d == DimIdx(0) && s.id == SubscriptionId(1)));
+        assert!(snap.iter().any(|(d, s)| *d == DimIdx(1) && s.id == SubscriptionId(2)));
+    }
+}

@@ -1,0 +1,97 @@
+//! Publication messages: points in the attribute space (§II-A).
+
+use crate::error::CoreResult;
+use crate::ids::{DimIdx, MessageId};
+use crate::space::AttributeSpace;
+
+/// A publication message: a point `m = (v1, …, vk)` in the attribute space
+/// plus an opaque payload delivered verbatim to matching subscribers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Message {
+    /// Unique message id; `MessageId(0)` until stamped by a dispatcher.
+    pub id: MessageId,
+    /// Attribute values, one per dimension of the space.
+    pub values: Vec<f64>,
+    /// Opaque application payload.
+    pub payload: Vec<u8>,
+}
+
+impl Message {
+    /// Creates a message with the given attribute values and an empty
+    /// payload. The id is stamped later by the dispatcher that admits the
+    /// message into the system.
+    pub fn new(values: Vec<f64>) -> Self {
+        Message { id: MessageId(0), values, payload: Vec::new() }
+    }
+
+    /// Creates a message with attribute values and payload bytes.
+    pub fn with_payload(values: Vec<f64>, payload: Vec<u8>) -> Self {
+        Message { id: MessageId(0), values, payload }
+    }
+
+    /// Returns the value on dimension `dim`.
+    ///
+    /// # Panics
+    /// Panics when `dim` is out of bounds for this message.
+    #[inline]
+    pub fn value(&self, dim: DimIdx) -> f64 {
+        self.values[dim.index()]
+    }
+
+    /// Number of attribute values carried.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Validates the message against a space (dimension count, domains,
+    /// NaN-freedom).
+    pub fn validate(&self, space: &AttributeSpace) -> CoreResult<()> {
+        space.validate_point(&self.values)
+    }
+
+    /// Approximate wire size in bytes, used by the simulator's overhead
+    /// accounting: 8 bytes id + 8 per value + payload.
+    pub fn wire_size(&self) -> usize {
+        8 + 8 * self.values.len() + self.payload.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_message_has_unstamped_id() {
+        let m = Message::new(vec![1.0, 2.0]);
+        assert_eq!(m.id, MessageId(0));
+        assert_eq!(m.k(), 2);
+        assert!(m.payload.is_empty());
+    }
+
+    #[test]
+    fn value_accessor_indexes_by_dimension() {
+        let m = Message::new(vec![10.0, 20.0, 30.0]);
+        assert_eq!(m.value(DimIdx(0)), 10.0);
+        assert_eq!(m.value(DimIdx(2)), 30.0);
+    }
+
+    #[test]
+    fn payload_is_preserved() {
+        let m = Message::with_payload(vec![1.0], b"congestion on I-95".to_vec());
+        assert_eq!(m.payload, b"congestion on I-95");
+    }
+
+    #[test]
+    fn validate_rejects_wrong_arity() {
+        let space = AttributeSpace::uniform(4, 0.0, 1000.0);
+        assert!(Message::new(vec![1.0, 2.0]).validate(&space).is_err());
+        assert!(Message::new(vec![1.0, 2.0, 3.0, 4.0]).validate(&space).is_ok());
+    }
+
+    #[test]
+    fn wire_size_accounts_for_values_and_payload() {
+        let m = Message::with_payload(vec![1.0, 2.0], vec![0u8; 100]);
+        assert_eq!(m.wire_size(), 8 + 16 + 100);
+    }
+}

@@ -1,0 +1,188 @@
+//! Searchable-dimension selection (the paper's §VI future-work item:
+//! "when there are large numbers of attributes, using all these dimensions
+//! in mPartition can incur significant overhead. Since it is likely that
+//! only a small number of attributes are commonly used in subscriptions,
+//! we want to study how to identify these attributes and adjust the
+//! partitioning accordingly").
+//!
+//! Given a subscription sample, each dimension is scored on how much
+//! partitioning along it would help:
+//!
+//! - **constrained fraction** — how many subscriptions actually restrict
+//!   the dimension (a "don't care" predicate spans the whole domain and
+//!   forces the subscription onto *every* matcher along that dimension);
+//! - **selectivity** — one minus the mean predicate width relative to the
+//!   domain (narrow predicates ⇒ few copies per subscription and small
+//!   per-matcher sets);
+//! - **spread** — how evenly predicate centres cover the domain, measured
+//!   as one minus the max-segment share over an `N`-segment split (a
+//!   dimension where *everything* piles into one segment gives the
+//!   forwarding policy no cold spot to escape to).
+//!
+//! The combined score is the product of the three; [`select_dimensions`]
+//! returns the top-`k`. The `experiments` binary's Figure 11(a) shows why
+//! this matters: capacity grows multi-fold with each useful dimension.
+
+use crate::ids::DimIdx;
+use crate::space::AttributeSpace;
+use crate::subscription::Subscription;
+
+/// Per-dimension statistics over a subscription sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DimensionScore {
+    /// Which dimension this describes.
+    pub dim: DimIdx,
+    /// Fraction of subscriptions whose predicate is narrower than the
+    /// full domain.
+    pub constrained_frac: f64,
+    /// Mean predicate width as a fraction of the domain (constrained
+    /// subscriptions only; 1.0 when none are constrained).
+    pub mean_width_frac: f64,
+    /// One minus the largest segment's share of predicate centres over a
+    /// 16-segment split (0 = all centres in one segment, →15/16 = even).
+    pub spread: f64,
+    /// Combined usefulness score, higher is better.
+    pub score: f64,
+}
+
+/// Scores every dimension of `space` over the subscription sample.
+///
+/// Returns one entry per dimension, ordered by descending score (ties
+/// break on the lower dimension index for determinism). An empty sample
+/// yields zero scores for all dimensions.
+pub fn analyze(subs: &[Subscription], space: &AttributeSpace) -> Vec<DimensionScore> {
+    const SEGMENTS: usize = 16;
+    let mut scores = Vec::with_capacity(space.k());
+    for (dim, d) in space.iter() {
+        let domain = d.len();
+        let mut constrained = 0usize;
+        let mut width_sum = 0.0;
+        let mut centre_counts = [0usize; SEGMENTS];
+        for s in subs {
+            let p = s.predicate(dim);
+            let width = p.width();
+            // Treat ≥99.9% of the domain as "don't care".
+            if width < domain * 0.999 {
+                constrained += 1;
+                width_sum += width / domain;
+            }
+            let centre = (p.lo + p.hi) / 2.0;
+            let idx = (((centre - d.min) / domain * SEGMENTS as f64) as usize).min(SEGMENTS - 1);
+            centre_counts[idx] += 1;
+        }
+        let n = subs.len();
+        let constrained_frac = if n == 0 { 0.0 } else { constrained as f64 / n as f64 };
+        let mean_width_frac = if constrained == 0 { 1.0 } else { width_sum / constrained as f64 };
+        let spread = if n == 0 {
+            0.0
+        } else {
+            1.0 - *centre_counts.iter().max().unwrap() as f64 / n as f64
+        };
+        let selectivity = 1.0 - mean_width_frac;
+        let score = constrained_frac * selectivity * spread.max(1e-3);
+        scores.push(DimensionScore { dim, constrained_frac, mean_width_frac, spread, score });
+    }
+    scores.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap().then(a.dim.cmp(&b.dim)));
+    scores
+}
+
+/// Picks the `k` most useful searchable dimensions for mPartition.
+///
+/// Returns fewer than `k` entries only when the space has fewer
+/// dimensions. The result is ordered best-first.
+pub fn select_dimensions(
+    subs: &[Subscription],
+    space: &AttributeSpace,
+    k: usize,
+) -> Vec<DimIdx> {
+    analyze(subs, space)
+        .into_iter()
+        .take(k.min(space.k()))
+        .map(|s| s.dim)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{SubscriberId, SubscriptionId};
+
+    fn space(k: usize) -> AttributeSpace {
+        AttributeSpace::uniform(k, 0.0, 1000.0)
+    }
+
+    fn sub(space: &AttributeSpace, id: u64, ranges: &[(usize, f64, f64)]) -> Subscription {
+        let mut b = Subscription::builder(space).subscriber(SubscriberId(id));
+        for &(d, lo, hi) in ranges {
+            b = b.range(d, lo, hi);
+        }
+        let mut s = b.build().unwrap();
+        s.id = SubscriptionId(id);
+        s
+    }
+
+    #[test]
+    fn constrained_narrow_dimension_outranks_wildcard() {
+        let sp = space(3);
+        // Dim 0: every subscription constrains it narrowly, centres spread.
+        // Dim 1: never constrained (wildcard).
+        // Dim 2: constrained but very wide.
+        let subs: Vec<Subscription> = (0..50)
+            .map(|i| {
+                let lo = (i as f64 * 19.0) % 900.0;
+                sub(&sp, i, &[(0, lo, lo + 50.0), (2, 0.0, 900.0)])
+            })
+            .collect();
+        let picks = select_dimensions(&subs, &sp, 2);
+        assert_eq!(picks[0], DimIdx(0), "narrow constrained dim must win");
+        assert_eq!(picks[1], DimIdx(2), "wide constrained beats wildcard");
+        let scores = analyze(&subs, &sp);
+        let wildcard = scores.iter().find(|s| s.dim == DimIdx(1)).unwrap();
+        assert_eq!(wildcard.constrained_frac, 0.0);
+        assert_eq!(wildcard.score, 0.0);
+    }
+
+    #[test]
+    fn concentrated_centres_score_below_spread_centres() {
+        let sp = space(2);
+        // Both dims constrained identically narrow, but dim 1's centres
+        // all pile into one spot — no cold spots to exploit.
+        let subs: Vec<Subscription> = (0..60)
+            .map(|i| {
+                let lo = (i as f64 * 16.0) % 940.0;
+                sub(&sp, i, &[(0, lo, lo + 30.0), (1, 500.0, 530.0)])
+            })
+            .collect();
+        let scores = analyze(&subs, &sp);
+        assert_eq!(scores[0].dim, DimIdx(0));
+        let d0 = scores.iter().find(|s| s.dim == DimIdx(0)).unwrap();
+        let d1 = scores.iter().find(|s| s.dim == DimIdx(1)).unwrap();
+        assert!(d0.spread > d1.spread);
+        assert!(d0.score > d1.score);
+    }
+
+    #[test]
+    fn empty_sample_is_harmless() {
+        let sp = space(4);
+        let scores = analyze(&[], &sp);
+        assert_eq!(scores.len(), 4);
+        assert!(scores.iter().all(|s| s.score == 0.0));
+        assert_eq!(select_dimensions(&[], &sp, 2).len(), 2);
+    }
+
+    #[test]
+    fn k_is_clamped_to_space() {
+        let sp = space(2);
+        let subs = vec![sub(&sp, 1, &[(0, 0.0, 10.0)])];
+        assert_eq!(select_dimensions(&subs, &sp, 10).len(), 2);
+    }
+
+    #[test]
+    fn scores_are_deterministically_ordered() {
+        let sp = space(3);
+        // All dims unconstrained → all scores 0; ties break by dim index.
+        let subs = vec![sub(&sp, 1, &[])];
+        let picks = select_dimensions(&subs, &sp, 3);
+        assert_eq!(picks, vec![DimIdx(0), DimIdx(1), DimIdx(2)]);
+    }
+}

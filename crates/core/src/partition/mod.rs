@@ -1,0 +1,91 @@
+//! Subscription-space partitioning strategies (§III-A).
+//!
+//! A [`PartitionStrategy`] decides (a) which matchers store a given
+//! subscription, and (b) which matchers are *candidates* for a given
+//! message — matchers guaranteed to hold every subscription the message
+//! could match. BlueDove's own strategy is [`MPartition`]; the comparators
+//! from the paper's evaluation (single-dimension P2P and full replication)
+//! live in the `bluedove-baselines` crate and implement the same trait, so
+//! the simulator and the threaded cluster can run any of the three.
+
+pub mod dim_select;
+mod mpartition;
+mod segments;
+
+pub use dim_select::{analyze, select_dimensions, DimensionScore};
+pub use mpartition::MPartition;
+pub use segments::{Segment, SegmentTable};
+
+use crate::ids::{DimIdx, MatcherId};
+use crate::message::Message;
+use crate::subscription::Subscription;
+
+/// One placement of a subscription (or one candidate for a message): a
+/// matcher plus the dimension along which the placement was made.
+///
+/// Matchers keep a *separate* subscription set and index per dimension
+/// (§III-A says this is "critical for high performance"), so the dimension
+/// travels with every assignment and with every forwarded message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Assignment {
+    /// The matcher the subscription copy lives on / the message goes to.
+    pub matcher: MatcherId,
+    /// The dimension whose per-matcher set is involved.
+    pub dim: DimIdx,
+}
+
+impl Assignment {
+    /// Convenience constructor.
+    #[inline]
+    pub fn new(matcher: MatcherId, dim: DimIdx) -> Self {
+        Assignment { matcher, dim }
+    }
+}
+
+/// A strategy for distributing subscriptions over matchers and locating
+/// candidate matchers for messages.
+///
+/// # Correctness contract
+///
+/// For every message `m` and subscription `S` with `S.matches(m)`, and for
+/// every assignment `c` in `candidates(m)`, the set `assign(S)` must
+/// contain an assignment with `(c.matcher, c.dim)` *whenever `c` is the
+/// candidate chosen along `c.dim`* — i.e. matching `m` against the
+/// `(c.matcher, c.dim)` subscription set alone finds every matching
+/// subscription. This is the single-candidate completeness property proved
+/// in §III-A(1); the property tests in this crate and in
+/// `bluedove-baselines` verify it for all three strategies.
+pub trait PartitionStrategy: Send + Sync {
+    /// Where to store a subscription: `(matcher, dimension)` pairs. A
+    /// subscription may map to the same matcher along several dimensions;
+    /// each pair is a distinct copy in a distinct per-dimension set.
+    fn assign(&self, sub: &Subscription) -> Vec<Assignment>;
+
+    /// The candidate matchers able to fully match `msg`, one (or more) per
+    /// searchable dimension. The dispatcher picks one via a
+    /// [`ForwardingPolicy`](crate::policy::ForwardingPolicy).
+    fn candidates(&self, msg: &Message) -> Vec<Assignment>;
+
+    /// All matchers the strategy currently places load on.
+    fn matchers(&self) -> Vec<MatcherId>;
+
+    /// Short human-readable name used in experiment output.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assignment_equality_and_hash() {
+        use std::collections::HashSet;
+        let a = Assignment::new(MatcherId(1), DimIdx(0));
+        let b = Assignment::new(MatcherId(1), DimIdx(0));
+        let c = Assignment::new(MatcherId(1), DimIdx(1));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let set: HashSet<_> = [a, b, c].into_iter().collect();
+        assert_eq!(set.len(), 2);
+    }
+}

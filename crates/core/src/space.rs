@@ -1,0 +1,239 @@
+//! The multi-dimensional attribute space (§II-A of the paper).
+//!
+//! Given `k` attributes `{L1 … Lk}`, the attribute space is the cartesian
+//! product `V = V1 × … × Vk` of their value domains. A *message* is a point
+//! in `V`; a *subscription* is a hyper-cuboid of half-open ranges, one per
+//! dimension. BlueDove treats every attribute as an ordered numeric domain
+//! `[min, max)` — the paper's evaluation uses four dimensions of length
+//! 1000 each.
+
+use crate::error::{CoreError, CoreResult};
+use crate::ids::DimIdx;
+
+/// One searchable dimension (attribute) of the space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dimension {
+    /// Human-readable attribute name (e.g. `"longitude"`).
+    pub name: String,
+    /// Inclusive lower bound of the value domain.
+    pub min: f64,
+    /// Exclusive upper bound of the value domain.
+    pub max: f64,
+}
+
+impl Dimension {
+    /// Creates a dimension with the given name and domain `[min, max)`.
+    ///
+    /// # Panics
+    /// Panics if `min >= max` or either bound is not finite — dimension
+    /// construction is a configuration-time act where a panic is the right
+    /// failure mode.
+    pub fn new(name: impl Into<String>, min: f64, max: f64) -> Self {
+        assert!(min.is_finite() && max.is_finite(), "dimension bounds must be finite");
+        assert!(min < max, "dimension domain must be non-empty");
+        Dimension { name: name.into(), min, max }
+    }
+
+    /// Length of the value domain.
+    #[inline]
+    pub fn len(&self) -> f64 {
+        self.max - self.min
+    }
+
+    /// Whether `value` lies in the domain `[min, max)`.
+    #[inline]
+    pub fn contains(&self, value: f64) -> bool {
+        value >= self.min && value < self.max
+    }
+
+    /// Clamps `value` into the domain, mapping anything `>= max` to the
+    /// largest representable value below `max`.
+    pub fn clamp(&self, value: f64) -> f64 {
+        if value < self.min {
+            self.min
+        } else if value >= self.max {
+            // Largest f64 strictly below max: nudge down by one ULP.
+            f64::from_bits(self.max.to_bits() - 1)
+        } else {
+            value
+        }
+    }
+}
+
+/// A `k`-dimensional attribute space shared by all messages and
+/// subscriptions of an application.
+///
+/// The space is immutable once created; matchers, dispatchers and workload
+/// generators all hold clones (it is small).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttributeSpace {
+    dims: Vec<Dimension>,
+}
+
+impl AttributeSpace {
+    /// Creates a space from an explicit dimension list.
+    ///
+    /// Returns [`CoreError::NoDimensions`] when `dims` is empty.
+    pub fn new(dims: Vec<Dimension>) -> CoreResult<Self> {
+        if dims.is_empty() {
+            return Err(CoreError::NoDimensions);
+        }
+        Ok(AttributeSpace { dims })
+    }
+
+    /// Creates a space of `k` identical unnamed dimensions `[min, max)` —
+    /// the shape used throughout the paper's evaluation (`k = 4`,
+    /// `[0, 1000)`).
+    ///
+    /// # Panics
+    /// Panics if `k == 0` or the domain is empty.
+    pub fn uniform(k: usize, min: f64, max: f64) -> Self {
+        assert!(k > 0, "attribute space needs at least one dimension");
+        let dims = (0..k)
+            .map(|i| Dimension::new(format!("attr{i}"), min, max))
+            .collect();
+        AttributeSpace { dims }
+    }
+
+    /// The evaluation-default space from §IV-B: four dimensions, each of
+    /// length 1000.
+    pub fn paper_default() -> Self {
+        Self::uniform(4, 0.0, 1000.0)
+    }
+
+    /// Number of dimensions `k`.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// The dimension descriptors.
+    #[inline]
+    pub fn dims(&self) -> &[Dimension] {
+        &self.dims
+    }
+
+    /// The descriptor of dimension `dim`.
+    ///
+    /// # Panics
+    /// Panics when `dim` is out of bounds.
+    #[inline]
+    pub fn dim(&self, dim: DimIdx) -> &Dimension {
+        &self.dims[dim.index()]
+    }
+
+    /// Iterates over `(DimIdx, &Dimension)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (DimIdx, &Dimension)> {
+        self.dims
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (DimIdx(i as u16), d))
+    }
+
+    /// Validates that `values` forms a point inside this space.
+    pub fn validate_point(&self, values: &[f64]) -> CoreResult<()> {
+        if values.len() != self.k() {
+            return Err(CoreError::DimensionMismatch { expected: self.k(), got: values.len() });
+        }
+        for (i, (&v, d)) in values.iter().zip(&self.dims).enumerate() {
+            let dim = DimIdx(i as u16);
+            if v.is_nan() {
+                return Err(CoreError::NotANumber { dim });
+            }
+            if !d.contains(v) {
+                return Err(CoreError::OutOfDomain { dim, value: v });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_space_has_identical_dims() {
+        let s = AttributeSpace::uniform(4, 0.0, 1000.0);
+        assert_eq!(s.k(), 4);
+        for (_, d) in s.iter() {
+            assert_eq!(d.min, 0.0);
+            assert_eq!(d.max, 1000.0);
+            assert_eq!(d.len(), 1000.0);
+        }
+    }
+
+    #[test]
+    fn paper_default_matches_section_4b() {
+        let s = AttributeSpace::paper_default();
+        assert_eq!(s.k(), 4);
+        assert_eq!(s.dim(DimIdx(0)).len(), 1000.0);
+    }
+
+    #[test]
+    fn empty_space_rejected() {
+        assert_eq!(AttributeSpace::new(vec![]), Err(CoreError::NoDimensions));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_k_uniform_panics() {
+        let _ = AttributeSpace::uniform(0, 0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn inverted_dimension_panics() {
+        let _ = Dimension::new("bad", 5.0, 5.0);
+    }
+
+    #[test]
+    fn domain_is_half_open() {
+        let d = Dimension::new("x", 0.0, 10.0);
+        assert!(d.contains(0.0));
+        assert!(d.contains(9.999));
+        assert!(!d.contains(10.0));
+        assert!(!d.contains(-0.001));
+    }
+
+    #[test]
+    fn clamp_respects_half_open_upper_bound() {
+        let d = Dimension::new("x", 0.0, 10.0);
+        assert_eq!(d.clamp(-5.0), 0.0);
+        assert_eq!(d.clamp(5.0), 5.0);
+        let clamped = d.clamp(10.0);
+        assert!(clamped < 10.0 && clamped > 9.999999);
+        assert!(d.contains(clamped));
+    }
+
+    #[test]
+    fn validate_point_checks_everything() {
+        let s = AttributeSpace::uniform(2, 0.0, 100.0);
+        assert!(s.validate_point(&[1.0, 2.0]).is_ok());
+        assert!(matches!(
+            s.validate_point(&[1.0]),
+            Err(CoreError::DimensionMismatch { expected: 2, got: 1 })
+        ));
+        assert!(matches!(
+            s.validate_point(&[1.0, 100.0]),
+            Err(CoreError::OutOfDomain { .. })
+        ));
+        assert!(matches!(
+            s.validate_point(&[f64::NAN, 1.0]),
+            Err(CoreError::NotANumber { .. })
+        ));
+    }
+
+    #[test]
+    fn named_dimensions_for_traffic_scenario() {
+        let s = AttributeSpace::new(vec![
+            Dimension::new("longitude", -180.0, 180.0),
+            Dimension::new("latitude", -90.0, 90.0),
+            Dimension::new("speed", 0.0, 120.0),
+            Dimension::new("timestamp", 0.0, 86400.0),
+        ])
+        .unwrap();
+        assert_eq!(s.dim(DimIdx(2)).name, "speed");
+        assert!(s.validate_point(&[-41.5, 72.0, 20.0, 3600.0]).is_ok());
+    }
+}

@@ -1,0 +1,310 @@
+//! Matcher load statistics and the dispatcher's view of them (§III-B).
+//!
+//! Every matcher monitors, **per dimension**, its message queue length `q`,
+//! average arrival rate `λ` and matching rate `µ` over the past `w`
+//! seconds, and periodically pushes `(q, λ, µ)` to all dispatchers.
+//! Dispatchers keep the latest report per `(matcher, dimension)` in a
+//! [`StatsView`] that the forwarding policies consult.
+
+use crate::ids::{DimIdx, MatcherId};
+use std::collections::HashMap;
+
+/// Simulation / wall-clock time in seconds. The simulator drives this
+/// directly; the threaded cluster maps `Instant`s onto it.
+pub type Time = f64;
+
+/// A bucketed sliding-window event counter estimating an event rate over
+/// the past `window` seconds.
+///
+/// Cheap (`O(1)` record, `O(buckets)` rate) and allocation-free after
+/// construction, suitable for per-message bookkeeping on the matcher hot
+/// path.
+#[derive(Debug, Clone)]
+pub struct RateEstimator {
+    window: Time,
+    bucket_width: Time,
+    /// Event counts per bucket, ring-indexed by absolute bucket number.
+    counts: Vec<u64>,
+    /// Absolute index of the bucket `cursor` currently maps to.
+    current_bucket: i64,
+}
+
+impl RateEstimator {
+    /// Creates an estimator over `window` seconds with `buckets`
+    /// subdivisions.
+    ///
+    /// # Panics
+    /// Panics when `window <= 0` or `buckets == 0`.
+    pub fn new(window: Time, buckets: usize) -> Self {
+        assert!(window > 0.0 && buckets > 0);
+        RateEstimator {
+            window,
+            bucket_width: window / buckets as f64,
+            counts: vec![0; buckets],
+            current_bucket: 0,
+        }
+    }
+
+    /// The paper's default: a `w = 10 s` window with 1-second buckets.
+    pub fn paper_default() -> Self {
+        Self::new(10.0, 10)
+    }
+
+    #[inline]
+    fn bucket_of(&self, t: Time) -> i64 {
+        (t / self.bucket_width).floor() as i64
+    }
+
+    fn advance(&mut self, t: Time) {
+        let b = self.bucket_of(t);
+        if b <= self.current_bucket {
+            return;
+        }
+        let n = self.counts.len() as i64;
+        if b - self.current_bucket >= n {
+            self.counts.iter_mut().for_each(|c| *c = 0);
+        } else {
+            for stale in (self.current_bucket + 1)..=b {
+                let idx = (stale.rem_euclid(n)) as usize;
+                self.counts[idx] = 0;
+            }
+        }
+        self.current_bucket = b;
+    }
+
+    /// Records `n` events at time `t`. Times must be non-decreasing;
+    /// out-of-order events land in the current bucket.
+    pub fn record(&mut self, t: Time, n: u64) {
+        self.advance(t);
+        let idx = (self.current_bucket.rem_euclid(self.counts.len() as i64)) as usize;
+        self.counts[idx] += n;
+    }
+
+    /// Events per second over the window ending at `t`.
+    pub fn rate(&mut self, t: Time) -> f64 {
+        self.advance(t);
+        let total: u64 = self.counts.iter().sum();
+        total as f64 / self.window
+    }
+}
+
+/// One matcher's per-dimension load report, as shipped to dispatchers.
+///
+/// The paper sizes this report at 64 bytes on the wire; `wire_size` returns
+/// that constant so the overhead experiment reproduces §IV-C's arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DimStats {
+    /// Subscriptions stored in this `(matcher, dim)` set — `|Si(Mj)|`.
+    pub sub_count: usize,
+    /// Messages queued for this dimension at `updated_at`.
+    pub queue_len: usize,
+    /// Average message arrival rate (msgs/s) over the report window.
+    pub lambda: f64,
+    /// Average matching (service) rate (msgs/s) over the report window.
+    pub mu: f64,
+    /// When the matcher took this snapshot.
+    pub updated_at: Time,
+}
+
+impl DimStats {
+    /// A zeroed report at time 0 — the state dispatchers assume for
+    /// matchers they have not heard from yet.
+    pub fn empty() -> Self {
+        DimStats { sub_count: 0, queue_len: 0, lambda: 0.0, mu: 0.0, updated_at: 0.0 }
+    }
+
+    /// Wire size of one load report (the paper's 64-byte constant).
+    pub const WIRE_SIZE: usize = 64;
+
+    /// Extrapolated queue length at time `now`, assuming arrival and
+    /// matching rates stayed constant since `updated_at`:
+    /// `q(t) = q0 + (λ − µ)(t − t0)`, clamped at zero.
+    pub fn extrapolated_queue(&self, now: Time) -> f64 {
+        let dt = (now - self.updated_at).max(0.0);
+        (self.queue_len as f64 + (self.lambda - self.mu) * dt).max(0.0)
+    }
+
+    /// Estimated total processing time of the *next* message given queue
+    /// length `q`: `(q + 1)/µ` (queueing plus one matching time), where µ
+    /// is the matching **capacity** (1 / mean matching time), not the
+    /// recent throughput — an idle matcher must not look slow.
+    ///
+    /// A matcher that has not matched anything yet reports `µ = 0`; until
+    /// real rates arrive we rank by the static proxy the paper's
+    /// subscription-count policy uses, `(q + 1) × (sub_count + 1)`, scaled
+    /// into the same (tiny) range so candidates with measured rates win
+    /// comparisons only through their actual estimates.
+    pub fn processing_time(&self, q: f64) -> f64 {
+        if self.mu <= 0.0 {
+            return (q + 1.0) * (self.sub_count as f64 + 1.0) * 1e-9;
+        }
+        (q + 1.0) / self.mu
+    }
+}
+
+/// The dispatcher-side view: latest [`DimStats`] per `(matcher, dim)`,
+/// plus the dispatcher's *local reservations* — messages it forwarded to a
+/// candidate since that candidate's last report. Reservations are the
+/// dispatcher-side half of the §III-B-2 estimation: the `λ` term covers
+/// what the rest of the world sends between updates, the reservation
+/// covers what *this dispatcher* just sent (which `λ` cannot know yet).
+/// Reported queue lengths supersede reservations on every update.
+#[derive(Debug, Clone, Default)]
+pub struct StatsView {
+    map: HashMap<(MatcherId, DimIdx), DimStats>,
+    pending: HashMap<(MatcherId, DimIdx), u32>,
+}
+
+impl StatsView {
+    /// Creates an empty view.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs/overwrites the report for `(matcher, dim)`, clearing the
+    /// local reservations it supersedes.
+    pub fn update(&mut self, matcher: MatcherId, dim: DimIdx, stats: DimStats) {
+        self.map.insert((matcher, dim), stats);
+        self.pending.remove(&(matcher, dim));
+    }
+
+    /// The latest report, or [`DimStats::empty`] when none received yet,
+    /// with this dispatcher's local reservations folded into the queue.
+    pub fn get(&self, matcher: MatcherId, dim: DimIdx) -> DimStats {
+        let mut s = self.map.get(&(matcher, dim)).copied().unwrap_or_else(DimStats::empty);
+        if let Some(&p) = self.pending.get(&(matcher, dim)) {
+            s.queue_len += p as usize;
+        }
+        s
+    }
+
+    /// Records that this dispatcher just forwarded one message to
+    /// `(matcher, dim)` (called when the active policy estimates between
+    /// updates — see [`ForwardingPolicy::uses_estimation`](crate::policy::ForwardingPolicy::uses_estimation)).
+    pub fn reserve(&mut self, matcher: MatcherId, dim: DimIdx) {
+        *self.pending.entry((matcher, dim)).or_insert(0) += 1;
+    }
+
+    /// Removes every report from `matcher` (on failure/leave).
+    pub fn forget_matcher(&mut self, matcher: MatcherId) {
+        self.map.retain(|(m, _), _| *m != matcher);
+        self.pending.retain(|(m, _), _| *m != matcher);
+    }
+
+    /// Number of reports held.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no reports are held.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_estimator_measures_constant_rate() {
+        let mut est = RateEstimator::new(10.0, 10);
+        // 100 events/s for 10 s.
+        for i in 0..1000 {
+            est.record(i as f64 * 0.01, 1);
+        }
+        let r = est.rate(9.99);
+        assert!((r - 100.0).abs() < 15.0, "rate {r} should be ~100");
+    }
+
+    #[test]
+    fn rate_estimator_forgets_old_events() {
+        let mut est = RateEstimator::new(10.0, 10);
+        est.record(0.5, 1000);
+        assert!(est.rate(1.0) > 0.0);
+        // 20 seconds later everything has expired.
+        assert_eq!(est.rate(21.0), 0.0);
+    }
+
+    #[test]
+    fn rate_estimator_partial_expiry() {
+        let mut est = RateEstimator::new(10.0, 10);
+        est.record(0.5, 100); // bucket 0
+        est.record(5.5, 100); // bucket 5
+        // At t=10.5, bucket 0 (0..1s) has rolled out of the 10s window.
+        let r = est.rate(10.5);
+        assert!((r - 10.0).abs() < 1e-9, "only the t=5.5 batch remains, r={r}");
+    }
+
+    #[test]
+    fn extrapolation_grows_when_overloaded() {
+        let s = DimStats { sub_count: 10, queue_len: 5, lambda: 100.0, mu: 60.0, updated_at: 0.0 };
+        assert_eq!(s.extrapolated_queue(0.0), 5.0);
+        assert_eq!(s.extrapolated_queue(1.0), 45.0);
+        // Draining matcher clamps at zero.
+        let d = DimStats { lambda: 10.0, mu: 100.0, ..s };
+        assert_eq!(d.extrapolated_queue(1.0), 0.0);
+    }
+
+    #[test]
+    fn extrapolation_ignores_clock_skew_backwards() {
+        let s = DimStats { sub_count: 0, queue_len: 5, lambda: 0.0, mu: 10.0, updated_at: 10.0 };
+        // now < updated_at: dt clamps to 0, queue stays as reported.
+        assert_eq!(s.extrapolated_queue(9.0), 5.0);
+    }
+
+    #[test]
+    fn processing_time_is_queue_plus_one_over_mu() {
+        let s = DimStats { sub_count: 0, queue_len: 0, lambda: 0.0, mu: 50.0, updated_at: 0.0 };
+        assert!((s.processing_time(9.0) - 0.2).abs() < 1e-12);
+        // Unknown-rate matcher is preferred over a loaded one.
+        let unknown = DimStats::empty();
+        assert!(unknown.processing_time(0.0) < s.processing_time(9.0));
+    }
+
+    #[test]
+    fn unknown_rate_candidates_rank_by_subs_then_queue() {
+        // Before any µ measurement the policy falls back to the static
+        // subscription-count proxy (cold spots win), refined by backlog.
+        let small = DimStats { sub_count: 10, ..DimStats::empty() };
+        let big = DimStats { sub_count: 1000, ..DimStats::empty() };
+        assert!(small.processing_time(0.0) < big.processing_time(0.0));
+        // Same sub_count: shorter queue wins.
+        assert!(small.processing_time(1.0) < small.processing_time(5.0));
+    }
+
+    #[test]
+    fn reservations_add_to_queue_until_next_report() {
+        let mut v = StatsView::new();
+        let base = DimStats { sub_count: 1, queue_len: 10, lambda: 0.0, mu: 100.0, updated_at: 0.0 };
+        v.update(MatcherId(0), DimIdx(0), base);
+        v.reserve(MatcherId(0), DimIdx(0));
+        v.reserve(MatcherId(0), DimIdx(0));
+        assert_eq!(v.get(MatcherId(0), DimIdx(0)).queue_len, 12);
+        // Other entries unaffected.
+        assert_eq!(v.get(MatcherId(0), DimIdx(1)).queue_len, 0);
+        // A fresh report supersedes local reservations.
+        v.update(MatcherId(0), DimIdx(0), DimStats { queue_len: 3, ..base });
+        assert_eq!(v.get(MatcherId(0), DimIdx(0)).queue_len, 3);
+    }
+
+    #[test]
+    fn stats_view_defaults_and_forgets() {
+        let mut v = StatsView::new();
+        assert_eq!(v.get(MatcherId(1), DimIdx(0)), DimStats::empty());
+        v.update(
+            MatcherId(1),
+            DimIdx(0),
+            DimStats { sub_count: 3, queue_len: 1, lambda: 1.0, mu: 2.0, updated_at: 5.0 },
+        );
+        v.update(
+            MatcherId(1),
+            DimIdx(1),
+            DimStats { sub_count: 9, queue_len: 0, lambda: 0.0, mu: 1.0, updated_at: 5.0 },
+        );
+        assert_eq!(v.get(MatcherId(1), DimIdx(0)).sub_count, 3);
+        assert_eq!(v.len(), 2);
+        v.forget_matcher(MatcherId(1));
+        assert!(v.is_empty());
+    }
+}

@@ -1,0 +1,183 @@
+//! Property-based tests for the core invariants:
+//!
+//! 1. **Single-candidate completeness** — for any subscriptions and any
+//!    message, matching via any one candidate's `(matcher, dim)` set finds
+//!    exactly the globally matching subscriptions (§III-A-1).
+//! 2. **Index equivalence** — every index structure returns the same match
+//!    set as the linear scan reference.
+//! 3. **Segment-table coverage** — after arbitrary join/leave sequences,
+//!    every dimension stays contiguous, hole-free and fully covering.
+
+use bluedove_core::index::{CellIndex, IntervalTreeIndex, LinearScanIndex, MatchIndex};
+use bluedove_core::{
+    Assignment, AttributeSpace, DimIdx, MPartition, MatcherId, Message, PartitionStrategy,
+    SegmentTable, SubscriberId, Subscription, SubscriptionId,
+};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+const DOMAIN: f64 = 1000.0;
+
+fn arb_range() -> impl Strategy<Value = (f64, f64)> {
+    (0.0..DOMAIN - 1.0, 1.0..400.0).prop_map(|(lo, w): (f64, f64)| (lo, (lo + w).min(DOMAIN)))
+}
+
+fn arb_sub(k: usize) -> impl Strategy<Value = Vec<(f64, f64)>> {
+    proptest::collection::vec(arb_range(), k)
+}
+
+fn make_sub(space: &AttributeSpace, id: u64, ranges: &[(f64, f64)]) -> Subscription {
+    let mut b = Subscription::builder(space).subscriber(SubscriberId(id));
+    for (d, &(lo, hi)) in ranges.iter().enumerate() {
+        b = b.range(d, lo, hi);
+    }
+    let mut s = b.build().unwrap();
+    s.id = SubscriptionId(id);
+    s
+}
+
+fn arb_point(k: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.0..DOMAIN, k)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn single_candidate_completeness(
+        subs in proptest::collection::vec(arb_sub(3), 1..60),
+        point in arb_point(3),
+        n in 2u32..12,
+    ) {
+        let space = AttributeSpace::uniform(3, 0.0, DOMAIN);
+        let ids: Vec<MatcherId> = (0..n).map(MatcherId).collect();
+        let part = MPartition::new(SegmentTable::uniform(space.clone(), &ids));
+
+        let subs: Vec<Subscription> = subs
+            .iter()
+            .enumerate()
+            .map(|(i, r)| make_sub(&space, i as u64 + 1, r))
+            .collect();
+
+        // Simulated per-(matcher, dim) storage.
+        let mut store: HashMap<(MatcherId, DimIdx), Vec<usize>> = HashMap::new();
+        for (i, s) in subs.iter().enumerate() {
+            for Assignment { matcher, dim } in part.assign(s) {
+                store.entry((matcher, dim)).or_default().push(i);
+            }
+        }
+
+        let msg = Message::new(point);
+        let mut truth: Vec<u64> = subs
+            .iter()
+            .filter(|s| s.matches(&msg))
+            .map(|s| s.id.0)
+            .collect();
+        truth.sort_unstable();
+
+        for cand in part.candidates(&msg) {
+            let mut found: Vec<u64> = store
+                .get(&(cand.matcher, cand.dim))
+                .map(|v| {
+                    v.iter()
+                        .filter(|&&i| subs[i].matches(&msg))
+                        .map(|&i| subs[i].id.0)
+                        .collect()
+                })
+                .unwrap_or_default();
+            found.sort_unstable();
+            prop_assert_eq!(&found, &truth, "candidate {:?} incomplete", cand);
+        }
+    }
+
+    #[test]
+    fn indexes_agree_with_linear_reference(
+        subs in proptest::collection::vec(arb_sub(2), 0..80),
+        points in proptest::collection::vec(arb_point(2), 1..20),
+        dim in 0usize..2,
+        cells in 1usize..64,
+    ) {
+        let space = AttributeSpace::uniform(2, 0.0, DOMAIN);
+        let dim = DimIdx(dim as u16);
+        let mut linear = LinearScanIndex::new(dim);
+        let mut cell = CellIndex::new(&space, dim, cells);
+        let mut tree = IntervalTreeIndex::new(dim);
+        for (i, r) in subs.iter().enumerate() {
+            let s = make_sub(&space, i as u64 + 1, r);
+            linear.insert(s.clone());
+            cell.insert(s.clone());
+            tree.insert(s);
+        }
+        for p in points {
+            let msg = Message::new(p);
+            let collect = |idx: &mut dyn MatchIndex| {
+                let mut out = Vec::new();
+                idx.matching(&msg, &mut out);
+                let mut ids: Vec<u64> = out.into_iter().map(|h| h.0 .0).collect();
+                ids.sort_unstable();
+                ids
+            };
+            let reference = collect(&mut linear);
+            prop_assert_eq!(collect(&mut cell), reference.clone(), "cell index diverged");
+            prop_assert_eq!(collect(&mut tree), reference, "interval tree diverged");
+        }
+    }
+
+    #[test]
+    fn segment_table_survives_join_leave_sequences(
+        ops in proptest::collection::vec(any::<bool>(), 1..30),
+        n0 in 1u32..6,
+        probes in proptest::collection::vec(0.0..DOMAIN, 5),
+    ) {
+        let space = AttributeSpace::uniform(3, 0.0, DOMAIN);
+        let ids: Vec<MatcherId> = (0..n0).map(MatcherId).collect();
+        let mut table = SegmentTable::uniform(space, &ids);
+        let mut next = n0;
+
+        for join in ops {
+            if join {
+                table.split_join(MatcherId(next), |m, _| m.0 as f64);
+                next += 1;
+            } else {
+                let ms = table.matchers();
+                if ms.len() > 1 {
+                    // Remove a pseudo-random live matcher.
+                    let victim = ms[(next as usize * 7) % ms.len()];
+                    table.remove_matcher(victim).unwrap();
+                }
+            }
+            // Coverage invariant: every probe has exactly one owner per dim
+            // (owner_of's debug_assert catches holes), and segments are
+            // contiguous.
+            for di in 0..3 {
+                let dim = DimIdx(di);
+                for &p in &probes {
+                    let _ = table.owner_of(dim, p);
+                }
+                let segs = table.segments(dim);
+                for w in segs.windows(2) {
+                    prop_assert_eq!(w[0].range.hi, w[1].range.lo);
+                    prop_assert!(w[0].owner != w[1].owner, "uncoalesced neighbours");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn assignment_covers_each_dimension(
+        ranges in arb_sub(4),
+        n in 1u32..15,
+    ) {
+        let space = AttributeSpace::uniform(4, 0.0, DOMAIN);
+        let ids: Vec<MatcherId> = (0..n).map(MatcherId).collect();
+        let part = MPartition::new(SegmentTable::uniform(space.clone(), &ids));
+        let s = make_sub(&space, 1, &ranges);
+        let a = part.assign(&s);
+        for di in 0..4u16 {
+            prop_assert!(a.iter().any(|x| x.dim == DimIdx(di)), "dim {} uncovered", di);
+        }
+        // Candidates are one per dimension, always.
+        let msg = Message::new(vec![1.0, 2.0, 3.0, 4.0]);
+        prop_assert_eq!(part.candidates(&msg).len(), 4);
+    }
+}

@@ -1,0 +1,22 @@
+#![warn(missing_docs)]
+
+//! # bluedove-net
+//!
+//! Wire codec, framing and transports for the threaded BlueDove cluster:
+//!
+//! - [`wire`] — a compact hand-rolled binary codec ([`Wire`]) for every
+//!   type that crosses the network (the offline crate set ships `serde`
+//!   but no serializer back-end, so the codec is local);
+//! - [`frame`] — `u32`-length-prefixed framing over byte streams;
+//! - [`transport`] — a [`Transport`] trait with in-process
+//!   ([`ChannelTransport`]) and TCP ([`TcpTransport`]) implementations.
+
+pub mod error;
+pub mod frame;
+pub mod transport;
+pub mod wire;
+
+pub use error::{NetError, NetResult};
+pub use frame::{read_frame, write_frame, MAX_FRAME};
+pub use transport::{ChannelTransport, TcpTransport, Transport};
+pub use wire::{from_bytes, to_bytes, Wire};

@@ -1,0 +1,429 @@
+//! Anti-entropy push-pull gossip (§III-C).
+//!
+//! Every gossip interval each node bumps its own heartbeat and exchanges
+//! state with `ceil(log2 N)` random live peers using the classic
+//! three-message anti-entropy handshake (the Cassandra/Scuttlebutt shape):
+//!
+//! 1. **Syn** — initiator sends per-node freshness digests;
+//! 2. **Ack** — responder returns the deltas it has fresher, and requests
+//!    the nodes the initiator has fresher;
+//! 3. **Ack2** — initiator ships the requested deltas.
+//!
+//! Merging keeps, per node, the state with the larger
+//! `(generation, version)`; the protocol converges in `O(log N)` rounds,
+//! which the `convergence` integration test asserts.
+
+use crate::state::{EndpointState, Liveness, NodeId, PeerRecord};
+use bluedove_core::Time;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Freshness digest for one node: "I know `node`'s state up to
+/// `(generation, version)`".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Digest {
+    /// The node the digest describes.
+    pub node: NodeId,
+    /// Known generation.
+    pub generation: u64,
+    /// Known heartbeat version within that generation.
+    pub version: u64,
+}
+
+/// Gossip round-trip messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GossipMsg {
+    /// Initiator → responder: freshness digests for every known node.
+    Syn {
+        /// One digest per known node.
+        digests: Vec<Digest>,
+    },
+    /// Responder → initiator: fresher deltas plus requests.
+    Ack {
+        /// States the responder knows fresher than the digests claimed.
+        deltas: Vec<EndpointState>,
+        /// Nodes the initiator appears to know fresher (or that the
+        /// responder has never heard of).
+        requests: Vec<NodeId>,
+    },
+    /// Initiator → responder: the requested deltas.
+    Ack2 {
+        /// Requested fresher states.
+        deltas: Vec<EndpointState>,
+    },
+}
+
+impl GossipMsg {
+    /// Approximate wire size in bytes, for the §IV-C overhead experiment.
+    pub fn wire_size(&self) -> usize {
+        match self {
+            GossipMsg::Syn { digests } => 4 + digests.len() * 24,
+            GossipMsg::Ack { deltas, requests } => {
+                8 + deltas.iter().map(|d| d.wire_size()).sum::<usize>() + requests.len() * 8
+            }
+            GossipMsg::Ack2 { deltas } => {
+                4 + deltas.iter().map(|d| d.wire_size()).sum::<usize>()
+            }
+        }
+    }
+}
+
+/// One node's gossip endpoint: its own state plus everything it has heard.
+#[derive(Debug, Clone)]
+pub struct GossipNode {
+    /// This node's own authoritative state.
+    own: EndpointState,
+    /// Peers, keyed by node id (never contains `own.node`).
+    peers: HashMap<NodeId, PeerRecord>,
+    /// Cumulative bytes sent, for overhead accounting.
+    pub bytes_sent: u64,
+    /// Cumulative bytes received.
+    pub bytes_received: u64,
+}
+
+impl GossipNode {
+    /// Boots a gossip endpoint with this node's own state.
+    pub fn new(own: EndpointState) -> Self {
+        GossipNode { own, peers: HashMap::new(), bytes_sent: 0, bytes_received: 0 }
+    }
+
+    /// This node's id.
+    #[inline]
+    pub fn id(&self) -> NodeId {
+        self.own.node
+    }
+
+    /// This node's own state (mutate via the provided helpers so versions
+    /// stay monotone).
+    #[inline]
+    pub fn own(&self) -> &EndpointState {
+        &self.own
+    }
+
+    /// Bumps the local heartbeat (call once per gossip interval).
+    pub fn heartbeat(&mut self) {
+        self.own.version += 1;
+    }
+
+    /// Announces a new segment-table version (bumps heartbeat too so the
+    /// change propagates immediately).
+    pub fn set_segments_version(&mut self, v: u64) {
+        self.own.segments_version = v;
+        self.own.version += 1;
+    }
+
+    /// Marks this node as leaving (orderly departure).
+    pub fn announce_leaving(&mut self) {
+        self.own.leaving = true;
+        self.own.version += 1;
+    }
+
+    /// Seeds knowledge of another node (bootstrap contact points).
+    pub fn learn(&mut self, state: EndpointState, now: Time) {
+        self.merge_one(state, now);
+    }
+
+    /// Everything this node currently knows, own state included.
+    pub fn known(&self) -> impl Iterator<Item = &EndpointState> {
+        std::iter::once(&self.own).chain(self.peers.values().map(|p| &p.state))
+    }
+
+    /// The peer records (for the failure detector and membership views).
+    pub fn peers(&self) -> &HashMap<NodeId, PeerRecord> {
+        &self.peers
+    }
+
+    /// Mutable peer records (failure detector updates liveness verdicts).
+    pub fn peers_mut(&mut self) -> &mut HashMap<NodeId, PeerRecord> {
+        &mut self.peers
+    }
+
+    /// Drops a peer entirely (administrative removal after death).
+    pub fn evict(&mut self, node: NodeId) {
+        self.peers.remove(&node);
+    }
+
+    /// Live peers eligible as gossip targets.
+    pub fn live_peers(&self) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self
+            .peers
+            .iter()
+            .filter(|(_, r)| r.liveness == Liveness::Alive)
+            .map(|(&id, _)| id)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Picks `ceil(log2(N))` random live peers (N = live cluster size
+    /// including self), the paper's fan-out.
+    pub fn pick_targets<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<NodeId> {
+        let live = self.live_peers();
+        if live.is_empty() {
+            return Vec::new();
+        }
+        let n = live.len() + 1;
+        let fanout = (n as f64).log2().ceil().max(1.0) as usize;
+        let mut pool = live;
+        let mut targets = Vec::with_capacity(fanout.min(pool.len()));
+        for _ in 0..fanout.min(pool.len()) {
+            let i = rng.gen_range(0..pool.len());
+            targets.push(pool.swap_remove(i));
+        }
+        targets
+    }
+
+    /// Builds the Syn for a gossip exchange, counting its bytes as sent.
+    pub fn make_syn(&mut self) -> GossipMsg {
+        let digests = self
+            .known()
+            .map(|s| Digest { node: s.node, generation: s.generation, version: s.version })
+            .collect();
+        let msg = GossipMsg::Syn { digests };
+        self.bytes_sent += msg.wire_size() as u64;
+        msg
+    }
+
+    /// Responder side: consumes a Syn, produces the Ack.
+    pub fn handle_syn(&mut self, syn: &GossipMsg, _now: Time) -> GossipMsg {
+        let GossipMsg::Syn { digests } = syn else {
+            panic!("handle_syn expects Syn");
+        };
+        self.bytes_received += syn.wire_size() as u64;
+        let mut deltas = Vec::new();
+        let mut requests = Vec::new();
+        let mut seen: Vec<NodeId> = Vec::with_capacity(digests.len());
+        for d in digests {
+            seen.push(d.node);
+            match self.lookup(d.node) {
+                Some(mine) => {
+                    let mine_key = mine.freshness();
+                    let theirs = (d.generation, d.version);
+                    if mine_key > theirs {
+                        deltas.push(mine.clone());
+                    } else if mine_key < theirs {
+                        requests.push(d.node);
+                    }
+                }
+                None => requests.push(d.node),
+            }
+        }
+        // Nodes the initiator has never heard of.
+        for s in self.known() {
+            if !seen.contains(&s.node) {
+                deltas.push(s.clone());
+            }
+        }
+        let ack = GossipMsg::Ack { deltas, requests };
+        self.bytes_sent += ack.wire_size() as u64;
+        ack
+    }
+
+    /// Initiator side: consumes the Ack, merges deltas, produces the Ack2.
+    pub fn handle_ack(&mut self, ack: &GossipMsg, now: Time) -> GossipMsg {
+        let GossipMsg::Ack { deltas, requests } = ack else {
+            panic!("handle_ack expects Ack");
+        };
+        self.bytes_received += ack.wire_size() as u64;
+        for d in deltas {
+            self.merge_one(d.clone(), now);
+        }
+        let out: Vec<EndpointState> = requests
+            .iter()
+            .filter_map(|&n| self.lookup(n).cloned())
+            .collect();
+        let ack2 = GossipMsg::Ack2 { deltas: out };
+        self.bytes_sent += ack2.wire_size() as u64;
+        ack2
+    }
+
+    /// Responder side: consumes the Ack2, merging the final deltas.
+    pub fn handle_ack2(&mut self, ack2: &GossipMsg, now: Time) {
+        let GossipMsg::Ack2 { deltas } = ack2 else {
+            panic!("handle_ack2 expects Ack2");
+        };
+        self.bytes_received += ack2.wire_size() as u64;
+        for d in deltas {
+            self.merge_one(d.clone(), now);
+        }
+    }
+
+    fn lookup(&self, node: NodeId) -> Option<&EndpointState> {
+        if node == self.own.node {
+            Some(&self.own)
+        } else {
+            self.peers.get(&node).map(|p| &p.state)
+        }
+    }
+
+    fn merge_one(&mut self, incoming: EndpointState, now: Time) {
+        if incoming.node == self.own.node {
+            // Nobody else is authoritative for our own state, except a
+            // higher generation (we restarted elsewhere?) which we ignore —
+            // hosts guarantee unique node ids per incarnation.
+            return;
+        }
+        match self.peers.get_mut(&incoming.node) {
+            Some(rec) => {
+                if incoming.fresher_than(&rec.state) {
+                    rec.state = incoming;
+                    rec.last_advance = now;
+                    // Liveness transitions (including Suspect → Alive
+                    // recovery) are the failure detector's job: `sweep`
+                    // re-evaluates `last_advance` and emits the event.
+                }
+            }
+            None => {
+                self.peers.insert(incoming.node, PeerRecord::new(incoming, now));
+            }
+        }
+    }
+}
+
+/// Runs one complete three-way exchange between two nodes, in-process.
+/// Returns the total bytes moved (for tests and the overhead experiment).
+pub fn exchange(a: &mut GossipNode, b: &mut GossipNode, now: Time) -> usize {
+    let syn = a.make_syn();
+    let s1 = syn.wire_size();
+    let ack = b.handle_syn(&syn, now);
+    let s2 = ack.wire_size();
+    let ack2 = a.handle_ack(&ack, now);
+    let s3 = ack2.wire_size();
+    b.handle_ack2(&ack2, now);
+    s1 + s2 + s3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::NodeRole;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn node(id: u64) -> GossipNode {
+        GossipNode::new(EndpointState::new(
+            NodeId(id),
+            NodeRole::Matcher,
+            format!("10.0.0.{id}:7000"),
+            1,
+        ))
+    }
+
+    #[test]
+    fn two_node_exchange_converges() {
+        let mut a = node(1);
+        let mut b = node(2);
+        a.learn(b.own().clone(), 0.0);
+        a.heartbeat();
+        b.heartbeat();
+        exchange(&mut a, &mut b, 1.0);
+        // Both now know both nodes at their freshest versions.
+        assert_eq!(a.peers().len(), 1);
+        assert_eq!(b.peers().len(), 1);
+        assert_eq!(b.peers()[&NodeId(1)].state.version, a.own().version);
+        assert_eq!(a.peers()[&NodeId(2)].state.version, b.own().version);
+    }
+
+    #[test]
+    fn fresher_state_always_wins_merge() {
+        let mut a = node(1);
+        let mut c_old = EndpointState::new(NodeId(3), NodeRole::Matcher, "x", 1);
+        c_old.version = 5;
+        let mut c_new = c_old.clone();
+        c_new.version = 9;
+        a.learn(c_new.clone(), 0.0);
+        a.learn(c_old, 1.0); // stale arrives later — must not regress
+        assert_eq!(a.peers()[&NodeId(3)].state.version, 9);
+        // last_advance reflects the *fresh* learn, not the stale one.
+        assert_eq!(a.peers()[&NodeId(3)].last_advance, 0.0);
+    }
+
+    #[test]
+    fn generation_bump_supersedes_higher_version() {
+        let mut a = node(1);
+        let mut old = EndpointState::new(NodeId(3), NodeRole::Matcher, "x", 1);
+        old.version = 100;
+        a.learn(old, 0.0);
+        let restarted = EndpointState::new(NodeId(3), NodeRole::Matcher, "x", 2);
+        a.learn(restarted, 1.0);
+        assert_eq!(a.peers()[&NodeId(3)].state.generation, 2);
+        assert_eq!(a.peers()[&NodeId(3)].state.version, 1);
+    }
+
+    #[test]
+    fn exchange_transfers_third_party_state_both_ways() {
+        let mut a = node(1);
+        let mut b = node(2);
+        let c = node(3);
+        let d = node(4);
+        a.learn(b.own().clone(), 0.0);
+        a.learn(c.own().clone(), 0.0); // only A knows C
+        b.learn(d.own().clone(), 0.0); // only B knows D
+        exchange(&mut a, &mut b, 1.0);
+        assert!(a.peers().contains_key(&NodeId(4)), "A should learn D via ack");
+        assert!(b.peers().contains_key(&NodeId(3)), "B should learn C via ack2... ");
+    }
+
+    #[test]
+    fn own_state_never_overwritten_by_peers() {
+        let mut a = node(1);
+        let mut fake = a.own().clone();
+        fake.version = 999;
+        fake.addr = "evil:1".into();
+        a.learn(fake, 0.0);
+        assert_eq!(a.own().addr, "10.0.0.1:7000");
+    }
+
+    #[test]
+    fn fanout_is_log2_of_cluster() {
+        let mut a = node(1);
+        for i in 2..=16 {
+            a.learn(node(i).own().clone(), 0.0);
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        let targets = a.pick_targets(&mut rng);
+        assert_eq!(targets.len(), 4, "log2(16) = 4");
+        // No duplicates.
+        let set: std::collections::HashSet<_> = targets.iter().collect();
+        assert_eq!(set.len(), targets.len());
+    }
+
+    #[test]
+    fn fanout_with_no_peers_is_empty() {
+        let a = node(1);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(a.pick_targets(&mut rng).is_empty());
+    }
+
+    #[test]
+    fn byte_accounting_accumulates() {
+        let mut a = node(1);
+        let mut b = node(2);
+        a.learn(b.own().clone(), 0.0);
+        let moved = exchange(&mut a, &mut b, 1.0);
+        assert!(moved > 0);
+        assert_eq!(a.bytes_sent + b.bytes_sent, moved as u64);
+        assert_eq!(a.bytes_received + b.bytes_received, moved as u64);
+    }
+
+    #[test]
+    fn leaving_flag_propagates() {
+        let mut a = node(1);
+        let mut b = node(2);
+        a.learn(b.own().clone(), 0.0);
+        b.learn(a.own().clone(), 0.0);
+        a.announce_leaving();
+        exchange(&mut a, &mut b, 1.0);
+        assert!(b.peers()[&NodeId(1)].state.leaving);
+    }
+
+    #[test]
+    fn segments_version_propagates() {
+        let mut a = node(1);
+        let mut b = node(2);
+        a.learn(b.own().clone(), 0.0);
+        a.set_segments_version(17);
+        exchange(&mut a, &mut b, 1.0);
+        assert_eq!(b.peers()[&NodeId(1)].state.segments_version, 17);
+    }
+}

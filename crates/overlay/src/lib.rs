@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+
+//! # bluedove-overlay
+//!
+//! The gossip-based one-hop overlay BlueDove organizes its servers with
+//! (§III-C), re-implemented from the Cassandra design the paper cites:
+//!
+//! - [`state`] — versioned per-node endpoint state
+//!   (`(generation, version)` freshness, contact info, role, segment-table
+//!   version, leaving flag);
+//! - [`gossip`] — three-message anti-entropy push-pull with
+//!   `ceil(log2 N)` fan-out and byte accounting for the §IV-C overhead
+//!   experiment;
+//! - [`failure`] — heartbeat-silence failure detection with
+//!   Suspect/Dead escalation, driving the §III-A-3 fail-over and the
+//!   Figure 10 recovery behaviour.
+//!
+//! The protocol layer is transport-agnostic: hosts move [`gossip::GossipMsg`]
+//! values however they like (the simulator calls [`gossip::exchange`]
+//! directly; the threaded cluster ships them through `bluedove-net`).
+
+pub mod failure;
+pub mod gossip;
+pub mod state;
+
+pub use failure::{sweep, FailureDetectorConfig, LivenessEvent};
+pub use gossip::{exchange, Digest, GossipMsg, GossipNode};
+pub use state::{EndpointState, Liveness, NodeId, NodeRole, PeerRecord};

@@ -1,0 +1,154 @@
+//! Gossiped per-node state (the one-hop overlay's "endpoint state").
+//!
+//! Mirrors the Cassandra design the paper builds on (its citation \[12\]):
+//! each node
+//! carries a `(generation, version)`-ordered state containing its contact
+//! information, role, liveness heartbeat and — for matchers — the version
+//! of the segment assignment it participates in. Whoever has the higher
+//! `(generation, version)` pair for a node has the fresher truth, which
+//! makes merging commutative, associative and idempotent.
+
+use bluedove_core::Time;
+use std::fmt;
+
+/// Overlay-wide unique node identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u64);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N{}", self.0)
+    }
+}
+
+/// The role a node plays in the two-tier architecture (§II-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeRole {
+    /// Back-end matching server.
+    Matcher,
+    /// Front-end dispatching server.
+    Dispatcher,
+}
+
+/// Liveness as judged locally (never gossiped — each node runs its own
+/// failure detector over the gossiped heartbeats).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Liveness {
+    /// Heartbeats advancing normally.
+    Alive,
+    /// Heartbeats stale beyond the detector threshold.
+    Suspect,
+    /// Declared dead / administratively removed.
+    Dead,
+}
+
+/// The gossiped payload for one node.
+///
+/// **Protocol contract**: a node must bump `version` on *every* local
+/// mutation, so no two distinct payloads ever share a
+/// `(generation, version)` key. Merging keeps the strictly fresher state;
+/// a same-key tie keeps the incumbent, which is only convergent because
+/// of this contract (property-tested in `tests/gossip_properties.rs`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EndpointState {
+    /// Whose state this is.
+    pub node: NodeId,
+    /// Restart counter: a rejoining node bumps it, instantly superseding
+    /// all state from its previous incarnation.
+    pub generation: u64,
+    /// Heartbeat version, bumped every local gossip tick.
+    pub version: u64,
+    /// Matcher or dispatcher.
+    pub role: NodeRole,
+    /// Opaque contact string (host:port in the TCP transport, a channel
+    /// key in-process).
+    pub addr: String,
+    /// Version of the segment table this node has seen/produced; lets
+    /// dispatchers find the matcher with the freshest assignment without
+    /// shipping the whole table every round.
+    pub segments_version: u64,
+    /// Whether the node announced an orderly departure.
+    pub leaving: bool,
+}
+
+impl EndpointState {
+    /// Fresh state for a node that just booted.
+    pub fn new(node: NodeId, role: NodeRole, addr: impl Into<String>, generation: u64) -> Self {
+        EndpointState {
+            node,
+            generation,
+            version: 1,
+            role,
+            addr: addr.into(),
+            segments_version: 0,
+            leaving: false,
+        }
+    }
+
+    /// The `(generation, version)` freshness key.
+    #[inline]
+    pub fn freshness(&self) -> (u64, u64) {
+        (self.generation, self.version)
+    }
+
+    /// Whether `self` is strictly fresher than `other` (same node).
+    #[inline]
+    pub fn fresher_than(&self, other: &EndpointState) -> bool {
+        debug_assert_eq!(self.node, other.node);
+        self.freshness() > other.freshness()
+    }
+
+    /// Approximate gossip wire size of one endpoint entry: ids, counters,
+    /// flags plus the address string.
+    pub fn wire_size(&self) -> usize {
+        8 + 8 + 8 + 1 + 8 + 1 + self.addr.len()
+    }
+}
+
+/// A locally-tracked peer: gossiped state plus failure-detector bookkeeping.
+#[derive(Debug, Clone)]
+pub struct PeerRecord {
+    /// Latest merged state for the peer.
+    pub state: EndpointState,
+    /// Local wall/sim time when `state.version` last advanced.
+    pub last_advance: Time,
+    /// Current liveness verdict.
+    pub liveness: Liveness,
+}
+
+impl PeerRecord {
+    /// Wraps a freshly learned state observed at `now`.
+    pub fn new(state: EndpointState, now: Time) -> Self {
+        PeerRecord { state, last_advance: now, liveness: Liveness::Alive }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn freshness_orders_by_generation_then_version() {
+        let mut a = EndpointState::new(NodeId(1), NodeRole::Matcher, "a:1", 1);
+        let mut b = a.clone();
+        b.version = 5;
+        assert!(b.fresher_than(&a));
+        a.generation = 2;
+        a.version = 0;
+        assert!(a.fresher_than(&b), "new generation beats any old version");
+    }
+
+    #[test]
+    fn wire_size_includes_addr() {
+        let s = EndpointState::new(NodeId(1), NodeRole::Dispatcher, "10.0.0.1:7000", 1);
+        assert_eq!(s.wire_size(), 34 + "10.0.0.1:7000".len());
+    }
+
+    #[test]
+    fn peer_record_starts_alive() {
+        let s = EndpointState::new(NodeId(2), NodeRole::Matcher, "x", 1);
+        let r = PeerRecord::new(s, 3.5);
+        assert_eq!(r.liveness, Liveness::Alive);
+        assert_eq!(r.last_advance, 3.5);
+    }
+}

@@ -1,0 +1,174 @@
+//! Cluster-level gossip properties: convergence speed, churn handling and
+//! overhead, exercised over an in-memory network of `GossipNode`s.
+
+use bluedove_overlay::{
+    exchange, sweep, EndpointState, FailureDetectorConfig, GossipNode, LivenessEvent, NodeId,
+    NodeRole,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn boot(n: u64) -> Vec<GossipNode> {
+    let mut nodes: Vec<GossipNode> = (0..n)
+        .map(|i| {
+            GossipNode::new(EndpointState::new(
+                NodeId(i),
+                NodeRole::Matcher,
+                format!("10.0.0.{i}:7000"),
+                1,
+            ))
+        })
+        .collect();
+    // Every node knows one seed (node 0), like contacting a dispatcher.
+    let seed_state = nodes[0].own().clone();
+    for node in nodes.iter_mut().skip(1) {
+        node.learn(seed_state.clone(), 0.0);
+    }
+    nodes
+}
+
+/// One synchronous gossip round: every node heartbeats and exchanges with
+/// its `log2 N` random targets. Targets not present in `nodes` (crashed)
+/// are skipped, as a real network would time the connection out. Returns
+/// bytes moved.
+fn round(nodes: &mut [GossipNode], rng: &mut StdRng, now: f64) -> usize {
+    let mut bytes = 0;
+    for node in nodes.iter_mut() {
+        node.heartbeat();
+    }
+    for i in 0..nodes.len() {
+        let targets = nodes[i].pick_targets(rng);
+        for t in targets {
+            let Some(j) = nodes.iter().position(|n| n.id() == t) else {
+                continue; // crashed/unknown target: connection times out
+            };
+            if i == j {
+                continue;
+            }
+            // Split-borrow the pair.
+            let (a, b) = if i < j {
+                let (l, r) = nodes.split_at_mut(j);
+                (&mut l[i], &mut r[0])
+            } else {
+                let (l, r) = nodes.split_at_mut(i);
+                (&mut r[0], &mut l[j])
+            };
+            bytes += exchange(a, b, now);
+        }
+    }
+    bytes
+}
+
+#[test]
+fn full_membership_converges_in_logarithmic_rounds() {
+    let n = 32;
+    let mut nodes = boot(n);
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut rounds = 0;
+    while rounds < 12 {
+        rounds += 1;
+        round(&mut nodes, &mut rng, rounds as f64);
+        if nodes.iter().all(|x| x.peers().len() == (n - 1) as usize) {
+            break;
+        }
+    }
+    assert!(
+        nodes.iter().all(|x| x.peers().len() == (n - 1) as usize),
+        "membership did not converge in {rounds} rounds"
+    );
+    // log2(32)=5; allow slack for randomness but demand sub-linear rounds.
+    assert!(rounds <= 10, "took {rounds} rounds, expected O(log N)");
+}
+
+#[test]
+fn state_change_propagates_to_all_nodes() {
+    let n = 16;
+    let mut nodes = boot(n);
+    let mut rng = StdRng::seed_from_u64(3);
+    for r in 1..=6 {
+        round(&mut nodes, &mut rng, r as f64);
+    }
+    // Node 5 publishes a new segment version.
+    nodes[5].set_segments_version(42);
+    let mut now = 6.0;
+    for _ in 0..6 {
+        now += 1.0;
+        round(&mut nodes, &mut rng, now);
+    }
+    for (i, node) in nodes.iter().enumerate() {
+        if i == 5 {
+            continue;
+        }
+        assert_eq!(
+            node.peers()[&NodeId(5)].state.segments_version,
+            42,
+            "node {i} missed the segment update"
+        );
+    }
+}
+
+#[test]
+fn crashed_node_detected_cluster_wide() {
+    let n = 12;
+    let mut nodes = boot(n);
+    let mut rng = StdRng::seed_from_u64(11);
+    for r in 1..=6 {
+        round(&mut nodes, &mut rng, r as f64);
+    }
+    // Node 3 crashes: it stops participating entirely.
+    let crashed = NodeId(3);
+    nodes.retain(|n| n.id() != crashed);
+    let cfg = FailureDetectorConfig::default();
+    let mut now = 6.0;
+    let mut died_everywhere = false;
+    for _ in 0..40 {
+        now += 1.0;
+        round(&mut nodes, &mut rng, now);
+        for s in nodes.iter_mut() {
+            sweep(s, &cfg, now);
+        }
+        died_everywhere = nodes.iter().all(|x| {
+            x.peers()
+                .get(&crashed)
+                .map(|r| r.liveness == bluedove_overlay::Liveness::Dead)
+                .unwrap_or(true)
+        });
+        if died_everywhere {
+            break;
+        }
+    }
+    assert!(died_everywhere, "crash not detected everywhere by t={now}");
+    assert!(now <= 6.0 + cfg.dead_after + 10.0, "detection too slow: {now}");
+}
+
+#[test]
+fn per_round_overhead_is_kilobytes_not_megabytes() {
+    // §IV-C reports ~2.9 KB/s gossip traffic per matcher in a 20-matcher
+    // cluster. Our encoding differs, but the order of magnitude must hold.
+    let n = 20;
+    let mut nodes = boot(n);
+    let mut rng = StdRng::seed_from_u64(5);
+    for r in 1..=8 {
+        round(&mut nodes, &mut rng, r as f64);
+    }
+    // Steady state round:
+    let bytes = round(&mut nodes, &mut rng, 9.0);
+    let per_node = bytes as f64 / n as f64;
+    assert!(per_node > 100.0, "implausibly small: {per_node} B");
+    assert!(per_node < 50_000.0, "overhead blew up: {per_node} B per node per round");
+}
+
+#[test]
+fn liveness_events_fire_once_per_transition() {
+    let mut a = GossipNode::new(EndpointState::new(NodeId(0), NodeRole::Dispatcher, "a", 1));
+    a.learn(EndpointState::new(NodeId(1), NodeRole::Matcher, "b", 1), 0.0);
+    let cfg = FailureDetectorConfig::default();
+    let mut all = Vec::new();
+    for t in 1..30 {
+        all.extend(sweep(&mut a, &cfg, t as f64));
+    }
+    assert_eq!(
+        all,
+        vec![LivenessEvent::Suspected(NodeId(1)), LivenessEvent::Died(NodeId(1))]
+    );
+}

@@ -1,0 +1,112 @@
+//! Property tests on the gossip merge semantics: the per-node freshness
+//! order makes state exchange commutative, associative and idempotent, so
+//! any delivery order converges to the same table.
+
+use bluedove_overlay::{exchange, EndpointState, GossipNode, NodeId, NodeRole};
+use proptest::prelude::*;
+
+/// Generates states honouring the protocol contract: a node never emits
+/// two different payloads under the same `(generation, version)` key (it
+/// bumps `version` on every mutation), so the payload here is a pure
+/// function of the key.
+fn arb_state(node: u64) -> impl Strategy<Value = EndpointState> {
+    (1u64..4, 1u64..50).prop_map(move |(generation, version)| {
+        let mut s = EndpointState::new(
+            NodeId(node),
+            NodeRole::Matcher,
+            format!("10.0.0.{node}:7000"),
+            generation,
+        );
+        s.version = version;
+        s.segments_version = (generation * 31 + version) % 7;
+        s.leaving = version % 5 == 0;
+        s
+    })
+}
+
+/// Each inner vec is a stream of states for one of three third-party
+/// nodes, learned in some order.
+fn arb_updates() -> impl Strategy<Value = Vec<EndpointState>> {
+    proptest::collection::vec((2u64..5).prop_flat_map(arb_state), 1..24)
+}
+
+fn freshness_view(n: &GossipNode) -> Vec<(u64, u64, u64, u64)> {
+    let mut v: Vec<(u64, u64, u64, u64)> = n
+        .peers()
+        .values()
+        .map(|r| {
+            (
+                r.state.node.0,
+                r.state.generation,
+                r.state.version,
+                r.state.segments_version,
+            )
+        })
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn merge_order_does_not_matter(updates in arb_updates(), seed in any::<u64>()) {
+        // Apply the same update set in two different orders.
+        let mut a = GossipNode::new(EndpointState::new(NodeId(0), NodeRole::Matcher, "a", 1));
+        let mut b = GossipNode::new(EndpointState::new(NodeId(1), NodeRole::Matcher, "b", 1));
+        for u in &updates {
+            a.learn(u.clone(), 0.0);
+        }
+        let mut shuffled = updates.clone();
+        // Deterministic pseudo-shuffle.
+        let mut s = seed;
+        for i in (1..shuffled.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let j = (s >> 33) as usize % (i + 1);
+            shuffled.swap(i, j);
+        }
+        for u in &shuffled {
+            b.learn(u.clone(), 0.0);
+        }
+        // For every node both saw, the surviving freshness must agree.
+        prop_assert_eq!(freshness_view(&a), freshness_view(&b));
+    }
+
+    #[test]
+    fn merge_is_idempotent(updates in arb_updates()) {
+        let mut a = GossipNode::new(EndpointState::new(NodeId(0), NodeRole::Matcher, "a", 1));
+        for u in &updates {
+            a.learn(u.clone(), 0.0);
+        }
+        let before = freshness_view(&a);
+        for u in &updates {
+            a.learn(u.clone(), 1.0); // learn everything again
+        }
+        prop_assert_eq!(freshness_view(&a), before);
+    }
+
+    #[test]
+    fn exchange_reaches_pairwise_agreement(updates in arb_updates()) {
+        let mut a = GossipNode::new(EndpointState::new(NodeId(0), NodeRole::Matcher, "a", 1));
+        let mut b = GossipNode::new(EndpointState::new(NodeId(1), NodeRole::Matcher, "b", 1));
+        a.learn(b.own().clone(), 0.0);
+        // Split the updates between the two nodes arbitrarily.
+        for (i, u) in updates.iter().enumerate() {
+            if i % 2 == 0 {
+                a.learn(u.clone(), 0.0);
+            } else {
+                b.learn(u.clone(), 0.0);
+            }
+        }
+        exchange(&mut a, &mut b, 1.0);
+        // After one full three-way exchange, third-party knowledge agrees.
+        let third = |n: &GossipNode| {
+            freshness_view(n)
+                .into_iter()
+                .filter(|&(id, ..)| id > 1)
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(third(&a), third(&b));
+    }
+}

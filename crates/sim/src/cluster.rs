@@ -1,0 +1,715 @@
+//! The simulated BlueDove deployment: dispatchers, matchers, queues and
+//! the event loop.
+//!
+//! The simulator realizes the paper's testbed as a deterministic
+//! discrete-event system. Matchers are single servers draining one FIFO
+//! queue per dimension (round-robin across dimensions, as the SEDA stages
+//! in the prototype would); matching a message costs
+//! `match_base + match_per_sub × examined` where `examined` is the number
+//! of subscriptions scanned — the linear-scan cost model the paper's
+//! scalability reasoning is built on. Dispatchers apply a
+//! [`ForwardingPolicy`] over the shared partition strategy and the latest
+//! gossiped load reports.
+
+use crate::config::SimConfig;
+use crate::events::EventQueue;
+use crate::metrics::Metrics;
+use bluedove_core::{
+    Assignment, AttributeSpace, DimIdx, ForwardingPolicy, IndexKind, MatcherCore, MatcherId,
+    Message, MessageId, StatsView, Subscription, SubscriptionId, Time,
+};
+use bluedove_workload::MessageGenerator;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Which partition strategy the deployment runs (the three systems of
+/// Figure 6). Re-exported from `bluedove-baselines` so the simulator and
+/// the threaded cluster share one definition.
+pub use bluedove_baselines::AnyStrategy as Strategy;
+
+/// A message sitting in a matcher's per-dimension queue.
+#[derive(Debug)]
+struct QueuedMsg {
+    msg: Message,
+    admitted_at: Time,
+}
+
+/// One simulated matcher server.
+struct SimMatcher {
+    core: MatcherCore,
+    queues: Vec<VecDeque<QueuedMsg>>,
+    /// Round-robin pointer over dimensions.
+    next_dim: usize,
+    busy: bool,
+    alive: bool,
+}
+
+impl SimMatcher {
+    fn new(id: MatcherId, space: &AttributeSpace) -> Self {
+        SimMatcher {
+            core: MatcherCore::new(id, space.clone(), IndexKind::Linear),
+            queues: (0..space.k()).map(|_| VecDeque::new()).collect(),
+            next_dim: 0,
+            busy: true, // flipped to false by `boot`
+            alive: true,
+        }
+    }
+
+    fn backlog(&self) -> usize {
+        self.queues.iter().map(|q| q.len()).sum()
+    }
+
+    /// Pops the next queued message round-robin across dimension queues.
+    fn pop_next(&mut self) -> Option<(DimIdx, QueuedMsg)> {
+        let k = self.queues.len();
+        for off in 0..k {
+            let d = (self.next_dim + off) % k;
+            if let Some(q) = self.queues[d].pop_front() {
+                self.next_dim = (d + 1) % k;
+                return Some((DimIdx(d as u16), q));
+            }
+        }
+        None
+    }
+}
+
+/// Simulator events.
+enum Event {
+    /// A message reaches a matcher's queue.
+    MatcherReceive { m: MatcherId, dim: DimIdx, msg: Message, admitted_at: Time },
+    /// A matcher finishes matching one message.
+    ServiceComplete { m: MatcherId, admitted_at: Time },
+    /// The delivery (matcher → subscriber) completes; response measured.
+    Deliver { admitted_at: Time },
+    /// Matchers push load reports to dispatchers.
+    StatsPush,
+    /// Dispatchers learn that a matcher died.
+    DetectFailure { m: MatcherId },
+    /// Dispatchers adopt a pending segment-table change (join/leave) and
+    /// donors drop the subscription copies they handed over.
+    TableSwitch { retire: Vec<(MatcherId, DimIdx, Vec<SubscriptionId>)> },
+}
+
+/// The simulated deployment.
+pub struct SimCluster {
+    cfg: SimConfig,
+    space: AttributeSpace,
+    /// Current (authoritative) strategy — new joins are visible here first.
+    strategy: Strategy,
+    /// Strategy dispatchers still route by until the pending switch time
+    /// (segment-table propagation lag).
+    routing_strategy: Option<Strategy>,
+    policy: Box<dyn ForwardingPolicy>,
+    matchers: HashMap<MatcherId, SimMatcher>,
+    /// All dispatchers share one stats view: reports are broadcast, so
+    /// every dispatcher sees identical state at identical staleness.
+    view: StatsView,
+    known_dead: HashSet<MatcherId>,
+    queue: EventQueue<Event>,
+    now: Time,
+    rng: StdRng,
+    next_msg_id: u64,
+    next_matcher_id: u32,
+    /// Metrics of the whole simulation so far.
+    pub metrics: Metrics,
+}
+
+impl SimCluster {
+    /// Builds a deployment with the given strategy and forwarding policy.
+    pub fn new(
+        cfg: SimConfig,
+        space: AttributeSpace,
+        strategy: Strategy,
+        policy: Box<dyn ForwardingPolicy>,
+    ) -> Self {
+        let ids = strategy.as_dyn().matchers();
+        let matchers = ids
+            .iter()
+            .map(|&id| (id, SimMatcher::new(id, &space)))
+            .collect::<HashMap<_, _>>();
+        let next_matcher_id = ids.iter().map(|m| m.0 + 1).max().unwrap_or(0);
+        let mut c = SimCluster {
+            rng: StdRng::seed_from_u64(cfg.seed),
+            cfg,
+            space,
+            strategy,
+            routing_strategy: None,
+            policy,
+            matchers,
+            view: StatsView::new(),
+            known_dead: HashSet::new(),
+            queue: EventQueue::new(),
+            now: 0.0,
+            next_msg_id: 1,
+            next_matcher_id,
+            metrics: Metrics::new(0.5),
+        };
+        for m in c.matchers.values_mut() {
+            m.busy = false;
+        }
+        // Kick off the periodic stats pushes. The first fires immediately
+        // so dispatchers know per-dimension subscription counts from the
+        // first message (otherwise the pre-report window herds everything
+        // onto one matcher).
+        c.queue.push(0.0, Event::StatsPush);
+        c
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// The attribute space.
+    pub fn space(&self) -> &AttributeSpace {
+        &self.space
+    }
+
+    /// Total messages queued across all matchers.
+    pub fn backlog(&self) -> usize {
+        self.matchers.values().map(|m| m.backlog()).sum()
+    }
+
+    /// Live matcher count.
+    pub fn live_matchers(&self) -> usize {
+        self.matchers.values().filter(|m| m.alive).count()
+    }
+
+    /// Registers a subscription (instantaneous, like the paper's pre-load
+    /// phase).
+    pub fn subscribe(&mut self, sub: Subscription) {
+        for Assignment { matcher, dim } in self.strategy.as_dyn().assign(&sub) {
+            if let Some(m) = self.matchers.get_mut(&matcher) {
+                m.core.insert(dim, sub.clone());
+            }
+        }
+    }
+
+    /// Registers many subscriptions.
+    pub fn subscribe_all(&mut self, subs: impl IntoIterator<Item = Subscription>) {
+        for s in subs {
+            self.subscribe(s);
+        }
+    }
+
+    /// Unregisters a subscription: removes every copy the strategy placed.
+    /// The caller supplies the original subscription (assignment is
+    /// deterministic, so the same copies are found).
+    pub fn unsubscribe(&mut self, sub: &Subscription) {
+        for Assignment { matcher, dim } in self.strategy.as_dyn().assign(sub) {
+            if let Some(m) = self.matchers.get_mut(&matcher) {
+                m.core.remove(dim, sub.id);
+            }
+        }
+    }
+
+    /// Runs the cluster for `duration` seconds with messages arriving at
+    /// `rate` per second (deterministic inter-arrival), drawn from `gen`.
+    pub fn run(&mut self, rate: f64, duration: Time, gen: &mut MessageGenerator) {
+        assert!(rate > 0.0 && duration > 0.0);
+        let end = self.now + duration;
+        let step = 1.0 / rate;
+        let mut next_arrival = self.now + step;
+        loop {
+            let next_event = self.queue.peek_time();
+            let arrival_due = next_arrival <= end;
+            match next_event {
+                Some(t) if t <= end && (!arrival_due || t <= next_arrival) => {
+                    let (t, e) = self.queue.pop().expect("peeked");
+                    self.now = t;
+                    self.handle(e);
+                }
+                _ if arrival_due => {
+                    self.now = next_arrival;
+                    let msg = gen.next_msg();
+                    self.admit(msg);
+                    next_arrival += step;
+                }
+                _ => break,
+            }
+        }
+        self.now = end;
+    }
+
+    /// Admits exactly the given messages at `rate` per second (for tests
+    /// and experiments that need precise message counts — the rate-driven
+    /// [`run`](Self::run) admits `⌊rate × duration⌋ ± 1` messages due to
+    /// floating-point step accumulation).
+    pub fn run_batch(&mut self, msgs: impl IntoIterator<Item = Message>, rate: f64) {
+        assert!(rate > 0.0);
+        let step = 1.0 / rate;
+        for msg in msgs {
+            let next_arrival = self.now + step;
+            // Process events up to the arrival instant.
+            while let Some(t) = self.queue.peek_time() {
+                if t > next_arrival {
+                    break;
+                }
+                let (t, e) = self.queue.pop().expect("peeked");
+                self.now = t;
+                self.handle(e);
+            }
+            self.now = next_arrival;
+            self.admit(msg);
+        }
+    }
+
+    /// Runs for `duration` seconds without new arrivals (drain phase).
+    pub fn drain(&mut self, duration: Time) {
+        let end = self.now + duration;
+        while let Some(t) = self.queue.peek_time() {
+            if t > end {
+                break;
+            }
+            let (t, e) = self.queue.pop().expect("peeked");
+            self.now = t;
+            self.handle(e);
+        }
+        self.now = end;
+    }
+
+    /// Admits one message at the current time (dispatcher ingress).
+    fn admit(&mut self, mut msg: Message) {
+        msg.id = MessageId(self.next_msg_id);
+        self.next_msg_id += 1;
+        self.metrics.record_sent(self.now);
+
+        let routing = self.routing_strategy.as_ref().unwrap_or(&self.strategy);
+        let mut candidates: Vec<Assignment> = routing
+            .as_dyn()
+            .candidates(&msg)
+            .into_iter()
+            .filter(|a| !self.known_dead.contains(&a.matcher))
+            .collect();
+        if candidates.is_empty() {
+            // All primary candidates known dead: try the degenerate-case
+            // fallback replicas (BlueDove only).
+            if let Strategy::BlueDove(mp) = routing {
+                candidates = mp
+                    .fallback_candidates(&msg)
+                    .into_iter()
+                    .filter(|a| !self.known_dead.contains(&a.matcher))
+                    .collect();
+            }
+        }
+        let Some(&first) = candidates.first() else {
+            self.metrics.record_lost(self.now);
+            return;
+        };
+        let chosen = if candidates.len() == 1 {
+            first
+        } else {
+            self.policy.choose(&candidates, &self.view, self.now, &mut self.rng)
+        };
+        if self.policy.uses_estimation() {
+            self.view.reserve(chosen.matcher, chosen.dim);
+        }
+        let at = self.now + self.cfg.dispatch_cost + self.cfg.net_latency;
+        self.queue.push(
+            at,
+            Event::MatcherReceive { m: chosen.matcher, dim: chosen.dim, msg, admitted_at: self.now },
+        );
+    }
+
+    fn handle(&mut self, e: Event) {
+        match e {
+            Event::MatcherReceive { m, dim, msg, admitted_at } => {
+                let Some(matcher) = self.matchers.get_mut(&m) else {
+                    self.metrics.record_lost(self.now);
+                    return;
+                };
+                if !matcher.alive {
+                    // Sent before the failure was detected: lost.
+                    self.metrics.record_lost(self.now);
+                    return;
+                }
+                matcher.core.record_arrival(dim, self.now);
+                matcher.queues[dim.index()].push_back(QueuedMsg { msg, admitted_at });
+                self.try_start_service(m);
+            }
+            Event::ServiceComplete { m, admitted_at } => {
+                if let Some(matcher) = self.matchers.get_mut(&m) {
+                    matcher.busy = false;
+                    if matcher.alive {
+                        self.queue
+                            .push(self.now + self.cfg.net_latency, Event::Deliver { admitted_at });
+                        self.try_start_service(m);
+                    }
+                }
+            }
+            Event::Deliver { admitted_at } => {
+                self.metrics.record_response(self.now, self.now - admitted_at);
+            }
+            Event::StatsPush => {
+                let k = self.space.k();
+                for (&id, matcher) in self.matchers.iter_mut() {
+                    if !matcher.alive {
+                        continue;
+                    }
+                    for d in 0..k {
+                        let dim = DimIdx(d as u16);
+                        let qlen = matcher.queues[d].len();
+                        let report = matcher.core.stats_report(dim, qlen, self.now);
+                        self.view.update(id, dim, report);
+                    }
+                }
+                self.queue
+                    .push(self.now + self.cfg.stats_update_interval, Event::StatsPush);
+            }
+            Event::DetectFailure { m } => {
+                self.known_dead.insert(m);
+                self.view.forget_matcher(m);
+            }
+            Event::TableSwitch { retire } => {
+                self.routing_strategy = None;
+                for (donor, dim, ids) in retire {
+                    if let Some(matcher) = self.matchers.get_mut(&donor) {
+                        for id in ids {
+                            matcher.core.remove(dim, id);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Starts service on `m` if it is idle and has queued work.
+    fn try_start_service(&mut self, m: MatcherId) {
+        let Some(matcher) = self.matchers.get_mut(&m) else { return };
+        if matcher.busy || !matcher.alive {
+            return;
+        }
+        let Some((dim, q)) = matcher.pop_next() else { return };
+        let mut hits = Vec::new();
+        let examined = matcher.core.match_message(dim, &q.msg, self.now, &mut hits);
+        let service = self.cfg.service_time(examined);
+        matcher.core.record_service(dim, service);
+        matcher.busy = true;
+        self.metrics.record_busy(m, service);
+        self.metrics.record_match_work(examined, hits.len());
+        self.queue.push(
+            self.now + service,
+            Event::ServiceComplete { m, admitted_at: q.admitted_at },
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Elasticity (§III-C, Figure 9)
+    // ------------------------------------------------------------------
+
+    /// Adds a matcher to a BlueDove deployment: splits the most loaded
+    /// matcher's segment on every dimension, copies the affected
+    /// subscriptions to the new matcher immediately, and schedules the
+    /// dispatcher-visible table switch after the propagation delay (donors
+    /// keep serving their copies until then, so no message misses
+    /// matches).
+    ///
+    /// # Panics
+    /// Panics when the deployment does not run the BlueDove strategy.
+    pub fn add_matcher(&mut self) -> MatcherId {
+        let new_id = MatcherId(self.next_matcher_id);
+        self.next_matcher_id += 1;
+
+        let Strategy::BlueDove(mp) = &mut self.strategy else {
+            panic!("add_matcher requires the BlueDove strategy");
+        };
+        // Dispatchers keep routing by the pre-split table until the switch.
+        let old = Strategy::BlueDove(mp.clone());
+
+        // Split by per-dimension subscription load.
+        let matchers = &self.matchers;
+        let moves = mp.table_mut().split_join(new_id, |m, dim| {
+            matchers.get(&m).map(|mm| mm.core.sub_count(dim) as f64).unwrap_or(0.0)
+        });
+
+        let mut new_matcher = SimMatcher::new(new_id, &self.space);
+        new_matcher.busy = false;
+        let mut retire = Vec::with_capacity(moves.len());
+        for (dim, donor, range) in moves {
+            // The donor's segments on this dimension *after* the split: a
+            // subscription overlapping both halves stays on the donor
+            // permanently (mPartition stores it wherever its predicate
+            // overlaps a segment).
+            let donor_keeps: Vec<bluedove_core::Range> = self
+                .strategy
+                .as_dyn()
+                .matchers()
+                .iter()
+                .find(|&&m| m == donor)
+                .map(|_| match &self.strategy {
+                    Strategy::BlueDove(mp) => mp
+                        .table()
+                        .segments_of(donor)
+                        .into_iter()
+                        .filter(|(d, _)| *d == dim)
+                        .map(|(_, r)| r)
+                        .collect(),
+                    _ => Vec::new(),
+                })
+                .unwrap_or_default();
+            if let Some(d) = self.matchers.get_mut(&donor) {
+                // Copy to the new matcher; the donor keeps every copy until
+                // the table switch so in-flight routing stays complete.
+                let moved = d.core.extract_overlapping(dim, &range);
+                let mut ids = Vec::new();
+                for sub in moved {
+                    let keep = donor_keeps.iter().any(|r| sub.predicate(dim).overlaps(r));
+                    if !keep {
+                        ids.push(sub.id);
+                    }
+                    d.core.insert(dim, sub.clone());
+                    new_matcher.core.insert(dim, sub);
+                }
+                retire.push((donor, dim, ids));
+            }
+        }
+        self.matchers.insert(new_id, new_matcher);
+        if self.routing_strategy.is_none() {
+            self.routing_strategy = Some(old);
+        }
+        self.queue.push(
+            self.now + self.cfg.table_propagation_delay,
+            Event::TableSwitch { retire },
+        );
+        new_id
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection (§III-A-3, Figure 10)
+    // ------------------------------------------------------------------
+
+    /// Crashes matcher `m` at the current time: its queued messages are
+    /// lost, and dispatchers keep sending to it (also lost) until the
+    /// failure-detection delay elapses, after which they fail over to the
+    /// other candidates.
+    pub fn kill_matcher(&mut self, m: MatcherId) {
+        let Some(matcher) = self.matchers.get_mut(&m) else { return };
+        if !matcher.alive {
+            return;
+        }
+        matcher.alive = false;
+        let dropped: usize = matcher.queues.iter().map(|q| q.len()).sum();
+        for q in matcher.queues.iter_mut() {
+            q.clear();
+        }
+        for _ in 0..dropped {
+            self.metrics.record_lost(self.now);
+        }
+        self.queue
+            .push(self.now + self.cfg.detection_delay, Event::DetectFailure { m });
+    }
+
+    /// Per-matcher subscription-copy counts (diagnostics / load split).
+    pub fn sub_counts(&self) -> Vec<(MatcherId, usize)> {
+        let mut v: Vec<(MatcherId, usize)> = self
+            .matchers
+            .iter()
+            .map(|(&id, m)| (id, m.core.total_subs()))
+            .collect();
+        v.sort_unstable_by_key(|&(m, _)| m);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bluedove_core::AdaptivePolicy;
+    use bluedove_workload::PaperWorkload;
+
+    fn small_cluster(n: u32) -> (SimCluster, MessageGenerator) {
+        let w = PaperWorkload { seed: 7, ..Default::default() };
+        let space = w.space();
+        let mut c = SimCluster::new(
+            SimConfig::default(),
+            space.clone(),
+            Strategy::bluedove(space, n),
+            Box::new(AdaptivePolicy),
+        );
+        c.subscribe_all(w.subscriptions().take(2000));
+        (c, w.messages())
+    }
+
+    #[test]
+    fn messages_flow_end_to_end() {
+        let (mut c, mut gen) = small_cluster(5);
+        c.run(500.0, 5.0, &mut gen);
+        c.drain(2.0);
+        assert!(c.metrics.total_sent >= 2400, "sent {}", c.metrics.total_sent);
+        assert_eq!(c.metrics.total_lost, 0);
+        assert_eq!(
+            c.metrics.total_delivered, c.metrics.total_sent,
+            "all admitted messages must be delivered after drain"
+        );
+        assert_eq!(c.backlog(), 0);
+        assert!(c.metrics.total_examined > 0);
+    }
+
+    #[test]
+    fn low_rate_response_time_is_latency_plus_service() {
+        let (mut c, mut gen) = small_cluster(5);
+        c.run(50.0, 4.0, &mut gen);
+        c.drain(1.0);
+        let mean = c.metrics.mean_response(0.0, 5.0);
+        // 2 × net latency + dispatch + service (few hundred µs–ms): well
+        // under 50 ms when unloaded.
+        assert!(mean > 0.0 && mean < 0.05, "unloaded mean response {mean}");
+    }
+
+    #[test]
+    fn overload_grows_backlog_underload_does_not() {
+        let (mut c, mut gen) = small_cluster(3);
+        c.run(100.0, 4.0, &mut gen);
+        let calm = c.backlog();
+        assert!(calm < 50, "backlog {calm} at low rate");
+
+        let (mut c2, mut gen2) = small_cluster(3);
+        c2.run(50_000.0, 4.0, &mut gen2);
+        assert!(c2.backlog() > 10_000, "overload backlog {}", c2.backlog());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (mut a, mut ga) = small_cluster(4);
+        let (mut b, mut gb) = small_cluster(4);
+        a.run(800.0, 3.0, &mut ga);
+        b.run(800.0, 3.0, &mut gb);
+        assert_eq!(a.metrics.total_delivered, b.metrics.total_delivered);
+        assert_eq!(a.metrics.mean_response(0.0, 3.0), b.metrics.mean_response(0.0, 3.0));
+        assert_eq!(a.backlog(), b.backlog());
+    }
+
+    #[test]
+    fn kill_matcher_loses_then_recovers() {
+        let (mut c, mut gen) = small_cluster(8);
+        c.run(1000.0, 3.0, &mut gen);
+        let victim = MatcherId(0);
+        c.kill_matcher(victim);
+        c.run(1000.0, 20.0, &mut gen);
+        c.drain(2.0);
+        // Losses occur only before detection (3.0 + detection_delay 10).
+        assert!(c.metrics.total_lost > 0, "no losses recorded");
+        let before = c.metrics.loss_rate(3.0, 13.0);
+        let after = c.metrics.loss_rate(14.0, 23.0);
+        assert!(before > 0.0, "loss before detection: {before}");
+        assert_eq!(after, 0.0, "loss after detection must stop: {after}");
+        assert_eq!(c.live_matchers(), 7);
+    }
+
+    #[test]
+    fn add_matcher_splits_load_and_preserves_completeness() {
+        let (mut c, mut gen) = small_cluster(4);
+        let matched_rate_before = {
+            c.run(500.0, 3.0, &mut gen);
+            c.metrics.total_matches as f64 / c.metrics.total_delivered.max(1) as f64
+        };
+        let new = c.add_matcher();
+        assert_eq!(c.live_matchers(), 5);
+        // During the propagation window, routing still works and matches.
+        c.run(500.0, 1.0, &mut gen);
+        // After the switch, the new matcher participates.
+        c.run(500.0, 10.0, &mut gen);
+        c.drain(2.0);
+        let matched_rate_after =
+            c.metrics.total_matches as f64 / c.metrics.total_delivered.max(1) as f64;
+        // Matches per message should not collapse after the split (copies
+        // were moved, not dropped). Allow generous tolerance for workload
+        // randomness.
+        assert!(
+            matched_rate_after > matched_rate_before * 0.7,
+            "match rate collapsed: {matched_rate_before} -> {matched_rate_after}"
+        );
+        let new_subs = c
+            .sub_counts()
+            .into_iter()
+            .find(|&(m, _)| m == new)
+            .map(|(_, n)| n)
+            .unwrap();
+        assert!(new_subs > 0, "new matcher received no subscriptions");
+        assert_eq!(c.metrics.total_lost, 0);
+    }
+
+    #[test]
+    fn unsubscribe_removes_all_copies() {
+        let (mut c, mut gen) = small_cluster(5);
+        let before = c.metrics.clone();
+        let _ = before;
+        // Add one wildcard subscription we control, measure, remove it.
+        let space = c.space().clone();
+        let mut wild = Subscription::builder(&space).build().unwrap();
+        wild.id = bluedove_core::SubscriptionId(999_999);
+        c.subscribe(wild.clone());
+        c.run(200.0, 2.0, &mut gen);
+        c.drain(2.0);
+        let matches_with = c.metrics.total_matches;
+        assert!(matches_with > 0);
+
+        c.unsubscribe(&wild);
+        let total_before = c.metrics.total_matches;
+        // The wildcard is gone: only the workload subscriptions match now.
+        let (mut reference, mut gen_ref) = small_cluster(5);
+        c.run(200.0, 2.0, &mut gen);
+        c.drain(2.0);
+        reference.run(200.0, 2.0, &mut gen_ref);
+        reference.run(200.0, 2.0, &mut gen_ref);
+        reference.drain(2.0);
+        let after = c.metrics.total_matches - total_before;
+        // The second window of the reference cluster (same seed, no
+        // wildcard) must see the same match count as our post-unsubscribe
+        // window.
+        let ref_second_window = reference.metrics.total_matches / 2;
+        let tolerance = (ref_second_window / 5).max(20);
+        assert!(
+            after.abs_diff(ref_second_window) <= tolerance,
+            "unsubscribe left copies behind: {after} vs ~{ref_second_window}"
+        );
+    }
+
+    #[test]
+    fn p2p_and_fullrep_strategies_run() {
+        let w = PaperWorkload { seed: 3, ..Default::default() };
+        for strat in [Strategy::p2p(w.space(), 4), Strategy::full_rep(4)] {
+            let mut c = SimCluster::new(
+                SimConfig::default(),
+                w.space(),
+                strat,
+                Box::new(bluedove_core::RandomPolicy),
+            );
+            c.subscribe_all(w.subscriptions().take(500));
+            let mut gen = w.messages();
+            c.run(200.0, 3.0, &mut gen);
+            c.drain(2.0);
+            assert_eq!(c.metrics.total_lost, 0);
+            assert!(c.metrics.total_delivered > 500);
+        }
+    }
+
+    #[test]
+    fn full_rep_examines_every_subscription_per_message() {
+        let w = PaperWorkload { seed: 3, ..Default::default() };
+        let mut c = SimCluster::new(
+            SimConfig::default(),
+            w.space(),
+            Strategy::full_rep(3),
+            Box::new(bluedove_core::RandomPolicy),
+        );
+        c.subscribe_all(w.subscriptions().take(400));
+        let mut gen = w.messages();
+        c.run(100.0, 2.0, &mut gen);
+        c.drain(2.0);
+        let per_msg = c.metrics.total_examined as f64 / c.metrics.total_delivered as f64;
+        assert!((per_msg - 400.0).abs() < 1.0, "full-rep examines all: {per_msg}");
+    }
+
+    #[test]
+    fn bluedove_examines_far_fewer_than_full_rep() {
+        let (mut c, mut gen) = small_cluster(10);
+        c.run(500.0, 3.0, &mut gen);
+        c.drain(2.0);
+        let per_msg = c.metrics.total_examined as f64 / c.metrics.total_delivered as f64;
+        // 2000 subs over 10 matchers: a candidate set is a few hundred at
+        // most; the adaptive policy favours the cold ones.
+        assert!(per_msg < 800.0, "examined per message too high: {per_msg}");
+    }
+}

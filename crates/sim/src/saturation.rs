@@ -1,0 +1,148 @@
+//! Saturation-rate measurement (§IV-B's central metric).
+//!
+//! "The saturation message rate is the highest message arrival rate that
+//! the pub/sub system can sustain without being saturated. Saturation
+//! happens when the message matching speed is lower than the message
+//! arrival rate, which results in message queuing and linear growth of
+//! response time." The probe runs the deployment at a candidate rate and
+//! declares saturation when the backlog keeps growing between the two
+//! halves of the run; a doubling search brackets the saturation point and
+//! a bisection refines it.
+
+use crate::cluster::SimCluster;
+use bluedove_core::Time;
+use bluedove_workload::MessageGenerator;
+
+/// Parameters of the saturation probe.
+#[derive(Debug, Clone, Copy)]
+pub struct SaturationProbe {
+    /// Total seconds each candidate rate runs for.
+    pub probe_duration: Time,
+    /// Fraction of second-half messages that may accumulate as backlog
+    /// before the run counts as saturated.
+    pub backlog_growth_frac: f64,
+    /// Bisection iterations after bracketing.
+    pub refine_iters: usize,
+}
+
+impl Default for SaturationProbe {
+    fn default() -> Self {
+        SaturationProbe { probe_duration: 12.0, backlog_growth_frac: 0.01, refine_iters: 6 }
+    }
+}
+
+impl SaturationProbe {
+    /// Whether a *fresh* deployment saturates at `rate`.
+    ///
+    /// Runs `rate` for `probe_duration`, sampling backlog at half-time and
+    /// at the end; saturation = backlog grew by more than
+    /// `backlog_growth_frac` of the messages sent in the second half.
+    pub fn is_saturated(
+        &self,
+        cluster: &mut SimCluster,
+        gen: &mut MessageGenerator,
+        rate: f64,
+    ) -> bool {
+        let half = self.probe_duration / 2.0;
+        cluster.run(rate, half, gen);
+        let b1 = cluster.backlog() as f64;
+        cluster.run(rate, half, gen);
+        let b2 = cluster.backlog() as f64;
+        b2 - b1 > self.backlog_growth_frac * rate * half
+    }
+
+    /// Finds the saturation rate of the deployment produced by `make`
+    /// (a fresh cluster + message generator per probe). `hint` seeds the
+    /// search (any positive value works; a good hint saves probes).
+    pub fn find_saturation_rate<F>(&self, mut make: F, hint: f64) -> f64
+    where
+        F: FnMut() -> (SimCluster, MessageGenerator),
+    {
+        let mut lo = 0.0_f64;
+        let mut hi = hint.max(10.0);
+        // Bracket: double until saturated (bounded to avoid runaway).
+        let mut bracketed = false;
+        for _ in 0..16 {
+            let (mut c, mut g) = make();
+            if self.is_saturated(&mut c, &mut g, hi) {
+                bracketed = true;
+                break;
+            }
+            lo = hi;
+            hi *= 2.0;
+        }
+        if !bracketed {
+            return hi; // effectively unbounded at probe scale
+        }
+        // Bisect.
+        for _ in 0..self.refine_iters {
+            let mid = (lo + hi) / 2.0;
+            let (mut c, mut g) = make();
+            if self.is_saturated(&mut c, &mut g, mid) {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        (lo + hi) / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::Strategy;
+    use crate::config::SimConfig;
+    use bluedove_core::{AdaptivePolicy, RandomPolicy};
+    use bluedove_workload::PaperWorkload;
+
+    fn make(n: u32, subs: usize, strat: &str) -> (SimCluster, MessageGenerator) {
+        let w = PaperWorkload { seed: 5, ..Default::default() };
+        let space = w.space();
+        let (strategy, policy): (Strategy, Box<dyn bluedove_core::ForwardingPolicy>) = match strat
+        {
+            "bluedove" => (Strategy::bluedove(space.clone(), n), Box::new(AdaptivePolicy)),
+            "p2p" => (Strategy::p2p(space.clone(), n), Box::new(RandomPolicy)),
+            "full-rep" => (Strategy::full_rep(n), Box::new(RandomPolicy)),
+            _ => unreachable!(),
+        };
+        let mut c = SimCluster::new(SimConfig::default(), space, strategy, policy);
+        c.subscribe_all(w.subscriptions().take(subs));
+        (c, w.messages())
+    }
+
+    #[test]
+    fn saturation_probe_distinguishes_stable_from_overloaded() {
+        let probe = SaturationProbe { probe_duration: 6.0, ..Default::default() };
+        let (mut c, mut g) = make(5, 1000, "bluedove");
+        assert!(!probe.is_saturated(&mut c, &mut g, 100.0), "100/s must be stable");
+        let (mut c, mut g) = make(5, 1000, "bluedove");
+        assert!(probe.is_saturated(&mut c, &mut g, 200_000.0), "200k/s must saturate");
+    }
+
+    #[test]
+    fn find_rate_brackets_and_refines() {
+        let probe = SaturationProbe { probe_duration: 6.0, refine_iters: 5, ..Default::default() };
+        let rate = probe.find_saturation_rate(|| make(5, 1000, "bluedove"), 500.0);
+        assert!(rate > 500.0, "rate {rate}");
+        // Sanity: the found rate is near the stable/saturated boundary.
+        let (mut c, mut g) = make(5, 1000, "bluedove");
+        assert!(!probe.is_saturated(&mut c, &mut g, rate * 0.5));
+        let (mut c, mut g) = make(5, 1000, "bluedove");
+        assert!(probe.is_saturated(&mut c, &mut g, rate * 2.0));
+    }
+
+    #[test]
+    fn bluedove_sustains_more_than_baselines() {
+        // The Figure 6(a) ordering at a single small scale.
+        let probe = SaturationProbe { probe_duration: 6.0, refine_iters: 5, ..Default::default() };
+        let blue = probe.find_saturation_rate(|| make(8, 2000, "bluedove"), 1000.0);
+        let p2p = probe.find_saturation_rate(|| make(8, 2000, "p2p"), 500.0);
+        let full = probe.find_saturation_rate(|| make(8, 2000, "full-rep"), 200.0);
+        assert!(
+            blue > p2p && p2p > full,
+            "ordering violated: bluedove={blue:.0} p2p={p2p:.0} full={full:.0}"
+        );
+        assert!(blue > 2.0 * full, "BlueDove should be multi-fold over full-rep");
+    }
+}

@@ -1,0 +1,127 @@
+//! Simulator-wide conservation invariants: no message is created or
+//! destroyed unaccounted, under normal load, elasticity and failures.
+
+use bluedove_core::{AdaptivePolicy, MatcherId, RandomPolicy};
+use bluedove_sim::{SimCluster, SimConfig, Strategy};
+use bluedove_workload::{MessageGenerator, PaperWorkload};
+
+fn build(n: u32, subs: usize, seed: u64) -> (SimCluster, MessageGenerator) {
+    let w = PaperWorkload { seed, ..Default::default() };
+    let space = w.space();
+    let mut c = SimCluster::new(
+        SimConfig::default(),
+        space.clone(),
+        Strategy::bluedove(space, n),
+        Box::new(AdaptivePolicy),
+    );
+    c.subscribe_all(w.subscriptions().take(subs));
+    (c, w.messages())
+}
+
+/// sent == delivered + lost + backlog must hold, up to `in_flight`
+/// messages still travelling between dispatcher and matcher queues (one
+/// network latency's worth of traffic; zero after a full drain).
+fn assert_conserved(c: &SimCluster, in_flight: u64) {
+    let m = &c.metrics;
+    let accounted = m.total_delivered + m.total_lost + c.backlog() as u64;
+    assert!(
+        accounted <= m.total_sent && m.total_sent - accounted <= in_flight,
+        "conservation violated: sent={} delivered={} lost={} backlog={} (slack {})",
+        m.total_sent,
+        m.total_delivered,
+        m.total_lost,
+        c.backlog(),
+        in_flight
+    );
+}
+
+#[test]
+fn conservation_under_normal_load() {
+    let (mut c, mut g) = build(6, 1500, 3);
+    c.run(800.0, 5.0, &mut g);
+    c.drain(5.0);
+    assert_conserved(&c, 0);
+    assert_eq!(c.metrics.total_lost, 0);
+    assert_eq!(c.backlog(), 0);
+}
+
+#[test]
+fn conservation_under_overload() {
+    let (mut c, mut g) = build(3, 2000, 4);
+    c.run(50_000.0, 3.0, &mut g);
+    // Saturated: huge backlog, nothing lost; up to one latency's worth of
+    // messages (≈ rate × (dispatch + net latency)) are between hops.
+    assert_conserved(&c, (50_000.0f64 * 0.002) as u64);
+    assert_eq!(c.metrics.total_lost, 0);
+    assert!(c.backlog() > 10_000);
+}
+
+#[test]
+fn conservation_across_elastic_joins() {
+    let (mut c, mut g) = build(4, 1500, 5);
+    c.run(1_000.0, 3.0, &mut g);
+    c.add_matcher();
+    c.run(1_000.0, 3.0, &mut g);
+    c.add_matcher();
+    c.run(1_000.0, 5.0, &mut g);
+    c.drain(10.0);
+    assert_conserved(&c, 0);
+    assert_eq!(c.metrics.total_lost, 0, "elastic joins must not lose messages");
+    assert_eq!(c.backlog(), 0);
+}
+
+#[test]
+fn conservation_across_failures() {
+    let (mut c, mut g) = build(8, 1500, 6);
+    c.run(1_500.0, 3.0, &mut g);
+    c.kill_matcher(MatcherId(2));
+    c.run(1_500.0, 15.0, &mut g);
+    c.kill_matcher(MatcherId(5));
+    c.run(1_500.0, 15.0, &mut g);
+    c.drain(10.0);
+    assert_conserved(&c, 0);
+    assert!(c.metrics.total_lost > 0, "undetected-failure windows lose messages");
+    assert_eq!(c.backlog(), 0, "survivors drain fully");
+    // Bound: losses can't exceed traffic during the two detection windows.
+    let window_traffic = (2.0 * SimConfig::default().detection_delay * 1_500.0) as u64;
+    assert!(
+        c.metrics.total_lost <= window_traffic,
+        "losses {} exceed the detection windows' traffic {}",
+        c.metrics.total_lost,
+        window_traffic
+    );
+}
+
+#[test]
+fn conservation_for_baselines() {
+    for strategy in ["p2p", "full-rep"] {
+        let w = PaperWorkload { seed: 7, ..Default::default() };
+        let space = w.space();
+        let strat = match strategy {
+            "p2p" => Strategy::p2p(space.clone(), 4),
+            _ => Strategy::full_rep(4),
+        };
+        let mut c = SimCluster::new(SimConfig::default(), space, strat, Box::new(RandomPolicy));
+        c.subscribe_all(w.subscriptions().take(800));
+        let mut g = w.messages();
+        c.run(300.0, 4.0, &mut g);
+        c.drain(10.0);
+        assert_conserved(&c, 0);
+        assert_eq!(c.metrics.total_lost, 0, "{strategy} lost messages");
+    }
+}
+
+#[test]
+fn percentiles_are_ordered_and_plausible() {
+    let (mut c, mut g) = build(6, 1500, 8);
+    c.run(1_000.0, 8.0, &mut g);
+    c.drain(5.0);
+    let h = &c.metrics.response_hist;
+    assert_eq!(h.count(), c.metrics.total_delivered);
+    let p50 = h.percentile(50.0);
+    let p95 = h.percentile(95.0);
+    let p99 = h.percentile(99.0);
+    assert!(p50 <= p95 && p95 <= p99, "percentiles out of order");
+    assert!(p50 > 0.0005, "p50 below network latency floor: {p50}");
+    assert!(p99 < 1.0, "p99 implausibly high for an unloaded run: {p99}");
+}

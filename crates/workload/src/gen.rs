@@ -1,0 +1,222 @@
+//! Subscription and message generators.
+//!
+//! Reproduce the evaluation workload of §IV-B: subscriptions are
+//! hyper-cuboids whose centres follow a per-dimension distribution
+//! (cropped normal by default, hot spots spread evenly across dimensions)
+//! with fixed predicate width; messages are points sampled from a
+//! per-dimension distribution (uniform by default, adversely skewed in
+//! Figure 11(c)).
+
+use crate::dist::ValueDist;
+use bluedove_core::{
+    AttributeSpace, Message, SubscriberId, Subscription, SubscriptionId,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-dimension configuration for subscription generation.
+#[derive(Debug, Clone)]
+pub struct SubDimConfig {
+    /// Distribution of the predicate *centre*.
+    pub center: ValueDist,
+    /// Predicate width (the paper uses 250 on a domain of 1000).
+    pub width: f64,
+}
+
+/// Deterministic subscription generator.
+#[derive(Debug, Clone)]
+pub struct SubscriptionGenerator {
+    space: AttributeSpace,
+    dims: Vec<SubDimConfig>,
+    rng: StdRng,
+    next_id: u64,
+    next_subscriber: u64,
+}
+
+impl SubscriptionGenerator {
+    /// Creates a generator with one config per dimension of `space`.
+    ///
+    /// # Panics
+    /// Panics when `dims.len() != space.k()`.
+    pub fn new(space: AttributeSpace, dims: Vec<SubDimConfig>, seed: u64) -> Self {
+        assert_eq!(dims.len(), space.k(), "one SubDimConfig per dimension");
+        SubscriptionGenerator {
+            space,
+            dims,
+            rng: StdRng::seed_from_u64(seed),
+            next_id: 1,
+            next_subscriber: 1,
+        }
+    }
+
+    /// The attribute space subscriptions are generated over.
+    pub fn space(&self) -> &AttributeSpace {
+        &self.space
+    }
+
+    /// Generates the next subscription. Ids and subscriber ids are
+    /// sequential, so a seeded generator reproduces an identical stream.
+    pub fn next_sub(&mut self) -> Subscription {
+        let mut b = Subscription::builder(&self.space).subscriber(SubscriberId(self.next_subscriber));
+        for (i, cfg) in self.dims.iter().enumerate() {
+            let d = &self.space.dims()[i];
+            let center = cfg.center.sample(&mut self.rng, d.min, d.max);
+            let half = cfg.width / 2.0;
+            // Clip to the domain; keep at least a sliver of width so the
+            // predicate is never empty.
+            let lo = (center - half).max(d.min);
+            let hi = (center + half).min(d.max).max(lo + f64::EPSILON * d.len());
+            b = b.range(i, lo, hi);
+        }
+        let mut s = b.build().expect("generated predicate ranges are valid");
+        s.id = SubscriptionId(self.next_id);
+        self.next_id += 1;
+        self.next_subscriber += 1;
+        s
+    }
+
+    /// Generates `n` subscriptions.
+    pub fn take(&mut self, n: usize) -> Vec<Subscription> {
+        (0..n).map(|_| self.next_sub()).collect()
+    }
+}
+
+/// Deterministic message (publication) generator.
+#[derive(Debug, Clone)]
+pub struct MessageGenerator {
+    space: AttributeSpace,
+    dims: Vec<ValueDist>,
+    rng: StdRng,
+    payload_len: usize,
+}
+
+impl MessageGenerator {
+    /// Creates a generator with one value distribution per dimension.
+    ///
+    /// # Panics
+    /// Panics when `dims.len() != space.k()`.
+    pub fn new(space: AttributeSpace, dims: Vec<ValueDist>, seed: u64) -> Self {
+        assert_eq!(dims.len(), space.k(), "one ValueDist per dimension");
+        MessageGenerator { space, dims, rng: StdRng::seed_from_u64(seed), payload_len: 0 }
+    }
+
+    /// Attaches `len` bytes of pseudo-random payload to every message.
+    pub fn with_payload_len(mut self, len: usize) -> Self {
+        self.payload_len = len;
+        self
+    }
+
+    /// The attribute space messages are generated over.
+    pub fn space(&self) -> &AttributeSpace {
+        &self.space
+    }
+
+    /// Generates the next message (id unstamped — dispatchers stamp it).
+    pub fn next_msg(&mut self) -> Message {
+        let values = self
+            .dims
+            .iter()
+            .enumerate()
+            .map(|(i, dist)| {
+                let d = &self.space.dims()[i];
+                dist.sample(&mut self.rng, d.min, d.max)
+            })
+            .collect();
+        let payload = (0..self.payload_len).map(|_| self.rng.gen::<u8>()).collect();
+        Message::with_payload(values, payload)
+    }
+
+    /// Generates `n` messages.
+    pub fn take(&mut self, n: usize) -> Vec<Message> {
+        (0..n).map(|_| self.next_msg()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> AttributeSpace {
+        AttributeSpace::uniform(4, 0.0, 1000.0)
+    }
+
+    fn uniform_cfg() -> Vec<SubDimConfig> {
+        (0..4)
+            .map(|_| SubDimConfig { center: ValueDist::Uniform, width: 250.0 })
+            .collect()
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let mut a = SubscriptionGenerator::new(space(), uniform_cfg(), 9);
+        let mut b = SubscriptionGenerator::new(space(), uniform_cfg(), 9);
+        assert_eq!(a.take(50), b.take(50));
+        let mut c = SubscriptionGenerator::new(space(), uniform_cfg(), 10);
+        assert_ne!(a.take(1), c.take(1));
+    }
+
+    #[test]
+    fn subscriptions_are_valid_and_within_domain() {
+        let mut g = SubscriptionGenerator::new(space(), uniform_cfg(), 1);
+        for s in g.take(200) {
+            assert_eq!(s.k(), 4);
+            for p in &s.predicates {
+                assert!(p.lo < p.hi);
+                assert!(p.lo >= 0.0 && p.hi <= 1000.0);
+                assert!(p.width() <= 250.0 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn ids_are_sequential_and_unique() {
+        let mut g = SubscriptionGenerator::new(space(), uniform_cfg(), 1);
+        let subs = g.take(10);
+        for (i, s) in subs.iter().enumerate() {
+            assert_eq!(s.id.0, i as u64 + 1);
+            assert_eq!(s.subscriber.0, i as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn predicate_width_is_preserved_away_from_edges() {
+        let mut g = SubscriptionGenerator::new(
+            space(),
+            (0..4)
+                .map(|_| SubDimConfig {
+                    center: ValueDist::CroppedNormal { mean: 500.0, std: 50.0 },
+                    width: 250.0,
+                })
+                .collect(),
+            2,
+        );
+        let s = g.next_sub();
+        // Centres near 500 with width 250 never hit the domain edge.
+        for p in &s.predicates {
+            assert!((p.width() - 250.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn messages_are_valid_points() {
+        let sp = space();
+        let mut g = MessageGenerator::new(sp.clone(), vec![ValueDist::Uniform; 4], 3);
+        for m in g.take(200) {
+            assert!(m.validate(&sp).is_ok());
+        }
+    }
+
+    #[test]
+    fn message_payload_length_respected() {
+        let mut g =
+            MessageGenerator::new(space(), vec![ValueDist::Uniform; 4], 3).with_payload_len(64);
+        assert_eq!(g.next_msg().payload.len(), 64);
+    }
+
+    #[test]
+    fn message_generation_is_deterministic() {
+        let mut a = MessageGenerator::new(space(), vec![ValueDist::Uniform; 4], 11);
+        let mut b = MessageGenerator::new(space(), vec![ValueDist::Uniform; 4], 11);
+        assert_eq!(a.take(20), b.take(20));
+    }
+}

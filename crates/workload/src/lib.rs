@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+
+//! # bluedove-workload
+//!
+//! Seeded workload generators reproducing the BlueDove evaluation
+//! distributions (§IV-B, §IV-F):
+//!
+//! - [`dist::ValueDist`] — uniform, cropped-normal (the paper's skewed
+//!   subscription distribution) and Zipf value distributions;
+//! - [`gen::SubscriptionGenerator`] / [`gen::MessageGenerator`] —
+//!   deterministic streams of subscriptions and publications;
+//! - [`scenario::PaperWorkload`] — the §IV-B setup knob-for-knob, plus the
+//!   traffic-monitoring and stock-ticker scenarios used by the examples.
+//!
+//! All generators are seeded; identical seeds reproduce identical streams,
+//! which the experiment harness relies on.
+
+pub mod dist;
+pub mod gen;
+pub mod scenario;
+
+pub use dist::ValueDist;
+pub use gen::{MessageGenerator, SubDimConfig, SubscriptionGenerator};
+pub use scenario::{hot_spot_ratio, stock_ticker, traffic_monitoring, PaperWorkload};

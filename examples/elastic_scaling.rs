@@ -1,0 +1,59 @@
+//! Elasticity demo (§III-C, Figure 9): drive the simulated deployment
+//! toward saturation, add matchers on demand, and watch response time
+//! recover within seconds of each addition.
+//!
+//! ```sh
+//! cargo run --release --example elastic_scaling
+//! ```
+
+use bluedove::core::AdaptivePolicy;
+use bluedove::sim::{SimCluster, SimConfig, Strategy};
+use bluedove::workload::PaperWorkload;
+
+fn main() {
+    let workload = PaperWorkload { seed: 13, ..Default::default() };
+    let space = workload.space();
+    let mut cluster = SimCluster::new(
+        SimConfig::default(),
+        space.clone(),
+        Strategy::bluedove(space, 3),
+        Box::new(AdaptivePolicy),
+    );
+    cluster.subscribe_all(workload.subscriptions().take(8_000));
+    let mut gen = workload.messages();
+
+    println!("{:>6} {:>10} {:>14} {:>9} {:>8}", "t(s)", "rate/s", "response(ms)", "backlog", "event");
+    let slice = 5.0;
+    let mut rate = 500.0;
+    let mut peak = 0.0f64;
+    let mut prev_backlog = 0;
+    for tick in 0..18 {
+        cluster.run(rate, slice, &mut gen);
+        let t = cluster.now();
+        let resp = cluster.metrics.mean_response(t - slice, t) * 1e3;
+        let backlog = cluster.backlog();
+        let mut event = String::new();
+        // Saturation heuristic: the backlog grew by >1% of the slice's
+        // traffic → provision another matcher (split the hottest one).
+        if backlog > prev_backlog + (rate * slice * 0.01) as usize {
+            let id = cluster.add_matcher();
+            event = format!("added {id}");
+        }
+        prev_backlog = backlog;
+        println!("{:>6.0} {:>10.0} {:>14.2} {:>9} {:>8}", t, rate, resp, backlog, event);
+        // Rush hour: ramp for 30 s, hold the peak, then traffic recedes
+        // and the provisioned cluster drains its backlog.
+        if tick < 6 {
+            rate *= 1.25;
+            peak = rate;
+        } else if tick >= 11 {
+            rate = peak * 0.5;
+        }
+    }
+    println!(
+        "final: {} live matchers, {} messages delivered, {} lost",
+        cluster.live_matchers(),
+        cluster.metrics.total_delivered,
+        cluster.metrics.total_lost
+    );
+}

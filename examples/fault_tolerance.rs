@@ -1,0 +1,62 @@
+//! Fault-tolerance demo (§III-A-3, Figure 10): crash a matcher in the
+//! *threaded* cluster and watch dispatchers fail over to the surviving
+//! candidate matchers — every subscription has at least `k` copies, so
+//! delivery continues.
+//!
+//! ```sh
+//! cargo run --release --example fault_tolerance
+//! ```
+
+use bluedove::cluster::{Cluster, ClusterConfig};
+use bluedove::core::{AttributeSpace, MatcherId, Message, Subscription};
+use std::time::Duration;
+
+fn main() {
+    let space = AttributeSpace::uniform(4, 0.0, 1000.0);
+    let mut cluster = Cluster::start(
+        ClusterConfig::new(space.clone()).matchers(5).dispatchers(2),
+    );
+
+    let watcher = cluster
+        .subscribe(Subscription::builder(&space).build().unwrap()) // wildcard
+        .unwrap();
+
+    let publish_burst = |cluster: &mut Cluster, base: u64| {
+        for i in 0..200u64 {
+            let v = (base + i) % 1000;
+            cluster
+                .publish(Message::new(vec![
+                    v as f64,
+                    ((v * 7) % 1000) as f64,
+                    ((v * 13) % 1000) as f64,
+                    ((v * 29) % 1000) as f64,
+                ]))
+                .unwrap();
+        }
+    };
+    let count_deliveries = |watcher: &bluedove::cluster::SubscriberHandle| {
+        let mut got = 0;
+        while watcher.recv_timeout(Duration::from_millis(500)).is_some() {
+            got += 1;
+            if got == 200 {
+                break;
+            }
+        }
+        got
+    };
+
+    publish_burst(&mut cluster, 0);
+    println!("healthy cluster: {}/200 delivered", count_deliveries(&watcher));
+
+    println!("crashing matcher M2 ...");
+    cluster.kill_matcher(MatcherId(2));
+
+    publish_burst(&mut cluster, 500);
+    let after = count_deliveries(&watcher);
+    println!("after crash:     {after}/200 delivered (fail-over to other candidates)");
+
+    let (published, _, _, dropped) = cluster.counters();
+    println!("published={published} dropped={dropped}");
+    assert_eq!(after, 200, "all messages must fail over");
+    cluster.shutdown();
+}

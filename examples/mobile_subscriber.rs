@@ -1,0 +1,56 @@
+//! Indirect delivery (§II-B): a "mobile" subscriber that cannot listen
+//! for incoming connections registers with mailbox delivery and polls
+//! periodically — the model the paper proposes for phones behind NATs.
+//!
+//! ```sh
+//! cargo run --release --example mobile_subscriber
+//! ```
+
+use bluedove::cluster::{Cluster, ClusterConfig};
+use bluedove::core::{AttributeSpace, Message, Subscription};
+use std::time::Duration;
+
+fn main() {
+    let space = AttributeSpace::uniform(4, 0.0, 1000.0);
+    let mut cluster = Cluster::start(ClusterConfig::new(space.clone()).matchers(4));
+
+    // The phone registers interest in a range and goes to sleep; matching
+    // messages accumulate in the cluster's mailbox node meanwhile.
+    let phone = cluster
+        .subscribe_indirect(
+            Subscription::builder(&space).range(0, 0.0, 300.0).build().unwrap(),
+        )
+        .unwrap();
+    println!("phone registered subscription {} with mailbox delivery", phone.subscription);
+
+    for i in 0..30 {
+        cluster
+            .publish(Message::new(vec![
+                (i * 37 % 1000) as f64,
+                (i * 11 % 1000) as f64,
+                1.0,
+                2.0,
+            ]))
+            .unwrap();
+    }
+    println!("published 30 messages while the phone was asleep");
+    std::thread::sleep(Duration::from_millis(400));
+
+    // The phone wakes up and polls in pages of 5.
+    let mut total = 0;
+    loop {
+        let page = phone.poll(5).unwrap();
+        if page.is_empty() {
+            break;
+        }
+        total += page.len();
+        println!(
+            "polled {} deliveries (first attr0 = {:.0})",
+            page.len(),
+            page[0].msg.values[0]
+        );
+    }
+    println!("phone drained {total} stored deliveries");
+    assert!(total > 0);
+    cluster.shutdown();
+}

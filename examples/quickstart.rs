@@ -1,0 +1,57 @@
+//! Quickstart: boot a BlueDove deployment in-process, register a
+//! subscription, publish messages, receive matching deliveries.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use bluedove::cluster::{Cluster, ClusterConfig};
+use bluedove::core::{AttributeSpace, Message, Subscription};
+use std::time::Duration;
+
+fn main() {
+    // Four attributes, each on a [0, 1000) domain — the paper's shape.
+    let space = AttributeSpace::uniform(4, 0.0, 1000.0);
+
+    // Two dispatchers fronting four matchers, adaptive forwarding.
+    let mut cluster = Cluster::start(
+        ClusterConfig::new(space.clone()).matchers(4).dispatchers(2),
+    );
+    println!("started cluster with matchers {:?}", cluster.matcher_ids());
+
+    // Subscribe to a hyper-cuboid: attr0 ∈ [100, 200) ∧ attr1 ∈ [0, 500).
+    let sub = Subscription::builder(&space)
+        .range(0, 100.0, 200.0)
+        .range(1, 0.0, 500.0)
+        .build()
+        .expect("valid predicates");
+    let subscriber = cluster.subscribe(sub).expect("subscription registered");
+    println!("registered subscription {}", subscriber.subscription);
+
+    // Publish three messages; the first two match, the third does not.
+    for values in [
+        vec![150.0, 250.0, 10.0, 900.0],
+        vec![199.9, 499.9, 777.0, 1.0],
+        vec![700.0, 250.0, 10.0, 900.0],
+    ] {
+        cluster
+            .publish(Message::with_payload(values.clone(), b"hello".to_vec()))
+            .expect("published");
+        println!("published {values:?}");
+    }
+
+    // Receive the matching deliveries (one-hop dispatch + matching).
+    while let Some(delivery) = subscriber.recv_timeout(Duration::from_millis(500)) {
+        println!(
+            "delivered {:?} payload={:?} latency={:?}",
+            delivery.msg.values,
+            String::from_utf8_lossy(&delivery.msg.payload),
+            delivery.latency
+        );
+    }
+
+    let (published, matched, deliveries, dropped) = cluster.counters();
+    println!("counters: published={published} matched={matched} deliveries={deliveries} dropped={dropped}");
+    cluster.shutdown();
+    println!("clean shutdown");
+}

@@ -1,0 +1,79 @@
+//! Stock-quote distribution — the classic attribute-based pub/sub
+//! workload (§I): quotes carry `(symbol, price, volume, change%)`
+//! attributes; traders subscribe to ranges. Symbol popularity follows a
+//! Zipf distribution, the "20-80" skew that mPartition turns into an asset
+//! (§III-A-2).
+//!
+//! ```sh
+//! cargo run --release --example stock_ticker
+//! ```
+
+use bluedove::cluster::{Cluster, ClusterConfig, PolicyKind};
+use bluedove::core::Subscription;
+use bluedove::workload::stock_ticker;
+use std::time::Duration;
+
+fn main() {
+    let (space, mut sub_gen, mut quote_feed) = stock_ticker(99);
+    let mut cluster = Cluster::start(
+        ClusterConfig::new(space.clone())
+            .matchers(8)
+            .dispatchers(2)
+            .policy(PolicyKind::Adaptive),
+    );
+
+    // A population of algorithmic traders with Zipf-skewed symbol
+    // interest (generated), plus two hand-written strategies.
+    let mut bulk = Vec::new();
+    for s in sub_gen.take(500) {
+        let mut b = Subscription::builder(&space);
+        for (d, p) in s.predicates.iter().enumerate() {
+            b = b.range(d, p.lo, p.hi);
+        }
+        bulk.push(cluster.subscribe(b.build().unwrap()).unwrap());
+    }
+    let crash_watcher = cluster
+        .subscribe(
+            Subscription::builder(&space)
+                .range(3, -50.0, -8.0) // change% ≤ −8: crash alerts
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+    let whale_watcher = cluster
+        .subscribe(
+            Subscription::builder(&space)
+                .range(2, 300_000.0, 1_000_000.0) // huge volume
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+
+    let quotes = 20_000;
+    let mut publisher = cluster.publisher();
+    for q in quote_feed.take(quotes) {
+        publisher.publish(q).unwrap();
+    }
+    println!("published {quotes} quotes against {} subscriptions", bulk.len() + 2);
+
+    std::thread::sleep(Duration::from_millis(800));
+    let crashes = crash_watcher.drain();
+    let whales = whale_watcher.drain();
+    println!("crash alerts:  {}", crashes.len());
+    for c in crashes.iter().take(3) {
+        println!(
+            "    symbol={:6.0} price={:8.2} change={:+.1}%",
+            c.msg.values[0], c.msg.values[1], c.msg.values[3]
+        );
+    }
+    println!("whale alerts:  {}", whales.len());
+    let bulk_hits: usize = bulk.iter().map(|h| h.drain().len()).sum();
+    println!("bulk trader deliveries: {bulk_hits}");
+
+    let (published, matched, deliveries, dropped) = cluster.counters();
+    println!(
+        "cluster totals: published={published} matched={matched} deliveries={deliveries} dropped={dropped}"
+    );
+    assert_eq!(dropped, 0);
+    cluster.shutdown();
+}

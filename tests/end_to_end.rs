@@ -1,0 +1,142 @@
+//! Cross-crate integration: the same workload produces consistent results
+//! through (a) ground-truth brute-force matching, (b) the discrete-event
+//! simulator, and (c) the threaded cluster.
+
+use bluedove::cluster::{Cluster, ClusterConfig};
+use bluedove::core::{AdaptivePolicy, Message, Subscription};
+use bluedove::sim::{SimCluster, SimConfig, Strategy};
+use bluedove::workload::PaperWorkload;
+use std::time::Duration;
+
+const SUBS: usize = 400;
+const MSGS: usize = 1_000;
+
+fn workload() -> (Vec<Subscription>, Vec<Message>, PaperWorkload) {
+    let w = PaperWorkload { seed: 77, ..Default::default() };
+    let subs = w.subscriptions().take(SUBS);
+    let msgs = w.messages().take(MSGS);
+    (subs, msgs, w)
+}
+
+/// Ground truth: total (message, subscription) match pairs by brute force.
+fn truth_pairs(subs: &[Subscription], msgs: &[Message]) -> u64 {
+    msgs.iter()
+        .map(|m| subs.iter().filter(|s| s.matches(m)).count() as u64)
+        .sum()
+}
+
+#[test]
+fn simulator_matches_ground_truth_exactly() {
+    let (subs, msgs, w) = workload();
+    let expected = truth_pairs(&subs, &msgs);
+
+    let mut sim = SimCluster::new(
+        SimConfig::default(),
+        w.space(),
+        Strategy::bluedove(w.space(), 7),
+        Box::new(AdaptivePolicy),
+    );
+    sim.subscribe_all(subs);
+    // Feed the exact same messages the truth computation used.
+    sim.run_batch(msgs, 500.0);
+    sim.drain(5.0);
+    assert_eq!(sim.metrics.total_sent, MSGS as u64);
+    assert_eq!(sim.metrics.total_delivered, MSGS as u64);
+    assert_eq!(sim.metrics.total_matches, expected, "simulator missed or duplicated matches");
+}
+
+#[test]
+fn simulator_all_strategies_agree_on_match_totals() {
+    let (subs, msgs, w) = workload();
+    let expected = truth_pairs(&subs, &msgs);
+    for strategy in [
+        Strategy::bluedove(w.space(), 5),
+        Strategy::p2p(w.space(), 5),
+        Strategy::full_rep(5),
+    ] {
+        let name = strategy.as_dyn().name();
+        let mut sim = SimCluster::new(
+            SimConfig::default(),
+            w.space(),
+            strategy,
+            Box::new(bluedove::core::RandomPolicy),
+        );
+        sim.subscribe_all(subs.clone());
+        sim.run_batch(msgs.clone(), 500.0);
+        sim.drain(20.0);
+        assert_eq!(
+            sim.metrics.total_matches, expected,
+            "{name} diverged from ground truth"
+        );
+    }
+}
+
+#[test]
+fn threaded_cluster_matches_ground_truth() {
+    let (subs, msgs, w) = workload();
+    let expected = truth_pairs(&subs, &msgs);
+
+    let space = w.space();
+    let mut cluster = Cluster::start(
+        ClusterConfig::new(space.clone()).matchers(5).dispatchers(2),
+    );
+    let mut handles = Vec::new();
+    for s in &subs {
+        let mut b = Subscription::builder(&space);
+        for (d, p) in s.predicates.iter().enumerate() {
+            b = b.range(d, p.lo, p.hi);
+        }
+        handles.push(cluster.subscribe(b.build().unwrap()).unwrap());
+    }
+    let mut publisher = cluster.publisher();
+    for m in &msgs {
+        publisher.publish(m.clone()).unwrap();
+    }
+    // Wait for the pipeline to quiesce, then count deliveries.
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    let mut total = 0u64;
+    loop {
+        let before = total;
+        for h in &handles {
+            total += h.drain().len() as u64;
+        }
+        if total == expected {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "timed out at {total}/{expected} deliveries"
+        );
+        if before == total {
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    }
+    // No spurious extra deliveries.
+    std::thread::sleep(Duration::from_millis(300));
+    for h in &handles {
+        total += h.drain().len() as u64;
+    }
+    assert_eq!(total, expected);
+    cluster.shutdown();
+}
+
+#[test]
+fn sim_and_cluster_deliver_identical_match_pair_counts() {
+    // The two execution substrates implement the same protocol over the
+    // same core; their aggregate match counts must agree.
+    let (subs, msgs, w) = workload();
+    let expected = truth_pairs(&subs, &msgs);
+
+    let mut sim = SimCluster::new(
+        SimConfig::default(),
+        w.space(),
+        Strategy::bluedove(w.space(), 4),
+        Box::new(AdaptivePolicy),
+    );
+    sim.subscribe_all(subs.clone());
+    sim.run_batch(msgs.clone(), 1000.0);
+    sim.drain(10.0);
+
+    assert_eq!(sim.metrics.total_matches, expected);
+    assert_eq!(msgs.len() as u64, sim.metrics.total_sent);
+}

@@ -1,0 +1,121 @@
+//! Shape smoke-tests for the paper's figures at CI scale: every headline
+//! qualitative claim of §IV must hold on a scaled-down run. (The full
+//! sweeps live in the `experiments` binary; these guard regressions.)
+
+use bluedove::bench_support::*;
+use bluedove::core::MatcherId;
+use bluedove::sim::SaturationProbe;
+
+fn quick() -> ExpConfig {
+    let mut cfg = ExpConfig::default();
+    cfg.subscriptions = 2_000;
+    cfg.probe = SaturationProbe { probe_duration: 6.0, refine_iters: 4, ..cfg.probe };
+    cfg
+}
+
+#[test]
+fn fig6a_shape_bluedove_beats_p2p_beats_fullrep() {
+    let cfg = quick();
+    let blue = cfg.saturation_rate(System::BlueDove, 8);
+    let p2p = cfg.saturation_rate(System::P2p, 8);
+    let full = cfg.saturation_rate(System::FullRep, 8);
+    assert!(blue > 2.0 * p2p, "BlueDove {blue:.0} should be multi-fold over P2P {p2p:.0}");
+    assert!(blue > 3.0 * full, "BlueDove {blue:.0} should be multi-fold over Full-Rep {full:.0}");
+    assert!(p2p > full, "P2P {p2p:.0} should beat Full-Rep {full:.0}");
+}
+
+#[test]
+fn fig6a_shape_capacity_grows_with_matchers() {
+    let cfg = quick();
+    let at5 = cfg.saturation_rate(System::BlueDove, 5);
+    let at10 = cfg.saturation_rate(System::BlueDove, 10);
+    assert!(
+        at10 > at5 * 1.5,
+        "doubling matchers should raise capacity substantially: {at5:.0} -> {at10:.0}"
+    );
+}
+
+#[test]
+fn fig7_shape_adaptive_beats_random_multifold() {
+    let cfg = quick();
+    let adaptive = cfg.probe.find_saturation_rate(
+        || cfg.build_with_policy(System::BlueDove, 10, Policy::Adaptive.build()),
+        1_000.0,
+    );
+    let random = cfg.probe.find_saturation_rate(
+        || cfg.build_with_policy(System::BlueDove, 10, Policy::Random.build()),
+        1_000.0,
+    );
+    let resp = cfg.probe.find_saturation_rate(
+        || cfg.build_with_policy(System::BlueDove, 10, Policy::ResponseTime.build()),
+        1_000.0,
+    );
+    assert!(adaptive > 1.5 * random, "adaptive {adaptive:.0} vs random {random:.0}");
+    assert!(adaptive >= resp, "adaptive {adaptive:.0} vs resp-time {resp:.0}");
+}
+
+#[test]
+fn fig8_shape_bluedove_balances_better_than_p2p() {
+    let cfg = quick();
+    let duration = 12.0;
+    let mut imbalances = Vec::new();
+    for system in [System::BlueDove, System::P2p] {
+        let sat = cfg.saturation_rate(system, 10);
+        let (mut c, mut g) = cfg.build(system, 10);
+        c.run(sat * 0.8, duration, &mut g);
+        imbalances.push(c.metrics.load_imbalance(duration));
+    }
+    assert!(
+        imbalances[0] < imbalances[1],
+        "BlueDove σ/µ {} should be below P2P's {}",
+        imbalances[0],
+        imbalances[1]
+    );
+    assert!(imbalances[0] < 0.5, "BlueDove load should be well balanced: {}", imbalances[0]);
+}
+
+#[test]
+fn fig10_shape_loss_window_closes_after_detection() {
+    let cfg = quick();
+    let (mut c, mut g) = cfg.build(System::BlueDove, 10);
+    let rate = 2_000.0;
+    c.run(rate, 5.0, &mut g);
+    c.kill_matcher(MatcherId(0));
+    c.run(rate, 25.0, &mut g);
+    c.drain(5.0);
+    // Losses happen only inside the detection window (5 .. 5+10s).
+    assert!(c.metrics.total_lost > 0, "a crash must lose some messages");
+    let during = c.metrics.loss_rate(5.0, 15.0);
+    let after = c.metrics.loss_rate(16.0, 30.0);
+    assert!(during > 0.0);
+    assert_eq!(after, 0.0, "loss must stop after failure detection");
+    // And the spike should be moderate (~1/N of traffic), like the paper's ~5%.
+    assert!(during < 0.5, "loss spike implausibly large: {during}");
+}
+
+#[test]
+fn fig11b_shape_flatter_subscriptions_reduce_capacity() {
+    let mut sharp = quick();
+    sharp.workload.sub_std = 250.0;
+    let mut flat = quick();
+    flat.workload.sub_std = 1000.0;
+    let r_sharp = sharp.saturation_rate(System::BlueDove, 10);
+    let r_flat = flat.saturation_rate(System::BlueDove, 10);
+    assert!(
+        r_sharp > r_flat,
+        "skew should help BlueDove: σ250 {r_sharp:.0} vs σ1000 {r_flat:.0}"
+    );
+}
+
+#[test]
+fn fig11c_shape_adverse_messages_reduce_capacity() {
+    let benign = quick();
+    let mut adverse = quick();
+    adverse.workload.adverse_dims = 4;
+    let r_benign = benign.saturation_rate(System::BlueDove, 10);
+    let r_adverse = adverse.saturation_rate(System::BlueDove, 10);
+    assert!(
+        r_benign > r_adverse,
+        "adverse skew should hurt: benign {r_benign:.0} vs adverse {r_adverse:.0}"
+    );
+}

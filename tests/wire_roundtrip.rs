@@ -1,0 +1,131 @@
+//! Property tests: every domain type survives a wire round trip, and the
+//! decoder never panics on corrupt input.
+
+use bluedove::core::{
+    DimStats, Message, MessageId, Range, SubscriberId, Subscription, SubscriptionId,
+};
+use bluedove::overlay::{Digest, EndpointState, GossipMsg, NodeId, NodeRole};
+use bluedove_net::{from_bytes, to_bytes, NetResult, Wire};
+use proptest::prelude::*;
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    (
+        any::<u64>(),
+        proptest::collection::vec(-1e6f64..1e6, 0..8),
+        proptest::collection::vec(any::<u8>(), 0..64),
+    )
+        .prop_map(|(id, values, payload)| Message {
+            id: MessageId(id),
+            values,
+            payload,
+        })
+}
+
+fn arb_subscription() -> impl Strategy<Value = Subscription> {
+    (
+        any::<u64>(),
+        any::<u64>(),
+        proptest::collection::vec((-1e6f64..1e6, 0.001f64..1e5), 0..8),
+    )
+        .prop_map(|(id, subscriber, ranges)| Subscription {
+            id: SubscriptionId(id),
+            subscriber: SubscriberId(subscriber),
+            predicates: ranges.into_iter().map(|(lo, w)| Range::new(lo, lo + w)).collect(),
+        })
+}
+
+fn arb_endpoint() -> impl Strategy<Value = EndpointState> {
+    (any::<u64>(), any::<u64>(), any::<u64>(), any::<bool>(), ".{0,32}", any::<u64>(), any::<bool>())
+        .prop_map(|(node, generation, version, matcher, addr, sv, leaving)| {
+            let mut s = EndpointState::new(
+                NodeId(node),
+                if matcher { NodeRole::Matcher } else { NodeRole::Dispatcher },
+                addr,
+                generation,
+            );
+            s.version = version;
+            s.segments_version = sv;
+            s.leaving = leaving;
+            s
+        })
+}
+
+fn round_trip<T: Wire + PartialEq + std::fmt::Debug>(v: &T) {
+    let bytes = to_bytes(v);
+    let back: T = from_bytes(&bytes).expect("decode");
+    assert_eq!(&back, v);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn message_round_trips(m in arb_message()) {
+        round_trip(&m);
+    }
+
+    #[test]
+    fn subscription_round_trips(s in arb_subscription()) {
+        round_trip(&s);
+    }
+
+    #[test]
+    fn endpoint_state_round_trips(s in arb_endpoint()) {
+        round_trip(&s);
+    }
+
+    #[test]
+    fn gossip_messages_round_trip(
+        deltas in proptest::collection::vec(arb_endpoint(), 0..10),
+        requests in proptest::collection::vec(any::<u64>(), 0..10),
+        which in 0u8..3,
+    ) {
+        let msg = match which {
+            0 => GossipMsg::Syn {
+                digests: deltas
+                    .iter()
+                    .map(|d| Digest { node: d.node, generation: d.generation, version: d.version })
+                    .collect(),
+            },
+            1 => GossipMsg::Ack { deltas, requests: requests.into_iter().map(NodeId).collect() },
+            _ => GossipMsg::Ack2 { deltas },
+        };
+        round_trip(&msg);
+    }
+
+    #[test]
+    fn dim_stats_round_trip(
+        sub_count in any::<u32>(),
+        queue_len in any::<u32>(),
+        lambda in 0.0f64..1e9,
+        mu in 0.0f64..1e9,
+        at in 0.0f64..1e9,
+    ) {
+        round_trip(&DimStats {
+            sub_count: sub_count as usize,
+            queue_len: queue_len as usize,
+            lambda,
+            mu,
+            updated_at: at,
+        });
+    }
+
+    #[test]
+    fn decoder_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // Decoding random bytes may fail, but must never panic.
+        let _: NetResult<Message> = from_bytes(&bytes);
+        let _: NetResult<Subscription> = from_bytes(&bytes);
+        let _: NetResult<GossipMsg> = from_bytes(&bytes);
+        let _: NetResult<EndpointState> = from_bytes(&bytes);
+    }
+
+    #[test]
+    fn truncation_always_errors_cleanly(m in arb_message(), cut_frac in 0.0f64..1.0) {
+        let bytes = to_bytes(&m);
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        if cut < bytes.len() {
+            let res: NetResult<Message> = from_bytes(&bytes[..cut]);
+            prop_assert!(res.is_err());
+        }
+    }
+}
