@@ -38,7 +38,10 @@ impl AnyStrategy {
     /// P2P over dimension 0 with uniform segments over matchers `0..n`.
     pub fn p2p(space: AttributeSpace, n: u32) -> Self {
         let ids: Vec<MatcherId> = (0..n).map(MatcherId).collect();
-        AnyStrategy::P2p(P2pPartitioning::new(SegmentTable::uniform(space, &ids), DimIdx(0)))
+        AnyStrategy::P2p(P2pPartitioning::new(
+            SegmentTable::uniform(space, &ids),
+            DimIdx(0),
+        ))
     }
 
     /// Full replication over matchers `0..n`.
@@ -54,7 +57,10 @@ mod tests {
     #[test]
     fn constructors_and_dispatch() {
         let space = AttributeSpace::uniform(2, 0.0, 100.0);
-        assert_eq!(AnyStrategy::bluedove(space.clone(), 3).as_dyn().name(), "bluedove");
+        assert_eq!(
+            AnyStrategy::bluedove(space.clone(), 3).as_dyn().name(),
+            "bluedove"
+        );
         assert_eq!(AnyStrategy::p2p(space, 3).as_dyn().name(), "p2p");
         assert_eq!(AnyStrategy::full_rep(3).as_dyn().name(), "full-rep");
         assert_eq!(AnyStrategy::full_rep(3).as_dyn().matchers().len(), 3);

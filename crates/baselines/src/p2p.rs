@@ -107,7 +107,11 @@ mod tests {
     #[test]
     fn assignment_only_along_chosen_dimension() {
         let p = strategy(4);
-        let s = sub(&p, &[(0, 100.0, 150.0), (1, 0.0, 1000.0), (2, 600.0, 700.0)], 1);
+        let s = sub(
+            &p,
+            &[(0, 100.0, 150.0), (1, 0.0, 1000.0), (2, 600.0, 700.0)],
+            1,
+        );
         let a = p.assign(&s);
         assert_eq!(a.len(), 1);
         assert_eq!(a[0], Assignment::new(MatcherId(0), DimIdx(0)));

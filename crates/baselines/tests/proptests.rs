@@ -23,8 +23,7 @@ fn make_sub(space: &AttributeSpace, id: u64, ranges: &[(f64, f64)]) -> Subscript
 
 fn arb_sub(k: usize) -> impl Strategy<Value = Vec<(f64, f64)>> {
     proptest::collection::vec(
-        (0.0..DOMAIN - 1.0, 1.0..500.0)
-            .prop_map(|(lo, w): (f64, f64)| (lo, (lo + w).min(DOMAIN))),
+        (0.0..DOMAIN - 1.0, 1.0..500.0).prop_map(|(lo, w): (f64, f64)| (lo, (lo + w).min(DOMAIN))),
         k,
     )
 }
@@ -53,7 +52,12 @@ fn completeness(strategy: &dyn PartitionStrategy, subs: &[Subscription], msg: &M
             })
             .unwrap_or_default();
         found.sort_unstable();
-        assert_eq!(found, truth, "candidate {cand:?} incomplete for {}", strategy.name());
+        assert_eq!(
+            found,
+            truth,
+            "candidate {cand:?} incomplete for {}",
+            strategy.name()
+        );
     }
 }
 

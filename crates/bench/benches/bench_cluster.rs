@@ -14,7 +14,10 @@ const MESSAGES: usize = 500;
 const SUBS: usize = 2_000;
 
 fn run_once(strategy: StrategyKind, policy: PolicyKind) -> u64 {
-    let w = PaperWorkload { seed: 21, ..Default::default() };
+    let w = PaperWorkload {
+        seed: 21,
+        ..Default::default()
+    };
     let sp = w.space();
     let mut cluster = Cluster::start(
         ClusterConfig::new(sp.clone())
@@ -58,7 +61,11 @@ fn bench_end_to_end(c: &mut Criterion) {
     group.throughput(Throughput::Elements(MESSAGES as u64));
     for (label, strategy, policy) in [
         ("bluedove", StrategyKind::BlueDove, PolicyKind::Adaptive),
-        ("full-rep", StrategyKind::FullReplication, PolicyKind::Random),
+        (
+            "full-rep",
+            StrategyKind::FullReplication,
+            PolicyKind::Random,
+        ),
     ] {
         group.bench_with_input(BenchmarkId::from_parameter(label), &label, |b, _| {
             b.iter(|| run_once(strategy, policy));

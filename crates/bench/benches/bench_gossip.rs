@@ -60,7 +60,10 @@ fn bench_wire_codec(c: &mut Criterion) {
     let states: Vec<EndpointState> = (0..100)
         .map(|i| EndpointState::new(NodeId(i), NodeRole::Matcher, format!("10.0.0.{i}:7000"), 1))
         .collect();
-    let msg = GossipMsg::Ack { deltas: states, requests: vec![NodeId(1), NodeId(2)] };
+    let msg = GossipMsg::Ack {
+        deltas: states,
+        requests: vec![NodeId(1), NodeId(2)],
+    };
     group.bench_function("encode_ack_100", |b| b.iter(|| to_bytes(&msg).len()));
     let bytes = to_bytes(&msg);
     group.bench_function("decode_ack_100", |b| {

@@ -12,7 +12,10 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 fn bench_matching(c: &mut Criterion) {
     let mut group = c.benchmark_group("index_matching");
     for &size in &[1_000usize, 10_000, 40_000] {
-        let w = PaperWorkload { seed: 1, ..Default::default() };
+        let w = PaperWorkload {
+            seed: 1,
+            ..Default::default()
+        };
         let subs = w.subscriptions().take(size);
         let msgs = w.messages().take(256);
         group.throughput(Throughput::Elements(msgs.len() as u64));
@@ -45,7 +48,10 @@ fn bench_matching(c: &mut Criterion) {
 
 fn bench_insert(c: &mut Criterion) {
     let mut group = c.benchmark_group("index_insert");
-    let w = PaperWorkload { seed: 2, ..Default::default() };
+    let w = PaperWorkload {
+        seed: 2,
+        ..Default::default()
+    };
     let subs = w.subscriptions().take(10_000);
     for (label, kind) in [
         ("linear", IndexKind::Linear),

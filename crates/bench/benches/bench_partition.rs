@@ -18,7 +18,10 @@ fn strategies(n: u32) -> Vec<(&'static str, AnyStrategy)> {
 
 fn bench_assign(c: &mut Criterion) {
     let mut group = c.benchmark_group("partition_assign");
-    let w = PaperWorkload { seed: 3, ..Default::default() };
+    let w = PaperWorkload {
+        seed: 3,
+        ..Default::default()
+    };
     let subs = w.subscriptions().take(1024);
     group.throughput(Throughput::Elements(subs.len() as u64));
     for n in [5u32, 20] {
@@ -39,7 +42,10 @@ fn bench_assign(c: &mut Criterion) {
 
 fn bench_candidates(c: &mut Criterion) {
     let mut group = c.benchmark_group("partition_candidates");
-    let w = PaperWorkload { seed: 4, ..Default::default() };
+    let w = PaperWorkload {
+        seed: 4,
+        ..Default::default()
+    };
     let msgs = w.messages().take(1024);
     group.throughput(Throughput::Elements(msgs.len() as u64));
     for n in [5u32, 20] {
@@ -68,8 +74,9 @@ fn bench_elastic_split(c: &mut Criterion) {
                 else {
                     unreachable!()
                 };
-                let moves =
-                    mp.table_mut().split_join(bluedove_core::MatcherId(n), |m, _| m.0 as f64);
+                let moves = mp
+                    .table_mut()
+                    .split_join(bluedove_core::MatcherId(n), |m, _| m.0 as f64);
                 moves.len()
             });
         });

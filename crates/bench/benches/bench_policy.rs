@@ -54,7 +54,13 @@ fn bench_view_update(c: &mut Criterion) {
     let mut group = c.benchmark_group("stats_view");
     group.bench_function("update", |b| {
         let mut view = make_view(20, 4);
-        let stats = DimStats { sub_count: 10, queue_len: 1, lambda: 5.0, mu: 9.0, updated_at: 2.0 };
+        let stats = DimStats {
+            sub_count: 10,
+            queue_len: 1,
+            lambda: 5.0,
+            mu: 9.0,
+            updated_at: 2.0,
+        };
         let mut i = 0u32;
         b.iter(|| {
             i = (i + 1) % 20;

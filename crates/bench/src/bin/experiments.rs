@@ -43,7 +43,11 @@ fn main() {
     }
     if args.iter().any(|a| a == "--quick") {
         cfg.subscriptions = 2_000;
-        cfg.probe = SaturationProbe { probe_duration: 6.0, refine_iters: 4, ..cfg.probe };
+        cfg.probe = SaturationProbe {
+            probe_duration: 6.0,
+            refine_iters: 4,
+            ..cfg.probe
+        };
     }
     if let Some(i) = args.iter().position(|a| a == "--subs") {
         cfg.subscriptions = args
@@ -105,7 +109,10 @@ fn fig5(cfg: &ExpConfig) {
         let (mut c, mut g) = cfg.build(System::BlueDove, 20);
         c.run(sat * mult, 20.0, &mut g);
         let series: Vec<f64> = (0..10)
-            .map(|i| c.metrics.mean_response(i as f64 * 2.0, (i + 1) as f64 * 2.0))
+            .map(|i| {
+                c.metrics
+                    .mean_response(i as f64 * 2.0, (i + 1) as f64 * 2.0)
+            })
             .collect();
         for (i, r) in series.iter().enumerate() {
             if label == "below" {
@@ -120,7 +127,10 @@ fn fig5(cfg: &ExpConfig) {
             c.metrics.response_hist.percentile(99.0) * 1e3
         );
     }
-    println!("    {:>6} {:>14} {:>14}", "t(s)", "below (ms)", "above (ms)");
+    println!(
+        "    {:>6} {:>14} {:>14}",
+        "t(s)", "below (ms)", "above (ms)"
+    );
     for (t, lo, hi) in &rows {
         println!("    {:>6.0} {:>14.2} {:>14.2}", t, lo * 1e3, hi * 1e3);
     }
@@ -308,7 +318,10 @@ fn fig10(cfg: &ExpConfig) {
     // run "continues to function normally").
     let rate = sat * 0.4;
     println!("    rate: {} (40% of saturation)", fmt_rate(rate).trim());
-    println!("    {:>6} {:>12} {:>10} {:>8}", "t(s)", "resp (ms)", "loss (%)", "event");
+    println!(
+        "    {:>6} {:>12} {:>10} {:>8}",
+        "t(s)", "resp (ms)", "loss (%)", "event"
+    );
     let phase = 30.0;
     for round in 0..4 {
         let victim = bluedove_core::MatcherId(round as u32);
@@ -351,12 +364,19 @@ fn fig11a(cfg: &ExpConfig) {
     let mut first = 0.0;
     for k in 1..=4usize {
         let mut c2 = cfg.clone();
-        c2.workload = PaperWorkload { k, ..cfg.workload.clone() };
+        c2.workload = PaperWorkload {
+            k,
+            ..cfg.workload.clone()
+        };
         let rate = c2.saturation_rate(System::BlueDove, 20);
         if k == 1 {
             first = rate;
         }
-        println!("    k={k}: {}  ({:.1}x of k=1)", fmt_rate(rate), rate / first);
+        println!(
+            "    k={k}: {}  ({:.1}x of k=1)",
+            fmt_rate(rate),
+            rate / first
+        );
     }
 }
 
@@ -370,9 +390,16 @@ fn fig11b(cfg: &ExpConfig) {
     println!("    P2P reference: {}", fmt_rate(p2p).trim());
     for std in [250.0, 500.0, 750.0, 1000.0] {
         let mut c2 = cfg.clone();
-        c2.workload = PaperWorkload { sub_std: std, ..cfg.workload.clone() };
+        c2.workload = PaperWorkload {
+            sub_std: std,
+            ..cfg.workload.clone()
+        };
         let rate = c2.saturation_rate(System::BlueDove, 20);
-        println!("    σ={std:>6}: {}  ({:.1}x of P2P)", fmt_rate(rate), rate / p2p);
+        println!(
+            "    σ={std:>6}: {}  ({:.1}x of P2P)",
+            fmt_rate(rate),
+            rate / p2p
+        );
     }
 }
 
@@ -383,12 +410,22 @@ fn fig11c(cfg: &ExpConfig) {
         "rate drops >50% with 4 adverse dims but stays above P2P-with-uniform",
     );
     let p2p = cfg.saturation_rate(System::P2p, 20);
-    println!("    P2P reference (uniform messages): {}", fmt_rate(p2p).trim());
+    println!(
+        "    P2P reference (uniform messages): {}",
+        fmt_rate(p2p).trim()
+    );
     for adverse in 0..=4usize {
         let mut c2 = cfg.clone();
-        c2.workload = PaperWorkload { adverse_dims: adverse, ..cfg.workload.clone() };
+        c2.workload = PaperWorkload {
+            adverse_dims: adverse,
+            ..cfg.workload.clone()
+        };
         let rate = c2.saturation_rate(System::BlueDove, 20);
-        println!("    adverse dims {adverse}: {}  ({:.1}x of P2P)", fmt_rate(rate), rate / p2p);
+        println!(
+            "    adverse dims {adverse}: {}  ({:.1}x of P2P)",
+            fmt_rate(rate),
+            rate / p2p
+        );
     }
 }
 
@@ -418,7 +455,13 @@ fn ablations(cfg: &ExpConfig) {
         // uses_estimation() defaults to false: no reservations recorded.
     }
     let with = cfg.probe.find_saturation_rate(
-        || cfg.build_with_policy(System::BlueDove, 20, Box::new(bluedove_core::AdaptivePolicy)),
+        || {
+            cfg.build_with_policy(
+                System::BlueDove,
+                20,
+                Box::new(bluedove_core::AdaptivePolicy),
+            )
+        },
         2_000.0,
     );
     let without = cfg.probe.find_saturation_rate(
@@ -426,7 +469,11 @@ fn ablations(cfg: &ExpConfig) {
         2_000.0,
     );
     println!("    adaptive with reservations:    {}", fmt_rate(with));
-    println!("    adaptive without reservations: {}  ({:.2}x)", fmt_rate(without), with / without);
+    println!(
+        "    adaptive without reservations: {}  ({:.2}x)",
+        fmt_rate(without),
+        with / without
+    );
 
     // (b) Stats-update staleness: double and halve the report interval.
     for (label, interval) in [("0.5 s", 0.5), ("1 s (default)", 1.0), ("2 s", 2.0)] {

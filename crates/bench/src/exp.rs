@@ -70,7 +70,12 @@ impl Policy {
 
     /// All four, in Figure 7's order.
     pub fn all() -> [Policy; 4] {
-        [Policy::Adaptive, Policy::ResponseTime, Policy::SubCount, Policy::Random]
+        [
+            Policy::Adaptive,
+            Policy::ResponseTime,
+            Policy::SubCount,
+            Policy::Random,
+        ]
     }
 }
 
@@ -149,7 +154,8 @@ impl ExpConfig {
             System::P2p => 500.0,
             System::FullRep => 100.0,
         };
-        self.probe.find_saturation_rate(|| self.build(system, n), hint)
+        self.probe
+            .find_saturation_rate(|| self.build(system, n), hint)
     }
 
     /// Maximum subscriptions `system` at `n` matchers sustains at
@@ -207,10 +213,16 @@ mod tests {
 
     #[test]
     fn build_loads_subscriptions() {
-        let cfg = ExpConfig { subscriptions: 100, ..Default::default() };
+        let cfg = ExpConfig {
+            subscriptions: 100,
+            ..Default::default()
+        };
         let (c, _g) = cfg.build(System::BlueDove, 4);
         let total: usize = c.sub_counts().iter().map(|&(_, n)| n).sum();
-        assert!(total >= 100 * 4, "k=4 copies per sub at minimum, got {total}");
+        assert!(
+            total >= 100 * 4,
+            "k=4 copies per sub at minimum, got {total}"
+        );
     }
 
     #[test]

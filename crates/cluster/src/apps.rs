@@ -113,11 +113,15 @@ impl MultiAppCluster {
     }
 
     fn get(&self, app: &str) -> Result<&Cluster, AppError> {
-        self.apps.get(app).ok_or_else(|| AppError::UnknownApp(app.to_string()))
+        self.apps
+            .get(app)
+            .ok_or_else(|| AppError::UnknownApp(app.to_string()))
     }
 
     fn get_mut(&mut self, app: &str) -> Result<&mut Cluster, AppError> {
-        self.apps.get_mut(app).ok_or_else(|| AppError::UnknownApp(app.to_string()))
+        self.apps
+            .get_mut(app)
+            .ok_or_else(|| AppError::UnknownApp(app.to_string()))
     }
 
     /// Subscribes within one application.

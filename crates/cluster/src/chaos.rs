@@ -1,0 +1,244 @@
+//! Deterministic chaos harness: scripted fault schedules replayed against
+//! a live [`Cluster`], plus the invariant probes the chaos suite asserts.
+//!
+//! A [`FaultSchedule`] is an ordered list of timestamped [`ChaosEvent`]s —
+//! crash, restart, partition, heal, degrade — that [`FaultSchedule::run`]
+//! replays in real time against a cluster started with
+//! [`ClusterConfig::fault_injection`](crate::ClusterConfig::fault_injection).
+//! Everything randomized downstream (drop/duplicate/reorder draws) comes
+//! from the cluster's single seeded fault RNG, so a failing scenario is
+//! reproduced by re-running with the same seed and schedule.
+//!
+//! The probes encode the §III-A-3 / §III-C guarantees at test scale:
+//!
+//! - [`publish_until_delivered`] — while at least one candidate matcher
+//!   per dimension is alive, an (at-least-once re-)published message is
+//!   eventually delivered to its matching subscription;
+//! - [`await_membership`] — after a heal or restart, every running
+//!   matcher's failure detector re-converges on the live membership
+//!   within `dead_after` + ε.
+
+use crate::cluster::{Cluster, ClusterError, Delivery, SubscriberHandle};
+use bluedove_core::{MatcherId, Message};
+use bluedove_net::{AddrSet, FaultHandle, LinkRule};
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// One scripted fault action.
+#[derive(Clone, Debug)]
+pub enum ChaosEvent {
+    /// Crash a matcher wholesale ([`Cluster::kill_matcher`]).
+    Kill(MatcherId),
+    /// Restart a previously killed matcher with a bumped gossip
+    /// generation ([`Cluster::restart_matcher`]).
+    Restart(MatcherId),
+    /// Install a bidirectional partition between two address sets.
+    Partition {
+        /// One side of the cut.
+        a: AddrSet,
+        /// The other side.
+        b: AddrSet,
+    },
+    /// Remove every installed partition.
+    HealPartitions,
+    /// Install a link-degradation rule (drop / delay / duplicate /
+    /// reorder probabilities on matching links).
+    Degrade(LinkRule),
+    /// Remove every rule and partition.
+    ClearFaults,
+}
+
+impl fmt::Display for ChaosEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChaosEvent::Kill(m) => write!(f, "kill m/{}", m.0),
+            ChaosEvent::Restart(m) => write!(f, "restart m/{}", m.0),
+            ChaosEvent::Partition { .. } => write!(f, "partition"),
+            ChaosEvent::HealPartitions => write!(f, "heal partitions"),
+            ChaosEvent::Degrade(_) => write!(f, "degrade link"),
+            ChaosEvent::ClearFaults => write!(f, "clear faults"),
+        }
+    }
+}
+
+/// A timestamped fault action (offset from schedule start).
+#[derive(Clone, Debug)]
+pub struct ChaosStep {
+    /// When to apply the event, relative to [`FaultSchedule::run`].
+    pub at: Duration,
+    /// The action.
+    pub event: ChaosEvent,
+}
+
+/// An ordered script of fault events (builder-style).
+#[derive(Clone, Debug, Default)]
+pub struct FaultSchedule {
+    steps: Vec<ChaosStep>,
+}
+
+impl FaultSchedule {
+    /// An empty schedule.
+    pub fn new() -> Self {
+        FaultSchedule::default()
+    }
+
+    /// Appends `event` at offset `at` (steps are replayed in `at` order
+    /// regardless of insertion order).
+    pub fn at(mut self, at: Duration, event: ChaosEvent) -> Self {
+        self.steps.push(ChaosStep { at, event });
+        self
+    }
+
+    /// Number of scheduled steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the schedule has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Replays the schedule against `cluster` in real time, sleeping
+    /// between steps. Returns the applied events with their actual
+    /// offsets. Partition/degrade events require the cluster to have
+    /// been started with fault injection enabled.
+    pub fn run(&self, cluster: &mut Cluster) -> Result<ChaosReport, ClusterError> {
+        let mut steps = self.steps.clone();
+        steps.sort_by_key(|s| s.at);
+        let start = Instant::now();
+        let mut applied = Vec::with_capacity(steps.len());
+        for step in steps {
+            let now = Instant::now();
+            let target = start + step.at;
+            if target > now {
+                std::thread::sleep(target - now);
+            }
+            apply(cluster, &step.event)?;
+            applied.push((start.elapsed(), step.event));
+        }
+        Ok(ChaosReport { applied })
+    }
+}
+
+/// What a schedule replay actually did, with real offsets.
+#[derive(Clone, Debug)]
+pub struct ChaosReport {
+    /// `(actual offset, event)` pairs in application order.
+    pub applied: Vec<(Duration, ChaosEvent)>,
+}
+
+impl fmt::Display for ChaosReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (at, ev) in &self.applied {
+            writeln!(f, "  t={:>7.3}s  {ev}", at.as_secs_f64())?;
+        }
+        Ok(())
+    }
+}
+
+fn fault(cluster: &Cluster) -> Result<FaultHandle, ClusterError> {
+    cluster.fault_handle().ok_or(ClusterError::Invalid(
+        "fault injection not enabled on this cluster",
+    ))
+}
+
+fn apply(cluster: &mut Cluster, event: &ChaosEvent) -> Result<(), ClusterError> {
+    match event {
+        ChaosEvent::Kill(m) => {
+            cluster.kill_matcher(*m);
+            Ok(())
+        }
+        ChaosEvent::Restart(m) => cluster.restart_matcher(*m),
+        ChaosEvent::Partition { a, b } => {
+            fault(cluster)?.partition(a.clone(), b.clone());
+            Ok(())
+        }
+        ChaosEvent::HealPartitions => {
+            fault(cluster)?.heal_partitions();
+            Ok(())
+        }
+        ChaosEvent::Degrade(rule) => {
+            fault(cluster)?.add_rule(rule.clone());
+            Ok(())
+        }
+        ChaosEvent::ClearFaults => {
+            fault(cluster)?.clear();
+            Ok(())
+        }
+    }
+}
+
+/// Republishes `msg` (at-least-once) until `sub` receives a delivery
+/// carrying the same attribute values, or `deadline` elapses. Send
+/// errors (e.g. a partitioned dispatcher link) are treated as retryable.
+/// Returns the delivery and how long it took.
+pub fn publish_until_delivered(
+    cluster: &mut Cluster,
+    sub: &SubscriberHandle,
+    msg: &Message,
+    deadline: Duration,
+) -> Result<(Delivery, Duration), ClusterError> {
+    let start = Instant::now();
+    loop {
+        let _ = cluster.publish(msg.clone());
+        if let Some(d) = sub.recv_timeout(Duration::from_millis(200)) {
+            if d.msg.values == msg.values {
+                return Ok((d, start.elapsed()));
+            }
+            continue; // stale delivery from an earlier probe
+        }
+        if start.elapsed() >= deadline {
+            return Err(ClusterError::Timeout("eventual delivery under faults"));
+        }
+    }
+}
+
+/// Waits until every **running** matcher's failure detector reports
+/// exactly `expected_live` Alive peers, or `deadline` elapses. Returns
+/// the time convergence took.
+pub fn await_membership(
+    cluster: &Cluster,
+    expected_live: usize,
+    deadline: Duration,
+) -> Result<Duration, ClusterError> {
+    let start = Instant::now();
+    loop {
+        let running = cluster.matcher_ids();
+        let counts = cluster.gossip_live_counts();
+        let converged = !running.is_empty()
+            && running
+                .iter()
+                .all(|m| counts.iter().any(|&(id, n)| id == *m && n == expected_live));
+        if converged {
+            return Ok(start.elapsed());
+        }
+        if start.elapsed() >= deadline {
+            return Err(ClusterError::Timeout("gossip membership reconvergence"));
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_orders_steps_by_offset() {
+        let s = FaultSchedule::new()
+            .at(Duration::from_millis(50), ChaosEvent::HealPartitions)
+            .at(Duration::from_millis(10), ChaosEvent::Kill(MatcherId(1)));
+        assert_eq!(s.len(), 2);
+        let mut steps = s.steps.clone();
+        steps.sort_by_key(|st| st.at);
+        assert!(matches!(steps[0].event, ChaosEvent::Kill(_)));
+    }
+
+    #[test]
+    fn events_display_compactly() {
+        assert_eq!(ChaosEvent::Kill(MatcherId(3)).to_string(), "kill m/3");
+        assert_eq!(ChaosEvent::Restart(MatcherId(0)).to_string(), "restart m/0");
+        assert_eq!(ChaosEvent::ClearFaults.to_string(), "clear faults");
+    }
+}

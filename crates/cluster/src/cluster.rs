@@ -16,16 +16,16 @@ use crate::dispatcher::{DispatcherNode, DispatcherNodeConfig, RoutingState};
 use crate::mailbox::MailboxNode;
 use crate::matcher::{MatcherNode, MatcherNodeConfig};
 use crate::proto::ControlMsg;
-use crate::shared::{
-    control_addr, dispatcher_addr, matcher_addr, subscriber_addr, Shared,
-};
+use crate::shared::{control_addr, dispatcher_addr, matcher_addr, subscriber_addr, Shared};
 use bluedove_baselines::AnyStrategy;
 use bluedove_core::{
     AdaptivePolicy, AttributeSpace, DimIdx, ForwardingPolicy, IndexKind, MatcherId, Message,
     RandomPolicy, ResponseTimePolicy, SubscriberId, Subscription, SubscriptionCountPolicy,
     SubscriptionId,
 };
-use bluedove_net::{from_bytes, to_bytes, ChannelTransport, NetError, Transport};
+use bluedove_net::{
+    from_bytes, to_bytes, ChannelTransport, FaultHandle, FaultTransport, NetError, Transport,
+};
 use bytes::Bytes;
 use crossbeam::channel::Receiver;
 use std::collections::HashMap;
@@ -85,6 +85,8 @@ pub struct ClusterConfig {
     gossip_interval: Duration,
     table_pull_interval: Duration,
     seed: u64,
+    fault_seed: Option<u64>,
+    failure_detector: bluedove_overlay::FailureDetectorConfig,
 }
 
 impl ClusterConfig {
@@ -102,6 +104,8 @@ impl ClusterConfig {
             gossip_interval: Duration::from_millis(250),
             table_pull_interval: Duration::from_millis(200),
             seed: 42,
+            fault_seed: None,
+            failure_detector: bluedove_overlay::FailureDetectorConfig::default(),
         }
     }
 
@@ -159,6 +163,23 @@ impl ClusterConfig {
         self.seed = s;
         self
     }
+
+    /// Enables deterministic fault injection: every node's transport is
+    /// wrapped in a [`FaultTransport`] scoped to that node's address, all
+    /// sharing one [`FaultHandle`] (retrieved via
+    /// [`Cluster::fault_handle`]) seeded with `seed`. With no rules or
+    /// partitions installed the wrapper is a pure pass-through.
+    pub fn fault_injection(mut self, seed: u64) -> Self {
+        self.fault_seed = Some(seed);
+        self
+    }
+
+    /// Sets the matchers' failure-detector thresholds (chaos tests shrink
+    /// these so Suspect/Dead declarations land in test-scale time).
+    pub fn failure_detector(mut self, fd: bluedove_overlay::FailureDetectorConfig) -> Self {
+        self.failure_detector = fd;
+        self
+    }
 }
 
 /// Errors surfaced by the cluster API.
@@ -170,6 +191,9 @@ pub enum ClusterError {
     Timeout(&'static str),
     /// The operation requires the BlueDove strategy.
     WrongStrategy,
+    /// The operation's precondition does not hold (e.g. restarting a
+    /// matcher that is still running).
+    Invalid(&'static str),
 }
 
 impl fmt::Display for ClusterError {
@@ -178,6 +202,7 @@ impl fmt::Display for ClusterError {
             ClusterError::Net(e) => write!(f, "net: {e}"),
             ClusterError::Timeout(w) => write!(f, "timed out waiting for {w}"),
             ClusterError::WrongStrategy => write!(f, "operation requires the BlueDove strategy"),
+            ClusterError::Invalid(w) => write!(f, "invalid operation: {w}"),
         }
     }
 }
@@ -221,9 +246,19 @@ impl SubscriberHandle {
         loop {
             let remaining = deadline.saturating_duration_since(Instant::now());
             let payload = self.rx.recv_timeout(remaining).ok()?;
-            if let Ok(ControlMsg::Deliver { sub, msg, admitted_us, .. }) = from_bytes(&payload) {
+            if let Ok(ControlMsg::Deliver {
+                sub,
+                msg,
+                admitted_us,
+                ..
+            }) = from_bytes(&payload)
+            {
                 let latency_us = self.shared.now_us().saturating_sub(admitted_us);
-                return Some(Delivery { sub, msg, latency: Duration::from_micros(latency_us) });
+                return Some(Delivery {
+                    sub,
+                    msg,
+                    latency: Duration::from_micros(latency_us),
+                });
             }
             // Skip acks or stray control traffic.
         }
@@ -233,9 +268,19 @@ impl SubscriberHandle {
     pub fn drain(&self) -> Vec<Delivery> {
         let mut out = Vec::new();
         while let Ok(payload) = self.rx.try_recv() {
-            if let Ok(ControlMsg::Deliver { sub, msg, admitted_us, .. }) = from_bytes(&payload) {
+            if let Ok(ControlMsg::Deliver {
+                sub,
+                msg,
+                admitted_us,
+                ..
+            }) = from_bytes(&payload)
+            {
                 let latency_us = self.shared.now_us().saturating_sub(admitted_us);
-                out.push(Delivery { sub, msg, latency: Duration::from_micros(latency_us) });
+                out.push(Delivery {
+                    sub,
+                    msg,
+                    latency: Duration::from_micros(latency_us),
+                });
             }
         }
         out
@@ -294,7 +339,8 @@ impl IndirectSubscriber {
             reply_to: self.reply_addr.clone(),
             max,
         };
-        self.transport.send(&self.mailbox_addr, to_bytes(&req).freeze())?;
+        self.transport
+            .send(&self.mailbox_addr, to_bytes(&req).freeze())?;
         let deadline = Instant::now() + Duration::from_secs(5);
         loop {
             let remaining = deadline.saturating_duration_since(Instant::now());
@@ -322,6 +368,9 @@ pub struct Cluster {
     cfg: ClusterConfig,
     channel: ChannelTransport,
     transport: Arc<dyn Transport>,
+    /// Set when [`ClusterConfig::fault_injection`] was enabled: the shared
+    /// fault layer every node's transport is scoped from.
+    fault: Option<FaultTransport>,
     shared: Arc<Shared>,
     matchers: HashMap<MatcherId, MatcherNode>,
     dispatchers: Vec<DispatcherNode>,
@@ -332,6 +381,12 @@ pub struct Cluster {
     publish_rr: usize,
     /// Monotone management-plane table version (TableUpdate ordering).
     table_version: u64,
+    /// Per-matcher gossip incarnation numbers (bumped by
+    /// [`restart_matcher`](Self::restart_matcher)).
+    generations: HashMap<MatcherId, u64>,
+    /// Every acked subscription, by id — the durable registration store a
+    /// restarted matcher recovers its copies from.
+    sub_registry: HashMap<SubscriptionId, Subscription>,
 }
 
 impl Cluster {
@@ -339,7 +394,20 @@ impl Cluster {
     /// dispatchers, and registers all addresses.
     pub fn start(cfg: ClusterConfig) -> Self {
         let channel = ChannelTransport::new();
-        let transport: Arc<dyn Transport> = Arc::new(channel.clone());
+        let base: Arc<dyn Transport> = Arc::new(channel.clone());
+        // With fault injection on, every node sends through its own scoped
+        // clone of one shared fault layer (so partitions and link rules
+        // can tell senders apart); otherwise nodes share the raw channel.
+        let fault = cfg
+            .fault_seed
+            .map(|seed| FaultTransport::new(base.clone(), seed));
+        let scope = |origin: &str| -> Arc<dyn Transport> {
+            match &fault {
+                Some(f) => Arc::new(f.scoped(origin)),
+                None => base.clone(),
+            }
+        };
+        let transport: Arc<dyn Transport> = scope(&control_addr());
         let strategy = match cfg.strategy {
             StrategyKind::BlueDove => AnyStrategy::bluedove(cfg.space.clone(), cfg.matchers),
             StrategyKind::P2p => AnyStrategy::p2p(cfg.space.clone(), cfg.matchers),
@@ -361,6 +429,7 @@ impl Cluster {
             })
             .collect();
         let mut matchers = HashMap::new();
+        let mut generations = HashMap::new();
         for i in 0..cfg.matchers {
             let id = MatcherId(i);
             let addr = matcher_addr(id);
@@ -368,16 +437,19 @@ impl Cluster {
             let node = MatcherNode::spawn(
                 MatcherNodeConfig {
                     id,
-                    addr,
+                    addr: addr.clone(),
                     index: cfg.index,
                     stats_interval: cfg.stats_interval,
                     gossip_interval: cfg.gossip_interval,
                     gossip_seeds: seeds.clone(),
+                    generation: 1,
+                    failure_detector: cfg.failure_detector,
                 },
                 shared.clone(),
-                transport.clone(),
+                scope(&addr),
             );
             matchers.insert(id, node);
+            generations.insert(id, 1);
         }
         // Install the initial table on every matcher so dispatcher pulls
         // have an authoritative source from the first round.
@@ -404,22 +476,23 @@ impl Cluster {
             dispatchers.push(DispatcherNode::spawn(
                 DispatcherNodeConfig {
                     index: i,
-                    addr,
+                    addr: addr.clone(),
                     policy: cfg.policy.build(),
                     seed: cfg.seed ^ (i as u64).wrapping_mul(0x9E37_79B9),
                     bootstrap: bootstrap.clone(),
                     table_pull_interval: cfg.table_pull_interval,
                 },
                 shared.clone(),
-                transport.clone(),
+                scope(&addr),
             ));
         }
-        let mailbox = MailboxNode::spawn("mb/0".to_string(), transport.clone());
+        let mailbox = MailboxNode::spawn("mb/0".to_string(), scope("mb/0"));
         let next_matcher = cfg.matchers;
         Cluster {
             cfg,
             channel,
             transport,
+            fault,
             shared,
             matchers,
             dispatchers,
@@ -429,7 +502,23 @@ impl Cluster {
             next_matcher,
             publish_rr: 0,
             table_version: 1,
+            generations,
+            sub_registry: HashMap::new(),
         }
+    }
+
+    /// A transport scoped to `origin` for a node spawned after start.
+    fn scoped_transport(&self, origin: &str) -> Arc<dyn Transport> {
+        match &self.fault {
+            Some(f) => Arc::new(f.scoped(origin)),
+            None => Arc::new(self.channel.clone()),
+        }
+    }
+
+    /// The shared fault-injection handle, when
+    /// [`ClusterConfig::fault_injection`] was enabled.
+    pub fn fault_handle(&self) -> Option<FaultHandle> {
+        self.fault.as_ref().map(|f| f.handle())
     }
 
     /// The attribute space of the deployment.
@@ -464,6 +553,22 @@ impl Cluster {
         v
     }
 
+    /// Per-matcher counts of peers each matcher's failure detector deems
+    /// Alive, as of its last gossip tick. Entries for killed matchers
+    /// linger until overwritten by a restart; filter by
+    /// [`matcher_ids`](Self::matcher_ids) to probe only running nodes.
+    pub fn gossip_live_counts(&self) -> Vec<(MatcherId, usize)> {
+        let mut v: Vec<(MatcherId, usize)> = self
+            .shared
+            .gossip_live
+            .read()
+            .iter()
+            .map(|(&m, &n)| (m, n))
+            .collect();
+        v.sort_unstable_by_key(|&(m, _)| m);
+        v
+    }
+
     /// Live matcher ids, ascending.
     pub fn matcher_ids(&self) -> Vec<MatcherId> {
         let mut v: Vec<MatcherId> = self.matchers.keys().copied().collect();
@@ -481,8 +586,10 @@ impl Cluster {
         sub.subscriber = subscriber;
         let rx = self.transport.bind(&subscriber_addr(subscriber.0))?;
         let d = &self.dispatchers[(subscriber.0 as usize) % self.dispatchers.len()];
-        self.transport
-            .send(&d.addr, to_bytes(&ControlMsg::Subscribe(sub.clone())).freeze())?;
+        self.transport.send(
+            &d.addr,
+            to_bytes(&ControlMsg::Subscribe(sub.clone())).freeze(),
+        )?;
         // Wait for the ack (skipping nothing: the ack is the first thing
         // this fresh endpoint can receive).
         let deadline = Instant::now() + Duration::from_secs(5);
@@ -493,6 +600,7 @@ impl Cluster {
                 .map_err(|_| ClusterError::Timeout("subscription ack"))?;
             if let Ok(ControlMsg::SubAck { sub: id }) = from_bytes(&payload) {
                 sub.id = id;
+                self.sub_registry.insert(id, sub.clone());
                 return Ok(SubscriberHandle {
                     id: subscriber,
                     subscription: id,
@@ -508,9 +616,12 @@ impl Cluster {
     /// from the matchers (fire-and-forget; in-flight messages may still be
     /// delivered).
     pub fn unsubscribe(&mut self, handle: &SubscriberHandle) -> Result<(), ClusterError> {
+        self.sub_registry.remove(&handle.subscription);
         let d = &self.dispatchers[(handle.id.0 as usize) % self.dispatchers.len()];
-        self.transport
-            .send(&d.addr, to_bytes(&ControlMsg::Unsubscribe(handle.sub.clone())).freeze())?;
+        self.transport.send(
+            &d.addr,
+            to_bytes(&ControlMsg::Unsubscribe(handle.sub.clone())).freeze(),
+        )?;
         Ok(())
     }
 
@@ -530,7 +641,8 @@ impl Cluster {
         // ...then atomically re-route the subscriber address onto the
         // mailbox inbox and forward anything that raced into the
         // temporary endpoint.
-        self.channel.alias(&subscriber_addr(handle.id.0), &mailbox_addr)?;
+        self.channel
+            .alias(&subscriber_addr(handle.id.0), &mailbox_addr)?;
         for raced in handle.drain_raw() {
             let _ = self.transport.send(&mailbox_addr, raced);
         }
@@ -592,23 +704,13 @@ impl Cluster {
         // Spawn the new matcher and register its address so hand-overs and
         // future routing can reach it.
         let addr = matcher_addr(new_id);
-        self.shared.matcher_addrs.write().insert(new_id, addr.clone());
+        self.shared
+            .matcher_addrs
+            .write()
+            .insert(new_id, addr.clone());
         // Seed the newcomer with the current membership so it can join the
         // gossip mesh immediately.
-        let seeds: Vec<bluedove_overlay::EndpointState> = self
-            .shared
-            .matcher_addrs
-            .read()
-            .iter()
-            .map(|(&m, a)| {
-                bluedove_overlay::EndpointState::new(
-                    bluedove_overlay::NodeId(m.0 as u64),
-                    bluedove_overlay::NodeRole::Matcher,
-                    a.clone(),
-                    1,
-                )
-            })
-            .collect();
+        let seeds = self.membership_seeds();
         let node = MatcherNode::spawn(
             MatcherNodeConfig {
                 id: new_id,
@@ -617,11 +719,14 @@ impl Cluster {
                 stats_interval: self.cfg.stats_interval,
                 gossip_interval: self.cfg.gossip_interval,
                 gossip_seeds: seeds,
+                generation: 1,
+                failure_detector: self.cfg.failure_detector,
             },
             self.shared.clone(),
-            self.transport.clone(),
+            self.scoped_transport(&addr),
         );
         self.matchers.insert(new_id, node);
+        self.generations.insert(new_id, 1);
 
         // Synchronous hand-over: donors ship copies, we await the acks.
         for (dim, donor, range) in &moves {
@@ -635,7 +740,8 @@ impl Cluster {
                 to_addr: addr.clone(),
                 reply_to: control_addr(),
             };
-            self.transport.send(&donor_addr, to_bytes(&handover).freeze())?;
+            self.transport
+                .send(&donor_addr, to_bytes(&handover).freeze())?;
         }
         let deadline = Instant::now() + Duration::from_secs(10);
         let mut acks = 0;
@@ -654,7 +760,9 @@ impl Cluster {
         // (dispatchers pick it up at their next pull) and record it as the
         // orchestrator's authoritative copy.
         let keep_ranges: Vec<(DimIdx, MatcherId, Vec<bluedove_core::Range>)> = {
-            let AnyStrategy::BlueDove(mp2) = &new_strategy else { unreachable!() };
+            let AnyStrategy::BlueDove(mp2) = &new_strategy else {
+                unreachable!()
+            };
             moves
                 .iter()
                 .map(|&(dim, donor, _)| {
@@ -693,7 +801,11 @@ impl Cluster {
         std::thread::sleep(self.cfg.table_pull_interval * 2);
         for ((dim, donor, range), (_, _, keep)) in moves.iter().zip(keep_ranges) {
             if let Some(donor_addr) = self.shared.matcher_addr(*donor) {
-                let retire = ControlMsg::Retire { dim: *dim, range: *range, keep };
+                let retire = ControlMsg::Retire {
+                    dim: *dim,
+                    range: *range,
+                    keep,
+                };
                 let _ = self.transport.send(&donor_addr, to_bytes(&retire).freeze());
             }
         }
@@ -717,17 +829,136 @@ impl Cluster {
         }
     }
 
+    /// The current membership as gossip bootstrap states, each carrying
+    /// its matcher's current incarnation number.
+    fn membership_seeds(&self) -> Vec<bluedove_overlay::EndpointState> {
+        self.shared
+            .matcher_addrs
+            .read()
+            .iter()
+            .map(|(&m, a)| {
+                bluedove_overlay::EndpointState::new(
+                    bluedove_overlay::NodeId(m.0 as u64),
+                    bluedove_overlay::NodeRole::Matcher,
+                    a.clone(),
+                    self.generations.get(&m).copied().unwrap_or(1),
+                )
+            })
+            .collect()
+    }
+
+    /// Restarts a matcher previously removed by
+    /// [`kill_matcher`](Self::kill_matcher): respawns the node under the
+    /// same id and address with a **bumped gossip generation** (so peers
+    /// that declared the previous incarnation dead re-admit it), installs
+    /// the current routing table, pushes the fresh table straight to every
+    /// dispatcher (clearing their fail-over dead lists for re-listed
+    /// matchers), and replays the subscription copies the strategy assigns
+    /// to it from the orchestrator's registration store — a crashed
+    /// matcher's in-memory state is gone.
+    pub fn restart_matcher(&mut self, m: MatcherId) -> Result<(), ClusterError> {
+        if self.matchers.contains_key(&m) {
+            return Err(ClusterError::Invalid("matcher is still running"));
+        }
+        if m.0 >= self.next_matcher {
+            return Err(ClusterError::Invalid("matcher id was never started"));
+        }
+        let generation = {
+            let g = self.generations.entry(m).or_insert(1);
+            *g += 1;
+            *g
+        };
+        let addr = matcher_addr(m);
+        self.shared.matcher_addrs.write().insert(m, addr.clone());
+        let node = MatcherNode::spawn(
+            MatcherNodeConfig {
+                id: m,
+                addr: addr.clone(),
+                index: self.cfg.index,
+                stats_interval: self.cfg.stats_interval,
+                gossip_interval: self.cfg.gossip_interval,
+                gossip_seeds: self.membership_seeds(),
+                generation,
+                failure_detector: self.cfg.failure_detector,
+            },
+            self.shared.clone(),
+            self.scoped_transport(&addr),
+        );
+        self.matchers.insert(m, node);
+
+        // Re-announce the membership under a fresh table version: matchers
+        // get the authoritative TableUpdate, dispatchers get the same book
+        // pushed as a TableState (they also pull periodically) and drop
+        // re-listed matchers from their dead lists.
+        self.table_version += 1;
+        let strategy = self.shared.strategy.read().clone();
+        let addr_book: Vec<(MatcherId, String)> = self
+            .shared
+            .matcher_addrs
+            .read()
+            .iter()
+            .map(|(&id, a)| (id, a.clone()))
+            .collect();
+        let update = ControlMsg::TableUpdate {
+            version: self.table_version,
+            strategy: strategy.clone(),
+            addrs: addr_book.clone(),
+        };
+        // Management-plane traffic goes over the raw channel, not the
+        // fault-scoped transport: the orchestrator's own re-admission
+        // bookkeeping must not be lost to the faults it is recovering
+        // from (the periodic pull path still exercises the faulty links).
+        for (_, a) in &addr_book {
+            let _ = self.channel.send(a, to_bytes(&update).freeze());
+        }
+        let state = ControlMsg::TableState {
+            version: self.table_version,
+            strategy: Some(strategy),
+            addrs: addr_book,
+        };
+        for d in &self.dispatchers {
+            let _ = self.channel.send(&d.addr, to_bytes(&state).freeze());
+        }
+
+        // Recover the restarted matcher's subscription copies from the
+        // registration store (deterministic assignment: the same copies
+        // land wherever the strategy places them).
+        let copies: Vec<(DimIdx, Subscription)> = {
+            let guard = self.shared.strategy.read();
+            self.sub_registry
+                .values()
+                .flat_map(|sub| {
+                    guard
+                        .as_dyn()
+                        .assign(sub)
+                        .into_iter()
+                        .filter(|a| a.matcher == m)
+                        .map(|a| (a.dim, sub.clone()))
+                        .collect::<Vec<_>>()
+                })
+                .collect()
+        };
+        for (dim, sub) in copies {
+            let store = ControlMsg::StoreSub { dim, sub };
+            self.channel.send(&addr, to_bytes(&store).freeze())?;
+        }
+        Ok(())
+    }
+
     /// Orderly shutdown: stops every node and joins the threads.
     pub fn shutdown(mut self) {
+        // Shutdown is management-plane: sent over the raw channel so an
+        // installed drop rule cannot eat the poison pill and wedge the
+        // joins below.
         let shutdown = to_bytes(&ControlMsg::Shutdown).freeze();
         for d in &self.dispatchers {
-            let _ = self.transport.send(&d.addr, shutdown.clone());
+            let _ = self.channel.send(&d.addr, shutdown.clone());
         }
         for node in self.matchers.values() {
-            let _ = self.transport.send(&node.addr, shutdown.clone());
+            let _ = self.channel.send(&node.addr, shutdown.clone());
         }
         if let Some(mb) = self.mailbox.take() {
-            let _ = self.transport.send(&mb.addr, shutdown.clone());
+            let _ = self.channel.send(&mb.addr, shutdown.clone());
             mb.join();
         }
         for d in self.dispatchers.drain(..) {

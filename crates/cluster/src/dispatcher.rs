@@ -10,8 +10,7 @@ use crate::proto::ControlMsg;
 use crate::shared::Shared;
 use bluedove_baselines::AnyStrategy;
 use bluedove_core::{
-    Assignment, ForwardingPolicy, MatcherId, Message, MessageId, StatsView,
-    SubscriptionId,
+    Assignment, ForwardingPolicy, MatcherId, Message, MessageId, StatsView, SubscriptionId,
 };
 use bluedove_net::{from_bytes, to_bytes, Transport};
 use bytes::Bytes;
@@ -74,7 +73,10 @@ impl DispatcherNode {
             .name(format!("dispatcher-{}", cfg.index))
             .spawn(move || run(cfg, shared, transport, rx))
             .expect("spawn dispatcher thread");
-        DispatcherNode { addr, join: Some(join) }
+        DispatcherNode {
+            addr,
+            join: Some(join),
+        }
     }
 
     /// Waits for the thread to exit (after `Shutdown`).
@@ -108,7 +110,9 @@ fn run(
                 .collect();
             if !live.is_empty() {
                 let target = live[rng.gen_range(0..live.len())].clone();
-                let pull = ControlMsg::TablePull { reply_to: cfg.addr.clone() };
+                let pull = ControlMsg::TablePull {
+                    reply_to: cfg.addr.clone(),
+                };
                 let _ = transport.send(&target, to_bytes(&pull).freeze());
             }
             next_pull += cfg.table_pull_interval;
@@ -119,14 +123,21 @@ fn run(
             Err(RecvTimeoutError::Timeout) => continue,
             Err(RecvTimeoutError::Disconnected) => break,
         };
-        let Ok(msg) = from_bytes::<ControlMsg>(&payload) else { continue };
+        let Ok(msg) = from_bytes::<ControlMsg>(&payload) else {
+            continue;
+        };
         match msg {
             ControlMsg::Subscribe(mut sub) => {
                 sub.id = SubscriptionId(shared.next_sub_id.fetch_add(1, Ordering::Relaxed));
                 let assignments = routing.strategy.as_dyn().assign(&sub);
                 for Assignment { matcher, dim } in assignments {
-                    let Some(addr) = routing.addrs.get(&matcher) else { continue };
-                    let store = ControlMsg::StoreSub { dim, sub: sub.clone() };
+                    let Some(addr) = routing.addrs.get(&matcher) else {
+                        continue;
+                    };
+                    let store = ControlMsg::StoreSub {
+                        dim,
+                        sub: sub.clone(),
+                    };
                     let _ = transport.send(addr, to_bytes(&store).freeze());
                 }
                 // Ack to the subscriber endpoint: registration complete.
@@ -139,8 +150,15 @@ fn run(
                 shared.counters.published.fetch_add(1, Ordering::Relaxed);
                 let admitted_us = shared.now_us();
                 forward(
-                    &shared, &transport, &cfg, &routing, &mut view, &mut known_dead, &mut rng,
-                    m, admitted_us,
+                    &shared,
+                    &transport,
+                    &cfg,
+                    &routing,
+                    &mut view,
+                    &mut known_dead,
+                    &mut rng,
+                    m,
+                    admitted_us,
                 );
             }
             ControlMsg::Unsubscribe(sub) => {
@@ -148,21 +166,31 @@ fn run(
                 // removed wherever the strategy placed them.
                 let assignments = routing.strategy.as_dyn().assign(&sub);
                 for Assignment { matcher, dim } in assignments {
-                    let Some(addr) = routing.addrs.get(&matcher) else { continue };
+                    let Some(addr) = routing.addrs.get(&matcher) else {
+                        continue;
+                    };
                     let remove = ControlMsg::RemoveSub { dim, sub: sub.id };
                     let _ = transport.send(addr, to_bytes(&remove).freeze());
                 }
             }
-            ControlMsg::TableState { version, strategy, addrs } => {
-                if version > routing.version {
-                    if let Some(strategy) = strategy {
-                        routing.version = version;
-                        routing.strategy = strategy;
-                        routing.addrs = addrs.into_iter().collect();
-                    }
-                }
+            ControlMsg::TableState {
+                version,
+                strategy: Some(strategy),
+                addrs,
+            } if version > routing.version => {
+                routing.version = version;
+                routing.strategy = strategy;
+                routing.addrs = addrs.into_iter().collect();
+                // A fresh table is the management plane's authoritative
+                // membership: a matcher it re-lists is live again
+                // (restart), so stop shunning it.
+                known_dead.retain(|m| !routing.addrs.contains_key(m));
             }
-            ControlMsg::LoadReport { matcher, dim, stats } if !known_dead.contains(&matcher) => {
+            ControlMsg::LoadReport {
+                matcher,
+                dim,
+                stats,
+            } if !known_dead.contains(&matcher) => {
                 view.update(matcher, dim, stats);
             }
             ControlMsg::Shutdown => break,
@@ -222,7 +250,11 @@ fn forward(
             candidates.retain(|a| a.matcher != chosen.matcher);
             continue;
         };
-        let wire = ControlMsg::MatchMsg { dim: chosen.dim, msg: msg.clone(), admitted_us };
+        let wire = ControlMsg::MatchMsg {
+            dim: chosen.dim,
+            msg: msg.clone(),
+            admitted_us,
+        };
         match transport.send(addr, to_bytes(&wire).freeze()) {
             Ok(()) => {
                 if cfg.policy.uses_estimation() {

@@ -13,6 +13,8 @@
 //!   matching, load reports);
 //! - [`dispatcher`] — the front-end (policy-driven one-hop forwarding with
 //!   fail-over);
+//! - [`chaos`] — deterministic fault schedules ([`chaos::FaultSchedule`])
+//!   replayed against a live cluster, with invariant probes;
 //! - [`proto`] — the wire protocol.
 //!
 //! ```
@@ -31,6 +33,7 @@
 //! ```
 
 pub mod apps;
+pub mod chaos;
 pub mod cluster;
 pub mod dispatcher;
 pub mod mailbox;
@@ -40,6 +43,7 @@ pub mod shared;
 pub mod wal;
 
 pub use apps::{AppError, AppSpec, MultiAppCluster};
+pub use chaos::{ChaosEvent, ChaosReport, ChaosStep, FaultSchedule};
 pub use cluster::{
     Cluster, ClusterConfig, ClusterError, Delivery, IndirectSubscriber, PolicyKind, Publisher,
     StrategyKind, SubscriberHandle,

@@ -54,18 +54,17 @@ impl MailboxNode {
         Self::spawn_inner(addr, transport, Some(wal_path))
     }
 
-    fn spawn_inner(
-        addr: String,
-        transport: Arc<dyn Transport>,
-        wal_path: Option<PathBuf>,
-    ) -> Self {
+    fn spawn_inner(addr: String, transport: Arc<dyn Transport>, wal_path: Option<PathBuf>) -> Self {
         let rx = transport.bind(&addr).expect("bind mailbox inbox");
         let a = addr.clone();
         let join = std::thread::Builder::new()
             .name("mailbox".into())
             .spawn(move || run(transport, rx, wal_path))
             .expect("spawn mailbox thread");
-        MailboxNode { addr: a, join: Some(join) }
+        MailboxNode {
+            addr: a,
+            join: Some(join),
+        }
     }
 
     /// Waits for the thread to exit (after `Shutdown`).
@@ -90,9 +89,16 @@ fn run(transport: Arc<dyn Transport>, rx: Receiver<Bytes>, wal_path: Option<Path
     let mut wal = wal_path.and_then(|p| Wal::open(p).ok());
 
     for payload in rx.iter() {
-        let Ok(msg) = from_bytes::<ControlMsg>(&payload) else { continue };
+        let Ok(msg) = from_bytes::<ControlMsg>(&payload) else {
+            continue;
+        };
         match msg {
-            ControlMsg::Deliver { subscriber, sub, msg, admitted_us } => {
+            ControlMsg::Deliver {
+                subscriber,
+                sub,
+                msg,
+                admitted_us,
+            } => {
                 if let Some(w) = wal.as_mut() {
                     let _ = w.append(&WalRecord::Deliver {
                         subscriber,
@@ -107,9 +113,17 @@ fn run(transport: Arc<dyn Transport>, rx: Receiver<Bytes>, wal_path: Option<Path
                 }
                 q.push_back((sub, msg, admitted_us));
             }
-            ControlMsg::MailboxPoll { subscriber, reply_to, max } => {
+            ControlMsg::MailboxPoll {
+                subscriber,
+                reply_to,
+                max,
+            } => {
                 let q = boxes.entry(subscriber).or_default();
-                let take = if max == 0 { q.len() } else { q.len().min(max as usize) };
+                let take = if max == 0 {
+                    q.len()
+                } else {
+                    q.len().min(max as usize)
+                };
                 let entries: Vec<Stored> = q.drain(..take).collect();
                 if let Some(w) = wal.as_mut() {
                     let _ = w.append(&WalRecord::Polled {

@@ -38,6 +38,13 @@ pub struct MatcherNodeConfig {
     /// (the paper's "new matcher contacts a dispatcher" step hands these
     /// over).
     pub gossip_seeds: Vec<EndpointState>,
+    /// The gossip incarnation number. Starts at 1; a restarted matcher
+    /// rejoins with a strictly higher generation so peers that declared
+    /// its previous incarnation dead rebuild the record (Dead is sticky
+    /// within a generation).
+    pub generation: u64,
+    /// Failure-detector thresholds applied on each gossip tick.
+    pub failure_detector: bluedove_overlay::FailureDetectorConfig,
 }
 
 /// Handle to a running matcher thread.
@@ -66,7 +73,12 @@ impl MatcherNode {
             .name(format!("matcher-{}", id.0))
             .spawn(move || run(cfg, shared, transport, rx, crash2))
             .expect("spawn matcher thread");
-        MatcherNode { id, addr, crash, join: Some(join) }
+        MatcherNode {
+            id,
+            addr,
+            crash,
+            join: Some(join),
+        }
     }
 
     /// Simulates a crash: the thread stops without any orderly handover.
@@ -109,7 +121,7 @@ fn run(
         NodeId(cfg.id.0 as u64),
         NodeRole::Matcher,
         cfg.addr.clone(),
-        1,
+        cfg.generation,
     ));
     for seed in &cfg.gossip_seeds {
         if seed.node != gossip.id() {
@@ -121,7 +133,11 @@ fn run(
     let mut last_gossip_bytes = 0u64;
     // The authoritative table (installed by TableUpdate) that dispatchers
     // pull from this matcher (§III-C).
-    let mut table: TableCopy = TableCopy { version: 0, strategy: None, addrs: Vec::new() };
+    let mut table: TableCopy = TableCopy {
+        version: 0,
+        strategy: None,
+        addrs: Vec::new(),
+    };
 
     'outer: loop {
         if crash.load(Ordering::Relaxed) {
@@ -129,7 +145,16 @@ fn run(
         }
         // Drain everything pending without blocking.
         while let Ok(payload) = rx.try_recv() {
-            if handle(&cfg, &shared, &transport, &mut core, &mut queues, &mut gossip, &mut table, payload) {
+            if handle(
+                &cfg,
+                &shared,
+                &transport,
+                &mut core,
+                &mut queues,
+                &mut gossip,
+                &mut table,
+                payload,
+            ) {
                 break 'outer;
             }
         }
@@ -172,7 +197,16 @@ fn run(
                 .min(Duration::from_millis(20));
             match rx.recv_timeout(timeout) {
                 Ok(payload) => {
-                    if handle(&cfg, &shared, &transport, &mut core, &mut queues, &mut gossip, &mut table, payload) {
+                    if handle(
+                        &cfg,
+                        &shared,
+                        &transport,
+                        &mut core,
+                        &mut queues,
+                        &mut gossip,
+                        &mut table,
+                        payload,
+                    ) {
                         break 'outer;
                     }
                 }
@@ -191,21 +225,27 @@ fn run(
                     continue;
                 };
                 let syn = gossip.make_syn();
-                let wire = ControlMsg::Gossip { from_addr: cfg.addr.clone(), msg: syn };
+                let wire = ControlMsg::Gossip {
+                    from_addr: cfg.addr.clone(),
+                    msg: syn,
+                };
                 let _ = transport.send(&peer, to_bytes(&wire).freeze());
             }
-            bluedove_overlay::sweep(
-                &mut gossip,
-                &bluedove_overlay::FailureDetectorConfig::default(),
-                now,
-            );
+            bluedove_overlay::sweep(&mut gossip, &cfg.failure_detector, now);
             let sent = gossip.bytes_sent;
             shared
                 .counters
                 .gossip_bytes
                 .fetch_add(sent - last_gossip_bytes, Ordering::Relaxed);
             last_gossip_bytes = sent;
-            shared.gossip_peers.write().insert(cfg.id, gossip.peers().len());
+            shared
+                .gossip_peers
+                .write()
+                .insert(cfg.id, gossip.peers().len());
+            shared
+                .gossip_live
+                .write()
+                .insert(cfg.id, gossip.live_peers().len());
             next_gossip += cfg.gossip_interval;
         }
         // Periodic load reports.
@@ -215,7 +255,11 @@ fn run(
             for (d, queue) in queues.iter().enumerate() {
                 let dim = DimIdx(d as u16);
                 let stats = core.stats_report(dim, queue.len(), now);
-                let report = ControlMsg::LoadReport { matcher: cfg.id, dim, stats };
+                let report = ControlMsg::LoadReport {
+                    matcher: cfg.id,
+                    dim,
+                    stats,
+                };
                 let bytes = to_bytes(&report).freeze();
                 for addr in &dispatchers {
                     let _ = transport.send(addr, bytes.clone());
@@ -251,23 +295,42 @@ fn handle(
     match msg {
         ControlMsg::StoreSub { dim, sub } => {
             core.insert(dim, sub);
-            shared.counters.stored_copies.fetch_add(1, Ordering::Relaxed);
+            shared
+                .counters
+                .stored_copies
+                .fetch_add(1, Ordering::Relaxed);
         }
         ControlMsg::RemoveSub { dim, sub } => {
             core.remove(dim, sub);
         }
-        ControlMsg::MatchMsg { dim, msg, admitted_us } => {
+        ControlMsg::MatchMsg {
+            dim,
+            msg,
+            admitted_us,
+        } => {
             core.record_arrival(dim, shared.now());
-            queues[dim.index()].push_back(Queued { dim, msg, admitted_us });
+            queues[dim.index()].push_back(Queued {
+                dim,
+                msg,
+                admitted_us,
+            });
         }
-        ControlMsg::HandOver { dim, range, to_addr, reply_to } => {
+        ControlMsg::HandOver {
+            dim,
+            range,
+            to_addr,
+            reply_to,
+        } => {
             // Move the overlapping copies to the new matcher, but keep
             // serving local copies until the Retire arrives (routing may
             // still point here).
             let moved = core.extract_overlapping(dim, &range);
             let count = moved.len() as u64;
             for sub in moved {
-                let store = ControlMsg::StoreSub { dim, sub: sub.clone() };
+                let store = ControlMsg::StoreSub {
+                    dim,
+                    sub: sub.clone(),
+                };
                 let _ = transport.send(&to_addr, to_bytes(&store).freeze());
                 core.insert(dim, sub);
             }
@@ -284,14 +347,16 @@ fn handle(
                 }
             }
         }
-        ControlMsg::TableUpdate { version, strategy, addrs } => {
-            if version > table.version {
-                table.version = version;
-                table.strategy = Some(strategy);
-                table.addrs = addrs;
-                // Announce the new table version on the gossip mesh too.
-                gossip.set_segments_version(version);
-            }
+        ControlMsg::TableUpdate {
+            version,
+            strategy,
+            addrs,
+        } if version > table.version => {
+            table.version = version;
+            table.strategy = Some(strategy);
+            table.addrs = addrs;
+            // Announce the new table version on the gossip mesh too.
+            gossip.set_segments_version(version);
         }
         ControlMsg::TablePull { reply_to } => {
             let state = ControlMsg::TableState {
@@ -312,7 +377,10 @@ fn handle(
                 }
             };
             if let Some(reply) = reply {
-                let wire = ControlMsg::Gossip { from_addr: cfg.addr.clone(), msg: reply };
+                let wire = ControlMsg::Gossip {
+                    from_addr: cfg.addr.clone(),
+                    msg: reply,
+                };
                 let _ = transport.send(&from_addr, to_bytes(&wire).freeze());
             }
         }

@@ -206,26 +206,43 @@ impl Wire for ControlMsg {
                 dim.encode(buf);
                 sub.encode(buf);
             }
-            ControlMsg::MatchMsg { dim, msg, admitted_us } => {
+            ControlMsg::MatchMsg {
+                dim,
+                msg,
+                admitted_us,
+            } => {
                 buf.put_u8(TAG_MATCH_MSG);
                 dim.encode(buf);
                 msg.encode(buf);
                 admitted_us.encode(buf);
             }
-            ControlMsg::LoadReport { matcher, dim, stats } => {
+            ControlMsg::LoadReport {
+                matcher,
+                dim,
+                stats,
+            } => {
                 buf.put_u8(TAG_LOAD_REPORT);
                 matcher.encode(buf);
                 dim.encode(buf);
                 stats.encode(buf);
             }
-            ControlMsg::Deliver { subscriber, sub, msg, admitted_us } => {
+            ControlMsg::Deliver {
+                subscriber,
+                sub,
+                msg,
+                admitted_us,
+            } => {
                 buf.put_u8(TAG_DELIVER);
                 subscriber.encode(buf);
                 sub.encode(buf);
                 msg.encode(buf);
                 admitted_us.encode(buf);
             }
-            ControlMsg::MailboxPoll { subscriber, reply_to, max } => {
+            ControlMsg::MailboxPoll {
+                subscriber,
+                reply_to,
+                max,
+            } => {
                 buf.put_u8(TAG_MAILBOX_POLL);
                 subscriber.encode(buf);
                 reply_to.encode(buf);
@@ -244,7 +261,12 @@ impl Wire for ControlMsg {
                 buf.put_u8(TAG_SUB_ACK);
                 sub.encode(buf);
             }
-            ControlMsg::HandOver { dim, range, to_addr, reply_to } => {
+            ControlMsg::HandOver {
+                dim,
+                range,
+                to_addr,
+                reply_to,
+            } => {
                 buf.put_u8(TAG_HAND_OVER);
                 dim.encode(buf);
                 range.encode(buf);
@@ -262,7 +284,11 @@ impl Wire for ControlMsg {
                 range.encode(buf);
                 keep.encode(buf);
             }
-            ControlMsg::TableUpdate { version, strategy, addrs } => {
+            ControlMsg::TableUpdate {
+                version,
+                strategy,
+                addrs,
+            } => {
                 buf.put_u8(TAG_TABLE_UPDATE);
                 version.encode(buf);
                 strategy.encode(buf);
@@ -276,7 +302,11 @@ impl Wire for ControlMsg {
                 buf.put_u8(TAG_TABLE_PULL);
                 reply_to.encode(buf);
             }
-            ControlMsg::TableState { version, strategy, addrs } => {
+            ControlMsg::TableState {
+                version,
+                strategy,
+                addrs,
+            } => {
                 buf.put_u8(TAG_TABLE_STATE);
                 version.encode(buf);
                 strategy.encode(buf);
@@ -342,7 +372,9 @@ impl Wire for ControlMsg {
                 }
                 ControlMsg::MailboxBatch { entries }
             }
-            TAG_SUB_ACK => ControlMsg::SubAck { sub: SubscriptionId::decode(buf)? },
+            TAG_SUB_ACK => ControlMsg::SubAck {
+                sub: SubscriptionId::decode(buf)?,
+            },
             TAG_HAND_OVER => ControlMsg::HandOver {
                 dim: DimIdx::decode(buf)?,
                 range: Range::decode(buf)?,
@@ -366,9 +398,15 @@ impl Wire for ControlMsg {
                 for _ in 0..n {
                     addrs.push((MatcherId::decode(buf)?, String::decode(buf)?));
                 }
-                ControlMsg::TableUpdate { version, strategy, addrs }
+                ControlMsg::TableUpdate {
+                    version,
+                    strategy,
+                    addrs,
+                }
             }
-            TAG_TABLE_PULL => ControlMsg::TablePull { reply_to: String::decode(buf)? },
+            TAG_TABLE_PULL => ControlMsg::TablePull {
+                reply_to: String::decode(buf)?,
+            },
             TAG_TABLE_STATE => {
                 let version = u64::decode(buf)?;
                 let strategy = Option::<bluedove_baselines::AnyStrategy>::decode(buf)?;
@@ -377,7 +415,11 @@ impl Wire for ControlMsg {
                 for _ in 0..n {
                     addrs.push((MatcherId::decode(buf)?, String::decode(buf)?));
                 }
-                ControlMsg::TableState { version, strategy, addrs }
+                ControlMsg::TableState {
+                    version,
+                    strategy,
+                    addrs,
+                }
             }
             TAG_GOSSIP => ControlMsg::Gossip {
                 from_addr: String::decode(buf)?,
@@ -411,12 +453,25 @@ mod tests {
         let msg = Message::with_payload(vec![1.0], b"p".to_vec());
         round_trip(ControlMsg::Subscribe(sub.clone()));
         round_trip(ControlMsg::Publish(msg.clone()));
-        round_trip(ControlMsg::StoreSub { dim: DimIdx(1), sub: sub.clone() });
-        round_trip(ControlMsg::MatchMsg { dim: DimIdx(0), msg: msg.clone(), admitted_us: 12345 });
+        round_trip(ControlMsg::StoreSub {
+            dim: DimIdx(1),
+            sub: sub.clone(),
+        });
+        round_trip(ControlMsg::MatchMsg {
+            dim: DimIdx(0),
+            msg: msg.clone(),
+            admitted_us: 12345,
+        });
         round_trip(ControlMsg::LoadReport {
             matcher: MatcherId(2),
             dim: DimIdx(1),
-            stats: DimStats { sub_count: 1, queue_len: 2, lambda: 3.0, mu: 4.0, updated_at: 5.0 },
+            stats: DimStats {
+                sub_count: 1,
+                queue_len: 2,
+                lambda: 3.0,
+                mu: 4.0,
+                updated_at: 5.0,
+            },
         });
         round_trip(ControlMsg::Deliver {
             subscriber: SubscriberId(8),
@@ -432,14 +487,19 @@ mod tests {
         round_trip(ControlMsg::MailboxBatch {
             entries: vec![(SubscriptionId(3), msg, 42)],
         });
-        round_trip(ControlMsg::SubAck { sub: SubscriptionId(3) });
+        round_trip(ControlMsg::SubAck {
+            sub: SubscriptionId(3),
+        });
         round_trip(ControlMsg::HandOver {
             dim: DimIdx(2),
             range: Range::new(5.0, 6.0),
             to_addr: "m/9".into(),
             reply_to: "ctl/0".into(),
         });
-        round_trip(ControlMsg::HandOverDone { dim: DimIdx(2), moved: 17 });
+        round_trip(ControlMsg::HandOverDone {
+            dim: DimIdx(2),
+            moved: 17,
+        });
         round_trip(ControlMsg::Retire {
             dim: DimIdx(2),
             range: Range::new(5.0, 6.0),
@@ -447,7 +507,10 @@ mod tests {
         });
         round_trip(ControlMsg::Shutdown);
         round_trip(ControlMsg::Unsubscribe(sub));
-        round_trip(ControlMsg::RemoveSub { dim: DimIdx(0), sub: SubscriptionId(3) });
+        round_trip(ControlMsg::RemoveSub {
+            dim: DimIdx(0),
+            sub: SubscriptionId(3),
+        });
         round_trip(ControlMsg::Gossip {
             from_addr: "m/1".into(),
             msg: bluedove_overlay::GossipMsg::Syn { digests: vec![] },

@@ -60,6 +60,10 @@ pub struct Shared {
     /// Per-matcher gossip peer counts (membership convergence metric,
     /// refreshed by each matcher on its gossip tick).
     pub gossip_peers: RwLock<HashMap<MatcherId, usize>>,
+    /// Per-matcher counts of peers currently deemed **Alive** by each
+    /// matcher's failure detector (refreshed on every gossip tick; the
+    /// chaos suite's membership-reconvergence probe).
+    pub gossip_live: RwLock<HashMap<MatcherId, usize>>,
 }
 
 impl Shared {
@@ -75,6 +79,7 @@ impl Shared {
             next_msg_id: AtomicU64::new(1),
             counters: Counters::default(),
             gossip_peers: RwLock::new(HashMap::new()),
+            gossip_live: RwLock::new(HashMap::new()),
         }
     }
 

@@ -48,7 +48,12 @@ pub enum WalRecord {
 impl Wire for WalRecord {
     fn encode(&self, buf: &mut BytesMut) {
         match self {
-            WalRecord::Deliver { subscriber, sub, msg, admitted_us } => {
+            WalRecord::Deliver {
+                subscriber,
+                sub,
+                msg,
+                admitted_us,
+            } => {
                 buf.put_u8(0);
                 subscriber.encode(buf);
                 sub.encode(buf);
@@ -93,7 +98,11 @@ impl Wal {
     pub fn open(path: impl Into<PathBuf>) -> NetResult<Self> {
         let path = path.into();
         let file = OpenOptions::new().create(true).append(true).open(&path)?;
-        Ok(Wal { path, writer: BufWriter::new(file), appended: 0 })
+        Ok(Wal {
+            path,
+            writer: BufWriter::new(file),
+            appended: 0,
+        })
     }
 
     /// Appends one record and flushes it to the OS.
@@ -132,8 +141,16 @@ impl Wal {
                 break; // corrupt tail record
             };
             match rec {
-                WalRecord::Deliver { subscriber, sub, msg, admitted_us } => {
-                    boxes.entry(subscriber).or_default().push_back((sub, msg, admitted_us));
+                WalRecord::Deliver {
+                    subscriber,
+                    sub,
+                    msg,
+                    admitted_us,
+                } => {
+                    boxes
+                        .entry(subscriber)
+                        .or_default()
+                        .push_back((sub, msg, admitted_us));
                 }
                 WalRecord::Polled { subscriber, count } => {
                     if let Some(q) = boxes.get_mut(&subscriber) {
@@ -177,7 +194,12 @@ impl Wal {
 /// Converts an incoming `Deliver` control message into its WAL record.
 pub fn record_of(msg: &ControlMsg) -> Option<WalRecord> {
     match msg {
-        ControlMsg::Deliver { subscriber, sub, msg, admitted_us } => Some(WalRecord::Deliver {
+        ControlMsg::Deliver {
+            subscriber,
+            sub,
+            msg,
+            admitted_us,
+        } => Some(WalRecord::Deliver {
             subscriber: *subscriber,
             sub: *sub,
             msg: msg.clone(),
@@ -219,7 +241,11 @@ mod tests {
             wal.append(&deliver(1, 10, 1.0)).unwrap();
             wal.append(&deliver(1, 11, 2.0)).unwrap();
             wal.append(&deliver(2, 12, 3.0)).unwrap();
-            wal.append(&WalRecord::Polled { subscriber: SubscriberId(1), count: 1 }).unwrap();
+            wal.append(&WalRecord::Polled {
+                subscriber: SubscriberId(1),
+                count: 1,
+            })
+            .unwrap();
             assert_eq!(wal.appended(), 4);
         }
         let boxes = Wal::replay(&path).unwrap();
@@ -263,13 +289,20 @@ mod tests {
         for i in 0..50 {
             wal.append(&deliver(1, i, i as f64)).unwrap();
         }
-        wal.append(&WalRecord::Polled { subscriber: SubscriberId(1), count: 45 }).unwrap();
+        wal.append(&WalRecord::Polled {
+            subscriber: SubscriberId(1),
+            count: 45,
+        })
+        .unwrap();
         let before = std::fs::metadata(&path).unwrap().len();
         let state = Wal::replay(&path).unwrap();
         assert_eq!(state[&SubscriberId(1)].len(), 5);
         wal.compact(&state).unwrap();
         let after = std::fs::metadata(&path).unwrap().len();
-        assert!(after < before, "compaction should shrink: {before} -> {after}");
+        assert!(
+            after < before,
+            "compaction should shrink: {before} -> {after}"
+        );
         // Post-compaction replay equals the snapshot, and appends work.
         let replayed = Wal::replay(&path).unwrap();
         assert_eq!(replayed[&SubscriberId(1)].len(), 5);

@@ -51,7 +51,9 @@ fn deliveries_survive_mailbox_restart() {
     {
         let mb = MailboxNode::spawn_persistent("mb/p".into(), arc.clone(), wal.clone());
         for i in 0..3 {
-            transport.send("mb/p", to_bytes(&deliver(7, i, i as f64)).freeze()).unwrap();
+            transport
+                .send("mb/p", to_bytes(&deliver(7, i, i as f64)).freeze())
+                .unwrap();
         }
         // Poll with max=1: acknowledges exactly one entry.
         let rx = transport.bind("poll/tmp").unwrap();
@@ -72,7 +74,9 @@ fn deliveries_survive_mailbox_restart() {
         };
         assert_eq!(entries.len(), 1);
         // "Crash": shut the node down; the WAL is the only survivor.
-        transport.send("mb/p", to_bytes(&ControlMsg::Shutdown).freeze()).unwrap();
+        transport
+            .send("mb/p", to_bytes(&ControlMsg::Shutdown).freeze())
+            .unwrap();
         mb.join();
         transport.unbind("mb/p");
     }
@@ -82,14 +86,18 @@ fn deliveries_survive_mailbox_restart() {
         let mb = MailboxNode::spawn_persistent("mb/p".into(), arc.clone(), wal.clone());
         assert_eq!(poll(&transport, "mb/p", 7, "poll/tmp2"), 2);
         // Now drained; a third incarnation sees an empty mailbox.
-        transport.send("mb/p", to_bytes(&ControlMsg::Shutdown).freeze()).unwrap();
+        transport
+            .send("mb/p", to_bytes(&ControlMsg::Shutdown).freeze())
+            .unwrap();
         mb.join();
         transport.unbind("mb/p");
     }
     {
         let mb = MailboxNode::spawn_persistent("mb/p".into(), arc.clone(), wal.clone());
         assert_eq!(poll(&transport, "mb/p", 7, "poll/tmp3"), 0);
-        transport.send("mb/p", to_bytes(&ControlMsg::Shutdown).freeze()).unwrap();
+        transport
+            .send("mb/p", to_bytes(&ControlMsg::Shutdown).freeze())
+            .unwrap();
         mb.join();
     }
 }
@@ -100,16 +108,22 @@ fn volatile_mailbox_forgets_on_restart() {
     let arc: Arc<dyn Transport> = Arc::new(transport.clone());
     {
         let mb = MailboxNode::spawn("mb/v".into(), arc.clone());
-        transport.send("mb/v", to_bytes(&deliver(9, 1, 1.0)).freeze()).unwrap();
+        transport
+            .send("mb/v", to_bytes(&deliver(9, 1, 1.0)).freeze())
+            .unwrap();
         // Ensure the delivery was processed before shutdown by polling it
         // back... no: prove it is stored, then crash.
         assert_eq!(poll(&transport, "mb/v", 9, "poll/v1"), 1);
-        transport.send("mb/v", to_bytes(&ControlMsg::Shutdown).freeze()).unwrap();
+        transport
+            .send("mb/v", to_bytes(&ControlMsg::Shutdown).freeze())
+            .unwrap();
         mb.join();
         transport.unbind("mb/v");
     }
     let mb = MailboxNode::spawn("mb/v".into(), arc.clone());
     assert_eq!(poll(&transport, "mb/v", 9, "poll/v2"), 0);
-    transport.send("mb/v", to_bytes(&ControlMsg::Shutdown).freeze()).unwrap();
+    transport
+        .send("mb/v", to_bytes(&ControlMsg::Shutdown).freeze())
+        .unwrap();
     mb.join();
 }

@@ -52,7 +52,10 @@ impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CoreError::DimensionMismatch { expected, got } => {
-                write!(f, "dimension mismatch: space has {expected} dims, got {got}")
+                write!(
+                    f,
+                    "dimension mismatch: space has {expected} dims, got {got}"
+                )
             }
             CoreError::EmptyRange { dim, lo, hi } => {
                 write!(f, "empty range [{lo}, {hi}) on dimension {dim}")
@@ -82,11 +85,21 @@ mod tests {
 
     #[test]
     fn errors_display_usefully() {
-        let e = CoreError::DimensionMismatch { expected: 4, got: 3 };
+        let e = CoreError::DimensionMismatch {
+            expected: 4,
+            got: 3,
+        };
         assert!(e.to_string().contains("4"));
-        let e = CoreError::EmptyRange { dim: DimIdx(1), lo: 5.0, hi: 5.0 };
+        let e = CoreError::EmptyRange {
+            dim: DimIdx(1),
+            lo: 5.0,
+            hi: 5.0,
+        };
         assert!(e.to_string().contains("d1"));
-        let e = CoreError::OutOfDomain { dim: DimIdx(0), value: -3.0 };
+        let e = CoreError::OutOfDomain {
+            dim: DimIdx(0),
+            value: -3.0,
+        };
         assert!(e.to_string().contains("-3"));
         assert!(CoreError::LastMatcher.to_string().contains("last"));
     }

@@ -100,7 +100,9 @@ impl MatchIndex for CellIndex {
         let cell = self.cell_of(v);
         let mut examined = 0;
         for &slot in &self.cells[cell] {
-            let Some(sub) = self.slab.get(slot) else { continue };
+            let Some(sub) = self.slab.get(slot) else {
+                continue;
+            };
             examined += 1;
             // Cell overlap does not imply point containment on the copy
             // dimension, so test the full conjunction.
@@ -142,7 +144,10 @@ mod tests {
     #[test]
     fn satisfies_index_contract_various_cell_counts() {
         for cells in [1, 3, 16, 100, 1000] {
-            check_index_contract(Box::new(CellIndex::new(&space(), DimIdx(0), cells)), &space());
+            check_index_contract(
+                Box::new(CellIndex::new(&space(), DimIdx(0), cells)),
+                &space(),
+            );
         }
     }
 
@@ -155,7 +160,7 @@ mod tests {
     fn point_query_examines_only_one_cell() {
         let sp = space();
         let mut idx = CellIndex::new(&sp, DimIdx(0), 10); // cells of width 100
-        // 50 subs in [0,100), 1 sub in [900,1000).
+                                                          // 50 subs in [0,100), 1 sub in [900,1000).
         for i in 0..50 {
             idx.insert(sub(&sp, i, &[(0, 10.0, 60.0)]));
         }

@@ -35,7 +35,12 @@ pub struct IntervalTreeIndex {
 impl IntervalTreeIndex {
     /// Creates an empty tree for copy dimension `dim`.
     pub fn new(dim: DimIdx) -> Self {
-        IntervalTreeIndex { dim, slab: Slab::default(), root: None, dirty: false }
+        IntervalTreeIndex {
+            dim,
+            slab: Slab::default(),
+            root: None,
+            dirty: false,
+        }
     }
 
     fn rebuild(&mut self) {
@@ -152,7 +157,9 @@ impl MatchIndex for IntervalTreeIndex {
         let mut examined = 0;
         Self::stab(root, v, &mut slots, &mut examined);
         for slot in slots {
-            let Some(sub) = self.slab.get(slot) else { continue };
+            let Some(sub) = self.slab.get(slot) else {
+                continue;
+            };
             // Verify the full conjunction: the degenerate-partition guard in
             // `build` can park intervals at a node whose center they do not
             // span, so the stab alone does not prove copy-dimension
@@ -175,8 +182,10 @@ impl MatchIndex for IntervalTreeIndex {
             .filter(|s| s.predicate(self.dim).overlaps(range))
             .map(|s| s.id)
             .collect();
-        let out: Vec<Subscription> =
-            ids.into_iter().filter_map(|id| self.slab.remove(id)).collect();
+        let out: Vec<Subscription> = ids
+            .into_iter()
+            .filter_map(|id| self.slab.remove(id))
+            .collect();
         if !out.is_empty() {
             self.dirty = true;
         }

@@ -21,7 +21,10 @@ pub struct LinearScanIndex {
 impl LinearScanIndex {
     /// Creates an empty set for copy dimension `dim`.
     pub fn new(dim: DimIdx) -> Self {
-        LinearScanIndex { dim, slab: Slab::default() }
+        LinearScanIndex {
+            dim,
+            slab: Slab::default(),
+        }
     }
 }
 
@@ -60,7 +63,9 @@ impl MatchIndex for LinearScanIndex {
             .filter(|s| s.predicate(self.dim).overlaps(range))
             .map(|s| s.id)
             .collect();
-        ids.into_iter().filter_map(|id| self.slab.remove(id)).collect()
+        ids.into_iter()
+            .filter_map(|id| self.slab.remove(id))
+            .collect()
     }
 
     fn snapshot(&self) -> Vec<Subscription> {

@@ -169,7 +169,14 @@ pub(crate) mod test_support {
                 sub(
                     space,
                     i,
-                    &[(0, lo, lo + 60.0), (1, (i as f64 * 91.0) % 800.0, (i as f64 * 91.0) % 800.0 + 120.0)],
+                    &[
+                        (0, lo, lo + 60.0),
+                        (
+                            1,
+                            (i as f64 * 91.0) % 800.0,
+                            (i as f64 * 91.0) % 800.0 + 120.0,
+                        ),
+                    ],
                 )
             })
             .collect();
@@ -179,7 +186,10 @@ pub(crate) mod test_support {
         assert_eq!(idx.len(), 40);
 
         for probe in 0..25 {
-            let msg = Message::new(vec![(probe as f64 * 41.0) % 1000.0, (probe as f64 * 17.0) % 1000.0]);
+            let msg = Message::new(vec![
+                (probe as f64 * 41.0) % 1000.0,
+                (probe as f64 * 17.0) % 1000.0,
+            ]);
             let mut got = Vec::new();
             let examined = idx.matching(&msg, &mut got);
             let mut expect: Vec<MatchHit> = subs
@@ -246,7 +256,11 @@ mod tests {
     #[test]
     fn index_kind_builds_each_structure() {
         let space = AttributeSpace::uniform(2, 0.0, 1000.0);
-        for kind in [IndexKind::Linear, IndexKind::Cell(64), IndexKind::IntervalTree] {
+        for kind in [
+            IndexKind::Linear,
+            IndexKind::Cell(64),
+            IndexKind::IntervalTree,
+        ] {
             let idx = kind.build(&space, DimIdx(1));
             assert_eq!(idx.dim(), DimIdx(1));
             assert!(idx.is_empty());

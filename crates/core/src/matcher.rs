@@ -165,7 +165,9 @@ impl MatcherCore {
             .iter()
             .enumerate()
             .flat_map(|(i, set)| {
-                set.snapshot().into_iter().map(move |s| (DimIdx(i as u16), s))
+                set.snapshot()
+                    .into_iter()
+                    .map(move |s| (DimIdx(i as u16), s))
             })
             .collect()
     }
@@ -277,7 +279,11 @@ mod tests {
         m.insert(DimIdx(1), sub(&space, 2, &[(1, 0.0, 100.0)]));
         let snap = m.snapshot();
         assert_eq!(snap.len(), 2);
-        assert!(snap.iter().any(|(d, s)| *d == DimIdx(0) && s.id == SubscriptionId(1)));
-        assert!(snap.iter().any(|(d, s)| *d == DimIdx(1) && s.id == SubscriptionId(2)));
+        assert!(snap
+            .iter()
+            .any(|(d, s)| *d == DimIdx(0) && s.id == SubscriptionId(1)));
+        assert!(snap
+            .iter()
+            .any(|(d, s)| *d == DimIdx(1) && s.id == SubscriptionId(2)));
     }
 }

@@ -21,12 +21,20 @@ impl Message {
     /// payload. The id is stamped later by the dispatcher that admits the
     /// message into the system.
     pub fn new(values: Vec<f64>) -> Self {
-        Message { id: MessageId(0), values, payload: Vec::new() }
+        Message {
+            id: MessageId(0),
+            values,
+            payload: Vec::new(),
+        }
     }
 
     /// Creates a message with attribute values and payload bytes.
     pub fn with_payload(values: Vec<f64>, payload: Vec<u8>) -> Self {
-        Message { id: MessageId(0), values, payload }
+        Message {
+            id: MessageId(0),
+            values,
+            payload,
+        }
     }
 
     /// Returns the value on dimension `dim`.
@@ -86,7 +94,9 @@ mod tests {
     fn validate_rejects_wrong_arity() {
         let space = AttributeSpace::uniform(4, 0.0, 1000.0);
         assert!(Message::new(vec![1.0, 2.0]).validate(&space).is_err());
-        assert!(Message::new(vec![1.0, 2.0, 3.0, 4.0]).validate(&space).is_ok());
+        assert!(Message::new(vec![1.0, 2.0, 3.0, 4.0])
+            .validate(&space)
+            .is_ok());
     }
 
     #[test]

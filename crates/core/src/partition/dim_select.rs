@@ -71,8 +71,16 @@ pub fn analyze(subs: &[Subscription], space: &AttributeSpace) -> Vec<DimensionSc
             centre_counts[idx] += 1;
         }
         let n = subs.len();
-        let constrained_frac = if n == 0 { 0.0 } else { constrained as f64 / n as f64 };
-        let mean_width_frac = if constrained == 0 { 1.0 } else { width_sum / constrained as f64 };
+        let constrained_frac = if n == 0 {
+            0.0
+        } else {
+            constrained as f64 / n as f64
+        };
+        let mean_width_frac = if constrained == 0 {
+            1.0
+        } else {
+            width_sum / constrained as f64
+        };
         let spread = if n == 0 {
             0.0
         } else {
@@ -80,9 +88,20 @@ pub fn analyze(subs: &[Subscription], space: &AttributeSpace) -> Vec<DimensionSc
         };
         let selectivity = 1.0 - mean_width_frac;
         let score = constrained_frac * selectivity * spread.max(1e-3);
-        scores.push(DimensionScore { dim, constrained_frac, mean_width_frac, spread, score });
+        scores.push(DimensionScore {
+            dim,
+            constrained_frac,
+            mean_width_frac,
+            spread,
+            score,
+        });
     }
-    scores.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap().then(a.dim.cmp(&b.dim)));
+    scores.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap()
+            .then(a.dim.cmp(&b.dim))
+    });
     scores
 }
 
@@ -90,11 +109,7 @@ pub fn analyze(subs: &[Subscription], space: &AttributeSpace) -> Vec<DimensionSc
 ///
 /// Returns fewer than `k` entries only when the space has fewer
 /// dimensions. The result is ordered best-first.
-pub fn select_dimensions(
-    subs: &[Subscription],
-    space: &AttributeSpace,
-    k: usize,
-) -> Vec<DimIdx> {
+pub fn select_dimensions(subs: &[Subscription], space: &AttributeSpace, k: usize) -> Vec<DimIdx> {
     analyze(subs, space)
         .into_iter()
         .take(k.min(space.k()))

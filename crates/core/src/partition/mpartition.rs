@@ -30,7 +30,10 @@ pub struct MPartition {
 impl MPartition {
     /// Wraps a segment table with degenerate replication enabled.
     pub fn new(table: SegmentTable) -> Self {
-        MPartition { table, replicate_degenerate: true }
+        MPartition {
+            table,
+            replicate_degenerate: true,
+        }
     }
 
     /// Disables the degenerate-case replication (used by the ablation
@@ -168,7 +171,14 @@ mod tests {
         let p = mp(6, 3);
         let seg = 1000.0 / 6.0;
         // Predicate on dim 2 straddles the boundary between segment 0 and 1.
-        let s = sub(&p, &[(0, 10.0, 20.0), (1, 700.0, 710.0), (2, seg - 5.0, seg + 5.0)]);
+        let s = sub(
+            &p,
+            &[
+                (0, 10.0, 20.0),
+                (1, 700.0, 710.0),
+                (2, seg - 5.0, seg + 5.0),
+            ],
+        );
         let a = p.assign(&s);
         let dim2: Vec<MatcherId> = a
             .iter()
@@ -209,8 +219,14 @@ mod tests {
             })
             .collect();
         // Guarantee matches for the probe point (123, 456, 789).
-        subs.push(sub(&p, &[(0, 100.0, 200.0), (1, 400.0, 500.0), (2, 700.0, 800.0)]));
-        subs.push(sub(&p, &[(0, 0.0, 1000.0), (1, 450.0, 460.0), (2, 788.0, 790.0)]));
+        subs.push(sub(
+            &p,
+            &[(0, 100.0, 200.0), (1, 400.0, 500.0), (2, 700.0, 800.0)],
+        ));
+        subs.push(sub(
+            &p,
+            &[(0, 0.0, 1000.0), (1, 450.0, 460.0), (2, 788.0, 790.0)],
+        ));
         // Simulate matcher storage: (matcher, dim) -> sub indices.
         let mut store: std::collections::HashMap<(MatcherId, DimIdx), Vec<usize>> =
             std::collections::HashMap::new();
@@ -246,10 +262,12 @@ mod tests {
         // Craft a subscription whose every predicate falls into matcher 2's
         // segment on each dimension: 4 matchers, segments of width 250.
         let p = mp(4, 3);
-        let s = sub(&p, &[(0, 510.0, 520.0), (1, 510.0, 520.0), (2, 510.0, 520.0)]);
+        let s = sub(
+            &p,
+            &[(0, 510.0, 520.0), (1, 510.0, 520.0), (2, 510.0, 520.0)],
+        );
         let a = p.assign(&s);
-        let distinct: std::collections::HashSet<MatcherId> =
-            a.iter().map(|x| x.matcher).collect();
+        let distinct: std::collections::HashSet<MatcherId> = a.iter().map(|x| x.matcher).collect();
         // Without replication all 3 copies sit on M2; with it we get the
         // clockwise neighbour M3 on dims 1 and 2 as well.
         assert!(distinct.len() >= 2, "degenerate replication missing: {a:?}");

@@ -62,13 +62,24 @@ impl SegmentTable {
                         let lo = d.min + step * j as f64;
                         // Last segment closes exactly at the domain max so
                         // rounding never leaves a gap.
-                        let hi = if j + 1 == n { d.max } else { d.min + step * (j + 1) as f64 };
-                        Segment { range: Range::new(lo, hi), owner: matchers[j] }
+                        let hi = if j + 1 == n {
+                            d.max
+                        } else {
+                            d.min + step * (j + 1) as f64
+                        };
+                        Segment {
+                            range: Range::new(lo, hi),
+                            owner: matchers[j],
+                        }
                     })
                     .collect()
             })
             .collect();
-        let table = SegmentTable { space, dims, version: 1 };
+        let table = SegmentTable {
+            space,
+            dims,
+            version: 1,
+        };
         table.debug_check();
         table
     }
@@ -81,7 +92,10 @@ impl SegmentTable {
         version: u64,
     ) -> CoreResult<Self> {
         if dims.len() != space.k() {
-            return Err(CoreError::DimensionMismatch { expected: space.k(), got: dims.len() });
+            return Err(CoreError::DimensionMismatch {
+                expected: space.k(),
+                got: dims.len(),
+            });
         }
         for (i, segs) in dims.iter().enumerate() {
             let d = &space.dims()[i];
@@ -98,12 +112,20 @@ impl SegmentTable {
                 }
             }
             for s in segs {
-                if !(s.range.lo < s.range.hi) {
-                    return Err(CoreError::EmptyRange { dim, lo: s.range.lo, hi: s.range.hi });
+                if s.range.lo >= s.range.hi {
+                    return Err(CoreError::EmptyRange {
+                        dim,
+                        lo: s.range.lo,
+                        hi: s.range.hi,
+                    });
                 }
             }
         }
-        Ok(SegmentTable { space, dims, version })
+        Ok(SegmentTable {
+            space,
+            dims,
+            version,
+        })
     }
 
     /// The attribute space this table partitions.
@@ -213,8 +235,7 @@ impl SegmentTable {
             let dim = DimIdx(di as u16);
             // Pick the most loaded owner on this dimension.
             let owners = {
-                let mut o: Vec<MatcherId> =
-                    self.dims[di].iter().map(|s| s.owner).collect();
+                let mut o: Vec<MatcherId> = self.dims[di].iter().map(|s| s.owner).collect();
                 o.sort_unstable();
                 o.dedup();
                 o
@@ -235,8 +256,14 @@ impl SegmentTable {
                 .expect("donor owns a segment");
             let old = segs[pos];
             let mid = old.range.lo + old.range.width() / 2.0;
-            segs[pos] = Segment { range: Range::new(old.range.lo, mid), owner: donor };
-            let upper = Segment { range: Range::new(mid, old.range.hi), owner: new };
+            segs[pos] = Segment {
+                range: Range::new(old.range.lo, mid),
+                owner: donor,
+            };
+            let upper = Segment {
+                range: Range::new(mid, old.range.hi),
+                owner: new,
+            };
             segs.insert(pos + 1, upper);
             moves.push((dim, donor, upper.range));
         }
@@ -272,7 +299,11 @@ impl SegmentTable {
                     break;
                 };
                 let absorbed = segs[pos].range;
-                let heir = if pos > 0 { segs[pos - 1].owner } else { segs[pos + 1].owner };
+                let heir = if pos > 0 {
+                    segs[pos - 1].owner
+                } else {
+                    segs[pos + 1].owner
+                };
                 if pos > 0 {
                     segs[pos - 1].range.hi = absorbed.hi;
                     segs.remove(pos);
@@ -309,7 +340,11 @@ impl SegmentTable {
                 let d = &self.space.dims()[i];
                 assert!(!segs.is_empty());
                 assert_eq!(segs[0].range.lo, d.min, "dimension {i} lower gap");
-                assert_eq!(segs.last().unwrap().range.hi, d.max, "dimension {i} upper gap");
+                assert_eq!(
+                    segs.last().unwrap().range.hi,
+                    d.max,
+                    "dimension {i} upper gap"
+                );
                 for w in segs.windows(2) {
                     assert_eq!(w[0].range.hi, w[1].range.lo, "dimension {i} hole");
                     assert!(w[0].range.lo < w[0].range.hi, "dimension {i} empty segment");
@@ -372,14 +407,23 @@ mod tests {
             vec![MatcherId(0), MatcherId(1), MatcherId(2)]
         );
         // Touching boundary exactly: [250, 500) only overlaps M1.
-        assert_eq!(t.overlapping(DimIdx(1), &Range::new(250.0, 500.0)), vec![MatcherId(1)]);
+        assert_eq!(
+            t.overlapping(DimIdx(1), &Range::new(250.0, 500.0)),
+            vec![MatcherId(1)]
+        );
     }
 
     #[test]
     fn clockwise_neighbor_wraps() {
         let t = table(3);
-        assert_eq!(t.clockwise_neighbor(DimIdx(0), MatcherId(0)).unwrap(), MatcherId(1));
-        assert_eq!(t.clockwise_neighbor(DimIdx(0), MatcherId(2)).unwrap(), MatcherId(0));
+        assert_eq!(
+            t.clockwise_neighbor(DimIdx(0), MatcherId(0)).unwrap(),
+            MatcherId(1)
+        );
+        assert_eq!(
+            t.clockwise_neighbor(DimIdx(0), MatcherId(2)).unwrap(),
+            MatcherId(0)
+        );
         assert!(t.clockwise_neighbor(DimIdx(0), MatcherId(9)).is_err());
     }
 
@@ -388,7 +432,10 @@ mod tests {
         let mut t = table(2); // two matchers, segments of width 500
         let v0 = t.version();
         // M1 is the most loaded everywhere.
-        let moves = t.split_join(MatcherId(2), |m, _| if m == MatcherId(1) { 10.0 } else { 1.0 });
+        let moves = t.split_join(
+            MatcherId(2),
+            |m, _| if m == MatcherId(1) { 10.0 } else { 1.0 },
+        );
         assert_eq!(moves.len(), 3);
         for (dim, donor, range) in &moves {
             assert_eq!(*donor, MatcherId(1));
@@ -427,7 +474,10 @@ mod tests {
     fn cannot_remove_last_matcher() {
         let mut t = table(1);
         assert_eq!(t.remove_matcher(MatcherId(0)), Err(CoreError::LastMatcher));
-        assert_eq!(t.remove_matcher(MatcherId(5)), Err(CoreError::UnknownMatcher(5)));
+        assert_eq!(
+            t.remove_matcher(MatcherId(5)),
+            Err(CoreError::UnknownMatcher(5))
+        );
     }
 
     #[test]

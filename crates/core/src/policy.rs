@@ -191,7 +191,13 @@ mod tests {
     }
 
     fn stats(q: usize, lambda: f64, mu: f64, t0: Time) -> DimStats {
-        DimStats { sub_count: 0, queue_len: q, lambda, mu, updated_at: t0 }
+        DimStats {
+            sub_count: 0,
+            queue_len: q,
+            lambda,
+            mu,
+            updated_at: t0,
+        }
     }
 
     #[test]
@@ -214,8 +220,22 @@ mod tests {
             Assignment::new(MatcherId(0), DimIdx(1)), // "A" on Y: 13 subs
             Assignment::new(MatcherId(3), DimIdx(0)), // "D" on X: 4 subs
         ];
-        view.update(MatcherId(0), DimIdx(1), DimStats { sub_count: 13, ..DimStats::empty() });
-        view.update(MatcherId(3), DimIdx(0), DimStats { sub_count: 4, ..DimStats::empty() });
+        view.update(
+            MatcherId(0),
+            DimIdx(1),
+            DimStats {
+                sub_count: 13,
+                ..DimStats::empty()
+            },
+        );
+        view.update(
+            MatcherId(3),
+            DimIdx(0),
+            DimStats {
+                sub_count: 4,
+                ..DimStats::empty()
+            },
+        );
         let pick = SubscriptionCountPolicy.choose(&c, &view, 0.0, &mut rng);
         assert_eq!(pick.matcher, MatcherId(3));
     }
@@ -256,7 +276,11 @@ mod tests {
         view.update(MatcherId(0), DimIdx(0), stats(10, 0.0, 100.0, 0.0)); // fast: (10+1)/100 = .11
         view.update(MatcherId(1), DimIdx(1), stats(2, 0.0, 10.0, 0.0)); // slow: (2+1)/10 = .3
         let pick = AdaptivePolicy.choose(&cands(), &view, 0.0, &mut rng);
-        assert_eq!(pick.matcher, MatcherId(0), "fast matcher preferred despite longer queue");
+        assert_eq!(
+            pick.matcher,
+            MatcherId(0),
+            "fast matcher preferred despite longer queue"
+        );
     }
 
     #[test]

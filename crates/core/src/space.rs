@@ -29,9 +29,16 @@ impl Dimension {
     /// construction is a configuration-time act where a panic is the right
     /// failure mode.
     pub fn new(name: impl Into<String>, min: f64, max: f64) -> Self {
-        assert!(min.is_finite() && max.is_finite(), "dimension bounds must be finite");
+        assert!(
+            min.is_finite() && max.is_finite(),
+            "dimension bounds must be finite"
+        );
         assert!(min < max, "dimension domain must be non-empty");
-        Dimension { name: name.into(), min, max }
+        Dimension {
+            name: name.into(),
+            min,
+            max,
+        }
     }
 
     /// Length of the value domain.
@@ -133,7 +140,10 @@ impl AttributeSpace {
     /// Validates that `values` forms a point inside this space.
     pub fn validate_point(&self, values: &[f64]) -> CoreResult<()> {
         if values.len() != self.k() {
-            return Err(CoreError::DimensionMismatch { expected: self.k(), got: values.len() });
+            return Err(CoreError::DimensionMismatch {
+                expected: self.k(),
+                got: values.len(),
+            });
         }
         for (i, (&v, d)) in values.iter().zip(&self.dims).enumerate() {
             let dim = DimIdx(i as u16);
@@ -212,7 +222,10 @@ mod tests {
         assert!(s.validate_point(&[1.0, 2.0]).is_ok());
         assert!(matches!(
             s.validate_point(&[1.0]),
-            Err(CoreError::DimensionMismatch { expected: 2, got: 1 })
+            Err(CoreError::DimensionMismatch {
+                expected: 2,
+                got: 1
+            })
         ));
         assert!(matches!(
             s.validate_point(&[1.0, 100.0]),

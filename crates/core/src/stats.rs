@@ -110,7 +110,13 @@ impl DimStats {
     /// A zeroed report at time 0 — the state dispatchers assume for
     /// matchers they have not heard from yet.
     pub fn empty() -> Self {
-        DimStats { sub_count: 0, queue_len: 0, lambda: 0.0, mu: 0.0, updated_at: 0.0 }
+        DimStats {
+            sub_count: 0,
+            queue_len: 0,
+            lambda: 0.0,
+            mu: 0.0,
+            updated_at: 0.0,
+        }
     }
 
     /// Wire size of one load report (the paper's 64-byte constant).
@@ -171,7 +177,11 @@ impl StatsView {
     /// The latest report, or [`DimStats::empty`] when none received yet,
     /// with this dispatcher's local reservations folded into the queue.
     pub fn get(&self, matcher: MatcherId, dim: DimIdx) -> DimStats {
-        let mut s = self.map.get(&(matcher, dim)).copied().unwrap_or_else(DimStats::empty);
+        let mut s = self
+            .map
+            .get(&(matcher, dim))
+            .copied()
+            .unwrap_or_else(DimStats::empty);
         if let Some(&p) = self.pending.get(&(matcher, dim)) {
             s.queue_len += p as usize;
         }
@@ -231,31 +241,56 @@ mod tests {
         let mut est = RateEstimator::new(10.0, 10);
         est.record(0.5, 100); // bucket 0
         est.record(5.5, 100); // bucket 5
-        // At t=10.5, bucket 0 (0..1s) has rolled out of the 10s window.
+                              // At t=10.5, bucket 0 (0..1s) has rolled out of the 10s window.
         let r = est.rate(10.5);
-        assert!((r - 10.0).abs() < 1e-9, "only the t=5.5 batch remains, r={r}");
+        assert!(
+            (r - 10.0).abs() < 1e-9,
+            "only the t=5.5 batch remains, r={r}"
+        );
     }
 
     #[test]
     fn extrapolation_grows_when_overloaded() {
-        let s = DimStats { sub_count: 10, queue_len: 5, lambda: 100.0, mu: 60.0, updated_at: 0.0 };
+        let s = DimStats {
+            sub_count: 10,
+            queue_len: 5,
+            lambda: 100.0,
+            mu: 60.0,
+            updated_at: 0.0,
+        };
         assert_eq!(s.extrapolated_queue(0.0), 5.0);
         assert_eq!(s.extrapolated_queue(1.0), 45.0);
         // Draining matcher clamps at zero.
-        let d = DimStats { lambda: 10.0, mu: 100.0, ..s };
+        let d = DimStats {
+            lambda: 10.0,
+            mu: 100.0,
+            ..s
+        };
         assert_eq!(d.extrapolated_queue(1.0), 0.0);
     }
 
     #[test]
     fn extrapolation_ignores_clock_skew_backwards() {
-        let s = DimStats { sub_count: 0, queue_len: 5, lambda: 0.0, mu: 10.0, updated_at: 10.0 };
+        let s = DimStats {
+            sub_count: 0,
+            queue_len: 5,
+            lambda: 0.0,
+            mu: 10.0,
+            updated_at: 10.0,
+        };
         // now < updated_at: dt clamps to 0, queue stays as reported.
         assert_eq!(s.extrapolated_queue(9.0), 5.0);
     }
 
     #[test]
     fn processing_time_is_queue_plus_one_over_mu() {
-        let s = DimStats { sub_count: 0, queue_len: 0, lambda: 0.0, mu: 50.0, updated_at: 0.0 };
+        let s = DimStats {
+            sub_count: 0,
+            queue_len: 0,
+            lambda: 0.0,
+            mu: 50.0,
+            updated_at: 0.0,
+        };
         assert!((s.processing_time(9.0) - 0.2).abs() < 1e-12);
         // Unknown-rate matcher is preferred over a loaded one.
         let unknown = DimStats::empty();
@@ -266,8 +301,14 @@ mod tests {
     fn unknown_rate_candidates_rank_by_subs_then_queue() {
         // Before any µ measurement the policy falls back to the static
         // subscription-count proxy (cold spots win), refined by backlog.
-        let small = DimStats { sub_count: 10, ..DimStats::empty() };
-        let big = DimStats { sub_count: 1000, ..DimStats::empty() };
+        let small = DimStats {
+            sub_count: 10,
+            ..DimStats::empty()
+        };
+        let big = DimStats {
+            sub_count: 1000,
+            ..DimStats::empty()
+        };
         assert!(small.processing_time(0.0) < big.processing_time(0.0));
         // Same sub_count: shorter queue wins.
         assert!(small.processing_time(1.0) < small.processing_time(5.0));
@@ -276,7 +317,13 @@ mod tests {
     #[test]
     fn reservations_add_to_queue_until_next_report() {
         let mut v = StatsView::new();
-        let base = DimStats { sub_count: 1, queue_len: 10, lambda: 0.0, mu: 100.0, updated_at: 0.0 };
+        let base = DimStats {
+            sub_count: 1,
+            queue_len: 10,
+            lambda: 0.0,
+            mu: 100.0,
+            updated_at: 0.0,
+        };
         v.update(MatcherId(0), DimIdx(0), base);
         v.reserve(MatcherId(0), DimIdx(0));
         v.reserve(MatcherId(0), DimIdx(0));
@@ -284,7 +331,14 @@ mod tests {
         // Other entries unaffected.
         assert_eq!(v.get(MatcherId(0), DimIdx(1)).queue_len, 0);
         // A fresh report supersedes local reservations.
-        v.update(MatcherId(0), DimIdx(0), DimStats { queue_len: 3, ..base });
+        v.update(
+            MatcherId(0),
+            DimIdx(0),
+            DimStats {
+                queue_len: 3,
+                ..base
+            },
+        );
         assert_eq!(v.get(MatcherId(0), DimIdx(0)).queue_len, 3);
     }
 
@@ -295,12 +349,24 @@ mod tests {
         v.update(
             MatcherId(1),
             DimIdx(0),
-            DimStats { sub_count: 3, queue_len: 1, lambda: 1.0, mu: 2.0, updated_at: 5.0 },
+            DimStats {
+                sub_count: 3,
+                queue_len: 1,
+                lambda: 1.0,
+                mu: 2.0,
+                updated_at: 5.0,
+            },
         );
         v.update(
             MatcherId(1),
             DimIdx(1),
-            DimStats { sub_count: 9, queue_len: 0, lambda: 0.0, mu: 1.0, updated_at: 5.0 },
+            DimStats {
+                sub_count: 9,
+                queue_len: 0,
+                lambda: 0.0,
+                mu: 1.0,
+                updated_at: 5.0,
+            },
         );
         assert_eq!(v.get(MatcherId(1), DimIdx(0)).sub_count, 3);
         assert_eq!(v.len(), 2);

@@ -229,7 +229,10 @@ mod tests {
             .range(0, -50.0, 2000.0)
             .build()
             .unwrap();
-        assert_eq!((s.predicate(DimIdx(0)).lo, s.predicate(DimIdx(0)).hi), (0.0, 1000.0));
+        assert_eq!(
+            (s.predicate(DimIdx(0)).lo, s.predicate(DimIdx(0)).hi),
+            (0.0, 1000.0)
+        );
     }
 
     #[test]
@@ -246,7 +249,9 @@ mod tests {
 
     #[test]
     fn builder_rejects_nan() {
-        let err = Subscription::builder(&space()).range(0, f64::NAN, 1.0).build();
+        let err = Subscription::builder(&space())
+            .range(0, f64::NAN, 1.0)
+            .build();
         assert!(matches!(err, Err(CoreError::NotANumber { .. })));
     }
 

@@ -1,0 +1,605 @@
+//! Deterministic fault injection: [`FaultTransport`] decorates any
+//! [`Transport`] and applies seeded, per-link fault rules — message drop,
+//! fixed/jittered delay, duplication, reordering and bidirectional
+//! partitions between address sets.
+//!
+//! The decorator is *pure*: with no rules and no partitions installed it
+//! forwards every call to the inner transport untouched (no RNG draws, no
+//! extra threads in the send path), so wrapping a transport changes
+//! nothing until faults are scripted.
+//!
+//! All randomness flows from one seeded [`StdRng`] inside the shared
+//! [`FaultHandle`], so a chaos run is reproducible from its seed alone.
+//! The handle is cloneable and reconfigurable at runtime — "partition at
+//! t=2s, heal at t=7s" is a matter of calling [`FaultHandle::partition`]
+//! and [`FaultHandle::heal_partitions`] from the driving thread.
+//!
+//! Because [`Transport::send`] carries no source address, fault rules
+//! that depend on *who* is sending use scoped clones: each node gets a
+//! [`FaultTransport::scoped`] clone carrying its own address as the
+//! origin, while all clones share the same rules, counters and RNG.
+
+use crate::error::{NetError, NetResult};
+use crate::transport::Transport;
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// A set of transport addresses, used to scope rules and partitions.
+#[derive(Clone, Debug)]
+pub enum AddrSet {
+    /// Matches every address.
+    Any,
+    /// Matches exactly the listed addresses.
+    Exact(BTreeSet<String>),
+    /// Matches addresses beginning with the prefix (e.g. `"m/"` for all
+    /// matchers).
+    Prefix(String),
+}
+
+impl AddrSet {
+    /// A set holding the given addresses.
+    pub fn of<I: IntoIterator<Item = S>, S: Into<String>>(addrs: I) -> Self {
+        AddrSet::Exact(addrs.into_iter().map(Into::into).collect())
+    }
+
+    /// A single-address set.
+    pub fn one(addr: impl Into<String>) -> Self {
+        AddrSet::of([addr.into()])
+    }
+
+    /// Whether `addr` belongs to the set. The empty origin (an unscoped
+    /// transport) never matches an exact or prefix set.
+    pub fn contains(&self, addr: &str) -> bool {
+        match self {
+            AddrSet::Any => true,
+            AddrSet::Exact(set) => set.contains(addr),
+            AddrSet::Prefix(p) => !addr.is_empty() && addr.starts_with(p.as_str()),
+        }
+    }
+}
+
+/// Faults applied to messages on one matched link.
+#[derive(Clone, Debug, Default)]
+pub struct FaultRule {
+    /// Probability in `[0, 1]` that a message is silently dropped.
+    pub drop_prob: f64,
+    /// Fixed delay added to every message.
+    pub delay: Duration,
+    /// Extra uniformly-random delay in `[0, jitter)` per message.
+    pub jitter: Duration,
+    /// Probability that a message is delivered twice.
+    pub duplicate_prob: f64,
+    /// Probability that a message is held back long enough for later
+    /// sends on the same link to overtake it.
+    pub reorder_prob: f64,
+}
+
+impl FaultRule {
+    /// A rule dropping each message with probability `p`.
+    pub fn drop(p: f64) -> Self {
+        FaultRule {
+            drop_prob: p,
+            ..Default::default()
+        }
+    }
+
+    /// A rule delaying every message by `base` plus up to `jitter`.
+    pub fn delay(base: Duration, jitter: Duration) -> Self {
+        FaultRule {
+            delay: base,
+            jitter,
+            ..Default::default()
+        }
+    }
+
+    /// A rule duplicating each message with probability `p`.
+    pub fn duplicate(p: f64) -> Self {
+        FaultRule {
+            duplicate_prob: p,
+            ..Default::default()
+        }
+    }
+
+    /// A rule reordering each message with probability `p`.
+    pub fn reorder(p: f64) -> Self {
+        FaultRule {
+            reorder_prob: p,
+            ..Default::default()
+        }
+    }
+
+    fn is_pass_through(&self) -> bool {
+        self.drop_prob <= 0.0
+            && self.delay.is_zero()
+            && self.jitter.is_zero()
+            && self.duplicate_prob <= 0.0
+            && self.reorder_prob <= 0.0
+    }
+}
+
+/// A [`FaultRule`] scoped to messages from one address set to another.
+#[derive(Clone, Debug)]
+pub struct LinkRule {
+    /// Senders the rule applies to ([`AddrSet::Any`] for all).
+    pub from: AddrSet,
+    /// Destinations the rule applies to.
+    pub to: AddrSet,
+    /// The faults to apply on matched sends.
+    pub rule: FaultRule,
+}
+
+impl LinkRule {
+    /// A rule applying to every link.
+    pub fn everywhere(rule: FaultRule) -> Self {
+        LinkRule {
+            from: AddrSet::Any,
+            to: AddrSet::Any,
+            rule,
+        }
+    }
+}
+
+/// Counters of what the injector actually did — useful both for test
+/// assertions and for verifying a schedule exercised what it meant to.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Messages offered to the decorator.
+    pub sent: u64,
+    /// Messages silently dropped by a drop rule.
+    pub dropped: u64,
+    /// Messages refused because a partition blocks the link.
+    pub blocked: u64,
+    /// Messages whose delivery was deferred by delay/jitter.
+    pub delayed: u64,
+    /// Extra copies enqueued by duplication rules.
+    pub duplicated: u64,
+    /// Messages held back by a reorder rule.
+    pub reordered: u64,
+}
+
+struct FaultState {
+    rng: StdRng,
+    partitions: Vec<(AddrSet, AddrSet)>,
+    rules: Vec<LinkRule>,
+    stats: FaultStats,
+}
+
+/// Shared, runtime-reconfigurable control surface for one fault domain.
+/// All [`FaultTransport`] clones created from the same handle observe
+/// rule changes immediately.
+#[derive(Clone)]
+pub struct FaultHandle {
+    state: Arc<Mutex<FaultState>>,
+}
+
+impl FaultHandle {
+    /// A handle with no faults installed, seeded for reproducibility.
+    pub fn new(seed: u64) -> Self {
+        FaultHandle {
+            state: Arc::new(Mutex::new(FaultState {
+                rng: StdRng::seed_from_u64(seed),
+                partitions: Vec::new(),
+                rules: Vec::new(),
+                stats: FaultStats::default(),
+            })),
+        }
+    }
+
+    /// Installs a bidirectional partition: sends from `a` to `b` *and*
+    /// from `b` to `a` fail with [`NetError::Unroutable`] until healed.
+    pub fn partition(&self, a: AddrSet, b: AddrSet) {
+        self.state.lock().partitions.push((a, b));
+    }
+
+    /// Removes every partition.
+    pub fn heal_partitions(&self) {
+        self.state.lock().partitions.clear();
+    }
+
+    /// Installs a link rule; later rules stack on earlier ones (every
+    /// matching rule applies).
+    pub fn add_rule(&self, rule: LinkRule) {
+        self.state.lock().rules.push(rule);
+    }
+
+    /// Removes every link rule (partitions stay).
+    pub fn clear_rules(&self) {
+        self.state.lock().rules.clear();
+    }
+
+    /// Removes all rules and partitions, restoring pure pass-through.
+    pub fn clear(&self) {
+        let mut s = self.state.lock();
+        s.rules.clear();
+        s.partitions.clear();
+    }
+
+    /// Snapshot of the fault counters.
+    pub fn stats(&self) -> FaultStats {
+        self.state.lock().stats.clone()
+    }
+
+    /// Whether a partition currently blocks `from → to`.
+    pub fn is_blocked(&self, from: &str, to: &str) -> bool {
+        let s = self.state.lock();
+        s.partitions.iter().any(|(a, b)| {
+            (a.contains(from) && b.contains(to)) || (b.contains(from) && a.contains(to))
+        })
+    }
+}
+
+/// What the send path decided to do with one message.
+enum Action {
+    Deliver,
+    Drop,
+    Blocked,
+    /// Deliver `copies` copies after a delay (zero = immediate).
+    Deferred {
+        after: Duration,
+        copies: u32,
+    },
+}
+
+struct Deferred {
+    addr: String,
+    payload: Bytes,
+    deliver_at: Instant,
+}
+
+/// A [`Transport`] decorator injecting seeded faults per link. Created
+/// from an inner transport plus a [`FaultHandle`]; see the module docs
+/// for the scoping model.
+#[derive(Clone)]
+pub struct FaultTransport {
+    inner: Arc<dyn Transport>,
+    handle: FaultHandle,
+    origin: String,
+    defer_tx: Sender<Deferred>,
+}
+
+impl FaultTransport {
+    /// Wraps `inner`, drawing all randomness from a fresh seeded handle.
+    pub fn new(inner: Arc<dyn Transport>, seed: u64) -> Self {
+        Self::with_handle(inner, FaultHandle::new(seed))
+    }
+
+    /// Wraps `inner` under an existing (possibly shared) handle.
+    pub fn with_handle(inner: Arc<dyn Transport>, handle: FaultHandle) -> Self {
+        let (defer_tx, defer_rx) = unbounded();
+        spawn_delayer(inner.clone(), defer_rx);
+        FaultTransport {
+            inner,
+            handle,
+            origin: String::new(),
+            defer_tx,
+        }
+    }
+
+    /// A clone that sends *as* `origin`, so sender-scoped rules and
+    /// partitions apply to it. Shares rules, RNG and counters with its
+    /// parent.
+    pub fn scoped(&self, origin: impl Into<String>) -> Self {
+        let mut t = self.clone();
+        t.origin = origin.into();
+        t
+    }
+
+    /// The control handle shared by every clone of this transport.
+    pub fn handle(&self) -> FaultHandle {
+        self.handle.clone()
+    }
+
+    fn decide(&self, addr: &str) -> Action {
+        let mut s = self.handle.state.lock();
+        s.stats.sent += 1;
+        let blocked = s.partitions.iter().any(|(a, b)| {
+            (a.contains(&self.origin) && b.contains(addr))
+                || (b.contains(&self.origin) && a.contains(addr))
+        });
+        if blocked {
+            s.stats.blocked += 1;
+            return Action::Blocked;
+        }
+        // Fold every matching rule into one effective rule.
+        let mut effective = FaultRule::default();
+        for lr in &s.rules {
+            if lr.from.contains(&self.origin) && lr.to.contains(addr) {
+                effective.drop_prob = effective.drop_prob.max(lr.rule.drop_prob);
+                effective.delay += lr.rule.delay;
+                effective.jitter += lr.rule.jitter;
+                effective.duplicate_prob = effective.duplicate_prob.max(lr.rule.duplicate_prob);
+                effective.reorder_prob = effective.reorder_prob.max(lr.rule.reorder_prob);
+            }
+        }
+        if effective.is_pass_through() {
+            return Action::Deliver;
+        }
+        if effective.drop_prob > 0.0 && s.rng.gen_bool(effective.drop_prob.min(1.0)) {
+            s.stats.dropped += 1;
+            return Action::Drop;
+        }
+        let mut after = effective.delay;
+        if !effective.jitter.is_zero() {
+            after += Duration::from_nanos(
+                s.rng
+                    .gen_range(0..effective.jitter.as_nanos().max(1) as u64),
+            );
+        }
+        let reordered =
+            effective.reorder_prob > 0.0 && s.rng.gen_bool(effective.reorder_prob.min(1.0));
+        if reordered {
+            // Hold the message back 1–5 ms so subsequent sends overtake.
+            after += Duration::from_micros(s.rng.gen_range(1_000..5_000));
+            s.stats.reordered += 1;
+        }
+        let duplicated =
+            effective.duplicate_prob > 0.0 && s.rng.gen_bool(effective.duplicate_prob.min(1.0));
+        let copies = if duplicated {
+            s.stats.duplicated += 1;
+            2
+        } else {
+            1
+        };
+        if after.is_zero() && copies == 1 {
+            return Action::Deliver;
+        }
+        if !after.is_zero() {
+            s.stats.delayed += 1;
+        }
+        Action::Deferred { after, copies }
+    }
+}
+
+impl Transport for FaultTransport {
+    fn bind(&self, addr: &str) -> NetResult<Receiver<Bytes>> {
+        self.inner.bind(addr)
+    }
+
+    fn send(&self, addr: &str, payload: Bytes) -> NetResult<()> {
+        // Fast path: nothing configured — a pure decorator.
+        {
+            let s = self.handle.state.lock();
+            if s.rules.is_empty() && s.partitions.is_empty() {
+                drop(s);
+                return self.inner.send(addr, payload);
+            }
+        }
+        match self.decide(addr) {
+            Action::Deliver => self.inner.send(addr, payload),
+            Action::Drop => Ok(()),
+            Action::Blocked => Err(NetError::Unroutable(format!("{addr} (partitioned)"))),
+            Action::Deferred { after, copies, .. } => {
+                if after.is_zero() {
+                    // Immediate delivery plus an immediate duplicate.
+                    for _ in 0..copies {
+                        self.inner.send(addr, payload.clone())?;
+                    }
+                    return Ok(());
+                }
+                let deliver_at = Instant::now() + after;
+                for _ in 0..copies {
+                    let d = Deferred {
+                        addr: addr.to_string(),
+                        payload: payload.clone(),
+                        deliver_at,
+                    };
+                    // A dead delayer means the process is tearing down;
+                    // surface it like a disconnected link.
+                    self.defer_tx.send(d).map_err(|_| NetError::Disconnected)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Background thread delivering deferred messages once due. Exits when
+/// every transport clone (each holding a sender) is gone.
+fn spawn_delayer(inner: Arc<dyn Transport>, rx: Receiver<Deferred>) {
+    thread::Builder::new()
+        .name("fault-delayer".into())
+        .spawn(move || {
+            let mut pending: Vec<Deferred> = Vec::new();
+            loop {
+                let timeout = pending
+                    .iter()
+                    .map(|d| d.deliver_at.saturating_duration_since(Instant::now()))
+                    .min()
+                    .unwrap_or(Duration::from_secs(3600));
+                match rx.recv_timeout(timeout) {
+                    Ok(d) => pending.push(d),
+                    Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
+                    Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                        // Flush whatever is still pending, then exit.
+                        for d in pending.drain(..) {
+                            let _ = inner.send(&d.addr, d.payload);
+                        }
+                        return;
+                    }
+                }
+                let now = Instant::now();
+                let mut i = 0;
+                while i < pending.len() {
+                    if pending[i].deliver_at <= now {
+                        let d = pending.swap_remove(i);
+                        // Destination may have crashed meanwhile: best
+                        // effort, like a real network.
+                        let _ = inner.send(&d.addr, d.payload);
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+        })
+        .expect("spawn fault-delayer thread");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::ChannelTransport;
+
+    fn wrapped() -> (FaultTransport, FaultHandle) {
+        let inner: Arc<dyn Transport> = Arc::new(ChannelTransport::new());
+        let t = FaultTransport::new(inner, 42);
+        let h = t.handle();
+        (t, h)
+    }
+
+    #[test]
+    fn empty_ruleset_is_pure_pass_through() {
+        let (t, h) = wrapped();
+        let rx = t.bind("a").unwrap();
+        for i in 0..50u8 {
+            t.send("a", Bytes::from(vec![i])).unwrap();
+        }
+        for i in 0..50u8 {
+            assert_eq!(rx.recv().unwrap()[0], i);
+        }
+        // No faults configured — the counters never even tick.
+        assert_eq!(h.stats(), FaultStats::default());
+    }
+
+    #[test]
+    fn drop_rule_loses_messages_deterministically() {
+        let (t, h) = wrapped();
+        let rx = t.bind("a").unwrap();
+        h.add_rule(LinkRule::everywhere(FaultRule::drop(0.5)));
+        for i in 0..200u8 {
+            t.send("a", Bytes::from(vec![i])).unwrap();
+        }
+        let mut got = 0;
+        while rx.try_recv().is_ok() {
+            got += 1;
+        }
+        let stats = h.stats();
+        assert_eq!(stats.sent, 200);
+        assert_eq!(got as u64 + stats.dropped, 200);
+        assert!(stats.dropped > 50 && stats.dropped < 150, "{stats:?}");
+
+        // Same seed, same sequence of drops.
+        let (t2, h2) = wrapped();
+        let rx2 = t2.bind("a").unwrap();
+        h2.add_rule(LinkRule::everywhere(FaultRule::drop(0.5)));
+        for i in 0..200u8 {
+            t2.send("a", Bytes::from(vec![i])).unwrap();
+        }
+        let survivors: Vec<u8> = std::iter::from_fn(|| rx2.try_recv().ok().map(|b| b[0])).collect();
+        let (t3, h3) = wrapped();
+        let rx3 = t3.bind("a").unwrap();
+        h3.add_rule(LinkRule::everywhere(FaultRule::drop(0.5)));
+        for i in 0..200u8 {
+            t3.send("a", Bytes::from(vec![i])).unwrap();
+        }
+        let survivors3: Vec<u8> =
+            std::iter::from_fn(|| rx3.try_recv().ok().map(|b| b[0])).collect();
+        assert_eq!(survivors, survivors3);
+    }
+
+    #[test]
+    fn partition_blocks_both_directions_until_healed() {
+        let (t, h) = wrapped();
+        let _rx_m = t.bind("m/0").unwrap();
+        let _rx_d = t.bind("d/0").unwrap();
+        let as_d = t.scoped("d/0");
+        let as_m = t.scoped("m/0");
+        h.partition(AddrSet::one("d/0"), AddrSet::Prefix("m/".into()));
+
+        assert!(matches!(
+            as_d.send("m/0", Bytes::new()),
+            Err(NetError::Unroutable(_))
+        ));
+        assert!(matches!(
+            as_m.send("d/0", Bytes::new()),
+            Err(NetError::Unroutable(_))
+        ));
+        assert!(h.is_blocked("d/0", "m/0") && h.is_blocked("m/0", "d/0"));
+        // An unrelated link is unaffected.
+        let _rx_c = t.bind("c/0").unwrap();
+        as_m.send("c/0", Bytes::new()).unwrap();
+
+        h.heal_partitions();
+        as_d.send("m/0", Bytes::new()).unwrap();
+        as_m.send("d/0", Bytes::new()).unwrap();
+        assert!(!h.is_blocked("d/0", "m/0"));
+    }
+
+    #[test]
+    fn delay_defers_but_delivers() {
+        let (t, h) = wrapped();
+        let rx = t.bind("a").unwrap();
+        h.add_rule(LinkRule::everywhere(FaultRule::delay(
+            Duration::from_millis(30),
+            Duration::from_millis(10),
+        )));
+        let before = Instant::now();
+        t.send("a", Bytes::from_static(b"late")).unwrap();
+        assert!(rx.try_recv().is_err(), "must not arrive synchronously");
+        let got = rx.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(&got[..], b"late");
+        assert!(before.elapsed() >= Duration::from_millis(25));
+        assert_eq!(h.stats().delayed, 1);
+    }
+
+    #[test]
+    fn duplicates_arrive_twice() {
+        let (t, h) = wrapped();
+        let rx = t.bind("a").unwrap();
+        h.add_rule(LinkRule::everywhere(FaultRule::duplicate(1.0)));
+        t.send("a", Bytes::from_static(b"twin")).unwrap();
+        assert_eq!(
+            &rx.recv_timeout(Duration::from_secs(1)).unwrap()[..],
+            b"twin"
+        );
+        assert_eq!(
+            &rx.recv_timeout(Duration::from_secs(1)).unwrap()[..],
+            b"twin"
+        );
+        assert_eq!(h.stats().duplicated, 1);
+    }
+
+    #[test]
+    fn reorder_lets_later_messages_overtake() {
+        let (t, h) = wrapped();
+        let rx = t.bind("a").unwrap();
+        // Reorder (hold back) roughly half the messages.
+        h.add_rule(LinkRule::everywhere(FaultRule::reorder(0.5)));
+        for i in 0..60u8 {
+            t.send("a", Bytes::from(vec![i])).unwrap();
+        }
+        let mut got = Vec::new();
+        while got.len() < 60 {
+            got.push(rx.recv_timeout(Duration::from_secs(2)).unwrap()[0]);
+        }
+        assert!(h.stats().reordered > 0);
+        let mut sorted = got.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..60).collect::<Vec<u8>>(), "nothing lost");
+        assert_ne!(got, sorted, "order was perturbed");
+    }
+
+    #[test]
+    fn scoped_rules_hit_only_their_origin() {
+        let (t, h) = wrapped();
+        let rx = t.bind("m/0").unwrap();
+        h.add_rule(LinkRule {
+            from: AddrSet::one("d/1"),
+            to: AddrSet::Any,
+            rule: FaultRule::drop(1.0),
+        });
+        let healthy = t.scoped("d/0");
+        let faulty = t.scoped("d/1");
+        healthy.send("m/0", Bytes::from_static(b"ok")).unwrap();
+        faulty.send("m/0", Bytes::from_static(b"gone")).unwrap();
+        assert_eq!(&rx.recv_timeout(Duration::from_secs(1)).unwrap()[..], b"ok");
+        assert!(rx.try_recv().is_err());
+        assert_eq!(h.stats().dropped, 1);
+    }
+}

@@ -73,7 +73,10 @@ mod tests {
         let mut forged = Vec::new();
         forged.extend_from_slice(&(u32::MAX).to_le_bytes());
         let mut cur = Cursor::new(forged);
-        assert!(matches!(read_frame(&mut cur), Err(NetError::FrameTooLarge(_))));
+        assert!(matches!(
+            read_frame(&mut cur),
+            Err(NetError::FrameTooLarge(_))
+        ));
     }
 
     #[test]

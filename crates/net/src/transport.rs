@@ -119,7 +119,9 @@ impl TcpTransport {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         let writer = Arc::new(Mutex::new(BufWriter::new(stream)));
-        self.outbound.lock().insert(addr.to_string(), writer.clone());
+        self.outbound
+            .lock()
+            .insert(addr.to_string(), writer.clone());
         Ok(writer)
     }
 

@@ -174,7 +174,10 @@ impl Wire for Range {
         self.hi.encode(buf);
     }
     fn decode(buf: &mut impl Buf) -> NetResult<Self> {
-        Ok(Range { lo: f64::decode(buf)?, hi: f64::decode(buf)? })
+        Ok(Range {
+            lo: f64::decode(buf)?,
+            hi: f64::decode(buf)?,
+        })
     }
 }
 
@@ -305,12 +308,16 @@ impl Wire for GossipMsg {
     }
     fn decode(buf: &mut impl Buf) -> NetResult<Self> {
         match u8::decode(buf)? {
-            0 => Ok(GossipMsg::Syn { digests: Vec::decode(buf)? }),
+            0 => Ok(GossipMsg::Syn {
+                digests: Vec::decode(buf)?,
+            }),
             1 => Ok(GossipMsg::Ack {
                 deltas: Vec::decode(buf)?,
                 requests: Vec::decode(buf)?,
             }),
-            2 => Ok(GossipMsg::Ack2 { deltas: Vec::decode(buf)? }),
+            2 => Ok(GossipMsg::Ack2 {
+                deltas: Vec::decode(buf)?,
+            }),
             t => Err(NetError::BadTag(t)),
         }
     }
@@ -367,11 +374,22 @@ mod tests {
     fn overlay_types_round_trip() {
         let s = EndpointState::new(NodeId(3), NodeRole::Dispatcher, "10.1.2.3:9000", 5);
         round_trip(s.clone());
-        round_trip(Digest { node: NodeId(1), generation: 2, version: 3 });
-        round_trip(GossipMsg::Syn {
-            digests: vec![Digest { node: NodeId(1), generation: 1, version: 1 }],
+        round_trip(Digest {
+            node: NodeId(1),
+            generation: 2,
+            version: 3,
         });
-        round_trip(GossipMsg::Ack { deltas: vec![s.clone()], requests: vec![NodeId(9)] });
+        round_trip(GossipMsg::Syn {
+            digests: vec![Digest {
+                node: NodeId(1),
+                generation: 1,
+                version: 1,
+            }],
+        });
+        round_trip(GossipMsg::Ack {
+            deltas: vec![s.clone()],
+            requests: vec![NodeId(9)],
+        });
         round_trip(GossipMsg::Ack2 { deltas: vec![s] });
     }
 
@@ -454,7 +472,10 @@ impl Wire for bluedove_core::Segment {
         self.owner.encode(buf);
     }
     fn decode(buf: &mut impl Buf) -> NetResult<Self> {
-        Ok(bluedove_core::Segment { range: Range::decode(buf)?, owner: MatcherId::decode(buf)? })
+        Ok(bluedove_core::Segment {
+            range: Range::decode(buf)?,
+            owner: MatcherId::decode(buf)?,
+        })
     }
 }
 
@@ -503,7 +524,11 @@ impl Wire for bluedove_baselines::AnyStrategy {
                 let table = bluedove_core::SegmentTable::decode(buf)?;
                 let degenerate = bool::decode(buf)?;
                 let mp = bluedove_core::MPartition::new(table);
-                let mp = if degenerate { mp } else { mp.without_degenerate_replication() };
+                let mp = if degenerate {
+                    mp
+                } else {
+                    mp.without_degenerate_replication()
+                };
                 Ok(bluedove_baselines::AnyStrategy::BlueDove(mp))
             }
             1 => {
@@ -531,7 +556,7 @@ impl Wire for bluedove_baselines::AnyStrategy {
 mod strategy_wire_tests {
     use super::*;
     use bluedove_baselines::AnyStrategy;
-    use bluedove_core::{AttributeSpace, PartitionStrategy, SegmentTable};
+    use bluedove_core::{AttributeSpace, SegmentTable};
 
     fn table(n: u32, k: usize) -> SegmentTable {
         let ids: Vec<MatcherId> = (0..n).map(MatcherId).collect();
@@ -566,7 +591,10 @@ mod strategy_wire_tests {
                 AnyStrategy::FullRep(_) => 2,
             };
             let msg = bluedove_core::Message::new(vec![1.0; k]);
-            assert_eq!(back.as_dyn().candidates(&msg), strat.as_dyn().candidates(&msg));
+            assert_eq!(
+                back.as_dyn().candidates(&msg),
+                strat.as_dyn().candidates(&msg)
+            );
         }
     }
 

@@ -2,8 +2,8 @@
 //!
 //! Each node watches, for every peer, how long ago the peer's gossiped
 //! heartbeat version last advanced. A peer silent beyond
-//! `suspect_after` becomes [`Liveness::Suspect`] (still stored, no longer a
-//! gossip target); beyond `dead_after` it is declared
+//! `suspect_after` becomes [`Liveness::Suspect`] (still probed, so the
+//! suspicion can be refuted); beyond `dead_after` it is declared
 //! [`Liveness::Dead`] and reported so hosts can fail over — in BlueDove a
 //! dispatcher then redirects messages to another candidate matcher
 //! (§III-A-3), which is what bounds the ~17.5 s loss window of Figure 10.
@@ -27,7 +27,10 @@ impl Default for FailureDetectorConfig {
         // reaches everyone within a few seconds; 5 s of silence is already
         // highly suspicious and 15 s conclusive — matching the paper's
         // observed ~17.5 s recovery envelope.
-        FailureDetectorConfig { suspect_after: 5.0, dead_after: 15.0 }
+        FailureDetectorConfig {
+            suspect_after: 5.0,
+            dead_after: 15.0,
+        }
     }
 }
 
@@ -46,11 +49,7 @@ pub enum LivenessEvent {
 /// returning every transition. Peers that announced an orderly departure
 /// are declared dead immediately (their subscriptions were already handed
 /// over).
-pub fn sweep(
-    node: &mut GossipNode,
-    cfg: &FailureDetectorConfig,
-    now: Time,
-) -> Vec<LivenessEvent> {
+pub fn sweep(node: &mut GossipNode, cfg: &FailureDetectorConfig, now: Time) -> Vec<LivenessEvent> {
     let mut events = Vec::new();
     for (&id, rec) in node.peers_mut().iter_mut() {
         let silence = now - rec.last_advance;
@@ -160,5 +159,64 @@ mod tests {
         a.learn(rejoined, 21.0);
         assert_eq!(a.peers()[&NodeId(2)].liveness, Liveness::Alive);
         assert!(sweep(&mut a, &cfg, 22.0).is_empty());
+    }
+
+    #[test]
+    fn dead_is_sticky_within_a_generation_but_not_across() {
+        // Regression for the gossip-merge generation handling: a resumed
+        // heartbeat under the SAME generation must not resurrect a Dead
+        // peer (a stale incarnation could otherwise flap back in), while
+        // a higher generation arriving via plain gossip — no eviction —
+        // must.
+        let mut a = node(1);
+        let mut b = node(2);
+        a.learn(b.own().clone(), 0.0);
+        b.learn(a.own().clone(), 0.0);
+        let cfg = FailureDetectorConfig::default();
+
+        // B falls silent past dead_after.
+        let ev = sweep(&mut a, &cfg, 16.0);
+        assert_eq!(ev, vec![LivenessEvent::Died(NodeId(2))]);
+
+        // B's heartbeat resumes under the same generation: A learns the
+        // fresher version but the record stays Dead.
+        b.heartbeat();
+        exchange(&mut b, &mut a, 17.0);
+        assert!(a.peers()[&NodeId(2)].state.version > 0, "version advanced");
+        assert_eq!(a.peers()[&NodeId(2)].liveness, Liveness::Dead);
+        assert!(
+            sweep(&mut a, &cfg, 17.5).is_empty(),
+            "no resurrection event"
+        );
+        assert!(!a.live_peers().contains(&NodeId(2)));
+
+        // B restarts as a new incarnation (generation 2); the state flows
+        // to A through an ordinary gossip exchange and replaces the dead
+        // record wholesale.
+        let mut b2 = GossipNode::new(EndpointState::new(NodeId(2), NodeRole::Matcher, "x", 2));
+        b2.learn(a.own().clone(), 18.0);
+        exchange(&mut b2, &mut a, 18.0);
+        assert_eq!(a.peers()[&NodeId(2)].state.generation, 2);
+        assert_eq!(a.peers()[&NodeId(2)].liveness, Liveness::Alive);
+        assert!(a.live_peers().contains(&NodeId(2)));
+        assert!(sweep(&mut a, &cfg, 19.0).is_empty());
+    }
+
+    #[test]
+    fn suspects_remain_probe_targets_dead_do_not() {
+        // Regression for partition healing: if suspects fell out of the
+        // target pool, two sides suspecting each other after a partition
+        // could never exchange the refuting heartbeat.
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut a = node(1);
+        a.learn(node(2).own().clone(), 0.0);
+        a.learn(node(3).own().clone(), 0.0);
+        let cfg = FailureDetectorConfig::default();
+        sweep(&mut a, &cfg, 6.0); // both Suspect
+        let mut rng = StdRng::seed_from_u64(7);
+        let targets = a.pick_targets(&mut rng);
+        assert!(!targets.is_empty(), "suspects are still probed");
+        sweep(&mut a, &cfg, 16.0); // both Dead
+        assert!(a.pick_targets(&mut rng).is_empty(), "dead peers are not");
     }
 }

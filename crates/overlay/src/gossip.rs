@@ -61,9 +61,7 @@ impl GossipMsg {
             GossipMsg::Ack { deltas, requests } => {
                 8 + deltas.iter().map(|d| d.wire_size()).sum::<usize>() + requests.len() * 8
             }
-            GossipMsg::Ack2 { deltas } => {
-                4 + deltas.iter().map(|d| d.wire_size()).sum::<usize>()
-            }
+            GossipMsg::Ack2 { deltas } => 4 + deltas.iter().map(|d| d.wire_size()).sum::<usize>(),
         }
     }
 }
@@ -84,7 +82,12 @@ pub struct GossipNode {
 impl GossipNode {
     /// Boots a gossip endpoint with this node's own state.
     pub fn new(own: EndpointState) -> Self {
-        GossipNode { own, peers: HashMap::new(), bytes_sent: 0, bytes_received: 0 }
+        GossipNode {
+            own,
+            peers: HashMap::new(),
+            bytes_sent: 0,
+            bytes_received: 0,
+        }
     }
 
     /// This node's id.
@@ -155,16 +158,25 @@ impl GossipNode {
         v
     }
 
-    /// Picks `ceil(log2(N))` random live peers (N = live cluster size
-    /// including self), the paper's fan-out.
+    /// Picks `ceil(log2(N))` random gossip targets (N = live cluster
+    /// size including self), the paper's fan-out. Suspect peers stay in
+    /// the target pool — probing a suspect is the only way suspicion can
+    /// be refuted once a partition heals, otherwise two sides that
+    /// suspect each other deadlock. Dead peers are excluded (sticky
+    /// within a generation).
     pub fn pick_targets<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<NodeId> {
-        let live = self.live_peers();
-        if live.is_empty() {
+        let mut pool: Vec<NodeId> = self
+            .peers
+            .iter()
+            .filter(|(_, r)| r.liveness != Liveness::Dead)
+            .map(|(&id, _)| id)
+            .collect();
+        pool.sort_unstable();
+        if pool.is_empty() {
             return Vec::new();
         }
-        let n = live.len() + 1;
+        let n = self.live_peers().len() + 1;
         let fanout = (n as f64).log2().ceil().max(1.0) as usize;
-        let mut pool = live;
         let mut targets = Vec::with_capacity(fanout.min(pool.len()));
         for _ in 0..fanout.min(pool.len()) {
             let i = rng.gen_range(0..pool.len());
@@ -177,7 +189,11 @@ impl GossipNode {
     pub fn make_syn(&mut self) -> GossipMsg {
         let digests = self
             .known()
-            .map(|s| Digest { node: s.node, generation: s.generation, version: s.version })
+            .map(|s| Digest {
+                node: s.node,
+                generation: s.generation,
+                version: s.version,
+            })
             .collect();
         let msg = GossipMsg::Syn { digests };
         self.bytes_sent += msg.wire_size() as u64;
@@ -265,16 +281,24 @@ impl GossipNode {
         }
         match self.peers.get_mut(&incoming.node) {
             Some(rec) => {
-                if incoming.fresher_than(&rec.state) {
+                if incoming.generation > rec.state.generation {
+                    // A strictly higher generation is a new incarnation:
+                    // the node restarted. Dead is sticky within a
+                    // generation, so the record is rebuilt wholesale —
+                    // liveness included.
+                    *rec = PeerRecord::new(incoming, now);
+                } else if incoming.fresher_than(&rec.state) {
                     rec.state = incoming;
                     rec.last_advance = now;
-                    // Liveness transitions (including Suspect → Alive
-                    // recovery) are the failure detector's job: `sweep`
-                    // re-evaluates `last_advance` and emits the event.
+                    // Within a generation, liveness transitions (including
+                    // Suspect → Alive recovery) are the failure detector's
+                    // job: `sweep` re-evaluates `last_advance` and emits
+                    // the event.
                 }
             }
             None => {
-                self.peers.insert(incoming.node, PeerRecord::new(incoming, now));
+                self.peers
+                    .insert(incoming.node, PeerRecord::new(incoming, now));
             }
         }
     }
@@ -360,8 +384,14 @@ mod tests {
         a.learn(c.own().clone(), 0.0); // only A knows C
         b.learn(d.own().clone(), 0.0); // only B knows D
         exchange(&mut a, &mut b, 1.0);
-        assert!(a.peers().contains_key(&NodeId(4)), "A should learn D via ack");
-        assert!(b.peers().contains_key(&NodeId(3)), "B should learn C via ack2... ");
+        assert!(
+            a.peers().contains_key(&NodeId(4)),
+            "A should learn D via ack"
+        );
+        assert!(
+            b.peers().contains_key(&NodeId(3)),
+            "B should learn C via ack2... "
+        );
     }
 
     #[test]

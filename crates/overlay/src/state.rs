@@ -119,7 +119,11 @@ pub struct PeerRecord {
 impl PeerRecord {
     /// Wraps a freshly learned state observed at `now`.
     pub fn new(state: EndpointState, now: Time) -> Self {
-        PeerRecord { state, last_advance: now, liveness: Liveness::Alive }
+        PeerRecord {
+            state,
+            last_advance: now,
+            liveness: Liveness::Alive,
+        }
     }
 }
 

@@ -138,7 +138,10 @@ fn crashed_node_detected_cluster_wide() {
         }
     }
     assert!(died_everywhere, "crash not detected everywhere by t={now}");
-    assert!(now <= 6.0 + cfg.dead_after + 10.0, "detection too slow: {now}");
+    assert!(
+        now <= 6.0 + cfg.dead_after + 10.0,
+        "detection too slow: {now}"
+    );
 }
 
 #[test]
@@ -155,13 +158,19 @@ fn per_round_overhead_is_kilobytes_not_megabytes() {
     let bytes = round(&mut nodes, &mut rng, 9.0);
     let per_node = bytes as f64 / n as f64;
     assert!(per_node > 100.0, "implausibly small: {per_node} B");
-    assert!(per_node < 50_000.0, "overhead blew up: {per_node} B per node per round");
+    assert!(
+        per_node < 50_000.0,
+        "overhead blew up: {per_node} B per node per round"
+    );
 }
 
 #[test]
 fn liveness_events_fire_once_per_transition() {
     let mut a = GossipNode::new(EndpointState::new(NodeId(0), NodeRole::Dispatcher, "a", 1));
-    a.learn(EndpointState::new(NodeId(1), NodeRole::Matcher, "b", 1), 0.0);
+    a.learn(
+        EndpointState::new(NodeId(1), NodeRole::Matcher, "b", 1),
+        0.0,
+    );
     let cfg = FailureDetectorConfig::default();
     let mut all = Vec::new();
     for t in 1..30 {
@@ -169,6 +178,9 @@ fn liveness_events_fire_once_per_transition() {
     }
     assert_eq!(
         all,
-        vec![LivenessEvent::Suspected(NodeId(1)), LivenessEvent::Died(NodeId(1))]
+        vec![
+            LivenessEvent::Suspected(NodeId(1)),
+            LivenessEvent::Died(NodeId(1))
+        ]
     );
 }

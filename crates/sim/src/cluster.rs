@@ -77,7 +77,12 @@ impl SimMatcher {
 /// Simulator events.
 enum Event {
     /// A message reaches a matcher's queue.
-    MatcherReceive { m: MatcherId, dim: DimIdx, msg: Message, admitted_at: Time },
+    MatcherReceive {
+        m: MatcherId,
+        dim: DimIdx,
+        msg: Message,
+        admitted_at: Time,
+    },
     /// A matcher finishes matching one message.
     ServiceComplete { m: MatcherId, admitted_at: Time },
     /// The delivery (matcher → subscriber) completes; response measured.
@@ -88,7 +93,9 @@ enum Event {
     DetectFailure { m: MatcherId },
     /// Dispatchers adopt a pending segment-table change (join/leave) and
     /// donors drop the subscription copies they handed over.
-    TableSwitch { retire: Vec<(MatcherId, DimIdx, Vec<SubscriptionId>)> },
+    TableSwitch {
+        retire: Vec<(MatcherId, DimIdx, Vec<SubscriptionId>)>,
+    },
 }
 
 /// The simulated deployment.
@@ -300,7 +307,8 @@ impl SimCluster {
         let chosen = if candidates.len() == 1 {
             first
         } else {
-            self.policy.choose(&candidates, &self.view, self.now, &mut self.rng)
+            self.policy
+                .choose(&candidates, &self.view, self.now, &mut self.rng)
         };
         if self.policy.uses_estimation() {
             self.view.reserve(chosen.matcher, chosen.dim);
@@ -308,13 +316,23 @@ impl SimCluster {
         let at = self.now + self.cfg.dispatch_cost + self.cfg.net_latency;
         self.queue.push(
             at,
-            Event::MatcherReceive { m: chosen.matcher, dim: chosen.dim, msg, admitted_at: self.now },
+            Event::MatcherReceive {
+                m: chosen.matcher,
+                dim: chosen.dim,
+                msg,
+                admitted_at: self.now,
+            },
         );
     }
 
     fn handle(&mut self, e: Event) {
         match e {
-            Event::MatcherReceive { m, dim, msg, admitted_at } => {
+            Event::MatcherReceive {
+                m,
+                dim,
+                msg,
+                admitted_at,
+            } => {
                 let Some(matcher) = self.matchers.get_mut(&m) else {
                     self.metrics.record_lost(self.now);
                     return;
@@ -332,14 +350,17 @@ impl SimCluster {
                 if let Some(matcher) = self.matchers.get_mut(&m) {
                     matcher.busy = false;
                     if matcher.alive {
-                        self.queue
-                            .push(self.now + self.cfg.net_latency, Event::Deliver { admitted_at });
+                        self.queue.push(
+                            self.now + self.cfg.net_latency,
+                            Event::Deliver { admitted_at },
+                        );
                         self.try_start_service(m);
                     }
                 }
             }
             Event::Deliver { admitted_at } => {
-                self.metrics.record_response(self.now, self.now - admitted_at);
+                self.metrics
+                    .record_response(self.now, self.now - admitted_at);
             }
             Event::StatsPush => {
                 let k = self.space.k();
@@ -376,11 +397,15 @@ impl SimCluster {
 
     /// Starts service on `m` if it is idle and has queued work.
     fn try_start_service(&mut self, m: MatcherId) {
-        let Some(matcher) = self.matchers.get_mut(&m) else { return };
+        let Some(matcher) = self.matchers.get_mut(&m) else {
+            return;
+        };
         if matcher.busy || !matcher.alive {
             return;
         }
-        let Some((dim, q)) = matcher.pop_next() else { return };
+        let Some((dim, q)) = matcher.pop_next() else {
+            return;
+        };
         let mut hits = Vec::new();
         let examined = matcher.core.match_message(dim, &q.msg, self.now, &mut hits);
         let service = self.cfg.service_time(examined);
@@ -390,7 +415,10 @@ impl SimCluster {
         self.metrics.record_match_work(examined, hits.len());
         self.queue.push(
             self.now + service,
-            Event::ServiceComplete { m, admitted_at: q.admitted_at },
+            Event::ServiceComplete {
+                m,
+                admitted_at: q.admitted_at,
+            },
         );
     }
 
@@ -420,7 +448,10 @@ impl SimCluster {
         // Split by per-dimension subscription load.
         let matchers = &self.matchers;
         let moves = mp.table_mut().split_join(new_id, |m, dim| {
-            matchers.get(&m).map(|mm| mm.core.sub_count(dim) as f64).unwrap_or(0.0)
+            matchers
+                .get(&m)
+                .map(|mm| mm.core.sub_count(dim) as f64)
+                .unwrap_or(0.0)
         });
 
         let mut new_matcher = SimMatcher::new(new_id, &self.space);
@@ -484,7 +515,9 @@ impl SimCluster {
     /// failure-detection delay elapses, after which they fail over to the
     /// other candidates.
     pub fn kill_matcher(&mut self, m: MatcherId) {
-        let Some(matcher) = self.matchers.get_mut(&m) else { return };
+        let Some(matcher) = self.matchers.get_mut(&m) else {
+            return;
+        };
         if !matcher.alive {
             return;
         }
@@ -496,8 +529,10 @@ impl SimCluster {
         for _ in 0..dropped {
             self.metrics.record_lost(self.now);
         }
-        self.queue
-            .push(self.now + self.cfg.detection_delay, Event::DetectFailure { m });
+        self.queue.push(
+            self.now + self.cfg.detection_delay,
+            Event::DetectFailure { m },
+        );
     }
 
     /// Per-matcher subscription-copy counts (diagnostics / load split).
@@ -519,7 +554,10 @@ mod tests {
     use bluedove_workload::PaperWorkload;
 
     fn small_cluster(n: u32) -> (SimCluster, MessageGenerator) {
-        let w = PaperWorkload { seed: 7, ..Default::default() };
+        let w = PaperWorkload {
+            seed: 7,
+            ..Default::default()
+        };
         let space = w.space();
         let mut c = SimCluster::new(
             SimConfig::default(),
@@ -536,7 +574,11 @@ mod tests {
         let (mut c, mut gen) = small_cluster(5);
         c.run(500.0, 5.0, &mut gen);
         c.drain(2.0);
-        assert!(c.metrics.total_sent >= 2400, "sent {}", c.metrics.total_sent);
+        assert!(
+            c.metrics.total_sent >= 2400,
+            "sent {}",
+            c.metrics.total_sent
+        );
         assert_eq!(c.metrics.total_lost, 0);
         assert_eq!(
             c.metrics.total_delivered, c.metrics.total_sent,
@@ -576,7 +618,10 @@ mod tests {
         a.run(800.0, 3.0, &mut ga);
         b.run(800.0, 3.0, &mut gb);
         assert_eq!(a.metrics.total_delivered, b.metrics.total_delivered);
-        assert_eq!(a.metrics.mean_response(0.0, 3.0), b.metrics.mean_response(0.0, 3.0));
+        assert_eq!(
+            a.metrics.mean_response(0.0, 3.0),
+            b.metrics.mean_response(0.0, 3.0)
+        );
         assert_eq!(a.backlog(), b.backlog());
     }
 
@@ -668,7 +713,10 @@ mod tests {
 
     #[test]
     fn p2p_and_fullrep_strategies_run() {
-        let w = PaperWorkload { seed: 3, ..Default::default() };
+        let w = PaperWorkload {
+            seed: 3,
+            ..Default::default()
+        };
         for strat in [Strategy::p2p(w.space(), 4), Strategy::full_rep(4)] {
             let mut c = SimCluster::new(
                 SimConfig::default(),
@@ -687,7 +735,10 @@ mod tests {
 
     #[test]
     fn full_rep_examines_every_subscription_per_message() {
-        let w = PaperWorkload { seed: 3, ..Default::default() };
+        let w = PaperWorkload {
+            seed: 3,
+            ..Default::default()
+        };
         let mut c = SimCluster::new(
             SimConfig::default(),
             w.space(),
@@ -699,7 +750,10 @@ mod tests {
         c.run(100.0, 2.0, &mut gen);
         c.drain(2.0);
         let per_msg = c.metrics.total_examined as f64 / c.metrics.total_delivered as f64;
-        assert!((per_msg - 400.0).abs() < 1.0, "full-rep examines all: {per_msg}");
+        assert!(
+            (per_msg - 400.0).abs() < 1.0,
+            "full-rep examines all: {per_msg}"
+        );
     }
 
     #[test]

@@ -85,6 +85,9 @@ mod tests {
     fn defaults_are_data_center_scale() {
         let c = SimConfig::default();
         assert!(c.net_latency < 0.01, "LAN latency");
-        assert!(c.dispatch_cost < c.match_base, "dispatching much cheaper than matching");
+        assert!(
+            c.dispatch_cost < c.match_base,
+            "dispatching much cheaper than matching"
+        );
     }
 }

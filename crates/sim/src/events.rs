@@ -47,7 +47,10 @@ pub struct EventQueue<E> {
 
 impl<E> Default for EventQueue<E> {
     fn default() -> Self {
-        EventQueue { heap: BinaryHeap::new(), seq: 0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
     }
 }
 
@@ -63,7 +66,11 @@ impl<E> EventQueue<E> {
     /// Panics when `at` is NaN (events must be orderable).
     pub fn push(&mut self, at: Time, event: E) {
         assert!(!at.is_nan(), "event time must not be NaN");
-        self.heap.push(Scheduled { at, seq: self.seq, event });
+        self.heap.push(Scheduled {
+            at,
+            seq: self.seq,
+            event,
+        });
         self.seq += 1;
     }
 

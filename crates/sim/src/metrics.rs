@@ -231,11 +231,8 @@ impl Metrics {
     /// Busy fraction per matcher over a run of `duration` seconds — the
     /// CPU-load analogue plotted in Figure 8.
     pub fn cpu_loads(&self, duration: Time) -> Vec<(MatcherId, f64)> {
-        let mut v: Vec<(MatcherId, f64)> = self
-            .busy
-            .iter()
-            .map(|(&m, &b)| (m, b / duration))
-            .collect();
+        let mut v: Vec<(MatcherId, f64)> =
+            self.busy.iter().map(|(&m, &b)| (m, b / duration)).collect();
         v.sort_unstable_by_key(|&(m, _)| m);
         v
     }
@@ -243,7 +240,11 @@ impl Metrics {
     /// Normalized standard deviation (σ/µ) of per-matcher CPU loads — the
     /// paper quotes 0.14 for BlueDove vs 0.82 for P2P.
     pub fn load_imbalance(&self, duration: Time) -> f64 {
-        let loads: Vec<f64> = self.cpu_loads(duration).into_iter().map(|(_, l)| l).collect();
+        let loads: Vec<f64> = self
+            .cpu_loads(duration)
+            .into_iter()
+            .map(|(_, l)| l)
+            .collect();
         normalized_std(&loads)
     }
 }

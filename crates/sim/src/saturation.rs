@@ -27,7 +27,11 @@ pub struct SaturationProbe {
 
 impl Default for SaturationProbe {
     fn default() -> Self {
-        SaturationProbe { probe_duration: 12.0, backlog_growth_frac: 0.01, refine_iters: 6 }
+        SaturationProbe {
+            probe_duration: 12.0,
+            backlog_growth_frac: 0.01,
+            refine_iters: 6,
+        }
     }
 }
 
@@ -97,11 +101,16 @@ mod tests {
     use bluedove_workload::PaperWorkload;
 
     fn make(n: u32, subs: usize, strat: &str) -> (SimCluster, MessageGenerator) {
-        let w = PaperWorkload { seed: 5, ..Default::default() };
+        let w = PaperWorkload {
+            seed: 5,
+            ..Default::default()
+        };
         let space = w.space();
-        let (strategy, policy): (Strategy, Box<dyn bluedove_core::ForwardingPolicy>) = match strat
-        {
-            "bluedove" => (Strategy::bluedove(space.clone(), n), Box::new(AdaptivePolicy)),
+        let (strategy, policy): (Strategy, Box<dyn bluedove_core::ForwardingPolicy>) = match strat {
+            "bluedove" => (
+                Strategy::bluedove(space.clone(), n),
+                Box::new(AdaptivePolicy),
+            ),
             "p2p" => (Strategy::p2p(space.clone(), n), Box::new(RandomPolicy)),
             "full-rep" => (Strategy::full_rep(n), Box::new(RandomPolicy)),
             _ => unreachable!(),
@@ -113,16 +122,29 @@ mod tests {
 
     #[test]
     fn saturation_probe_distinguishes_stable_from_overloaded() {
-        let probe = SaturationProbe { probe_duration: 6.0, ..Default::default() };
+        let probe = SaturationProbe {
+            probe_duration: 6.0,
+            ..Default::default()
+        };
         let (mut c, mut g) = make(5, 1000, "bluedove");
-        assert!(!probe.is_saturated(&mut c, &mut g, 100.0), "100/s must be stable");
+        assert!(
+            !probe.is_saturated(&mut c, &mut g, 100.0),
+            "100/s must be stable"
+        );
         let (mut c, mut g) = make(5, 1000, "bluedove");
-        assert!(probe.is_saturated(&mut c, &mut g, 200_000.0), "200k/s must saturate");
+        assert!(
+            probe.is_saturated(&mut c, &mut g, 200_000.0),
+            "200k/s must saturate"
+        );
     }
 
     #[test]
     fn find_rate_brackets_and_refines() {
-        let probe = SaturationProbe { probe_duration: 6.0, refine_iters: 5, ..Default::default() };
+        let probe = SaturationProbe {
+            probe_duration: 6.0,
+            refine_iters: 5,
+            ..Default::default()
+        };
         let rate = probe.find_saturation_rate(|| make(5, 1000, "bluedove"), 500.0);
         assert!(rate > 500.0, "rate {rate}");
         // Sanity: the found rate is near the stable/saturated boundary.
@@ -135,7 +157,11 @@ mod tests {
     #[test]
     fn bluedove_sustains_more_than_baselines() {
         // The Figure 6(a) ordering at a single small scale.
-        let probe = SaturationProbe { probe_duration: 6.0, refine_iters: 5, ..Default::default() };
+        let probe = SaturationProbe {
+            probe_duration: 6.0,
+            refine_iters: 5,
+            ..Default::default()
+        };
         let blue = probe.find_saturation_rate(|| make(8, 2000, "bluedove"), 1000.0);
         let p2p = probe.find_saturation_rate(|| make(8, 2000, "p2p"), 500.0);
         let full = probe.find_saturation_rate(|| make(8, 2000, "full-rep"), 200.0);
@@ -143,6 +169,9 @@ mod tests {
             blue > p2p && p2p > full,
             "ordering violated: bluedove={blue:.0} p2p={p2p:.0} full={full:.0}"
         );
-        assert!(blue > 2.0 * full, "BlueDove should be multi-fold over full-rep");
+        assert!(
+            blue > 2.0 * full,
+            "BlueDove should be multi-fold over full-rep"
+        );
     }
 }

@@ -6,7 +6,10 @@ use bluedove_sim::{SimCluster, SimConfig, Strategy};
 use bluedove_workload::{MessageGenerator, PaperWorkload};
 
 fn build(n: u32, subs: usize, seed: u64) -> (SimCluster, MessageGenerator) {
-    let w = PaperWorkload { seed, ..Default::default() };
+    let w = PaperWorkload {
+        seed,
+        ..Default::default()
+    };
     let space = w.space();
     let mut c = SimCluster::new(
         SimConfig::default(),
@@ -66,7 +69,10 @@ fn conservation_across_elastic_joins() {
     c.run(1_000.0, 5.0, &mut g);
     c.drain(10.0);
     assert_conserved(&c, 0);
-    assert_eq!(c.metrics.total_lost, 0, "elastic joins must not lose messages");
+    assert_eq!(
+        c.metrics.total_lost, 0,
+        "elastic joins must not lose messages"
+    );
     assert_eq!(c.backlog(), 0);
 }
 
@@ -80,7 +86,10 @@ fn conservation_across_failures() {
     c.run(1_500.0, 15.0, &mut g);
     c.drain(10.0);
     assert_conserved(&c, 0);
-    assert!(c.metrics.total_lost > 0, "undetected-failure windows lose messages");
+    assert!(
+        c.metrics.total_lost > 0,
+        "undetected-failure windows lose messages"
+    );
     assert_eq!(c.backlog(), 0, "survivors drain fully");
     // Bound: losses can't exceed traffic during the two detection windows.
     let window_traffic = (2.0 * SimConfig::default().detection_delay * 1_500.0) as u64;
@@ -95,7 +104,10 @@ fn conservation_across_failures() {
 #[test]
 fn conservation_for_baselines() {
     for strategy in ["p2p", "full-rep"] {
-        let w = PaperWorkload { seed: 7, ..Default::default() };
+        let w = PaperWorkload {
+            seed: 7,
+            ..Default::default()
+        };
         let space = w.space();
         let strat = match strategy {
             "p2p" => Strategy::p2p(space.clone(), 4),

@@ -130,7 +130,10 @@ mod tests {
     #[test]
     fn cropped_normal_concentrates_near_mean() {
         let mut rng = StdRng::seed_from_u64(2);
-        let d = ValueDist::CroppedNormal { mean: 500.0, std: 100.0 };
+        let d = ValueDist::CroppedNormal {
+            mean: 500.0,
+            std: 100.0,
+        };
         let mut near = 0;
         for _ in 0..10_000 {
             let v = d.sample(&mut rng, 0.0, 1000.0);
@@ -146,7 +149,10 @@ mod tests {
     #[test]
     fn cropped_normal_mean_estimate() {
         let mut rng = StdRng::seed_from_u64(3);
-        let d = ValueDist::CroppedNormal { mean: 300.0, std: 250.0 };
+        let d = ValueDist::CroppedNormal {
+            mean: 300.0,
+            std: 250.0,
+        };
         let n = 20_000;
         let sum: f64 = (0..n).map(|_| d.sample(&mut rng, 0.0, 1000.0)).sum();
         let mean = sum / n as f64;
@@ -159,7 +165,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         // Mean far outside the domain with tiny std: rejection always
         // fails; the clamp fallback must still return an in-domain value.
-        let d = ValueDist::CroppedNormal { mean: 10_000.0, std: 0.001 };
+        let d = ValueDist::CroppedNormal {
+            mean: 10_000.0,
+            std: 0.001,
+        };
         let v = d.sample(&mut rng, 0.0, 1000.0);
         assert!((0.0..1000.0).contains(&v));
     }
@@ -167,7 +176,11 @@ mod tests {
     #[test]
     fn zipf_is_heavily_skewed() {
         let mut rng = StdRng::seed_from_u64(5);
-        let d = ValueDist::Zipf { bins: 20, s: 1.2, perm_seed: 7 };
+        let d = ValueDist::Zipf {
+            bins: 20,
+            s: 1.2,
+            perm_seed: 7,
+        };
         let mut counts = vec![0u32; 20];
         for _ in 0..20_000 {
             let v = d.sample(&mut rng, 0.0, 1000.0);

@@ -8,9 +8,7 @@
 //! Figure 11(c)).
 
 use crate::dist::ValueDist;
-use bluedove_core::{
-    AttributeSpace, Message, SubscriberId, Subscription, SubscriptionId,
-};
+use bluedove_core::{AttributeSpace, Message, SubscriberId, Subscription, SubscriptionId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -57,7 +55,8 @@ impl SubscriptionGenerator {
     /// Generates the next subscription. Ids and subscriber ids are
     /// sequential, so a seeded generator reproduces an identical stream.
     pub fn next_sub(&mut self) -> Subscription {
-        let mut b = Subscription::builder(&self.space).subscriber(SubscriberId(self.next_subscriber));
+        let mut b =
+            Subscription::builder(&self.space).subscriber(SubscriberId(self.next_subscriber));
         for (i, cfg) in self.dims.iter().enumerate() {
             let d = &self.space.dims()[i];
             let center = cfg.center.sample(&mut self.rng, d.min, d.max);
@@ -97,7 +96,12 @@ impl MessageGenerator {
     /// Panics when `dims.len() != space.k()`.
     pub fn new(space: AttributeSpace, dims: Vec<ValueDist>, seed: u64) -> Self {
         assert_eq!(dims.len(), space.k(), "one ValueDist per dimension");
-        MessageGenerator { space, dims, rng: StdRng::seed_from_u64(seed), payload_len: 0 }
+        MessageGenerator {
+            space,
+            dims,
+            rng: StdRng::seed_from_u64(seed),
+            payload_len: 0,
+        }
     }
 
     /// Attaches `len` bytes of pseudo-random payload to every message.
@@ -122,7 +126,9 @@ impl MessageGenerator {
                 dist.sample(&mut self.rng, d.min, d.max)
             })
             .collect();
-        let payload = (0..self.payload_len).map(|_| self.rng.gen::<u8>()).collect();
+        let payload = (0..self.payload_len)
+            .map(|_| self.rng.gen::<u8>())
+            .collect();
         Message::with_payload(values, payload)
     }
 
@@ -142,7 +148,10 @@ mod tests {
 
     fn uniform_cfg() -> Vec<SubDimConfig> {
         (0..4)
-            .map(|_| SubDimConfig { center: ValueDist::Uniform, width: 250.0 })
+            .map(|_| SubDimConfig {
+                center: ValueDist::Uniform,
+                width: 250.0,
+            })
             .collect()
     }
 
@@ -184,7 +193,10 @@ mod tests {
             space(),
             (0..4)
                 .map(|_| SubDimConfig {
-                    center: ValueDist::CroppedNormal { mean: 500.0, std: 50.0 },
+                    center: ValueDist::CroppedNormal {
+                        mean: 500.0,
+                        std: 50.0,
+                    },
                     width: 250.0,
                 })
                 .collect(),

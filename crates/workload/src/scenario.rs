@@ -71,7 +71,10 @@ impl PaperWorkload {
     pub fn subscriptions(&self) -> SubscriptionGenerator {
         let dims = (0..self.k)
             .map(|i| SubDimConfig {
-                center: ValueDist::CroppedNormal { mean: self.hot_spot(i), std: self.sub_std },
+                center: ValueDist::CroppedNormal {
+                    mean: self.hot_spot(i),
+                    std: self.sub_std,
+                },
                 width: self.sub_width,
             })
             .collect();
@@ -85,7 +88,10 @@ impl PaperWorkload {
         let dims = (0..self.k)
             .map(|i| {
                 if i < self.adverse_dims {
-                    ValueDist::CroppedNormal { mean: self.hot_spot(i), std: self.sub_std }
+                    ValueDist::CroppedNormal {
+                        mean: self.hot_spot(i),
+                        std: self.sub_std,
+                    }
                 } else {
                     ValueDist::Uniform
                 }
@@ -112,19 +118,49 @@ pub fn traffic_monitoring(seed: u64) -> (AttributeSpace, SubscriptionGenerator, 
         vec![
             // Drivers cluster around the metro area (-41.7, 72) and care
             // about slow traffic during commute hours.
-            SubDimConfig { center: ValueDist::CroppedNormal { mean: -41.7, std: 10.0 }, width: 2.0 },
-            SubDimConfig { center: ValueDist::CroppedNormal { mean: 72.0, std: 5.0 }, width: 4.0 },
-            SubDimConfig { center: ValueDist::CroppedNormal { mean: 12.0, std: 15.0 }, width: 25.0 },
-            SubDimConfig { center: ValueDist::Uniform, width: 14_400.0 },
+            SubDimConfig {
+                center: ValueDist::CroppedNormal {
+                    mean: -41.7,
+                    std: 10.0,
+                },
+                width: 2.0,
+            },
+            SubDimConfig {
+                center: ValueDist::CroppedNormal {
+                    mean: 72.0,
+                    std: 5.0,
+                },
+                width: 4.0,
+            },
+            SubDimConfig {
+                center: ValueDist::CroppedNormal {
+                    mean: 12.0,
+                    std: 15.0,
+                },
+                width: 25.0,
+            },
+            SubDimConfig {
+                center: ValueDist::Uniform,
+                width: 14_400.0,
+            },
         ],
         seed,
     );
     let msgs = MessageGenerator::new(
         space.clone(),
         vec![
-            ValueDist::CroppedNormal { mean: -41.7, std: 20.0 },
-            ValueDist::CroppedNormal { mean: 72.0, std: 10.0 },
-            ValueDist::CroppedNormal { mean: 35.0, std: 25.0 },
+            ValueDist::CroppedNormal {
+                mean: -41.7,
+                std: 20.0,
+            },
+            ValueDist::CroppedNormal {
+                mean: 72.0,
+                std: 10.0,
+            },
+            ValueDist::CroppedNormal {
+                mean: 35.0,
+                std: 25.0,
+            },
             ValueDist::Uniform,
         ],
         seed ^ 0xDEAD_BEEF,
@@ -147,22 +183,54 @@ pub fn stock_ticker(seed: u64) -> (AttributeSpace, SubscriptionGenerator, Messag
         space.clone(),
         vec![
             SubDimConfig {
-                center: ValueDist::Zipf { bins: 100, s: 1.1, perm_seed: seed },
+                center: ValueDist::Zipf {
+                    bins: 100,
+                    s: 1.1,
+                    perm_seed: seed,
+                },
                 width: 100.0,
             },
-            SubDimConfig { center: ValueDist::CroppedNormal { mean: 150.0, std: 400.0 }, width: 200.0 },
-            SubDimConfig { center: ValueDist::Uniform, width: 500_000.0 },
-            SubDimConfig { center: ValueDist::CroppedNormal { mean: 0.0, std: 10.0 }, width: 10.0 },
+            SubDimConfig {
+                center: ValueDist::CroppedNormal {
+                    mean: 150.0,
+                    std: 400.0,
+                },
+                width: 200.0,
+            },
+            SubDimConfig {
+                center: ValueDist::Uniform,
+                width: 500_000.0,
+            },
+            SubDimConfig {
+                center: ValueDist::CroppedNormal {
+                    mean: 0.0,
+                    std: 10.0,
+                },
+                width: 10.0,
+            },
         ],
         seed,
     );
     let msgs = MessageGenerator::new(
         space.clone(),
         vec![
-            ValueDist::Zipf { bins: 100, s: 1.1, perm_seed: seed },
-            ValueDist::CroppedNormal { mean: 150.0, std: 400.0 },
-            ValueDist::CroppedNormal { mean: 50_000.0, std: 150_000.0 },
-            ValueDist::CroppedNormal { mean: 0.0, std: 5.0 },
+            ValueDist::Zipf {
+                bins: 100,
+                s: 1.1,
+                perm_seed: seed,
+            },
+            ValueDist::CroppedNormal {
+                mean: 150.0,
+                std: 400.0,
+            },
+            ValueDist::CroppedNormal {
+                mean: 50_000.0,
+                std: 150_000.0,
+            },
+            ValueDist::CroppedNormal {
+                mean: 0.0,
+                std: 5.0,
+            },
         ],
         seed ^ 0xFEED_F00D,
     );
@@ -237,10 +305,26 @@ mod tests {
 
     #[test]
     fn flatter_sigma_means_less_skew() {
-        let sharp = PaperWorkload { sub_std: 250.0, ..Default::default() };
-        let flat = PaperWorkload { sub_std: 1000.0, ..Default::default() };
-        let rs = hot_spot_ratio(&sharp.subscriptions().take(8_000), &sharp.space(), DimIdx(0), 20);
-        let rf = hot_spot_ratio(&flat.subscriptions().take(8_000), &flat.space(), DimIdx(0), 20);
+        let sharp = PaperWorkload {
+            sub_std: 250.0,
+            ..Default::default()
+        };
+        let flat = PaperWorkload {
+            sub_std: 1000.0,
+            ..Default::default()
+        };
+        let rs = hot_spot_ratio(
+            &sharp.subscriptions().take(8_000),
+            &sharp.space(),
+            DimIdx(0),
+            20,
+        );
+        let rf = hot_spot_ratio(
+            &flat.subscriptions().take(8_000),
+            &flat.space(),
+            DimIdx(0),
+            20,
+        );
         assert!(rs > rf, "σ=250 ratio {rs} should exceed σ=1000 ratio {rf}");
         // Paper: at σ=1000 the max is only ~1.17× the average.
         assert!(rf < 1.5, "σ=1000 ratio {rf} should be nearly flat");
@@ -248,16 +332,25 @@ mod tests {
 
     #[test]
     fn adverse_dims_skew_messages() {
-        let w = PaperWorkload { adverse_dims: 4, ..Default::default() };
+        let w = PaperWorkload {
+            adverse_dims: 4,
+            ..Default::default()
+        };
         let mut gen = w.messages();
         let msgs = gen.take(5_000);
         // Dimension 0's hot spot is at 125: most adverse messages cluster
         // near it (σ=250).
-        let near = msgs.iter().filter(|m| (m.values[0] - 125.0).abs() < 250.0).count();
+        let near = msgs
+            .iter()
+            .filter(|m| (m.values[0] - 125.0).abs() < 250.0)
+            .count();
         assert!(near > 2_500, "adverse messages not clustered: {near}/5000");
 
         let uniform = PaperWorkload::default().messages().take(5_000);
-        let near_u = uniform.iter().filter(|m| (m.values[0] - 125.0).abs() < 250.0).count();
+        let near_u = uniform
+            .iter()
+            .filter(|m| (m.values[0] - 125.0).abs() < 250.0)
+            .count();
         assert!(near > near_u, "adverse should cluster more than uniform");
     }
 

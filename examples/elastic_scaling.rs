@@ -11,7 +11,10 @@ use bluedove::sim::{SimCluster, SimConfig, Strategy};
 use bluedove::workload::PaperWorkload;
 
 fn main() {
-    let workload = PaperWorkload { seed: 13, ..Default::default() };
+    let workload = PaperWorkload {
+        seed: 13,
+        ..Default::default()
+    };
     let space = workload.space();
     let mut cluster = SimCluster::new(
         SimConfig::default(),
@@ -22,7 +25,10 @@ fn main() {
     cluster.subscribe_all(workload.subscriptions().take(8_000));
     let mut gen = workload.messages();
 
-    println!("{:>6} {:>10} {:>14} {:>9} {:>8}", "t(s)", "rate/s", "response(ms)", "backlog", "event");
+    println!(
+        "{:>6} {:>10} {:>14} {:>9} {:>8}",
+        "t(s)", "rate/s", "response(ms)", "backlog", "event"
+    );
     let slice = 5.0;
     let mut rate = 500.0;
     let mut peak = 0.0f64;
@@ -40,7 +46,10 @@ fn main() {
             event = format!("added {id}");
         }
         prev_backlog = backlog;
-        println!("{:>6.0} {:>10.0} {:>14.2} {:>9} {:>8}", t, rate, resp, backlog, event);
+        println!(
+            "{:>6.0} {:>10.0} {:>14.2} {:>9} {:>8}",
+            t, rate, resp, backlog, event
+        );
         // Rush hour: ramp for 30 s, hold the peak, then traffic recedes
         // and the provisioned cluster drains its backlog.
         if tick < 6 {

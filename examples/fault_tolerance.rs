@@ -13,9 +13,7 @@ use std::time::Duration;
 
 fn main() {
     let space = AttributeSpace::uniform(4, 0.0, 1000.0);
-    let mut cluster = Cluster::start(
-        ClusterConfig::new(space.clone()).matchers(5).dispatchers(2),
-    );
+    let mut cluster = Cluster::start(ClusterConfig::new(space.clone()).matchers(5).dispatchers(2));
 
     let watcher = cluster
         .subscribe(Subscription::builder(&space).build().unwrap()) // wildcard
@@ -46,7 +44,10 @@ fn main() {
     };
 
     publish_burst(&mut cluster, 0);
-    println!("healthy cluster: {}/200 delivered", count_deliveries(&watcher));
+    println!(
+        "healthy cluster: {}/200 delivered",
+        count_deliveries(&watcher)
+    );
 
     println!("crashing matcher M2 ...");
     cluster.kill_matcher(MatcherId(2));

@@ -18,10 +18,16 @@ fn main() {
     // messages accumulate in the cluster's mailbox node meanwhile.
     let phone = cluster
         .subscribe_indirect(
-            Subscription::builder(&space).range(0, 0.0, 300.0).build().unwrap(),
+            Subscription::builder(&space)
+                .range(0, 0.0, 300.0)
+                .build()
+                .unwrap(),
         )
         .unwrap();
-    println!("phone registered subscription {} with mailbox delivery", phone.subscription);
+    println!(
+        "phone registered subscription {} with mailbox delivery",
+        phone.subscription
+    );
 
     for i in 0..30 {
         cluster

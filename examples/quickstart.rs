@@ -14,9 +14,7 @@ fn main() {
     let space = AttributeSpace::uniform(4, 0.0, 1000.0);
 
     // Two dispatchers fronting four matchers, adaptive forwarding.
-    let mut cluster = Cluster::start(
-        ClusterConfig::new(space.clone()).matchers(4).dispatchers(2),
-    );
+    let mut cluster = Cluster::start(ClusterConfig::new(space.clone()).matchers(4).dispatchers(2));
     println!("started cluster with matchers {:?}", cluster.matcher_ids());
 
     // Subscribe to a hyper-cuboid: attr0 ∈ [100, 200) ∧ attr1 ∈ [0, 500).

@@ -54,7 +54,10 @@ fn main() {
     for q in quote_feed.take(quotes) {
         publisher.publish(q).unwrap();
     }
-    println!("published {quotes} quotes against {} subscriptions", bulk.len() + 2);
+    println!(
+        "published {quotes} quotes against {} subscriptions",
+        bulk.len() + 2
+    );
 
     std::thread::sleep(Duration::from_millis(800));
     let crashes = crash_watcher.drain();

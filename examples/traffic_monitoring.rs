@@ -14,9 +14,7 @@ use std::time::Duration;
 
 fn main() {
     let (space, _subs, mut sensor_feed) = traffic_monitoring(7);
-    let mut cluster = Cluster::start(
-        ClusterConfig::new(space.clone()).matchers(6).dispatchers(2),
-    );
+    let mut cluster = Cluster::start(ClusterConfig::new(space.clone()).matchers(6).dispatchers(2));
 
     // Three drivers watching different rectangles for congestion
     // (speed < 25 mph), exactly like the paper's §II-A example:
@@ -99,6 +97,9 @@ fn main() {
             hit += 1;
         }
     }
-    assert!(hit >= 2, "alice and carol should both match the staged alert");
+    assert!(
+        hit >= 2,
+        "alice and carol should both match the staged alert"
+    );
     cluster.shutdown();
 }

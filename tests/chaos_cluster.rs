@@ -1,0 +1,480 @@
+//! Seeded chaos scenarios driving the deterministic fault-injection layer
+//! against live clusters: crash, restart, partition/heal, drop, delay and
+//! duplication faults, with the §III-A-3 / §III-C invariants asserted at
+//! test scale.
+//!
+//! Every scenario prints its seed; set `CHAOS_SEED=<u64>` to replay a
+//! failing run with the exact same fault decisions (drops, jitter,
+//! duplication and reordering draws all come from one seeded RNG).
+
+use bluedove::cluster::chaos::{
+    await_membership, publish_until_delivered, ChaosEvent, FaultSchedule,
+};
+use bluedove::cluster::mailbox::MailboxNode;
+use bluedove::cluster::{Cluster, ClusterConfig, ControlMsg};
+use bluedove::core::{
+    AttributeSpace, MatcherId, Message, SubscriberId, Subscription, SubscriptionId,
+};
+use bluedove::net::{
+    from_bytes, to_bytes, AddrSet, ChannelTransport, FaultRule, FaultTransport, LinkRule, Transport,
+};
+use bluedove::overlay::FailureDetectorConfig;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Per-scenario seed, overridable with `CHAOS_SEED` for replay.
+fn scenario_seed(name: &str, default: u64) -> u64 {
+    let seed = std::env::var("CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(default);
+    println!("chaos scenario `{name}`: seed={seed} (CHAOS_SEED overrides)");
+    seed
+}
+
+fn space() -> AttributeSpace {
+    AttributeSpace::uniform(2, 0.0, 100.0)
+}
+
+fn chaos_config(seed: u64, matchers: u32, fd: FailureDetectorConfig) -> ClusterConfig {
+    ClusterConfig::new(space())
+        .matchers(matchers)
+        .gossip_interval(Duration::from_millis(40))
+        .table_pull_interval(Duration::from_millis(80))
+        .stats_interval(Duration::from_millis(80))
+        .failure_detector(fd)
+        .seed(seed)
+        .fault_injection(seed)
+}
+
+fn wildcard(sp: &AttributeSpace) -> Subscription {
+    Subscription::builder(sp).build().unwrap()
+}
+
+/// Spread probe values across the space so every matcher's segments see
+/// traffic.
+fn probe_msg(i: u64) -> Message {
+    Message::new(vec![(i * 17 % 100) as f64, (i * 31 % 100) as f64])
+}
+
+// ---------------------------------------------------------------------
+// 1. Decorator purity: with no rules installed the fault layer is a pure
+//    pass-through — nothing counted, nothing touched.
+// ---------------------------------------------------------------------
+#[test]
+fn empty_ruleset_is_transparent() {
+    let seed = scenario_seed("empty_ruleset_is_transparent", 0xB1);
+    let mut cluster = Cluster::start(chaos_config(seed, 3, FailureDetectorConfig::default()));
+    let sub = cluster.subscribe(wildcard(&space())).unwrap();
+    for i in 0..30 {
+        cluster.publish(probe_msg(i)).unwrap();
+    }
+    let mut got = 0;
+    while sub.recv_timeout(Duration::from_secs(3)).is_some() {
+        got += 1;
+        if got == 30 {
+            break;
+        }
+    }
+    assert_eq!(
+        got, 30,
+        "all messages delivered through the idle fault layer"
+    );
+    let stats = cluster
+        .fault_handle()
+        .expect("fault injection enabled")
+        .stats();
+    assert_eq!(
+        stats,
+        Default::default(),
+        "idle fault layer counted nothing: {stats:?}"
+    );
+    cluster.shutdown();
+}
+
+// ---------------------------------------------------------------------
+// 2. Seeded drop storm: 25% loss on every link; at-least-once publishing
+//    still gets every probe through.
+// ---------------------------------------------------------------------
+#[test]
+fn drop_storm_eventual_delivery() {
+    let seed = scenario_seed("drop_storm_eventual_delivery", 0xD7);
+    let mut cluster = Cluster::start(chaos_config(seed, 3, FailureDetectorConfig::default()));
+    let sub = cluster.subscribe(wildcard(&space())).unwrap();
+    let report = FaultSchedule::new()
+        .at(
+            Duration::ZERO,
+            ChaosEvent::Degrade(LinkRule::everywhere(FaultRule::drop(0.25))),
+        )
+        .run(&mut cluster)
+        .unwrap();
+    println!("{report}");
+    for i in 0..10 {
+        let (_, took) =
+            publish_until_delivered(&mut cluster, &sub, &probe_msg(i), Duration::from_secs(10))
+                .unwrap_or_else(|e| panic!("probe {i} lost for good: {e}"));
+        assert!(took < Duration::from_secs(10));
+    }
+    let stats = cluster.fault_handle().unwrap().stats();
+    println!("drop storm stats: {stats:?}");
+    assert!(stats.dropped > 0, "the storm actually dropped something");
+    cluster.shutdown();
+}
+
+// ---------------------------------------------------------------------
+// 3. Delay + jitter on every link: slower, but nothing is lost.
+// ---------------------------------------------------------------------
+#[test]
+fn delayed_links_still_deliver() {
+    let seed = scenario_seed("delayed_links_still_deliver", 0xDE1A);
+    let mut cluster = Cluster::start(chaos_config(seed, 3, FailureDetectorConfig::default()));
+    let sub = cluster.subscribe(wildcard(&space())).unwrap();
+    FaultSchedule::new()
+        .at(
+            Duration::ZERO,
+            ChaosEvent::Degrade(LinkRule::everywhere(FaultRule::delay(
+                Duration::from_millis(15),
+                Duration::from_millis(10),
+            ))),
+        )
+        .run(&mut cluster)
+        .unwrap();
+    for i in 0..10 {
+        publish_until_delivered(&mut cluster, &sub, &probe_msg(i), Duration::from_secs(10))
+            .unwrap_or_else(|e| panic!("probe {i} lost on a delayed link: {e}"));
+    }
+    let stats = cluster.fault_handle().unwrap().stats();
+    assert!(
+        stats.delayed > 0,
+        "delays were actually injected: {stats:?}"
+    );
+    cluster.shutdown();
+}
+
+// ---------------------------------------------------------------------
+// 4. Duplication: delivery becomes at-least-once, never at-most-zero.
+// ---------------------------------------------------------------------
+#[test]
+fn duplicated_links_are_at_least_once() {
+    let seed = scenario_seed("duplicated_links_are_at_least_once", 0xD0B);
+    let mut cluster = Cluster::start(chaos_config(seed, 3, FailureDetectorConfig::default()));
+    let sub = cluster.subscribe(wildcard(&space())).unwrap();
+    FaultSchedule::new()
+        .at(
+            Duration::ZERO,
+            ChaosEvent::Degrade(LinkRule::everywhere(FaultRule::duplicate(0.9))),
+        )
+        .run(&mut cluster)
+        .unwrap();
+    for i in 0..5 {
+        cluster.publish(probe_msg(i)).unwrap();
+    }
+    // Collect everything that arrives for a while; every probe value must
+    // show up at least once (duplicates are expected and fine).
+    let mut seen = [0u32; 5];
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while Instant::now() < deadline {
+        let Some(d) = sub.recv_timeout(Duration::from_millis(200)) else {
+            if seen.iter().all(|&n| n > 0) {
+                break;
+            }
+            continue;
+        };
+        for i in 0..5u64 {
+            if d.msg.values == probe_msg(i).values {
+                seen[i as usize] += 1;
+            }
+        }
+    }
+    assert!(
+        seen.iter().all(|&n| n > 0),
+        "every probe delivered at least once: {seen:?}"
+    );
+    let stats = cluster.fault_handle().unwrap().stats();
+    assert!(
+        stats.duplicated > 0,
+        "duplicates were actually injected: {stats:?}"
+    );
+    cluster.shutdown();
+}
+
+// ---------------------------------------------------------------------
+// 5. Crash fail-over: after a matcher dies, the next probe is delivered
+//    within a bounded loss window (Figure 10 at test scale).
+// ---------------------------------------------------------------------
+#[test]
+fn crash_failover_bounds_loss_window() {
+    let seed = scenario_seed("crash_failover_bounds_loss_window", 0xF16);
+    let mut cluster = Cluster::start(chaos_config(seed, 4, FailureDetectorConfig::default()));
+    let sub = cluster.subscribe(wildcard(&space())).unwrap();
+    publish_until_delivered(&mut cluster, &sub, &probe_msg(0), Duration::from_secs(5))
+        .expect("baseline delivery before the crash");
+
+    FaultSchedule::new()
+        .at(Duration::ZERO, ChaosEvent::Kill(MatcherId(1)))
+        .run(&mut cluster)
+        .unwrap();
+
+    let (_, window) =
+        publish_until_delivered(&mut cluster, &sub, &probe_msg(1), Duration::from_secs(5))
+            .expect("delivery resumes after fail-over");
+    println!("loss window after crash: {:.3}s", window.as_secs_f64());
+    assert!(
+        window < Duration::from_secs(5),
+        "fail-over bounded the loss window (got {window:?})"
+    );
+    cluster.shutdown();
+}
+
+// ---------------------------------------------------------------------
+// 6. Restart: a killed matcher rejoins with a bumped generation, the
+//    mesh re-admits it, and it serves recovered subscription copies.
+// ---------------------------------------------------------------------
+#[test]
+fn restart_recovers_subscriptions_and_membership() {
+    let seed = scenario_seed("restart_recovers_subscriptions_and_membership", 0x2E57);
+    let fd = FailureDetectorConfig {
+        suspect_after: 0.3,
+        dead_after: 0.9,
+    };
+    let mut cluster = Cluster::start(chaos_config(seed, 3, fd));
+    let sub = cluster.subscribe(wildcard(&space())).unwrap();
+    await_membership(&cluster, 2, Duration::from_secs(10)).expect("initial convergence");
+
+    FaultSchedule::new()
+        .at(Duration::ZERO, ChaosEvent::Kill(MatcherId(1)))
+        .run(&mut cluster)
+        .unwrap();
+    // The two survivors eventually declare m/1 dead.
+    await_membership(&cluster, 1, Duration::from_secs(10)).expect("survivors see the death");
+
+    FaultSchedule::new()
+        .at(Duration::ZERO, ChaosEvent::Restart(MatcherId(1)))
+        .run(&mut cluster)
+        .unwrap();
+    let reconverge =
+        await_membership(&cluster, 2, Duration::from_secs(10)).expect("mesh re-admits m/1");
+    println!(
+        "membership reconverged {:.3}s after restart",
+        reconverge.as_secs_f64()
+    );
+
+    // The restarted matcher must hold its recovered subscription copies:
+    // probes across the whole space (some routed to m/1) all deliver.
+    for i in 0..30 {
+        publish_until_delivered(
+            &mut cluster,
+            &sub,
+            &probe_msg(100 + i),
+            Duration::from_secs(10),
+        )
+        .unwrap_or_else(|e| panic!("probe {i} lost after restart: {e}"));
+    }
+    cluster.shutdown();
+}
+
+// ---------------------------------------------------------------------
+// 7. Short partition (< dead_after): peers only *suspect* the cut-off
+//    matcher and re-admit it within dead_after + ε of the heal; the data
+//    plane keeps delivering throughout (the partition cuts only
+//    matcher↔matcher gossip links).
+// ---------------------------------------------------------------------
+#[test]
+fn short_partition_suspects_then_recovers() {
+    let seed = scenario_seed("short_partition_suspects_then_recovers", 0x5A5);
+    let fd = FailureDetectorConfig {
+        suspect_after: 0.3,
+        dead_after: 6.0,
+    };
+    let mut cluster = Cluster::start(chaos_config(seed, 3, fd));
+    let sub = cluster.subscribe(wildcard(&space())).unwrap();
+    await_membership(&cluster, 2, Duration::from_secs(10)).expect("initial convergence");
+
+    FaultSchedule::new()
+        .at(
+            Duration::ZERO,
+            ChaosEvent::Partition {
+                a: AddrSet::one("m/0"),
+                b: AddrSet::of(["m/1", "m/2"]),
+            },
+        )
+        .run(&mut cluster)
+        .unwrap();
+
+    // Suspicion shows up: some matcher's live count drops below 2.
+    let deadline = Instant::now() + Duration::from_secs(3);
+    loop {
+        let counts = cluster.gossip_live_counts();
+        if counts.iter().any(|&(_, n)| n < 2) {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "partition never caused suspicion: {counts:?}"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    // Delivery is unaffected: the cut is between matchers only.
+    publish_until_delivered(&mut cluster, &sub, &probe_msg(7), Duration::from_secs(5))
+        .expect("data plane unaffected by the gossip partition");
+
+    FaultSchedule::new()
+        .at(Duration::ZERO, ChaosEvent::HealPartitions)
+        .run(&mut cluster)
+        .unwrap();
+    let reconverge = await_membership(
+        &cluster,
+        2,
+        Duration::from_secs_f64(fd.dead_after) + Duration::from_secs(2),
+    )
+    .expect("suspects recover within dead_after + ε of the heal");
+    println!(
+        "membership reconverged {:.3}s after heal",
+        reconverge.as_secs_f64()
+    );
+    cluster.shutdown();
+}
+
+// ---------------------------------------------------------------------
+// 8. Long partition (> dead_after): Dead is sticky within a generation —
+//    healing alone does NOT re-admit the node; a restart under a new
+//    generation does.
+// ---------------------------------------------------------------------
+#[test]
+fn long_partition_dead_is_sticky_until_restart() {
+    let seed = scenario_seed("long_partition_dead_is_sticky_until_restart", 0x571C);
+    let fd = FailureDetectorConfig {
+        suspect_after: 0.2,
+        dead_after: 0.7,
+    };
+    let mut cluster = Cluster::start(chaos_config(seed, 3, fd));
+    await_membership(&cluster, 2, Duration::from_secs(10)).expect("initial convergence");
+
+    let report = FaultSchedule::new()
+        .at(
+            Duration::ZERO,
+            ChaosEvent::Partition {
+                a: AddrSet::one("m/0"),
+                b: AddrSet::of(["m/1", "m/2"]),
+            },
+        )
+        .at(Duration::from_millis(1500), ChaosEvent::HealPartitions)
+        .run(&mut cluster)
+        .unwrap();
+    println!("{report}");
+
+    // Well past dead_after: the survivors hold m/0 Dead, and healing does
+    // not resurrect it (sticky within the generation).
+    std::thread::sleep(Duration::from_millis(600));
+    let counts = cluster.gossip_live_counts();
+    for m in [MatcherId(1), MatcherId(2)] {
+        let n = counts.iter().find(|&&(id, _)| id == m).map(|&(_, n)| n);
+        assert_eq!(
+            n,
+            Some(1),
+            "m/{} still shuns the dead generation: {counts:?}",
+            m.0
+        );
+    }
+
+    // A restart under a new generation is what re-admits it.
+    FaultSchedule::new()
+        .at(Duration::ZERO, ChaosEvent::Kill(MatcherId(0)))
+        .at(Duration::from_millis(50), ChaosEvent::Restart(MatcherId(0)))
+        .run(&mut cluster)
+        .unwrap();
+    let reconverge = await_membership(
+        &cluster,
+        2,
+        Duration::from_secs_f64(fd.dead_after) + Duration::from_secs(4),
+    )
+    .expect("new generation re-admitted");
+    println!("re-admitted {:.3}s after restart", reconverge.as_secs_f64());
+    cluster.shutdown();
+}
+
+// ---------------------------------------------------------------------
+// 9. Mailbox WAL under a faulty transport: delayed + duplicated links,
+//    then a mailbox restart — the WAL replay loses nothing.
+// ---------------------------------------------------------------------
+#[test]
+fn mailbox_wal_replays_completely_over_faulty_links() {
+    let seed = scenario_seed("mailbox_wal_replays_completely_over_faulty_links", 0x3A1);
+    let dir = std::env::temp_dir().join(format!("bluedove-chaos-wal-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let wal = dir.join("chaos.wal");
+    let _ = std::fs::remove_file(&wal);
+
+    let channel = ChannelTransport::new();
+    let fault = FaultTransport::new(Arc::new(channel.clone()), seed);
+    let handle = fault.handle();
+    handle.add_rule(LinkRule::everywhere(FaultRule::delay(
+        Duration::from_millis(5),
+        Duration::from_millis(5),
+    )));
+    handle.add_rule(LinkRule::everywhere(FaultRule::duplicate(0.5)));
+    let client: Arc<dyn Transport> = Arc::new(fault.scoped("c/1"));
+
+    // First incarnation: 20 deliveries arrive over the degraded link.
+    let mb =
+        MailboxNode::spawn_persistent("mb/0".into(), Arc::new(fault.scoped("mb/0")), wal.clone());
+    for i in 0..20u64 {
+        let deliver = ControlMsg::Deliver {
+            subscriber: SubscriberId(1),
+            sub: SubscriptionId(i),
+            msg: Message::new(vec![i as f64]),
+            admitted_us: i,
+        };
+        client.send("mb/0", to_bytes(&deliver).freeze()).unwrap();
+    }
+    // Let delayed/duplicated copies land before the crash.
+    std::thread::sleep(Duration::from_millis(400));
+    client
+        .send("mb/0", to_bytes(&ControlMsg::Shutdown).freeze())
+        .unwrap();
+    mb.join();
+
+    // Verify over a clean link: a duplicated poll would race its own
+    // replies. The invariant under test is that nothing delivered over
+    // the faulty links is lost across the restart.
+    handle.clear_rules();
+
+    // Second incarnation replays the WAL; every subscription id must be
+    // present (duplicates are fine — the invariant is no loss).
+    let mb2 =
+        MailboxNode::spawn_persistent("mb/0".into(), Arc::new(fault.scoped("mb/0")), wal.clone());
+    let rx = channel.bind("poll/1").unwrap();
+    client
+        .send(
+            "mb/0",
+            to_bytes(&ControlMsg::MailboxPoll {
+                subscriber: SubscriberId(1),
+                reply_to: "poll/1".into(),
+                max: 0,
+            })
+            .freeze(),
+        )
+        .unwrap();
+    let payload = rx
+        .recv_timeout(Duration::from_secs(5))
+        .expect("mailbox batch");
+    let Ok(ControlMsg::MailboxBatch { entries }) = from_bytes(&payload) else {
+        panic!("unexpected mailbox reply");
+    };
+    let mut present = [false; 20];
+    for (sub, _, _) in &entries {
+        if (sub.0 as usize) < 20 {
+            present[sub.0 as usize] = true;
+        }
+    }
+    assert!(
+        present.iter().all(|&p| p),
+        "WAL replay lost deliveries; got {} entries, coverage {present:?}",
+        entries.len()
+    );
+    client
+        .send("mb/0", to_bytes(&ControlMsg::Shutdown).freeze())
+        .unwrap();
+    mb2.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -12,7 +12,10 @@ const SUBS: usize = 400;
 const MSGS: usize = 1_000;
 
 fn workload() -> (Vec<Subscription>, Vec<Message>, PaperWorkload) {
-    let w = PaperWorkload { seed: 77, ..Default::default() };
+    let w = PaperWorkload {
+        seed: 77,
+        ..Default::default()
+    };
     let subs = w.subscriptions().take(SUBS);
     let msgs = w.messages().take(MSGS);
     (subs, msgs, w)
@@ -42,7 +45,10 @@ fn simulator_matches_ground_truth_exactly() {
     sim.drain(5.0);
     assert_eq!(sim.metrics.total_sent, MSGS as u64);
     assert_eq!(sim.metrics.total_delivered, MSGS as u64);
-    assert_eq!(sim.metrics.total_matches, expected, "simulator missed or duplicated matches");
+    assert_eq!(
+        sim.metrics.total_matches, expected,
+        "simulator missed or duplicated matches"
+    );
 }
 
 #[test]
@@ -77,9 +83,7 @@ fn threaded_cluster_matches_ground_truth() {
     let expected = truth_pairs(&subs, &msgs);
 
     let space = w.space();
-    let mut cluster = Cluster::start(
-        ClusterConfig::new(space.clone()).matchers(5).dispatchers(2),
-    );
+    let mut cluster = Cluster::start(ClusterConfig::new(space.clone()).matchers(5).dispatchers(2));
     let mut handles = Vec::new();
     for s in &subs {
         let mut b = Subscription::builder(&space);

@@ -9,7 +9,11 @@ use bluedove::sim::SaturationProbe;
 fn quick() -> ExpConfig {
     let mut cfg = ExpConfig::default();
     cfg.subscriptions = 2_000;
-    cfg.probe = SaturationProbe { probe_duration: 6.0, refine_iters: 4, ..cfg.probe };
+    cfg.probe = SaturationProbe {
+        probe_duration: 6.0,
+        refine_iters: 4,
+        ..cfg.probe
+    };
     cfg
 }
 
@@ -19,8 +23,14 @@ fn fig6a_shape_bluedove_beats_p2p_beats_fullrep() {
     let blue = cfg.saturation_rate(System::BlueDove, 8);
     let p2p = cfg.saturation_rate(System::P2p, 8);
     let full = cfg.saturation_rate(System::FullRep, 8);
-    assert!(blue > 2.0 * p2p, "BlueDove {blue:.0} should be multi-fold over P2P {p2p:.0}");
-    assert!(blue > 3.0 * full, "BlueDove {blue:.0} should be multi-fold over Full-Rep {full:.0}");
+    assert!(
+        blue > 2.0 * p2p,
+        "BlueDove {blue:.0} should be multi-fold over P2P {p2p:.0}"
+    );
+    assert!(
+        blue > 3.0 * full,
+        "BlueDove {blue:.0} should be multi-fold over Full-Rep {full:.0}"
+    );
     assert!(p2p > full, "P2P {p2p:.0} should beat Full-Rep {full:.0}");
 }
 
@@ -50,8 +60,14 @@ fn fig7_shape_adaptive_beats_random_multifold() {
         || cfg.build_with_policy(System::BlueDove, 10, Policy::ResponseTime.build()),
         1_000.0,
     );
-    assert!(adaptive > 1.5 * random, "adaptive {adaptive:.0} vs random {random:.0}");
-    assert!(adaptive >= resp, "adaptive {adaptive:.0} vs resp-time {resp:.0}");
+    assert!(
+        adaptive > 1.5 * random,
+        "adaptive {adaptive:.0} vs random {random:.0}"
+    );
+    assert!(
+        adaptive >= resp,
+        "adaptive {adaptive:.0} vs resp-time {resp:.0}"
+    );
 }
 
 #[test]
@@ -71,7 +87,11 @@ fn fig8_shape_bluedove_balances_better_than_p2p() {
         imbalances[0],
         imbalances[1]
     );
-    assert!(imbalances[0] < 0.5, "BlueDove load should be well balanced: {}", imbalances[0]);
+    assert!(
+        imbalances[0] < 0.5,
+        "BlueDove load should be well balanced: {}",
+        imbalances[0]
+    );
 }
 
 #[test]

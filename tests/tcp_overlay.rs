@@ -42,14 +42,21 @@ impl TcpPeer {
             addr.clone(),
             1,
         ));
-        TcpPeer { addr, node, rx, transport }
+        TcpPeer {
+            addr,
+            node,
+            rx,
+            transport,
+        }
     }
 
     /// Processes every pending inbound leg, replying as the protocol
     /// dictates.
     fn pump(&mut self, now: f64) {
         while let Ok(payload) = self.rx.try_recv() {
-            let Some((from, msg)) = open_envelope(&payload) else { continue };
+            let Some((from, msg)) = open_envelope(&payload) else {
+                continue;
+            };
             match &msg {
                 GossipMsg::Syn { .. } => {
                     let ack = self.node.handle_syn(&msg, now);
@@ -91,7 +98,13 @@ fn gossip_converges_over_real_tcp() {
         // Every node gossips with everyone it knows (tiny cluster).
         let known: Vec<Vec<String>> = peers
             .iter()
-            .map(|p| p.node.peers().values().map(|r| r.state.addr.clone()).collect())
+            .map(|p| {
+                p.node
+                    .peers()
+                    .values()
+                    .map(|r| r.state.addr.clone())
+                    .collect()
+            })
             .collect();
         for (i, targets) in known.iter().enumerate() {
             for t in targets {

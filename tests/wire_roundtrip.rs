@@ -1,12 +1,18 @@
 //! Property tests: every domain type survives a wire round trip, and the
-//! decoder never panics on corrupt input.
+//! decoder never panics on corrupt input — garbage bytes, truncated
+//! frames, corrupted length prefixes and single-byte flips of valid
+//! encodings all come back as `Err` (or a well-formed value), never a
+//! panic.
 
+use bluedove::cluster::ControlMsg;
 use bluedove::core::{
     DimStats, Message, MessageId, Range, SubscriberId, Subscription, SubscriptionId,
 };
 use bluedove::overlay::{Digest, EndpointState, GossipMsg, NodeId, NodeRole};
-use bluedove_net::{from_bytes, to_bytes, NetResult, Wire};
+use bluedove_net::frame::{read_frame, write_frame, MAX_FRAME};
+use bluedove_net::{from_bytes, to_bytes, NetError, NetResult, Wire};
 use proptest::prelude::*;
+use std::io::Cursor;
 
 fn arb_message() -> impl Strategy<Value = Message> {
     (
@@ -30,16 +36,31 @@ fn arb_subscription() -> impl Strategy<Value = Subscription> {
         .prop_map(|(id, subscriber, ranges)| Subscription {
             id: SubscriptionId(id),
             subscriber: SubscriberId(subscriber),
-            predicates: ranges.into_iter().map(|(lo, w)| Range::new(lo, lo + w)).collect(),
+            predicates: ranges
+                .into_iter()
+                .map(|(lo, w)| Range::new(lo, lo + w))
+                .collect(),
         })
 }
 
 fn arb_endpoint() -> impl Strategy<Value = EndpointState> {
-    (any::<u64>(), any::<u64>(), any::<u64>(), any::<bool>(), ".{0,32}", any::<u64>(), any::<bool>())
+    (
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<bool>(),
+        ".{0,32}",
+        any::<u64>(),
+        any::<bool>(),
+    )
         .prop_map(|(node, generation, version, matcher, addr, sv, leaving)| {
             let mut s = EndpointState::new(
                 NodeId(node),
-                if matcher { NodeRole::Matcher } else { NodeRole::Dispatcher },
+                if matcher {
+                    NodeRole::Matcher
+                } else {
+                    NodeRole::Dispatcher
+                },
                 addr,
                 generation,
             );
@@ -127,5 +148,87 @@ proptest! {
             let res: NetResult<Message> = from_bytes(&bytes[..cut]);
             prop_assert!(res.is_err());
         }
+    }
+
+    #[test]
+    fn control_msg_decoder_never_panics_on_garbage(
+        bytes in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        // The full cluster protocol rides the same wire primitives; its
+        // decoder must be equally panic-free on arbitrary input.
+        let _: NetResult<ControlMsg> = from_bytes(&bytes);
+    }
+
+    #[test]
+    fn corrupted_length_prefix_errors_or_truncates(m in arb_message(), forged in any::<u32>()) {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &to_bytes(&m)).unwrap();
+        let payload_len = buf.len() - 4;
+        buf[..4].copy_from_slice(&forged.to_le_bytes());
+        let mut cur = Cursor::new(buf);
+        match read_frame(&mut cur) {
+            // A shortened prefix yields a (bounded) truncated payload;
+            // the Wire decoder above is what must survive that.
+            Ok(p) => prop_assert!(p.len() == forged as usize && p.len() <= payload_len),
+            Err(NetError::FrameTooLarge(n)) => prop_assert!(n > MAX_FRAME),
+            // Prefix promises more bytes than the stream holds.
+            Err(NetError::Io(_)) => prop_assert!(forged as usize > payload_len),
+            Err(e) => prop_assert!(false, "unexpected error class: {e:?}"),
+        }
+    }
+
+    #[test]
+    fn single_byte_flip_never_panics(
+        m in arb_message(),
+        s in arb_subscription(),
+        e in arb_endpoint(),
+        idx in any::<usize>(),
+        mask in 1u8..=255,
+    ) {
+        // Flip one byte of each valid encoding: decoding may fail or may
+        // yield a different (well-formed) value, but must never panic.
+        let sub_msg = ControlMsg::Subscribe(s.clone());
+        let gossip = GossipMsg::Ack2 { deltas: vec![e.clone()] };
+        let encodings: [&[u8]; 4] =
+            [&to_bytes(&m), &to_bytes(&s), &to_bytes(&sub_msg), &to_bytes(&gossip)];
+        for bytes in encodings {
+            let mut flipped = bytes.to_vec();
+            let i = idx % flipped.len();
+            flipped[i] ^= mask;
+            let _: NetResult<Message> = from_bytes(&flipped);
+            let _: NetResult<Subscription> = from_bytes(&flipped);
+            let _: NetResult<ControlMsg> = from_bytes(&flipped);
+            let _: NetResult<GossipMsg> = from_bytes(&flipped);
+        }
+    }
+
+    #[test]
+    fn truncated_frame_stream_recovers_clean_prefix(
+        msgs in proptest::collection::vec(arb_message(), 1..5),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        // A stream cut anywhere loses at most the torn tail frame: every
+        // frame before the cut decodes intact, and the first failure is a
+        // clean Disconnected (cut on a boundary) or Io (torn mid-frame).
+        let mut buf = Vec::new();
+        for m in &msgs {
+            write_frame(&mut buf, &to_bytes(m)).unwrap();
+        }
+        let cut = ((buf.len() as f64) * cut_frac) as usize;
+        buf.truncate(cut);
+        let mut cur = Cursor::new(buf);
+        let mut recovered = 0usize;
+        loop {
+            match read_frame(&mut cur) {
+                Ok(p) => {
+                    let back: Message = from_bytes(&p).expect("intact frame decodes");
+                    prop_assert_eq!(&back, &msgs[recovered]);
+                    recovered += 1;
+                }
+                Err(NetError::Disconnected) | Err(NetError::Io(_)) => break,
+                Err(e) => prop_assert!(false, "unexpected error class: {e:?}"),
+            }
+        }
+        prop_assert!(recovered <= msgs.len());
     }
 }

@@ -1,0 +1,370 @@
+//! Offline shim for `bytes`: cheaply-cloneable immutable byte buffers
+//! ([`Bytes`]), a growable builder ([`BytesMut`]) and the little-endian
+//! cursor traits ([`Buf`], [`BufMut`]) — exactly the surface the BlueDove
+//! wire codec and transports use.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------
+// Bytes
+// ---------------------------------------------------------------------
+
+#[derive(Clone)]
+enum Repr {
+    Static(&'static [u8]),
+    Shared(Arc<Vec<u8>>),
+}
+
+/// An immutable, reference-counted byte buffer; `clone` is O(1).
+#[derive(Clone)]
+pub struct Bytes {
+    repr: Repr,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub const fn new() -> Self {
+        Bytes {
+            repr: Repr::Static(&[]),
+        }
+    }
+
+    /// Wraps a static slice without copying.
+    pub const fn from_static(bytes: &'static [u8]) -> Self {
+        Bytes {
+            repr: Repr::Static(bytes),
+        }
+    }
+
+    /// Copies a slice into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes {
+            repr: Repr::Shared(Arc::new(data.to_vec())),
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.as_slice().is_empty()
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        match &self.repr {
+            Repr::Static(s) => s,
+            Repr::Shared(v) => v,
+        }
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes {
+            repr: Repr::Shared(Arc::new(v)),
+        }
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(s: &'static [u8]) -> Self {
+        Bytes::from_static(s)
+    }
+}
+
+impl From<BytesMut> for Bytes {
+    fn from(b: BytesMut) -> Self {
+        b.freeze()
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bytes({} bytes)", self.len())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+// ---------------------------------------------------------------------
+// BytesMut
+// ---------------------------------------------------------------------
+
+/// A growable byte buffer, frozen into [`Bytes`] when complete.
+#[derive(Default, Clone, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut { data: Vec::new() }
+    }
+
+    /// An empty buffer with pre-allocated capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Reserves capacity for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.data.reserve(additional);
+    }
+
+    /// Appends a slice.
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+
+    /// Clears the buffer, keeping capacity.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    /// Absorbs another buffer, appending its contents.
+    pub fn unsplit(&mut self, other: BytesMut) {
+        self.data.extend_from_slice(&other.data);
+    }
+
+    /// Converts into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            repr: Repr::Shared(Arc::new(self.data)),
+        }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(v: Vec<u8>) -> Self {
+        BytesMut { data: v }
+    }
+}
+
+impl std::fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BytesMut({} bytes)", self.len())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Buf / BufMut
+// ---------------------------------------------------------------------
+
+macro_rules! get_le {
+    ($name:ident, $t:ty, $n:expr) => {
+        /// Reads a little-endian value, advancing the cursor.
+        ///
+        /// Panics if fewer than the required bytes remain; decoders call
+        /// `remaining()` first.
+        fn $name(&mut self) -> $t {
+            let mut raw = [0u8; $n];
+            self.copy_to_slice(&mut raw);
+            <$t>::from_le_bytes(raw)
+        }
+    };
+}
+
+/// A cursor over a readable byte buffer.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// The unread portion as a contiguous slice.
+    fn chunk(&self) -> &[u8];
+
+    /// Advances the cursor by `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
+
+    /// Whether any bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Copies `dst.len()` bytes out, advancing the cursor.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.remaining() >= dst.len(), "buffer underflow");
+        let n = dst.len();
+        dst.copy_from_slice(&self.chunk()[..n]);
+        self.advance(n);
+    }
+
+    /// Reads one byte, advancing the cursor.
+    fn get_u8(&mut self) -> u8 {
+        let mut raw = [0u8; 1];
+        self.copy_to_slice(&mut raw);
+        raw[0]
+    }
+
+    get_le!(get_u16_le, u16, 2);
+    get_le!(get_u32_le, u32, 4);
+    get_le!(get_u64_le, u64, 8);
+    get_le!(get_f64_le, f64, 8);
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        *self = &self[cnt..];
+    }
+}
+
+impl<B: Buf + ?Sized> Buf for &mut B {
+    fn remaining(&self) -> usize {
+        (**self).remaining()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        (**self).chunk()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        (**self).advance(cnt)
+    }
+}
+
+macro_rules! put_le {
+    ($name:ident, $t:ty) => {
+        /// Appends a little-endian value.
+        fn $name(&mut self, v: $t) {
+            self.put_slice(&v.to_le_bytes());
+        }
+    };
+}
+
+/// A growable byte sink.
+pub trait BufMut {
+    /// Appends a slice.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    put_le!(put_u16_le, u16);
+    put_le!(put_u32_le, u32);
+    put_le!(put_u64_le, u64);
+    put_le!(put_f64_le, f64);
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_round_trip() {
+        let mut b = BytesMut::new();
+        b.put_u8(7);
+        b.put_u16_le(0xBEEF);
+        b.put_u32_le(0xDEAD_BEEF);
+        b.put_u64_le(42);
+        b.put_f64_le(-1.5);
+        b.put_slice(b"xyz");
+        let frozen = b.freeze();
+        let mut cur: &[u8] = &frozen;
+        assert_eq!(cur.get_u8(), 7);
+        assert_eq!(cur.get_u16_le(), 0xBEEF);
+        assert_eq!(cur.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(cur.get_u64_le(), 42);
+        assert_eq!(cur.get_f64_le(), -1.5);
+        let mut rest = [0u8; 3];
+        cur.copy_to_slice(&mut rest);
+        assert_eq!(&rest, b"xyz");
+        assert!(!cur.has_remaining());
+    }
+
+    #[test]
+    fn bytes_clone_is_shared() {
+        let b = Bytes::from(vec![1, 2, 3]);
+        let c = b.clone();
+        assert_eq!(&b[..], &c[..]);
+        assert_eq!(Bytes::from_static(b"s").len(), 1);
+        assert!(Bytes::new().is_empty());
+    }
+}

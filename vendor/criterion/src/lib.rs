@@ -1,0 +1,227 @@
+//! Offline shim for `criterion`: runs each benchmark for a fixed number
+//! of timed iterations and prints the mean wall-clock time per iteration
+//! to stdout. No warm-up analysis, outlier rejection or HTML reports —
+//! just enough to keep `cargo bench` working and comparable run-to-run.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Opaque value barrier — prevents the optimiser from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Units processed per iteration, used to report throughput.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark label, optionally parameterised.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A label of the form `name/parameter`.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// A label that is just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Times closures passed to [`Bencher::iter`].
+pub struct Bencher {
+    iters: u64,
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records the mean time per call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Untimed warm-up pass to populate caches and lazy statics.
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / self.iters as f64;
+    }
+}
+
+/// The top-level harness handle passed to every bench target.
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 60 }
+    }
+}
+
+impl Criterion {
+    /// Sets the iteration count used for subsequent benchmarks.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup {
+            sample_size: self.sample_size,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(&mut self, name: impl Display, f: R) {
+        let sample_size = self.sample_size;
+        run_one(&name.to_string(), sample_size, None, f);
+    }
+}
+
+/// A group of benchmarks sharing throughput and sample-size settings.
+pub struct BenchmarkGroup<'a> {
+    sample_size: u64,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Overrides the iteration count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Benchmarks `f` under `id` with an input value.
+    pub fn bench_with_input<I, R: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: R,
+    ) -> &mut Self {
+        run_one(&id.label, self.sample_size, self.throughput, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Benchmarks `f` under a plain label.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Display,
+        f: R,
+    ) -> &mut Self {
+        run_one(&name.to_string(), self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Ends the group (separator line only in this shim).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+fn run_one<R: FnMut(&mut Bencher)>(
+    label: &str,
+    sample_size: u64,
+    throughput: Option<Throughput>,
+    mut f: R,
+) {
+    let mut b = Bencher {
+        iters: sample_size.max(1),
+        mean_ns: 0.0,
+    };
+    f(&mut b);
+    match throughput {
+        Some(Throughput::Elements(n)) if b.mean_ns > 0.0 => {
+            let per_sec = n as f64 * 1e9 / b.mean_ns;
+            println!("  {label}: {:.1} ns/iter ({per_sec:.0} elem/s)", b.mean_ns);
+        }
+        Some(Throughput::Bytes(n)) if b.mean_ns > 0.0 => {
+            let mib_s = n as f64 * 1e9 / b.mean_ns / (1024.0 * 1024.0);
+            println!("  {label}: {:.1} ns/iter ({mib_s:.1} MiB/s)", b.mean_ns);
+        }
+        _ => println!("  {label}: {:.1} ns/iter", b.mean_ns),
+    }
+}
+
+/// Bundles bench targets into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("sums");
+        group.throughput(Throughput::Elements(100));
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::new("sum_to", 100u32), &100u32, |b, &n| {
+            b.iter(|| (0..n).sum::<u32>())
+        });
+        group.bench_function("constant", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+        c.bench_function("standalone", |b| b.iter(|| black_box(2 * 2)));
+    }
+
+    criterion_group!(benches, sample_bench);
+    criterion_group! {
+        name = configured;
+        config = Criterion::default().sample_size(5);
+        targets = sample_bench,
+    }
+
+    #[test]
+    fn harness_runs() {
+        benches();
+        configured();
+    }
+}

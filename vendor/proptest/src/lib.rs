@@ -1,0 +1,387 @@
+//! Offline shim for `proptest`: the [`Strategy`] trait with `prop_map` /
+//! `prop_flat_map`, range / tuple / regex-string strategies, [`any`],
+//! [`collection::vec`], [`ProptestConfig`] and the [`proptest!`] /
+//! [`prop_assert!`] macros.
+//!
+//! Differences from upstream: failing inputs are **not shrunk**. Each run
+//! is seeded deterministically from the test's name; on failure the seed
+//! and case index are printed, and setting `PROPTEST_SEED=<u64>` replays
+//! the exact same case sequence.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+pub use rand::SeedableRng;
+
+/// A generator of test-case values.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn gen_value(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Feeds generated values into `f` to pick a dependent strategy.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn gen_value(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.gen_value(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+    fn gen_value(&self, rng: &mut StdRng) -> T::Value {
+        (self.f)(self.inner.gen_value(rng)).gen_value(rng)
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+macro_rules! tuple_strategy {
+    ($($s:ident),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn gen_value(&self, rng: &mut StdRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($s,)+) = self;
+                ($($s.gen_value(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+tuple_strategy!(A, B, C, D, E, F, G);
+tuple_strategy!(A, B, C, D, E, F, G, H);
+
+/// String patterns act as (very small) regex strategies. Supported:
+/// `.{m,n}` — between `m` and `n` arbitrary printable ASCII chars; any
+/// other pattern is emitted literally with each `.` replaced by one
+/// arbitrary printable char.
+impl Strategy for &str {
+    type Value = String;
+    fn gen_value(&self, rng: &mut StdRng) -> String {
+        fn printable(rng: &mut StdRng) -> char {
+            rng.gen_range(0x20u32..0x7F) as u8 as char
+        }
+        if let Some(body) = self.strip_prefix(".{").and_then(|r| r.strip_suffix('}')) {
+            if let Some((lo, hi)) = body.split_once(',') {
+                if let (Ok(lo), Ok(hi)) = (lo.parse::<usize>(), hi.parse::<usize>()) {
+                    let len = rng.gen_range(lo..=hi);
+                    return (0..len).map(|_| printable(rng)).collect();
+                }
+            }
+        }
+        self.chars()
+            .map(|c| if c == '.' { printable(rng) } else { c })
+            .collect()
+    }
+}
+
+/// Types with a whole-domain default strategy (see [`any`]).
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! arbitrary_via_standard {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.gen()
+            }
+        }
+    )*};
+}
+
+arbitrary_via_standard!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, f64);
+
+/// Strategy returned by [`any`].
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The default whole-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+
+    /// A length range for collection strategies; build from a `usize`
+    /// (exact length) or a `Range<usize>` (half-open).
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi_exclusive: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn gen_value(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..self.size.hi_exclusive);
+            (0..len).map(|_| self.element.gen_value(rng)).collect()
+        }
+    }
+
+    /// A `Vec` whose elements come from `element` and whose length comes
+    /// from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// Per-`proptest!` block configuration.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases generated per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// FNV-1a over the test name: the deterministic default run seed.
+pub fn default_seed(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Runs `cases` iterations of `body`, feeding it a deterministic RNG.
+/// On panic, prints the seed and case index, then re-raises.
+pub fn run_property(name: &str, cases: u32, body: &dyn Fn(&mut StdRng)) {
+    let seed = match std::env::var("PROPTEST_SEED") {
+        Ok(s) => s
+            .trim()
+            .parse::<u64>()
+            .expect("PROPTEST_SEED must be a u64"),
+        Err(_) => default_seed(name),
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    for case in 0..cases {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut rng)));
+        if let Err(panic) = result {
+            eprintln!(
+                "proptest: property `{name}` failed at case {case}/{cases}; \
+                 reproduce with PROPTEST_SEED={seed}"
+            );
+            std::panic::resume_unwind(panic);
+        }
+    }
+}
+
+/// Declares property tests: `fn name(pat in strategy, ...) { body }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg($cfg) $($rest)*);
+    };
+    (@cfg($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $( $pat:pat in $strat:expr ),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                $crate::run_property(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __cfg.cases,
+                    &|__rng: &mut $crate::prelude::StdRng| {
+                        $(
+                            let $pat = {
+                                let __strat = $strat;
+                                $crate::Strategy::gen_value(&__strat, __rng)
+                            };
+                        )+
+                        $body
+                    },
+                );
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// The glob-import surface test files expect.
+pub mod prelude {
+    pub use super::{any, Arbitrary, ProptestConfig, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use rand::rngs::StdRng;
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use rand::SeedableRng;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_tuples((a, b) in (0u32..10, 5usize..6), f in -1.0..1.0) {
+            prop_assert!(a < 10);
+            prop_assert_eq!(b, 5);
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn maps_and_collections(
+            v in crate::collection::vec(any::<u8>(), 1..5),
+            s in ".{0,32}",
+            w in (1u64..3).prop_flat_map(|n| crate::collection::vec(0u64..n, 2)),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 5);
+            prop_assert!(s.len() <= 32 && s.is_ascii());
+            prop_assert_eq!(w.len(), 2);
+        }
+    }
+
+    #[test]
+    fn same_name_same_stream() {
+        let mut a = StdRng::seed_from_u64(super::default_seed("x"));
+        let mut b = StdRng::seed_from_u64(super::default_seed("x"));
+        let s: String = ".{3,3}".gen_value(&mut a);
+        assert_eq!(s, ".{3,3}".gen_value(&mut b));
+        assert_eq!(s.len(), 3);
+    }
+}
