@@ -16,18 +16,22 @@ use crate::dispatcher::{DispatcherNode, DispatcherNodeConfig, RoutingState};
 use crate::mailbox::MailboxNode;
 use crate::matcher::{MatcherNode, MatcherNodeConfig};
 use crate::proto::ControlMsg;
-use crate::shared::{control_addr, dispatcher_addr, matcher_addr, subscriber_addr, Shared};
+use crate::shared::{
+    control_addr, dispatcher_addr, matcher_addr, subscriber_addr, ReliabilityConfig, SeenWindow,
+    Shared,
+};
 use bluedove_baselines::AnyStrategy;
 use bluedove_core::{
     AdaptivePolicy, AttributeSpace, DimIdx, ForwardingPolicy, IndexKind, MatcherId, Message,
-    RandomPolicy, ResponseTimePolicy, SubscriberId, Subscription, SubscriptionCountPolicy,
-    SubscriptionId,
+    MessageId, RandomPolicy, ResponseTimePolicy, SubscriberId, Subscription,
+    SubscriptionCountPolicy, SubscriptionId,
 };
 use bluedove_net::{
     from_bytes, to_bytes, ChannelTransport, FaultHandle, FaultTransport, NetError, Transport,
 };
 use bytes::Bytes;
 use crossbeam::channel::Receiver;
+use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
@@ -87,6 +91,7 @@ pub struct ClusterConfig {
     seed: u64,
     fault_seed: Option<u64>,
     failure_detector: bluedove_overlay::FailureDetectorConfig,
+    reliability: ReliabilityConfig,
 }
 
 impl ClusterConfig {
@@ -106,6 +111,7 @@ impl ClusterConfig {
             seed: 42,
             fault_seed: None,
             failure_detector: bluedove_overlay::FailureDetectorConfig::default(),
+            reliability: ReliabilityConfig::default(),
         }
     }
 
@@ -180,6 +186,41 @@ impl ClusterConfig {
         self.failure_detector = fd;
         self
     }
+
+    /// Enables or disables publication acknowledgements (at-least-once
+    /// forwarding). On by default; off restores the fire-and-forget
+    /// pipeline of one synchronous failover, then drop.
+    pub fn publication_acks(mut self, on: bool) -> Self {
+        self.reliability.acks = on;
+        self
+    }
+
+    /// Sets the base ack timeout of the retransmit schedule.
+    pub fn ack_timeout(mut self, d: Duration) -> Self {
+        self.reliability.ack_timeout = d;
+        self
+    }
+
+    /// Sets how many retransmissions a publication gets before it is
+    /// counted as dead-lettered.
+    pub fn retry_budget(mut self, n: u32) -> Self {
+        self.reliability.retry_budget = n;
+        self
+    }
+
+    /// Sets how long a dispatcher shuns a suspected matcher before
+    /// re-probing it.
+    pub fn suspicion_ttl(mut self, d: Duration) -> Self {
+        self.reliability.suspicion_ttl = d;
+        self
+    }
+
+    /// Sets the size of the idempotency windows (matcher dims and
+    /// subscriber endpoints).
+    pub fn dedup_window(mut self, n: usize) -> Self {
+        self.reliability.dedup_window = n;
+        self
+    }
 }
 
 /// Errors surfaced by the cluster API.
@@ -237,9 +278,28 @@ pub struct SubscriberHandle {
     sub: Subscription,
     rx: Receiver<Bytes>,
     shared: Arc<Shared>,
+    /// `(subscription, message)` pairs already observed: retransmissions
+    /// upstream make duplicate deliveries possible; this endpoint filter
+    /// restores exactly-once observation.
+    dedup: Mutex<SeenWindow<(SubscriptionId, MessageId)>>,
 }
 
 impl SubscriberHandle {
+    /// Returns true when the delivery is a duplicate (and counts it).
+    fn is_duplicate(&self, sub: SubscriptionId, msg_id: MessageId) -> bool {
+        if msg_id == MessageId(0) {
+            return false;
+        }
+        if self.dedup.lock().check_and_insert((sub, msg_id)) {
+            self.shared
+                .counters
+                .duplicates_suppressed
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            return true;
+        }
+        false
+    }
+
     /// Blocks up to `timeout` for the next delivery.
     pub fn recv_timeout(&self, timeout: Duration) -> Option<Delivery> {
         let deadline = Instant::now() + timeout;
@@ -253,6 +313,9 @@ impl SubscriberHandle {
                 ..
             }) = from_bytes(&payload)
             {
+                if self.is_duplicate(sub, msg.id) {
+                    continue;
+                }
                 let latency_us = self.shared.now_us().saturating_sub(admitted_us);
                 return Some(Delivery {
                     sub,
@@ -275,6 +338,9 @@ impl SubscriberHandle {
                 ..
             }) = from_bytes(&payload)
             {
+                if self.is_duplicate(sub, msg.id) {
+                    continue;
+                }
                 let latency_us = self.shared.now_us().saturating_sub(admitted_us);
                 out.push(Delivery {
                     sub,
@@ -444,6 +510,7 @@ impl Cluster {
                     gossip_seeds: seeds.clone(),
                     generation: 1,
                     failure_detector: cfg.failure_detector,
+                    dedup_window: cfg.reliability.dedup_window,
                 },
                 shared.clone(),
                 scope(&addr),
@@ -481,12 +548,13 @@ impl Cluster {
                     seed: cfg.seed ^ (i as u64).wrapping_mul(0x9E37_79B9),
                     bootstrap: bootstrap.clone(),
                     table_pull_interval: cfg.table_pull_interval,
+                    reliability: cfg.reliability.clone(),
                 },
                 shared.clone(),
                 scope(&addr),
             ));
         }
-        let mailbox = MailboxNode::spawn("mb/0".to_string(), scope("mb/0"));
+        let mailbox = MailboxNode::spawn_shared("mb/0".to_string(), scope("mb/0"), shared.clone());
         let next_matcher = cfg.matchers;
         Cluster {
             cfg,
@@ -529,6 +597,12 @@ impl Cluster {
     /// Shared counters (published / matched / deliveries / dropped).
     pub fn counters(&self) -> (u64, u64, u64, u64) {
         self.shared.counters.snapshot()
+    }
+
+    /// At-least-once pipeline counters
+    /// (retried / duplicates_suppressed / dead_lettered).
+    pub fn reliability_counters(&self) -> (u64, u64, u64) {
+        self.shared.counters.reliability()
     }
 
     /// Total gossip bytes matchers have sent so far (§IV-C overhead).
@@ -607,6 +681,7 @@ impl Cluster {
                     sub,
                     rx,
                     shared: self.shared.clone(),
+                    dedup: Mutex::new(SeenWindow::new(self.cfg.reliability.dedup_window)),
                 });
             }
         }
@@ -721,6 +796,7 @@ impl Cluster {
                 gossip_seeds: seeds,
                 generation: 1,
                 failure_detector: self.cfg.failure_detector,
+                dedup_window: self.cfg.reliability.dedup_window,
             },
             self.shared.clone(),
             self.scoped_transport(&addr),
@@ -870,7 +946,15 @@ impl Cluster {
         };
         let addr = matcher_addr(m);
         self.shared.matcher_addrs.write().insert(m, addr.clone());
-        let node = MatcherNode::spawn(
+        // Bind the inbox but do **not** start the serve loop yet: the
+        // moment the address is routable again, dispatchers may send it
+        // publications (their suspicion of the dead incarnation expires on
+        // its own). Served against the empty subscription set a crashed
+        // matcher boots with, such a publication would be acked with zero
+        // deliveries — silent loss. Queueing the recovery replay below
+        // before the loop starts closes that window: the loop drains its
+        // whole inbox before serving anything.
+        let bound = MatcherNode::bind(
             MatcherNodeConfig {
                 id: m,
                 addr: addr.clone(),
@@ -880,11 +964,10 @@ impl Cluster {
                 gossip_seeds: self.membership_seeds(),
                 generation,
                 failure_detector: self.cfg.failure_detector,
+                dedup_window: self.cfg.reliability.dedup_window,
             },
-            self.shared.clone(),
             self.scoped_transport(&addr),
         );
-        self.matchers.insert(m, node);
 
         // Re-announce the membership under a fresh table version: matchers
         // get the authoritative TableUpdate, dispatchers get the same book
@@ -911,18 +994,11 @@ impl Cluster {
         for (_, a) in &addr_book {
             let _ = self.channel.send(a, to_bytes(&update).freeze());
         }
-        let state = ControlMsg::TableState {
-            version: self.table_version,
-            strategy: Some(strategy),
-            addrs: addr_book,
-        };
-        for d in &self.dispatchers {
-            let _ = self.channel.send(&d.addr, to_bytes(&state).freeze());
-        }
 
         // Recover the restarted matcher's subscription copies from the
         // registration store (deterministic assignment: the same copies
-        // land wherever the strategy places them).
+        // land wherever the strategy places them) — queued on the bound
+        // inbox ahead of any publication, per the ordering argument above.
         let copies: Vec<(DimIdx, Subscription)> = {
             let guard = self.shared.strategy.read();
             self.sub_registry
@@ -941,6 +1017,15 @@ impl Cluster {
         for (dim, sub) in copies {
             let store = ControlMsg::StoreSub { dim, sub };
             self.channel.send(&addr, to_bytes(&store).freeze())?;
+        }
+        self.matchers.insert(m, bound.start(self.shared.clone()));
+        let state = ControlMsg::TableState {
+            version: self.table_version,
+            strategy: Some(strategy),
+            addrs: addr_book,
+        };
+        for d in &self.dispatchers {
+            let _ = self.channel.send(&d.addr, to_bytes(&state).freeze());
         }
         Ok(())
     }

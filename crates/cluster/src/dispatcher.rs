@@ -5,9 +5,17 @@
 //! reports, and forward each message to the chosen candidate matcher —
 //! one hop. Failed sends trigger immediate fail-over to another candidate
 //! (§III-A-3).
+//!
+//! With acknowledgements enabled (the default), forwarding is
+//! at-least-once: every admitted publication sits in an in-flight ledger
+//! until the serving matcher's `MatchAck` arrives. An ack timeout marks
+//! the target suspect and retransmits to the next live candidate (then
+//! the clockwise fallbacks) under exponential backoff with jitter, up to
+//! a retry budget, after which the message is counted as dead-lettered.
+//! Matcher-side dedup windows make the retransmissions idempotent.
 
 use crate::proto::ControlMsg;
-use crate::shared::Shared;
+use crate::shared::{ReliabilityConfig, Shared};
 use bluedove_baselines::AnyStrategy;
 use bluedove_core::{
     Assignment, ForwardingPolicy, MatcherId, Message, MessageId, StatsView, SubscriptionId,
@@ -17,7 +25,8 @@ use bytes::Bytes;
 use crossbeam::channel::{Receiver, RecvTimeoutError};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::{HashMap, HashSet};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -40,6 +49,8 @@ pub struct DispatcherNodeConfig {
     /// How often this dispatcher pulls a fresh table from a random
     /// matcher (§III-C; the paper uses 10 s).
     pub table_pull_interval: Duration,
+    /// Ack/retry/dedup knobs for the at-least-once pipeline.
+    pub reliability: ReliabilityConfig,
 }
 
 /// The dispatcher's private routing state, refreshed by table pulls.
@@ -87,6 +98,61 @@ impl DispatcherNode {
     }
 }
 
+/// Matchers this dispatcher currently shuns, each with an expiry instant.
+/// Suspicion ends three ways: an authoritative table re-lists the matcher,
+/// the suspect itself acks a message, or the TTL runs out — so a restarted
+/// matcher is re-probed even without orchestrator help, mirroring the
+/// overlay's Suspect → re-admission lifecycle.
+struct SuspectList {
+    until: HashMap<MatcherId, Instant>,
+    ttl: Duration,
+}
+
+impl SuspectList {
+    fn new(ttl: Duration) -> Self {
+        SuspectList {
+            until: HashMap::new(),
+            ttl,
+        }
+    }
+
+    /// Records (or refreshes) a suspicion for one TTL from now.
+    fn suspect(&mut self, m: MatcherId) {
+        self.until.insert(m, Instant::now() + self.ttl);
+    }
+
+    fn clear(&mut self, m: MatcherId) {
+        self.until.remove(&m);
+    }
+
+    fn contains(&self, m: &MatcherId) -> bool {
+        self.until.get(m).is_some_and(|&t| Instant::now() < t)
+    }
+
+    /// Drops expired entries (bookkeeping only; `contains` already treats
+    /// them as cleared).
+    fn purge(&mut self) {
+        let now = Instant::now();
+        self.until.retain(|_, &mut t| now < t);
+    }
+}
+
+/// A publication awaiting its `MatchAck`.
+struct InFlight {
+    msg: Message,
+    admitted_us: u64,
+    /// Sends so far (1 = the original forward).
+    attempts: u32,
+    /// Matchers tried in the current rotation; cleared when every
+    /// candidate has been exhausted so recovered matchers get re-probed.
+    tried: Vec<MatcherId>,
+    /// The matcher the latest send went to, if any accepted it.
+    target: Option<MatcherId>,
+    /// When to give up waiting for the ack. Also versions the timer-heap
+    /// entry: a popped deadline that no longer matches is stale.
+    deadline: Instant,
+}
+
 fn run(
     cfg: DispatcherNodeConfig,
     shared: Arc<Shared>,
@@ -94,18 +160,24 @@ fn run(
     rx: Receiver<Bytes>,
 ) {
     let mut view = StatsView::new();
-    let mut known_dead: HashSet<MatcherId> = HashSet::new();
+    let mut suspects = SuspectList::new(cfg.reliability.suspicion_ttl);
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut routing = cfg.bootstrap.clone();
     let mut next_pull = Instant::now() + cfg.table_pull_interval;
+    let rel = cfg.reliability.clone();
+    // The at-least-once ledger: publications awaiting acks, with a lazy
+    // min-heap of retransmit deadlines over them.
+    let mut ledger: HashMap<MessageId, InFlight> = HashMap::new();
+    let mut timers: BinaryHeap<Reverse<(Instant, MessageId)>> = BinaryHeap::new();
 
     loop {
         // Periodic table pull from a random live matcher (§III-C).
         if Instant::now() >= next_pull {
+            suspects.purge();
             let live: Vec<&String> = routing
                 .addrs
                 .iter()
-                .filter(|(m, _)| !known_dead.contains(m))
+                .filter(|(m, _)| !suspects.contains(m))
                 .map(|(_, a)| a)
                 .collect();
             if !live.is_empty() {
@@ -117,7 +189,74 @@ fn run(
             }
             next_pull += cfg.table_pull_interval;
         }
-        let timeout = next_pull.saturating_duration_since(Instant::now());
+        // Fire expired retransmit timers.
+        let now = Instant::now();
+        while let Some(&Reverse((deadline, id))) = timers.peek() {
+            if deadline > now {
+                break;
+            }
+            timers.pop();
+            let Some(entry) = ledger.get_mut(&id) else {
+                continue; // acked while the timer was pending
+            };
+            if entry.deadline != deadline {
+                continue; // superseded by a later retransmission
+            }
+            // The target never acked: shun it and fail over.
+            if let Some(t) = entry.target.take() {
+                suspects.suspect(t);
+                view.forget_matcher(t);
+            }
+            if entry.attempts > rel.retry_budget {
+                ledger.remove(&id);
+                shared
+                    .counters
+                    .dead_lettered
+                    .fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            entry.attempts += 1;
+            let mut target = dispatch(
+                &shared,
+                &transport,
+                &cfg,
+                &routing,
+                &mut view,
+                &mut suspects,
+                &mut rng,
+                &entry.msg,
+                entry.admitted_us,
+                &mut entry.tried,
+            );
+            if target.is_none() {
+                // Full rotation exhausted: restart it so matchers that
+                // recovered (or lost suspect status) are probed again.
+                entry.tried.clear();
+                target = dispatch(
+                    &shared,
+                    &transport,
+                    &cfg,
+                    &routing,
+                    &mut view,
+                    &mut suspects,
+                    &mut rng,
+                    &entry.msg,
+                    entry.admitted_us,
+                    &mut entry.tried,
+                );
+            }
+            if target.is_some() {
+                shared.counters.retried.fetch_add(1, Ordering::Relaxed);
+            }
+            entry.target = target;
+            entry.deadline = Instant::now() + ack_timeout_for(&rel, entry.attempts - 1, &mut rng);
+            timers.push(Reverse((entry.deadline, id)));
+        }
+        let mut wake = next_pull;
+        if let Some(&Reverse((deadline, _))) = timers.peek() {
+            wake = wake.min(deadline);
+        }
+        let timeout = wake.saturating_duration_since(Instant::now());
         let payload = match rx.recv_timeout(timeout.min(Duration::from_millis(50))) {
             Ok(p) => p,
             Err(RecvTimeoutError::Timeout) => continue,
@@ -130,36 +269,96 @@ fn run(
             ControlMsg::Subscribe(mut sub) => {
                 sub.id = SubscriptionId(shared.next_sub_id.fetch_add(1, Ordering::Relaxed));
                 let assignments = routing.strategy.as_dyn().assign(&sub);
+                let mut stored = 0usize;
                 for Assignment { matcher, dim } in assignments {
-                    let Some(addr) = routing.addrs.get(&matcher) else {
-                        continue;
-                    };
-                    let store = ControlMsg::StoreSub {
-                        dim,
-                        sub: sub.clone(),
-                    };
-                    let _ = transport.send(addr, to_bytes(&store).freeze());
+                    // The assigned owner first, then (BlueDove) its
+                    // clockwise neighbour on the same dimension — the
+                    // matcher that message-side fallback routing probes,
+                    // so a copy stored there stays reachable.
+                    let mut targets = vec![matcher];
+                    if let AnyStrategy::BlueDove(mp) = &routing.strategy {
+                        if let Ok(nb) = mp.table().clockwise_neighbor(dim, matcher) {
+                            if nb != matcher {
+                                targets.push(nb);
+                            }
+                        }
+                    }
+                    for m in targets {
+                        if suspects.contains(&m) {
+                            continue;
+                        }
+                        let Some(addr) = routing.addrs.get(&m) else {
+                            suspects.suspect(m);
+                            continue;
+                        };
+                        let store = ControlMsg::StoreSub {
+                            dim,
+                            sub: sub.clone(),
+                        };
+                        match transport.send(addr, to_bytes(&store).freeze()) {
+                            Ok(()) => {
+                                stored += 1;
+                                break;
+                            }
+                            Err(_) => {
+                                suspects.suspect(m);
+                                view.forget_matcher(m);
+                            }
+                        }
+                    }
                 }
-                // Ack to the subscriber endpoint: registration complete.
-                let ack = ControlMsg::SubAck { sub: sub.id };
-                let addr = crate::shared::subscriber_addr(sub.subscriber.0);
-                let _ = transport.send(&addr, to_bytes(&ack).freeze());
+                // Ack only once at least one copy is stored: a false ack
+                // would tell the client its subscription is live when no
+                // matcher holds it (the client times out and can retry).
+                if stored > 0 {
+                    let ack = ControlMsg::SubAck { sub: sub.id };
+                    let addr = crate::shared::subscriber_addr(sub.subscriber.0);
+                    let _ = transport.send(&addr, to_bytes(&ack).freeze());
+                }
             }
             ControlMsg::Publish(mut m) => {
                 m.id = MessageId(shared.next_msg_id.fetch_add(1, Ordering::Relaxed));
                 shared.counters.published.fetch_add(1, Ordering::Relaxed);
                 let admitted_us = shared.now_us();
-                forward(
+                let mut tried = Vec::new();
+                let target = dispatch(
                     &shared,
                     &transport,
                     &cfg,
                     &routing,
                     &mut view,
-                    &mut known_dead,
+                    &mut suspects,
                     &mut rng,
-                    m,
+                    &m,
                     admitted_us,
+                    &mut tried,
                 );
+                if rel.acks {
+                    // Ledger the publication even when no candidate took
+                    // it — the retry schedule keeps probing, so a message
+                    // admitted during a total outage still gets delivered
+                    // once any candidate heals within the budget.
+                    let deadline = Instant::now() + ack_timeout_for(&rel, 0, &mut rng);
+                    timers.push(Reverse((deadline, m.id)));
+                    ledger.insert(
+                        m.id,
+                        InFlight {
+                            msg: m,
+                            admitted_us,
+                            attempts: 1,
+                            tried,
+                            target,
+                            deadline,
+                        },
+                    );
+                } else if target.is_none() {
+                    shared.counters.dropped.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            ControlMsg::MatchAck { msg_id, matcher } => {
+                // The matcher is demonstrably alive: stop shunning it.
+                suspects.clear(matcher);
+                ledger.remove(&msg_id);
             }
             ControlMsg::Unsubscribe(sub) => {
                 // Deterministic assignment: the same copies are found and
@@ -184,13 +383,13 @@ fn run(
                 // A fresh table is the management plane's authoritative
                 // membership: a matcher it re-lists is live again
                 // (restart), so stop shunning it.
-                known_dead.retain(|m| !routing.addrs.contains_key(m));
+                suspects.until.retain(|m, _| !routing.addrs.contains_key(m));
             }
             ControlMsg::LoadReport {
                 matcher,
                 dim,
                 stats,
-            } if !known_dead.contains(&matcher) => {
+            } if !suspects.contains(&matcher) => {
                 view.update(matcher, dim, stats);
             }
             ControlMsg::Shutdown => break,
@@ -199,44 +398,65 @@ fn run(
     }
 }
 
-/// Chooses a candidate and sends, failing over on dead matchers.
+/// Deadline for retransmission `attempt` (0-based): exponential backoff
+/// capped at 2⁶ periods, plus uniform jitter of up to a quarter period so
+/// concurrent dispatchers don't retransmit in lockstep.
+fn ack_timeout_for(rel: &ReliabilityConfig, attempt: u32, rng: &mut StdRng) -> Duration {
+    let base = rel.ack_timeout * 2u32.saturating_pow(attempt.min(6));
+    let jitter_us = (rel.ack_timeout.as_micros() as u64 / 4).max(1);
+    base + Duration::from_micros(rng.gen_range(0..jitter_us))
+}
+
+/// Chooses a live candidate for `msg` and sends the `MatchMsg`, failing
+/// over past suspects, matchers already in `tried`, and synchronous send
+/// errors. Returns the matcher that accepted the frame (also appended to
+/// `tried`), or `None` when the rotation is exhausted.
 #[allow(clippy::too_many_arguments)]
-fn forward(
+fn dispatch(
     shared: &Arc<Shared>,
     transport: &Arc<dyn Transport>,
     cfg: &DispatcherNodeConfig,
     routing: &RoutingState,
     view: &mut StatsView,
-    known_dead: &mut HashSet<MatcherId>,
+    suspects: &mut SuspectList,
     rng: &mut StdRng,
-    msg: Message,
+    msg: &Message,
     admitted_us: u64,
-) {
+    tried: &mut Vec<MatcherId>,
+) -> Option<MatcherId> {
     // Primary candidates plus the degenerate-case clockwise fallbacks
     // (§III-A-1/3). Fallbacks are kept separate so the policy only
     // considers them once every live primary has been exhausted — send
     // failures can kill primaries *during* the loop below.
+    let usable = |a: &Assignment, suspects: &SuspectList, tried: &[MatcherId]| -> bool {
+        !suspects.contains(&a.matcher) && !tried.contains(&a.matcher)
+    };
     let mut candidates: Vec<Assignment> = routing
         .strategy
         .as_dyn()
-        .candidates(&msg)
+        .candidates(msg)
         .into_iter()
-        .filter(|a| !known_dead.contains(&a.matcher))
+        .filter(|a| usable(a, suspects, tried))
         .collect();
     let mut fallbacks: Vec<Assignment> = match &routing.strategy {
         AnyStrategy::BlueDove(mp) => mp
-            .fallback_candidates(&msg)
+            .fallback_candidates(msg)
             .into_iter()
-            .filter(|a| !known_dead.contains(&a.matcher))
+            .filter(|a| usable(a, suspects, tried))
             .collect(),
         _ => Vec::new(),
+    };
+    let ack_to = if cfg.reliability.acks {
+        cfg.addr.clone()
+    } else {
+        String::new()
     };
 
     loop {
         if candidates.is_empty() {
-            fallbacks.retain(|a| !known_dead.contains(&a.matcher));
+            fallbacks.retain(|a| usable(a, suspects, tried));
             if fallbacks.is_empty() {
-                break;
+                return None;
             }
             candidates = std::mem::take(&mut fallbacks);
         }
@@ -246,7 +466,7 @@ fn forward(
             cfg.policy.choose(&candidates, view, shared.now(), rng)
         };
         let Some(addr) = routing.addrs.get(&chosen.matcher) else {
-            known_dead.insert(chosen.matcher);
+            suspects.suspect(chosen.matcher);
             candidates.retain(|a| a.matcher != chosen.matcher);
             continue;
         };
@@ -254,22 +474,23 @@ fn forward(
             dim: chosen.dim,
             msg: msg.clone(),
             admitted_us,
+            ack_to: ack_to.clone(),
         };
         match transport.send(addr, to_bytes(&wire).freeze()) {
             Ok(()) => {
                 if cfg.policy.uses_estimation() {
                     view.reserve(chosen.matcher, chosen.dim);
                 }
-                return;
+                tried.push(chosen.matcher);
+                return Some(chosen.matcher);
             }
             Err(_) => {
                 // The matcher is unreachable: remember it, forget its
                 // stats and fail over to another candidate (§III-A-3).
-                known_dead.insert(chosen.matcher);
+                suspects.suspect(chosen.matcher);
                 view.forget_matcher(chosen.matcher);
                 candidates.retain(|a| a.matcher != chosen.matcher);
             }
         }
     }
-    shared.counters.dropped.fetch_add(1, Ordering::Relaxed);
 }

@@ -49,3 +49,4 @@ pub use cluster::{
     StrategyKind, SubscriberHandle,
 };
 pub use proto::ControlMsg;
+pub use shared::{ReliabilityConfig, SeenWindow};

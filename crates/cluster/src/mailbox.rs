@@ -14,13 +14,15 @@
 //! polls with [`ControlMsg::MailboxPoll`].
 
 use crate::proto::ControlMsg;
+use crate::shared::{SeenWindow, Shared};
 use crate::wal::{Wal, WalRecord};
-use bluedove_core::SubscriberId;
+use bluedove_core::{MessageId, SubscriberId, SubscriptionId};
 use bluedove_net::{from_bytes, to_bytes, Transport};
 use bytes::Bytes;
 use crossbeam::channel::Receiver;
 use std::collections::{HashMap, VecDeque};
 use std::path::PathBuf;
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -28,6 +30,11 @@ use std::thread::JoinHandle;
 /// first when a subscriber stops polling (simple overload protection, the
 /// "message persistence" future-work item in its minimal form).
 pub const MAILBOX_CAPACITY: usize = 16_384;
+
+/// `(subscriber, subscription, message)` triples remembered for duplicate
+/// suppression: dispatcher retransmissions can re-deliver a message the
+/// mailbox already stored, and a poll must hand each pair out once.
+const DEDUP_WINDOW: usize = 8_192;
 
 /// Handle to a running mailbox node.
 pub struct MailboxNode {
@@ -39,7 +46,7 @@ pub struct MailboxNode {
 impl MailboxNode {
     /// Spawns the mailbox thread bound at `addr` (volatile storage).
     pub fn spawn(addr: String, transport: Arc<dyn Transport>) -> Self {
-        Self::spawn_inner(addr, transport, None)
+        Self::spawn_inner(addr, transport, None, None)
     }
 
     /// Spawns the mailbox with a write-ahead log at `wal_path`: stored
@@ -51,15 +58,26 @@ impl MailboxNode {
         transport: Arc<dyn Transport>,
         wal_path: PathBuf,
     ) -> Self {
-        Self::spawn_inner(addr, transport, Some(wal_path))
+        Self::spawn_inner(addr, transport, Some(wal_path), None)
     }
 
-    fn spawn_inner(addr: String, transport: Arc<dyn Transport>, wal_path: Option<PathBuf>) -> Self {
+    /// Spawns the mailbox wired to a cluster's shared state so suppressed
+    /// duplicates show up in the cluster-wide counters.
+    pub fn spawn_shared(addr: String, transport: Arc<dyn Transport>, shared: Arc<Shared>) -> Self {
+        Self::spawn_inner(addr, transport, None, Some(shared))
+    }
+
+    fn spawn_inner(
+        addr: String,
+        transport: Arc<dyn Transport>,
+        wal_path: Option<PathBuf>,
+        shared: Option<Arc<Shared>>,
+    ) -> Self {
         let rx = transport.bind(&addr).expect("bind mailbox inbox");
         let a = addr.clone();
         let join = std::thread::Builder::new()
             .name("mailbox".into())
-            .spawn(move || run(transport, rx, wal_path))
+            .spawn(move || run(transport, rx, wal_path, shared))
             .expect("spawn mailbox thread");
         MailboxNode {
             addr: a,
@@ -80,13 +98,31 @@ type Stored = (bluedove_core::SubscriptionId, bluedove_core::Message, u64);
 /// Compact the WAL after this many appended records.
 const WAL_COMPACT_THRESHOLD: u64 = 10_000;
 
-fn run(transport: Arc<dyn Transport>, rx: Receiver<Bytes>, wal_path: Option<PathBuf>) {
+fn run(
+    transport: Arc<dyn Transport>,
+    rx: Receiver<Bytes>,
+    wal_path: Option<PathBuf>,
+    shared: Option<Arc<Shared>>,
+) {
     // Recover state from the log, then reopen it for appending.
     let mut boxes: HashMap<SubscriberId, VecDeque<Stored>> = match &wal_path {
         Some(p) => Wal::replay(p).unwrap_or_default(),
         None => HashMap::new(),
     };
     let mut wal = wal_path.and_then(|p| Wal::open(p).ok());
+    // Idempotency over dispatcher retransmissions. Reseeded from the WAL
+    // replay so a restart doesn't re-store what is already boxed (entries
+    // polled before the restart are gone from the window, so a very late
+    // duplicate of those can slip through — bounded, not exact).
+    let mut seen: SeenWindow<(SubscriberId, SubscriptionId, MessageId)> =
+        SeenWindow::new(DEDUP_WINDOW);
+    for (subscriber, q) in &boxes {
+        for &(sub, ref msg, _) in q {
+            if msg.id != MessageId(0) {
+                seen.check_and_insert((*subscriber, sub, msg.id));
+            }
+        }
+    }
 
     for payload in rx.iter() {
         let Ok(msg) = from_bytes::<ControlMsg>(&payload) else {
@@ -99,6 +135,14 @@ fn run(transport: Arc<dyn Transport>, rx: Receiver<Bytes>, wal_path: Option<Path
                 msg,
                 admitted_us,
             } => {
+                if msg.id != MessageId(0) && seen.check_and_insert((subscriber, sub, msg.id)) {
+                    if let Some(s) = &shared {
+                        s.counters
+                            .duplicates_suppressed
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                    continue;
+                }
                 if let Some(w) = wal.as_mut() {
                     let _ = w.append(&WalRecord::Deliver {
                         subscriber,

@@ -8,14 +8,14 @@
 
 use crate::proto::ControlMsg;
 use crate::shared::Shared;
-use bluedove_core::{DimIdx, IndexKind, MatcherCore, MatcherId, Message};
+use bluedove_core::{DimIdx, IndexKind, MatcherCore, MatcherId, Message, MessageId};
 use bluedove_net::{from_bytes, to_bytes, Transport};
 use bluedove_overlay::{EndpointState, GossipMsg, GossipNode, NodeId, NodeRole};
 use bytes::Bytes;
 use crossbeam::channel::{Receiver, RecvTimeoutError};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::VecDeque;
+use std::collections::{HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -45,6 +45,9 @@ pub struct MatcherNodeConfig {
     pub generation: u64,
     /// Failure-detector thresholds applied on each gossip tick.
     pub failure_detector: bluedove_overlay::FailureDetectorConfig,
+    /// Message ids remembered per dimension for duplicate suppression
+    /// (dispatcher retransmissions make duplicates possible).
+    pub dedup_window: usize,
 }
 
 /// Handle to a running matcher thread.
@@ -64,21 +67,19 @@ impl MatcherNode {
         shared: Arc<Shared>,
         transport: Arc<dyn Transport>,
     ) -> Self {
+        Self::bind(cfg, transport).start(shared)
+    }
+
+    /// Binds the matcher's inbox without starting the serve loop. Frames
+    /// sent to the address queue up until [`BoundMatcher::start`]; the
+    /// serve loop drains its whole inbox before serving, so state queued
+    /// here (e.g. a crash-recovery subscription replay) is guaranteed to
+    /// be installed before the first publication is matched — a restarted
+    /// matcher must never ack a message served against the empty set it
+    /// booted with.
+    pub fn bind(cfg: MatcherNodeConfig, transport: Arc<dyn Transport>) -> BoundMatcher {
         let rx = transport.bind(&cfg.addr).expect("bind matcher inbox");
-        let crash = Arc::new(AtomicBool::new(false));
-        let crash2 = crash.clone();
-        let addr = cfg.addr.clone();
-        let id = cfg.id;
-        let join = std::thread::Builder::new()
-            .name(format!("matcher-{}", id.0))
-            .spawn(move || run(cfg, shared, transport, rx, crash2))
-            .expect("spawn matcher thread");
-        MatcherNode {
-            id,
-            addr,
-            crash,
-            join: Some(join),
-        }
+        BoundMatcher { cfg, transport, rx }
     }
 
     /// Simulates a crash: the thread stops without any orderly handover.
@@ -95,10 +96,108 @@ impl MatcherNode {
     }
 }
 
+/// A matcher with a bound inbox whose serve loop has not started yet
+/// (see [`MatcherNode::bind`]).
+pub struct BoundMatcher {
+    cfg: MatcherNodeConfig,
+    transport: Arc<dyn Transport>,
+    rx: Receiver<Bytes>,
+}
+
+impl BoundMatcher {
+    /// Starts the serve loop over the already-bound inbox.
+    pub fn start(self, shared: Arc<Shared>) -> MatcherNode {
+        let BoundMatcher { cfg, transport, rx } = self;
+        let crash = Arc::new(AtomicBool::new(false));
+        let crash2 = crash.clone();
+        let addr = cfg.addr.clone();
+        let id = cfg.id;
+        let join = std::thread::Builder::new()
+            .name(format!("matcher-{}", id.0))
+            .spawn(move || run(cfg, shared, transport, rx, crash2))
+            .expect("spawn matcher thread");
+        MatcherNode {
+            id,
+            addr,
+            crash,
+            join: Some(join),
+        }
+    }
+}
+
 struct Queued {
     dim: DimIdx,
     msg: Message,
     admitted_us: u64,
+    /// Dispatcher address expecting a `MatchAck` once this message has
+    /// been served; empty when acknowledgements are disabled.
+    ack_to: String,
+}
+
+/// What to do with an arriving `MatchMsg` according to the per-dim
+/// idempotency window.
+enum Admit {
+    /// First sight: queue it.
+    Fresh,
+    /// Already queued but not yet served: drop silently (the ack will go
+    /// out when the queued copy is served, so no false ack here).
+    Pending,
+    /// Already served: re-ack immediately, don't re-deliver.
+    Served,
+}
+
+/// Bounded sliding-window dedup for one dimension, keyed by `MessageId`.
+///
+/// `pending` tracks ids queued but not yet served; `served` is a FIFO
+/// window of the last `cap` served ids. Id 0 (unstamped, from senders
+/// that bypass a dispatcher) is exempt so such messages are never
+/// misidentified as duplicates of each other.
+struct DedupWindow {
+    pending: HashSet<MessageId>,
+    served: HashSet<MessageId>,
+    order: VecDeque<MessageId>,
+    cap: usize,
+}
+
+impl DedupWindow {
+    fn new(cap: usize) -> Self {
+        DedupWindow {
+            pending: HashSet::new(),
+            served: HashSet::new(),
+            order: VecDeque::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Classifies an arriving id and records fresh ids as pending.
+    fn admit(&mut self, id: MessageId) -> Admit {
+        if id == MessageId(0) {
+            return Admit::Fresh;
+        }
+        if self.served.contains(&id) {
+            return Admit::Served;
+        }
+        if !self.pending.insert(id) {
+            return Admit::Pending;
+        }
+        Admit::Fresh
+    }
+
+    /// Moves `id` from pending into the bounded served window.
+    fn mark_served(&mut self, id: MessageId) {
+        if id == MessageId(0) {
+            return;
+        }
+        self.pending.remove(&id);
+        if self.served.insert(id) {
+            self.order.push_back(id);
+            while self.order.len() > self.cap {
+                if let Some(old) = self.order.pop_front() {
+                    self.served.remove(&old);
+                }
+            }
+        }
+    }
 }
 
 fn run(
@@ -111,6 +210,7 @@ fn run(
     let k = shared.space.k();
     let mut core = MatcherCore::new(cfg.id, shared.space.clone(), cfg.index);
     let mut queues: Vec<VecDeque<Queued>> = (0..k).map(|_| VecDeque::new()).collect();
+    let mut dedup: Vec<DedupWindow> = (0..k).map(|_| DedupWindow::new(cfg.dedup_window)).collect();
     let mut rr = 0usize; // round-robin dimension pointer
     let mut next_stats = Instant::now() + cfg.stats_interval;
     let mut hits = Vec::new();
@@ -151,6 +251,7 @@ fn run(
                 &transport,
                 &mut core,
                 &mut queues,
+                &mut dedup,
                 &mut gossip,
                 &mut table,
                 payload,
@@ -185,6 +286,17 @@ fn run(
                     let _ = transport.send(&addr, to_bytes(&deliver).freeze());
                     shared.counters.deliveries.fetch_add(1, Ordering::Relaxed);
                 }
+                // Deliveries are on the wire: remember the id so a
+                // retransmission re-acks instead of re-delivering, then
+                // ack the dispatcher.
+                dedup[d].mark_served(q.msg.id);
+                if !q.ack_to.is_empty() {
+                    let ack = ControlMsg::MatchAck {
+                        msg_id: q.msg.id,
+                        matcher: cfg.id,
+                    };
+                    let _ = transport.send(&q.ack_to, to_bytes(&ack).freeze());
+                }
                 served = true;
                 break;
             }
@@ -203,6 +315,7 @@ fn run(
                         &transport,
                         &mut core,
                         &mut queues,
+                        &mut dedup,
                         &mut gossip,
                         &mut table,
                         payload,
@@ -285,6 +398,7 @@ fn handle(
     transport: &Arc<dyn Transport>,
     core: &mut MatcherCore,
     queues: &mut [VecDeque<Queued>],
+    dedup: &mut [DedupWindow],
     gossip: &mut GossipNode,
     table: &mut TableCopy,
     payload: Bytes,
@@ -307,14 +421,39 @@ fn handle(
             dim,
             msg,
             admitted_us,
-        } => {
-            core.record_arrival(dim, shared.now());
-            queues[dim.index()].push_back(Queued {
-                dim,
-                msg,
-                admitted_us,
-            });
-        }
+            ack_to,
+        } => match dedup[dim.index()].admit(msg.id) {
+            Admit::Fresh => {
+                core.record_arrival(dim, shared.now());
+                queues[dim.index()].push_back(Queued {
+                    dim,
+                    msg,
+                    admitted_us,
+                    ack_to,
+                });
+            }
+            Admit::Pending => {
+                // The queued copy will ack when served; acking now would
+                // falsely claim the deliveries are out.
+                shared
+                    .counters
+                    .duplicates_suppressed
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            Admit::Served => {
+                shared
+                    .counters
+                    .duplicates_suppressed
+                    .fetch_add(1, Ordering::Relaxed);
+                if !ack_to.is_empty() {
+                    let ack = ControlMsg::MatchAck {
+                        msg_id: msg.id,
+                        matcher: cfg.id,
+                    };
+                    let _ = transport.send(&ack_to, to_bytes(&ack).freeze());
+                }
+            }
+        },
         ControlMsg::HandOver {
             dim,
             range,

@@ -2,7 +2,8 @@
 //! their wire encoding.
 
 use bluedove_core::{
-    DimIdx, DimStats, MatcherId, Message, Range, SubscriberId, Subscription, SubscriptionId,
+    DimIdx, DimStats, MatcherId, Message, MessageId, Range, SubscriberId, Subscription,
+    SubscriptionId,
 };
 use bluedove_net::{NetError, NetResult, Wire};
 use bytes::{Buf, BufMut, BytesMut};
@@ -43,6 +44,23 @@ pub enum ControlMsg {
         /// Dispatcher admission timestamp, microseconds since the cluster
         /// epoch — response time is measured from here.
         admitted_us: u64,
+        /// Where to send the [`ControlMsg::MatchAck`] once the message has
+        /// been matched and its deliveries handed to the transport. Empty
+        /// when the dispatcher runs with acknowledgements disabled
+        /// (fire-and-forget forwarding).
+        ack_to: String,
+    },
+    /// Matcher → dispatcher: the publication with `msg_id` has been
+    /// matched against the per-dim set and every resulting delivery was
+    /// handed to the transport. Releases the dispatcher's in-flight
+    /// ledger entry; a re-forward of an already-served message is
+    /// answered with the same ack (idempotent no-op).
+    MatchAck {
+        /// The acknowledged publication.
+        msg_id: MessageId,
+        /// The acking matcher (lets the dispatcher clear a pending
+        /// suspicion for a matcher that turned out to be alive).
+        matcher: MatcherId,
     },
     /// Matcher → dispatcher: per-dimension load report (§III-B feedback).
     LoadReport {
@@ -180,6 +198,7 @@ const TAG_REMOVE_SUB: u8 = 15;
 const TAG_TABLE_UPDATE: u8 = 16;
 const TAG_TABLE_PULL: u8 = 17;
 const TAG_TABLE_STATE: u8 = 18;
+const TAG_MATCH_ACK: u8 = 19;
 
 impl Wire for ControlMsg {
     fn encode(&self, buf: &mut BytesMut) {
@@ -210,11 +229,18 @@ impl Wire for ControlMsg {
                 dim,
                 msg,
                 admitted_us,
+                ack_to,
             } => {
                 buf.put_u8(TAG_MATCH_MSG);
                 dim.encode(buf);
                 msg.encode(buf);
                 admitted_us.encode(buf);
+                ack_to.encode(buf);
+            }
+            ControlMsg::MatchAck { msg_id, matcher } => {
+                buf.put_u8(TAG_MATCH_ACK);
+                msg_id.encode(buf);
+                matcher.encode(buf);
             }
             ControlMsg::LoadReport {
                 matcher,
@@ -343,6 +369,11 @@ impl Wire for ControlMsg {
                 dim: DimIdx::decode(buf)?,
                 msg: Message::decode(buf)?,
                 admitted_us: u64::decode(buf)?,
+                ack_to: String::decode(buf)?,
+            },
+            TAG_MATCH_ACK => ControlMsg::MatchAck {
+                msg_id: MessageId::decode(buf)?,
+                matcher: MatcherId::decode(buf)?,
             },
             TAG_LOAD_REPORT => ControlMsg::LoadReport {
                 matcher: MatcherId::decode(buf)?,
@@ -461,6 +492,11 @@ mod tests {
             dim: DimIdx(0),
             msg: msg.clone(),
             admitted_us: 12345,
+            ack_to: "d/0".into(),
+        });
+        round_trip(ControlMsg::MatchAck {
+            msg_id: bluedove_core::MessageId(77),
+            matcher: MatcherId(1),
         });
         round_trip(ControlMsg::LoadReport {
             matcher: MatcherId(2),

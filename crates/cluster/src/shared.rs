@@ -3,9 +3,47 @@
 use bluedove_baselines::AnyStrategy;
 use bluedove_core::{AttributeSpace, MatcherId};
 use parking_lot::RwLock;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Knobs for the acknowledged at-least-once publication pipeline.
+///
+/// One struct configures every layer of the path: the dispatcher's ack
+/// ledger and retry schedule, how long a suspected matcher is shunned,
+/// and the size of the idempotency windows on matchers, the mailbox and
+/// subscriber handles.
+#[derive(Clone, Debug)]
+pub struct ReliabilityConfig {
+    /// Whether matchers acknowledge publications at all. Off restores the
+    /// fire-and-forget pipeline (one synchronous failover, then drop).
+    pub acks: bool,
+    /// Base ack timeout; retransmission `n` waits `ack_timeout · 2ⁿ` plus
+    /// jitter before declaring the target suspect.
+    pub ack_timeout: Duration,
+    /// Retransmissions allowed per publication before it is counted as
+    /// dead-lettered.
+    pub retry_budget: u32,
+    /// How long a matcher stays suspect after a send error or ack timeout
+    /// before the dispatcher probes it again without orchestrator help.
+    pub suspicion_ttl: Duration,
+    /// Entries remembered per idempotency window (per matcher dimension
+    /// and per subscriber endpoint) for duplicate suppression.
+    pub dedup_window: usize,
+}
+
+impl Default for ReliabilityConfig {
+    fn default() -> Self {
+        ReliabilityConfig {
+            acks: true,
+            ack_timeout: Duration::from_millis(250),
+            retry_budget: 6,
+            suspicion_ttl: Duration::from_secs(2),
+            dedup_window: 8192,
+        }
+    }
+}
 
 /// Cluster-wide counters (all relaxed: they are diagnostics, not
 /// synchronization).
@@ -23,6 +61,15 @@ pub struct Counters {
     pub stored_copies: AtomicU64,
     /// Total gossip bytes sent by all matchers (§IV-C overhead).
     pub gossip_bytes: AtomicU64,
+    /// Publications re-forwarded after an ack timeout (each retransmission
+    /// counts once, whatever candidate it went to).
+    pub retried: AtomicU64,
+    /// Duplicate arrivals suppressed by idempotency layers: matcher-side
+    /// per-dim dedup windows, subscriber endpoints and the mailbox.
+    pub duplicates_suppressed: AtomicU64,
+    /// Publications abandoned after exhausting the retry budget (counted
+    /// instead of being silently dropped).
+    pub dead_lettered: AtomicU64,
 }
 
 impl Counters {
@@ -34,6 +81,52 @@ impl Counters {
             self.deliveries.load(Ordering::Relaxed),
             self.dropped.load(Ordering::Relaxed),
         )
+    }
+
+    /// Snapshot of the at-least-once pipeline counters:
+    /// `(retried, duplicates_suppressed, dead_lettered)`.
+    pub fn reliability(&self) -> (u64, u64, u64) {
+        (
+            self.retried.load(Ordering::Relaxed),
+            self.duplicates_suppressed.load(Ordering::Relaxed),
+            self.dead_lettered.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Bounded sliding-window duplicate filter: remembers the last `cap`
+/// distinct keys, FIFO-evicted. Delivery endpoints use it keyed by
+/// `(subscription, message id)` to turn the pipeline's at-least-once
+/// forwarding into exactly-once observation.
+pub struct SeenWindow<K> {
+    seen: HashSet<K>,
+    order: VecDeque<K>,
+    cap: usize,
+}
+
+impl<K: Eq + Hash + Copy> SeenWindow<K> {
+    /// An empty window remembering up to `cap` keys.
+    pub fn new(cap: usize) -> Self {
+        SeenWindow {
+            seen: HashSet::new(),
+            order: VecDeque::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Records `k`; returns `true` when it was already in the window
+    /// (i.e. this occurrence is a duplicate).
+    pub fn check_and_insert(&mut self, k: K) -> bool {
+        if !self.seen.insert(k) {
+            return true;
+        }
+        self.order.push_back(k);
+        while self.order.len() > self.cap {
+            if let Some(old) = self.order.pop_front() {
+                self.seen.remove(&old);
+            }
+        }
+        false
     }
 }
 
@@ -151,5 +244,27 @@ mod tests {
         c.published.fetch_add(5, Ordering::Relaxed);
         c.dropped.fetch_add(1, Ordering::Relaxed);
         assert_eq!(c.snapshot(), (5, 0, 0, 1));
+    }
+
+    #[test]
+    fn seen_window_dedups_within_cap() {
+        let mut w = SeenWindow::new(2);
+        assert!(!w.check_and_insert(1u64));
+        assert!(w.check_and_insert(1));
+        assert!(!w.check_and_insert(2));
+        // Inserting a third key evicts the oldest (1), which then reads
+        // as fresh again — the window is bounded, not exact.
+        assert!(!w.check_and_insert(3));
+        assert!(!w.check_and_insert(1));
+        assert!(w.check_and_insert(3));
+    }
+
+    #[test]
+    fn reliability_counters_snapshot() {
+        let c = Counters::default();
+        c.retried.fetch_add(3, Ordering::Relaxed);
+        c.duplicates_suppressed.fetch_add(2, Ordering::Relaxed);
+        c.dead_lettered.fetch_add(1, Ordering::Relaxed);
+        assert_eq!(c.reliability(), (3, 2, 1));
     }
 }

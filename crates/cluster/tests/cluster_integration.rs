@@ -2,7 +2,7 @@
 //! multi-dispatcher operation, all strategies/policies, elastic join and
 //! crash fail-over.
 
-use bluedove_cluster::{Cluster, ClusterConfig, PolicyKind, StrategyKind};
+use bluedove_cluster::{Cluster, ClusterConfig, ClusterError, PolicyKind, StrategyKind};
 use bluedove_core::{AttributeSpace, MatcherId, Message, Subscription};
 use bluedove_workload::PaperWorkload;
 use std::time::Duration;
@@ -292,6 +292,50 @@ fn crash_failover_keeps_delivering() {
 }
 
 #[test]
+fn subscription_ack_requires_a_stored_copy() {
+    let sp = space();
+    // Every predicate sits inside m/1's segment (4 matchers ⇒ segment
+    // width 250 per dimension), so every primary copy is assigned to m/1.
+    let narrow = |sp: &AttributeSpace| {
+        let mut b = Subscription::builder(sp);
+        for d in 0..4 {
+            b = b.range(d, 300.0, 310.0);
+        }
+        b.build().unwrap()
+    };
+
+    // (a) The assigned owner is dead at registration time: the dispatcher
+    // fails each StoreSub over to the clockwise neighbour on the same
+    // dimension — the matcher that message-side fallback routing probes —
+    // and only then acks. The subscription must be live, not just acked.
+    let mut cluster = Cluster::start(ClusterConfig::new(sp.clone()).matchers(4));
+    cluster.kill_matcher(MatcherId(1));
+    let sub = cluster.subscribe(narrow(&sp)).expect("fail-over SubAck");
+    cluster.publish(Message::new(vec![305.0; 4])).unwrap();
+    let d = sub
+        .recv_timeout(Duration::from_secs(5))
+        .expect("delivery through the fail-over copy");
+    assert_eq!(d.msg.values, vec![305.0; 4]);
+    cluster.shutdown();
+
+    // (b) No matcher can store any copy: the dispatcher must stay silent
+    // instead of acking a registration nobody holds, and the client times
+    // out (and could retry). Before the fix this returned a SubAck and
+    // every subsequent matching publication vanished.
+    let mut cluster = Cluster::start(ClusterConfig::new(sp.clone()).matchers(2));
+    cluster.kill_matcher(MatcherId(0));
+    cluster.kill_matcher(MatcherId(1));
+    match cluster.subscribe(narrow(&sp)) {
+        Ok(_) => panic!("no false SubAck with zero stored copies"),
+        Err(e) => assert!(
+            matches!(e, ClusterError::Timeout(_)),
+            "expected an ack timeout, got: {e}"
+        ),
+    }
+    cluster.shutdown();
+}
+
+#[test]
 fn crash_loss_window_is_bounded() {
     // Figure 10 at test scale: the paper measures a ~17.5 s delivery gap
     // after a matcher crash, bounded by fail-over to surviving candidate
@@ -299,8 +343,17 @@ fn crash_loss_window_is_bounded() {
     // timeouts, so the window must be far tighter — the invariant is that
     // delivery RESUMES for subscriptions whose other replicas survive,
     // and the measured gap stays well under the paper's envelope.
+    //
+    // This pins the fire-and-forget (acks-off) path: messages accepted by
+    // a matcher that dies before serving them are lost, but the window is
+    // bounded. The zero-loss acks-on guarantee is covered by the chaos
+    // suite's `crash_loses_nothing_with_acks`.
     let sp = space();
-    let mut cluster = Cluster::start(ClusterConfig::new(sp.clone()).matchers(4));
+    let mut cluster = Cluster::start(
+        ClusterConfig::new(sp.clone())
+            .matchers(4)
+            .publication_acks(false),
+    );
     let subscriber = cluster
         .subscribe(Subscription::builder(&sp).build().unwrap()) // copies on all matchers
         .unwrap();

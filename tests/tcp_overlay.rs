@@ -149,6 +149,7 @@ fn control_messages_cross_tcp_intact() {
         dim: DimIdx(2),
         msg: Message::with_payload(vec![1.5, -2.5, 1000.0], vec![0xAB; 1000]),
         admitted_us: 123_456_789,
+        ack_to: "d/0".into(),
     };
     sender.send(addr, to_bytes(&msg).freeze()).expect("send");
     let payload = rx.recv_timeout(Duration::from_secs(5)).expect("recv");
