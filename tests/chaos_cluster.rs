@@ -43,6 +43,10 @@ fn chaos_config(seed: u64, matchers: u32, fd: FailureDetectorConfig) -> ClusterC
         .table_pull_interval(Duration::from_millis(80))
         .stats_interval(Duration::from_millis(80))
         .failure_detector(fd)
+        // Shrink the at-least-once pipeline's timescales to match: quick
+        // retransmits and quick re-probing of suspects keep scenarios fast.
+        .ack_timeout(Duration::from_millis(100))
+        .suspicion_ttl(Duration::from_millis(500))
         .seed(seed)
         .fault_injection(seed)
 }
@@ -478,3 +482,66 @@ fn mailbox_wal_replays_completely_over_faulty_links() {
     mb2.join();
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+// ---------------------------------------------------------------------
+// 10. Suspicion-expiry regression: a dispatcher that has transiently
+//     suspected *every* matcher must re-probe them once the suspicion TTL
+//     runs out, with no authoritative table push and no ack able to clear
+//     the suspicion first. Before expiry existed, fail-over suspicion was
+//     permanent: after one total-outage blip the dispatcher would never
+//     send to anyone again and every ledgered publication dead-lettered.
+// ---------------------------------------------------------------------
+#[test]
+fn suspicion_expiry_reprobes_without_table_push() {
+    let seed = scenario_seed("suspicion_expiry_reprobes_without_table_push", 0x5E);
+    let mut cluster = Cluster::start(
+        chaos_config(seed, 3, FailureDetectorConfig::default())
+            // No table pulls in test time: TableState is the *other* way
+            // suspicion ends, and this scenario must prove TTL expiry
+            // alone suffices.
+            .table_pull_interval(Duration::from_secs(3600)),
+    );
+    let sub = cluster.subscribe(wildcard(&space())).unwrap();
+
+    // Cut the dispatcher off from every matcher: each publish fails over
+    // across all candidates synchronously, suspects them all, and parks
+    // in the in-flight ledger with no accepted target.
+    FaultSchedule::new()
+        .at(
+            Duration::ZERO,
+            ChaosEvent::Partition {
+                a: AddrSet::one("d/0"),
+                b: AddrSet::Prefix("m/".into()),
+            },
+        )
+        .run(&mut cluster)
+        .unwrap();
+    for i in 0..10 {
+        cluster.publish(probe_msg(i)).unwrap();
+    }
+    std::thread::sleep(Duration::from_millis(150));
+    FaultSchedule::new()
+        .at(Duration::ZERO, ChaosEvent::HealPartitions)
+        .run(&mut cluster)
+        .unwrap();
+
+    // Healing the partition notifies nobody. Deliveries can only resume
+    // once the 500 ms suspicion TTL lapses and the retry schedule
+    // re-probes the healed links.
+    let mut got = 0;
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while got < 10 && Instant::now() < deadline {
+        if sub.recv_timeout(Duration::from_millis(200)).is_some() {
+            got += 1;
+        }
+    }
+    let (retried, _, dead_lettered) = cluster.reliability_counters();
+    assert_eq!(
+        got, 10,
+        "ledgered publications delivered once suspicion expired"
+    );
+    assert!(retried > 0, "delivery resumed via timer-driven retries");
+    assert_eq!(dead_lettered, 0, "nothing exhausted its retry budget");
+    cluster.shutdown();
+}
+
