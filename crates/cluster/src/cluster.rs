@@ -17,8 +17,8 @@ use crate::mailbox::MailboxNode;
 use crate::matcher::{MatcherNode, MatcherNodeConfig};
 use crate::proto::ControlMsg;
 use crate::shared::{
-    control_addr, dispatcher_addr, matcher_addr, subscriber_addr, ReliabilityConfig, SeenWindow,
-    Shared,
+    control_addr, dispatcher_addr, matcher_addr, subscriber_addr, telemetry_addr,
+    ReliabilityConfig, SeenWindow, Shared,
 };
 use bluedove_baselines::AnyStrategy;
 use bluedove_core::{
@@ -92,6 +92,7 @@ pub struct ClusterConfig {
     fault_seed: Option<u64>,
     failure_detector: bluedove_overlay::FailureDetectorConfig,
     reliability: ReliabilityConfig,
+    telemetry_file: Option<std::path::PathBuf>,
 }
 
 impl ClusterConfig {
@@ -112,6 +113,7 @@ impl ClusterConfig {
             fault_seed: None,
             failure_detector: bluedove_overlay::FailureDetectorConfig::default(),
             reliability: ReliabilityConfig::default(),
+            telemetry_file: None,
         }
     }
 
@@ -221,6 +223,13 @@ impl ClusterConfig {
         self.reliability.dedup_window = n;
         self
     }
+
+    /// Dumps the final telemetry exposition to `path` on
+    /// [`Cluster::shutdown`] (Prometheus text format).
+    pub fn telemetry_file(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.telemetry_file = Some(path.into());
+        self
+    }
 }
 
 /// Errors surfaced by the cluster API.
@@ -282,6 +291,9 @@ pub struct SubscriberHandle {
     /// upstream make duplicate deliveries possible; this endpoint filter
     /// restores exactly-once observation.
     dedup: Mutex<SeenWindow<(SubscriptionId, MessageId)>>,
+    /// Admission → subscriber-receipt latency, shared across all direct
+    /// endpoints (and the mailbox).
+    e2e: bluedove_telemetry::Histogram,
 }
 
 impl SubscriberHandle {
@@ -291,10 +303,7 @@ impl SubscriberHandle {
             return false;
         }
         if self.dedup.lock().check_and_insert((sub, msg_id)) {
-            self.shared
-                .counters
-                .duplicates_suppressed
-                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.shared.counters.duplicates_suppressed.inc();
             return true;
         }
         false
@@ -317,6 +326,7 @@ impl SubscriberHandle {
                     continue;
                 }
                 let latency_us = self.shared.now_us().saturating_sub(admitted_us);
+                self.e2e.observe_us(latency_us);
                 return Some(Delivery {
                     sub,
                     msg,
@@ -342,6 +352,7 @@ impl SubscriberHandle {
                     continue;
                 }
                 let latency_us = self.shared.now_us().saturating_sub(admitted_us);
+                self.e2e.observe_us(latency_us);
                 out.push(Delivery {
                     sub,
                     msg,
@@ -442,6 +453,8 @@ pub struct Cluster {
     dispatchers: Vec<DispatcherNode>,
     mailbox: Option<MailboxNode>,
     ctl_rx: Receiver<Bytes>,
+    /// Inbox for `TelemetryText` replies to wire pulls.
+    tel_rx: Receiver<Bytes>,
     next_subscriber: u64,
     next_matcher: u32,
     publish_rr: usize,
@@ -481,6 +494,9 @@ impl Cluster {
         };
         let shared = Arc::new(Shared::new(cfg.space.clone(), strategy));
         let ctl_rx = transport.bind(&control_addr()).expect("bind control inbox");
+        let tel_rx = transport
+            .bind(&telemetry_addr())
+            .expect("bind telemetry inbox");
 
         // Every initial matcher bootstraps with the endpoint states of the
         // whole initial membership (the paper seeds via a dispatcher).
@@ -566,6 +582,7 @@ impl Cluster {
             dispatchers,
             mailbox: Some(mailbox),
             ctl_rx,
+            tel_rx,
             next_subscriber: 1,
             next_matcher,
             publish_rr: 0,
@@ -607,10 +624,46 @@ impl Cluster {
 
     /// Total gossip bytes matchers have sent so far (§IV-C overhead).
     pub fn gossip_bytes(&self) -> u64 {
-        self.shared
-            .counters
-            .gossip_bytes
-            .load(std::sync::atomic::Ordering::Relaxed)
+        self.shared.counters.gossip_bytes.get()
+    }
+
+    /// The process-wide metric registry every node records into.
+    pub fn telemetry(&self) -> &Arc<bluedove_telemetry::Registry> {
+        &self.shared.telemetry
+    }
+
+    /// The current telemetry exposition, rendered locally (Prometheus
+    /// text format).
+    pub fn telemetry_text(&self) -> String {
+        self.shared.telemetry.render()
+    }
+
+    /// Pulls the telemetry exposition **over the wire**: sends a
+    /// `TelemetryPull` to a running matcher and awaits its
+    /// `TelemetryText` reply — the path an external scraper would
+    /// exercise. The registry is process-wide, so any matcher can serve
+    /// the full exposition.
+    pub fn pull_telemetry(&self) -> Result<String, ClusterError> {
+        let target = {
+            let ids = self.matcher_ids();
+            let first = ids.first().ok_or(ClusterError::Timeout("live matcher"))?;
+            self.matchers[first].addr.clone()
+        };
+        let pull = ControlMsg::TelemetryPull {
+            reply_to: telemetry_addr(),
+        };
+        self.transport.send(&target, to_bytes(&pull).freeze())?;
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            let payload = self
+                .tel_rx
+                .recv_timeout(remaining)
+                .map_err(|_| ClusterError::Timeout("telemetry exposition"))?;
+            if let Ok(ControlMsg::TelemetryText { text }) = from_bytes(&payload) {
+                return Ok(text);
+            }
+        }
     }
 
     /// Per-matcher gossip peer counts, as last reported by each matcher's
@@ -680,6 +733,7 @@ impl Cluster {
                     subscription: id,
                     sub,
                     rx,
+                    e2e: crate::shared::e2e_latency_histogram(&self.shared.telemetry),
                     shared: self.shared.clone(),
                     dedup: Mutex::new(SeenWindow::new(self.cfg.reliability.dedup_window)),
                 });
@@ -1051,6 +1105,12 @@ impl Cluster {
         }
         for (_, node) in self.matchers.drain() {
             node.join();
+        }
+        // Every node has stopped recording: dump the final exposition.
+        if let Some(path) = &self.cfg.telemetry_file {
+            if let Err(e) = self.shared.telemetry.write_to_file(path) {
+                eprintln!("telemetry dump to {} failed: {e}", path.display());
+            }
         }
     }
 }

@@ -18,9 +18,10 @@ use crate::proto::ControlMsg;
 use crate::shared::{ReliabilityConfig, Shared};
 use bluedove_baselines::AnyStrategy;
 use bluedove_core::{
-    Assignment, ForwardingPolicy, MatcherId, Message, MessageId, StatsView, SubscriptionId,
+    Assignment, DimIdx, ForwardingPolicy, MatcherId, Message, MessageId, StatsView, SubscriptionId,
 };
 use bluedove_net::{from_bytes, to_bytes, Transport};
+use bluedove_telemetry::{Counter, Histogram};
 use bytes::Bytes;
 use crossbeam::channel::{Receiver, RecvTimeoutError};
 use rand::rngs::StdRng;
@@ -148,9 +149,73 @@ struct InFlight {
     tried: Vec<MatcherId>,
     /// The matcher the latest send went to, if any accepted it.
     target: Option<MatcherId>,
+    /// The `(matcher, dim)` holding this message's [`StatsView`]
+    /// reservation, if the policy estimates. At most one per in-flight
+    /// message: invalidated when the target is forgotten (forgetting
+    /// clears the pending counts wholesale) and released on ack — so
+    /// retransmissions under ack loss can never stack phantom queue
+    /// entries onto the estimator.
+    reserved: Option<(MatcherId, DimIdx)>,
+    /// The policy's estimated processing time for the latest send, µs
+    /// (`None` when the candidate had no measured µ — the static proxy is
+    /// a ranking, not a time). Compared against the matcher-reported
+    /// actual when the ack lands.
+    est_us: Option<u64>,
     /// When to give up waiting for the ack. Also versions the timer-heap
     /// entry: a popped deadline that no longer matches is stale.
     deadline: Instant,
+}
+
+/// Telemetry handles recorded on the dispatcher's hot path. All
+/// dispatchers running the same policy share the estimation-error series
+/// (registration is idempotent).
+struct DispatcherMetrics {
+    /// Admission → latest successful forward, µs (retransmissions record
+    /// the cumulative latency, so the tail shows the backoff schedule).
+    forward_latency: Histogram,
+    /// Candidates skipped because of a send error or a missing address.
+    failovers: Counter,
+    /// `|estimated − actual|` processing time per acked publication, µs,
+    /// labelled by forwarding policy.
+    est_error: Histogram,
+    /// Acks whose estimate was at or above the actual (overestimates).
+    est_over: Counter,
+    /// Acks whose estimate was below the actual (underestimates).
+    est_under: Counter,
+}
+
+impl DispatcherMetrics {
+    fn register(shared: &Shared, policy: &str) -> Self {
+        let r = &shared.telemetry;
+        let policy_label = vec![("policy", policy.to_string())];
+        DispatcherMetrics {
+            forward_latency: r.histogram(
+                "bluedove_dispatcher_forward_latency_us",
+                "admission to latest successful forward, microseconds",
+                &[],
+            ),
+            failovers: r.counter(
+                "bluedove_dispatcher_failovers_total",
+                "candidates skipped on send error or missing address",
+                &[],
+            ),
+            est_error: r.histogram(
+                "bluedove_policy_estimation_error_us",
+                "absolute error of the policy's estimated processing time, microseconds",
+                &policy_label,
+            ),
+            est_over: r.counter(
+                "bluedove_policy_overestimates_total",
+                "acked publications whose processing time was overestimated",
+                &policy_label,
+            ),
+            est_under: r.counter(
+                "bluedove_policy_underestimates_total",
+                "acked publications whose processing time was underestimated",
+                &policy_label,
+            ),
+        }
+    }
 }
 
 fn run(
@@ -160,6 +225,7 @@ fn run(
     rx: Receiver<Bytes>,
 ) {
     let mut view = StatsView::new();
+    let metrics = DispatcherMetrics::register(&shared, cfg.policy.name());
     let mut suspects = SuspectList::new(cfg.reliability.suspicion_ttl);
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut routing = cfg.bootstrap.clone();
@@ -202,21 +268,25 @@ fn run(
             if entry.deadline != deadline {
                 continue; // superseded by a later retransmission
             }
-            // The target never acked: shun it and fail over.
+            // The target never acked: shun it and fail over. Forgetting
+            // the matcher clears every pending reservation on it, so the
+            // per-message reservation is invalidated (not released) —
+            // releasing later would decrement somebody else's count.
             if let Some(t) = entry.target.take() {
                 suspects.suspect(t);
                 view.forget_matcher(t);
+                entry.reserved = None;
             }
             if entry.attempts > rel.retry_budget {
-                ledger.remove(&id);
-                shared
-                    .counters
-                    .dead_lettered
-                    .fetch_add(1, Ordering::Relaxed);
+                let dead = ledger.remove(&id).expect("entry just borrowed");
+                if let Some((m, d)) = dead.reserved {
+                    view.release(m, d);
+                }
+                shared.counters.dead_lettered.inc();
                 continue;
             }
             entry.attempts += 1;
-            let mut target = dispatch(
+            let mut sent = dispatch(
                 &shared,
                 &transport,
                 &cfg,
@@ -224,15 +294,17 @@ fn run(
                 &mut view,
                 &mut suspects,
                 &mut rng,
+                &metrics,
                 &entry.msg,
                 entry.admitted_us,
                 &mut entry.tried,
+                &mut entry.reserved,
             );
-            if target.is_none() {
+            if sent.is_none() {
                 // Full rotation exhausted: restart it so matchers that
                 // recovered (or lost suspect status) are probed again.
                 entry.tried.clear();
-                target = dispatch(
+                sent = dispatch(
                     &shared,
                     &transport,
                     &cfg,
@@ -240,15 +312,25 @@ fn run(
                     &mut view,
                     &mut suspects,
                     &mut rng,
+                    &metrics,
                     &entry.msg,
                     entry.admitted_us,
                     &mut entry.tried,
+                    &mut entry.reserved,
                 );
             }
-            if target.is_some() {
-                shared.counters.retried.fetch_add(1, Ordering::Relaxed);
+            if sent.is_some() {
+                shared.counters.retried.inc();
+                metrics
+                    .forward_latency
+                    .observe_us(shared.now_us().saturating_sub(entry.admitted_us));
             }
+            let (target, est_us) = match sent {
+                Some((m, est)) => (Some(m), est),
+                None => (None, None),
+            };
             entry.target = target;
+            entry.est_us = est_us;
             entry.deadline = Instant::now() + ack_timeout_for(&rel, entry.attempts - 1, &mut rng);
             timers.push(Reverse((entry.deadline, id)));
         }
@@ -289,6 +371,11 @@ fn run(
                         }
                         let Some(addr) = routing.addrs.get(&m) else {
                             suspects.suspect(m);
+                            // Drop its stats too: a suspect with no
+                            // address must not keep stale load (or
+                            // reservations) in the local view.
+                            view.forget_matcher(m);
+                            metrics.failovers.inc();
                             continue;
                         };
                         let store = ControlMsg::StoreSub {
@@ -303,6 +390,7 @@ fn run(
                             Err(_) => {
                                 suspects.suspect(m);
                                 view.forget_matcher(m);
+                                metrics.failovers.inc();
                             }
                         }
                     }
@@ -318,10 +406,11 @@ fn run(
             }
             ControlMsg::Publish(mut m) => {
                 m.id = MessageId(shared.next_msg_id.fetch_add(1, Ordering::Relaxed));
-                shared.counters.published.fetch_add(1, Ordering::Relaxed);
+                shared.counters.published.inc();
                 let admitted_us = shared.now_us();
                 let mut tried = Vec::new();
-                let target = dispatch(
+                let mut reserved = None;
+                let sent = dispatch(
                     &shared,
                     &transport,
                     &cfg,
@@ -329,10 +418,21 @@ fn run(
                     &mut view,
                     &mut suspects,
                     &mut rng,
+                    &metrics,
                     &m,
                     admitted_us,
                     &mut tried,
+                    &mut reserved,
                 );
+                if sent.is_some() {
+                    metrics
+                        .forward_latency
+                        .observe_us(shared.now_us().saturating_sub(admitted_us));
+                }
+                let (target, est_us) = match sent {
+                    Some((t, est)) => (Some(t), est),
+                    None => (None, None),
+                };
                 if rel.acks {
                     // Ledger the publication even when no candidate took
                     // it — the retry schedule keeps probing, so a message
@@ -348,17 +448,43 @@ fn run(
                             attempts: 1,
                             tried,
                             target,
+                            reserved,
+                            est_us,
                             deadline,
                         },
                     );
                 } else if target.is_none() {
-                    shared.counters.dropped.fetch_add(1, Ordering::Relaxed);
+                    shared.counters.dropped.inc();
                 }
             }
-            ControlMsg::MatchAck { msg_id, matcher } => {
+            ControlMsg::MatchAck {
+                msg_id,
+                matcher,
+                actual_us,
+            } => {
                 // The matcher is demonstrably alive: stop shunning it.
                 suspects.clear(matcher);
-                ledger.remove(&msg_id);
+                if let Some(entry) = ledger.remove(&msg_id) {
+                    // The message is off the matcher's queue: the
+                    // reservation covering it has served its purpose.
+                    if let Some((m, d)) = entry.reserved {
+                        view.release(m, d);
+                    }
+                    // Estimation accuracy: only when the ack comes from
+                    // the matcher the estimate was made for, carries a
+                    // real measurement (re-acks of served duplicates ship
+                    // zero), and the policy produced a time estimate.
+                    if entry.target == Some(matcher) && actual_us > 0 {
+                        if let Some(est) = entry.est_us {
+                            metrics.est_error.observe_us(est.abs_diff(actual_us));
+                            if est >= actual_us {
+                                metrics.est_over.inc();
+                            } else {
+                                metrics.est_under.inc();
+                            }
+                        }
+                    }
+                }
             }
             ControlMsg::Unsubscribe(sub) => {
                 // Deterministic assignment: the same copies are found and
@@ -410,7 +536,13 @@ fn ack_timeout_for(rel: &ReliabilityConfig, attempt: u32, rng: &mut StdRng) -> D
 /// Chooses a live candidate for `msg` and sends the `MatchMsg`, failing
 /// over past suspects, matchers already in `tried`, and synchronous send
 /// errors. Returns the matcher that accepted the frame (also appended to
-/// `tried`), or `None` when the rotation is exhausted.
+/// `tried`) plus the policy's processing-time estimate in µs when one was
+/// made, or `None` when the rotation is exhausted.
+///
+/// Must be entered with `*reserved == None` (the caller invalidates the
+/// previous reservation when it forgets the failed target); on a
+/// successful estimating send exactly one fresh reservation is recorded
+/// into `reserved`.
 #[allow(clippy::too_many_arguments)]
 fn dispatch(
     shared: &Arc<Shared>,
@@ -420,10 +552,13 @@ fn dispatch(
     view: &mut StatsView,
     suspects: &mut SuspectList,
     rng: &mut StdRng,
+    metrics: &DispatcherMetrics,
     msg: &Message,
     admitted_us: u64,
     tried: &mut Vec<MatcherId>,
-) -> Option<MatcherId> {
+    reserved: &mut Option<(MatcherId, DimIdx)>,
+) -> Option<(MatcherId, Option<u64>)> {
+    debug_assert!(reserved.is_none(), "dispatch entered holding a reservation");
     // Primary candidates plus the degenerate-case clockwise fallbacks
     // (§III-A-1/3). Fallbacks are kept separate so the policy only
     // considers them once every live primary has been exhausted — send
@@ -466,7 +601,12 @@ fn dispatch(
             cfg.policy.choose(&candidates, view, shared.now(), rng)
         };
         let Some(addr) = routing.addrs.get(&chosen.matcher) else {
+            // No address for a strategy-listed matcher: same treatment as
+            // an unreachable one, including dropping its stale stats so a
+            // later readmission starts from a clean slate.
             suspects.suspect(chosen.matcher);
+            view.forget_matcher(chosen.matcher);
+            metrics.failovers.inc();
             candidates.retain(|a| a.matcher != chosen.matcher);
             continue;
         };
@@ -478,17 +618,31 @@ fn dispatch(
         };
         match transport.send(addr, to_bytes(&wire).freeze()) {
             Ok(()) => {
+                // What the load model predicts for the candidate this
+                // policy picked — recorded for *every* policy so their
+                // estimation-error distributions are comparable, and
+                // computed *before* reserving (the reservation models
+                // this very message, which must not count against its
+                // own prediction). No measured µ means no estimate: the
+                // static proxy is a ranking, not a time.
+                let stats = view.get(chosen.matcher, chosen.dim);
+                let est_us = (stats.mu > 0.0).then(|| {
+                    let est = stats.processing_time(stats.extrapolated_queue(shared.now()));
+                    (est * 1e6) as u64
+                });
                 if cfg.policy.uses_estimation() {
                     view.reserve(chosen.matcher, chosen.dim);
+                    *reserved = Some((chosen.matcher, chosen.dim));
                 }
                 tried.push(chosen.matcher);
-                return Some(chosen.matcher);
+                return Some((chosen.matcher, est_us));
             }
             Err(_) => {
                 // The matcher is unreachable: remember it, forget its
                 // stats and fail over to another candidate (§III-A-3).
                 suspects.suspect(chosen.matcher);
                 view.forget_matcher(chosen.matcher);
+                metrics.failovers.inc();
                 candidates.retain(|a| a.matcher != chosen.matcher);
             }
         }

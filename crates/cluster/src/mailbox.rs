@@ -14,7 +14,7 @@
 //! polls with [`ControlMsg::MailboxPoll`].
 
 use crate::proto::ControlMsg;
-use crate::shared::{SeenWindow, Shared};
+use crate::shared::{e2e_latency_histogram, SeenWindow, Shared};
 use crate::wal::{Wal, WalRecord};
 use bluedove_core::{MessageId, SubscriberId, SubscriptionId};
 use bluedove_net::{from_bytes, to_bytes, Transport};
@@ -22,7 +22,6 @@ use bytes::Bytes;
 use crossbeam::channel::Receiver;
 use std::collections::{HashMap, VecDeque};
 use std::path::PathBuf;
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -116,6 +115,10 @@ fn run(
     // duplicate of those can slip through — bounded, not exact).
     let mut seen: SeenWindow<(SubscriberId, SubscriptionId, MessageId)> =
         SeenWindow::new(DEDUP_WINDOW);
+    // For the mailbox, "delivered" is when the copy reaches the box — a
+    // subscriber's polling cadence is its own choice, not pipeline
+    // latency.
+    let e2e = shared.as_ref().map(|s| e2e_latency_histogram(&s.telemetry));
     for (subscriber, q) in &boxes {
         for &(sub, ref msg, _) in q {
             if msg.id != MessageId(0) {
@@ -137,11 +140,12 @@ fn run(
             } => {
                 if msg.id != MessageId(0) && seen.check_and_insert((subscriber, sub, msg.id)) {
                     if let Some(s) = &shared {
-                        s.counters
-                            .duplicates_suppressed
-                            .fetch_add(1, Ordering::Relaxed);
+                        s.counters.duplicates_suppressed.inc();
                     }
                     continue;
+                }
+                if let (Some(s), Some(e2e)) = (&shared, &e2e) {
+                    e2e.observe_us(s.now_us().saturating_sub(admitted_us));
                 }
                 if let Some(w) = wal.as_mut() {
                     let _ = w.append(&WalRecord::Deliver {

@@ -11,11 +11,12 @@ use crate::shared::Shared;
 use bluedove_core::{DimIdx, IndexKind, MatcherCore, MatcherId, Message, MessageId};
 use bluedove_net::{from_bytes, to_bytes, Transport};
 use bluedove_overlay::{EndpointState, GossipMsg, GossipNode, NodeId, NodeRole};
+use bluedove_telemetry::{Counter, Gauge, Histogram};
 use bytes::Bytes;
 use crossbeam::channel::{Receiver, RecvTimeoutError};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::{HashSet, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -132,6 +133,72 @@ struct Queued {
     /// Dispatcher address expecting a `MatchAck` once this message has
     /// been served; empty when acknowledgements are disabled.
     ack_to: String,
+    /// When the message entered this queue; the queue-wait component of
+    /// the matcher-reported actual processing time.
+    enqueued: Instant,
+}
+
+/// Telemetry handles recorded by the matcher's serve and gossip loops.
+struct MatcherTelemetry {
+    /// FIFO-queue wait per served message, µs (pop minus push).
+    queue_wait: Histogram,
+    /// Pure matching time per served message, µs.
+    match_time: Histogram,
+    /// Messages served, labelled by matcher so recovery tests can watch a
+    /// specific matcher attract traffic again.
+    served: Counter,
+    /// Current depth of each dimension's queue, refreshed on the stats
+    /// tick (the same cadence as the `(q, λ, µ)` load reports).
+    queue_depth: Vec<Gauge>,
+    /// Syn → Ack round trip per gossip exchange, µs.
+    gossip_round: Histogram,
+    /// Time from first noticing a non-live peer until the failure
+    /// detector sees full membership alive again, µs (the first
+    /// observation is boot-to-converged).
+    reconverge: Histogram,
+}
+
+impl MatcherTelemetry {
+    fn register(shared: &Shared, id: MatcherId, dims: usize) -> Self {
+        let r = &shared.telemetry;
+        let by_matcher = vec![("matcher", id.0.to_string())];
+        MatcherTelemetry {
+            queue_wait: r.histogram(
+                "bluedove_matcher_queue_wait_us",
+                "FIFO-queue wait per served message, microseconds",
+                &[],
+            ),
+            match_time: r.histogram(
+                "bluedove_matcher_match_time_us",
+                "matching time per served message, microseconds",
+                &[],
+            ),
+            served: r.counter(
+                "bluedove_matcher_served_total",
+                "messages served, per matcher",
+                &by_matcher,
+            ),
+            queue_depth: (0..dims)
+                .map(|d| {
+                    r.gauge(
+                        "bluedove_matcher_queue_depth",
+                        "current FIFO-queue depth, per matcher dimension",
+                        &[("dim", d.to_string()), ("matcher", id.0.to_string())],
+                    )
+                })
+                .collect(),
+            gossip_round: r.histogram(
+                "bluedove_gossip_round_us",
+                "Syn to Ack round trip per gossip exchange, microseconds",
+                &[],
+            ),
+            reconverge: r.histogram(
+                "bluedove_membership_reconverge_us",
+                "non-live peer noticed to full membership alive again, microseconds",
+                &[],
+            ),
+        }
+    }
 }
 
 /// What to do with an arriving `MatchMsg` according to the per-dim
@@ -214,6 +281,12 @@ fn run(
     let mut rr = 0usize; // round-robin dimension pointer
     let mut next_stats = Instant::now() + cfg.stats_interval;
     let mut hits = Vec::new();
+    let telemetry = MatcherTelemetry::register(&shared, cfg.id, k);
+    // Syn send times awaiting their Ack, keyed by peer address.
+    let mut pending_syns: HashMap<String, Instant> = HashMap::new();
+    // When the failure detector last started seeing a non-live peer; the
+    // initial value times boot → first full convergence.
+    let mut diverged_since: Option<Instant> = Some(Instant::now());
 
     // The §III-C gossip endpoint: this matcher's own versioned state plus
     // everything it has heard about the rest of the overlay.
@@ -254,6 +327,8 @@ fn run(
                 &mut dedup,
                 &mut gossip,
                 &mut table,
+                &telemetry,
+                &mut pending_syns,
                 payload,
             ) {
                 break 'outer;
@@ -267,12 +342,17 @@ fn run(
             if let Some(q) = queues[d].pop_front() {
                 rr = (d + 1) % k;
                 hits.clear();
+                let waited_us = q.enqueued.elapsed().as_micros() as u64;
+                telemetry.queue_wait.observe_us(waited_us);
                 let started = Instant::now();
                 let examined = core.match_message(q.dim, &q.msg, shared.now(), &mut hits);
-                core.record_service(q.dim, started.elapsed().as_secs_f64());
+                let match_elapsed = started.elapsed();
+                core.record_service(q.dim, match_elapsed.as_secs_f64());
+                let match_us = match_elapsed.as_micros() as u64;
+                telemetry.match_time.observe_us(match_us);
                 let _ = examined;
                 if !hits.is_empty() {
-                    shared.counters.matched.fetch_add(1, Ordering::Relaxed);
+                    shared.counters.matched.inc();
                 }
                 for &(sub_id, subscriber) in &hits {
                     let deliver = ControlMsg::Deliver {
@@ -284,16 +364,20 @@ fn run(
                     let addr = crate::shared::subscriber_addr(subscriber.0);
                     // A vanished subscriber is not an error for the matcher.
                     let _ = transport.send(&addr, to_bytes(&deliver).freeze());
-                    shared.counters.deliveries.fetch_add(1, Ordering::Relaxed);
+                    shared.counters.deliveries.inc();
                 }
                 // Deliveries are on the wire: remember the id so a
                 // retransmission re-acks instead of re-delivering, then
-                // ack the dispatcher.
+                // ack the dispatcher, reporting the measured processing
+                // time (queue wait + matching; clamped nonzero — a zero
+                // reading is reserved for re-acks of served duplicates).
                 dedup[d].mark_served(q.msg.id);
+                telemetry.served.inc();
                 if !q.ack_to.is_empty() {
                     let ack = ControlMsg::MatchAck {
                         msg_id: q.msg.id,
                         matcher: cfg.id,
+                        actual_us: (waited_us + match_us).max(1),
                     };
                     let _ = transport.send(&q.ack_to, to_bytes(&ack).freeze());
                 }
@@ -318,6 +402,8 @@ fn run(
                         &mut dedup,
                         &mut gossip,
                         &mut table,
+                        &telemetry,
+                        &mut pending_syns,
                         payload,
                     ) {
                         break 'outer;
@@ -342,14 +428,30 @@ fn run(
                     from_addr: cfg.addr.clone(),
                     msg: syn,
                 };
-                let _ = transport.send(&peer, to_bytes(&wire).freeze());
+                if transport.send(&peer, to_bytes(&wire).freeze()).is_ok() {
+                    // Time the exchange; the Ack handler observes the
+                    // round trip. A re-Syn to the same peer restarts the
+                    // clock (the earlier exchange is lost anyway).
+                    pending_syns.insert(peer, Instant::now());
+                }
             }
+            // Exchanges whose peer never answered within a few rounds are
+            // dead, not slow: drop them so the map stays bounded.
+            let stale = cfg.gossip_interval * 8;
+            pending_syns.retain(|_, t| t.elapsed() < stale);
             bluedove_overlay::sweep(&mut gossip, &cfg.failure_detector, now);
+            // Convergence timing: the detector disagreeing with full
+            // membership opens a divergence window; seeing everyone alive
+            // again closes it.
+            if gossip.live_peers().len() < gossip.peers().len() {
+                diverged_since.get_or_insert(Instant::now());
+            } else if let Some(t0) = diverged_since.take() {
+                telemetry
+                    .reconverge
+                    .observe_us(t0.elapsed().as_micros() as u64);
+            }
             let sent = gossip.bytes_sent;
-            shared
-                .counters
-                .gossip_bytes
-                .fetch_add(sent - last_gossip_bytes, Ordering::Relaxed);
+            shared.counters.gossip_bytes.add(sent - last_gossip_bytes);
             last_gossip_bytes = sent;
             shared
                 .gossip_peers
@@ -367,6 +469,7 @@ fn run(
             let dispatchers = shared.dispatcher_addrs.read().clone();
             for (d, queue) in queues.iter().enumerate() {
                 let dim = DimIdx(d as u16);
+                telemetry.queue_depth[d].set(queue.len() as i64);
                 let stats = core.stats_report(dim, queue.len(), now);
                 let report = ControlMsg::LoadReport {
                     matcher: cfg.id,
@@ -401,6 +504,8 @@ fn handle(
     dedup: &mut [DedupWindow],
     gossip: &mut GossipNode,
     table: &mut TableCopy,
+    telemetry: &MatcherTelemetry,
+    pending_syns: &mut HashMap<String, Instant>,
     payload: Bytes,
 ) -> bool {
     let Ok(msg) = from_bytes::<ControlMsg>(&payload) else {
@@ -409,10 +514,7 @@ fn handle(
     match msg {
         ControlMsg::StoreSub { dim, sub } => {
             core.insert(dim, sub);
-            shared
-                .counters
-                .stored_copies
-                .fetch_add(1, Ordering::Relaxed);
+            shared.counters.stored_copies.inc();
         }
         ControlMsg::RemoveSub { dim, sub } => {
             core.remove(dim, sub);
@@ -430,25 +532,23 @@ fn handle(
                     msg,
                     admitted_us,
                     ack_to,
+                    enqueued: Instant::now(),
                 });
             }
             Admit::Pending => {
                 // The queued copy will ack when served; acking now would
                 // falsely claim the deliveries are out.
-                shared
-                    .counters
-                    .duplicates_suppressed
-                    .fetch_add(1, Ordering::Relaxed);
+                shared.counters.duplicates_suppressed.inc();
             }
             Admit::Served => {
-                shared
-                    .counters
-                    .duplicates_suppressed
-                    .fetch_add(1, Ordering::Relaxed);
+                shared.counters.duplicates_suppressed.inc();
                 if !ack_to.is_empty() {
+                    // actual_us 0 marks a re-ack: nothing was measured,
+                    // so the dispatcher skips estimation-error recording.
                     let ack = ControlMsg::MatchAck {
                         msg_id: msg.id,
                         matcher: cfg.id,
+                        actual_us: 0,
                     };
                     let _ = transport.send(&ack_to, to_bytes(&ack).freeze());
                 }
@@ -505,11 +605,27 @@ fn handle(
             };
             let _ = transport.send(&reply_to, to_bytes(&state).freeze());
         }
+        ControlMsg::TelemetryPull { reply_to } => {
+            // Render the process-wide registry and ship it back — the
+            // wire hop is what an external scraper would exercise.
+            let text = shared.telemetry.render();
+            let reply = ControlMsg::TelemetryText { text };
+            let _ = transport.send(&reply_to, to_bytes(&reply).freeze());
+        }
         ControlMsg::Gossip { from_addr, msg } => {
             let now = shared.now();
             let reply = match &msg {
                 GossipMsg::Syn { .. } => Some(gossip.handle_syn(&msg, now)),
-                GossipMsg::Ack { .. } => Some(gossip.handle_ack(&msg, now)),
+                GossipMsg::Ack { .. } => {
+                    // The Ack closes the exchange this matcher's Syn
+                    // opened: that round trip is the gossip round latency.
+                    if let Some(t0) = pending_syns.remove(&from_addr) {
+                        telemetry
+                            .gossip_round
+                            .observe_us(t0.elapsed().as_micros() as u64);
+                    }
+                    Some(gossip.handle_ack(&msg, now))
+                }
                 GossipMsg::Ack2 { .. } => {
                     gossip.handle_ack2(&msg, now);
                     None

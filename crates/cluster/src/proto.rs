@@ -61,6 +61,12 @@ pub enum ControlMsg {
         /// The acking matcher (lets the dispatcher clear a pending
         /// suspicion for a matcher that turned out to be alive).
         matcher: MatcherId,
+        /// Measured processing time of the publication on the matcher —
+        /// queue wait plus match time, microseconds. Dispatchers compare
+        /// it against the forwarding policy's *estimated* processing time
+        /// (the §III-B accuracy metric). Zero on the re-ack of an
+        /// already-served duplicate, where nothing was measured.
+        actual_us: u64,
     },
     /// Matcher → dispatcher: per-dimension load report (§III-B feedback).
     LoadReport {
@@ -175,6 +181,18 @@ pub enum ControlMsg {
         /// The gossip payload (Syn / Ack / Ack2).
         msg: bluedove_overlay::GossipMsg,
     },
+    /// Any node → matcher: request the cluster's telemetry exposition
+    /// (the metric registry rendered in the Prometheus text format),
+    /// answered with a [`ControlMsg::TelemetryText`] to `reply_to`.
+    TelemetryPull {
+        /// Where to send the exposition.
+        reply_to: String,
+    },
+    /// Matcher → requester: the rendered exposition.
+    TelemetryText {
+        /// Prometheus-style text exposition of every metric family.
+        text: String,
+    },
     /// Orderly shutdown of the receiving node.
     Shutdown,
 }
@@ -199,6 +217,8 @@ const TAG_TABLE_UPDATE: u8 = 16;
 const TAG_TABLE_PULL: u8 = 17;
 const TAG_TABLE_STATE: u8 = 18;
 const TAG_MATCH_ACK: u8 = 19;
+const TAG_TELEMETRY_PULL: u8 = 20;
+const TAG_TELEMETRY_TEXT: u8 = 21;
 
 impl Wire for ControlMsg {
     fn encode(&self, buf: &mut BytesMut) {
@@ -237,10 +257,15 @@ impl Wire for ControlMsg {
                 admitted_us.encode(buf);
                 ack_to.encode(buf);
             }
-            ControlMsg::MatchAck { msg_id, matcher } => {
+            ControlMsg::MatchAck {
+                msg_id,
+                matcher,
+                actual_us,
+            } => {
                 buf.put_u8(TAG_MATCH_ACK);
                 msg_id.encode(buf);
                 matcher.encode(buf);
+                actual_us.encode(buf);
             }
             ControlMsg::LoadReport {
                 matcher,
@@ -347,6 +372,14 @@ impl Wire for ControlMsg {
                 from_addr.encode(buf);
                 msg.encode(buf);
             }
+            ControlMsg::TelemetryPull { reply_to } => {
+                buf.put_u8(TAG_TELEMETRY_PULL);
+                reply_to.encode(buf);
+            }
+            ControlMsg::TelemetryText { text } => {
+                buf.put_u8(TAG_TELEMETRY_TEXT);
+                text.encode(buf);
+            }
             ControlMsg::Shutdown => buf.put_u8(TAG_SHUTDOWN),
         }
     }
@@ -374,6 +407,7 @@ impl Wire for ControlMsg {
             TAG_MATCH_ACK => ControlMsg::MatchAck {
                 msg_id: MessageId::decode(buf)?,
                 matcher: MatcherId::decode(buf)?,
+                actual_us: u64::decode(buf)?,
             },
             TAG_LOAD_REPORT => ControlMsg::LoadReport {
                 matcher: MatcherId::decode(buf)?,
@@ -456,6 +490,12 @@ impl Wire for ControlMsg {
                 from_addr: String::decode(buf)?,
                 msg: bluedove_overlay::GossipMsg::decode(buf)?,
             },
+            TAG_TELEMETRY_PULL => ControlMsg::TelemetryPull {
+                reply_to: String::decode(buf)?,
+            },
+            TAG_TELEMETRY_TEXT => ControlMsg::TelemetryText {
+                text: String::decode(buf)?,
+            },
             TAG_SHUTDOWN => ControlMsg::Shutdown,
             t => return Err(NetError::BadTag(t)),
         })
@@ -497,6 +537,13 @@ mod tests {
         round_trip(ControlMsg::MatchAck {
             msg_id: bluedove_core::MessageId(77),
             matcher: MatcherId(1),
+            actual_us: 321,
+        });
+        round_trip(ControlMsg::TelemetryPull {
+            reply_to: "tel/0".into(),
+        });
+        round_trip(ControlMsg::TelemetryText {
+            text: "# TYPE x counter\nx 1\n".into(),
         });
         round_trip(ControlMsg::LoadReport {
             matcher: MatcherId(2),

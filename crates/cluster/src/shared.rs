@@ -2,10 +2,11 @@
 
 use bluedove_baselines::AnyStrategy;
 use bluedove_core::{AttributeSpace, MatcherId};
+use bluedove_telemetry::{Counter, Histogram, Registry};
 use parking_lot::RwLock;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::hash::Hash;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::AtomicU64;
 use std::time::{Duration, Instant};
 
 /// Knobs for the acknowledged at-least-once publication pipeline.
@@ -46,40 +47,87 @@ impl Default for ReliabilityConfig {
 }
 
 /// Cluster-wide counters (all relaxed: they are diagnostics, not
-/// synchronization).
-#[derive(Debug, Default)]
+/// synchronization). Since the telemetry layer landed these are handles
+/// onto [`Registry`] series, so the same numbers show up in the
+/// Prometheus-style exposition under the `bluedove_*_total` families.
+#[derive(Debug)]
 pub struct Counters {
     /// Messages admitted by dispatchers.
-    pub published: AtomicU64,
+    pub published: Counter,
     /// Messages matched by matchers (per message, not per hit).
-    pub matched: AtomicU64,
+    pub matched: Counter,
     /// (message, subscription) deliveries sent to subscribers.
-    pub deliveries: AtomicU64,
+    pub deliveries: Counter,
     /// Messages dropped because no live candidate matcher remained.
-    pub dropped: AtomicU64,
+    pub dropped: Counter,
     /// Subscription copies stored across all matchers.
-    pub stored_copies: AtomicU64,
+    pub stored_copies: Counter,
     /// Total gossip bytes sent by all matchers (§IV-C overhead).
-    pub gossip_bytes: AtomicU64,
+    pub gossip_bytes: Counter,
     /// Publications re-forwarded after an ack timeout (each retransmission
     /// counts once, whatever candidate it went to).
-    pub retried: AtomicU64,
+    pub retried: Counter,
     /// Duplicate arrivals suppressed by idempotency layers: matcher-side
     /// per-dim dedup windows, subscriber endpoints and the mailbox.
-    pub duplicates_suppressed: AtomicU64,
+    pub duplicates_suppressed: Counter,
     /// Publications abandoned after exhausting the retry budget (counted
     /// instead of being silently dropped).
-    pub dead_lettered: AtomicU64,
+    pub dead_lettered: Counter,
 }
 
 impl Counters {
+    /// Registers the counter families on `registry` and returns the
+    /// handles. Registration is idempotent: a second call returns handles
+    /// onto the same series.
+    pub fn register(registry: &Registry) -> Self {
+        let c = |name, help| registry.counter(name, help, &[]);
+        Counters {
+            published: c(
+                "bluedove_published_total",
+                "messages admitted by dispatchers",
+            ),
+            matched: c(
+                "bluedove_matched_total",
+                "messages matched by matchers (per message, not per hit)",
+            ),
+            deliveries: c(
+                "bluedove_deliveries_total",
+                "(message, subscription) deliveries sent to subscribers",
+            ),
+            dropped: c(
+                "bluedove_dropped_total",
+                "messages dropped with no live candidate matcher",
+            ),
+            stored_copies: c(
+                "bluedove_stored_copies_total",
+                "subscription copies stored across all matchers",
+            ),
+            gossip_bytes: c(
+                "bluedove_gossip_bytes_total",
+                "gossip bytes sent by all matchers",
+            ),
+            retried: c(
+                "bluedove_retried_total",
+                "publications re-forwarded after an ack timeout",
+            ),
+            duplicates_suppressed: c(
+                "bluedove_duplicates_suppressed_total",
+                "duplicate arrivals suppressed by idempotency layers",
+            ),
+            dead_lettered: c(
+                "bluedove_dead_lettered_total",
+                "publications abandoned after exhausting the retry budget",
+            ),
+        }
+    }
+
     /// Snapshot of `(published, matched, deliveries, dropped)`.
     pub fn snapshot(&self) -> (u64, u64, u64, u64) {
         (
-            self.published.load(Ordering::Relaxed),
-            self.matched.load(Ordering::Relaxed),
-            self.deliveries.load(Ordering::Relaxed),
-            self.dropped.load(Ordering::Relaxed),
+            self.published.get(),
+            self.matched.get(),
+            self.deliveries.get(),
+            self.dropped.get(),
         )
     }
 
@@ -87,11 +135,31 @@ impl Counters {
     /// `(retried, duplicates_suppressed, dead_lettered)`.
     pub fn reliability(&self) -> (u64, u64, u64) {
         (
-            self.retried.load(Ordering::Relaxed),
-            self.duplicates_suppressed.load(Ordering::Relaxed),
-            self.dead_lettered.load(Ordering::Relaxed),
+            self.retried.get(),
+            self.duplicates_suppressed.get(),
+            self.dead_lettered.get(),
         )
     }
+}
+
+impl Default for Counters {
+    /// Standalone counters backed by a private registry (tests, nodes
+    /// spawned without a cluster).
+    fn default() -> Self {
+        Self::register(&Registry::new())
+    }
+}
+
+/// The end-to-end delivery latency histogram (dispatcher admission →
+/// receipt at a delivery endpoint). One unlabelled family shared by
+/// direct subscriber endpoints and the mailbox, so the cluster-wide
+/// distribution reads off a single series.
+pub fn e2e_latency_histogram(registry: &Registry) -> Histogram {
+    registry.histogram(
+        "bluedove_e2e_delivery_latency_us",
+        "dispatcher admission to delivery receipt, microseconds",
+        &[],
+    )
 }
 
 /// Bounded sliding-window duplicate filter: remembers the last `cap`
@@ -148,7 +216,10 @@ pub struct Shared {
     pub next_sub_id: AtomicU64,
     /// Allocator for message ids.
     pub next_msg_id: AtomicU64,
-    /// Diagnostics.
+    /// The process-wide metric registry every node records into (and the
+    /// source of the `TelemetryPull` exposition).
+    pub telemetry: std::sync::Arc<Registry>,
+    /// Diagnostics (handles onto `telemetry` series).
     pub counters: Counters,
     /// Per-matcher gossip peer counts (membership convergence metric,
     /// refreshed by each matcher on its gossip tick).
@@ -162,6 +233,8 @@ pub struct Shared {
 impl Shared {
     /// Creates shared state around an initial strategy.
     pub fn new(space: AttributeSpace, strategy: AnyStrategy) -> Self {
+        let telemetry = std::sync::Arc::new(Registry::new());
+        let counters = Counters::register(&telemetry);
         Shared {
             space,
             strategy: RwLock::new(strategy),
@@ -170,7 +243,8 @@ impl Shared {
             epoch: Instant::now(),
             next_sub_id: AtomicU64::new(1),
             next_msg_id: AtomicU64::new(1),
-            counters: Counters::default(),
+            telemetry,
+            counters,
             gossip_peers: RwLock::new(HashMap::new()),
             gossip_live: RwLock::new(HashMap::new()),
         }
@@ -214,6 +288,12 @@ pub fn control_addr() -> String {
     "ctl/0".to_string()
 }
 
+/// Conventional in-process address for the orchestrator's telemetry
+/// inbox (`TelemetryText` replies to wire pulls land here).
+pub fn telemetry_addr() -> String {
+    "tel/0".to_string()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -236,14 +316,27 @@ mod tests {
         assert_eq!(dispatcher_addr(1), "d/1");
         assert_eq!(subscriber_addr(42), "c/42");
         assert_eq!(control_addr(), "ctl/0");
+        assert_eq!(telemetry_addr(), "tel/0");
     }
 
     #[test]
     fn counters_snapshot() {
         let c = Counters::default();
-        c.published.fetch_add(5, Ordering::Relaxed);
-        c.dropped.fetch_add(1, Ordering::Relaxed);
+        c.published.add(5);
+        c.dropped.inc();
         assert_eq!(c.snapshot(), (5, 0, 0, 1));
+    }
+
+    #[test]
+    fn counters_show_up_in_the_registry() {
+        let r = Registry::new();
+        let c = Counters::register(&r);
+        c.published.add(3);
+        assert_eq!(r.counter_value("bluedove_published_total", &[]), Some(3));
+        // Re-registration returns handles onto the same series.
+        let again = Counters::register(&r);
+        again.published.inc();
+        assert_eq!(c.published.get(), 4);
     }
 
     #[test]
@@ -262,9 +355,9 @@ mod tests {
     #[test]
     fn reliability_counters_snapshot() {
         let c = Counters::default();
-        c.retried.fetch_add(3, Ordering::Relaxed);
-        c.duplicates_suppressed.fetch_add(2, Ordering::Relaxed);
-        c.dead_lettered.fetch_add(1, Ordering::Relaxed);
+        c.retried.add(3);
+        c.duplicates_suppressed.add(2);
+        c.dead_lettered.inc();
         assert_eq!(c.reliability(), (3, 2, 1));
     }
 }

@@ -27,6 +27,11 @@ pub struct RateEstimator {
     counts: Vec<u64>,
     /// Absolute index of the bucket `cursor` currently maps to.
     current_bucket: i64,
+    /// Time of the first recorded event, for warm-up: until a full
+    /// window has elapsed, rates divide by the elapsed span instead of
+    /// `window`, so a freshly (re)started matcher does not under-report
+    /// λ and attract a dogpile.
+    origin: Option<Time>,
 }
 
 impl RateEstimator {
@@ -42,6 +47,7 @@ impl RateEstimator {
             bucket_width: window / buckets as f64,
             counts: vec![0; buckets],
             current_bucket: 0,
+            origin: None,
         }
     }
 
@@ -75,16 +81,26 @@ impl RateEstimator {
     /// Records `n` events at time `t`. Times must be non-decreasing;
     /// out-of-order events land in the current bucket.
     pub fn record(&mut self, t: Time, n: u64) {
+        self.origin.get_or_insert(t);
         self.advance(t);
         let idx = (self.current_bucket.rem_euclid(self.counts.len() as i64)) as usize;
         self.counts[idx] += n;
     }
 
     /// Events per second over the window ending at `t`.
+    ///
+    /// During warm-up (less than one full window since the first event)
+    /// the divisor is the elapsed span, floored at one bucket width —
+    /// dividing by the full window would report λ≈0 for a matcher that
+    /// just (re)started at full load.
     pub fn rate(&mut self, t: Time) -> f64 {
         self.advance(t);
         let total: u64 = self.counts.iter().sum();
-        total as f64 / self.window
+        let elapsed = match self.origin {
+            None => return 0.0,
+            Some(o) => (t - o).max(self.bucket_width).min(self.window),
+        };
+        total as f64 / elapsed
     }
 }
 
@@ -195,6 +211,22 @@ impl StatsView {
         *self.pending.entry((matcher, dim)).or_insert(0) += 1;
     }
 
+    /// Undoes one [`reserve`](Self::reserve) for `(matcher, dim)` — called
+    /// when the forwarded message is acked, dead-lettered, or about to be
+    /// retransmitted elsewhere. Each in-flight message must hold at most
+    /// one reservation; without release, every retransmission under ack
+    /// loss would stack another phantom queue entry onto a matcher exactly
+    /// when the cluster is degraded. Saturates at zero (a report may have
+    /// cleared the pending count in between).
+    pub fn release(&mut self, matcher: MatcherId, dim: DimIdx) {
+        if let Some(p) = self.pending.get_mut(&(matcher, dim)) {
+            *p -= 1;
+            if *p == 0 {
+                self.pending.remove(&(matcher, dim));
+            }
+        }
+    }
+
     /// Removes every report from `matcher` (on failure/leave).
     pub fn forget_matcher(&mut self, matcher: MatcherId) {
         self.map.retain(|(m, _), _| *m != matcher);
@@ -247,6 +279,39 @@ mod tests {
             (r - 10.0).abs() < 1e-9,
             "only the t=5.5 batch remains, r={r}"
         );
+    }
+
+    #[test]
+    fn rate_estimator_warm_up_divides_by_elapsed() {
+        // A matcher restarted at t=100 receives 100 msgs over its first
+        // second. Dividing by the full 10 s window would report λ≈10 and
+        // invite a dogpile; the warm-up rate must reflect the actual
+        // ~100/s arrival rate.
+        let mut est = RateEstimator::new(10.0, 10);
+        for i in 0..100 {
+            est.record(100.0 + i as f64 * 0.01, 1);
+        }
+        let r = est.rate(101.0);
+        assert!((r - 100.0).abs() < 15.0, "warm-up rate {r} should be ~100");
+        // Sub-bucket spans floor at one bucket width instead of
+        // exploding the estimate.
+        let mut young = RateEstimator::new(10.0, 10);
+        young.record(0.0, 10);
+        let r = young.rate(0.001);
+        assert!((r - 10.0).abs() < 1e-9, "floored at bucket width, r={r}");
+        // An estimator that never saw an event reports zero.
+        assert_eq!(RateEstimator::new(10.0, 10).rate(5.0), 0.0);
+    }
+
+    #[test]
+    fn rate_estimator_warm_up_ends_after_one_window() {
+        let mut est = RateEstimator::new(10.0, 10);
+        est.record(0.5, 50); // expires (bucket granularity) before t=10.6
+        est.record(5.5, 100); // still in-window at t=10.6
+                              // 10+ seconds after the first event the divisor caps at the
+                              // window again: only surviving buckets count, over 10 s.
+        let r = est.rate(10.6);
+        assert!((r - 10.0).abs() < 1e-9, "full-window rate, r={r}");
     }
 
     #[test]
@@ -340,6 +405,55 @@ mod tests {
             },
         );
         assert_eq!(v.get(MatcherId(0), DimIdx(0)).queue_len, 3);
+    }
+
+    #[test]
+    fn release_undoes_one_reservation() {
+        // Retransmission invariant: a message re-dispatched after ack
+        // loss must not hold reservations on two matchers at once. The
+        // dispatcher releases before re-reserving; releasing must drop
+        // exactly one pending unit and saturate at zero.
+        let mut v = StatsView::new();
+        let base = DimStats {
+            sub_count: 1,
+            queue_len: 4,
+            lambda: 0.0,
+            mu: 100.0,
+            updated_at: 0.0,
+        };
+        v.update(MatcherId(0), DimIdx(0), base);
+        v.reserve(MatcherId(0), DimIdx(0));
+        v.reserve(MatcherId(0), DimIdx(0));
+        v.release(MatcherId(0), DimIdx(0));
+        assert_eq!(v.get(MatcherId(0), DimIdx(0)).queue_len, 5);
+        v.release(MatcherId(0), DimIdx(0));
+        assert_eq!(v.get(MatcherId(0), DimIdx(0)).queue_len, 4);
+        // Saturates: a report may already have absorbed the pending count.
+        v.release(MatcherId(0), DimIdx(0));
+        assert_eq!(v.get(MatcherId(0), DimIdx(0)).queue_len, 4);
+        // Releasing a never-reserved key is a no-op, not a panic.
+        v.release(MatcherId(7), DimIdx(3));
+        assert_eq!(v.get(MatcherId(7), DimIdx(3)).queue_len, 0);
+    }
+
+    #[test]
+    fn forget_matcher_clears_pending_reservations() {
+        // Regression: a matcher readmitted after suspicion-TTL expiry
+        // must come back with a clean slate. If forget only dropped
+        // `map`, stale reservations would be folded into
+        // `DimStats::empty()` and the recovered matcher would look
+        // loaded until a fresh report lands.
+        let mut v = StatsView::new();
+        v.update(MatcherId(2), DimIdx(0), DimStats::empty());
+        v.reserve(MatcherId(2), DimIdx(0));
+        v.reserve(MatcherId(2), DimIdx(1));
+        v.forget_matcher(MatcherId(2));
+        assert_eq!(v.get(MatcherId(2), DimIdx(0)).queue_len, 0);
+        assert_eq!(v.get(MatcherId(2), DimIdx(1)).queue_len, 0);
+        // Other matchers' reservations survive.
+        v.reserve(MatcherId(3), DimIdx(0));
+        v.forget_matcher(MatcherId(2));
+        assert_eq!(v.get(MatcherId(3), DimIdx(0)).queue_len, 1);
     }
 
     #[test]

@@ -1,0 +1,386 @@
+//! Parsing/validation of the text exposition format produced by
+//! [`Registry::render`](crate::Registry::render).
+//!
+//! This exists so tests and the CI smoke step can assert that a dump
+//! pulled off a live cluster is well-formed — every sample belongs to a
+//! declared family, histogram buckets are cumulative and consistent with
+//! their `_count`/`_sum` lines — without dragging in a real Prometheus
+//! client.
+
+use crate::registry::MetricKind;
+use std::collections::BTreeMap;
+
+/// Summary of one metric family found in a dump.
+#[derive(Clone, Debug)]
+pub struct FamilySummary {
+    /// Family name as declared by its `# TYPE` line.
+    pub name: String,
+    /// Declared kind.
+    pub kind: MetricKind,
+    /// Number of distinct label-sets (for histograms: per base label-set,
+    /// not per bucket line).
+    pub series: usize,
+    /// Total recorded observations/value across series. For counters and
+    /// gauges this is the sum of sample values; for histograms the sum of
+    /// `_count` values.
+    pub total: f64,
+}
+
+/// The validated shape of a whole exposition dump.
+#[derive(Clone, Debug, Default)]
+pub struct ExpositionSummary {
+    /// One entry per family, in dump order.
+    pub families: Vec<FamilySummary>,
+}
+
+impl ExpositionSummary {
+    /// Looks up a family by name.
+    pub fn family(&self, name: &str) -> Option<&FamilySummary> {
+        self.families.iter().find(|f| f.name == name)
+    }
+
+    /// True when a family with this name was declared.
+    pub fn has_family(&self, name: &str) -> bool {
+        self.family(name).is_some()
+    }
+}
+
+/// One parsed sample line.
+struct Sample {
+    metric: String,
+    labels: BTreeMap<String, String>,
+    value: f64,
+}
+
+/// Splits `name{a="1",b="2"} 42` into its parts. Handles escaped quotes
+/// inside label values.
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let (head, value_str) = match line.find('{') {
+        Some(_) => {
+            let close = line
+                .rfind('}')
+                .ok_or_else(|| format!("unclosed label braces: {line:?}"))?;
+            (&line[..close + 1], line[close + 1..].trim())
+        }
+        None => {
+            let sp = line
+                .find(' ')
+                .ok_or_else(|| format!("sample without value: {line:?}"))?;
+            (&line[..sp], line[sp + 1..].trim())
+        }
+    };
+    let value: f64 = value_str
+        .parse()
+        .map_err(|_| format!("bad sample value {value_str:?} in {line:?}"))?;
+
+    let (metric, labels) = match head.find('{') {
+        None => (head.to_string(), BTreeMap::new()),
+        Some(brace) => {
+            let metric = head[..brace].to_string();
+            let body = &head[brace + 1..head.len() - 1];
+            (metric, parse_labels(body, line)?)
+        }
+    };
+    if metric.is_empty() {
+        return Err(format!("empty metric name: {line:?}"));
+    }
+    Ok(Sample {
+        metric,
+        labels,
+        value,
+    })
+}
+
+fn parse_labels(body: &str, line: &str) -> Result<BTreeMap<String, String>, String> {
+    let mut labels = BTreeMap::new();
+    let mut rest = body;
+    while !rest.is_empty() {
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| format!("label without '=': {line:?}"))?;
+        let key = rest[..eq].to_string();
+        let after = &rest[eq + 1..];
+        if !after.starts_with('"') {
+            return Err(format!("unquoted label value: {line:?}"));
+        }
+        // Scan for the closing quote, honouring backslash escapes.
+        let mut value = String::new();
+        let mut chars = after[1..].char_indices();
+        let mut end = None;
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '\\' => {
+                    if let Some((_, next)) = chars.next() {
+                        value.push(next);
+                    }
+                }
+                '"' => {
+                    end = Some(i);
+                    break;
+                }
+                _ => value.push(c),
+            }
+        }
+        let end = end.ok_or_else(|| format!("unterminated label value: {line:?}"))?;
+        labels.insert(key, value);
+        rest = &after[1 + end + 1..];
+        if let Some(stripped) = rest.strip_prefix(',') {
+            rest = stripped;
+        } else if !rest.is_empty() {
+            return Err(format!("junk between labels: {line:?}"));
+        }
+    }
+    Ok(labels)
+}
+
+/// Per-(histogram family, base label-set) accumulation while scanning.
+#[derive(Default)]
+struct HistSeries {
+    /// Cumulative bucket values in dump order, with their `le` strings.
+    buckets: Vec<(String, f64)>,
+    sum: Option<f64>,
+    count: Option<f64>,
+}
+
+/// Parses and validates a text exposition dump.
+///
+/// Checks, per line and per family:
+/// - every non-comment line is a well-formed `metric[{labels}] value`;
+/// - every sample belongs to a family declared by a `# TYPE` line
+///   (histogram samples must use the `_bucket`/`_sum`/`_count` suffixes);
+/// - histogram buckets are cumulative (non-decreasing in dump order), end
+///   with `le="+Inf"`, and that final bucket equals the series' `_count`;
+/// - every histogram series carries `_sum` and `_count`.
+pub fn parse_exposition(text: &str) -> Result<ExpositionSummary, String> {
+    let mut kinds: BTreeMap<String, MetricKind> = BTreeMap::new();
+    let mut order: Vec<String> = Vec::new();
+    // family -> distinct plain label-keys (counter/gauge).
+    let mut plain: BTreeMap<String, BTreeMap<String, f64>> = BTreeMap::new();
+    // family -> base-label-key -> accumulated histogram parts.
+    let mut hists: BTreeMap<String, BTreeMap<String, HistSeries>> = BTreeMap::new();
+
+    for raw in text.lines() {
+        let line = raw.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let name = parts
+                .next()
+                .ok_or_else(|| format!("TYPE line without name: {line:?}"))?;
+            let kind = match parts.next() {
+                Some("counter") => MetricKind::Counter,
+                Some("gauge") => MetricKind::Gauge,
+                Some("histogram") => MetricKind::Histogram,
+                other => return Err(format!("unknown kind {other:?} in {line:?}")),
+            };
+            if kinds.insert(name.to_string(), kind).is_some() {
+                return Err(format!("family {name:?} declared twice"));
+            }
+            order.push(name.to_string());
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // HELP or arbitrary comment
+        }
+
+        let sample = parse_sample(line)?;
+        // Resolve the sample to a declared family. Histogram samples use
+        // suffixed names; try the exact name first so a counter literally
+        // named `foo_count` still resolves.
+        if let Some(kind) = kinds.get(&sample.metric) {
+            match kind {
+                MetricKind::Counter | MetricKind::Gauge => {
+                    let key = label_string(&sample.labels);
+                    plain
+                        .entry(sample.metric.clone())
+                        .or_default()
+                        .insert(key, sample.value);
+                }
+                MetricKind::Histogram => {
+                    return Err(format!(
+                        "histogram family {:?} has unsuffixed sample: {line:?}",
+                        sample.metric
+                    ));
+                }
+            }
+            continue;
+        }
+        let (base, suffix) = ["_bucket", "_sum", "_count"]
+            .iter()
+            .find_map(|s| sample.metric.strip_suffix(s).map(|b| (b, *s)))
+            .ok_or_else(|| format!("sample for undeclared family: {line:?}"))?;
+        match kinds.get(base) {
+            Some(MetricKind::Histogram) => {}
+            Some(_) => return Err(format!("suffix {suffix:?} on non-histogram: {line:?}")),
+            None => return Err(format!("sample for undeclared family: {line:?}")),
+        }
+        let mut labels = sample.labels.clone();
+        let le = labels.remove("le");
+        let key = label_string(&labels);
+        let series = hists
+            .entry(base.to_string())
+            .or_default()
+            .entry(key)
+            .or_default();
+        match suffix {
+            "_bucket" => {
+                let le = le.ok_or_else(|| format!("bucket without le label: {line:?}"))?;
+                series.buckets.push((le, sample.value));
+            }
+            "_sum" => series.sum = Some(sample.value),
+            "_count" => series.count = Some(sample.value),
+            _ => unreachable!(),
+        }
+    }
+
+    // Validate histogram series now that the whole dump is scanned.
+    for (family, series_map) in &hists {
+        for (labels, series) in series_map {
+            let what = if labels.is_empty() {
+                family.to_string()
+            } else {
+                format!("{family}{{{labels}}}")
+            };
+            if series.buckets.is_empty() {
+                return Err(format!("{what}: histogram with no buckets"));
+            }
+            let mut prev = f64::NEG_INFINITY;
+            for (le, v) in &series.buckets {
+                if *v < prev {
+                    return Err(format!("{what}: bucket le={le} not cumulative"));
+                }
+                prev = *v;
+            }
+            let (last_le, last_v) = series.buckets.last().unwrap();
+            if last_le != "+Inf" {
+                return Err(format!("{what}: last bucket is le={last_le}, not +Inf"));
+            }
+            let count = series
+                .count
+                .ok_or_else(|| format!("{what}: missing _count"))?;
+            if series.sum.is_none() {
+                return Err(format!("{what}: missing _sum"));
+            }
+            if (count - last_v).abs() > f64::EPSILON {
+                return Err(format!("{what}: _count {count} != +Inf bucket {last_v}"));
+            }
+        }
+    }
+
+    let mut families = Vec::new();
+    for name in order {
+        let kind = kinds[&name];
+        let (series, total) = match kind {
+            MetricKind::Histogram => {
+                let m = hists.get(&name);
+                (
+                    m.map_or(0, |m| m.len()),
+                    m.map_or(0.0, |m| m.values().filter_map(|s| s.count).sum()),
+                )
+            }
+            _ => {
+                let m = plain.get(&name);
+                (
+                    m.map_or(0, |m| m.len()),
+                    m.map_or(0.0, |m| m.values().sum()),
+                )
+            }
+        };
+        families.push(FamilySummary {
+            name,
+            kind,
+            series,
+            total,
+        });
+    }
+    Ok(ExpositionSummary { families })
+}
+
+fn label_string(labels: &BTreeMap<String, String>) -> String {
+    labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{v}\""))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    #[test]
+    fn rendered_registry_parses_clean() {
+        let r = Registry::new();
+        r.counter("acks_total", "acks", &[("node", "m/0".to_string())])
+            .add(12);
+        r.gauge("depth", "", &[("dim", "3".to_string())]).set(-2);
+        let h = r.histogram("lat_us", "lat", &[("policy", "adaptive".to_string())]);
+        for v in [1, 5, 900, 70_000] {
+            h.observe_us(v);
+        }
+        let summary = parse_exposition(&r.render()).expect("round-trip");
+        assert!(summary.has_family("acks_total"));
+        assert_eq!(summary.family("acks_total").unwrap().total, 12.0);
+        let lat = summary.family("lat_us").unwrap();
+        assert_eq!(lat.kind, MetricKind::Histogram);
+        assert_eq!(lat.series, 1);
+        assert_eq!(lat.total, 4.0);
+        let depth = summary.family("depth").unwrap();
+        assert_eq!(depth.total, -2.0);
+    }
+
+    #[test]
+    fn undeclared_sample_is_rejected() {
+        let err = parse_exposition("orphan_total 3\n").unwrap_err();
+        assert!(err.contains("undeclared"), "{err}");
+    }
+
+    #[test]
+    fn non_cumulative_buckets_are_rejected() {
+        let text = "\
+# TYPE h histogram
+h_bucket{le=\"1\"} 5
+h_bucket{le=\"2\"} 3
+h_bucket{le=\"+Inf\"} 5
+h_sum 9
+h_count 5
+";
+        let err = parse_exposition(text).unwrap_err();
+        assert!(err.contains("not cumulative"), "{err}");
+    }
+
+    #[test]
+    fn count_mismatch_is_rejected() {
+        let text = "\
+# TYPE h histogram
+h_bucket{le=\"1\"} 2
+h_bucket{le=\"+Inf\"} 2
+h_sum 2
+h_count 3
+";
+        let err = parse_exposition(text).unwrap_err();
+        assert!(err.contains("!= +Inf"), "{err}");
+    }
+
+    #[test]
+    fn missing_inf_bucket_is_rejected() {
+        let text = "\
+# TYPE h histogram
+h_bucket{le=\"8\"} 2
+h_sum 2
+h_count 2
+";
+        let err = parse_exposition(text).unwrap_err();
+        assert!(err.contains("not +Inf"), "{err}");
+    }
+
+    #[test]
+    fn escaped_quotes_in_label_values_parse() {
+        let text = "# TYPE g gauge\ng{name=\"a\\\"b\"} 1\n";
+        let summary = parse_exposition(text).expect("escape handling");
+        assert_eq!(summary.family("g").unwrap().series, 1);
+    }
+}

@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! # bluedove-telemetry
+//!
+//! A cluster-wide metrics layer: a [`Registry`] of named metric families
+//! (counters, gauges and fixed-bucket log-scale latency histograms) with
+//! Prometheus-style text exposition.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Hot-path cost**: recording must be a handful of relaxed atomic
+//!    ops, no locks, no allocation. Nodes register their handles once at
+//!    spawn (one short-lived registry lock) and then only touch atomics.
+//! 2. **Shared identity**: two nodes registering the same
+//!    `(family, labels)` pair receive handles onto the *same* atomics, so
+//!    a restarted matcher keeps counting where its previous incarnation
+//!    stopped and cluster-wide families aggregate naturally.
+//! 3. **Deterministic exposition**: [`Registry::render`] sorts families
+//!    and series, so dumps diff cleanly between runs.
+//!
+//! Histograms use base-2 log-scale buckets over microseconds (`le = 1µs,
+//! 2µs, 4µs, … ~34s, +Inf`): latency spans six orders of magnitude in
+//! this system (in-process hops are micros, retransmit schedules are
+//! seconds), and relative precision of at most one octave is what a
+//! p50/p95/p99 readout needs. See `DESIGN.md` § Telemetry.
+
+mod exposition;
+mod metrics;
+mod registry;
+
+pub use exposition::{parse_exposition, ExpositionSummary, FamilySummary};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, BUCKET_COUNT};
+pub use registry::{MetricKind, Registry, SharedRegistry};

@@ -1,0 +1,275 @@
+//! The three metric primitives. All are cheap-to-clone handles onto
+//! shared atomics; recording is lock-free and allocation-free.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Number of finite histogram buckets: `le = 2^0 .. 2^(BUCKET_COUNT-1)`
+/// microseconds, i.e. 1 µs up to ~34 s. One extra overflow bucket holds
+/// everything larger (`le = +Inf`).
+pub const BUCKET_COUNT: usize = 26;
+
+/// A monotonically increasing counter.
+#[derive(Clone, Debug)]
+pub struct Counter(pub(crate) Arc<AtomicU64>);
+
+impl Counter {
+    pub(crate) fn new() -> Self {
+        Counter(Arc::new(AtomicU64::new(0)))
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that goes up and down (queue depths, live peers).
+#[derive(Clone, Debug)]
+pub struct Gauge(pub(crate) Arc<AtomicI64>);
+
+impl Gauge {
+    pub(crate) fn new() -> Self {
+        Gauge(Arc::new(AtomicI64::new(0)))
+    }
+
+    /// Sets the gauge to `v`.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `d` (may be negative).
+    #[inline]
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Shared histogram storage: one atomic per bucket plus sum and count.
+#[derive(Debug)]
+pub(crate) struct HistogramCore {
+    /// `buckets[i]` counts observations with `value_us <= 2^i`; the last
+    /// slot (`buckets[BUCKET_COUNT]`) is the overflow (+Inf) bucket.
+    /// Stored non-cumulative; cumulated at snapshot/render time.
+    pub(crate) buckets: [AtomicU64; BUCKET_COUNT + 1],
+    pub(crate) sum_us: AtomicU64,
+    pub(crate) count: AtomicU64,
+}
+
+/// A fixed-bucket base-2 log-scale latency histogram over microseconds.
+#[derive(Clone, Debug)]
+pub struct Histogram(pub(crate) Arc<HistogramCore>);
+
+/// Upper bound (µs) of finite bucket `i`.
+#[inline]
+pub(crate) fn bucket_bound_us(i: usize) -> u64 {
+    1u64 << i
+}
+
+/// Index of the finite bucket whose `le` bound admits `v` µs, or
+/// `BUCKET_COUNT` for the overflow bucket.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v <= 1 {
+        return 0;
+    }
+    // Smallest i with 2^i >= v  ⇔  ceil(log2(v)).
+    let i = (64 - (v - 1).leading_zeros()) as usize;
+    i.min(BUCKET_COUNT)
+}
+
+impl Histogram {
+    pub(crate) fn new() -> Self {
+        Histogram(Arc::new(HistogramCore {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum_us: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }))
+    }
+
+    /// Records one observation of `v` microseconds.
+    #[inline]
+    pub fn observe_us(&self, v: u64) {
+        self.0.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.0.sum_us.fetch_add(v, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one observation of a [`Duration`].
+    #[inline]
+    pub fn observe(&self, d: Duration) {
+        self.observe_us(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Number of observations so far.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Consistent-enough point-in-time view (relaxed loads; exact once
+    /// writers are quiescent, approximate while they are not — fine for
+    /// diagnostics).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: [u64; BUCKET_COUNT + 1] =
+            std::array::from_fn(|i| self.0.buckets[i].load(Ordering::Relaxed));
+        HistogramSnapshot {
+            buckets,
+            sum_us: self.0.sum_us.load(Ordering::Relaxed),
+            count: buckets.iter().sum(),
+        }
+    }
+}
+
+/// A point-in-time copy of a histogram, with quantile readouts.
+#[derive(Clone, Debug)]
+pub struct HistogramSnapshot {
+    /// Non-cumulative per-bucket counts (last = overflow).
+    pub buckets: [u64; BUCKET_COUNT + 1],
+    /// Sum of observed values, µs.
+    pub sum_us: u64,
+    /// Total observations.
+    pub count: u64,
+}
+
+impl HistogramSnapshot {
+    /// The value (µs) at quantile `q` in `[0, 1]`: the upper bound of the
+    /// first bucket whose cumulative count reaches `q · count`. Octave
+    /// resolution by construction; 0 when empty. Overflow observations
+    /// report the largest finite bound (a floor, not an estimate).
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return bucket_bound_us(i.min(BUCKET_COUNT - 1));
+            }
+        }
+        bucket_bound_us(BUCKET_COUNT - 1)
+    }
+
+    /// Median, µs.
+    pub fn p50_us(&self) -> u64 {
+        self.quantile_us(0.50)
+    }
+
+    /// 95th percentile, µs.
+    pub fn p95_us(&self) -> u64 {
+        self.quantile_us(0.95)
+    }
+
+    /// 99th percentile, µs.
+    pub fn p99_us(&self) -> u64 {
+        self.quantile_us(0.99)
+    }
+
+    /// Mean observed value, µs (0 when empty).
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_us as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_ceil_log2() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(5), 3);
+        assert_eq!(bucket_index(1024), 10);
+        assert_eq!(bucket_index(1025), 11);
+        // Anything beyond the last finite bound lands in overflow.
+        assert_eq!(bucket_index(u64::MAX), BUCKET_COUNT);
+        assert_eq!(bucket_index(1 << BUCKET_COUNT), BUCKET_COUNT);
+        assert_eq!(bucket_index(1 << (BUCKET_COUNT - 1)), BUCKET_COUNT - 1);
+    }
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::new();
+        g.set(7);
+        g.add(-3);
+        assert_eq!(g.get(), 4);
+    }
+
+    #[test]
+    fn histogram_quantiles_bracket_observations() {
+        let h = Histogram::new();
+        // 90 fast (≤ 8 µs), 10 slow (~1 ms).
+        for _ in 0..90 {
+            h.observe_us(7);
+        }
+        for _ in 0..10 {
+            h.observe_us(1000);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50_us(), 8, "p50 rounds up to the 2^3 bound");
+        assert!(s.p99_us() >= 1000 && s.p99_us() <= 2048, "{}", s.p99_us());
+        assert!((s.mean_us() - (90.0 * 7.0 + 10.0 * 1000.0) / 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = Histogram::new();
+        let s = h.snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p50_us(), 0);
+        assert_eq!(s.mean_us(), 0.0);
+    }
+
+    #[test]
+    fn overflow_reports_largest_finite_bound() {
+        let h = Histogram::new();
+        h.observe_us(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.p50_us(), bucket_bound_us(BUCKET_COUNT - 1));
+    }
+
+    #[test]
+    fn observe_duration_converts_to_micros() {
+        let h = Histogram::new();
+        h.observe(Duration::from_millis(3));
+        let s = h.snapshot();
+        assert_eq!(s.sum_us, 3000);
+        assert_eq!(s.count, 1);
+    }
+}

@@ -44,4 +44,5 @@ pub use bluedove_core as core;
 pub use bluedove_net as net;
 pub use bluedove_overlay as overlay;
 pub use bluedove_sim as sim;
+pub use bluedove_telemetry as telemetry;
 pub use bluedove_workload as workload;

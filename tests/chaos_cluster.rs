@@ -677,3 +677,96 @@ fn crash_loses_nothing_with_acks() {
     );
     cluster.shutdown();
 }
+
+// ---------------------------------------------------------------------
+// 12. Recovery-readmission regression, observed through the telemetry
+//     layer: a matcher that was partitioned away (suspected by the
+//     dispatcher, its stats forgotten) must attract traffic again after
+//     the suspicion TTL lapses — on the strength of TTL expiry and the
+//     gossip mesh alone, with no fresh load report needed first. If
+//     forgetting a matcher left stale pending reservations behind (or a
+//     retransmission stacked extra reservations onto it), the recovered
+//     matcher would look loaded to the estimating policy until a fresh
+//     report happened to land, and traffic would keep avoiding it. The
+//     per-matcher `bluedove_matcher_served_total` series is the witness:
+//     it must advance again shortly after the heal.
+// ---------------------------------------------------------------------
+#[test]
+fn recovered_matcher_attracts_traffic_within_one_ttl() {
+    let seed = scenario_seed("recovered_matcher_attracts_traffic_within_one_ttl", 0x7E1);
+    let ttl = Duration::from_millis(500);
+    let gossip = Duration::from_millis(40);
+    let mut cluster = Cluster::start(chaos_config(seed, 3, FailureDetectorConfig::default()));
+    let sub = cluster.subscribe(wildcard(&space())).unwrap();
+    let target = MatcherId(1);
+    let served_of = |cluster: &Cluster| {
+        cluster
+            .telemetry()
+            .counter_value(
+                "bluedove_matcher_served_total",
+                &[("matcher", target.0.to_string())],
+            )
+            .unwrap_or(0)
+    };
+
+    // Confirm the target serves its share of a spread workload at all.
+    for i in 0..30 {
+        cluster.publish(probe_msg(i)).unwrap();
+    }
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while served_of(&cluster) == 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(served_of(&cluster) > 0, "target serves before the fault");
+
+    // Cut the dispatcher off from the target only. Publishing into the
+    // partition makes the dispatcher suspect it (send errors / ack
+    // timeouts), forget its stats, and fail everything over to the
+    // remaining matchers.
+    FaultSchedule::new()
+        .at(
+            Duration::ZERO,
+            ChaosEvent::Partition {
+                a: AddrSet::one("d/0"),
+                b: AddrSet::one("m/1"),
+            },
+        )
+        .run(&mut cluster)
+        .unwrap();
+    for i in 30..80 {
+        cluster.publish(probe_msg(i)).unwrap();
+    }
+    std::thread::sleep(Duration::from_millis(300));
+
+    // Heal silently and stop counting: everything served from here on is
+    // post-heal. The heal notifies nobody — re-admission must come from
+    // the dispatcher's own TTL expiry.
+    FaultSchedule::new()
+        .at(Duration::ZERO, ChaosEvent::HealPartitions)
+        .run(&mut cluster)
+        .unwrap();
+    let healed_at = Instant::now();
+    let served_at_heal = served_of(&cluster);
+
+    // Keep a spread workload flowing and watch for the target to serve
+    // again. The budget is one suspicion TTL (the longest the dispatcher
+    // may keep shunning a healed matcher) plus a gossip round, with
+    // scheduling slack on top — generous against flake, but an order of
+    // magnitude under the no-expiry failure mode (which never recovers).
+    let budget = ttl + gossip + Duration::from_secs(2);
+    let mut i = 80u64;
+    while served_of(&cluster) == served_at_heal && healed_at.elapsed() < budget {
+        cluster.publish(probe_msg(i)).unwrap();
+        i += 1;
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(
+        served_of(&cluster) > served_at_heal,
+        "recovered matcher served again within one suspicion TTL + one gossip round \
+         (served stuck at {served_at_heal} for {:?})",
+        healed_at.elapsed()
+    );
+    // Drain so shutdown joins cleanly with an empty pipeline.
+    while sub.recv_timeout(Duration::from_millis(200)).is_some() {}
+    cluster.shutdown();
+}
