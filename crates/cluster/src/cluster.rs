@@ -93,6 +93,7 @@ pub struct ClusterConfig {
     failure_detector: bluedove_overlay::FailureDetectorConfig,
     reliability: ReliabilityConfig,
     telemetry_file: Option<std::path::PathBuf>,
+    record_forwards: bool,
 }
 
 impl ClusterConfig {
@@ -114,6 +115,7 @@ impl ClusterConfig {
             failure_detector: bluedove_overlay::FailureDetectorConfig::default(),
             reliability: ReliabilityConfig::default(),
             telemetry_file: None,
+            record_forwards: false,
         }
     }
 
@@ -228,6 +230,14 @@ impl ClusterConfig {
     /// [`Cluster::shutdown`] (Prometheus text format).
     pub fn telemetry_file(mut self, path: impl Into<std::path::PathBuf>) -> Self {
         self.telemetry_file = Some(path.into());
+        self
+    }
+
+    /// Records every successful first forward as `(message, matcher, dim)`
+    /// in [`Cluster::forward_log`] — the sim/cluster parity probe. Off by
+    /// default (the log grows without bound).
+    pub fn record_forwards(mut self, on: bool) -> Self {
+        self.record_forwards = on;
         self
     }
 }
@@ -493,6 +503,9 @@ impl Cluster {
             StrategyKind::FullReplication => AnyStrategy::full_rep(cfg.matchers),
         };
         let shared = Arc::new(Shared::new(cfg.space.clone(), strategy));
+        if cfg.record_forwards {
+            *shared.forward_log.write() = Some(Vec::new());
+        }
         let ctl_rx = transport.bind(&control_addr()).expect("bind control inbox");
         let tel_rx = transport
             .bind(&telemetry_addr())
@@ -625,6 +638,13 @@ impl Cluster {
     /// Total gossip bytes matchers have sent so far (§IV-C overhead).
     pub fn gossip_bytes(&self) -> u64 {
         self.shared.counters.gossip_bytes.get()
+    }
+
+    /// The `(message, matcher, dim)` sequence of successful first
+    /// forwards, in admission order. Empty unless the cluster was started
+    /// with [`ClusterConfig::record_forwards`].
+    pub fn forward_log(&self) -> Vec<(MessageId, MatcherId, DimIdx)> {
+        self.shared.forward_log.read().clone().unwrap_or_default()
     }
 
     /// The process-wide metric registry every node records into.

@@ -1,24 +1,23 @@
-//! The dispatcher node: light-weight front-end forwarding (§II-B).
+//! The dispatcher node: a thin threaded host around the sans-IO
+//! [`DispatcherEngine`] (§II-B).
 //!
-//! Dispatchers accept subscriptions and publications from clients, consult
-//! the shared partition strategy and their local view of matcher load
-//! reports, and forward each message to the chosen candidate matcher —
-//! one hop. Failed sends trigger immediate fail-over to another candidate
-//! (§III-A-3).
-//!
-//! With acknowledgements enabled (the default), forwarding is
-//! at-least-once: every admitted publication sits in an in-flight ledger
-//! until the serving matcher's `MatchAck` arrives. An ack timeout marks
-//! the target suspect and retransmits to the next live candidate (then
-//! the clockwise fallbacks) under exponential backoff with jitter, up to
-//! a retry budget, after which the message is counted as dead-lettered.
-//! Matcher-side dedup windows make the retransmissions idempotent.
+//! All forwarding decisions — candidate choice, fail-over, the
+//! at-least-once ledger and its retransmit schedule, suspicion — live in
+//! `bluedove_engine::DispatcherEngine`; this module supplies what the
+//! engine deliberately lacks: the real clock (`Shared::now`, seconds
+//! since the cluster epoch), the crossbeam/TCP transport behind the
+//! port's fallible `send`, id stamping from the shared allocators, the
+//! periodic table pull, and the mapping of engine effects onto the
+//! cluster's counters and histograms. The simulator drives the *same*
+//! engine under virtual time (see `bluedove_sim::cluster`).
 
 use crate::proto::ControlMsg;
 use crate::shared::{ReliabilityConfig, Shared};
 use bluedove_baselines::AnyStrategy;
-use bluedove_core::{
-    Assignment, DimIdx, ForwardingPolicy, MatcherId, Message, MessageId, StatsView, SubscriptionId,
+use bluedove_core::{ForwardingPolicy, MatcherId, MessageId, SubscriberId, SubscriptionId};
+use bluedove_engine::{
+    DispatcherEffect, DispatcherEngine, DispatcherEngineConfig, DispatcherEvent, DispatcherOut,
+    DispatcherPort,
 };
 use bluedove_net::{from_bytes, to_bytes, Transport};
 use bluedove_telemetry::{Counter, Histogram};
@@ -26,8 +25,7 @@ use bytes::Bytes;
 use crossbeam::channel::{Receiver, RecvTimeoutError};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::HashMap;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -99,73 +97,6 @@ impl DispatcherNode {
     }
 }
 
-/// Matchers this dispatcher currently shuns, each with an expiry instant.
-/// Suspicion ends three ways: an authoritative table re-lists the matcher,
-/// the suspect itself acks a message, or the TTL runs out — so a restarted
-/// matcher is re-probed even without orchestrator help, mirroring the
-/// overlay's Suspect → re-admission lifecycle.
-struct SuspectList {
-    until: HashMap<MatcherId, Instant>,
-    ttl: Duration,
-}
-
-impl SuspectList {
-    fn new(ttl: Duration) -> Self {
-        SuspectList {
-            until: HashMap::new(),
-            ttl,
-        }
-    }
-
-    /// Records (or refreshes) a suspicion for one TTL from now.
-    fn suspect(&mut self, m: MatcherId) {
-        self.until.insert(m, Instant::now() + self.ttl);
-    }
-
-    fn clear(&mut self, m: MatcherId) {
-        self.until.remove(&m);
-    }
-
-    fn contains(&self, m: &MatcherId) -> bool {
-        self.until.get(m).is_some_and(|&t| Instant::now() < t)
-    }
-
-    /// Drops expired entries (bookkeeping only; `contains` already treats
-    /// them as cleared).
-    fn purge(&mut self) {
-        let now = Instant::now();
-        self.until.retain(|_, &mut t| now < t);
-    }
-}
-
-/// A publication awaiting its `MatchAck`.
-struct InFlight {
-    msg: Message,
-    admitted_us: u64,
-    /// Sends so far (1 = the original forward).
-    attempts: u32,
-    /// Matchers tried in the current rotation; cleared when every
-    /// candidate has been exhausted so recovered matchers get re-probed.
-    tried: Vec<MatcherId>,
-    /// The matcher the latest send went to, if any accepted it.
-    target: Option<MatcherId>,
-    /// The `(matcher, dim)` holding this message's [`StatsView`]
-    /// reservation, if the policy estimates. At most one per in-flight
-    /// message: invalidated when the target is forgotten (forgetting
-    /// clears the pending counts wholesale) and released on ack — so
-    /// retransmissions under ack loss can never stack phantom queue
-    /// entries onto the estimator.
-    reserved: Option<(MatcherId, DimIdx)>,
-    /// The policy's estimated processing time for the latest send, µs
-    /// (`None` when the candidate had no measured µ — the static proxy is
-    /// a ranking, not a time). Compared against the matcher-reported
-    /// actual when the ack lands.
-    est_us: Option<u64>,
-    /// When to give up waiting for the ack. Also versions the timer-heap
-    /// entry: a popped deadline that no longer matches is stale.
-    deadline: Instant,
-}
-
 /// Telemetry handles recorded on the dispatcher's hot path. All
 /// dispatchers running the same policy share the estimation-error series
 /// (registration is idempotent).
@@ -218,128 +149,116 @@ impl DispatcherMetrics {
     }
 }
 
+/// The threaded [`DispatcherPort`]: engine frames go out over the real
+/// transport (a send error is the `false` that triggers in-engine
+/// fail-over), effects land on the cluster's counters and histograms.
+struct HostPort<'a> {
+    shared: &'a Arc<Shared>,
+    transport: &'a Arc<dyn Transport>,
+    metrics: &'a DispatcherMetrics,
+    /// This dispatcher's own address, stamped as `ack_to` on acked sends.
+    self_addr: &'a str,
+}
+
+impl DispatcherPort for HostPort<'_> {
+    fn send(&mut self, _to: MatcherId, addr: &str, out: DispatcherOut) -> bool {
+        let wire = ControlMsg::from_dispatcher_out(out, self.self_addr);
+        self.transport.send(addr, to_bytes(&wire).freeze()).is_ok()
+    }
+
+    fn sub_ack(&mut self, subscriber: SubscriberId, sub: SubscriptionId) {
+        let ack = ControlMsg::SubAck { sub };
+        let addr = crate::shared::subscriber_addr(subscriber.0);
+        let _ = self.transport.send(&addr, to_bytes(&ack).freeze());
+    }
+
+    fn effect(&mut self, effect: DispatcherEffect) {
+        match effect {
+            DispatcherEffect::Forwarded {
+                msg_id,
+                matcher,
+                dim,
+                admitted_us,
+                retransmission,
+            } => {
+                self.metrics
+                    .forward_latency
+                    .observe_us(self.shared.now_us().saturating_sub(admitted_us));
+                if retransmission {
+                    self.shared.counters.retried.inc();
+                } else if let Some(log) = self.shared.forward_log.write().as_mut() {
+                    log.push((msg_id, matcher, dim));
+                }
+            }
+            DispatcherEffect::Failover => self.metrics.failovers.inc(),
+            DispatcherEffect::DeadLettered { .. } => self.shared.counters.dead_lettered.inc(),
+            DispatcherEffect::Dropped { .. } => self.shared.counters.dropped.inc(),
+            DispatcherEffect::Estimation { est_us, actual_us } => {
+                self.metrics
+                    .est_error
+                    .observe_us(est_us.abs_diff(actual_us));
+                if est_us >= actual_us {
+                    self.metrics.est_over.inc();
+                } else {
+                    self.metrics.est_under.inc();
+                }
+            }
+        }
+    }
+}
+
 fn run(
     cfg: DispatcherNodeConfig,
     shared: Arc<Shared>,
     transport: Arc<dyn Transport>,
     rx: Receiver<Bytes>,
 ) {
-    let mut view = StatsView::new();
     let metrics = DispatcherMetrics::register(&shared, cfg.policy.name());
-    let mut suspects = SuspectList::new(cfg.reliability.suspicion_ttl);
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let mut routing = cfg.bootstrap.clone();
+    let mut engine = DispatcherEngine::new(DispatcherEngineConfig {
+        policy: cfg.policy,
+        seed: cfg.seed,
+        retry: cfg.reliability.retry_policy(),
+        version: cfg.bootstrap.version,
+        strategy: cfg.bootstrap.strategy,
+        addrs: cfg.bootstrap.addrs,
+    });
+    // Pull-target selection draws from its own stream so host-side
+    // scheduling never perturbs the engine's (replayable) rng.
+    let mut pull_rng = StdRng::seed_from_u64(cfg.seed ^ 0xD15);
     let mut next_pull = Instant::now() + cfg.table_pull_interval;
-    let rel = cfg.reliability.clone();
-    // The at-least-once ledger: publications awaiting acks, with a lazy
-    // min-heap of retransmit deadlines over them.
-    let mut ledger: HashMap<MessageId, InFlight> = HashMap::new();
-    let mut timers: BinaryHeap<Reverse<(Instant, MessageId)>> = BinaryHeap::new();
 
     loop {
+        let now = shared.now();
         // Periodic table pull from a random live matcher (§III-C).
         if Instant::now() >= next_pull {
-            suspects.purge();
-            let live: Vec<&String> = routing
-                .addrs
-                .iter()
-                .filter(|(m, _)| !suspects.contains(m))
-                .map(|(_, a)| a)
-                .collect();
+            let live = engine.live_addrs(now);
             if !live.is_empty() {
-                let target = live[rng.gen_range(0..live.len())].clone();
+                let target = &live[pull_rng.gen_range(0..live.len())];
                 let pull = ControlMsg::TablePull {
                     reply_to: cfg.addr.clone(),
                 };
-                let _ = transport.send(&target, to_bytes(&pull).freeze());
+                let _ = transport.send(target, to_bytes(&pull).freeze());
             }
             next_pull += cfg.table_pull_interval;
         }
-        // Fire expired retransmit timers.
-        let now = Instant::now();
-        while let Some(&Reverse((deadline, id))) = timers.peek() {
-            if deadline > now {
-                break;
-            }
-            timers.pop();
-            let Some(entry) = ledger.get_mut(&id) else {
-                continue; // acked while the timer was pending
-            };
-            if entry.deadline != deadline {
-                continue; // superseded by a later retransmission
-            }
-            // The target never acked: shun it and fail over. Forgetting
-            // the matcher clears every pending reservation on it, so the
-            // per-message reservation is invalidated (not released) —
-            // releasing later would decrement somebody else's count.
-            if let Some(t) = entry.target.take() {
-                suspects.suspect(t);
-                view.forget_matcher(t);
-                entry.reserved = None;
-            }
-            if entry.attempts > rel.retry_budget {
-                let dead = ledger.remove(&id).expect("entry just borrowed");
-                if let Some((m, d)) = dead.reserved {
-                    view.release(m, d);
-                }
-                shared.counters.dead_lettered.inc();
-                continue;
-            }
-            entry.attempts += 1;
-            let mut sent = dispatch(
-                &shared,
-                &transport,
-                &cfg,
-                &routing,
-                &mut view,
-                &mut suspects,
-                &mut rng,
-                &metrics,
-                &entry.msg,
-                entry.admitted_us,
-                &mut entry.tried,
-                &mut entry.reserved,
-            );
-            if sent.is_none() {
-                // Full rotation exhausted: restart it so matchers that
-                // recovered (or lost suspect status) are probed again.
-                entry.tried.clear();
-                sent = dispatch(
-                    &shared,
-                    &transport,
-                    &cfg,
-                    &routing,
-                    &mut view,
-                    &mut suspects,
-                    &mut rng,
-                    &metrics,
-                    &entry.msg,
-                    entry.admitted_us,
-                    &mut entry.tried,
-                    &mut entry.reserved,
-                );
-            }
-            if sent.is_some() {
-                shared.counters.retried.inc();
-                metrics
-                    .forward_latency
-                    .observe_us(shared.now_us().saturating_sub(entry.admitted_us));
-            }
-            let (target, est_us) = match sent {
-                Some((m, est)) => (Some(m), est),
-                None => (None, None),
-            };
-            entry.target = target;
-            entry.est_us = est_us;
-            entry.deadline = Instant::now() + ack_timeout_for(&rel, entry.attempts - 1, &mut rng);
-            timers.push(Reverse((entry.deadline, id)));
+        // Fire due retransmit timers and purge expired suspicions.
+        let mut port = HostPort {
+            shared: &shared,
+            transport: &transport,
+            metrics: &metrics,
+            self_addr: &cfg.addr,
+        };
+        engine.on_event(now, DispatcherEvent::Tick, &mut port);
+
+        // Sleep until traffic, the next pull, or the next engine deadline.
+        let mut timeout = next_pull
+            .saturating_duration_since(Instant::now())
+            .min(Duration::from_millis(50));
+        if let Some(deadline) = engine.next_deadline() {
+            let wake = Duration::from_secs_f64((deadline - shared.now()).max(0.0));
+            timeout = timeout.min(wake);
         }
-        let mut wake = next_pull;
-        if let Some(&Reverse((deadline, _))) = timers.peek() {
-            wake = wake.min(deadline);
-        }
-        let timeout = wake.saturating_duration_since(Instant::now());
-        let payload = match rx.recv_timeout(timeout.min(Duration::from_millis(50))) {
+        let payload = match rx.recv_timeout(timeout) {
             Ok(p) => p,
             Err(RecvTimeoutError::Timeout) => continue,
             Err(RecvTimeoutError::Disconnected) => break,
@@ -347,304 +266,51 @@ fn run(
         let Ok(msg) = from_bytes::<ControlMsg>(&payload) else {
             continue;
         };
-        match msg {
+        let now = shared.now();
+        let event = match msg {
             ControlMsg::Subscribe(mut sub) => {
                 sub.id = SubscriptionId(shared.next_sub_id.fetch_add(1, Ordering::Relaxed));
-                let assignments = routing.strategy.as_dyn().assign(&sub);
-                let mut stored = 0usize;
-                for Assignment { matcher, dim } in assignments {
-                    // The assigned owner first, then (BlueDove) its
-                    // clockwise neighbour on the same dimension — the
-                    // matcher that message-side fallback routing probes,
-                    // so a copy stored there stays reachable.
-                    let mut targets = vec![matcher];
-                    if let AnyStrategy::BlueDove(mp) = &routing.strategy {
-                        if let Ok(nb) = mp.table().clockwise_neighbor(dim, matcher) {
-                            if nb != matcher {
-                                targets.push(nb);
-                            }
-                        }
-                    }
-                    for m in targets {
-                        if suspects.contains(&m) {
-                            continue;
-                        }
-                        let Some(addr) = routing.addrs.get(&m) else {
-                            suspects.suspect(m);
-                            // Drop its stats too: a suspect with no
-                            // address must not keep stale load (or
-                            // reservations) in the local view.
-                            view.forget_matcher(m);
-                            metrics.failovers.inc();
-                            continue;
-                        };
-                        let store = ControlMsg::StoreSub {
-                            dim,
-                            sub: sub.clone(),
-                        };
-                        match transport.send(addr, to_bytes(&store).freeze()) {
-                            Ok(()) => {
-                                stored += 1;
-                                break;
-                            }
-                            Err(_) => {
-                                suspects.suspect(m);
-                                view.forget_matcher(m);
-                                metrics.failovers.inc();
-                            }
-                        }
-                    }
-                }
-                // Ack only once at least one copy is stored: a false ack
-                // would tell the client its subscription is live when no
-                // matcher holds it (the client times out and can retry).
-                if stored > 0 {
-                    let ack = ControlMsg::SubAck { sub: sub.id };
-                    let addr = crate::shared::subscriber_addr(sub.subscriber.0);
-                    let _ = transport.send(&addr, to_bytes(&ack).freeze());
-                }
+                DispatcherEvent::Subscribe(sub)
             }
             ControlMsg::Publish(mut m) => {
                 m.id = MessageId(shared.next_msg_id.fetch_add(1, Ordering::Relaxed));
                 shared.counters.published.inc();
-                let admitted_us = shared.now_us();
-                let mut tried = Vec::new();
-                let mut reserved = None;
-                let sent = dispatch(
-                    &shared,
-                    &transport,
-                    &cfg,
-                    &routing,
-                    &mut view,
-                    &mut suspects,
-                    &mut rng,
-                    &metrics,
-                    &m,
-                    admitted_us,
-                    &mut tried,
-                    &mut reserved,
-                );
-                if sent.is_some() {
-                    metrics
-                        .forward_latency
-                        .observe_us(shared.now_us().saturating_sub(admitted_us));
-                }
-                let (target, est_us) = match sent {
-                    Some((t, est)) => (Some(t), est),
-                    None => (None, None),
-                };
-                if rel.acks {
-                    // Ledger the publication even when no candidate took
-                    // it — the retry schedule keeps probing, so a message
-                    // admitted during a total outage still gets delivered
-                    // once any candidate heals within the budget.
-                    let deadline = Instant::now() + ack_timeout_for(&rel, 0, &mut rng);
-                    timers.push(Reverse((deadline, m.id)));
-                    ledger.insert(
-                        m.id,
-                        InFlight {
-                            msg: m,
-                            admitted_us,
-                            attempts: 1,
-                            tried,
-                            target,
-                            reserved,
-                            est_us,
-                            deadline,
-                        },
-                    );
-                } else if target.is_none() {
-                    shared.counters.dropped.inc();
+                DispatcherEvent::Publish {
+                    msg: m,
+                    admitted_us: shared.now_us(),
                 }
             }
+            ControlMsg::Unsubscribe(sub) => DispatcherEvent::Unsubscribe(sub),
             ControlMsg::MatchAck {
                 msg_id,
                 matcher,
                 actual_us,
-            } => {
-                // The matcher is demonstrably alive: stop shunning it.
-                suspects.clear(matcher);
-                if let Some(entry) = ledger.remove(&msg_id) {
-                    // The message is off the matcher's queue: the
-                    // reservation covering it has served its purpose.
-                    if let Some((m, d)) = entry.reserved {
-                        view.release(m, d);
-                    }
-                    // Estimation accuracy: only when the ack comes from
-                    // the matcher the estimate was made for, carries a
-                    // real measurement (re-acks of served duplicates ship
-                    // zero), and the policy produced a time estimate.
-                    if entry.target == Some(matcher) && actual_us > 0 {
-                        if let Some(est) = entry.est_us {
-                            metrics.est_error.observe_us(est.abs_diff(actual_us));
-                            if est >= actual_us {
-                                metrics.est_over.inc();
-                            } else {
-                                metrics.est_under.inc();
-                            }
-                        }
-                    }
-                }
-            }
-            ControlMsg::Unsubscribe(sub) => {
-                // Deterministic assignment: the same copies are found and
-                // removed wherever the strategy placed them.
-                let assignments = routing.strategy.as_dyn().assign(&sub);
-                for Assignment { matcher, dim } in assignments {
-                    let Some(addr) = routing.addrs.get(&matcher) else {
-                        continue;
-                    };
-                    let remove = ControlMsg::RemoveSub { dim, sub: sub.id };
-                    let _ = transport.send(addr, to_bytes(&remove).freeze());
-                }
-            }
-            ControlMsg::TableState {
-                version,
-                strategy: Some(strategy),
-                addrs,
-            } if version > routing.version => {
-                routing.version = version;
-                routing.strategy = strategy;
-                routing.addrs = addrs.into_iter().collect();
-                // A fresh table is the management plane's authoritative
-                // membership: a matcher it re-lists is live again
-                // (restart), so stop shunning it.
-                suspects.until.retain(|m, _| !routing.addrs.contains_key(m));
-            }
+            } => DispatcherEvent::MatchAck {
+                msg_id,
+                matcher,
+                actual_us,
+            },
             ControlMsg::LoadReport {
                 matcher,
                 dim,
                 stats,
-            } if !suspects.contains(&matcher) => {
-                view.update(matcher, dim, stats);
-            }
+            } => DispatcherEvent::LoadReport {
+                matcher,
+                dim,
+                stats,
+            },
+            ControlMsg::TableState {
+                version,
+                strategy: Some(strategy),
+                addrs,
+            } => DispatcherEvent::TableUpdate {
+                version,
+                strategy,
+                addrs,
+            },
             ControlMsg::Shutdown => break,
-            _ => {}
-        }
-    }
-}
-
-/// Deadline for retransmission `attempt` (0-based): exponential backoff
-/// capped at 2⁶ periods, plus uniform jitter of up to a quarter period so
-/// concurrent dispatchers don't retransmit in lockstep.
-fn ack_timeout_for(rel: &ReliabilityConfig, attempt: u32, rng: &mut StdRng) -> Duration {
-    let base = rel.ack_timeout * 2u32.saturating_pow(attempt.min(6));
-    let jitter_us = (rel.ack_timeout.as_micros() as u64 / 4).max(1);
-    base + Duration::from_micros(rng.gen_range(0..jitter_us))
-}
-
-/// Chooses a live candidate for `msg` and sends the `MatchMsg`, failing
-/// over past suspects, matchers already in `tried`, and synchronous send
-/// errors. Returns the matcher that accepted the frame (also appended to
-/// `tried`) plus the policy's processing-time estimate in µs when one was
-/// made, or `None` when the rotation is exhausted.
-///
-/// Must be entered with `*reserved == None` (the caller invalidates the
-/// previous reservation when it forgets the failed target); on a
-/// successful estimating send exactly one fresh reservation is recorded
-/// into `reserved`.
-#[allow(clippy::too_many_arguments)]
-fn dispatch(
-    shared: &Arc<Shared>,
-    transport: &Arc<dyn Transport>,
-    cfg: &DispatcherNodeConfig,
-    routing: &RoutingState,
-    view: &mut StatsView,
-    suspects: &mut SuspectList,
-    rng: &mut StdRng,
-    metrics: &DispatcherMetrics,
-    msg: &Message,
-    admitted_us: u64,
-    tried: &mut Vec<MatcherId>,
-    reserved: &mut Option<(MatcherId, DimIdx)>,
-) -> Option<(MatcherId, Option<u64>)> {
-    debug_assert!(reserved.is_none(), "dispatch entered holding a reservation");
-    // Primary candidates plus the degenerate-case clockwise fallbacks
-    // (§III-A-1/3). Fallbacks are kept separate so the policy only
-    // considers them once every live primary has been exhausted — send
-    // failures can kill primaries *during* the loop below.
-    let usable = |a: &Assignment, suspects: &SuspectList, tried: &[MatcherId]| -> bool {
-        !suspects.contains(&a.matcher) && !tried.contains(&a.matcher)
-    };
-    let mut candidates: Vec<Assignment> = routing
-        .strategy
-        .as_dyn()
-        .candidates(msg)
-        .into_iter()
-        .filter(|a| usable(a, suspects, tried))
-        .collect();
-    let mut fallbacks: Vec<Assignment> = match &routing.strategy {
-        AnyStrategy::BlueDove(mp) => mp
-            .fallback_candidates(msg)
-            .into_iter()
-            .filter(|a| usable(a, suspects, tried))
-            .collect(),
-        _ => Vec::new(),
-    };
-    let ack_to = if cfg.reliability.acks {
-        cfg.addr.clone()
-    } else {
-        String::new()
-    };
-
-    loop {
-        if candidates.is_empty() {
-            fallbacks.retain(|a| usable(a, suspects, tried));
-            if fallbacks.is_empty() {
-                return None;
-            }
-            candidates = std::mem::take(&mut fallbacks);
-        }
-        let chosen = if candidates.len() == 1 {
-            candidates[0]
-        } else {
-            cfg.policy.choose(&candidates, view, shared.now(), rng)
+            _ => continue,
         };
-        let Some(addr) = routing.addrs.get(&chosen.matcher) else {
-            // No address for a strategy-listed matcher: same treatment as
-            // an unreachable one, including dropping its stale stats so a
-            // later readmission starts from a clean slate.
-            suspects.suspect(chosen.matcher);
-            view.forget_matcher(chosen.matcher);
-            metrics.failovers.inc();
-            candidates.retain(|a| a.matcher != chosen.matcher);
-            continue;
-        };
-        let wire = ControlMsg::MatchMsg {
-            dim: chosen.dim,
-            msg: msg.clone(),
-            admitted_us,
-            ack_to: ack_to.clone(),
-        };
-        match transport.send(addr, to_bytes(&wire).freeze()) {
-            Ok(()) => {
-                // What the load model predicts for the candidate this
-                // policy picked — recorded for *every* policy so their
-                // estimation-error distributions are comparable, and
-                // computed *before* reserving (the reservation models
-                // this very message, which must not count against its
-                // own prediction). No measured µ means no estimate: the
-                // static proxy is a ranking, not a time.
-                let stats = view.get(chosen.matcher, chosen.dim);
-                let est_us = (stats.mu > 0.0).then(|| {
-                    let est = stats.processing_time(stats.extrapolated_queue(shared.now()));
-                    (est * 1e6) as u64
-                });
-                if cfg.policy.uses_estimation() {
-                    view.reserve(chosen.matcher, chosen.dim);
-                    *reserved = Some((chosen.matcher, chosen.dim));
-                }
-                tried.push(chosen.matcher);
-                return Some((chosen.matcher, est_us));
-            }
-            Err(_) => {
-                // The matcher is unreachable: remember it, forget its
-                // stats and fail over to another candidate (§III-A-3).
-                suspects.suspect(chosen.matcher);
-                view.forget_matcher(chosen.matcher);
-                metrics.failovers.inc();
-                candidates.retain(|a| a.matcher != chosen.matcher);
-            }
-        }
+        engine.on_event(now, event, &mut port);
     }
 }

@@ -1,14 +1,21 @@
-//! The matcher node: a thread owning per-dimension subscription sets and
-//! queues, doing real matching work.
+//! The matcher node: a threaded host around the sans-IO [`MatcherEngine`].
 //!
 //! Mirrors the paper's matcher design: one subscription set and one FIFO
 //! queue per dimension, round-robin service across dimensions, periodic
 //! `(q, λ, µ)` load reports pushed to every dispatcher (§III-B), and
-//! direct delivery to subscriber endpoints (§II-B).
+//! direct delivery to subscriber endpoints (§II-B). The queues, dedup
+//! windows and service order live in `bluedove_engine::MatcherEngine`;
+//! this module supplies the transport, the real clock, measured match
+//! times (fed into `record_service`), and the host-only subsystems the
+//! engine stays out of: the §III-C gossip mesh, table copy/pull serving,
+//! telemetry rendering, and the elastic hand-over legs.
 
 use crate::proto::ControlMsg;
 use crate::shared::Shared;
-use bluedove_core::{DimIdx, IndexKind, MatcherCore, MatcherId, Message, MessageId};
+use bluedove_core::{
+    DimIdx, IndexKind, MatchHit, MatcherId, Message, MessageId, SubscriberId, SubscriptionId,
+};
+use bluedove_engine::{MatcherEngine, MatcherPort};
 use bluedove_net::{from_bytes, to_bytes, Transport};
 use bluedove_overlay::{EndpointState, GossipMsg, GossipNode, NodeId, NodeRole};
 use bluedove_telemetry::{Counter, Gauge, Histogram};
@@ -16,7 +23,7 @@ use bytes::Bytes;
 use crossbeam::channel::{Receiver, RecvTimeoutError};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -126,18 +133,6 @@ impl BoundMatcher {
     }
 }
 
-struct Queued {
-    dim: DimIdx,
-    msg: Message,
-    admitted_us: u64,
-    /// Dispatcher address expecting a `MatchAck` once this message has
-    /// been served; empty when acknowledgements are disabled.
-    ack_to: String,
-    /// When the message entered this queue; the queue-wait component of
-    /// the matcher-reported actual processing time.
-    enqueued: Instant,
-}
-
 /// Telemetry handles recorded by the matcher's serve and gossip loops.
 struct MatcherTelemetry {
     /// FIFO-queue wait per served message, µs (pop minus push).
@@ -201,69 +196,45 @@ impl MatcherTelemetry {
     }
 }
 
-/// What to do with an arriving `MatchMsg` according to the per-dim
-/// idempotency window.
-enum Admit {
-    /// First sight: queue it.
-    Fresh,
-    /// Already queued but not yet served: drop silently (the ack will go
-    /// out when the queued copy is served, so no false ack here).
-    Pending,
-    /// Already served: re-ack immediately, don't re-deliver.
-    Served,
+/// The threaded [`MatcherPort`]: deliveries and acks go out over the real
+/// transport; duplicates land on the shared counter.
+struct HostPort<'a> {
+    id: MatcherId,
+    shared: &'a Arc<Shared>,
+    transport: &'a Arc<dyn Transport>,
 }
 
-/// Bounded sliding-window dedup for one dimension, keyed by `MessageId`.
-///
-/// `pending` tracks ids queued but not yet served; `served` is a FIFO
-/// window of the last `cap` served ids. Id 0 (unstamped, from senders
-/// that bypass a dispatcher) is exempt so such messages are never
-/// misidentified as duplicates of each other.
-struct DedupWindow {
-    pending: HashSet<MessageId>,
-    served: HashSet<MessageId>,
-    order: VecDeque<MessageId>,
-    cap: usize,
-}
-
-impl DedupWindow {
-    fn new(cap: usize) -> Self {
-        DedupWindow {
-            pending: HashSet::new(),
-            served: HashSet::new(),
-            order: VecDeque::new(),
-            cap: cap.max(1),
-        }
+impl MatcherPort for HostPort<'_> {
+    fn deliver(
+        &mut self,
+        subscriber: SubscriberId,
+        sub: SubscriptionId,
+        msg: &Message,
+        admitted_us: u64,
+    ) {
+        let deliver = ControlMsg::Deliver {
+            subscriber,
+            sub,
+            msg: msg.clone(),
+            admitted_us,
+        };
+        let addr = crate::shared::subscriber_addr(subscriber.0);
+        // A vanished subscriber is not an error for the matcher.
+        let _ = self.transport.send(&addr, to_bytes(&deliver).freeze());
+        self.shared.counters.deliveries.inc();
     }
 
-    /// Classifies an arriving id and records fresh ids as pending.
-    fn admit(&mut self, id: MessageId) -> Admit {
-        if id == MessageId(0) {
-            return Admit::Fresh;
-        }
-        if self.served.contains(&id) {
-            return Admit::Served;
-        }
-        if !self.pending.insert(id) {
-            return Admit::Pending;
-        }
-        Admit::Fresh
+    fn ack(&mut self, ack_to: &str, msg_id: MessageId, actual_us: u64) {
+        let ack = ControlMsg::MatchAck {
+            msg_id,
+            matcher: self.id,
+            actual_us,
+        };
+        let _ = self.transport.send(ack_to, to_bytes(&ack).freeze());
     }
 
-    /// Moves `id` from pending into the bounded served window.
-    fn mark_served(&mut self, id: MessageId) {
-        if id == MessageId(0) {
-            return;
-        }
-        self.pending.remove(&id);
-        if self.served.insert(id) {
-            self.order.push_back(id);
-            while self.order.len() > self.cap {
-                if let Some(old) = self.order.pop_front() {
-                    self.served.remove(&old);
-                }
-            }
-        }
+    fn duplicate_suppressed(&mut self) {
+        self.shared.counters.duplicates_suppressed.inc();
     }
 }
 
@@ -275,12 +246,9 @@ fn run(
     crash: Arc<AtomicBool>,
 ) {
     let k = shared.space.k();
-    let mut core = MatcherCore::new(cfg.id, shared.space.clone(), cfg.index);
-    let mut queues: Vec<VecDeque<Queued>> = (0..k).map(|_| VecDeque::new()).collect();
-    let mut dedup: Vec<DedupWindow> = (0..k).map(|_| DedupWindow::new(cfg.dedup_window)).collect();
-    let mut rr = 0usize; // round-robin dimension pointer
+    let mut engine = MatcherEngine::new(cfg.id, shared.space.clone(), cfg.index, cfg.dedup_window);
     let mut next_stats = Instant::now() + cfg.stats_interval;
-    let mut hits = Vec::new();
+    let mut hits: Vec<MatchHit> = Vec::new();
     let telemetry = MatcherTelemetry::register(&shared, cfg.id, k);
     // Syn send times awaiting their Ack, keyed by peer address.
     let mut pending_syns: HashMap<String, Instant> = HashMap::new();
@@ -322,9 +290,7 @@ fn run(
                 &cfg,
                 &shared,
                 &transport,
-                &mut core,
-                &mut queues,
-                &mut dedup,
+                &mut engine,
                 &mut gossip,
                 &mut table,
                 &telemetry,
@@ -334,56 +300,32 @@ fn run(
                 break 'outer;
             }
         }
-        // Serve one queued message (round-robin across dimensions).
+        // Serve one queued message (round-robin across dimensions): pop,
+        // measure the real match time around the engine's match phase,
+        // feed the measurement into µ, then let the engine emit the
+        // deliveries and the ack.
         let mut served = false;
-        #[allow(clippy::needless_range_loop)] // rr arithmetic needs the index
-        for off in 0..k {
-            let d = (rr + off) % k;
-            if let Some(q) = queues[d].pop_front() {
-                rr = (d + 1) % k;
-                hits.clear();
-                let waited_us = q.enqueued.elapsed().as_micros() as u64;
-                telemetry.queue_wait.observe_us(waited_us);
-                let started = Instant::now();
-                let examined = core.match_message(q.dim, &q.msg, shared.now(), &mut hits);
-                let match_elapsed = started.elapsed();
-                core.record_service(q.dim, match_elapsed.as_secs_f64());
-                let match_us = match_elapsed.as_micros() as u64;
-                telemetry.match_time.observe_us(match_us);
-                let _ = examined;
-                if !hits.is_empty() {
-                    shared.counters.matched.inc();
-                }
-                for &(sub_id, subscriber) in &hits {
-                    let deliver = ControlMsg::Deliver {
-                        subscriber,
-                        sub: sub_id,
-                        msg: q.msg.clone(),
-                        admitted_us: q.admitted_us,
-                    };
-                    let addr = crate::shared::subscriber_addr(subscriber.0);
-                    // A vanished subscriber is not an error for the matcher.
-                    let _ = transport.send(&addr, to_bytes(&deliver).freeze());
-                    shared.counters.deliveries.inc();
-                }
-                // Deliveries are on the wire: remember the id so a
-                // retransmission re-acks instead of re-delivering, then
-                // ack the dispatcher, reporting the measured processing
-                // time (queue wait + matching; clamped nonzero — a zero
-                // reading is reserved for re-acks of served duplicates).
-                dedup[d].mark_served(q.msg.id);
-                telemetry.served.inc();
-                if !q.ack_to.is_empty() {
-                    let ack = ControlMsg::MatchAck {
-                        msg_id: q.msg.id,
-                        matcher: cfg.id,
-                        actual_us: (waited_us + match_us).max(1),
-                    };
-                    let _ = transport.send(&q.ack_to, to_bytes(&ack).freeze());
-                }
-                served = true;
-                break;
+        if let Some(job) = engine.begin_service(shared.now()) {
+            telemetry.queue_wait.observe_us((job.waited * 1e6) as u64);
+            hits.clear();
+            let started = Instant::now();
+            let _examined = engine.run_match(&job, shared.now(), &mut hits);
+            let match_elapsed = started.elapsed();
+            engine.record_service(job.dim, match_elapsed.as_secs_f64());
+            telemetry
+                .match_time
+                .observe_us(match_elapsed.as_micros() as u64);
+            if !hits.is_empty() {
+                shared.counters.matched.inc();
             }
+            let mut port = HostPort {
+                id: cfg.id,
+                shared: &shared,
+                transport: &transport,
+            };
+            engine.complete(job, &hits, match_elapsed.as_secs_f64(), &mut port);
+            telemetry.served.inc();
+            served = true;
         }
         if !served {
             // Idle: block until the next message or the next deadline.
@@ -397,9 +339,7 @@ fn run(
                         &cfg,
                         &shared,
                         &transport,
-                        &mut core,
-                        &mut queues,
-                        &mut dedup,
+                        &mut engine,
                         &mut gossip,
                         &mut table,
                         &telemetry,
@@ -467,10 +407,10 @@ fn run(
         if Instant::now() >= next_stats {
             let now = shared.now();
             let dispatchers = shared.dispatcher_addrs.read().clone();
-            for (d, queue) in queues.iter().enumerate() {
+            for d in 0..k {
                 let dim = DimIdx(d as u16);
-                telemetry.queue_depth[d].set(queue.len() as i64);
-                let stats = core.stats_report(dim, queue.len(), now);
+                telemetry.queue_depth[d].set(engine.queue_len(dim) as i64);
+                let stats = engine.stats_report(dim, now);
                 let report = ControlMsg::LoadReport {
                     matcher: cfg.id,
                     dim,
@@ -499,9 +439,7 @@ fn handle(
     cfg: &MatcherNodeConfig,
     shared: &Arc<Shared>,
     transport: &Arc<dyn Transport>,
-    core: &mut MatcherCore,
-    queues: &mut [VecDeque<Queued>],
-    dedup: &mut [DedupWindow],
+    engine: &mut MatcherEngine,
     gossip: &mut GossipNode,
     table: &mut TableCopy,
     telemetry: &MatcherTelemetry,
@@ -513,47 +451,25 @@ fn handle(
     };
     match msg {
         ControlMsg::StoreSub { dim, sub } => {
-            core.insert(dim, sub);
+            engine.insert(dim, sub);
             shared.counters.stored_copies.inc();
         }
         ControlMsg::RemoveSub { dim, sub } => {
-            core.remove(dim, sub);
+            engine.remove(dim, sub);
         }
         ControlMsg::MatchMsg {
             dim,
             msg,
             admitted_us,
             ack_to,
-        } => match dedup[dim.index()].admit(msg.id) {
-            Admit::Fresh => {
-                core.record_arrival(dim, shared.now());
-                queues[dim.index()].push_back(Queued {
-                    dim,
-                    msg,
-                    admitted_us,
-                    ack_to,
-                    enqueued: Instant::now(),
-                });
-            }
-            Admit::Pending => {
-                // The queued copy will ack when served; acking now would
-                // falsely claim the deliveries are out.
-                shared.counters.duplicates_suppressed.inc();
-            }
-            Admit::Served => {
-                shared.counters.duplicates_suppressed.inc();
-                if !ack_to.is_empty() {
-                    // actual_us 0 marks a re-ack: nothing was measured,
-                    // so the dispatcher skips estimation-error recording.
-                    let ack = ControlMsg::MatchAck {
-                        msg_id: msg.id,
-                        matcher: cfg.id,
-                        actual_us: 0,
-                    };
-                    let _ = transport.send(&ack_to, to_bytes(&ack).freeze());
-                }
-            }
-        },
+        } => {
+            let mut port = HostPort {
+                id: cfg.id,
+                shared,
+                transport,
+            };
+            engine.on_match_msg(shared.now(), dim, msg, admitted_us, ack_to, &mut port);
+        }
         ControlMsg::HandOver {
             dim,
             range,
@@ -563,7 +479,7 @@ fn handle(
             // Move the overlapping copies to the new matcher, but keep
             // serving local copies until the Retire arrives (routing may
             // still point here).
-            let moved = core.extract_overlapping(dim, &range);
+            let moved = engine.extract_overlapping(dim, &range);
             let count = moved.len() as u64;
             for sub in moved {
                 let store = ControlMsg::StoreSub {
@@ -571,20 +487,13 @@ fn handle(
                     sub: sub.clone(),
                 };
                 let _ = transport.send(&to_addr, to_bytes(&store).freeze());
-                core.insert(dim, sub);
+                engine.insert(dim, sub);
             }
             let done = ControlMsg::HandOverDone { dim, moved: count };
             let _ = transport.send(&reply_to, to_bytes(&done).freeze());
         }
         ControlMsg::Retire { dim, range, keep } => {
-            let extracted = core.extract_overlapping(dim, &range);
-            for sub in extracted {
-                // Keep the copies that still overlap a segment this
-                // matcher owns on the dimension.
-                if keep.iter().any(|r| sub.predicate(dim).overlaps(r)) {
-                    core.insert(dim, sub);
-                }
-            }
+            engine.retire(dim, &range, &keep);
         }
         ControlMsg::TableUpdate {
             version,

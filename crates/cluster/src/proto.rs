@@ -197,6 +197,37 @@ pub enum ControlMsg {
     Shutdown,
 }
 
+impl ControlMsg {
+    /// Lowers an engine-level [`bluedove_engine::DispatcherOut`] frame
+    /// onto the wire protocol. `ack_addr` is the sending dispatcher's own
+    /// address, stamped as `ack_to` when the engine requests an ack.
+    pub fn from_dispatcher_out(out: bluedove_engine::DispatcherOut, ack_addr: &str) -> Self {
+        match out {
+            bluedove_engine::DispatcherOut::StoreSub { dim, sub } => {
+                ControlMsg::StoreSub { dim, sub }
+            }
+            bluedove_engine::DispatcherOut::RemoveSub { dim, sub } => {
+                ControlMsg::RemoveSub { dim, sub }
+            }
+            bluedove_engine::DispatcherOut::Match {
+                dim,
+                msg,
+                admitted_us,
+                want_ack,
+            } => ControlMsg::MatchMsg {
+                dim,
+                msg,
+                admitted_us,
+                ack_to: if want_ack {
+                    ack_addr.to_string()
+                } else {
+                    String::new()
+                },
+            },
+        }
+    }
+}
+
 const TAG_SUBSCRIBE: u8 = 0;
 const TAG_PUBLISH: u8 = 1;
 const TAG_STORE_SUB: u8 = 2;

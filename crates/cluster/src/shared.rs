@@ -1,7 +1,7 @@
 //! State shared between the orchestrator, dispatchers and client handles.
 
 use bluedove_baselines::AnyStrategy;
-use bluedove_core::{AttributeSpace, MatcherId};
+use bluedove_core::{AttributeSpace, DimIdx, MatcherId, MessageId};
 use bluedove_telemetry::{Counter, Histogram, Registry};
 use parking_lot::RwLock;
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -42,6 +42,20 @@ impl Default for ReliabilityConfig {
             retry_budget: 6,
             suspicion_ttl: Duration::from_secs(2),
             dedup_window: 8192,
+        }
+    }
+}
+
+impl ReliabilityConfig {
+    /// The engine-level view of these knobs: the same schedule with
+    /// `Duration`s lowered to [`bluedove_engine::Time`] seconds (the
+    /// dedup window is a matcher-side knob and stays here).
+    pub fn retry_policy(&self) -> bluedove_engine::RetryPolicy {
+        bluedove_engine::RetryPolicy {
+            acks: self.acks,
+            ack_timeout: self.ack_timeout.as_secs_f64(),
+            retry_budget: self.retry_budget,
+            suspicion_ttl: self.suspicion_ttl.as_secs_f64(),
         }
     }
 }
@@ -228,6 +242,11 @@ pub struct Shared {
     /// matcher's failure detector (refreshed on every gossip tick; the
     /// chaos suite's membership-reconvergence probe).
     pub gossip_live: RwLock<HashMap<MatcherId, usize>>,
+    /// When `Some`, every successful (non-retransmission) forward is
+    /// appended as `(message, matcher, dim)` in admission order — the
+    /// sim/cluster parity probe. `None` (the default) keeps the hot path
+    /// free of the lock-and-push.
+    pub forward_log: RwLock<Option<Vec<(MessageId, MatcherId, DimIdx)>>>,
 }
 
 impl Shared {
@@ -247,6 +266,7 @@ impl Shared {
             counters,
             gossip_peers: RwLock::new(HashMap::new()),
             gossip_live: RwLock::new(HashMap::new()),
+            forward_log: RwLock::new(None),
         }
     }
 

@@ -1,0 +1,107 @@
+//! Bounded sliding-window duplicate suppression for matcher dimensions.
+//!
+//! Dispatcher retransmissions make duplicate `MatchMsg` arrivals possible;
+//! the per-dimension [`DedupWindow`] classifies each arriving id so the
+//! matcher engine queues a message at most once and re-acks (instead of
+//! re-delivering) ids it already served.
+
+use bluedove_core::MessageId;
+use std::collections::{HashSet, VecDeque};
+
+/// What to do with an arriving `MatchMsg` according to the per-dim
+/// idempotency window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admit {
+    /// First sight: queue it.
+    Fresh,
+    /// Already queued but not yet served: drop silently (the ack will go
+    /// out when the queued copy is served, so no false ack here).
+    Pending,
+    /// Already served: re-ack immediately, don't re-deliver.
+    Served,
+}
+
+/// Bounded sliding-window dedup for one dimension, keyed by [`MessageId`].
+///
+/// `pending` tracks ids queued but not yet served; `served` is a FIFO
+/// window of the last `cap` served ids. Id 0 (unstamped, from senders
+/// that bypass a dispatcher) is exempt so such messages are never
+/// misidentified as duplicates of each other.
+#[derive(Debug)]
+pub struct DedupWindow {
+    pending: HashSet<MessageId>,
+    served: HashSet<MessageId>,
+    order: VecDeque<MessageId>,
+    cap: usize,
+}
+
+impl DedupWindow {
+    /// A window remembering up to `cap` served ids (floored at 1).
+    pub fn new(cap: usize) -> Self {
+        DedupWindow {
+            pending: HashSet::new(),
+            served: HashSet::new(),
+            order: VecDeque::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Classifies an arriving id and records fresh ids as pending.
+    pub fn admit(&mut self, id: MessageId) -> Admit {
+        if id == MessageId(0) {
+            return Admit::Fresh;
+        }
+        if self.served.contains(&id) {
+            return Admit::Served;
+        }
+        if !self.pending.insert(id) {
+            return Admit::Pending;
+        }
+        Admit::Fresh
+    }
+
+    /// Moves `id` from pending into the bounded served window.
+    pub fn mark_served(&mut self, id: MessageId) {
+        if id == MessageId(0) {
+            return;
+        }
+        self.pending.remove(&id);
+        if self.served.insert(id) {
+            self.order.push_back(id);
+            while self.order.len() > self.cap {
+                if let Some(old) = self.order.pop_front() {
+                    self.served.remove(&old);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_pending_served_lifecycle() {
+        let mut w = DedupWindow::new(4);
+        assert_eq!(w.admit(MessageId(1)), Admit::Fresh);
+        assert_eq!(w.admit(MessageId(1)), Admit::Pending);
+        w.mark_served(MessageId(1));
+        assert_eq!(w.admit(MessageId(1)), Admit::Served);
+        // Id 0 is exempt from dedup entirely.
+        assert_eq!(w.admit(MessageId(0)), Admit::Fresh);
+        assert_eq!(w.admit(MessageId(0)), Admit::Fresh);
+    }
+
+    #[test]
+    fn served_window_is_bounded() {
+        let mut w = DedupWindow::new(2);
+        for i in 1..=3u64 {
+            w.admit(MessageId(i));
+            w.mark_served(MessageId(i));
+        }
+        // Id 1 was evicted: it reads as fresh again.
+        assert_eq!(w.admit(MessageId(1)), Admit::Fresh);
+        assert_eq!(w.admit(MessageId(3)), Admit::Served);
+    }
+}

@@ -1,0 +1,90 @@
+//! The dispatcher's suspicion list, in virtual time.
+
+use bluedove_core::{MatcherId, Time};
+use std::collections::HashMap;
+
+/// Matchers a dispatcher currently shuns, each with an expiry time.
+/// Suspicion ends three ways: an authoritative table re-lists the matcher,
+/// the suspect itself acks a message, or the TTL runs out — so a restarted
+/// matcher is re-probed even without orchestrator help, mirroring the
+/// overlay's Suspect → re-admission lifecycle. A `Time::INFINITY` TTL
+/// makes suspicion permanent (the simulator's no-restart failure model).
+#[derive(Debug)]
+pub struct SuspectList {
+    until: HashMap<MatcherId, Time>,
+    ttl: Time,
+}
+
+impl SuspectList {
+    /// An empty list with the given suspicion TTL in seconds.
+    pub fn new(ttl: Time) -> Self {
+        SuspectList {
+            until: HashMap::new(),
+            ttl,
+        }
+    }
+
+    /// Records (or refreshes) a suspicion for one TTL from `now`.
+    pub fn suspect(&mut self, m: MatcherId, now: Time) {
+        self.until.insert(m, now + self.ttl);
+    }
+
+    /// Clears a suspicion (the matcher proved itself alive).
+    pub fn clear(&mut self, m: MatcherId) {
+        self.until.remove(&m);
+    }
+
+    /// Whether `m` is suspect at `now`.
+    pub fn contains(&self, m: &MatcherId, now: Time) -> bool {
+        self.until.get(m).is_some_and(|&t| now < t)
+    }
+
+    /// Drops expired entries (bookkeeping only; [`contains`](Self::contains)
+    /// already treats them as cleared).
+    pub fn purge(&mut self, now: Time) {
+        self.until.retain(|_, &mut t| now < t);
+    }
+
+    /// Keeps only suspicions whose matcher `listed` does NOT re-list — a
+    /// fresh authoritative table is the management plane's membership, so
+    /// a matcher it names is live again.
+    pub fn retain_unlisted(&mut self, listed: &HashMap<MatcherId, String>) {
+        self.until.retain(|m, _| !listed.contains_key(m));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suspicion_expires_after_ttl() {
+        let mut s = SuspectList::new(2.0);
+        s.suspect(MatcherId(1), 10.0);
+        assert!(s.contains(&MatcherId(1), 11.9));
+        assert!(!s.contains(&MatcherId(1), 12.0));
+        s.purge(12.0);
+        assert!(!s.contains(&MatcherId(1), 11.0)); // purged outright
+    }
+
+    #[test]
+    fn infinite_ttl_is_permanent() {
+        let mut s = SuspectList::new(Time::INFINITY);
+        s.suspect(MatcherId(3), 0.0);
+        assert!(s.contains(&MatcherId(3), 1e12));
+        s.purge(1e12);
+        assert!(s.contains(&MatcherId(3), 1e12));
+    }
+
+    #[test]
+    fn table_relisting_clears_only_listed() {
+        let mut s = SuspectList::new(5.0);
+        s.suspect(MatcherId(1), 0.0);
+        s.suspect(MatcherId(2), 0.0);
+        let mut book = HashMap::new();
+        book.insert(MatcherId(1), "m/1".to_string());
+        s.retain_unlisted(&book);
+        assert!(!s.contains(&MatcherId(1), 0.1));
+        assert!(s.contains(&MatcherId(2), 0.1));
+    }
+}

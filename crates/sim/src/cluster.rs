@@ -1,92 +1,103 @@
-//! The simulated BlueDove deployment: dispatchers, matchers, queues and
-//! the event loop.
+//! The simulated BlueDove deployment: the discrete-event host around the
+//! shared sans-IO engines.
 //!
 //! The simulator realizes the paper's testbed as a deterministic
-//! discrete-event system. Matchers are single servers draining one FIFO
-//! queue per dimension (round-robin across dimensions, as the SEDA stages
-//! in the prototype would); matching a message costs
-//! `match_base + match_per_sub × examined` where `examined` is the number
-//! of subscriptions scanned — the linear-scan cost model the paper's
-//! scalability reasoning is built on. Dispatchers apply a
-//! [`ForwardingPolicy`] over the shared partition strategy and the latest
-//! gossiped load reports.
+//! discrete-event system, but all *decisions* — candidate choice,
+//! fail-over, the at-least-once ledger and its retransmit schedule,
+//! dedup, round-robin queue service — live in `bluedove_engine`'s
+//! [`DispatcherEngine`] and [`MatcherEngine`], the same state machines
+//! the threaded cluster runs. This module supplies only what the engines
+//! deliberately lack: virtual time, event-queue "transport" (a send is an
+//! event scheduled `net_latency` later), and the linear-scan cost model
+//! `match_base + match_per_sub × examined` standing in for measured match
+//! time (the model the paper's scalability reasoning is built on).
+//!
+//! Host-side division of labour:
+//! - subscriptions are installed directly into matcher engines from the
+//!   *authoritative* strategy (the paper's pre-load phase is
+//!   instantaneous), so `StoreSub`/`RemoveSub` frames never ride the
+//!   simulated wire;
+//! - the dispatcher tier is one shared [`DispatcherEngine`] (the real
+//!   dispatchers broadcast reports, so every front-end sees identical
+//!   state at identical staleness), routing by the table it was last
+//!   handed — segment-table propagation lag is modelled by delaying the
+//!   `TableUpdate` event, failure detection by delaying `MatcherDown`.
 
 use crate::config::SimConfig;
 use crate::events::EventQueue;
 use crate::metrics::Metrics;
 use bluedove_core::{
-    Assignment, AttributeSpace, DimIdx, ForwardingPolicy, IndexKind, MatcherCore, MatcherId,
-    Message, MessageId, StatsView, Subscription, SubscriptionId, Time,
+    Assignment, AttributeSpace, DimIdx, DimStats, ForwardingPolicy, MatchHit, MatcherId, Message,
+    MessageId, SubscriberId, Subscription, SubscriptionId, Time,
+};
+use bluedove_engine::{
+    DispatcherEffect, DispatcherEngine, DispatcherEngineConfig, DispatcherEvent, DispatcherOut,
+    DispatcherPort, MatcherEngine, MatcherPort, ServiceJob,
 };
 use bluedove_workload::MessageGenerator;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashMap, HashSet};
 
 /// Which partition strategy the deployment runs (the three systems of
 /// Figure 6). Re-exported from `bluedove-baselines` so the simulator and
 /// the threaded cluster share one definition.
 pub use bluedove_baselines::AnyStrategy as Strategy;
 
-/// A message sitting in a matcher's per-dimension queue.
-#[derive(Debug)]
-struct QueuedMsg {
-    msg: Message,
-    admitted_at: Time,
-}
+/// Idempotency-window size per dimension — the threaded cluster's
+/// `ReliabilityConfig` default, so both hosts dedup identically.
+const DEDUP_WINDOW: usize = 8192;
 
-/// One simulated matcher server.
+/// The `ack_to` marker stamped on acked forwards. The simulated
+/// dispatcher tier is a single shared engine, so the "address" only needs
+/// to be non-empty (the matcher engine treats an empty `ack_to` as
+/// fire-and-forget).
+const DISPATCHER_ADDR: &str = "dispatcher";
+
+/// One simulated matcher server: the shared engine plus the two bits of
+/// host state the engine deliberately has no concept of — whether the
+/// single server is mid-service, and whether the process is alive.
 struct SimMatcher {
-    core: MatcherCore,
-    queues: Vec<VecDeque<QueuedMsg>>,
-    /// Round-robin pointer over dimensions.
-    next_dim: usize,
+    engine: MatcherEngine,
     busy: bool,
     alive: bool,
 }
 
 impl SimMatcher {
-    fn new(id: MatcherId, space: &AttributeSpace) -> Self {
+    fn new(id: MatcherId, space: &AttributeSpace, cfg: &SimConfig) -> Self {
         SimMatcher {
-            core: MatcherCore::new(id, space.clone(), IndexKind::Linear),
-            queues: (0..space.k()).map(|_| VecDeque::new()).collect(),
-            next_dim: 0,
-            busy: true, // flipped to false by `boot`
+            engine: MatcherEngine::new(id, space.clone(), cfg.index, DEDUP_WINDOW),
+            busy: false,
             alive: true,
         }
-    }
-
-    fn backlog(&self) -> usize {
-        self.queues.iter().map(|q| q.len()).sum()
-    }
-
-    /// Pops the next queued message round-robin across dimension queues.
-    fn pop_next(&mut self) -> Option<(DimIdx, QueuedMsg)> {
-        let k = self.queues.len();
-        for off in 0..k {
-            let d = (self.next_dim + off) % k;
-            if let Some(q) = self.queues[d].pop_front() {
-                self.next_dim = (d + 1) % k;
-                return Some((DimIdx(d as u16), q));
-            }
-        }
-        None
     }
 }
 
 /// Simulator events.
 enum Event {
-    /// A message reaches a matcher's queue.
+    /// A `Match` frame reaches a matcher's queue.
     MatcherReceive {
         m: MatcherId,
         dim: DimIdx,
         msg: Message,
-        admitted_at: Time,
+        admitted_us: u64,
+        ack_to: String,
     },
-    /// A matcher finishes matching one message.
-    ServiceComplete { m: MatcherId, admitted_at: Time },
+    /// A matcher finishes matching one message; the job and its hits were
+    /// computed at service start (the cost model needs `examined` up
+    /// front), delivery and ack effects fire now.
+    ServiceComplete {
+        m: MatcherId,
+        job: ServiceJob,
+        hits: Vec<MatchHit>,
+        service: Time,
+    },
     /// The delivery (matcher → subscriber) completes; response measured.
     Deliver { admitted_at: Time },
+    /// A `MatchAck` reaches the dispatcher tier.
+    AckArrive {
+        msg_id: MessageId,
+        matcher: MatcherId,
+        actual_us: u64,
+    },
     /// Matchers push load reports to dispatchers.
     StatsPush,
     /// Dispatchers learn that a matcher died.
@@ -96,28 +107,139 @@ enum Event {
     TableSwitch {
         retire: Vec<(MatcherId, DimIdx, Vec<SubscriptionId>)>,
     },
+    /// A retransmit deadline of the dispatcher engine's at-least-once
+    /// ledger may be due (stale ticks are cheap no-ops).
+    DispatcherTick,
+}
+
+/// The simulated [`DispatcherPort`]: sends become events `dispatch_cost +
+/// net_latency` in the future (the simulated transport cannot fail
+/// synchronously, so `send` always succeeds), effects land on the run
+/// metrics.
+struct SimDispatcherPort<'a> {
+    cfg: &'a SimConfig,
+    now: Time,
+    queue: &'a mut EventQueue<Event>,
+    metrics: &'a mut Metrics,
+    forward_log: &'a mut Option<Vec<(MessageId, MatcherId, DimIdx)>>,
+}
+
+impl DispatcherPort for SimDispatcherPort<'_> {
+    fn send(&mut self, to: MatcherId, _addr: &str, out: DispatcherOut) -> bool {
+        match out {
+            DispatcherOut::Match {
+                dim,
+                msg,
+                admitted_us,
+                want_ack,
+            } => {
+                self.queue.push(
+                    self.now + self.cfg.dispatch_cost + self.cfg.net_latency,
+                    Event::MatcherReceive {
+                        m: to,
+                        dim,
+                        msg,
+                        admitted_us,
+                        ack_to: if want_ack {
+                            DISPATCHER_ADDR.to_string()
+                        } else {
+                            String::new()
+                        },
+                    },
+                );
+            }
+            // Subscriptions are installed host-side (pre-load phase);
+            // the engine is never fed Subscribe/Unsubscribe events here.
+            DispatcherOut::StoreSub { .. } | DispatcherOut::RemoveSub { .. } => {}
+        }
+        true
+    }
+
+    fn sub_ack(&mut self, _subscriber: SubscriberId, _sub: SubscriptionId) {}
+
+    fn effect(&mut self, effect: DispatcherEffect) {
+        match effect {
+            DispatcherEffect::Forwarded {
+                msg_id,
+                matcher,
+                dim,
+                retransmission: false,
+                ..
+            } => {
+                if let Some(log) = self.forward_log.as_mut() {
+                    log.push((msg_id, matcher, dim));
+                }
+            }
+            DispatcherEffect::Forwarded { .. } | DispatcherEffect::Failover => {}
+            DispatcherEffect::Dropped { .. } | DispatcherEffect::DeadLettered { .. } => {
+                self.metrics.record_lost(self.now);
+            }
+            DispatcherEffect::Estimation { .. } => {}
+        }
+    }
+}
+
+/// The simulated [`MatcherPort`]. Per-hit deliveries are ignored — the
+/// host schedules one `Deliver` event per serviced message, because
+/// response time is a per-message quantity (a message matching many
+/// subscriptions still counts once, exactly as the original testbed
+/// measured it); match hits are counted via `record_match_work`.
+struct SimMatcherPort<'a> {
+    m: MatcherId,
+    now: Time,
+    net_latency: Time,
+    queue: &'a mut EventQueue<Event>,
+}
+
+impl MatcherPort for SimMatcherPort<'_> {
+    fn deliver(
+        &mut self,
+        _subscriber: SubscriberId,
+        _sub: SubscriptionId,
+        _msg: &Message,
+        _admitted_us: u64,
+    ) {
+    }
+
+    fn ack(&mut self, _ack_to: &str, msg_id: MessageId, actual_us: u64) {
+        self.queue.push(
+            self.now + self.net_latency,
+            Event::AckArrive {
+                msg_id,
+                matcher: self.m,
+                actual_us,
+            },
+        );
+    }
+
+    fn duplicate_suppressed(&mut self) {}
 }
 
 /// The simulated deployment.
 pub struct SimCluster {
     cfg: SimConfig,
     space: AttributeSpace,
-    /// Current (authoritative) strategy — new joins are visible here first.
+    /// Current (authoritative) strategy — new joins are visible here
+    /// first; the dispatcher engine keeps routing by the table it was
+    /// last handed until the `TableSwitch` event (propagation lag).
     strategy: Strategy,
-    /// Strategy dispatchers still route by until the pending switch time
-    /// (segment-table propagation lag).
-    routing_strategy: Option<Strategy>,
-    policy: Box<dyn ForwardingPolicy>,
+    /// The shared dispatcher-tier engine (reports are broadcast, so every
+    /// front-end sees identical state at identical staleness).
+    dispatcher: DispatcherEngine,
     matchers: HashMap<MatcherId, SimMatcher>,
-    /// All dispatchers share one stats view: reports are broadcast, so
-    /// every dispatcher sees identical state at identical staleness.
-    view: StatsView,
-    known_dead: HashSet<MatcherId>,
+    /// Deaths the dispatcher tier has detected — excluded from the
+    /// address book of later table updates so their suspicion survives
+    /// `TableUpdate`'s re-listing amnesty.
+    detected_dead: HashSet<MatcherId>,
     queue: EventQueue<Event>,
     now: Time,
-    rng: StdRng,
     next_msg_id: u64,
     next_matcher_id: u32,
+    table_version: u64,
+    /// Earliest `DispatcherTick` currently scheduled (dedups wake-ups).
+    scheduled_tick: Option<Time>,
+    /// `(message, matcher, dimension)` per first forward, when enabled.
+    forward_log: Option<Vec<(MessageId, MatcherId, DimIdx)>>,
     /// Metrics of the whole simulation so far.
     pub metrics: Metrics,
 }
@@ -133,28 +255,34 @@ impl SimCluster {
         let ids = strategy.as_dyn().matchers();
         let matchers = ids
             .iter()
-            .map(|&id| (id, SimMatcher::new(id, &space)))
+            .map(|&id| (id, SimMatcher::new(id, &space, &cfg)))
             .collect::<HashMap<_, _>>();
         let next_matcher_id = ids.iter().map(|m| m.0 + 1).max().unwrap_or(0);
+        let dispatcher = DispatcherEngine::new(DispatcherEngineConfig {
+            policy,
+            seed: cfg.seed,
+            retry: cfg.retry.clone(),
+            version: 1,
+            strategy: strategy.clone(),
+            addrs: ids.iter().map(|&m| (m, sim_addr(m))).collect(),
+        });
+        let forward_log = cfg.record_forwards.then(Vec::new);
         let mut c = SimCluster {
-            rng: StdRng::seed_from_u64(cfg.seed),
             cfg,
             space,
             strategy,
-            routing_strategy: None,
-            policy,
+            dispatcher,
             matchers,
-            view: StatsView::new(),
-            known_dead: HashSet::new(),
+            detected_dead: HashSet::new(),
             queue: EventQueue::new(),
             now: 0.0,
             next_msg_id: 1,
             next_matcher_id,
+            table_version: 1,
+            scheduled_tick: None,
+            forward_log,
             metrics: Metrics::new(0.5),
         };
-        for m in c.matchers.values_mut() {
-            m.busy = false;
-        }
         // Kick off the periodic stats pushes. The first fires immediately
         // so dispatchers know per-dimension subscription counts from the
         // first message (otherwise the pre-report window herds everything
@@ -175,7 +303,7 @@ impl SimCluster {
 
     /// Total messages queued across all matchers.
     pub fn backlog(&self) -> usize {
-        self.matchers.values().map(|m| m.backlog()).sum()
+        self.matchers.values().map(|m| m.engine.backlog()).sum()
     }
 
     /// Live matcher count.
@@ -183,12 +311,24 @@ impl SimCluster {
         self.matchers.values().filter(|m| m.alive).count()
     }
 
+    /// Publications awaiting acks in the dispatcher tier's at-least-once
+    /// ledger (always 0 under the default fire-and-forget policy).
+    pub fn in_flight(&self) -> usize {
+        self.dispatcher.in_flight()
+    }
+
+    /// The recorded `(message, matcher, dimension)` first-forward trace
+    /// (empty unless [`SimConfig`]'s `record_forwards` was set).
+    pub fn forward_log(&self) -> &[(MessageId, MatcherId, DimIdx)] {
+        self.forward_log.as_deref().unwrap_or(&[])
+    }
+
     /// Registers a subscription (instantaneous, like the paper's pre-load
     /// phase).
     pub fn subscribe(&mut self, sub: Subscription) {
         for Assignment { matcher, dim } in self.strategy.as_dyn().assign(&sub) {
             if let Some(m) = self.matchers.get_mut(&matcher) {
-                m.core.insert(dim, sub.clone());
+                m.engine.insert(dim, sub.clone());
             }
         }
     }
@@ -206,7 +346,7 @@ impl SimCluster {
     pub fn unsubscribe(&mut self, sub: &Subscription) {
         for Assignment { matcher, dim } in self.strategy.as_dyn().assign(sub) {
             if let Some(m) = self.matchers.get_mut(&matcher) {
-                m.core.remove(dim, sub.id);
+                m.engine.remove(dim, sub.id);
             }
         }
     }
@@ -276,53 +416,41 @@ impl SimCluster {
         self.now = end;
     }
 
+    /// Feeds one event into the shared dispatcher engine through the
+    /// simulated port.
+    fn feed_dispatcher(&mut self, event: DispatcherEvent) {
+        let mut port = SimDispatcherPort {
+            cfg: &self.cfg,
+            now: self.now,
+            queue: &mut self.queue,
+            metrics: &mut self.metrics,
+            forward_log: &mut self.forward_log,
+        };
+        self.dispatcher.on_event(self.now, event, &mut port);
+    }
+
+    /// Schedules a `DispatcherTick` at the engine's earliest retransmit
+    /// deadline, unless one is already pending at or before it. Stale
+    /// ticks no-op, so over-scheduling is only a constant-factor cost.
+    fn maybe_schedule_tick(&mut self) {
+        let Some(deadline) = self.dispatcher.next_deadline() else {
+            return;
+        };
+        let at = deadline.max(self.now);
+        if self.scheduled_tick.is_none_or(|t| at < t) {
+            self.queue.push(at, Event::DispatcherTick);
+            self.scheduled_tick = Some(at);
+        }
+    }
+
     /// Admits one message at the current time (dispatcher ingress).
     fn admit(&mut self, mut msg: Message) {
         msg.id = MessageId(self.next_msg_id);
         self.next_msg_id += 1;
         self.metrics.record_sent(self.now);
-
-        let routing = self.routing_strategy.as_ref().unwrap_or(&self.strategy);
-        let mut candidates: Vec<Assignment> = routing
-            .as_dyn()
-            .candidates(&msg)
-            .into_iter()
-            .filter(|a| !self.known_dead.contains(&a.matcher))
-            .collect();
-        if candidates.is_empty() {
-            // All primary candidates known dead: try the degenerate-case
-            // fallback replicas (BlueDove only).
-            if let Strategy::BlueDove(mp) = routing {
-                candidates = mp
-                    .fallback_candidates(&msg)
-                    .into_iter()
-                    .filter(|a| !self.known_dead.contains(&a.matcher))
-                    .collect();
-            }
-        }
-        let Some(&first) = candidates.first() else {
-            self.metrics.record_lost(self.now);
-            return;
-        };
-        let chosen = if candidates.len() == 1 {
-            first
-        } else {
-            self.policy
-                .choose(&candidates, &self.view, self.now, &mut self.rng)
-        };
-        if self.policy.uses_estimation() {
-            self.view.reserve(chosen.matcher, chosen.dim);
-        }
-        let at = self.now + self.cfg.dispatch_cost + self.cfg.net_latency;
-        self.queue.push(
-            at,
-            Event::MatcherReceive {
-                m: chosen.matcher,
-                dim: chosen.dim,
-                msg,
-                admitted_at: self.now,
-            },
-        );
+        let admitted_us = (self.now * 1e6) as u64;
+        self.feed_dispatcher(DispatcherEvent::Publish { msg, admitted_us });
+        self.maybe_schedule_tick();
     }
 
     fn handle(&mut self, e: Event) {
@@ -331,71 +459,137 @@ impl SimCluster {
                 m,
                 dim,
                 msg,
-                admitted_at,
+                admitted_us,
+                ack_to,
             } => {
-                let Some(matcher) = self.matchers.get_mut(&m) else {
-                    self.metrics.record_lost(self.now);
-                    return;
-                };
-                if !matcher.alive {
-                    // Sent before the failure was detected: lost.
-                    self.metrics.record_lost(self.now);
+                let alive = self.matchers.get(&m).is_some_and(|mm| mm.alive);
+                if !alive {
+                    // Sent before the failure was detected. Fire-and-forget
+                    // loses the message here; with acks on the ledger owns
+                    // loss accounting (the retransmit schedule will land it
+                    // elsewhere or dead-letter it).
+                    if !self.cfg.retry.acks {
+                        self.metrics.record_lost(self.now);
+                    }
                     return;
                 }
-                matcher.core.record_arrival(dim, self.now);
-                matcher.queues[dim.index()].push_back(QueuedMsg { msg, admitted_at });
+                let matcher = self.matchers.get_mut(&m).expect("alive checked");
+                let mut port = SimMatcherPort {
+                    m,
+                    now: self.now,
+                    net_latency: self.cfg.net_latency,
+                    queue: &mut self.queue,
+                };
+                matcher
+                    .engine
+                    .on_match_msg(self.now, dim, msg, admitted_us, ack_to, &mut port);
                 self.try_start_service(m);
             }
-            Event::ServiceComplete { m, admitted_at } => {
-                if let Some(matcher) = self.matchers.get_mut(&m) {
-                    matcher.busy = false;
-                    if matcher.alive {
-                        self.queue.push(
-                            self.now + self.cfg.net_latency,
-                            Event::Deliver { admitted_at },
-                        );
-                        self.try_start_service(m);
-                    }
+            Event::ServiceComplete {
+                m,
+                job,
+                hits,
+                service,
+            } => {
+                let Some(matcher) = self.matchers.get_mut(&m) else {
+                    return;
+                };
+                matcher.busy = false;
+                if !matcher.alive {
+                    return;
                 }
+                let admitted_at = job.admitted_us as f64 / 1e6;
+                let mut port = SimMatcherPort {
+                    m,
+                    now: self.now,
+                    net_latency: self.cfg.net_latency,
+                    queue: &mut self.queue,
+                };
+                matcher.engine.complete(job, &hits, service, &mut port);
+                self.queue.push(
+                    self.now + self.cfg.net_latency,
+                    Event::Deliver { admitted_at },
+                );
+                self.try_start_service(m);
             }
             Event::Deliver { admitted_at } => {
                 self.metrics
                     .record_response(self.now, self.now - admitted_at);
             }
+            Event::AckArrive {
+                msg_id,
+                matcher,
+                actual_us,
+            } => {
+                self.feed_dispatcher(DispatcherEvent::MatchAck {
+                    msg_id,
+                    matcher,
+                    actual_us,
+                });
+                self.maybe_schedule_tick();
+            }
             Event::StatsPush => {
                 let k = self.space.k();
+                let mut reports: Vec<(MatcherId, DimIdx, DimStats)> = Vec::new();
                 for (&id, matcher) in self.matchers.iter_mut() {
                     if !matcher.alive {
                         continue;
                     }
                     for d in 0..k {
                         let dim = DimIdx(d as u16);
-                        let qlen = matcher.queues[d].len();
-                        let report = matcher.core.stats_report(dim, qlen, self.now);
-                        self.view.update(id, dim, report);
+                        reports.push((id, dim, matcher.engine.stats_report(dim, self.now)));
                     }
+                }
+                for (matcher, dim, stats) in reports {
+                    self.feed_dispatcher(DispatcherEvent::LoadReport {
+                        matcher,
+                        dim,
+                        stats,
+                    });
                 }
                 self.queue
                     .push(self.now + self.cfg.stats_update_interval, Event::StatsPush);
             }
             Event::DetectFailure { m } => {
-                self.known_dead.insert(m);
-                self.view.forget_matcher(m);
+                self.detected_dead.insert(m);
+                self.feed_dispatcher(DispatcherEvent::MatcherDown(m));
             }
             Event::TableSwitch { retire } => {
-                self.routing_strategy = None;
                 for (donor, dim, ids) in retire {
                     if let Some(matcher) = self.matchers.get_mut(&donor) {
                         for id in ids {
-                            matcher.core.remove(dim, id);
+                            matcher.engine.remove(dim, id);
                         }
                     }
                 }
+                // Hand the dispatcher tier the now-authoritative table.
+                // Detected-dead matchers are left out of the address book
+                // so their (permanent) suspicion survives the update's
+                // re-listing amnesty.
+                self.table_version += 1;
+                let version = self.table_version;
+                let strategy = self.strategy.clone();
+                let addrs = self.addr_book();
+                self.feed_dispatcher(DispatcherEvent::TableUpdate {
+                    version,
+                    strategy,
+                    addrs,
+                });
+            }
+            Event::DispatcherTick => {
+                self.scheduled_tick = None;
+                self.feed_dispatcher(DispatcherEvent::Tick);
+                self.maybe_schedule_tick();
             }
         }
     }
 
-    /// Starts service on `m` if it is idle and has queued work.
+    /// Starts service on `m` if it is idle and has queued work: pops the
+    /// next job round-robin from the engine, models its cost from the
+    /// number of subscriptions examined, and schedules the completion.
+    /// The modelled service time is fed into the µ estimator at service
+    /// *start* (the simulator knows the duration up front; the threaded
+    /// host records it after measuring real work).
     fn try_start_service(&mut self, m: MatcherId) {
         let Some(matcher) = self.matchers.get_mut(&m) else {
             return;
@@ -403,13 +597,13 @@ impl SimCluster {
         if matcher.busy || !matcher.alive {
             return;
         }
-        let Some((dim, q)) = matcher.pop_next() else {
+        let Some(job) = matcher.engine.begin_service(self.now) else {
             return;
         };
         let mut hits = Vec::new();
-        let examined = matcher.core.match_message(dim, &q.msg, self.now, &mut hits);
+        let examined = matcher.engine.run_match(&job, self.now, &mut hits);
         let service = self.cfg.service_time(examined);
-        matcher.core.record_service(dim, service);
+        matcher.engine.record_service(job.dim, service);
         matcher.busy = true;
         self.metrics.record_busy(m, service);
         self.metrics.record_match_work(examined, hits.len());
@@ -417,9 +611,23 @@ impl SimCluster {
             self.now + service,
             Event::ServiceComplete {
                 m,
-                admitted_at: q.admitted_at,
+                job,
+                hits,
+                service,
             },
         );
+    }
+
+    /// The address book of a table update: every strategy-listed matcher
+    /// whose death the dispatcher tier has not detected.
+    fn addr_book(&self) -> Vec<(MatcherId, String)> {
+        self.strategy
+            .as_dyn()
+            .matchers()
+            .into_iter()
+            .filter(|m| !self.detected_dead.contains(m))
+            .map(|m| (m, sim_addr(m)))
+            .collect()
     }
 
     // ------------------------------------------------------------------
@@ -442,20 +650,17 @@ impl SimCluster {
         let Strategy::BlueDove(mp) = &mut self.strategy else {
             panic!("add_matcher requires the BlueDove strategy");
         };
-        // Dispatchers keep routing by the pre-split table until the switch.
-        let old = Strategy::BlueDove(mp.clone());
 
         // Split by per-dimension subscription load.
         let matchers = &self.matchers;
         let moves = mp.table_mut().split_join(new_id, |m, dim| {
             matchers
                 .get(&m)
-                .map(|mm| mm.core.sub_count(dim) as f64)
+                .map(|mm| mm.engine.sub_count(dim) as f64)
                 .unwrap_or(0.0)
         });
 
-        let mut new_matcher = SimMatcher::new(new_id, &self.space);
-        new_matcher.busy = false;
+        let mut new_matcher = SimMatcher::new(new_id, &self.space, &self.cfg);
         let mut retire = Vec::with_capacity(moves.len());
         for (dim, donor, range) in moves {
             // The donor's segments on this dimension *after* the split: a
@@ -482,23 +687,22 @@ impl SimCluster {
             if let Some(d) = self.matchers.get_mut(&donor) {
                 // Copy to the new matcher; the donor keeps every copy until
                 // the table switch so in-flight routing stays complete.
-                let moved = d.core.extract_overlapping(dim, &range);
+                let moved = d.engine.extract_overlapping(dim, &range);
                 let mut ids = Vec::new();
                 for sub in moved {
                     let keep = donor_keeps.iter().any(|r| sub.predicate(dim).overlaps(r));
                     if !keep {
                         ids.push(sub.id);
                     }
-                    d.core.insert(dim, sub.clone());
-                    new_matcher.core.insert(dim, sub);
+                    d.engine.insert(dim, sub.clone());
+                    new_matcher.engine.insert(dim, sub);
                 }
                 retire.push((donor, dim, ids));
             }
         }
         self.matchers.insert(new_id, new_matcher);
-        if self.routing_strategy.is_none() {
-            self.routing_strategy = Some(old);
-        }
+        // The dispatcher engine keeps routing by its current table until
+        // the switch event hands it the post-join one (propagation lag).
         self.queue.push(
             self.now + self.cfg.table_propagation_delay,
             Event::TableSwitch { retire },
@@ -511,9 +715,11 @@ impl SimCluster {
     // ------------------------------------------------------------------
 
     /// Crashes matcher `m` at the current time: its queued messages are
-    /// lost, and dispatchers keep sending to it (also lost) until the
+    /// dropped, and dispatchers keep sending to it until the
     /// failure-detection delay elapses, after which they fail over to the
-    /// other candidates.
+    /// other candidates. Under fire-and-forget the dropped and in-transit
+    /// messages are lost (the Figure 10 window); with acks on the ledger
+    /// retransmits them to live candidates.
     pub fn kill_matcher(&mut self, m: MatcherId) {
         let Some(matcher) = self.matchers.get_mut(&m) else {
             return;
@@ -522,12 +728,11 @@ impl SimCluster {
             return;
         }
         matcher.alive = false;
-        let dropped: usize = matcher.queues.iter().map(|q| q.len()).sum();
-        for q in matcher.queues.iter_mut() {
-            q.clear();
-        }
-        for _ in 0..dropped {
-            self.metrics.record_lost(self.now);
+        let dropped = matcher.engine.drop_queued();
+        if !self.cfg.retry.acks {
+            for _ in 0..dropped {
+                self.metrics.record_lost(self.now);
+            }
         }
         self.queue.push(
             self.now + self.cfg.detection_delay,
@@ -540,17 +745,24 @@ impl SimCluster {
         let mut v: Vec<(MatcherId, usize)> = self
             .matchers
             .iter()
-            .map(|(&id, m)| (id, m.core.total_subs()))
+            .map(|(&id, m)| (id, m.engine.total_subs()))
             .collect();
         v.sort_unstable_by_key(|&(m, _)| m);
         v
     }
 }
 
+/// The simulated "address" of a matcher — only used as an address-book
+/// key; the simulated transport routes by [`MatcherId`] directly.
+fn sim_addr(m: MatcherId) -> String {
+    format!("m{}", m.0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use bluedove_core::AdaptivePolicy;
+    use bluedove_engine::RetryPolicy;
     use bluedove_workload::PaperWorkload;
 
     fn small_cluster(n: u32) -> (SimCluster, MessageGenerator) {
@@ -640,6 +852,45 @@ mod tests {
         assert!(before > 0.0, "loss before detection: {before}");
         assert_eq!(after, 0.0, "loss after detection must stop: {after}");
         assert_eq!(c.live_matchers(), 7);
+    }
+
+    #[test]
+    fn acked_pipeline_redelivers_after_matcher_death() {
+        // Same crash schedule as the fire-and-forget test above, but with
+        // the at-least-once pipeline on: every message the dead matcher
+        // swallowed (queued or in transit) is retransmitted to a live
+        // candidate from the dispatcher ledger, so nothing is lost.
+        let w = PaperWorkload {
+            seed: 7,
+            ..Default::default()
+        };
+        let space = w.space();
+        let cfg = SimConfig {
+            retry: RetryPolicy {
+                acks: true,
+                suspicion_ttl: Time::INFINITY,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let mut c = SimCluster::new(
+            cfg,
+            space.clone(),
+            Strategy::bluedove(space, 8),
+            Box::new(AdaptivePolicy),
+        );
+        c.subscribe_all(w.subscriptions().take(2000));
+        let mut gen = w.messages();
+        c.run(1000.0, 3.0, &mut gen);
+        c.kill_matcher(MatcherId(0));
+        c.run(1000.0, 20.0, &mut gen);
+        c.drain(40.0);
+        assert_eq!(c.metrics.total_lost, 0, "acked pipeline must not lose");
+        assert_eq!(
+            c.metrics.total_delivered, c.metrics.total_sent,
+            "every admitted message is redelivered exactly once"
+        );
+        assert_eq!(c.in_flight(), 0, "ledger drains once every ack lands");
     }
 
     #[test]
