@@ -10,6 +10,7 @@
 //!   fig7      saturation rate per forwarding policy
 //!   fig8      per-matcher CPU load, BlueDove vs P2P
 //!   fig9      elasticity: response time while matchers are added
+//!   elasticity autoscaler grow-then-shrink round trip (closed-loop fig9)
 //!   fig10     fault tolerance: response time and loss under crashes
 //!   fig11a    saturation rate vs number of searchable dimensions
 //!   fig11b    saturation rate vs subscription skew (std dev)
@@ -31,7 +32,7 @@
 
 use bluedove_bench::{fmt_rate, ExpConfig, Policy, System};
 use bluedove_overlay::{exchange, EndpointState, GossipNode, NodeId, NodeRole};
-use bluedove_sim::SaturationProbe;
+use bluedove_sim::{AutoscalerConfig, SaturationProbe, ScaleDecision};
 use bluedove_workload::PaperWorkload;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -65,6 +66,7 @@ fn main() {
         "fig7" => fig7(&cfg),
         "fig8" => fig8(&cfg),
         "fig9" => fig9(&cfg),
+        "elasticity" => elasticity(&cfg),
         "fig10" => fig10(&cfg),
         "fig11a" => fig11a(&cfg),
         "fig11b" => fig11b(&cfg),
@@ -80,6 +82,7 @@ fn main() {
             fig7(&cfg);
             fig8(&cfg);
             fig9(&cfg);
+            elasticity(&cfg);
             fig10(&cfg);
             fig11a(&cfg);
             fig11b(&cfg);
@@ -287,7 +290,7 @@ fn fig9(cfg: &ExpConfig) {
         let growing = backlog > prev_backlog + ((rate * slice * 0.001) as usize).max(20);
         let mut event = String::new();
         if growing {
-            let id = c.add_matcher();
+            let id = c.add_matcher().expect("BlueDove join");
             additions.push((t, id.to_string()));
             event = format!("+{id}");
         }
@@ -307,6 +310,68 @@ fn fig9(cfg: &ExpConfig) {
         }
     }
     println!("    additions at: {additions:?}");
+}
+
+/// Elasticity round trip (§III-C): Figure 9 closed-loop. The load-driven
+/// autoscaler — not a manual trigger — grows the deployment through a
+/// rush-hour surge and gracefully hands the capacity back once traffic
+/// recedes.
+fn elasticity(cfg: &ExpConfig) {
+    banner(
+        "Elasticity: autoscaler grow-then-shrink round trip (3 matchers start)",
+        "matcher count tracks the surge in both directions; response recovers",
+    );
+    let start = 3u32;
+    let sat = cfg.saturation_rate(System::BlueDove, start);
+    let (mut c, mut g) = cfg.build(System::BlueDove, start);
+    c.enable_autoscaler(AutoscalerConfig {
+        min_matchers: start as usize,
+        max_matchers: 12,
+        ..Default::default()
+    });
+    let slice = (cfg.probe.probe_duration / 2.0).max(2.0);
+    let calm = sat * 0.1;
+    let surge = sat * 1.3;
+    println!(
+        "    3-matcher saturation {}; calm at 10%, surge at 130%",
+        fmt_rate(sat).trim()
+    );
+    println!(
+        "    {:>6} {:>10} {:>12} {:>9} {:>9}",
+        "t(s)", "rate", "resp (ms)", "backlog", "matchers"
+    );
+    for (rate, slices) in [(calm, 3), (surge, 10), (calm, 14)] {
+        for _ in 0..slices {
+            c.run(rate, slice, &mut g);
+            let t = c.now();
+            println!(
+                "    {:>6.0} {:>10} {:>12.2} {:>9} {:>9}",
+                t,
+                fmt_rate(rate),
+                c.metrics.mean_response(t - slice, t) * 1e3,
+                c.backlog(),
+                c.live_matchers()
+            );
+        }
+    }
+    c.drain(30.0);
+    let mut n = start as i64;
+    let mut peak = n;
+    for &(_, d) in c.autoscaler_log() {
+        match d {
+            ScaleDecision::ScaleUp => n += 1,
+            ScaleDecision::ScaleDown { .. } => n -= 1,
+            ScaleDecision::Hold => {}
+        }
+        peak = peak.max(n);
+    }
+    println!("    decisions: {:?}", c.autoscaler_log());
+    println!(
+        "    peak {peak} matchers, {} after hand-back; {} delivered, {} lost",
+        c.live_matchers(),
+        c.metrics.total_delivered,
+        c.metrics.total_lost
+    );
 }
 
 /// Figure 10: fault tolerance — response time and loss rate while

@@ -6,11 +6,18 @@
 //! [`Cluster::publish`] (or a standalone [`Publisher`]); subscribers
 //! receive matching messages directly on their own endpoints.
 //!
-//! Elasticity ([`Cluster::add_matcher`]) performs the §III-C join: split
-//! the segment table, hand the affected subscriptions over, swap the
-//! routing table, retire the donors' stale copies. Fault tolerance
-//! ([`Cluster::kill_matcher`]) crashes a matcher; dispatchers fail over on
-//! the next send error.
+//! Elasticity runs through one plan-driven entry point,
+//! [`Cluster::apply_scale`] (shared with the simulator via
+//! [`bluedove_engine::ScalePlan`]): a `Grow` performs the §III-C join —
+//! split the segment table, hand the affected subscriptions over, swap
+//! the routing table, retire the donors' stale copies — and a `Shrink`
+//! runs the inverse graceful leave — drain the victim's segments into
+//! their clockwise heirs, flip the table, then hand the victim the
+//! `Leave` pill so it exits once idle. An optional load-driven
+//! [`Autoscaler`] ([`ClusterConfig::autoscaler`]) turns gossiped load
+//! reports into those plans on [`Cluster::autoscale_tick`]. Fault
+//! tolerance ([`Cluster::kill_matcher`]) crashes a matcher; dispatchers
+//! fail over on the next send error.
 
 use crate::dispatcher::{DispatcherNode, DispatcherNodeConfig, RoutingState};
 use crate::mailbox::MailboxNode;
@@ -22,9 +29,13 @@ use crate::shared::{
 };
 use bluedove_baselines::AnyStrategy;
 use bluedove_core::{
-    AdaptivePolicy, AttributeSpace, DimIdx, ForwardingPolicy, IndexKind, MatcherId, Message,
-    MessageId, RandomPolicy, ResponseTimePolicy, SubscriberId, Subscription,
+    AdaptivePolicy, AttributeSpace, DimIdx, DimStats, ForwardingPolicy, IndexKind, MatcherId,
+    Message, MessageId, RandomPolicy, ResponseTimePolicy, SubscriberId, Subscription,
     SubscriptionCountPolicy, SubscriptionId,
+};
+use bluedove_engine::{
+    Autoscaler, AutoscalerConfig, EngineConfig, LoadSnapshot, ScaleDecision, ScaleOutcome,
+    ScalePlan,
 };
 use bluedove_net::{
     from_bytes, to_bytes, ChannelTransport, FaultHandle, FaultTransport, NetError, Transport,
@@ -32,7 +43,7 @@ use bluedove_net::{
 use bytes::Bytes;
 use crossbeam::channel::Receiver;
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -84,16 +95,15 @@ pub struct ClusterConfig {
     dispatchers: usize,
     policy: PolicyKind,
     strategy: StrategyKind,
-    index: IndexKind,
+    engine: EngineConfig,
     stats_interval: Duration,
     gossip_interval: Duration,
     table_pull_interval: Duration,
     seed: u64,
     fault_seed: Option<u64>,
     failure_detector: bluedove_overlay::FailureDetectorConfig,
-    reliability: ReliabilityConfig,
+    autoscaler: Option<AutoscalerConfig>,
     telemetry_file: Option<std::path::PathBuf>,
-    record_forwards: bool,
 }
 
 impl ClusterConfig {
@@ -106,17 +116,35 @@ impl ClusterConfig {
             dispatchers: 1,
             policy: PolicyKind::Adaptive,
             strategy: StrategyKind::BlueDove,
-            index: IndexKind::Cell(64),
+            engine: EngineConfig::default().index(IndexKind::Cell(64)),
             stats_interval: Duration::from_millis(200),
             gossip_interval: Duration::from_millis(250),
             table_pull_interval: Duration::from_millis(200),
             seed: 42,
             fault_seed: None,
             failure_detector: bluedove_overlay::FailureDetectorConfig::default(),
-            reliability: ReliabilityConfig::default(),
+            autoscaler: None,
             telemetry_file: None,
-            record_forwards: false,
         }
+    }
+
+    /// Replaces the whole engine-level knob block (index kind, retry
+    /// policy, dedup window, forward recording) with `engine` — the same
+    /// [`EngineConfig`] the simulator consumes, so one literal can
+    /// configure both hosts identically.
+    pub fn engine(mut self, engine: EngineConfig) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Enables the load-driven autoscaler: the orchestrator registers its
+    /// control inbox as a load observer, and each
+    /// [`Cluster::autoscale_tick`] feeds the gossiped `(queue, λ, µ)`
+    /// reports through the shared engine-layer [`Autoscaler`], executing
+    /// whatever [`ScalePlan`] it emits.
+    pub fn autoscaler(mut self, cfg: AutoscalerConfig) -> Self {
+        self.autoscaler = Some(cfg);
+        self
     }
 
     /// Sets the number of matchers.
@@ -145,7 +173,7 @@ impl ClusterConfig {
 
     /// Sets the per-dimension index structure.
     pub fn index(mut self, k: IndexKind) -> Self {
-        self.index = k;
+        self.engine.index = k;
         self
     }
 
@@ -195,34 +223,34 @@ impl ClusterConfig {
     /// forwarding). On by default; off restores the fire-and-forget
     /// pipeline of one synchronous failover, then drop.
     pub fn publication_acks(mut self, on: bool) -> Self {
-        self.reliability.acks = on;
+        self.engine.retry.acks = on;
         self
     }
 
     /// Sets the base ack timeout of the retransmit schedule.
     pub fn ack_timeout(mut self, d: Duration) -> Self {
-        self.reliability.ack_timeout = d;
+        self.engine.retry.ack_timeout = d.as_secs_f64();
         self
     }
 
     /// Sets how many retransmissions a publication gets before it is
     /// counted as dead-lettered.
     pub fn retry_budget(mut self, n: u32) -> Self {
-        self.reliability.retry_budget = n;
+        self.engine.retry.retry_budget = n;
         self
     }
 
     /// Sets how long a dispatcher shuns a suspected matcher before
     /// re-probing it.
     pub fn suspicion_ttl(mut self, d: Duration) -> Self {
-        self.reliability.suspicion_ttl = d;
+        self.engine.retry.suspicion_ttl = d.as_secs_f64();
         self
     }
 
     /// Sets the size of the idempotency windows (matcher dims and
     /// subscriber endpoints).
     pub fn dedup_window(mut self, n: usize) -> Self {
-        self.reliability.dedup_window = n;
+        self.engine.dedup_window = n;
         self
     }
 
@@ -237,7 +265,7 @@ impl ClusterConfig {
     /// in [`Cluster::forward_log`] — the sim/cluster parity probe. Off by
     /// default (the log grows without bound).
     pub fn record_forwards(mut self, on: bool) -> Self {
-        self.record_forwards = on;
+        self.engine.record_forwards = on;
         self
     }
 }
@@ -476,6 +504,13 @@ pub struct Cluster {
     /// Every acked subscription, by id — the durable registration store a
     /// restarted matcher recovers its copies from.
     sub_registry: HashMap<SubscriptionId, Subscription>,
+    /// The load-driven scaling controller, when configured.
+    autoscaler: Option<Autoscaler>,
+    /// Latest gossiped load report per `(matcher, dimension)` — the raw
+    /// material [`autoscale_tick`](Self::autoscale_tick) snapshots from.
+    load_view: HashMap<(MatcherId, DimIdx), DimStats>,
+    /// Every executed scale operation, in order.
+    scale_events: Vec<ScaleOutcome>,
 }
 
 impl Cluster {
@@ -503,8 +538,13 @@ impl Cluster {
             StrategyKind::FullReplication => AnyStrategy::full_rep(cfg.matchers),
         };
         let shared = Arc::new(Shared::new(cfg.space.clone(), strategy));
-        if cfg.record_forwards {
+        if cfg.engine.record_forwards {
             *shared.forward_log.write() = Some(Vec::new());
+        }
+        // With the autoscaler on, matchers mirror every load report to the
+        // orchestrator's control inbox alongside the dispatchers.
+        if cfg.autoscaler.is_some() {
+            shared.load_observers.write().push(control_addr());
         }
         let ctl_rx = transport.bind(&control_addr()).expect("bind control inbox");
         let tel_rx = transport
@@ -533,13 +573,13 @@ impl Cluster {
                 MatcherNodeConfig {
                     id,
                     addr: addr.clone(),
-                    index: cfg.index,
+                    index: cfg.engine.index,
                     stats_interval: cfg.stats_interval,
                     gossip_interval: cfg.gossip_interval,
                     gossip_seeds: seeds.clone(),
                     generation: 1,
                     failure_detector: cfg.failure_detector,
-                    dedup_window: cfg.reliability.dedup_window,
+                    dedup_window: cfg.engine.dedup_window,
                 },
                 shared.clone(),
                 scope(&addr),
@@ -577,7 +617,7 @@ impl Cluster {
                     seed: cfg.seed ^ (i as u64).wrapping_mul(0x9E37_79B9),
                     bootstrap: bootstrap.clone(),
                     table_pull_interval: cfg.table_pull_interval,
-                    reliability: cfg.reliability.clone(),
+                    reliability: ReliabilityConfig::from_engine(&cfg.engine),
                 },
                 shared.clone(),
                 scope(&addr),
@@ -585,6 +625,8 @@ impl Cluster {
         }
         let mailbox = MailboxNode::spawn_shared("mb/0".to_string(), scope("mb/0"), shared.clone());
         let next_matcher = cfg.matchers;
+        shared.matchers_gauge.set(matchers.len() as i64);
+        let autoscaler = cfg.autoscaler.clone().map(Autoscaler::new);
         Cluster {
             cfg,
             channel,
@@ -602,6 +644,9 @@ impl Cluster {
             table_version: 1,
             generations,
             sub_registry: HashMap::new(),
+            autoscaler,
+            load_view: HashMap::new(),
+            scale_events: Vec::new(),
         }
     }
 
@@ -755,7 +800,7 @@ impl Cluster {
                     rx,
                     e2e: crate::shared::e2e_latency_histogram(&self.shared.telemetry),
                     shared: self.shared.clone(),
-                    dedup: Mutex::new(SeenWindow::new(self.cfg.reliability.dedup_window)),
+                    dedup: Mutex::new(SeenWindow::new(self.cfg.engine.dedup_window)),
                 });
             }
         }
@@ -826,16 +871,25 @@ impl Cluster {
         }
     }
 
+    /// Executes one [`ScalePlan`] — the single elasticity entry point both
+    /// hosts share with the autoscaler. `Grow` performs the §III-C join,
+    /// `Shrink` the graceful leave. Only valid under the BlueDove
+    /// strategy.
+    pub fn apply_scale(&mut self, plan: &ScalePlan) -> Result<ScaleOutcome, ClusterError> {
+        let outcome = match plan {
+            ScalePlan::Grow { loads } => ScaleOutcome::Added(self.grow(loads)?),
+            ScalePlan::Shrink { victim } => ScaleOutcome::Removed(self.shrink(*victim)?),
+        };
+        self.scale_events.push(outcome);
+        Ok(outcome)
+    }
+
     /// Elastic join (§III-C): adds a matcher, splitting the segment of the
-    /// matcher `load` reports heaviest on each dimension (uniform load
-    /// when in doubt), synchronously handing the affected subscriptions
-    /// over before dispatchers start routing to the new matcher.
-    ///
-    /// Only valid under the BlueDove strategy.
-    pub fn add_matcher_with_load(
-        &mut self,
-        mut load: impl FnMut(MatcherId, DimIdx) -> f64,
-    ) -> Result<MatcherId, ClusterError> {
+    /// matcher `loads` reports heaviest on each dimension (uniform when
+    /// the snapshot is empty), synchronously handing the affected
+    /// subscriptions over before dispatchers start routing to the new
+    /// matcher.
+    fn grow(&mut self, loads: &LoadSnapshot) -> Result<MatcherId, ClusterError> {
         let new_id = MatcherId(self.next_matcher);
         // Compute the post-join table on a clone; dispatchers keep routing
         // by the old table until the handover completes.
@@ -845,7 +899,9 @@ impl Cluster {
                 return Err(ClusterError::WrongStrategy);
             };
             let mut mp2 = mp.clone();
-            let moves = mp2.table_mut().split_join(new_id, &mut load);
+            let moves = mp2
+                .table_mut()
+                .split_join(new_id, |m, dim| loads.load_of(m, dim));
             (AnyStrategy::BlueDove(mp2), moves)
         };
         self.next_matcher += 1;
@@ -864,13 +920,13 @@ impl Cluster {
             MatcherNodeConfig {
                 id: new_id,
                 addr: addr.clone(),
-                index: self.cfg.index,
+                index: self.cfg.engine.index,
                 stats_interval: self.cfg.stats_interval,
                 gossip_interval: self.cfg.gossip_interval,
                 gossip_seeds: seeds,
                 generation: 1,
                 failure_detector: self.cfg.failure_detector,
-                dedup_window: self.cfg.reliability.dedup_window,
+                dedup_window: self.cfg.engine.dedup_window,
             },
             self.shared.clone(),
             self.scoped_transport(&addr),
@@ -959,13 +1015,219 @@ impl Cluster {
                 let _ = self.transport.send(&donor_addr, to_bytes(&retire).freeze());
             }
         }
+        self.shared.counters.scale_ups.inc();
+        self.shared.matchers_gauge.set(self.matchers.len() as i64);
         Ok(new_id)
     }
 
     /// Elastic join with uniform load (splits the lowest-id matcher's
-    /// widest segments).
+    /// widest segments). Equivalent to `apply_scale(&ScalePlan::grow())`.
     pub fn add_matcher(&mut self) -> Result<MatcherId, ClusterError> {
-        self.add_matcher_with_load(|_, _| 1.0)
+        match self.apply_scale(&ScalePlan::grow())? {
+            ScaleOutcome::Added(id) => Ok(id),
+            ScaleOutcome::Removed(_) => unreachable!("grow plans add"),
+        }
+    }
+
+    /// Graceful elastic leave — the §III-C join run in reverse: removes
+    /// matcher `m`, handing each of its segments to the clockwise
+    /// neighbour the segment table picks, flipping the routing table, and
+    /// only then telling the victim to drain and exit. Acked in-flight
+    /// publications re-home automatically: once the table switches, the
+    /// dispatcher ledger recomputes candidates from the new table on every
+    /// retransmit. Equivalent to `apply_scale` with a `Shrink` plan.
+    pub fn remove_matcher(&mut self, m: MatcherId) -> Result<MatcherId, ClusterError> {
+        match self.apply_scale(&ScalePlan::Shrink { victim: m })? {
+            ScaleOutcome::Removed(id) => Ok(id),
+            ScaleOutcome::Added(_) => unreachable!("shrink plans remove"),
+        }
+    }
+
+    fn shrink(&mut self, victim: MatcherId) -> Result<MatcherId, ClusterError> {
+        if !self.matchers.contains_key(&victim) {
+            return Err(ClusterError::Invalid("matcher is not running"));
+        }
+        // Compute the post-leave table on a clone; dispatchers keep
+        // routing by the old table until every outgoing segment has a
+        // copy on its heir.
+        let (new_strategy, merges) = {
+            let guard = self.shared.strategy.read();
+            let AnyStrategy::BlueDove(mp) = &*guard else {
+                return Err(ClusterError::WrongStrategy);
+            };
+            let mut mp2 = mp.clone();
+            let merges = mp2
+                .table_mut()
+                .remove_matcher(victim)
+                .map_err(|e| match e {
+                    bluedove_core::CoreError::LastMatcher => {
+                        ClusterError::Invalid("cannot remove the last matcher")
+                    }
+                    _ => ClusterError::Invalid("matcher is not in the segment table"),
+                })?;
+            (AnyStrategy::BlueDove(mp2), merges)
+        };
+        let victim_addr = self
+            .shared
+            .matcher_addr(victim)
+            .ok_or(ClusterError::Timeout("victim address"))?;
+
+        // Synchronous hand-over, inverted: the victim ships a copy of each
+        // outgoing segment to its heir while continuing to serve its own
+        // copies (routing may still point at it for one pull interval).
+        for (dim, heir, range) in &merges {
+            let heir_addr = self
+                .shared
+                .matcher_addr(*heir)
+                .ok_or(ClusterError::Timeout("heir address"))?;
+            let handover = ControlMsg::HandOver {
+                dim: *dim,
+                range: *range,
+                to_addr: heir_addr,
+                reply_to: control_addr(),
+            };
+            self.transport
+                .send(&victim_addr, to_bytes(&handover).freeze())?;
+        }
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let mut acks = 0;
+        while acks < merges.len() {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            let payload = self
+                .ctl_rx
+                .recv_timeout(remaining)
+                .map_err(|_| ClusterError::Timeout("hand-over ack"))?;
+            if let Ok(ControlMsg::HandOverDone { .. }) = from_bytes(&payload) {
+                acks += 1;
+            }
+        }
+
+        // Flip the routing table with the victim deregistered. Matchers
+        // get the authoritative TableUpdate; dispatchers get the same book
+        // pushed as a TableState (they also pull periodically), after
+        // which no *new* work is routed to the victim — retransmissions
+        // recompute candidates from this table too, so the ledger re-homes
+        // its in-flight publications onto the heirs. Management-plane
+        // traffic goes over the raw channel (see restart_matcher).
+        *self.shared.strategy.write() = new_strategy.clone();
+        self.shared.matcher_addrs.write().remove(&victim);
+        self.table_version += 1;
+        let addr_book: Vec<(MatcherId, String)> = self
+            .shared
+            .matcher_addrs
+            .read()
+            .iter()
+            .map(|(&m, a)| (m, a.clone()))
+            .collect();
+        let update = ControlMsg::TableUpdate {
+            version: self.table_version,
+            strategy: new_strategy.clone(),
+            addrs: addr_book.clone(),
+        };
+        for (_, a) in &addr_book {
+            let _ = self.channel.send(a, to_bytes(&update).freeze());
+        }
+        let state = ControlMsg::TableState {
+            version: self.table_version,
+            strategy: Some(new_strategy),
+            addrs: addr_book,
+        };
+        for d in &self.dispatchers {
+            let _ = self.channel.send(&d.addr, to_bytes(&state).freeze());
+        }
+
+        // Publications routed by the old table may still arrive for up to
+        // one pull interval; the victim serves them from the copies it
+        // kept. Only then does it get the Leave pill: it announces its
+        // departure on the gossip mesh and exits once its queues are
+        // quiesced. Join before unbinding so any frame sent while the
+        // victim drains still lands in a live inbox.
+        std::thread::sleep(self.cfg.table_pull_interval * 2);
+        let _ = self
+            .channel
+            .send(&victim_addr, to_bytes(&ControlMsg::Leave).freeze());
+        if let Some(node) = self.matchers.remove(&victim) {
+            let addr = node.addr.clone();
+            node.join();
+            self.channel.unbind(&addr);
+        }
+        // Drop the retiree's stale observability entries so convergence
+        // probes don't count a node that left cleanly.
+        self.shared.gossip_peers.write().remove(&victim);
+        self.shared.gossip_live.write().remove(&victim);
+        self.load_view.retain(|&(m, _), _| m != victim);
+        self.shared.counters.scale_downs.inc();
+        self.shared.matchers_gauge.set(self.matchers.len() as i64);
+        Ok(victim)
+    }
+
+    /// Drains gossiped load reports from the control inbox into the load
+    /// view, assembles one [`LoadSnapshot`] over the current table
+    /// members, and feeds it through the autoscaler, executing whatever
+    /// plan the decision lowers to. Call it on the cadence you would run
+    /// a control loop — every stats interval or two.
+    ///
+    /// Returns `Ok(None)` when the controller holds, `Err(Invalid)` when
+    /// no autoscaler was configured.
+    pub fn autoscale_tick(&mut self) -> Result<Option<ScaleOutcome>, ClusterError> {
+        if self.autoscaler.is_none() {
+            return Err(ClusterError::Invalid("no autoscaler configured"));
+        }
+        while let Ok(payload) = self.ctl_rx.try_recv() {
+            if let Ok(ControlMsg::LoadReport {
+                matcher,
+                dim,
+                stats,
+            }) = from_bytes(&payload)
+            {
+                self.load_view.insert((matcher, dim), stats);
+            }
+        }
+        let members: HashSet<MatcherId> = self
+            .shared
+            .strategy
+            .read()
+            .as_dyn()
+            .matchers()
+            .into_iter()
+            .collect();
+        let mut snap = LoadSnapshot::new(self.shared.now());
+        for (&(m, dim), stats) in &self.load_view {
+            if members.contains(&m) {
+                snap.push(m, dim, *stats);
+            }
+        }
+        self.autoscale_with(&snap)
+    }
+
+    /// Feeds one explicit snapshot through the autoscaler and executes the
+    /// resulting plan — the cross-host parity probe: the simulator's
+    /// recorded snapshots replayed here must produce the same decision
+    /// sequence (the controller is deterministic in its inputs).
+    pub fn autoscale_with(
+        &mut self,
+        snap: &LoadSnapshot,
+    ) -> Result<Option<ScaleOutcome>, ClusterError> {
+        let Some(scaler) = self.autoscaler.as_mut() else {
+            return Err(ClusterError::Invalid("no autoscaler configured"));
+        };
+        let decision = scaler.observe(snap);
+        match ScalePlan::from_decision(decision, snap) {
+            Some(plan) => self.apply_scale(&plan).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    /// The non-`Hold` decisions the autoscaler has fired, with their
+    /// snapshot times. Empty when no autoscaler was configured.
+    pub fn autoscaler_log(&self) -> &[(f64, ScaleDecision)] {
+        self.autoscaler.as_ref().map(|a| a.log()).unwrap_or(&[])
+    }
+
+    /// Every executed scale operation, in order (manual and
+    /// autoscaler-driven).
+    pub fn scale_events(&self) -> &[ScaleOutcome] {
+        &self.scale_events
     }
 
     /// Crashes matcher `m`: its inbox vanishes and its thread stops.
@@ -976,6 +1238,7 @@ impl Cluster {
             self.shared.matcher_addrs.write().remove(&m);
             node.crash();
             node.join();
+            self.shared.matchers_gauge.set(self.matchers.len() as i64);
         }
     }
 
@@ -1032,13 +1295,13 @@ impl Cluster {
             MatcherNodeConfig {
                 id: m,
                 addr: addr.clone(),
-                index: self.cfg.index,
+                index: self.cfg.engine.index,
                 stats_interval: self.cfg.stats_interval,
                 gossip_interval: self.cfg.gossip_interval,
                 gossip_seeds: self.membership_seeds(),
                 generation,
                 failure_detector: self.cfg.failure_detector,
-                dedup_window: self.cfg.reliability.dedup_window,
+                dedup_window: self.cfg.engine.dedup_window,
             },
             self.scoped_transport(&addr),
         );
@@ -1093,6 +1356,7 @@ impl Cluster {
             self.channel.send(&addr, to_bytes(&store).freeze())?;
         }
         self.matchers.insert(m, bound.start(self.shared.clone()));
+        self.shared.matchers_gauge.set(self.matchers.len() as i64);
         let state = ControlMsg::TableState {
             version: self.table_version,
             strategy: Some(strategy),

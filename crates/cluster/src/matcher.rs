@@ -279,6 +279,8 @@ fn run(
         strategy: None,
         addrs: Vec::new(),
     };
+    // Set when a `Leave` arrives: the matcher is draining toward exit.
+    let mut leaving_since: Option<Instant> = None;
 
     'outer: loop {
         if crash.load(Ordering::Relaxed) {
@@ -286,7 +288,7 @@ fn run(
         }
         // Drain everything pending without blocking.
         while let Ok(payload) = rx.try_recv() {
-            if handle(
+            match handle(
                 &cfg,
                 &shared,
                 &transport,
@@ -297,7 +299,14 @@ fn run(
                 &mut pending_syns,
                 payload,
             ) {
-                break 'outer;
+                Step::Shutdown => break 'outer,
+                Step::Leaving => {
+                    gossip.announce_leaving();
+                    leaving_since.get_or_insert_with(Instant::now);
+                    // Spread the Leaving bit on the next pass.
+                    next_gossip = next_gossip.min(Instant::now());
+                }
+                Step::Continue => {}
             }
         }
         // Serve one queued message (round-robin across dimensions): pop,
@@ -335,7 +344,7 @@ fn run(
                 .min(Duration::from_millis(20));
             match rx.recv_timeout(timeout) {
                 Ok(payload) => {
-                    if handle(
+                    match handle(
                         &cfg,
                         &shared,
                         &transport,
@@ -346,7 +355,13 @@ fn run(
                         &mut pending_syns,
                         payload,
                     ) {
-                        break 'outer;
+                        Step::Shutdown => break 'outer,
+                        Step::Leaving => {
+                            gossip.announce_leaving();
+                            leaving_since.get_or_insert_with(Instant::now);
+                            next_gossip = next_gossip.min(Instant::now());
+                        }
+                        Step::Continue => {}
                     }
                 }
                 Err(RecvTimeoutError::Timeout) => {}
@@ -407,6 +422,7 @@ fn run(
         if Instant::now() >= next_stats {
             let now = shared.now();
             let dispatchers = shared.dispatcher_addrs.read().clone();
+            let observers = shared.load_observers.read().clone();
             for d in 0..k {
                 let dim = DimIdx(d as u16);
                 telemetry.queue_depth[d].set(engine.queue_len(dim) as i64);
@@ -417,11 +433,20 @@ fn run(
                     stats,
                 };
                 let bytes = to_bytes(&report).freeze();
-                for addr in &dispatchers {
+                for addr in dispatchers.iter().chain(observers.iter()) {
                     let _ = transport.send(addr, bytes.clone());
                 }
             }
             next_stats += cfg.stats_interval;
+        }
+        // A leaving matcher exits once its inbox and queues are drained
+        // and the Leaving announcement has had a couple of gossip rounds
+        // to spread (peers' sweeps turn Leaving into Dead immediately, so
+        // no failure-detection timeout is burned on an orderly exit).
+        if let Some(t0) = leaving_since {
+            if engine.is_idle() && rx.is_empty() && t0.elapsed() >= cfg.gossip_interval * 2 {
+                break 'outer;
+            }
         }
     }
 }
@@ -433,7 +458,18 @@ struct TableCopy {
     addrs: Vec<(MatcherId, String)>,
 }
 
-/// Handles one control message; returns `true` on shutdown.
+/// What the serve loop should do after one control message.
+enum Step {
+    /// Keep serving.
+    Continue,
+    /// Stop immediately (orderly `Shutdown`).
+    Shutdown,
+    /// Begin a graceful leave: announce `Leaving` on the overlay, serve
+    /// out the backlog, then exit once the announcement has spread.
+    Leaving,
+}
+
+/// Handles one control message.
 #[allow(clippy::too_many_arguments)]
 fn handle(
     cfg: &MatcherNodeConfig,
@@ -445,9 +481,9 @@ fn handle(
     telemetry: &MatcherTelemetry,
     pending_syns: &mut HashMap<String, Instant>,
     payload: Bytes,
-) -> bool {
+) -> Step {
     let Ok(msg) = from_bytes::<ControlMsg>(&payload) else {
-        return false; // corrupt frame: drop, keep serving
+        return Step::Continue; // corrupt frame: drop, keep serving
     };
     match msg {
         ControlMsg::StoreSub { dim, sub } => {
@@ -548,9 +584,10 @@ fn handle(
                 let _ = transport.send(&from_addr, to_bytes(&wire).freeze());
             }
         }
-        ControlMsg::Shutdown => return true,
+        ControlMsg::Leave => return Step::Leaving,
+        ControlMsg::Shutdown => return Step::Shutdown,
         // Messages not addressed to matchers are ignored defensively.
         _ => {}
     }
-    false
+    Step::Continue
 }

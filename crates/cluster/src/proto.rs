@@ -193,6 +193,13 @@ pub enum ControlMsg {
         /// Prometheus-style text exposition of every metric family.
         text: String,
     },
+    /// Orchestrator → matcher: begin a graceful leave (elastic
+    /// scale-down). The matcher announces `Leaving` on the gossip
+    /// overlay, keeps serving until its queues drain and the post-leave
+    /// table has had time to propagate, then exits its run loop. Sent
+    /// *after* the hand-overs to the heirs completed and the new table
+    /// was broadcast, so no new work is routed here.
+    Leave,
     /// Orderly shutdown of the receiving node.
     Shutdown,
 }
@@ -250,6 +257,7 @@ const TAG_TABLE_STATE: u8 = 18;
 const TAG_MATCH_ACK: u8 = 19;
 const TAG_TELEMETRY_PULL: u8 = 20;
 const TAG_TELEMETRY_TEXT: u8 = 21;
+const TAG_LEAVE: u8 = 22;
 
 impl Wire for ControlMsg {
     fn encode(&self, buf: &mut BytesMut) {
@@ -411,6 +419,7 @@ impl Wire for ControlMsg {
                 buf.put_u8(TAG_TELEMETRY_TEXT);
                 text.encode(buf);
             }
+            ControlMsg::Leave => buf.put_u8(TAG_LEAVE),
             ControlMsg::Shutdown => buf.put_u8(TAG_SHUTDOWN),
         }
     }
@@ -527,6 +536,7 @@ impl Wire for ControlMsg {
             TAG_TELEMETRY_TEXT => ControlMsg::TelemetryText {
                 text: String::decode(buf)?,
             },
+            TAG_LEAVE => ControlMsg::Leave,
             TAG_SHUTDOWN => ControlMsg::Shutdown,
             t => return Err(NetError::BadTag(t)),
         })
@@ -619,6 +629,7 @@ mod tests {
             range: Range::new(5.0, 6.0),
             keep: vec![Range::new(0.0, 5.0)],
         });
+        round_trip(ControlMsg::Leave);
         round_trip(ControlMsg::Shutdown);
         round_trip(ControlMsg::Unsubscribe(sub));
         round_trip(ControlMsg::RemoveSub {

@@ -2,7 +2,7 @@
 
 use bluedove_baselines::AnyStrategy;
 use bluedove_core::{AttributeSpace, DimIdx, MatcherId, MessageId};
-use bluedove_telemetry::{Counter, Histogram, Registry};
+use bluedove_telemetry::{Counter, Gauge, Histogram, Registry};
 use parking_lot::RwLock;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::hash::Hash;
@@ -58,6 +58,27 @@ impl ReliabilityConfig {
             suspicion_ttl: self.suspicion_ttl.as_secs_f64(),
         }
     }
+
+    /// Raises the shared [`bluedove_engine::EngineConfig`] knobs into the
+    /// host's `Duration`-based form. An infinite suspicion TTL (the
+    /// simulator's "shun forever") has no `Duration` counterpart and is
+    /// clamped to one hour — effectively permanent at thread-host scale.
+    pub fn from_engine(engine: &bluedove_engine::EngineConfig) -> Self {
+        let secs = |t: f64, inf: Duration| {
+            if t.is_finite() {
+                Duration::from_secs_f64(t)
+            } else {
+                inf
+            }
+        };
+        ReliabilityConfig {
+            acks: engine.retry.acks,
+            ack_timeout: secs(engine.retry.ack_timeout, Duration::from_secs(3600)),
+            retry_budget: engine.retry.retry_budget,
+            suspicion_ttl: secs(engine.retry.suspicion_ttl, Duration::from_secs(3600)),
+            dedup_window: engine.dedup_window,
+        }
+    }
 }
 
 /// Cluster-wide counters (all relaxed: they are diagnostics, not
@@ -87,6 +108,10 @@ pub struct Counters {
     /// Publications abandoned after exhausting the retry budget (counted
     /// instead of being silently dropped).
     pub dead_lettered: Counter,
+    /// Elastic joins executed (autoscaler-driven or manual).
+    pub scale_ups: Counter,
+    /// Graceful elastic leaves executed (autoscaler-driven or manual).
+    pub scale_downs: Counter,
 }
 
 impl Counters {
@@ -131,6 +156,14 @@ impl Counters {
             dead_lettered: c(
                 "bluedove_dead_lettered_total",
                 "publications abandoned after exhausting the retry budget",
+            ),
+            scale_ups: c(
+                "bluedove_scale_ups_total",
+                "elastic joins executed (autoscaler-driven or manual)",
+            ),
+            scale_downs: c(
+                "bluedove_scale_downs_total",
+                "graceful elastic leaves executed (autoscaler-driven or manual)",
             ),
         }
     }
@@ -224,6 +257,11 @@ pub struct Shared {
     pub matcher_addrs: RwLock<HashMap<MatcherId, String>>,
     /// Dispatcher transport addresses (load reports fan out to these).
     pub dispatcher_addrs: RwLock<Vec<String>>,
+    /// Extra addresses matcher load reports are mirrored to, beyond the
+    /// dispatchers. The orchestrator registers its control inbox here
+    /// when an autoscaler is configured (and only then, so an idle
+    /// control inbox is not flooded with reports).
+    pub load_observers: RwLock<Vec<String>>,
     /// Cluster epoch; all timestamps are seconds (or µs) since this.
     pub epoch: Instant,
     /// Allocator for subscription ids.
@@ -235,6 +273,9 @@ pub struct Shared {
     pub telemetry: std::sync::Arc<Registry>,
     /// Diagnostics (handles onto `telemetry` series).
     pub counters: Counters,
+    /// Current matcher-node count (updated on start, join, leave, crash
+    /// and restart) — the elasticity experiment's step curve.
+    pub matchers_gauge: Gauge,
     /// Per-matcher gossip peer counts (membership convergence metric,
     /// refreshed by each matcher on its gossip tick).
     pub gossip_peers: RwLock<HashMap<MatcherId, usize>>,
@@ -254,16 +295,23 @@ impl Shared {
     pub fn new(space: AttributeSpace, strategy: AnyStrategy) -> Self {
         let telemetry = std::sync::Arc::new(Registry::new());
         let counters = Counters::register(&telemetry);
+        let matchers_gauge = telemetry.gauge(
+            "bluedove_matchers",
+            "current matcher-node count (elasticity step curve)",
+            &[],
+        );
         Shared {
             space,
             strategy: RwLock::new(strategy),
             matcher_addrs: RwLock::new(HashMap::new()),
             dispatcher_addrs: RwLock::new(Vec::new()),
+            load_observers: RwLock::new(Vec::new()),
             epoch: Instant::now(),
             next_sub_id: AtomicU64::new(1),
             next_msg_id: AtomicU64::new(1),
             telemetry,
             counters,
+            matchers_gauge,
             gossip_peers: RwLock::new(HashMap::new()),
             gossip_live: RwLock::new(HashMap::new()),
             forward_log: RwLock::new(None),

@@ -40,12 +40,18 @@
 //! [`MatcherEngine::run_match`], and [`MatcherEngine::complete`] emits
 //! deliveries and the `MatchAck` through a [`MatcherPort`].
 
+pub mod autoscaler;
+pub mod config;
 pub mod dedup;
 pub mod dispatcher;
 pub mod matcher;
 pub mod suspect;
 pub mod timer;
 
+pub use autoscaler::{
+    Autoscaler, AutoscalerConfig, LoadSnapshot, ScaleDecision, ScaleOutcome, ScalePlan,
+};
+pub use config::{EngineConfig, EngineConfigBuilder};
 pub use dedup::{Admit, DedupWindow};
 pub use dispatcher::{
     DispatcherEffect, DispatcherEngine, DispatcherEngineConfig, DispatcherEvent, DispatcherOut,

@@ -154,6 +154,12 @@ impl MatcherEngine {
         self.queues.iter().map(|q| q.len()).sum()
     }
 
+    /// Whether every queue is drained — the condition a gracefully
+    /// leaving matcher waits for before retiring.
+    pub fn is_idle(&self) -> bool {
+        self.backlog() == 0
+    }
+
     /// Drops every queued publication (a crash host losing its volatile
     /// queues); returns how many were lost.
     pub fn drop_queued(&mut self) -> usize {

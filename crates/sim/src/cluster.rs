@@ -24,6 +24,7 @@
 //!   `TableUpdate` event, failure detection by delaying `MatcherDown`.
 
 use crate::config::SimConfig;
+use crate::error::SimError;
 use crate::events::EventQueue;
 use crate::metrics::Metrics;
 use bluedove_core::{
@@ -31,8 +32,9 @@ use bluedove_core::{
     MessageId, SubscriberId, Subscription, SubscriptionId, Time,
 };
 use bluedove_engine::{
-    DispatcherEffect, DispatcherEngine, DispatcherEngineConfig, DispatcherEvent, DispatcherOut,
-    DispatcherPort, MatcherEngine, MatcherPort, ServiceJob,
+    Autoscaler, AutoscalerConfig, DispatcherEffect, DispatcherEngine, DispatcherEngineConfig,
+    DispatcherEvent, DispatcherOut, DispatcherPort, LoadSnapshot, MatcherEngine, MatcherPort,
+    ScaleDecision, ScaleOutcome, ScalePlan, ServiceJob,
 };
 use bluedove_workload::MessageGenerator;
 use std::collections::{HashMap, HashSet};
@@ -41,10 +43,6 @@ use std::collections::{HashMap, HashSet};
 /// Figure 6). Re-exported from `bluedove-baselines` so the simulator and
 /// the threaded cluster share one definition.
 pub use bluedove_baselines::AnyStrategy as Strategy;
-
-/// Idempotency-window size per dimension — the threaded cluster's
-/// `ReliabilityConfig` default, so both hosts dedup identically.
-const DEDUP_WINDOW: usize = 8192;
 
 /// The `ack_to` marker stamped on acked forwards. The simulated
 /// dispatcher tier is a single shared engine, so the "address" only needs
@@ -64,7 +62,12 @@ struct SimMatcher {
 impl SimMatcher {
     fn new(id: MatcherId, space: &AttributeSpace, cfg: &SimConfig) -> Self {
         SimMatcher {
-            engine: MatcherEngine::new(id, space.clone(), cfg.index, DEDUP_WINDOW),
+            engine: MatcherEngine::new(
+                id,
+                space.clone(),
+                cfg.engine.index,
+                cfg.engine.dedup_window,
+            ),
             busy: false,
             alive: true,
         }
@@ -107,6 +110,10 @@ enum Event {
     TableSwitch {
         retire: Vec<(MatcherId, DimIdx, Vec<SubscriptionId>)>,
     },
+    /// A gracefully leaving matcher may retire: once the post-leave table
+    /// has propagated and its queues have drained, the node is removed.
+    /// Reschedules itself while the matcher still has work.
+    Decommission { m: MatcherId },
     /// A retransmit deadline of the dispatcher engine's at-least-once
     /// ledger may be due (stale ticks are cheap no-ops).
     DispatcherTick,
@@ -240,6 +247,14 @@ pub struct SimCluster {
     scheduled_tick: Option<Time>,
     /// `(message, matcher, dimension)` per first forward, when enabled.
     forward_log: Option<Vec<(MessageId, MatcherId, DimIdx)>>,
+    /// The elasticity controller, when enabled: observes every stats round
+    /// and its decisions are executed in-line through [`Self::apply_scale`].
+    autoscaler: Option<Autoscaler>,
+    /// Every snapshot the autoscaler observed, in order — the trace the
+    /// cross-host parity test replays against the threaded cluster.
+    snapshot_log: Vec<LoadSnapshot>,
+    /// Every executed scale operation `(time, outcome)`.
+    scale_events: Vec<(Time, ScaleOutcome)>,
     /// Metrics of the whole simulation so far.
     pub metrics: Metrics,
 }
@@ -261,12 +276,12 @@ impl SimCluster {
         let dispatcher = DispatcherEngine::new(DispatcherEngineConfig {
             policy,
             seed: cfg.seed,
-            retry: cfg.retry.clone(),
+            retry: cfg.engine.retry.clone(),
             version: 1,
             strategy: strategy.clone(),
             addrs: ids.iter().map(|&m| (m, sim_addr(m))).collect(),
         });
-        let forward_log = cfg.record_forwards.then(Vec::new);
+        let forward_log = cfg.engine.record_forwards.then(Vec::new);
         let mut c = SimCluster {
             cfg,
             space,
@@ -281,6 +296,9 @@ impl SimCluster {
             table_version: 1,
             scheduled_tick: None,
             forward_log,
+            autoscaler: None,
+            snapshot_log: Vec::new(),
+            scale_events: Vec::new(),
             metrics: Metrics::new(0.5),
         };
         // Kick off the periodic stats pushes. The first fires immediately
@@ -318,9 +336,33 @@ impl SimCluster {
     }
 
     /// The recorded `(message, matcher, dimension)` first-forward trace
-    /// (empty unless [`SimConfig`]'s `record_forwards` was set).
+    /// (empty unless the engine config's `record_forwards` was set).
     pub fn forward_log(&self) -> &[(MessageId, MatcherId, DimIdx)] {
         self.forward_log.as_deref().unwrap_or(&[])
+    }
+
+    /// Turns the elasticity control loop on: every stats round the
+    /// controller observes the same load reports dispatchers receive and
+    /// its ScaleUp/ScaleDown decisions are executed immediately through
+    /// [`Self::apply_scale`].
+    pub fn enable_autoscaler(&mut self, cfg: AutoscalerConfig) {
+        self.autoscaler = Some(Autoscaler::new(cfg));
+    }
+
+    /// The non-`Hold` decisions the autoscaler has fired, with their times.
+    pub fn autoscaler_log(&self) -> &[(Time, ScaleDecision)] {
+        self.autoscaler.as_ref().map(|a| a.log()).unwrap_or(&[])
+    }
+
+    /// Every load snapshot the autoscaler observed, in order — replay this
+    /// through another host's controller to check decision parity.
+    pub fn snapshot_log(&self) -> &[LoadSnapshot] {
+        &self.snapshot_log
+    }
+
+    /// Every executed scale operation, `(time, outcome)`.
+    pub fn scale_events(&self) -> &[(Time, ScaleOutcome)] {
+        &self.scale_events
     }
 
     /// Registers a subscription (instantaneous, like the paper's pre-load
@@ -468,7 +510,7 @@ impl SimCluster {
                     // loses the message here; with acks on the ledger owns
                     // loss accounting (the retransmit schedule will land it
                     // elsewhere or dead-letter it).
-                    if !self.cfg.retry.acks {
+                    if !self.cfg.engine.retry.acks {
                         self.metrics.record_lost(self.now);
                     }
                     return;
@@ -540,13 +582,14 @@ impl SimCluster {
                         reports.push((id, dim, matcher.engine.stats_report(dim, self.now)));
                     }
                 }
-                for (matcher, dim, stats) in reports {
+                for &(matcher, dim, stats) in &reports {
                     self.feed_dispatcher(DispatcherEvent::LoadReport {
                         matcher,
                         dim,
                         stats,
                     });
                 }
+                self.autoscale_round(&reports);
                 self.queue
                     .push(self.now + self.cfg.stats_update_interval, Event::StatsPush);
             }
@@ -575,6 +618,22 @@ impl SimCluster {
                     strategy,
                     addrs,
                 });
+            }
+            Event::Decommission { m } => {
+                let Some(matcher) = self.matchers.get(&m) else {
+                    return;
+                };
+                // The post-leave table has propagated, so no new frames
+                // target this matcher; wait out whatever it still holds
+                // (graceful leave means the victim serves its own backlog).
+                if matcher.busy || !matcher.engine.is_idle() {
+                    self.queue.push(
+                        self.now + self.cfg.net_latency.max(1e-6),
+                        Event::Decommission { m },
+                    );
+                    return;
+                }
+                self.matchers.remove(&m);
             }
             Event::DispatcherTick => {
                 self.scheduled_tick = None;
@@ -634,31 +693,76 @@ impl SimCluster {
     // Elasticity (§III-C, Figure 9)
     // ------------------------------------------------------------------
 
-    /// Adds a matcher to a BlueDove deployment: splits the most loaded
-    /// matcher's segment on every dimension, copies the affected
-    /// subscriptions to the new matcher immediately, and schedules the
-    /// dispatcher-visible table switch after the propagation delay (donors
-    /// keep serving their copies until then, so no message misses
-    /// matches).
-    ///
-    /// # Panics
-    /// Panics when the deployment does not run the BlueDove strategy.
-    pub fn add_matcher(&mut self) -> MatcherId {
+    /// Executes one typed scale request — the single elasticity entry
+    /// point shared (by name and semantics) with the threaded cluster.
+    /// Autoscaler decisions, manual joins and manual leaves all lower
+    /// onto this.
+    pub fn apply_scale(&mut self, plan: &ScalePlan) -> Result<ScaleOutcome, SimError> {
+        match plan {
+            ScalePlan::Grow { loads } => self.grow(loads).map(ScaleOutcome::Added),
+            ScalePlan::Shrink { victim } => self.shrink(*victim).map(ScaleOutcome::Removed),
+        }
+    }
+
+    /// Adds a matcher to a BlueDove deployment, splitting by the current
+    /// per-dimension subscription counts (a [`ScalePlan::Grow`] built from
+    /// live engine state). Fails with [`SimError::WrongStrategy`] on the
+    /// static baselines.
+    pub fn add_matcher(&mut self) -> Result<MatcherId, SimError> {
+        let k = self.space.k();
+        let mut loads = LoadSnapshot::new(self.now);
+        for (&id, m) in &self.matchers {
+            if !m.alive {
+                continue;
+            }
+            for d in 0..k {
+                let dim = DimIdx(d as u16);
+                loads.push(
+                    id,
+                    dim,
+                    DimStats {
+                        sub_count: m.engine.sub_count(dim),
+                        queue_len: 0,
+                        lambda: 0.0,
+                        mu: 0.0,
+                        updated_at: self.now,
+                    },
+                );
+            }
+        }
+        self.grow(&loads)
+    }
+
+    /// Gracefully removes matcher `m` (a [`ScalePlan::Shrink`]): its
+    /// segments merge into the adjacent owners, which receive copies of
+    /// the affected subscriptions immediately; the victim keeps serving
+    /// its queue until the post-leave table has propagated and its
+    /// backlog is drained, then the node is decommissioned.
+    pub fn remove_matcher(&mut self, m: MatcherId) -> Result<MatcherId, SimError> {
+        self.shrink(m)
+    }
+
+    /// The join half of [`Self::apply_scale`]: splits the most loaded
+    /// matcher's segment on every dimension (by the plan's snapshot),
+    /// copies the affected subscriptions to the new matcher immediately,
+    /// and schedules the dispatcher-visible table switch after the
+    /// propagation delay (donors keep serving their copies until then, so
+    /// no message misses matches).
+    fn grow(&mut self, loads: &LoadSnapshot) -> Result<MatcherId, SimError> {
+        if !matches!(self.strategy, Strategy::BlueDove(_)) {
+            return Err(SimError::WrongStrategy);
+        }
         let new_id = MatcherId(self.next_matcher_id);
         self.next_matcher_id += 1;
 
         let Strategy::BlueDove(mp) = &mut self.strategy else {
-            panic!("add_matcher requires the BlueDove strategy");
+            unreachable!("checked above");
         };
 
-        // Split by per-dimension subscription load.
-        let matchers = &self.matchers;
-        let moves = mp.table_mut().split_join(new_id, |m, dim| {
-            matchers
-                .get(&m)
-                .map(|mm| mm.engine.sub_count(dim) as f64)
-                .unwrap_or(0.0)
-        });
+        // Split by the snapshot's per-dimension subscription loads.
+        let moves = mp
+            .table_mut()
+            .split_join(new_id, |m, dim| loads.load_of(m, dim));
 
         let mut new_matcher = SimMatcher::new(new_id, &self.space, &self.cfg);
         let mut retire = Vec::with_capacity(moves.len());
@@ -667,23 +771,16 @@ impl SimCluster {
             // subscription overlapping both halves stays on the donor
             // permanently (mPartition stores it wherever its predicate
             // overlaps a segment).
-            let donor_keeps: Vec<bluedove_core::Range> = self
-                .strategy
-                .as_dyn()
-                .matchers()
-                .iter()
-                .find(|&&m| m == donor)
-                .map(|_| match &self.strategy {
-                    Strategy::BlueDove(mp) => mp
-                        .table()
-                        .segments_of(donor)
-                        .into_iter()
-                        .filter(|(d, _)| *d == dim)
-                        .map(|(_, r)| r)
-                        .collect(),
-                    _ => Vec::new(),
-                })
-                .unwrap_or_default();
+            let donor_keeps: Vec<bluedove_core::Range> = match &self.strategy {
+                Strategy::BlueDove(mp) => mp
+                    .table()
+                    .segments_of(donor)
+                    .into_iter()
+                    .filter(|(d, _)| *d == dim)
+                    .map(|(_, r)| r)
+                    .collect(),
+                _ => Vec::new(),
+            };
             if let Some(d) = self.matchers.get_mut(&donor) {
                 // Copy to the new matcher; the donor keeps every copy until
                 // the table switch so in-flight routing stays complete.
@@ -707,7 +804,92 @@ impl SimCluster {
             self.now + self.cfg.table_propagation_delay,
             Event::TableSwitch { retire },
         );
-        new_id
+        Ok(new_id)
+    }
+
+    /// The leave half of [`Self::apply_scale`]. The drain protocol is the
+    /// inverse of the join:
+    ///
+    /// 1. the segment table merges every victim segment into its
+    ///    neighbour (predecessor when one exists, successor otherwise);
+    /// 2. the heirs receive copies of the affected subscriptions
+    ///    immediately, while the victim *keeps* its copies — it must
+    ///    serve whatever is already queued on it;
+    /// 3. after the propagation delay the dispatcher tier switches to the
+    ///    post-leave table, whose address book no longer lists the victim
+    ///    (retransmissions from the at-least-once ledger recompute their
+    ///    candidates from the new table, so in-flight acked messages
+    ///    re-home onto the heirs without special casing);
+    /// 4. once every pre-switch frame has arrived and the victim's queue
+    ///    is drained, the node is decommissioned.
+    fn shrink(&mut self, victim: MatcherId) -> Result<MatcherId, SimError> {
+        match self.matchers.get(&victim) {
+            None => return Err(SimError::UnknownMatcher(victim)),
+            Some(m) if !m.alive => return Err(SimError::NotAlive(victim)),
+            Some(_) => {}
+        }
+        let Strategy::BlueDove(mp) = &mut self.strategy else {
+            return Err(SimError::WrongStrategy);
+        };
+        let merges = mp.table_mut().remove_matcher(victim)?;
+        for (dim, heir, range) in merges {
+            let moved = match self.matchers.get_mut(&victim) {
+                Some(v) => v.engine.extract_overlapping(dim, &range),
+                None => Vec::new(),
+            };
+            for sub in moved {
+                if let Some(h) = self.matchers.get_mut(&heir) {
+                    h.engine.insert(dim, sub.clone());
+                }
+                // The victim serves its remaining backlog with its full
+                // subscription set; the copies die with the node.
+                if let Some(v) = self.matchers.get_mut(&victim) {
+                    v.engine.insert(dim, sub);
+                }
+            }
+        }
+        // Nothing to retire at the switch: the heirs keep their new
+        // copies, and the victim's disappear at decommission.
+        self.queue.push(
+            self.now + self.cfg.table_propagation_delay,
+            Event::TableSwitch { retire: Vec::new() },
+        );
+        // The last frame routed by the pre-switch table arrives at most
+        // one dispatch + one network hop after the switch; poll for the
+        // drain from just past that instant.
+        self.queue.push(
+            self.now
+                + self.cfg.table_propagation_delay
+                + self.cfg.dispatch_cost
+                + self.cfg.net_latency
+                + 1e-9,
+            Event::Decommission { m: victim },
+        );
+        Ok(victim)
+    }
+
+    /// One autoscaler observation round, fed the same reports the
+    /// dispatcher tier just received. Matchers no longer in the strategy
+    /// (mid-drain leavers) are excluded so the controller never picks a
+    /// victim that is already on its way out.
+    fn autoscale_round(&mut self, reports: &[(MatcherId, DimIdx, DimStats)]) {
+        if self.autoscaler.is_none() {
+            return;
+        }
+        let members: HashSet<MatcherId> = self.strategy.as_dyn().matchers().into_iter().collect();
+        let mut snap = LoadSnapshot::new(self.now);
+        for &(m, dim, stats) in reports {
+            if members.contains(&m) {
+                snap.push(m, dim, stats);
+            }
+        }
+        let decision = self.autoscaler.as_mut().expect("checked").observe(&snap);
+        self.snapshot_log.push(snap.clone());
+        if let Some(plan) = ScalePlan::from_decision(decision, &snap) {
+            if let Ok(outcome) = self.apply_scale(&plan) {
+                self.scale_events.push((self.now, outcome));
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -729,7 +911,7 @@ impl SimCluster {
         }
         matcher.alive = false;
         let dropped = matcher.engine.drop_queued();
-        if !self.cfg.retry.acks {
+        if !self.cfg.engine.retry.acks {
             for _ in 0..dropped {
                 self.metrics.record_lost(self.now);
             }
@@ -866,11 +1048,11 @@ mod tests {
         };
         let space = w.space();
         let cfg = SimConfig {
-            retry: RetryPolicy {
+            engine: bluedove_engine::EngineConfig::default().retry(RetryPolicy {
                 acks: true,
                 suspicion_ttl: Time::INFINITY,
                 ..Default::default()
-            },
+            }),
             ..Default::default()
         };
         let mut c = SimCluster::new(
@@ -900,7 +1082,7 @@ mod tests {
             c.run(500.0, 3.0, &mut gen);
             c.metrics.total_matches as f64 / c.metrics.total_delivered.max(1) as f64
         };
-        let new = c.add_matcher();
+        let new = c.add_matcher().unwrap();
         assert_eq!(c.live_matchers(), 5);
         // During the propagation window, routing still works and matches.
         c.run(500.0, 1.0, &mut gen);
@@ -924,6 +1106,64 @@ mod tests {
             .unwrap();
         assert!(new_subs > 0, "new matcher received no subscriptions");
         assert_eq!(c.metrics.total_lost, 0);
+    }
+
+    #[test]
+    fn remove_matcher_drains_and_loses_nothing() {
+        let (mut c, mut gen) = small_cluster(5);
+        c.run(500.0, 3.0, &mut gen);
+        let victim = MatcherId(2);
+        let removed = c.remove_matcher(victim).unwrap();
+        assert_eq!(removed, victim);
+        // Propagation window: the victim still serves; then it drains and
+        // decommissions while traffic continues.
+        c.run(500.0, 10.0, &mut gen);
+        c.drain(2.0);
+        assert_eq!(c.live_matchers(), 4, "victim decommissioned");
+        assert!(
+            c.sub_counts().iter().all(|&(m, _)| m != victim),
+            "victim still holds state"
+        );
+        assert_eq!(c.metrics.total_lost, 0, "graceful leave must not lose");
+        assert_eq!(c.metrics.total_delivered, c.metrics.total_sent);
+        assert_eq!(c.backlog(), 0);
+    }
+
+    #[test]
+    fn scale_errors_are_typed_not_panics() {
+        let w = PaperWorkload {
+            seed: 3,
+            ..Default::default()
+        };
+        let mut p2p = SimCluster::new(
+            SimConfig::default(),
+            w.space(),
+            Strategy::p2p(w.space(), 4),
+            Box::new(bluedove_core::RandomPolicy),
+        );
+        assert_eq!(p2p.add_matcher(), Err(SimError::WrongStrategy));
+        assert_eq!(
+            p2p.remove_matcher(MatcherId(0)),
+            Err(SimError::WrongStrategy)
+        );
+
+        let (mut c, _) = small_cluster(2);
+        assert_eq!(
+            c.remove_matcher(MatcherId(99)),
+            Err(SimError::UnknownMatcher(MatcherId(99)))
+        );
+        c.kill_matcher(MatcherId(1));
+        assert_eq!(
+            c.remove_matcher(MatcherId(1)),
+            Err(SimError::NotAlive(MatcherId(1)))
+        );
+
+        // The table refuses to go below one matcher.
+        let (mut solo, _) = small_cluster(1);
+        assert_eq!(
+            solo.remove_matcher(MatcherId(0)),
+            Err(SimError::LastMatcher)
+        );
     }
 
     #[test]

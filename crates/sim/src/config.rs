@@ -8,8 +8,8 @@
 //! ("the matching time is not reduced because each matcher needs to search
 //! all subscriptions").
 
-use bluedove_core::{IndexKind, Time};
-use bluedove_engine::RetryPolicy;
+use bluedove_core::Time;
+use bluedove_engine::{EngineConfig, RetryPolicy};
 
 /// All tunables of the simulated deployment.
 #[derive(Debug, Clone, PartialEq)]
@@ -37,23 +37,19 @@ pub struct SimConfig {
     pub num_dispatchers: usize,
     /// RNG seed for arrival jitter and random policies.
     pub seed: u64,
-    /// Per-dimension index structure matchers build. The default stays
-    /// [`IndexKind::Linear`] — the `examined`-driven service-time model
-    /// above *is* the paper's linear-scan cost model, and sub-linear
-    /// indexes would decouple `examined` from the modelled cost. (The
-    /// threaded cluster defaults to `Cell(64)` because there matching
-    /// cost is measured, not modelled.)
-    pub index: IndexKind,
-    /// Reliability model of the dispatcher tier. The default is
+    /// The host-independent engine knobs (index kind, retry policy, dedup
+    /// window, forward recording) shared with `ClusterConfig`. The
+    /// simulator's default keeps [`IndexKind::Linear`] — the
+    /// `examined`-driven service-time model above *is* the paper's
+    /// linear-scan cost model, and sub-linear indexes would decouple
+    /// `examined` from the modelled cost — and
     /// [`RetryPolicy::fire_and_forget`]: no acks, permanent suspicion —
     /// the loss semantics of the paper's Figure 10 experiment. Switch
     /// `acks` on to run the at-least-once pipeline (ledger, exponential
     /// backoff retransmissions, dead-lettering) under virtual time.
-    pub retry: RetryPolicy,
-    /// Record `(message, matcher, dimension)` for every first forward —
-    /// the trace the engine-parity tests compare across hosts. Off by
-    /// default (the log grows with every admitted message).
-    pub record_forwards: bool,
+    ///
+    /// [`IndexKind::Linear`]: bluedove_core::IndexKind::Linear
+    pub engine: EngineConfig,
 }
 
 impl Default for SimConfig {
@@ -68,9 +64,7 @@ impl Default for SimConfig {
             table_propagation_delay: 2.0,
             num_dispatchers: 2,
             seed: 42,
-            index: IndexKind::Linear,
-            retry: RetryPolicy::fire_and_forget(),
-            record_forwards: false,
+            engine: EngineConfig::default().retry(RetryPolicy::fire_and_forget()),
         }
     }
 }

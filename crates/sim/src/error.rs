@@ -1,0 +1,49 @@
+//! Typed errors of the simulated deployment's elasticity API.
+
+use bluedove_core::{CoreError, MatcherId};
+use std::fmt;
+
+/// Why a scale operation on the simulated cluster was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// Elastic joins/leaves require the BlueDove segment-table strategy;
+    /// the static baselines (P2P, full replication) cannot resize.
+    WrongStrategy,
+    /// The named matcher is not part of the deployment.
+    UnknownMatcher(MatcherId),
+    /// A deployment cannot shrink below one matcher.
+    LastMatcher,
+    /// The named matcher has crashed; a crashed node is failed over, not
+    /// gracefully drained.
+    NotAlive(MatcherId),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::WrongStrategy => {
+                write!(f, "elastic scaling requires the BlueDove strategy")
+            }
+            SimError::UnknownMatcher(m) => write!(f, "unknown matcher M{}", m.0),
+            SimError::LastMatcher => write!(f, "cannot remove the last matcher"),
+            SimError::NotAlive(m) => {
+                write!(f, "matcher M{} is dead and cannot be drained", m.0)
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<CoreError> for SimError {
+    fn from(e: CoreError) -> Self {
+        match e {
+            CoreError::LastMatcher => SimError::LastMatcher,
+            CoreError::UnknownMatcher(id) => SimError::UnknownMatcher(MatcherId(id)),
+            // The segment table raises nothing else from join/leave; map
+            // any future variant onto the strategy bucket rather than
+            // panicking in a host.
+            _ => SimError::WrongStrategy,
+        }
+    }
+}

@@ -63,9 +63,9 @@ fn conservation_under_overload() {
 fn conservation_across_elastic_joins() {
     let (mut c, mut g) = build(4, 1500, 5);
     c.run(1_000.0, 3.0, &mut g);
-    c.add_matcher();
+    c.add_matcher().unwrap();
     c.run(1_000.0, 3.0, &mut g);
-    c.add_matcher();
+    c.add_matcher().unwrap();
     c.run(1_000.0, 5.0, &mut g);
     c.drain(10.0);
     assert_conserved(&c, 0);
@@ -74,6 +74,24 @@ fn conservation_across_elastic_joins() {
         "elastic joins must not lose messages"
     );
     assert_eq!(c.backlog(), 0);
+}
+
+#[test]
+fn conservation_across_elastic_leaves() {
+    let (mut c, mut g) = build(6, 1500, 5);
+    c.run(1_000.0, 3.0, &mut g);
+    c.remove_matcher(MatcherId(1)).unwrap();
+    c.run(1_000.0, 5.0, &mut g);
+    c.remove_matcher(MatcherId(4)).unwrap();
+    c.run(1_000.0, 5.0, &mut g);
+    c.drain(10.0);
+    assert_conserved(&c, 0);
+    assert_eq!(
+        c.metrics.total_lost, 0,
+        "graceful leaves must not lose messages"
+    );
+    assert_eq!(c.backlog(), 0);
+    assert_eq!(c.live_matchers(), 4);
 }
 
 #[test]

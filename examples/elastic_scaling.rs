@@ -1,12 +1,16 @@
 //! Elasticity demo (§III-C, Figure 9): drive the simulated deployment
-//! toward saturation, add matchers on demand, and watch response time
-//! recover within seconds of each addition.
+//! through a rush-hour surge with the load-driven autoscaler in charge.
+//! The controller watches the gossiped `(queue, λ, µ)` reports, adds
+//! matchers while mean pressure sits above the high watermark, and
+//! gracefully drains the coldest matcher back out once the surge
+//! recedes — no manual `add_matcher` calls anywhere.
 //!
 //! ```sh
 //! cargo run --release --example elastic_scaling
 //! ```
 
 use bluedove::core::AdaptivePolicy;
+use bluedove::engine::AutoscalerConfig;
 use bluedove::sim::{SimCluster, SimConfig, Strategy};
 use bluedove::workload::PaperWorkload;
 
@@ -23,42 +27,42 @@ fn main() {
         Box::new(AdaptivePolicy),
     );
     cluster.subscribe_all(workload.subscriptions().take(8_000));
+    cluster.enable_autoscaler(AutoscalerConfig {
+        min_matchers: 3,
+        max_matchers: 12,
+        ..Default::default()
+    });
     let mut gen = workload.messages();
 
     println!(
-        "{:>6} {:>10} {:>14} {:>9} {:>8}",
-        "t(s)", "rate/s", "response(ms)", "backlog", "event"
+        "{:>6} {:>10} {:>14} {:>9} {:>9}",
+        "t(s)", "rate/s", "response(ms)", "backlog", "matchers"
     );
     let slice = 5.0;
     let mut rate = 500.0;
     let mut peak = 0.0f64;
-    let mut prev_backlog = 0;
-    for tick in 0..18 {
+    for tick in 0..24 {
         cluster.run(rate, slice, &mut gen);
         let t = cluster.now();
         let resp = cluster.metrics.mean_response(t - slice, t) * 1e3;
-        let backlog = cluster.backlog();
-        let mut event = String::new();
-        // Saturation heuristic: the backlog grew by >1% of the slice's
-        // traffic → provision another matcher (split the hottest one).
-        if backlog > prev_backlog + (rate * slice * 0.01) as usize {
-            let id = cluster.add_matcher();
-            event = format!("added {id}");
-        }
-        prev_backlog = backlog;
         println!(
-            "{:>6.0} {:>10.0} {:>14.2} {:>9} {:>8}",
-            t, rate, resp, backlog, event
+            "{:>6.0} {:>10.0} {:>14.2} {:>9} {:>9}",
+            t,
+            rate,
+            resp,
+            cluster.backlog(),
+            cluster.live_matchers()
         );
         // Rush hour: ramp for 30 s, hold the peak, then traffic recedes
-        // and the provisioned cluster drains its backlog.
+        // and the autoscaler hands the extra capacity back.
         if tick < 6 {
             rate *= 1.25;
             peak = rate;
         } else if tick >= 11 {
-            rate = peak * 0.5;
+            rate = peak * 0.2;
         }
     }
+    println!("scale events: {:?}", cluster.scale_events());
     println!(
         "final: {} live matchers, {} messages delivered, {} lost",
         cluster.live_matchers(),

@@ -41,6 +41,7 @@ pub use bluedove_baselines as baselines;
 pub use bluedove_bench as bench_support;
 pub use bluedove_cluster as cluster;
 pub use bluedove_core as core;
+pub use bluedove_engine as engine;
 pub use bluedove_net as net;
 pub use bluedove_overlay as overlay;
 pub use bluedove_sim as sim;

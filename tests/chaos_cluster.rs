@@ -679,7 +679,88 @@ fn crash_loses_nothing_with_acks() {
 }
 
 // ---------------------------------------------------------------------
-// 12. Recovery-readmission regression, observed through the telemetry
+// 12. Elastic scale-down mid-traffic: gracefully remove matchers while
+//     publications are still in flight, with acks on. The leave protocol
+//     (hand-over to the clockwise heirs, table flip, drain, retire) must
+//     preserve exactly-once observation — nothing lost to the vanished
+//     node, nothing double-delivered by the hand-over copies — and the
+//     ledger must never dead-letter.
+// ---------------------------------------------------------------------
+#[test]
+fn scale_down_mid_traffic_loses_nothing() {
+    let seed = scenario_seed("scale_down_mid_traffic_loses_nothing", 0x5CA1E);
+    let mut cluster = Cluster::start(chaos_config(seed, 4, FailureDetectorConfig::default()));
+    let sub = cluster.subscribe(wildcard(&space())).unwrap();
+
+    const N: u64 = 200;
+    // Collision-free over 0..N (see `crash_loses_nothing_with_acks`).
+    let unique_probe = |i: u64| Message::new(vec![(i % 100) as f64, (i / 100 * 10) as f64]);
+    let mut published = 0u64;
+    let mut publish_batch = |cluster: &mut Cluster, upto: u64| {
+        while published < upto {
+            cluster.publish(unique_probe(published)).unwrap();
+            published += 1;
+        }
+    };
+
+    // Phase 1: publish into the 4-matcher table, then retire a matcher
+    // while those publications are still queued/in flight. The victim
+    // must serve or hand over everything it holds before it exits.
+    publish_batch(&mut cluster, 80);
+    let removed = cluster
+        .remove_matcher(MatcherId(1))
+        .expect("graceful leave of m/1");
+    assert_eq!(removed, MatcherId(1));
+
+    // Phase 2: the shrunk table serves new traffic, then shrink again —
+    // two transitions, both under load.
+    publish_batch(&mut cluster, 140);
+    cluster
+        .remove_matcher(MatcherId(3))
+        .expect("graceful leave of m/3");
+    publish_batch(&mut cluster, N);
+
+    // Every admitted publication is observed exactly once across both
+    // scale-downs.
+    let mut seen = vec![0u32; N as usize];
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while Instant::now() < deadline {
+        let Some(d) = sub.recv_timeout(Duration::from_millis(300)) else {
+            if seen.iter().all(|&n| n == 1) {
+                break;
+            }
+            continue;
+        };
+        let i = (0..N)
+            .position(|i| d.msg.values == unique_probe(i).values)
+            .expect("delivery matches one published probe");
+        seen[i] += 1;
+    }
+    let (retried, duplicates_suppressed, dead_lettered) = cluster.reliability_counters();
+    println!(
+        "scale-down counters: retried={retried} duplicates_suppressed={duplicates_suppressed} \
+         dead_lettered={dead_lettered}"
+    );
+    let lost: Vec<usize> = (0..N as usize).filter(|&i| seen[i] == 0).collect();
+    let duped: Vec<usize> = (0..N as usize).filter(|&i| seen[i] > 1).collect();
+    assert!(
+        lost.is_empty(),
+        "zero publication loss across scale-downs; lost probes {lost:?}"
+    );
+    assert!(
+        duped.is_empty(),
+        "zero duplicate observations; duplicated probes {duped:?}"
+    );
+    assert_eq!(dead_lettered, 0, "nothing exhausted its retry budget");
+    // Membership reflects both retirements.
+    let ids = cluster.matcher_ids();
+    assert_eq!(ids.len(), 2, "two matchers left: {ids:?}");
+    assert!(!ids.contains(&MatcherId(1)) && !ids.contains(&MatcherId(3)));
+    cluster.shutdown();
+}
+
+// ---------------------------------------------------------------------
+// 13. Recovery-readmission regression, observed through the telemetry
 //     layer: a matcher that was partitioned away (suspected by the
 //     dispatcher, its stats forgotten) must attract traffic again after
 //     the suspicion TTL lapses — on the strength of TTL expiry and the

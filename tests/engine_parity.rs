@@ -40,10 +40,14 @@ fn parity_for_seed(seed: u64) {
     let space = w.space();
 
     // --- Simulator host -------------------------------------------------
+    let base = SimConfig::default();
     let sim_cfg = SimConfig {
         seed,
-        record_forwards: true,
-        ..Default::default()
+        engine: bluedove::engine::EngineConfig {
+            record_forwards: true,
+            ..base.engine.clone()
+        },
+        ..base
     };
     let mut sim = SimCluster::new(
         sim_cfg,
