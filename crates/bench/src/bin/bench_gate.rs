@@ -1,0 +1,91 @@
+//! The batch-aware bench gate CI runs after `experiments -- bench`:
+//!
+//! ```text
+//! bench_gate <report.json> <schema.json> <baseline.json> [--tolerance 0.2]
+//! ```
+//!
+//! Exits nonzero when the fresh report fails schema validation, when the
+//! batching speedup recorded in it dropped below 1 (batching made the
+//! hot path slower), or when batching-on forward throughput regressed
+//! more than the tolerance against the committed baseline. Improvements
+//! always pass; refreshing the baseline is an explicit, reviewed commit.
+
+use bluedove_bench::json::{parse, Json};
+use bluedove_bench::trajectory::{mode_throughput, regression_gate, validate, Gate};
+
+fn load(path: &str) -> Json {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("bench_gate: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    parse(&text).unwrap_or_else(|e| {
+        eprintln!("bench_gate: {path} is not valid JSON: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = args.iter().filter(|a| !a.starts_with("--"));
+    let (Some(report_path), Some(schema_path), Some(baseline_path)) =
+        (paths.next(), paths.next(), paths.next())
+    else {
+        eprintln!("usage: bench_gate <report.json> <schema.json> <baseline.json> [--tolerance F]");
+        std::process::exit(2);
+    };
+    let tolerance = args
+        .iter()
+        .position(|a| a == "--tolerance")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.parse::<f64>().expect("--tolerance needs a fraction"))
+        .unwrap_or(0.2);
+
+    let report = load(report_path);
+    let schema = load(schema_path);
+    let baseline = load(baseline_path);
+
+    let errors = validate(&report, &schema);
+    if !errors.is_empty() {
+        eprintln!("bench_gate: {report_path} fails schema validation:");
+        for e in &errors {
+            eprintln!("  {e}");
+        }
+        std::process::exit(1);
+    }
+    println!("schema: {report_path} valid against {schema_path}");
+
+    let on = mode_throughput(&report, "batching_on").expect("validated above");
+    let off = mode_throughput(&report, "batching_off").expect("validated above");
+    println!(
+        "throughput: batching off {:.0} msg/s, on {:.0} msg/s ({:.2}x)",
+        off,
+        on,
+        on / off
+    );
+    if on < off {
+        eprintln!("bench_gate: batching made the hot path slower ({on:.0} < {off:.0} msg/s)");
+        std::process::exit(1);
+    }
+
+    match regression_gate(&report, &baseline, tolerance) {
+        Ok(Gate::Pass { change }) => {
+            println!(
+                "gate: PASS ({:+.1}% vs baseline, tolerance -{:.0}%)",
+                change * 100.0,
+                tolerance * 100.0
+            );
+        }
+        Ok(Gate::Fail { change, tolerance }) => {
+            eprintln!(
+                "bench_gate: FAIL — batching-on throughput {:+.1}% vs baseline exceeds the -{:.0}% tolerance",
+                change * 100.0,
+                tolerance * 100.0
+            );
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            std::process::exit(2);
+        }
+    }
+}

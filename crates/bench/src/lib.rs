@@ -6,5 +6,7 @@
 //! `EXPERIMENTS.md` for paper-vs-measured results).
 
 pub mod exp;
+pub mod json;
+pub mod trajectory;
 
 pub use exp::*;

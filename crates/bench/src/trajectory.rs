@@ -1,0 +1,291 @@
+//! The machine-readable perf trajectory: schema validation and the
+//! regression gate over `BENCH_cluster.json`.
+//!
+//! Every `experiments -- bench` run emits one JSON report (forward
+//! throughput with batching off and on, p99 forward and end-to-end
+//! latency, simulated saturation rate, wire bytes per message). CI
+//! validates the fresh report against the checked-in
+//! `schemas/bench_cluster.schema.json` and fails the build when forward
+//! throughput regresses more than the tolerance against the committed
+//! `BENCH_baseline.json` — the trajectory is append-only evidence that
+//! the hot path got faster, never quietly slower.
+//!
+//! The validator implements the subset of JSON Schema the checked-in
+//! schema uses: `type`, `properties`, `required`, `items`, `minimum`,
+//! `exclusiveMinimum`, `additionalProperties: false` and local
+//! `$ref: "#/..."` pointers. Keeping the validator honest against the
+//! real schema file (instead of hardcoding the shape) means the schema
+//! in the repo is the single source of truth reviewers read.
+
+use crate::json::Json;
+
+/// Validates `doc` against the JSON-Schema subset in `schema`. Returns
+/// every violation (empty = valid); paths are JSON-pointer style.
+pub fn validate(doc: &Json, schema: &Json) -> Vec<String> {
+    let mut errors = Vec::new();
+    validate_at(doc, schema, schema, "", &mut errors);
+    errors
+}
+
+/// Resolves a local `$ref` ("#/definitions/mode") against the schema
+/// root; non-ref nodes pass through. One level is enough — the checked-in
+/// schema never chains references.
+fn resolve<'a>(schema: &'a Json, root: &'a Json) -> &'a Json {
+    let Some(pointer) = schema.get("$ref").and_then(Json::as_str) else {
+        return schema;
+    };
+    let Some(path) = pointer.strip_prefix("#/") else {
+        return schema;
+    };
+    let mut node = root;
+    for segment in path.split('/') {
+        match node.get(segment) {
+            Some(next) => node = next,
+            None => return schema, // dangling ref: validate nothing
+        }
+    }
+    node
+}
+
+fn validate_at(doc: &Json, schema: &Json, root: &Json, path: &str, errors: &mut Vec<String>) {
+    let schema = resolve(schema, root);
+    let here = || {
+        if path.is_empty() {
+            "<root>".to_string()
+        } else {
+            path.to_string()
+        }
+    };
+
+    if let Some(expected) = schema.get("type").and_then(Json::as_str) {
+        // JSON Schema's "integer" is a number constraint, not a type of
+        // its own in our value model.
+        let ok = match expected {
+            "integer" => matches!(doc, Json::Num(n) if n.fract() == 0.0),
+            other => doc.type_name() == other,
+        };
+        if !ok {
+            errors.push(format!(
+                "{}: expected {expected}, found {}",
+                here(),
+                doc.type_name()
+            ));
+            return; // structural checks below would only cascade
+        }
+    }
+
+    if let Some(min) = schema.get("minimum").and_then(Json::as_f64) {
+        if let Some(n) = doc.as_f64() {
+            if n < min {
+                errors.push(format!("{}: {n} below minimum {min}", here()));
+            }
+        }
+    }
+    if let Some(min) = schema.get("exclusiveMinimum").and_then(Json::as_f64) {
+        if let Some(n) = doc.as_f64() {
+            if n <= min {
+                errors.push(format!("{}: {n} not above {min}", here()));
+            }
+        }
+    }
+
+    if let Some(required) = schema.get("required").and_then(Json::as_arr) {
+        for key in required.iter().filter_map(Json::as_str) {
+            if doc.get(key).is_none() {
+                errors.push(format!("{}: missing required member {key:?}", here()));
+            }
+        }
+    }
+
+    if let Some(props) = schema.get("properties").and_then(Json::as_obj) {
+        for (key, subschema) in props {
+            if let Some(member) = doc.get(key) {
+                validate_at(member, subschema, root, &format!("{path}/{key}"), errors);
+            }
+        }
+        if schema.get("additionalProperties").and_then(Json::as_bool) == Some(false) {
+            if let Some(members) = doc.as_obj() {
+                for (key, _) in members {
+                    if !props.iter().any(|(k, _)| k == key) {
+                        errors.push(format!("{}: unexpected member {key:?}", here()));
+                    }
+                }
+            }
+        }
+    }
+
+    if let (Some(items), Some(elems)) = (schema.get("items"), doc.as_arr()) {
+        for (i, elem) in elems.iter().enumerate() {
+            validate_at(elem, items, root, &format!("{path}/{i}"), errors);
+        }
+    }
+}
+
+/// One mode's throughput, read from a report: `batching_off` or
+/// `batching_on` → `forward_throughput_msgs_per_sec`.
+pub fn mode_throughput(report: &Json, mode: &str) -> Option<f64> {
+    report
+        .get(mode)?
+        .get("forward_throughput_msgs_per_sec")?
+        .as_f64()
+}
+
+/// The regression verdict of a fresh report against the committed
+/// baseline.
+#[derive(Debug, PartialEq)]
+pub enum Gate {
+    /// Within tolerance (relative change of the batching-on throughput).
+    Pass { change: f64 },
+    /// Regressed beyond tolerance.
+    Fail { change: f64, tolerance: f64 },
+}
+
+/// Compares batching-on forward throughput against the baseline: a drop
+/// of more than `tolerance` (fraction, e.g. `0.2`) fails. Improvements
+/// always pass — the trajectory only gates the downside.
+pub fn regression_gate(report: &Json, baseline: &Json, tolerance: f64) -> Result<Gate, String> {
+    let fresh =
+        mode_throughput(report, "batching_on").ok_or("report missing batching_on throughput")?;
+    let base = mode_throughput(baseline, "batching_on")
+        .ok_or("baseline missing batching_on throughput")?;
+    if base <= 0.0 {
+        return Err(format!("baseline throughput {base} is not positive"));
+    }
+    let change = fresh / base - 1.0;
+    if change < -tolerance {
+        Ok(Gate::Fail { change, tolerance })
+    } else {
+        Ok(Gate::Pass { change })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    fn report(on: f64, off: f64) -> Json {
+        parse(&format!(
+            r#"{{
+                "batching_off": {{"forward_throughput_msgs_per_sec": {off}}},
+                "batching_on": {{"forward_throughput_msgs_per_sec": {on}}}
+            }}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn gate_passes_within_tolerance_and_on_improvement() {
+        let base = report(100_000.0, 60_000.0);
+        for fresh_on in [85_000.0, 100_000.0, 250_000.0] {
+            let fresh = report(fresh_on, 60_000.0);
+            assert!(
+                matches!(
+                    regression_gate(&fresh, &base, 0.2).unwrap(),
+                    Gate::Pass { .. }
+                ),
+                "fresh_on={fresh_on}"
+            );
+        }
+    }
+
+    #[test]
+    fn gate_fails_past_tolerance() {
+        let base = report(100_000.0, 60_000.0);
+        let fresh = report(79_000.0, 60_000.0);
+        match regression_gate(&fresh, &base, 0.2).unwrap() {
+            Gate::Fail { change, tolerance } => {
+                assert!(change < -0.2);
+                assert_eq!(tolerance, 0.2);
+            }
+            other => panic!("expected Fail, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn gate_rejects_malformed_inputs() {
+        let base = report(100_000.0, 60_000.0);
+        let empty = parse("{}").unwrap();
+        assert!(regression_gate(&empty, &base, 0.2).is_err());
+        assert!(regression_gate(&base, &empty, 0.2).is_err());
+        let zero = report(0.0, 0.0);
+        assert!(regression_gate(&base, &zero, 0.2).is_err());
+    }
+
+    #[test]
+    fn validator_enforces_types_required_and_bounds() {
+        let schema = parse(
+            r#"{
+                "type": "object",
+                "required": ["speedup", "modes"],
+                "additionalProperties": false,
+                "properties": {
+                    "speedup": {"type": "number", "exclusiveMinimum": 0},
+                    "count": {"type": "integer", "minimum": 1},
+                    "modes": {"type": "array", "items": {"type": "string"}}
+                }
+            }"#,
+        )
+        .unwrap();
+
+        let good = parse(r#"{"speedup": 1.6, "count": 3, "modes": ["off", "on"]}"#).unwrap();
+        assert!(validate(&good, &schema).is_empty());
+
+        let bad =
+            parse(r#"{"speedup": 0, "count": 1.5, "modes": ["off", 4], "extra": 1}"#).unwrap();
+        let errors = validate(&bad, &schema);
+        assert_eq!(errors.len(), 4, "{errors:?}");
+        assert!(errors.iter().any(|e| e.contains("not above 0")));
+        assert!(errors.iter().any(|e| e.contains("expected integer")));
+        assert!(errors.iter().any(|e| e.contains("/modes/1")));
+        assert!(errors.iter().any(|e| e.contains("unexpected member")));
+
+        let missing = parse(r#"{"speedup": 2.0}"#).unwrap();
+        let errors = validate(&missing, &schema);
+        assert!(errors.iter().any(|e| e.contains("missing required")));
+    }
+
+    #[test]
+    fn validator_follows_local_refs() {
+        let schema = parse(
+            r##"{
+                "type": "object",
+                "required": ["off", "on"],
+                "properties": {
+                    "off": {"$ref": "#/definitions/mode"},
+                    "on": {"$ref": "#/definitions/mode"}
+                },
+                "definitions": {
+                    "mode": {
+                        "type": "object",
+                        "required": ["rate"],
+                        "properties": {"rate": {"type": "number", "exclusiveMinimum": 0}}
+                    }
+                }
+            }"##,
+        )
+        .unwrap();
+        let good = parse(r#"{"off": {"rate": 1.0}, "on": {"rate": 2.0}}"#).unwrap();
+        assert!(validate(&good, &schema).is_empty());
+        let bad = parse(r#"{"off": {"rate": 0}, "on": {}}"#).unwrap();
+        let errors = validate(&bad, &schema);
+        assert!(errors.iter().any(|e| e.contains("/off/rate")), "{errors:?}");
+        assert!(
+            errors
+                .iter()
+                .any(|e| e.contains("missing required member \"rate\"")),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn committed_schema_parses_and_rejects_an_empty_report() {
+        let text = include_str!("../../../schemas/bench_cluster.schema.json");
+        let schema = parse(text).unwrap();
+        let empty = parse("{}").unwrap();
+        let errors = validate(&empty, &schema);
+        // Every top-level required member of the real schema must be
+        // reported missing — proves the committed file drives the gate.
+        assert!(errors.len() >= 7, "{errors:?}");
+    }
+}

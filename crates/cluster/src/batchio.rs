@@ -1,0 +1,125 @@
+//! Host-side glue for the engine-level [`Coalescer`]: lowering a flush
+//! onto the wire and recording the batching telemetry.
+//!
+//! The coalescing *decisions* (which frames ride together, when a lane
+//! flushes) live in `bluedove_engine::batch` so the simulator makes the
+//! same ones; this module owns what only the threaded host has — the real
+//! transport behind a flush and the metric registry the flush is recorded
+//! into.
+
+use crate::proto::ControlMsg;
+use bluedove_engine::{Flush, FlushReason};
+use bluedove_net::{to_bytes, Transport};
+use bluedove_telemetry::{Counter, Histogram, Registry};
+
+/// Telemetry handles for one component's coalescer (dispatchers and
+/// matchers register their own `component` label).
+pub struct BatchMetrics {
+    /// Frames per flushed batch (a size distribution, recorded as a
+    /// unitless histogram).
+    frames: Histogram,
+    /// Flushes triggered by the lane reaching `max_batch`.
+    size: Counter,
+    /// Flushes triggered by the oldest staged frame aging out.
+    deadline: Counter,
+    /// Flushes the host forced (shutdown, ordering barriers, dead peers).
+    explicit: Counter,
+}
+
+impl BatchMetrics {
+    /// Registers the batch metric families labelled by `component`.
+    /// Registration is idempotent — all dispatchers share one series.
+    pub fn register(registry: &Registry, component: &str) -> Self {
+        let labels = vec![("component", component.to_string())];
+        let reason = |r: &'static str| {
+            let mut l = labels.clone();
+            l.push(("reason", r.to_string()));
+            registry.counter(
+                "bluedove_batch_flush_total",
+                "coalescer flushes by trigger",
+                &l,
+            )
+        };
+        BatchMetrics {
+            frames: registry.histogram(
+                "bluedove_batch_frames",
+                "frames per coalesced transport send",
+                &labels,
+            ),
+            size: reason("size"),
+            deadline: reason("deadline"),
+            explicit: reason("explicit"),
+        }
+    }
+
+    /// Records one flush of `n` frames.
+    pub fn record(&self, n: usize, reason: FlushReason) {
+        self.frames.observe_us(n as u64);
+        match reason {
+            FlushReason::Size => self.size.inc(),
+            FlushReason::Deadline => self.deadline.inc(),
+            FlushReason::Explicit => self.explicit.inc(),
+        }
+    }
+}
+
+/// Lowers flushed frames onto the wire: a single frame goes out unwrapped
+/// (byte-identical to an unbatched sender), a run goes out as one
+/// [`ControlMsg::Batch`].
+pub fn flush_frame(mut items: Vec<ControlMsg>) -> ControlMsg {
+    debug_assert!(!items.is_empty(), "flushes are never empty");
+    if items.len() == 1 {
+        items.pop().expect("len checked")
+    } else {
+        ControlMsg::Batch(items)
+    }
+}
+
+/// Sends one flush over `transport`, recording its telemetry. Returns
+/// whether the transport accepted the frame.
+pub fn send_flush(
+    transport: &dyn Transport,
+    metrics: &BatchMetrics,
+    flush: Flush<ControlMsg>,
+) -> bool {
+    metrics.record(flush.items.len(), flush.reason);
+    let frame = flush_frame(flush.items);
+    transport
+        .send(&flush.dest, to_bytes(&frame).freeze())
+        .is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_frame_flushes_are_unwrapped() {
+        let f = flush_frame(vec![ControlMsg::Shutdown]);
+        assert_eq!(f, ControlMsg::Shutdown);
+        let f = flush_frame(vec![ControlMsg::Shutdown, ControlMsg::Leave]);
+        assert_eq!(
+            f,
+            ControlMsg::Batch(vec![ControlMsg::Shutdown, ControlMsg::Leave])
+        );
+    }
+
+    #[test]
+    fn metrics_register_idempotently() {
+        let r = Registry::new();
+        let a = BatchMetrics::register(&r, "dispatcher");
+        let b = BatchMetrics::register(&r, "dispatcher");
+        a.record(3, FlushReason::Size);
+        b.record(1, FlushReason::Deadline);
+        assert_eq!(
+            r.counter_value(
+                "bluedove_batch_flush_total",
+                &[
+                    ("component", "dispatcher".into()),
+                    ("reason", "size".into())
+                ]
+            ),
+            Some(1)
+        );
+    }
+}

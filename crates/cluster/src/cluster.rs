@@ -38,12 +38,13 @@ use bluedove_engine::{
     ScalePlan,
 };
 use bluedove_net::{
-    from_bytes, to_bytes, ChannelTransport, FaultHandle, FaultTransport, NetError, Transport,
+    from_bytes, from_bytes_shared, to_bytes, ChannelTransport, FaultHandle, FaultTransport,
+    NetError, Transport,
 };
 use bytes::Bytes;
 use crossbeam::channel::Receiver;
 use parking_lot::Mutex;
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -174,6 +175,20 @@ impl ClusterConfig {
     /// Sets the per-dimension index structure.
     pub fn index(mut self, k: IndexKind) -> Self {
         self.engine.index = k;
+        self
+    }
+
+    /// Frames coalesced per destination before a size flush on the
+    /// forwarding hot path (`1` = batching off, the default).
+    pub fn max_batch(mut self, frames: usize) -> Self {
+        self.engine.batch.max_batch = frames;
+        self
+    }
+
+    /// Longest a staged hot-path frame waits for company before a
+    /// deadline flush.
+    pub fn max_delay(mut self, d: Duration) -> Self {
+        self.engine.batch.max_delay = d.as_secs_f64();
         self
     }
 
@@ -329,6 +344,9 @@ pub struct SubscriberHandle {
     /// upstream make duplicate deliveries possible; this endpoint filter
     /// restores exactly-once observation.
     dedup: Mutex<SeenWindow<(SubscriptionId, MessageId)>>,
+    /// Deliveries unwrapped from a coalesced batch but not yet handed to
+    /// the caller (`recv_timeout` returns one delivery at a time).
+    pending: Mutex<VecDeque<Delivery>>,
     /// Admission → subscriber-receipt latency, shared across all direct
     /// endpoints (and the mailbox).
     e2e: bluedove_telemetry::Histogram,
@@ -347,44 +365,25 @@ impl SubscriberHandle {
         false
     }
 
-    /// Blocks up to `timeout` for the next delivery.
-    pub fn recv_timeout(&self, timeout: Duration) -> Option<Delivery> {
-        let deadline = Instant::now() + timeout;
-        loop {
-            let remaining = deadline.saturating_duration_since(Instant::now());
-            let payload = self.rx.recv_timeout(remaining).ok()?;
-            if let Ok(ControlMsg::Deliver {
+    /// Decodes one received frame — unwrapping coalesced batches — and
+    /// appends every fresh (non-duplicate) delivery to `out`. Stray
+    /// control traffic and corrupt frames are skipped.
+    fn accept(&self, payload: Bytes, out: &mut Vec<Delivery>) {
+        // Zero-copy decode: each delivery's payload windows the frame.
+        let Ok(msg) = from_bytes_shared::<ControlMsg>(payload) else {
+            return;
+        };
+        let frames: Vec<ControlMsg> = match msg {
+            ControlMsg::Batch(inner) => inner,
+            m => vec![m],
+        };
+        for m in frames {
+            if let ControlMsg::Deliver {
                 sub,
                 msg,
                 admitted_us,
                 ..
-            }) = from_bytes(&payload)
-            {
-                if self.is_duplicate(sub, msg.id) {
-                    continue;
-                }
-                let latency_us = self.shared.now_us().saturating_sub(admitted_us);
-                self.e2e.observe_us(latency_us);
-                return Some(Delivery {
-                    sub,
-                    msg,
-                    latency: Duration::from_micros(latency_us),
-                });
-            }
-            // Skip acks or stray control traffic.
-        }
-    }
-
-    /// Drains every delivery currently queued, without blocking.
-    pub fn drain(&self) -> Vec<Delivery> {
-        let mut out = Vec::new();
-        while let Ok(payload) = self.rx.try_recv() {
-            if let Ok(ControlMsg::Deliver {
-                sub,
-                msg,
-                admitted_us,
-                ..
-            }) = from_bytes(&payload)
+            } = m
             {
                 if self.is_duplicate(sub, msg.id) {
                     continue;
@@ -397,6 +396,34 @@ impl SubscriberHandle {
                     latency: Duration::from_micros(latency_us),
                 });
             }
+        }
+    }
+
+    /// Blocks up to `timeout` for the next delivery.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<Delivery> {
+        // Serve the rest of an already-unwrapped batch first.
+        if let Some(d) = self.pending.lock().pop_front() {
+            return Some(d);
+        }
+        let deadline = Instant::now() + timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            let payload = self.rx.recv_timeout(remaining).ok()?;
+            let mut got = Vec::new();
+            self.accept(payload, &mut got);
+            let mut it = got.into_iter();
+            if let Some(first) = it.next() {
+                self.pending.lock().extend(it);
+                return Some(first);
+            }
+        }
+    }
+
+    /// Drains every delivery currently queued, without blocking.
+    pub fn drain(&self) -> Vec<Delivery> {
+        let mut out: Vec<Delivery> = self.pending.lock().drain(..).collect();
+        while let Ok(payload) = self.rx.try_recv() {
+            self.accept(payload, &mut out);
         }
         out
     }
@@ -418,6 +445,8 @@ pub struct Publisher {
     transport: Arc<dyn Transport>,
     dispatchers: Vec<String>,
     rr: usize,
+    /// The deployment's coalescing depth (1 = batching off).
+    max_batch: usize,
 }
 
 impl Publisher {
@@ -427,6 +456,40 @@ impl Publisher {
         self.rr = self.rr.wrapping_add(1);
         self.transport
             .send(addr, to_bytes(&ControlMsg::Publish(msg)).freeze())?;
+        Ok(())
+    }
+
+    /// Publishes a whole stream, coalescing up to the deployment's
+    /// `max_batch` publications per wire frame and round-robining whole
+    /// chunks across dispatchers (a chunk must stay on one dispatcher —
+    /// admission stamps ids in arrival order). With batching off this
+    /// degenerates to a [`publish`](Self::publish) loop, frame for frame.
+    pub fn publish_all<I>(&mut self, msgs: I) -> Result<(), ClusterError>
+    where
+        I: IntoIterator<Item = Message>,
+    {
+        let mut staged: Vec<ControlMsg> = Vec::new();
+        for msg in msgs {
+            if self.max_batch <= 1 {
+                self.publish(msg)?;
+                continue;
+            }
+            staged.push(ControlMsg::Publish(msg));
+            if staged.len() >= self.max_batch {
+                self.flush_staged(&mut staged)?;
+            }
+        }
+        if !staged.is_empty() {
+            self.flush_staged(&mut staged)?;
+        }
+        Ok(())
+    }
+
+    fn flush_staged(&mut self, staged: &mut Vec<ControlMsg>) -> Result<(), ClusterError> {
+        let addr = &self.dispatchers[self.rr % self.dispatchers.len()];
+        self.rr = self.rr.wrapping_add(1);
+        let frame = crate::batchio::flush_frame(std::mem::take(staged));
+        self.transport.send(addr, to_bytes(&frame).freeze())?;
         Ok(())
     }
 }
@@ -463,7 +526,7 @@ impl IndirectSubscriber {
                 .reply_rx
                 .recv_timeout(remaining)
                 .map_err(|_| ClusterError::Timeout("mailbox batch"))?;
-            if let Ok(ControlMsg::MailboxBatch { entries }) = from_bytes(&payload) {
+            if let Ok(ControlMsg::MailboxBatch { entries }) = from_bytes_shared(payload) {
                 let now_us = self.shared.now_us();
                 return Ok(entries
                     .into_iter()
@@ -580,6 +643,7 @@ impl Cluster {
                     generation: 1,
                     failure_detector: cfg.failure_detector,
                     dedup_window: cfg.engine.dedup_window,
+                    batch: cfg.engine.batch,
                 },
                 shared.clone(),
                 scope(&addr),
@@ -618,6 +682,7 @@ impl Cluster {
                     bootstrap: bootstrap.clone(),
                     table_pull_interval: cfg.table_pull_interval,
                     reliability: ReliabilityConfig::from_engine(&cfg.engine),
+                    batch: cfg.engine.batch,
                 },
                 shared.clone(),
                 scope(&addr),
@@ -683,6 +748,14 @@ impl Cluster {
     /// Total gossip bytes matchers have sent so far (§IV-C overhead).
     pub fn gossip_bytes(&self) -> u64 {
         self.shared.counters.gossip_bytes.get()
+    }
+
+    /// Cumulative `(frames, payload bytes)` the in-process transport has
+    /// routed — every control, forward, delivery, gossip and telemetry
+    /// frame of the whole deployment. Benches diff this around a
+    /// publishing window to attribute wire traffic per message.
+    pub fn wire_stats(&self) -> (u64, u64) {
+        self.channel.wire_stats()
     }
 
     /// The `(message, matcher, dim)` sequence of successful first
@@ -801,6 +874,7 @@ impl Cluster {
                     e2e: crate::shared::e2e_latency_histogram(&self.shared.telemetry),
                     shared: self.shared.clone(),
                     dedup: Mutex::new(SeenWindow::new(self.cfg.engine.dedup_window)),
+                    pending: Mutex::new(VecDeque::new()),
                 });
             }
         }
@@ -868,6 +942,7 @@ impl Cluster {
             transport: self.transport.clone(),
             dispatchers: self.dispatchers.iter().map(|d| d.addr.clone()).collect(),
             rr: 0,
+            max_batch: self.cfg.engine.batch.normalized().max_batch,
         }
     }
 
@@ -927,6 +1002,7 @@ impl Cluster {
                 generation: 1,
                 failure_detector: self.cfg.failure_detector,
                 dedup_window: self.cfg.engine.dedup_window,
+                batch: self.cfg.engine.batch,
             },
             self.shared.clone(),
             self.scoped_transport(&addr),
@@ -1302,6 +1378,7 @@ impl Cluster {
                 generation,
                 failure_detector: self.cfg.failure_detector,
                 dedup_window: self.cfg.engine.dedup_window,
+                batch: self.cfg.engine.batch,
             },
             self.scoped_transport(&addr),
         );

@@ -11,15 +11,16 @@
 //! cluster's counters and histograms. The simulator drives the *same*
 //! engine under virtual time (see `bluedove_sim::cluster`).
 
+use crate::batchio::{send_flush, BatchMetrics};
 use crate::proto::ControlMsg;
 use crate::shared::{ReliabilityConfig, Shared};
 use bluedove_baselines::AnyStrategy;
 use bluedove_core::{ForwardingPolicy, MatcherId, MessageId, SubscriberId, SubscriptionId};
 use bluedove_engine::{
-    DispatcherEffect, DispatcherEngine, DispatcherEngineConfig, DispatcherEvent, DispatcherOut,
-    DispatcherPort,
+    BatchCfg, Coalescer, DispatcherEffect, DispatcherEngine, DispatcherEngineConfig,
+    DispatcherEvent, DispatcherOut, DispatcherPort,
 };
-use bluedove_net::{from_bytes, to_bytes, Transport};
+use bluedove_net::{from_bytes_shared, to_bytes, Transport};
 use bluedove_telemetry::{Counter, Histogram};
 use bytes::Bytes;
 use crossbeam::channel::{Receiver, RecvTimeoutError};
@@ -50,6 +51,8 @@ pub struct DispatcherNodeConfig {
     pub table_pull_interval: Duration,
     /// Ack/retry/dedup knobs for the at-least-once pipeline.
     pub reliability: ReliabilityConfig,
+    /// Hot-path coalescing knobs (`max_batch = 1` turns batching off).
+    pub batch: BatchCfg,
 }
 
 /// The dispatcher's private routing state, refreshed by table pulls.
@@ -152,18 +155,63 @@ impl DispatcherMetrics {
 /// The threaded [`DispatcherPort`]: engine frames go out over the real
 /// transport (a send error is the `false` that triggers in-engine
 /// fail-over), effects land on the cluster's counters and histograms.
+///
+/// With batching on, `Match` frames are staged in the coalescer instead
+/// of sent; a size-triggered flush still reports the transport result
+/// synchronously (the flush contains the frame just pushed), while a
+/// later deadline flush that fails is surfaced by queueing the matcher
+/// onto `failed` — the run loop turns those into `MatcherDown` events,
+/// and the ack ledger re-forwards whatever the lost batch carried.
 struct HostPort<'a> {
     shared: &'a Arc<Shared>,
     transport: &'a Arc<dyn Transport>,
     metrics: &'a DispatcherMetrics,
     /// This dispatcher's own address, stamped as `ack_to` on acked sends.
     self_addr: &'a str,
+    /// Per-matcher-address coalescer for `Match` frames.
+    batcher: &'a mut Coalescer<ControlMsg>,
+    batch_metrics: &'a BatchMetrics,
+    /// Which matcher each lane address belongs to (failure attribution
+    /// for flushes that happen outside an engine `send`).
+    lane_matcher: &'a mut HashMap<String, MatcherId>,
+    /// Matchers whose flush failed; drained into `MatcherDown` events.
+    failed: &'a mut Vec<MatcherId>,
 }
 
 impl DispatcherPort for HostPort<'_> {
-    fn send(&mut self, _to: MatcherId, addr: &str, out: DispatcherOut) -> bool {
+    fn send(&mut self, to: MatcherId, addr: &str, out: DispatcherOut) -> bool {
         let wire = ControlMsg::from_dispatcher_out(out, self.self_addr);
-        self.transport.send(addr, to_bytes(&wire).freeze()).is_ok()
+        match wire {
+            m @ ControlMsg::MatchMsg { .. } if self.batcher.cfg().enabled() => {
+                self.lane_matcher.insert(addr.to_string(), to);
+                match self.batcher.push(self.shared.now(), addr, m) {
+                    Some(flush) => {
+                        // The just-pushed frame rides this flush, so the
+                        // transport result is its synchronous send result.
+                        let ok = send_flush(self.transport.as_ref(), self.batch_metrics, flush);
+                        if !ok {
+                            // The flush also carried earlier frames;
+                            // recover them through the ledger.
+                            self.failed.push(to);
+                        }
+                        ok
+                    }
+                    None => true,
+                }
+            }
+            m => {
+                // Control frames stay synchronous (their send result
+                // drives subscription failover), but anything staged for
+                // this destination must go first: per-destination FIFO is
+                // part of the transport contract batching must not break.
+                if let Some(flush) = self.batcher.flush_dest(addr) {
+                    if !send_flush(self.transport.as_ref(), self.batch_metrics, flush) {
+                        self.failed.push(to);
+                    }
+                }
+                self.transport.send(addr, to_bytes(&m).freeze()).is_ok()
+            }
+        }
     }
 
     fn sub_ack(&mut self, subscriber: SubscriberId, sub: SubscriptionId) {
@@ -226,9 +274,22 @@ fn run(
     // scheduling never perturbs the engine's (replayable) rng.
     let mut pull_rng = StdRng::seed_from_u64(cfg.seed ^ 0xD15);
     let mut next_pull = Instant::now() + cfg.table_pull_interval;
+    let batch_metrics = BatchMetrics::register(&shared.telemetry, "dispatcher");
+    let mut batcher: Coalescer<ControlMsg> = Coalescer::new(cfg.batch);
+    let mut lane_matcher: HashMap<String, MatcherId> = HashMap::new();
+    let mut failed: Vec<MatcherId> = Vec::new();
 
     loop {
         let now = shared.now();
+        // Deadline flushes: staged frames whose oldest entry aged out.
+        for flush in batcher.poll(now) {
+            let target = lane_matcher.get(&flush.dest).copied();
+            if !send_flush(transport.as_ref(), &batch_metrics, flush) {
+                if let Some(m) = target {
+                    failed.push(m);
+                }
+            }
+        }
         // Periodic table pull from a random live matcher (§III-C).
         if Instant::now() >= next_pull {
             let live = engine.live_addrs(now);
@@ -242,19 +303,30 @@ fn run(
             next_pull += cfg.table_pull_interval;
         }
         // Fire due retransmit timers and purge expired suspicions.
-        let mut port = HostPort {
-            shared: &shared,
-            transport: &transport,
-            metrics: &metrics,
-            self_addr: &cfg.addr,
-        };
-        engine.on_event(now, DispatcherEvent::Tick, &mut port);
+        {
+            let mut port = HostPort {
+                shared: &shared,
+                transport: &transport,
+                metrics: &metrics,
+                self_addr: &cfg.addr,
+                batcher: &mut batcher,
+                batch_metrics: &batch_metrics,
+                lane_matcher: &mut lane_matcher,
+                failed: &mut failed,
+            };
+            engine.on_event(now, DispatcherEvent::Tick, &mut port);
+            while let Some(m) = port.failed.pop() {
+                engine.on_event(now, DispatcherEvent::MatcherDown(m), &mut port);
+            }
+        }
 
-        // Sleep until traffic, the next pull, or the next engine deadline.
+        // Sleep until traffic, the next pull, the next engine deadline or
+        // the next coalescer flush deadline.
         let mut timeout = next_pull
             .saturating_duration_since(Instant::now())
             .min(Duration::from_millis(50));
-        if let Some(deadline) = engine.next_deadline() {
+        let engine_deadline = engine.next_deadline();
+        for deadline in engine_deadline.iter().chain(batcher.next_deadline().iter()) {
             let wake = Duration::from_secs_f64((deadline - shared.now()).max(0.0));
             timeout = timeout.min(wake);
         }
@@ -263,54 +335,97 @@ fn run(
             Err(RecvTimeoutError::Timeout) => continue,
             Err(RecvTimeoutError::Disconnected) => break,
         };
-        let Ok(msg) = from_bytes::<ControlMsg>(&payload) else {
+        // Zero-copy decode: a `Publish` payload stays a window into the
+        // received frame's allocation from here to delivery.
+        let Ok(msg) = from_bytes_shared::<ControlMsg>(payload) else {
             continue;
         };
         let now = shared.now();
-        let event = match msg {
-            ControlMsg::Subscribe(mut sub) => {
-                sub.id = SubscriptionId(shared.next_sub_id.fetch_add(1, Ordering::Relaxed));
-                DispatcherEvent::Subscribe(sub)
-            }
-            ControlMsg::Publish(mut m) => {
-                m.id = MessageId(shared.next_msg_id.fetch_add(1, Ordering::Relaxed));
-                shared.counters.published.inc();
-                DispatcherEvent::Publish {
-                    msg: m,
-                    admitted_us: shared.now_us(),
+        let mut shutdown = false;
+        {
+            let mut port = HostPort {
+                shared: &shared,
+                transport: &transport,
+                metrics: &metrics,
+                self_addr: &cfg.addr,
+                batcher: &mut batcher,
+                batch_metrics: &batch_metrics,
+                lane_matcher: &mut lane_matcher,
+                failed: &mut failed,
+            };
+            let step =
+                |msg: ControlMsg, engine: &mut DispatcherEngine, port: &mut HostPort<'_>| -> bool {
+                    let event = match msg {
+                        ControlMsg::Subscribe(mut sub) => {
+                            sub.id =
+                                SubscriptionId(shared.next_sub_id.fetch_add(1, Ordering::Relaxed));
+                            DispatcherEvent::Subscribe(sub)
+                        }
+                        ControlMsg::Publish(mut m) => {
+                            m.id = MessageId(shared.next_msg_id.fetch_add(1, Ordering::Relaxed));
+                            shared.counters.published.inc();
+                            DispatcherEvent::Publish {
+                                msg: m,
+                                admitted_us: shared.now_us(),
+                            }
+                        }
+                        ControlMsg::Unsubscribe(sub) => DispatcherEvent::Unsubscribe(sub),
+                        ControlMsg::MatchAck {
+                            msg_id,
+                            matcher,
+                            actual_us,
+                        } => DispatcherEvent::MatchAck {
+                            msg_id,
+                            matcher,
+                            actual_us,
+                        },
+                        ControlMsg::LoadReport {
+                            matcher,
+                            dim,
+                            stats,
+                        } => DispatcherEvent::LoadReport {
+                            matcher,
+                            dim,
+                            stats,
+                        },
+                        ControlMsg::TableState {
+                            version,
+                            strategy: Some(strategy),
+                            addrs,
+                        } => DispatcherEvent::TableUpdate {
+                            version,
+                            strategy,
+                            addrs,
+                        },
+                        ControlMsg::Shutdown => return false,
+                        _ => return true,
+                    };
+                    engine.on_event(now, event, port);
+                    // Surface flush failures promptly so the rest of a batch
+                    // routes around the dead matcher.
+                    while let Some(m) = port.failed.pop() {
+                        engine.on_event(now, DispatcherEvent::MatcherDown(m), port);
+                    }
+                    true
+                };
+            match msg {
+                ControlMsg::Batch(inner) => {
+                    for m in inner {
+                        if !step(m, &mut engine, &mut port) {
+                            shutdown = true;
+                            break;
+                        }
+                    }
                 }
+                m => shutdown = !step(m, &mut engine, &mut port),
             }
-            ControlMsg::Unsubscribe(sub) => DispatcherEvent::Unsubscribe(sub),
-            ControlMsg::MatchAck {
-                msg_id,
-                matcher,
-                actual_us,
-            } => DispatcherEvent::MatchAck {
-                msg_id,
-                matcher,
-                actual_us,
-            },
-            ControlMsg::LoadReport {
-                matcher,
-                dim,
-                stats,
-            } => DispatcherEvent::LoadReport {
-                matcher,
-                dim,
-                stats,
-            },
-            ControlMsg::TableState {
-                version,
-                strategy: Some(strategy),
-                addrs,
-            } => DispatcherEvent::TableUpdate {
-                version,
-                strategy,
-                addrs,
-            },
-            ControlMsg::Shutdown => break,
-            _ => continue,
-        };
-        engine.on_event(now, event, &mut port);
+        }
+        if shutdown {
+            break;
+        }
+    }
+    // Orderly exit: whatever is still staged goes out best-effort.
+    for flush in batcher.flush_all() {
+        let _ = send_flush(transport.as_ref(), &batch_metrics, flush);
     }
 }

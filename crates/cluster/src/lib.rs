@@ -33,6 +33,7 @@
 //! ```
 
 pub mod apps;
+pub mod batchio;
 pub mod chaos;
 pub mod cluster;
 pub mod dispatcher;

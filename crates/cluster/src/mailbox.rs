@@ -17,7 +17,7 @@ use crate::proto::ControlMsg;
 use crate::shared::{e2e_latency_histogram, SeenWindow, Shared};
 use crate::wal::{Wal, WalRecord};
 use bluedove_core::{MessageId, SubscriberId, SubscriptionId};
-use bluedove_net::{from_bytes, to_bytes, Transport};
+use bluedove_net::{from_bytes_shared, to_bytes, Transport};
 use bytes::Bytes;
 use crossbeam::channel::Receiver;
 use std::collections::{HashMap, VecDeque};
@@ -127,66 +127,74 @@ fn run(
         }
     }
 
-    for payload in rx.iter() {
-        let Ok(msg) = from_bytes::<ControlMsg>(&payload) else {
+    'recv: for payload in rx.iter() {
+        // Zero-copy decode: stored payloads window the received frame.
+        let Ok(msg) = from_bytes_shared::<ControlMsg>(payload) else {
             continue;
         };
-        match msg {
-            ControlMsg::Deliver {
-                subscriber,
-                sub,
-                msg,
-                admitted_us,
-            } => {
-                if msg.id != MessageId(0) && seen.check_and_insert((subscriber, sub, msg.id)) {
-                    if let Some(s) = &shared {
-                        s.counters.duplicates_suppressed.inc();
+        // Matchers coalesce deliveries; unwrap a batch into its frames.
+        let frames: Vec<ControlMsg> = match msg {
+            ControlMsg::Batch(inner) => inner,
+            m => vec![m],
+        };
+        for msg in frames {
+            match msg {
+                ControlMsg::Deliver {
+                    subscriber,
+                    sub,
+                    msg,
+                    admitted_us,
+                } => {
+                    if msg.id != MessageId(0) && seen.check_and_insert((subscriber, sub, msg.id)) {
+                        if let Some(s) = &shared {
+                            s.counters.duplicates_suppressed.inc();
+                        }
+                        continue;
                     }
-                    continue;
-                }
-                if let (Some(s), Some(e2e)) = (&shared, &e2e) {
-                    e2e.observe_us(s.now_us().saturating_sub(admitted_us));
-                }
-                if let Some(w) = wal.as_mut() {
-                    let _ = w.append(&WalRecord::Deliver {
-                        subscriber,
-                        sub,
-                        msg: msg.clone(),
-                        admitted_us,
-                    });
-                }
-                let q = boxes.entry(subscriber).or_default();
-                if q.len() >= MAILBOX_CAPACITY {
-                    q.pop_front();
-                }
-                q.push_back((sub, msg, admitted_us));
-            }
-            ControlMsg::MailboxPoll {
-                subscriber,
-                reply_to,
-                max,
-            } => {
-                let q = boxes.entry(subscriber).or_default();
-                let take = if max == 0 {
-                    q.len()
-                } else {
-                    q.len().min(max as usize)
-                };
-                let entries: Vec<Stored> = q.drain(..take).collect();
-                if let Some(w) = wal.as_mut() {
-                    let _ = w.append(&WalRecord::Polled {
-                        subscriber,
-                        count: entries.len() as u32,
-                    });
-                    if w.appended() > WAL_COMPACT_THRESHOLD {
-                        let _ = w.compact(&boxes);
+                    if let (Some(s), Some(e2e)) = (&shared, &e2e) {
+                        e2e.observe_us(s.now_us().saturating_sub(admitted_us));
                     }
+                    if let Some(w) = wal.as_mut() {
+                        let _ = w.append(&WalRecord::Deliver {
+                            subscriber,
+                            sub,
+                            msg: msg.clone(),
+                            admitted_us,
+                        });
+                    }
+                    let q = boxes.entry(subscriber).or_default();
+                    if q.len() >= MAILBOX_CAPACITY {
+                        q.pop_front();
+                    }
+                    q.push_back((sub, msg, admitted_us));
                 }
-                let batch = ControlMsg::MailboxBatch { entries };
-                let _ = transport.send(&reply_to, to_bytes(&batch).freeze());
+                ControlMsg::MailboxPoll {
+                    subscriber,
+                    reply_to,
+                    max,
+                } => {
+                    let q = boxes.entry(subscriber).or_default();
+                    let take = if max == 0 {
+                        q.len()
+                    } else {
+                        q.len().min(max as usize)
+                    };
+                    let entries: Vec<Stored> = q.drain(..take).collect();
+                    if let Some(w) = wal.as_mut() {
+                        let _ = w.append(&WalRecord::Polled {
+                            subscriber,
+                            count: entries.len() as u32,
+                        });
+                        if w.appended() > WAL_COMPACT_THRESHOLD {
+                            let _ = w.compact(&boxes);
+                        }
+                    }
+                    let batch = ControlMsg::MailboxBatch { entries };
+                    let _ = transport.send(&reply_to, to_bytes(&batch).freeze());
+                }
+                ControlMsg::Shutdown => break 'recv,
+                _ => {}
             }
-            ControlMsg::Shutdown => break,
-            _ => {}
         }
     }
 }

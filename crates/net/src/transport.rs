@@ -19,6 +19,7 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread;
 
@@ -41,12 +42,26 @@ pub trait Transport: Send + Sync {
 #[derive(Clone, Default)]
 pub struct ChannelTransport {
     routes: Arc<Mutex<HashMap<String, Sender<Bytes>>>>,
+    /// Frames successfully routed (shared across clones).
+    frames_sent: Arc<AtomicU64>,
+    /// Payload bytes successfully routed (shared across clones).
+    bytes_sent: Arc<AtomicU64>,
 }
 
 impl ChannelTransport {
     /// Creates an empty routing table.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Cumulative `(frames, payload bytes)` successfully routed since
+    /// construction, summed over every clone of this transport. Benches
+    /// use the deltas to attribute wire traffic per message.
+    pub fn wire_stats(&self) -> (u64, u64) {
+        (
+            self.frames_sent.load(Ordering::Relaxed),
+            self.bytes_sent.load(Ordering::Relaxed),
+        )
     }
 
     /// Removes a binding (simulates a crashed node whose inbox vanishes).
@@ -82,7 +97,13 @@ impl Transport for ChannelTransport {
             routes.get(addr).cloned()
         };
         match tx {
-            Some(tx) => tx.send(payload).map_err(|_| NetError::Disconnected),
+            Some(tx) => {
+                let len = payload.len() as u64;
+                tx.send(payload).map_err(|_| NetError::Disconnected)?;
+                self.frames_sent.fetch_add(1, Ordering::Relaxed);
+                self.bytes_sent.fetch_add(len, Ordering::Relaxed);
+                Ok(())
+            }
             None => Err(NetError::Unroutable(addr.to_string())),
         }
     }

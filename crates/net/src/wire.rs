@@ -38,6 +38,18 @@ pub fn from_bytes<T: Wire>(mut bytes: &[u8]) -> NetResult<T> {
     Ok(v)
 }
 
+/// Decodes a value from an owned [`bytes::Bytes`], requiring full
+/// consumption. Unlike [`from_bytes`], byte-string fields (message
+/// payloads) come out as O(1) views into `bytes` instead of copies — the
+/// zero-copy receive path nodes use on frames handed over by a transport.
+pub fn from_bytes_shared<T: Wire>(mut bytes: bytes::Bytes) -> NetResult<T> {
+    let v = T::decode(&mut bytes)?;
+    if bytes.has_remaining() {
+        return Err(NetError::Truncated); // trailing garbage = framing bug
+    }
+    Ok(v)
+}
+
 fn need(buf: &impl Buf, n: usize) -> NetResult<()> {
     if buf.remaining() < n {
         Err(NetError::Truncated)
@@ -185,13 +197,22 @@ impl Wire for Message {
     fn encode(&self, buf: &mut BytesMut) {
         self.id.encode(buf);
         self.values.encode(buf);
-        self.payload.encode(buf);
+        (self.payload.len() as u32).encode(buf);
+        buf.put_slice(&self.payload);
     }
     fn decode(buf: &mut impl Buf) -> NetResult<Self> {
+        let id = MessageId::decode(buf)?;
+        let values = Vec::<f64>::decode(buf)?;
+        let len = u32::decode(buf)? as usize;
+        need(buf, len)?;
+        // `copy_to_bytes` is O(1) when the cursor is itself a `Bytes`
+        // (the `from_bytes_shared` path): the payload aliases the received
+        // frame instead of being copied out of it.
+        let payload = buf.copy_to_bytes(len);
         Ok(Message {
-            id: MessageId::decode(buf)?,
-            values: Vec::<f64>::decode(buf)?,
-            payload: Vec::<u8>::decode(buf)?,
+            id,
+            values,
+            payload,
         })
     }
 }

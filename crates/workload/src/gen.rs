@@ -126,7 +126,7 @@ impl MessageGenerator {
                 dist.sample(&mut self.rng, d.min, d.max)
             })
             .collect();
-        let payload = (0..self.payload_len)
+        let payload: Vec<u8> = (0..self.payload_len)
             .map(|_| self.rng.gen::<u8>())
             .collect();
         Message::with_payload(values, payload)

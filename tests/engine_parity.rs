@@ -16,10 +16,17 @@
 //! seed, which is how the CI chaos matrix sweeps it.
 
 use bluedove::cluster::{Cluster, ClusterConfig, PolicyKind};
-use bluedove::core::{IndexKind, Message, RandomPolicy, Subscription};
+use bluedove::core::{
+    DimIdx, IndexKind, MatcherId, Message, MessageId, RandomPolicy, Subscription,
+};
 use bluedove::sim::{SimCluster, SimConfig, Strategy};
 use bluedove::workload::PaperWorkload;
 use std::time::{Duration, Instant};
+
+/// The coalescing depth of the batched parity runs; the 1 ms `max_delay`
+/// matches the engine default.
+const BATCH: usize = 16;
+const BATCH_DELAY: f64 = 0.001;
 
 const SUBS: usize = 300;
 const MSGS: usize = 800;
@@ -35,18 +42,25 @@ fn workload(seed: u64) -> (Vec<Subscription>, Vec<Message>, PaperWorkload) {
     (subs, msgs, w)
 }
 
-fn parity_for_seed(seed: u64) {
+/// Runs the sim and the threaded cluster with the given coalescing depth
+/// (`max_batch == 1` = batching off), asserts their forward traces are
+/// identical, and returns the agreed trace so callers can compare runs
+/// *across* batch modes too.
+fn parity_for_seed(seed: u64, max_batch: usize) -> Vec<(MessageId, MatcherId, DimIdx)> {
     let (subs, msgs, w) = workload(seed);
     let space = w.space();
 
     // --- Simulator host -------------------------------------------------
     let base = SimConfig::default();
+    let mut engine = bluedove::engine::EngineConfig {
+        record_forwards: true,
+        ..base.engine.clone()
+    };
+    engine.batch.max_batch = max_batch;
+    engine.batch.max_delay = BATCH_DELAY;
     let sim_cfg = SimConfig {
         seed,
-        engine: bluedove::engine::EngineConfig {
-            record_forwards: true,
-            ..base.engine.clone()
-        },
+        engine,
         ..base
     };
     let mut sim = SimCluster::new(
@@ -72,7 +86,9 @@ fn parity_for_seed(seed: u64) {
             .index(IndexKind::Linear)
             .seed(seed)
             .publication_acks(false)
-            .record_forwards(true),
+            .record_forwards(true)
+            .max_batch(max_batch)
+            .max_delay(Duration::from_secs_f64(BATCH_DELAY)),
     );
     // Rebuild each subscription through the cluster's client path (ids are
     // re-stamped by the dispatcher; the predicates are what must match).
@@ -129,25 +145,53 @@ fn parity_for_seed(seed: u64) {
         deliveries, sim.metrics.total_matches,
         "total match-hit counts diverged (seed {seed})"
     );
+    sim_log
+}
+
+/// Both hosts agree with batching off AND with batching on, and the two
+/// modes' forward traces are bit-identical to each other: coalescing only
+/// changes how frames travel, never what was decided.
+fn batched_parity_for_seed(seed: u64) {
+    let plain = parity_for_seed(seed, 1);
+    let coalesced = parity_for_seed(seed, BATCH);
+    assert_eq!(
+        plain, coalesced,
+        "batched and unbatched forward sequences diverged (seed {seed})"
+    );
 }
 
 #[test]
 fn engine_parity_seed_7() {
-    parity_for_seed(7);
+    parity_for_seed(7, 1);
 }
 
 #[test]
 fn engine_parity_seed_42() {
-    parity_for_seed(42);
+    parity_for_seed(42, 1);
 }
 
 #[test]
 fn engine_parity_seed_1337() {
-    parity_for_seed(1337);
+    parity_for_seed(1337, 1);
+}
+
+#[test]
+fn engine_parity_batched_seed_7() {
+    batched_parity_for_seed(7);
+}
+
+#[test]
+fn engine_parity_batched_seed_42() {
+    batched_parity_for_seed(42);
+}
+
+#[test]
+fn engine_parity_batched_seed_1337() {
+    batched_parity_for_seed(1337);
 }
 
 /// Extra sweep seed for the CI chaos matrix (`CHAOS_SEED=<u64>`); a no-op
-/// when the variable is unset (the three fixed seeds above still run).
+/// when the variable is unset (the fixed seeds above still run).
 #[test]
 fn engine_parity_env_seed() {
     if let Some(seed) = std::env::var("CHAOS_SEED")
@@ -155,6 +199,6 @@ fn engine_parity_env_seed() {
         .and_then(|s| s.trim().parse::<u64>().ok())
     {
         println!("engine parity replay: seed={seed}");
-        parity_for_seed(seed);
+        batched_parity_for_seed(seed);
     }
 }

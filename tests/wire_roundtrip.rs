@@ -23,7 +23,36 @@ fn arb_message() -> impl Strategy<Value = Message> {
         .prop_map(|(id, values, payload)| Message {
             id: MessageId(id),
             values,
-            payload,
+            payload: payload.into(),
+        })
+}
+
+/// Batchable frames: what dispatchers and matchers actually coalesce
+/// (forwards, deliveries) plus a bare control frame for variety.
+fn arb_batchable() -> impl Strategy<Value = ControlMsg> {
+    (
+        0u8..4,
+        arb_message(),
+        any::<u16>(),
+        any::<u64>(),
+        any::<u64>(),
+        ".{0,16}",
+    )
+        .prop_map(|(which, msg, dim, admitted_us, id, ack_to)| match which {
+            0 => ControlMsg::MatchMsg {
+                dim: bluedove::core::DimIdx(dim),
+                msg,
+                admitted_us,
+                ack_to,
+            },
+            1 => ControlMsg::Deliver {
+                subscriber: SubscriberId(id),
+                sub: SubscriptionId(id.wrapping_add(1)),
+                msg,
+                admitted_us,
+            },
+            2 => ControlMsg::Publish(msg),
+            _ => ControlMsg::Shutdown,
         })
 }
 
@@ -200,6 +229,96 @@ proptest! {
             let _: NetResult<ControlMsg> = from_bytes(&flipped);
             let _: NetResult<GossipMsg> = from_bytes(&flipped);
         }
+    }
+
+    #[test]
+    fn batch_frames_round_trip(inner in proptest::collection::vec(arb_batchable(), 1..32)) {
+        round_trip(&ControlMsg::Batch(inner));
+    }
+
+    #[test]
+    fn forged_batch_count_never_panics_and_rarely_decodes(
+        inner in proptest::collection::vec(arb_batchable(), 1..8),
+        forged in any::<u32>(),
+    ) {
+        // Overwrite the batch's count prefix with an arbitrary value: a
+        // count of zero or one promising more frames than the buffer
+        // holds must error cleanly; a smaller count leaves trailing
+        // bytes, which the full-consumption rule rejects. No forgery may
+        // panic or allocate unboundedly.
+        let n = inner.len() as u32;
+        let mut bytes = to_bytes(&ControlMsg::Batch(inner)).to_vec();
+        bytes[1..5].copy_from_slice(&forged.to_le_bytes());
+        let res: NetResult<ControlMsg> = from_bytes(&bytes);
+        if forged != n {
+            prop_assert!(res.is_err(), "forged count {forged} of {n} decoded");
+        } else {
+            prop_assert!(res.is_ok());
+        }
+    }
+
+    #[test]
+    fn nested_and_empty_batches_always_rejected(
+        inner in proptest::collection::vec(arb_batchable(), 1..4),
+    ) {
+        // Hand-forge an outer batch whose single frame is itself a batch
+        // (the encoder refuses to build one): the decoder must reject it
+        // at the inner tag. An explicit zero count is equally dead.
+        let legal = to_bytes(&ControlMsg::Batch(inner)).to_vec();
+        let mut nested = vec![legal[0]];
+        nested.extend_from_slice(&1u32.to_le_bytes());
+        nested.extend_from_slice(&legal);
+        let res: NetResult<ControlMsg> = from_bytes(&nested);
+        prop_assert!(res.is_err(), "nested batch decoded");
+
+        let mut empty = vec![legal[0]];
+        empty.extend_from_slice(&0u32.to_le_bytes());
+        let res: NetResult<ControlMsg> = from_bytes(&empty);
+        prop_assert!(res.is_err(), "empty batch decoded");
+    }
+
+    #[test]
+    fn batch_byte_flip_never_panics(
+        inner in proptest::collection::vec(arb_batchable(), 1..8),
+        idx in any::<usize>(),
+        mask in 1u8..=255,
+    ) {
+        let mut bytes = to_bytes(&ControlMsg::Batch(inner)).to_vec();
+        let i = idx % bytes.len();
+        bytes[i] ^= mask;
+        let _: NetResult<ControlMsg> = from_bytes(&bytes);
+    }
+
+    #[test]
+    fn torn_batch_stream_recovers_clean_prefix(
+        batches in proptest::collection::vec(
+            proptest::collection::vec(arb_batchable(), 1..6), 1..4),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        // A connection carrying framed batches cut anywhere loses at most
+        // the torn tail: every whole frame before the cut decodes back to
+        // its batch, and the first failure is a clean end-of-stream.
+        let msgs: Vec<ControlMsg> = batches.into_iter().map(ControlMsg::Batch).collect();
+        let mut buf = Vec::new();
+        for m in &msgs {
+            write_frame(&mut buf, &to_bytes(m)).unwrap();
+        }
+        let cut = ((buf.len() as f64) * cut_frac) as usize;
+        buf.truncate(cut);
+        let mut cur = Cursor::new(buf);
+        let mut recovered = 0usize;
+        loop {
+            match read_frame(&mut cur) {
+                Ok(p) => {
+                    let back: ControlMsg = from_bytes(&p).expect("intact frame decodes");
+                    prop_assert_eq!(&back, &msgs[recovered]);
+                    recovered += 1;
+                }
+                Err(NetError::Disconnected) | Err(NetError::Io(_)) => break,
+                Err(e) => prop_assert!(false, "unexpected error class: {e:?}"),
+            }
+        }
+        prop_assert!(recovered <= msgs.len());
     }
 
     #[test]

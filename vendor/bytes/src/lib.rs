@@ -3,7 +3,7 @@
 //! cursor traits ([`Buf`], [`BufMut`]) — exactly the surface the BlueDove
 //! wire codec and transports use.
 
-use std::ops::{Deref, DerefMut};
+use std::ops::{Bound, Deref, DerefMut, RangeBounds};
 use std::sync::Arc;
 
 // ---------------------------------------------------------------------
@@ -13,7 +13,14 @@ use std::sync::Arc;
 #[derive(Clone)]
 enum Repr {
     Static(&'static [u8]),
-    Shared(Arc<Vec<u8>>),
+    /// A window into a shared allocation: `buf[offset..offset + len]`.
+    /// Sub-slicing adjusts the window without touching the bytes, which is
+    /// what makes [`Bytes::slice`] and [`Buf::copy_to_bytes`] O(1).
+    Shared {
+        buf: Arc<Vec<u8>>,
+        offset: usize,
+        len: usize,
+    },
 }
 
 /// An immutable, reference-counted byte buffer; `clone` is O(1).
@@ -39,9 +46,7 @@ impl Bytes {
 
     /// Copies a slice into a new buffer.
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Bytes {
-            repr: Repr::Shared(Arc::new(data.to_vec())),
-        }
+        Bytes::from(data.to_vec())
     }
 
     /// Length in bytes.
@@ -54,10 +59,44 @@ impl Bytes {
         self.as_slice().is_empty()
     }
 
+    /// An O(1) sub-view sharing the same allocation.
+    ///
+    /// # Panics
+    /// Panics when the range is out of bounds or inverted.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(
+            start <= end && end <= self.len(),
+            "slice {start}..{end} out of bounds of {}",
+            self.len()
+        );
+        match &self.repr {
+            Repr::Static(s) => Bytes {
+                repr: Repr::Static(&s[start..end]),
+            },
+            Repr::Shared { buf, offset, .. } => Bytes {
+                repr: Repr::Shared {
+                    buf: buf.clone(),
+                    offset: offset + start,
+                    len: end - start,
+                },
+            },
+        }
+    }
+
     fn as_slice(&self) -> &[u8] {
         match &self.repr {
             Repr::Static(s) => s,
-            Repr::Shared(v) => v,
+            Repr::Shared { buf, offset, len } => &buf[*offset..offset + len],
         }
     }
 }
@@ -83,8 +122,13 @@ impl AsRef<[u8]> for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
+        let len = v.len();
         Bytes {
-            repr: Repr::Shared(Arc::new(v)),
+            repr: Repr::Shared {
+                buf: Arc::new(v),
+                offset: 0,
+                len,
+            },
         }
     }
 }
@@ -176,9 +220,7 @@ impl BytesMut {
 
     /// Converts into an immutable [`Bytes`].
     pub fn freeze(self) -> Bytes {
-        Bytes {
-            repr: Repr::Shared(Arc::new(self.data)),
-        }
+        Bytes::from(self.data)
     }
 }
 
@@ -255,6 +297,19 @@ pub trait Buf {
         self.advance(n);
     }
 
+    /// Takes the next `len` bytes as an owned [`Bytes`], advancing the
+    /// cursor. The default copies; cursors over shared buffers (notably
+    /// [`Bytes`] itself) override it with an O(1) view.
+    ///
+    /// Panics if fewer than `len` bytes remain; decoders check
+    /// `remaining()` first.
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes {
+        assert!(self.remaining() >= len, "buffer underflow");
+        let out = Bytes::copy_from_slice(&self.chunk()[..len]);
+        self.advance(len);
+        out
+    }
+
     /// Reads one byte, advancing the cursor.
     fn get_u8(&mut self) -> u8 {
         let mut raw = [0u8; 1];
@@ -282,6 +337,30 @@ impl Buf for &[u8] {
     }
 }
 
+/// [`Bytes`] is its own cursor: `advance` narrows the shared window, so
+/// [`Buf::copy_to_bytes`] hands out O(1) views instead of copies —
+/// decoding a payload out of a received frame aliases the frame's
+/// allocation.
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self.as_slice()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        *self = self.slice(cnt..);
+    }
+
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes {
+        let out = self.slice(..len);
+        *self = self.slice(len..);
+        out
+    }
+}
+
 impl<B: Buf + ?Sized> Buf for &mut B {
     fn remaining(&self) -> usize {
         (**self).remaining()
@@ -293,6 +372,10 @@ impl<B: Buf + ?Sized> Buf for &mut B {
 
     fn advance(&mut self, cnt: usize) {
         (**self).advance(cnt)
+    }
+
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes {
+        (**self).copy_to_bytes(len)
     }
 }
 
@@ -366,5 +449,58 @@ mod tests {
         assert_eq!(&b[..], &c[..]);
         assert_eq!(Bytes::from_static(b"s").len(), 1);
         assert!(Bytes::new().is_empty());
+    }
+
+    #[test]
+    fn slice_is_a_window_into_the_same_allocation() {
+        let b = Bytes::from((0u8..32).collect::<Vec<u8>>());
+        let mid = b.slice(8..24);
+        assert_eq!(&mid[..], &(8u8..24).collect::<Vec<u8>>()[..]);
+        // Slicing a slice composes offsets.
+        let inner = mid.slice(4..8);
+        assert_eq!(&inner[..], &[12, 13, 14, 15]);
+        assert!(mid.slice(16..16).is_empty());
+        let s = Bytes::from_static(b"hello world").slice(6..);
+        assert_eq!(&s[..], b"world");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_out_of_bounds_panics() {
+        let _ = Bytes::from(vec![1, 2, 3]).slice(2..5);
+    }
+
+    #[test]
+    fn bytes_is_its_own_cursor() {
+        let mut b = BytesMut::new();
+        b.put_u32_le(7);
+        b.put_slice(b"payload");
+        let mut cur = b.freeze();
+        assert_eq!(cur.get_u32_le(), 7);
+        let p = cur.copy_to_bytes(7);
+        assert_eq!(&p[..], b"payload");
+        assert!(!cur.has_remaining());
+    }
+
+    #[test]
+    fn copy_to_bytes_on_bytes_shares_the_allocation() {
+        let backing: Vec<u8> = (0u8..16).collect();
+        let ptr = backing.as_ptr();
+        let mut cur = Bytes::from(backing);
+        cur.advance(4);
+        let view = cur.copy_to_bytes(8);
+        // The view's bytes live inside the original allocation.
+        assert_eq!(view.as_slice().as_ptr(), unsafe { ptr.add(4) });
+        assert_eq!(&view[..], &(4u8..12).collect::<Vec<u8>>()[..]);
+        assert_eq!(cur.remaining(), 4);
+    }
+
+    #[test]
+    fn copy_to_bytes_default_still_copies_for_slices() {
+        let data = [1u8, 2, 3, 4, 5];
+        let mut cur: &[u8] = &data;
+        let first = cur.copy_to_bytes(3);
+        assert_eq!(&first[..], &[1, 2, 3]);
+        assert_eq!(cur.remaining(), 2);
     }
 }
