@@ -17,6 +17,7 @@
 //!   fig11c    saturation rate vs adversely skewed message dimensions
 //!   overhead  gossip / table-pull / load-report maintenance traffic
 //!   reliability  at-least-once pipeline: ack overhead + retry/dedup counters
+//!   recovery  durable-log kill-and-replay smoke; exits nonzero on any loss
 //!   telemetry per-policy estimation error + e2e latency, exposition check
 //!   ablations design-choice ablations (reservations, degenerate replicas)
 //!   bench     batched hot-path A/B; emits BENCH_cluster.json for the CI gate
@@ -75,6 +76,11 @@ fn main() {
         "fig11c" => fig11c(&cfg),
         "overhead" => overhead(),
         "reliability" => reliability(),
+        "recovery" => {
+            if !recovery(&cfg) {
+                std::process::exit(1);
+            }
+        }
         "telemetry" => telemetry(&cfg),
         "ablations" => ablations(&cfg),
         "bench" => bench_trajectory(&cfg, &args),
@@ -92,6 +98,9 @@ fn main() {
             fig11c(&cfg);
             overhead();
             reliability();
+            if !recovery(&cfg) {
+                std::process::exit(1);
+            }
             telemetry(&cfg);
             ablations(&cfg);
             bench_trajectory(&cfg, &args);
@@ -689,6 +698,120 @@ fn reliability() {
         "    subscriber observed {got}/{PROBES} probes, {dups} duplicates (exactly-once: {})",
         got == PROBES && dups == 0
     );
+}
+
+/// Recovery smoke: kill-and-replay at bench scale. With the durable
+/// subscription log on, acked traffic is published across a matcher
+/// crash and its restart; the run verifies zero loss, exactly-once
+/// observation, and that the restarted matcher recovered by replaying
+/// its local log rather than a bulk registry re-ship. Returns `false`
+/// on any violation — the CI step turns that into a nonzero exit.
+fn recovery(cfg: &ExpConfig) -> bool {
+    use bluedove_cluster::chaos::await_membership;
+    use bluedove_cluster::{Cluster, ClusterConfig};
+    use bluedove_core::{AttributeSpace, MatcherId, Message, Subscription};
+    use bluedove_overlay::FailureDetectorConfig;
+    use rand::Rng;
+    use std::time::{Duration, Instant};
+
+    banner(
+        "Recovery: durable-log kill-and-replay smoke",
+        "not a paper figure; replicated sub-logs extend §V-D's in-memory copies",
+    );
+    let subs = cfg.subscriptions.min(2_000);
+    const N: u64 = 600;
+    let sp = AttributeSpace::uniform(2, 0.0, 100.0);
+    let log_dir = std::env::temp_dir().join(format!("bluedove-recovery-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&log_dir);
+    let mut cluster = Cluster::start(
+        ClusterConfig::new(sp.clone())
+            .matchers(4)
+            .publication_acks(true)
+            .gossip_interval(Duration::from_millis(40))
+            .table_pull_interval(Duration::from_millis(80))
+            .stats_interval(Duration::from_millis(80))
+            .failure_detector(FailureDetectorConfig {
+                suspect_after: 0.3,
+                dead_after: 0.9,
+            })
+            .ack_timeout(Duration::from_millis(100))
+            .suspicion_ttl(Duration::from_millis(500))
+            .seed(42)
+            .log_dir(&log_dir),
+    );
+    let wild = cluster
+        .subscribe(Subscription::builder(&sp).build().unwrap())
+        .unwrap();
+    let mut rng = StdRng::seed_from_u64(42);
+    for _ in 0..subs {
+        let mut b = Subscription::builder(&sp);
+        for d in 0..2 {
+            let lo: f64 = rng.gen_range(0.0..90.0);
+            let width: f64 = rng.gen_range(1.0..10.0);
+            b = b.range(d, lo, lo + width);
+        }
+        cluster.subscribe(b.build().unwrap()).unwrap();
+    }
+    await_membership(&cluster, 3, Duration::from_secs(10)).expect("initial convergence");
+
+    // Collision-free probe values: the exactly-once ledger below maps
+    // deliveries back to publish indices by value.
+    let unique_probe = |i: u64| Message::new(vec![(i % 100) as f64, ((i / 100) % 100) as f64]);
+    let mut published = 0u64;
+    let mut publish_batch = |cluster: &mut Cluster, upto: u64| {
+        while published < upto {
+            cluster.publish(unique_probe(published)).unwrap();
+            published += 1;
+        }
+    };
+
+    // Baseline traffic, then a crash (streams fail over to the clockwise
+    // heir), traffic into the hole, then the restart (local-log replay +
+    // delta catch-up from the heir), then traffic again.
+    publish_batch(&mut cluster, N / 3);
+    std::thread::sleep(Duration::from_millis(300));
+    cluster.kill_matcher(MatcherId(1));
+    publish_batch(&mut cluster, 2 * N / 3);
+    std::thread::sleep(Duration::from_millis(500));
+    cluster
+        .restart_matcher(MatcherId(1))
+        .expect("restart succeeds");
+    await_membership(&cluster, 3, Duration::from_secs(10)).expect("mesh re-admits the restart");
+    publish_batch(&mut cluster, N);
+
+    let mut seen = vec![0u32; N as usize];
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while Instant::now() < deadline {
+        let Some(d) = wild.recv_timeout(Duration::from_millis(300)) else {
+            if seen.iter().all(|&n| n == 1) {
+                break;
+            }
+            continue;
+        };
+        let i = (0..N)
+            .position(|i| d.msg.values == unique_probe(i).values)
+            .expect("delivery matches one published probe");
+        seen[i] += 1;
+    }
+    let lost = (0..N as usize).filter(|&i| seen[i] == 0).count();
+    let duped = (0..N as usize).filter(|&i| seen[i] > 1).count();
+    let (retried, _, dead_lettered) = cluster.reliability_counters();
+    let counter = |name: &str| cluster.telemetry().counter_value(name, &[]).unwrap_or(0);
+    let appended = counter("bluedove_sublog_appended_total");
+    let replayed = counter("bluedove_sublog_replayed_total");
+    let reshipped = counter("bluedove_sublog_reshipped_total");
+    println!("    {subs} subscriptions, {N} publications, kill + restart of one matcher");
+    println!(
+        "    lost {lost}, duplicated {duped}, retried {retried}, dead_lettered {dead_lettered}"
+    );
+    println!(
+        "    sub-log: appended {appended}, replayed on restart {replayed}, registry re-ships {reshipped}"
+    );
+    cluster.shutdown();
+    let _ = std::fs::remove_dir_all(&log_dir);
+    let ok = lost == 0 && duped == 0 && dead_lettered == 0 && appended > 0 && replayed > 0;
+    println!("    recovery smoke: {}", if ok { "PASS" } else { "FAIL" });
+    ok
 }
 
 /// Telemetry: per-policy estimation-error distributions and cluster-wide

@@ -105,6 +105,10 @@ pub struct ClusterConfig {
     failure_detector: bluedove_overlay::FailureDetectorConfig,
     autoscaler: Option<AutoscalerConfig>,
     telemetry_file: Option<std::path::PathBuf>,
+    log_dir: Option<std::path::PathBuf>,
+    fsync: crate::log::FsyncPolicy,
+    min_isr: usize,
+    log_segment_bytes: u64,
 }
 
 impl ClusterConfig {
@@ -126,7 +130,41 @@ impl ClusterConfig {
             failure_detector: bluedove_overlay::FailureDetectorConfig::default(),
             autoscaler: None,
             telemetry_file: None,
+            log_dir: None,
+            fsync: crate::log::FsyncPolicy::default(),
+            min_isr: 1,
+            log_segment_bytes: 1 << 20,
         }
+    }
+
+    /// Enables the durable replicated subscription log, rooted at `dir`
+    /// (one file family per matcher). Off by default: without it the
+    /// subscription store is memory-only and crash recovery re-ships
+    /// every copy from the orchestrator's registration store.
+    pub fn log_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.log_dir = Some(dir.into());
+        self
+    }
+
+    /// Sets when sub-log appends reach stable storage (default:
+    /// flush-per-append, fsync on rotation/compaction).
+    pub fn fsync(mut self, policy: crate::log::FsyncPolicy) -> Self {
+        self.fsync = policy;
+        self
+    }
+
+    /// Replicas (leader included) that must hold a sub-log offset before
+    /// it counts as committed. `1` (the default) keeps replication fully
+    /// asynchronous.
+    pub fn min_isr(mut self, n: usize) -> Self {
+        self.min_isr = n.max(1);
+        self
+    }
+
+    /// Sub-log segment rotation threshold in bytes.
+    pub fn log_segment_bytes(mut self, n: u64) -> Self {
+        self.log_segment_bytes = n.max(4096);
+        self
     }
 
     /// Replaces the whole engine-level knob block (index kind, retry
@@ -567,6 +605,10 @@ pub struct Cluster {
     /// Every acked subscription, by id — the durable registration store a
     /// restarted matcher recovers its copies from.
     sub_registry: HashMap<SubscriptionId, Subscription>,
+    /// Unsubscribed subscriptions, kept (with the sub-log on) so a
+    /// restarted matcher whose local log replays a since-unsubscribed
+    /// copy gets the matching `RemoveSub` queued behind its recovery.
+    unsub_tombstones: Vec<Subscription>,
     /// The load-driven scaling controller, when configured.
     autoscaler: Option<Autoscaler>,
     /// Latest gossiped load report per `(matcher, dimension)` — the raw
@@ -574,6 +616,30 @@ pub struct Cluster {
     load_view: HashMap<(MatcherId, DimIdx), DimStats>,
     /// Every executed scale operation, in order.
     scale_events: Vec<ScaleOutcome>,
+    /// Current sub-log leader epoch per stream. Monotone: bumped on
+    /// every promotion (owner crash) and every owner rejoin, so a
+    /// deposed leader's appends always fence.
+    epochs: HashMap<MatcherId, u64>,
+    /// Which matcher currently leads each stream — the owner, until a
+    /// crash promotes its clockwise heir.
+    stream_leader: HashMap<MatcherId, MatcherId>,
+    /// Subscription-id watermark at each crash: with the sub-log on, the
+    /// registry backstop re-ships only subscriptions registered at or
+    /// after it — everything earlier replays from the local log and the
+    /// heir's delta.
+    crash_watermark: HashMap<MatcherId, u64>,
+}
+
+/// The per-matcher sub-log config, when the deployment has a log dir
+/// (file names embed the matcher id, so one directory serves them all).
+fn sublog_config(cfg: &ClusterConfig, epoch: u64) -> Option<crate::sublog::SubLogConfig> {
+    cfg.log_dir.as_ref().map(|dir| crate::sublog::SubLogConfig {
+        dir: dir.clone(),
+        fsync: cfg.fsync,
+        segment_bytes: cfg.log_segment_bytes,
+        min_isr: cfg.min_isr,
+        epoch,
+    })
 }
 
 impl Cluster {
@@ -644,6 +710,7 @@ impl Cluster {
                     failure_detector: cfg.failure_detector,
                     dedup_window: cfg.engine.dedup_window,
                     batch: cfg.engine.batch,
+                    sublog: sublog_config(&cfg, 1),
                 },
                 shared.clone(),
                 scope(&addr),
@@ -656,10 +723,13 @@ impl Cluster {
         let addr_book: Vec<(MatcherId, String)> = (0..cfg.matchers)
             .map(|i| (MatcherId(i), matcher_addr(MatcherId(i))))
             .collect();
+        let initial_epochs: Vec<(MatcherId, u64)> =
+            addr_book.iter().map(|&(m, _)| (m, 1u64)).collect();
         let initial_update = ControlMsg::TableUpdate {
             version: 1,
             strategy: shared.strategy.read().clone(),
             addrs: addr_book.clone(),
+            epochs: initial_epochs.clone(),
         };
         for (_, addr) in &addr_book {
             let _ = transport.send(addr, to_bytes(&initial_update).freeze());
@@ -709,9 +779,56 @@ impl Cluster {
             table_version: 1,
             generations,
             sub_registry: HashMap::new(),
+            unsub_tombstones: Vec::new(),
             autoscaler,
             load_view: HashMap::new(),
             scale_events: Vec::new(),
+            epochs: initial_epochs.iter().copied().collect(),
+            stream_leader: initial_epochs.iter().map(|&(m, _)| (m, m)).collect(),
+            crash_watermark: HashMap::new(),
+        }
+    }
+
+    /// The epoch book announced on the table path, sorted by stream id.
+    fn epochs_book(&self) -> Vec<(MatcherId, u64)> {
+        let mut v: Vec<(MatcherId, u64)> = self.epochs.iter().map(|(&m, &e)| (m, e)).collect();
+        v.sort_by_key(|e| e.0);
+        v
+    }
+
+    /// Bumps the table version and pushes the current membership (and
+    /// epoch book) to every matcher as the authoritative `TableUpdate`
+    /// and to every dispatcher as a `TableState`. Management-plane
+    /// traffic rides the raw channel: the orchestrator's bookkeeping
+    /// must not be lost to the faults it is recovering from.
+    fn broadcast_table(&mut self) {
+        self.table_version += 1;
+        let strategy = self.shared.strategy.read().clone();
+        let addr_book: Vec<(MatcherId, String)> = self
+            .shared
+            .matcher_addrs
+            .read()
+            .iter()
+            .map(|(&m, a)| (m, a.clone()))
+            .collect();
+        let epochs = self.epochs_book();
+        let update = ControlMsg::TableUpdate {
+            version: self.table_version,
+            strategy: strategy.clone(),
+            addrs: addr_book.clone(),
+            epochs: epochs.clone(),
+        };
+        for (_, a) in &addr_book {
+            let _ = self.channel.send(a, to_bytes(&update).freeze());
+        }
+        let state = ControlMsg::TableState {
+            version: self.table_version,
+            strategy: Some(strategy),
+            addrs: addr_book,
+            epochs,
+        };
+        for d in &self.dispatchers {
+            let _ = self.channel.send(&d.addr, to_bytes(&state).freeze());
         }
     }
 
@@ -885,6 +1002,9 @@ impl Cluster {
     /// delivered).
     pub fn unsubscribe(&mut self, handle: &SubscriberHandle) -> Result<(), ClusterError> {
         self.sub_registry.remove(&handle.subscription);
+        if self.cfg.log_dir.is_some() {
+            self.unsub_tombstones.push(handle.sub.clone());
+        }
         let d = &self.dispatchers[(handle.id.0 as usize) % self.dispatchers.len()];
         self.transport.send(
             &d.addr,
@@ -1003,12 +1123,15 @@ impl Cluster {
                 failure_detector: self.cfg.failure_detector,
                 dedup_window: self.cfg.engine.dedup_window,
                 batch: self.cfg.engine.batch,
+                sublog: sublog_config(&self.cfg, 1),
             },
             self.shared.clone(),
             self.scoped_transport(&addr),
         );
         self.matchers.insert(new_id, node);
         self.generations.insert(new_id, 1);
+        self.epochs.insert(new_id, 1);
+        self.stream_leader.insert(new_id, new_id);
 
         // Synchronous hand-over: donors ship copies, we await the acks.
         for (dim, donor, range) in &moves {
@@ -1072,6 +1195,7 @@ impl Cluster {
             version: self.table_version,
             strategy: new_strategy,
             addrs: addr_book.clone(),
+            epochs: self.epochs_book(),
         };
         for (_, a) in &addr_book {
             let _ = self.transport.send(a, to_bytes(&update).freeze());
@@ -1187,6 +1311,12 @@ impl Cluster {
         // traffic goes over the raw channel (see restart_matcher).
         *self.shared.strategy.write() = new_strategy.clone();
         self.shared.matcher_addrs.write().remove(&victim);
+        // A graceful leave retires the victim's stream with it: its
+        // segments (and their copies) have been handed to the heirs, so
+        // there is nothing left for the stream to replay.
+        self.epochs.remove(&victim);
+        self.stream_leader.remove(&victim);
+        self.stream_leader.retain(|_, l| *l != victim);
         self.table_version += 1;
         let addr_book: Vec<(MatcherId, String)> = self
             .shared
@@ -1199,6 +1329,7 @@ impl Cluster {
             version: self.table_version,
             strategy: new_strategy.clone(),
             addrs: addr_book.clone(),
+            epochs: self.epochs_book(),
         };
         for (_, a) in &addr_book {
             let _ = self.channel.send(a, to_bytes(&update).freeze());
@@ -1207,6 +1338,7 @@ impl Cluster {
             version: self.table_version,
             strategy: Some(new_strategy),
             addrs: addr_book,
+            epochs: self.epochs_book(),
         };
         for d in &self.dispatchers {
             let _ = self.channel.send(&d.addr, to_bytes(&state).freeze());
@@ -1307,7 +1439,11 @@ impl Cluster {
     }
 
     /// Crashes matcher `m`: its inbox vanishes and its thread stops.
-    /// Dispatchers fail over on their next send to it.
+    /// Dispatchers fail over on their next send to it. With the sub-log
+    /// on, every stream the victim led is promoted onto its clockwise
+    /// heir at a bumped epoch — the heir replays its replica into its
+    /// engine (failover as log replay) — and the new epoch book rides
+    /// the next table broadcast.
     pub fn kill_matcher(&mut self, m: MatcherId) {
         if let Some(node) = self.matchers.remove(&m) {
             self.channel.unbind(&node.addr);
@@ -1315,7 +1451,50 @@ impl Cluster {
             node.crash();
             node.join();
             self.shared.matchers_gauge.set(self.matchers.len() as i64);
+            if self.cfg.log_dir.is_some() {
+                // The registry backstop for the victim's eventual rejoin
+                // covers only subscriptions registered from this instant
+                // on; everything earlier replays from the logs.
+                self.crash_watermark.insert(
+                    m,
+                    self.shared
+                        .next_sub_id
+                        .load(std::sync::atomic::Ordering::Relaxed),
+                );
+                let streams: Vec<MatcherId> = self
+                    .stream_leader
+                    .iter()
+                    .filter(|&(_, &l)| l == m)
+                    .map(|(&s, _)| s)
+                    .collect();
+                if let Some(heir) = self.clockwise_heir(m) {
+                    for stream in streams {
+                        let epoch = self.epochs.entry(stream).or_insert(1);
+                        *epoch += 1;
+                        let promote = ControlMsg::SubLogPromote {
+                            stream,
+                            epoch: *epoch,
+                        };
+                        if let Some(addr) = self.shared.matcher_addr(heir) {
+                            let _ = self.channel.send(&addr, to_bytes(&promote).freeze());
+                        }
+                        self.stream_leader.insert(stream, heir);
+                    }
+                }
+                self.broadcast_table();
+            }
         }
+    }
+
+    /// The next live matcher clockwise of `of` by id (wrapping), or
+    /// `None` when no matcher is left.
+    fn clockwise_heir(&self, of: MatcherId) -> Option<MatcherId> {
+        let mut ids: Vec<MatcherId> = self.shared.matcher_addrs.read().keys().copied().collect();
+        ids.sort();
+        ids.iter()
+            .copied()
+            .find(|&i| i > of)
+            .or(ids.first().copied())
     }
 
     /// The current membership as gossip bootstrap states, each carrying
@@ -1357,6 +1536,14 @@ impl Cluster {
             *g += 1;
             *g
         };
+        // Rejoin at a bumped epoch: the recovered matcher re-leads its
+        // own stream above whatever epoch its heir was promoted at, so
+        // the heir's in-flight appends fence instead of diverging.
+        let rejoin_epoch = self.cfg.log_dir.as_ref().map(|_| {
+            let e = self.epochs.entry(m).or_insert(1);
+            *e += 1;
+            *e
+        });
         let addr = matcher_addr(m);
         self.shared.matcher_addrs.write().insert(m, addr.clone());
         // Bind the inbox but do **not** start the serve loop yet: the
@@ -1379,44 +1566,106 @@ impl Cluster {
                 failure_detector: self.cfg.failure_detector,
                 dedup_window: self.cfg.engine.dedup_window,
                 batch: self.cfg.engine.batch,
+                sublog: rejoin_epoch.and_then(|e| sublog_config(&self.cfg, e)),
             },
             self.scoped_transport(&addr),
         );
 
-        // Re-announce the membership under a fresh table version: matchers
-        // get the authoritative TableUpdate, dispatchers get the same book
-        // pushed as a TableState (they also pull periodically) and drop
-        // re-listed matchers from their dead lists.
-        self.table_version += 1;
-        let strategy = self.shared.strategy.read().clone();
-        let addr_book: Vec<(MatcherId, String)> = self
-            .shared
-            .matcher_addrs
-            .read()
-            .iter()
-            .map(|(&id, a)| (id, a.clone()))
-            .collect();
-        let update = ControlMsg::TableUpdate {
-            version: self.table_version,
-            strategy: strategy.clone(),
-            addrs: addr_book.clone(),
-        };
-        // Management-plane traffic goes over the raw channel, not the
-        // fault-scoped transport: the orchestrator's own re-admission
-        // bookkeeping must not be lost to the faults it is recovering
-        // from (the periodic pull path still exercises the faulty links).
-        for (_, a) in &addr_book {
-            let _ = self.channel.send(a, to_bytes(&update).freeze());
+        // Local-log-first recovery: the bound matcher replays its own
+        // durable stream when its serve loop opens the log, so only the
+        // *delta* — mutations that landed on the heir while this matcher
+        // was down — needs the network. Pull the heir's copy of the
+        // stream, queue it as a `SubLogInstall` ahead of any traffic,
+        // and step the heir down; its next-seen appends from the rejoin
+        // epoch re-fence the replica.
+        let watermark = self.crash_watermark.remove(&m);
+        if let Some(e_new) = rejoin_epoch {
+            let leader = self.stream_leader.get(&m).copied().unwrap_or(m);
+            if leader != m {
+                if let Some(leader_addr) = self.shared.matcher_addr(leader) {
+                    let fetch = ControlMsg::SubLogFetch {
+                        stream: m,
+                        from: 0,
+                        reply_to: control_addr(),
+                    };
+                    let _ = self.channel.send(&leader_addr, to_bytes(&fetch).freeze());
+                    let deadline = Instant::now() + Duration::from_secs(5);
+                    while Instant::now() < deadline {
+                        let remaining = deadline.saturating_duration_since(Instant::now());
+                        let Ok(payload) = self.ctl_rx.recv_timeout(remaining) else {
+                            break;
+                        };
+                        if let Ok(ControlMsg::SubLogAppend {
+                            stream, records, ..
+                        }) = from_bytes(&payload)
+                        {
+                            if stream == m {
+                                let install = ControlMsg::SubLogInstall {
+                                    stream: m,
+                                    epoch: e_new,
+                                    records,
+                                };
+                                let _ = self.channel.send(&addr, to_bytes(&install).freeze());
+                                break;
+                            }
+                        }
+                        // Stray control traffic (load reports, late acks)
+                        // shares this inbox: skip and keep waiting.
+                    }
+                    let demote = ControlMsg::SubLogDemote { stream: m };
+                    let _ = self.channel.send(&leader_addr, to_bytes(&demote).freeze());
+                }
+            }
+            self.stream_leader.insert(m, m);
+            // Unsubscribes the local log predates would resurrect their
+            // copies on replay: queue the tombstones' removals behind
+            // the recovery stream.
+            let removals: Vec<(DimIdx, SubscriptionId)> = {
+                let guard = self.shared.strategy.read();
+                self.unsub_tombstones
+                    .iter()
+                    .flat_map(|sub| {
+                        guard
+                            .as_dyn()
+                            .assign(sub)
+                            .into_iter()
+                            .filter(|a| a.matcher == m)
+                            .map(|a| (a.dim, sub.id))
+                            .collect::<Vec<_>>()
+                    })
+                    .collect()
+            };
+            for (dim, sub) in removals {
+                let remove = ControlMsg::RemoveSub { dim, sub };
+                let _ = self.channel.send(&addr, to_bytes(&remove).freeze());
+            }
         }
 
-        // Recover the restarted matcher's subscription copies from the
-        // registration store (deterministic assignment: the same copies
-        // land wherever the strategy places them) — queued on the bound
-        // inbox ahead of any publication, per the ordering argument above.
+        // Re-announce the membership (and epoch book) under a fresh
+        // table version: matchers get the authoritative TableUpdate,
+        // dispatchers get the same book pushed as a TableState (they
+        // also pull periodically) and drop re-listed matchers from their
+        // dead lists. Management-plane traffic goes over the raw
+        // channel, not the fault-scoped transport: the orchestrator's
+        // own re-admission bookkeeping must not be lost to the faults it
+        // is recovering from (the periodic pull path still exercises the
+        // faulty links).
+        self.broadcast_table();
+
+        // Registry backstop, queued on the bound inbox ahead of any
+        // publication (per the ordering argument above): with the
+        // sub-log on, only subscriptions registered *since the crash*
+        // are re-shipped — everything earlier replayed from the local
+        // log and the heir's delta. Without it, the full historical
+        // re-ship is preserved.
         let copies: Vec<(DimIdx, Subscription)> = {
             let guard = self.shared.strategy.read();
             self.sub_registry
                 .values()
+                .filter(|sub| match watermark {
+                    Some(w) => sub.id.0 >= w,
+                    None => true,
+                })
                 .flat_map(|sub| {
                     guard
                         .as_dyn()
@@ -1428,20 +1677,18 @@ impl Cluster {
                 })
                 .collect()
         };
+        if watermark.is_some() {
+            self.shared
+                .counters
+                .sublog_reshipped
+                .add(copies.len() as u64);
+        }
         for (dim, sub) in copies {
             let store = ControlMsg::StoreSub { dim, sub };
             self.channel.send(&addr, to_bytes(&store).freeze())?;
         }
         self.matchers.insert(m, bound.start(self.shared.clone()));
         self.shared.matchers_gauge.set(self.matchers.len() as i64);
-        let state = ControlMsg::TableState {
-            version: self.table_version,
-            strategy: Some(strategy),
-            addrs: addr_book,
-        };
-        for d in &self.dispatchers {
-            let _ = self.channel.send(&d.addr, to_bytes(&state).freeze());
-        }
         Ok(())
     }
 

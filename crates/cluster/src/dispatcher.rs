@@ -388,10 +388,15 @@ fn run(
                             dim,
                             stats,
                         },
+                        // Sub-log leader epochs ride the same monotone
+                        // table path, but dispatcher routing stays
+                        // address-driven: a failed send is the failover
+                        // trigger, not an epoch comparison.
                         ControlMsg::TableState {
                             version,
                             strategy: Some(strategy),
                             addrs,
+                            epochs: _,
                         } => DispatcherEvent::TableUpdate {
                             version,
                             strategy,

@@ -37,10 +37,12 @@ pub mod batchio;
 pub mod chaos;
 pub mod cluster;
 pub mod dispatcher;
+pub mod log;
 pub mod mailbox;
 pub mod matcher;
 pub mod proto;
 pub mod shared;
+pub mod sublog;
 pub mod wal;
 
 pub use apps::{AppError, AppSpec, MultiAppCluster};
@@ -49,5 +51,7 @@ pub use cluster::{
     Cluster, ClusterConfig, ClusterError, Delivery, IndirectSubscriber, PolicyKind, Publisher,
     StrategyKind, SubscriberHandle,
 };
+pub use log::{FsyncPolicy, Log, LogConfig};
 pub use proto::ControlMsg;
 pub use shared::{ReliabilityConfig, SeenWindow};
+pub use sublog::{SubLogConfig, SubLogRecord};

@@ -13,6 +13,7 @@
 use crate::batchio::{send_flush, BatchMetrics};
 use crate::proto::ControlMsg;
 use crate::shared::Shared;
+use crate::sublog::{FollowerOutcome, MatcherLog, ReplicatedAppend, SubLogRecord};
 use bluedove_core::{
     DimIdx, IndexKind, MatchHit, MatcherId, Message, MessageId, SubscriberId, SubscriptionId,
 };
@@ -60,6 +61,10 @@ pub struct MatcherNodeConfig {
     /// Hot-path coalescing knobs for outbound `Deliver`/`MatchAck`
     /// frames (`max_batch = 1` turns batching off).
     pub batch: BatchCfg,
+    /// Durable replicated subscription log. `None` keeps the store
+    /// memory-only: mutations are not journaled and recovery falls back
+    /// to full re-shipping from the registration store.
+    pub sublog: Option<crate::sublog::SubLogConfig>,
 }
 
 /// Handle to a running matcher thread.
@@ -269,6 +274,17 @@ fn run(
 ) {
     let k = shared.space.k();
     let mut engine = MatcherEngine::new(cfg.id, shared.space.clone(), cfg.index, cfg.dedup_window);
+    // Local-log-first recovery: replay the matcher's own durable stream
+    // into the fresh engine before the inbox drains, so state the log
+    // already holds is never re-shipped (and never served stale).
+    let mut mlog: Option<MatcherLog> = cfg.sublog.clone().map(|slc| {
+        let (ml, replayed) = MatcherLog::open(cfg.id, slc).expect("open subscription log");
+        shared.counters.sublog_replayed.add(replayed.len() as u64);
+        for rec in &replayed {
+            rec.apply(&mut engine);
+        }
+        ml
+    });
     let mut next_stats = Instant::now() + cfg.stats_interval;
     let mut hits: Vec<MatchHit> = Vec::new();
     let telemetry = MatcherTelemetry::register(&shared, cfg.id, k);
@@ -302,6 +318,7 @@ fn run(
         version: 0,
         strategy: None,
         addrs: Vec::new(),
+        epochs: Vec::new(),
     };
     // Set when a `Leave` arrives: the matcher is draining toward exit.
     let mut leaving_since: Option<Instant> = None;
@@ -323,6 +340,7 @@ fn run(
                 &mut engine,
                 &mut gossip,
                 &mut table,
+                &mut mlog,
                 &telemetry,
                 &mut pending_syns,
                 &mut batcher,
@@ -388,6 +406,7 @@ fn run(
                         &mut engine,
                         &mut gossip,
                         &mut table,
+                        &mut mlog,
                         &telemetry,
                         &mut pending_syns,
                         &mut batcher,
@@ -488,6 +507,22 @@ fn run(
                     }
                 }
             }
+            // Sub-log compaction: once the own stream has accumulated
+            // enough appends, squash its history to the engine's live
+            // snapshot (re-stamped at the tail) and stream the result to
+            // the heir so its replica compacts too.
+            if let Some(ml) = mlog.as_mut() {
+                if ml.own_appended() >= crate::sublog::SUBLOG_COMPACT_THRESHOLD {
+                    let snap: Vec<SubLogRecord> = engine
+                        .snapshot()
+                        .into_iter()
+                        .map(|(dim, sub)| SubLogRecord::Store { dim, sub })
+                        .collect();
+                    if let Ok(append) = ml.compact_own(snap) {
+                        replicate(&cfg, &transport, &table, append);
+                    }
+                }
+            }
             next_stats += cfg.stats_interval;
         }
         // A leaving matcher exits once its inbox and queues are drained
@@ -507,6 +542,9 @@ fn run(
         for flush in batcher.flush_all() {
             let _ = send_flush(transport.as_ref(), &batch_metrics, flush);
         }
+        if let Some(ml) = mlog.as_mut() {
+            let _ = ml.sync_all();
+        }
     }
 }
 
@@ -515,6 +553,8 @@ struct TableCopy {
     version: u64,
     strategy: Option<bluedove_baselines::AnyStrategy>,
     addrs: Vec<(MatcherId, String)>,
+    /// Sub-log leader epochs per stream, as of `version`.
+    epochs: Vec<(MatcherId, u64)>,
 }
 
 /// What the serve loop should do after one control message.
@@ -537,6 +577,7 @@ fn handle(
     engine: &mut MatcherEngine,
     gossip: &mut GossipNode,
     table: &mut TableCopy,
+    mlog: &mut Option<MatcherLog>,
     telemetry: &MatcherTelemetry,
     pending_syns: &mut HashMap<String, Instant>,
     batcher: &mut Coalescer<ControlMsg>,
@@ -558,6 +599,7 @@ fn handle(
                     engine,
                     gossip,
                     table,
+                    mlog,
                     telemetry,
                     pending_syns,
                     batcher,
@@ -577,6 +619,7 @@ fn handle(
             engine,
             gossip,
             table,
+            mlog,
             telemetry,
             pending_syns,
             batcher,
@@ -595,6 +638,7 @@ fn handle_msg(
     engine: &mut MatcherEngine,
     gossip: &mut GossipNode,
     table: &mut TableCopy,
+    mlog: &mut Option<MatcherLog>,
     telemetry: &MatcherTelemetry,
     pending_syns: &mut HashMap<String, Instant>,
     batcher: &mut Coalescer<ControlMsg>,
@@ -603,10 +647,39 @@ fn handle_msg(
 ) -> Step {
     match msg {
         ControlMsg::StoreSub { dim, sub } => {
+            if let Some(ml) = mlog.as_mut() {
+                let rec = SubLogRecord::Store {
+                    dim,
+                    sub: sub.clone(),
+                };
+                // A copy that failed over here because its assigned owner
+                // is dead also belongs on the owner's stream, so the
+                // owner's eventual catch-up includes its downtime
+                // mutations. Detectable exactly when this matcher leads
+                // the owner's stream.
+                if let Some(strategy) = &table.strategy {
+                    for a in strategy.as_dyn().assign(&sub) {
+                        if a.dim == dim && a.matcher != cfg.id && ml.leads(a.matcher) {
+                            let _ = ml.log_promoted(a.matcher, rec.clone());
+                        }
+                    }
+                }
+                log_mutation(cfg, shared, transport, table, ml, rec);
+            }
             engine.insert(dim, sub);
             shared.counters.stored_copies.inc();
         }
         ControlMsg::RemoveSub { dim, sub } => {
+            if let Some(ml) = mlog.as_mut() {
+                log_mutation(
+                    cfg,
+                    shared,
+                    transport,
+                    table,
+                    ml,
+                    SubLogRecord::Remove { dim, sub },
+                );
+            }
             engine.remove(dim, sub);
         }
         ControlMsg::MatchMsg {
@@ -647,16 +720,32 @@ fn handle_msg(
             let _ = transport.send(&reply_to, to_bytes(&done).freeze());
         }
         ControlMsg::Retire { dim, range, keep } => {
+            if let Some(ml) = mlog.as_mut() {
+                log_mutation(
+                    cfg,
+                    shared,
+                    transport,
+                    table,
+                    ml,
+                    SubLogRecord::Retire {
+                        dim,
+                        range,
+                        keep: keep.clone(),
+                    },
+                );
+            }
             engine.retire(dim, &range, &keep);
         }
         ControlMsg::TableUpdate {
             version,
             strategy,
             addrs,
+            epochs,
         } if version > table.version => {
             table.version = version;
             table.strategy = Some(strategy);
             table.addrs = addrs;
+            table.epochs = epochs;
             // Announce the new table version on the gossip mesh too.
             gossip.set_segments_version(version);
         }
@@ -665,6 +754,7 @@ fn handle_msg(
                 version: table.version,
                 strategy: table.strategy.clone(),
                 addrs: table.addrs.clone(),
+                epochs: table.epochs.clone(),
             };
             let _ = transport.send(&reply_to, to_bytes(&state).freeze());
         }
@@ -702,10 +792,210 @@ fn handle_msg(
                 let _ = transport.send(&from_addr, to_bytes(&wire).freeze());
             }
         }
+        ControlMsg::SubLogAppend {
+            stream,
+            epoch,
+            base,
+            offset,
+            reset,
+            records,
+            ack_to,
+        } => {
+            if let Some(ml) = mlog.as_mut() {
+                let append = ReplicatedAppend {
+                    stream,
+                    epoch,
+                    base,
+                    offset,
+                    reset,
+                    records,
+                };
+                match ml.follower_accept(stream, &append) {
+                    Ok(FollowerOutcome::Acked {
+                        epoch,
+                        next_offset,
+                        stored,
+                    }) => {
+                        shared.counters.sublog_replicated.add(stored);
+                        let ack = ControlMsg::SubLogAck {
+                            stream,
+                            follower: cfg.id,
+                            epoch,
+                            offset: next_offset,
+                        };
+                        let _ = transport.send(&ack_to, to_bytes(&ack).freeze());
+                    }
+                    Ok(FollowerOutcome::NeedFetch { from }) => {
+                        // A hole precedes this append: pull the missing
+                        // prefix from the leader before acking anything.
+                        let fetch = ControlMsg::SubLogFetch {
+                            stream,
+                            from,
+                            reply_to: cfg.addr.clone(),
+                        };
+                        let _ = transport.send(&ack_to, to_bytes(&fetch).freeze());
+                    }
+                    Ok(FollowerOutcome::Fenced { .. }) => {
+                        // The sender was deposed; dropping its append (and
+                        // never acking) is the fence.
+                        shared.counters.sublog_fenced.inc();
+                    }
+                    Err(_) => {}
+                }
+            }
+        }
+        ControlMsg::SubLogAck {
+            stream,
+            follower,
+            epoch,
+            offset,
+        } => {
+            if let Some(ml) = mlog.as_mut() {
+                ml.record_ack(stream, follower, epoch, offset, shared.now());
+            }
+        }
+        ControlMsg::SubLogFetch {
+            stream,
+            from,
+            reply_to,
+        } => {
+            if let Some(ml) = mlog.as_ref() {
+                if let Some(app) = ml.serve(stream, from) {
+                    let msg = ControlMsg::SubLogAppend {
+                        stream: app.stream,
+                        epoch: app.epoch,
+                        base: app.base,
+                        offset: app.offset,
+                        reset: app.reset,
+                        records: app.records,
+                        ack_to: cfg.addr.clone(),
+                    };
+                    let _ = transport.send(&reply_to, to_bytes(&msg).freeze());
+                }
+            }
+        }
+        ControlMsg::SubLogPromote { stream, epoch } => {
+            if let Some(ml) = mlog.as_mut() {
+                if let Ok(replay) = ml.promote(stream, epoch) {
+                    if !replay.is_empty() {
+                        // Failover as log replay — but through a scratch
+                        // engine: the dead owner's Retire records carry
+                        // *its* keep ranges, which applied to the live
+                        // engine would delete this matcher's own
+                        // overlapping copies. The scratch's final snapshot
+                        // is adopted and journaled on this matcher's own
+                        // stream, so the inherited copies survive a later
+                        // crash of the heir itself.
+                        let mut scratch = MatcherEngine::new(
+                            cfg.id,
+                            shared.space.clone(),
+                            cfg.index,
+                            cfg.dedup_window,
+                        );
+                        for rec in &replay {
+                            rec.apply(&mut scratch);
+                        }
+                        let inherited = scratch.snapshot();
+                        shared.counters.sublog_promoted.add(inherited.len() as u64);
+                        for (dim, sub) in inherited {
+                            log_mutation(
+                                cfg,
+                                shared,
+                                transport,
+                                table,
+                                ml,
+                                SubLogRecord::Store {
+                                    dim,
+                                    sub: sub.clone(),
+                                },
+                            );
+                            engine.remove(dim, sub.id);
+                            engine.insert(dim, sub);
+                        }
+                    }
+                }
+            }
+        }
+        ControlMsg::SubLogDemote { stream } => {
+            if let Some(ml) = mlog.as_mut() {
+                ml.demote(stream);
+            }
+        }
+        // Only meaningful for this matcher's own stream: the history its
+        // heir accumulated while it was down, queued on the bound inbox
+        // ahead of any publication. The records are this matcher's own
+        // (its keep ranges, its copies), so they apply to the live engine
+        // directly.
+        ControlMsg::SubLogInstall {
+            stream,
+            epoch,
+            records,
+        } if stream == cfg.id => {
+            if let Some(ml) = mlog.as_mut() {
+                if ml.install(epoch, &records).is_ok() {
+                    shared.counters.sublog_caught_up.add(records.len() as u64);
+                    for rec in &records {
+                        rec.apply(engine);
+                    }
+                }
+            }
+        }
         ControlMsg::Leave => return Step::Leaving,
         ControlMsg::Shutdown => return Step::Shutdown,
         // Messages not addressed to matchers are ignored defensively.
         _ => {}
     }
     Step::Continue
+}
+
+/// Journals one mutation on this matcher's own stream and streams it to
+/// the clockwise heir. Called *before* the engine mutation, so the
+/// durable log is never behind the served state. A failed append keeps
+/// the matcher serving from memory; recovery then degrades to the
+/// registry re-ship path.
+fn log_mutation(
+    cfg: &MatcherNodeConfig,
+    shared: &Arc<Shared>,
+    transport: &Arc<dyn Transport>,
+    table: &TableCopy,
+    ml: &mut MatcherLog,
+    rec: SubLogRecord,
+) {
+    if let Ok(append) = ml.log_own(rec) {
+        shared.counters.sublog_appended.inc();
+        replicate(cfg, transport, table, append);
+    }
+}
+
+/// Sends one stamped append to the first reachable clockwise heir in
+/// the table's address book (sorted by id, wrapping, skipping self).
+/// Dead heirs are unbound, so their sends error and the next candidate
+/// is tried; with no table installed yet there is no heir to stream to.
+fn replicate(
+    cfg: &MatcherNodeConfig,
+    transport: &Arc<dyn Transport>,
+    table: &TableCopy,
+    append: ReplicatedAppend,
+) {
+    let mut ring: Vec<&(MatcherId, String)> = table.addrs.iter().collect();
+    ring.sort_by_key(|e| e.0);
+    let Some(pos) = ring.iter().position(|e| e.0 == cfg.id) else {
+        return;
+    };
+    let msg = ControlMsg::SubLogAppend {
+        stream: append.stream,
+        epoch: append.epoch,
+        base: append.base,
+        offset: append.offset,
+        reset: append.reset,
+        records: append.records,
+        ack_to: cfg.addr.clone(),
+    };
+    let bytes = to_bytes(&msg).freeze();
+    for i in 1..ring.len() {
+        let addr = &ring[(pos + i) % ring.len()].1;
+        if transport.send(addr, bytes.clone()).is_ok() {
+            return;
+        }
+    }
 }

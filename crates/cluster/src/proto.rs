@@ -155,6 +155,10 @@ pub enum ControlMsg {
         strategy: bluedove_baselines::AnyStrategy,
         /// Matcher address book as of this version.
         addrs: Vec<(MatcherId, String)>,
+        /// Sub-log leader epochs per stream as of this version —
+        /// dispatchers and matchers learn about promotions through the
+        /// same monotone table path that carries segment ownership.
+        epochs: Vec<(MatcherId, u64)>,
     },
     /// Dispatcher → matcher: request the current table (§III-C: "each
     /// dispatcher pulls the table from a randomly chosen matcher once a
@@ -171,6 +175,8 @@ pub enum ControlMsg {
         strategy: Option<bluedove_baselines::AnyStrategy>,
         /// Matcher address book.
         addrs: Vec<(MatcherId, String)>,
+        /// Sub-log leader epochs per stream, as last gossiped/installed.
+        epochs: Vec<(MatcherId, u64)>,
     },
     /// Matcher ↔ matcher: one leg of the §III-C anti-entropy gossip
     /// handshake, carried over the regular transport. `from_addr` tells
@@ -202,6 +208,82 @@ pub enum ControlMsg {
     Leave,
     /// Orderly shutdown of the receiving node.
     Shutdown,
+    /// Stream leader → follower: replicate sub-log records appended
+    /// under `(epoch, offset)`. Also serves as the catch-up reply to a
+    /// [`ControlMsg::SubLogFetch`]. The follower fences on the stamp
+    /// (see `bluedove_engine::replication`) and answers with a
+    /// [`ControlMsg::SubLogAck`] to `ack_to`.
+    SubLogAppend {
+        /// The stream the records belong to (its owner's id).
+        stream: MatcherId,
+        /// Leader epoch of the append.
+        epoch: u64,
+        /// Offset the leader's epoch began at (ghost-tail fencing).
+        base: u64,
+        /// Logical offset of the first record.
+        offset: u64,
+        /// When set, the receiver discards its replica and adopts the
+        /// records as the stream's full retained history (it fell behind
+        /// the leader's compaction horizon).
+        reset: bool,
+        /// The records, at consecutive offsets from `offset`.
+        records: Vec<crate::sublog::SubLogRecord>,
+        /// Where to send the ack (empty = no ack wanted).
+        ack_to: String,
+    },
+    /// Follower → stream leader: the replica holds every record below
+    /// `offset` under `epoch`. Feeds the leader's in-sync replica set
+    /// and commit point.
+    SubLogAck {
+        /// Which stream.
+        stream: MatcherId,
+        /// The acking follower.
+        follower: MatcherId,
+        /// Epoch the follower is following.
+        epoch: u64,
+        /// The follower's next expected offset.
+        offset: u64,
+    },
+    /// Follower (or control plane) → stream leader: re-send the records
+    /// from `from` to the tail, as a [`ControlMsg::SubLogAppend`] to
+    /// `reply_to` (gap repair / recovery delta pull).
+    SubLogFetch {
+        /// Which stream.
+        stream: MatcherId,
+        /// First missing offset.
+        from: u64,
+        /// Where to send the catch-up append.
+        reply_to: String,
+    },
+    /// Control plane → heir: the owner of `stream` died — promote your
+    /// replica at its replicated offset and lead the stream under
+    /// `epoch`, replaying the replica into your own index (failover as
+    /// log replay).
+    SubLogPromote {
+        /// The dead owner's stream.
+        stream: MatcherId,
+        /// The new leader epoch (strictly above every prior one).
+        epoch: u64,
+    },
+    /// Control plane → promoted heir: the owner of `stream` recovered
+    /// and resumed leading — step back down to a follower (the owner's
+    /// higher-epoch appends re-fence the replica).
+    SubLogDemote {
+        /// The recovered owner's stream.
+        stream: MatcherId,
+    },
+    /// Control plane → recovering matcher: the delta of your own stream
+    /// fetched from your heir while you were down. Appended to the local
+    /// log and applied before serving resumes; the matcher then leads
+    /// its stream under `epoch`.
+    SubLogInstall {
+        /// The recovering matcher's own stream.
+        stream: MatcherId,
+        /// The fresh leader epoch to resume under.
+        epoch: u64,
+        /// The downtime mutations, oldest first.
+        records: Vec<crate::sublog::SubLogRecord>,
+    },
     /// A coalesced run of frames for one destination, flushed by the
     /// sender's size/deadline policy (see `bluedove_engine::Coalescer`).
     /// The receiver processes the inner frames in order, exactly as if
@@ -265,6 +347,12 @@ const TAG_TELEMETRY_PULL: u8 = 20;
 const TAG_TELEMETRY_TEXT: u8 = 21;
 const TAG_LEAVE: u8 = 22;
 const TAG_BATCH: u8 = 23;
+const TAG_SUBLOG_APPEND: u8 = 24;
+const TAG_SUBLOG_ACK: u8 = 25;
+const TAG_SUBLOG_FETCH: u8 = 26;
+const TAG_SUBLOG_PROMOTE: u8 = 27;
+const TAG_SUBLOG_DEMOTE: u8 = 28;
+const TAG_SUBLOG_INSTALL: u8 = 29;
 
 /// Decoder cap on frames per batch: a forged count cannot make the
 /// decoder pre-allocate more than this many slots, and well-formed
@@ -390,6 +478,7 @@ impl Wire for ControlMsg {
                 version,
                 strategy,
                 addrs,
+                epochs,
             } => {
                 buf.put_u8(TAG_TABLE_UPDATE);
                 version.encode(buf);
@@ -398,6 +487,11 @@ impl Wire for ControlMsg {
                 for (m, a) in addrs {
                     m.encode(buf);
                     a.encode(buf);
+                }
+                (epochs.len() as u32).encode(buf);
+                for (m, e) in epochs {
+                    m.encode(buf);
+                    e.encode(buf);
                 }
             }
             ControlMsg::TablePull { reply_to } => {
@@ -408,6 +502,7 @@ impl Wire for ControlMsg {
                 version,
                 strategy,
                 addrs,
+                epochs,
             } => {
                 buf.put_u8(TAG_TABLE_STATE);
                 version.encode(buf);
@@ -416,6 +511,11 @@ impl Wire for ControlMsg {
                 for (m, a) in addrs {
                     m.encode(buf);
                     a.encode(buf);
+                }
+                (epochs.len() as u32).encode(buf);
+                for (m, e) in epochs {
+                    m.encode(buf);
+                    e.encode(buf);
                 }
             }
             ControlMsg::Gossip { from_addr, msg } => {
@@ -433,6 +533,65 @@ impl Wire for ControlMsg {
             }
             ControlMsg::Leave => buf.put_u8(TAG_LEAVE),
             ControlMsg::Shutdown => buf.put_u8(TAG_SHUTDOWN),
+            ControlMsg::SubLogAppend {
+                stream,
+                epoch,
+                base,
+                offset,
+                reset,
+                records,
+                ack_to,
+            } => {
+                buf.put_u8(TAG_SUBLOG_APPEND);
+                stream.encode(buf);
+                epoch.encode(buf);
+                base.encode(buf);
+                offset.encode(buf);
+                reset.encode(buf);
+                records.encode(buf);
+                ack_to.encode(buf);
+            }
+            ControlMsg::SubLogAck {
+                stream,
+                follower,
+                epoch,
+                offset,
+            } => {
+                buf.put_u8(TAG_SUBLOG_ACK);
+                stream.encode(buf);
+                follower.encode(buf);
+                epoch.encode(buf);
+                offset.encode(buf);
+            }
+            ControlMsg::SubLogFetch {
+                stream,
+                from,
+                reply_to,
+            } => {
+                buf.put_u8(TAG_SUBLOG_FETCH);
+                stream.encode(buf);
+                from.encode(buf);
+                reply_to.encode(buf);
+            }
+            ControlMsg::SubLogPromote { stream, epoch } => {
+                buf.put_u8(TAG_SUBLOG_PROMOTE);
+                stream.encode(buf);
+                epoch.encode(buf);
+            }
+            ControlMsg::SubLogDemote { stream } => {
+                buf.put_u8(TAG_SUBLOG_DEMOTE);
+                stream.encode(buf);
+            }
+            ControlMsg::SubLogInstall {
+                stream,
+                epoch,
+                records,
+            } => {
+                buf.put_u8(TAG_SUBLOG_INSTALL);
+                stream.encode(buf);
+                epoch.encode(buf);
+                records.encode(buf);
+            }
             ControlMsg::Batch(inner) => {
                 debug_assert!(!inner.is_empty(), "encoder never emits an empty batch");
                 debug_assert!(
@@ -527,10 +686,16 @@ impl Wire for ControlMsg {
                 for _ in 0..n {
                     addrs.push((MatcherId::decode(buf)?, String::decode(buf)?));
                 }
+                let ne = u32::decode(buf)? as usize;
+                let mut epochs = Vec::with_capacity(ne.min(4096));
+                for _ in 0..ne {
+                    epochs.push((MatcherId::decode(buf)?, u64::decode(buf)?));
+                }
                 ControlMsg::TableUpdate {
                     version,
                     strategy,
                     addrs,
+                    epochs,
                 }
             }
             TAG_TABLE_PULL => ControlMsg::TablePull {
@@ -544,10 +709,16 @@ impl Wire for ControlMsg {
                 for _ in 0..n {
                     addrs.push((MatcherId::decode(buf)?, String::decode(buf)?));
                 }
+                let ne = u32::decode(buf)? as usize;
+                let mut epochs = Vec::with_capacity(ne.min(4096));
+                for _ in 0..ne {
+                    epochs.push((MatcherId::decode(buf)?, u64::decode(buf)?));
+                }
                 ControlMsg::TableState {
                     version,
                     strategy,
                     addrs,
+                    epochs,
                 }
             }
             TAG_GOSSIP => ControlMsg::Gossip {
@@ -562,6 +733,38 @@ impl Wire for ControlMsg {
             },
             TAG_LEAVE => ControlMsg::Leave,
             TAG_SHUTDOWN => ControlMsg::Shutdown,
+            TAG_SUBLOG_APPEND => ControlMsg::SubLogAppend {
+                stream: MatcherId::decode(buf)?,
+                epoch: u64::decode(buf)?,
+                base: u64::decode(buf)?,
+                offset: u64::decode(buf)?,
+                reset: bool::decode(buf)?,
+                records: Vec::<crate::sublog::SubLogRecord>::decode(buf)?,
+                ack_to: String::decode(buf)?,
+            },
+            TAG_SUBLOG_ACK => ControlMsg::SubLogAck {
+                stream: MatcherId::decode(buf)?,
+                follower: MatcherId::decode(buf)?,
+                epoch: u64::decode(buf)?,
+                offset: u64::decode(buf)?,
+            },
+            TAG_SUBLOG_FETCH => ControlMsg::SubLogFetch {
+                stream: MatcherId::decode(buf)?,
+                from: u64::decode(buf)?,
+                reply_to: String::decode(buf)?,
+            },
+            TAG_SUBLOG_PROMOTE => ControlMsg::SubLogPromote {
+                stream: MatcherId::decode(buf)?,
+                epoch: u64::decode(buf)?,
+            },
+            TAG_SUBLOG_DEMOTE => ControlMsg::SubLogDemote {
+                stream: MatcherId::decode(buf)?,
+            },
+            TAG_SUBLOG_INSTALL => ControlMsg::SubLogInstall {
+                stream: MatcherId::decode(buf)?,
+                epoch: u64::decode(buf)?,
+                records: Vec::<crate::sublog::SubLogRecord>::decode(buf)?,
+            },
             TAG_BATCH => {
                 let n = u32::decode(buf)? as usize;
                 if n == 0 {
@@ -682,6 +885,63 @@ mod tests {
         round_trip(ControlMsg::Gossip {
             from_addr: "m/1".into(),
             msg: bluedove_overlay::GossipMsg::Syn { digests: vec![] },
+        });
+    }
+
+    #[test]
+    fn sublog_variants_round_trip() {
+        let sub = Subscription {
+            id: SubscriptionId(3),
+            subscriber: SubscriberId(4),
+            predicates: vec![Range::new(0.0, 10.0)],
+        };
+        let records = vec![
+            crate::sublog::SubLogRecord::Store {
+                dim: DimIdx(0),
+                sub,
+            },
+            crate::sublog::SubLogRecord::Remove {
+                dim: DimIdx(1),
+                sub: SubscriptionId(5),
+            },
+        ];
+        round_trip(ControlMsg::SubLogAppend {
+            stream: MatcherId(2),
+            epoch: 3,
+            base: 7,
+            offset: 9,
+            reset: true,
+            records: records.clone(),
+            ack_to: "m/1".into(),
+        });
+        round_trip(ControlMsg::SubLogAck {
+            stream: MatcherId(2),
+            follower: MatcherId(1),
+            epoch: 3,
+            offset: 11,
+        });
+        round_trip(ControlMsg::SubLogFetch {
+            stream: MatcherId(2),
+            from: 4,
+            reply_to: "m/1".into(),
+        });
+        round_trip(ControlMsg::SubLogPromote {
+            stream: MatcherId(2),
+            epoch: 4,
+        });
+        round_trip(ControlMsg::SubLogDemote {
+            stream: MatcherId(2),
+        });
+        round_trip(ControlMsg::SubLogInstall {
+            stream: MatcherId(2),
+            epoch: 5,
+            records,
+        });
+        round_trip(ControlMsg::TableState {
+            version: 6,
+            strategy: None,
+            addrs: vec![(MatcherId(1), "m/1".into())],
+            epochs: vec![(MatcherId(1), 2), (MatcherId(2), 5)],
         });
     }
 

@@ -112,6 +112,24 @@ pub struct Counters {
     pub scale_ups: Counter,
     /// Graceful elastic leaves executed (autoscaler-driven or manual).
     pub scale_downs: Counter,
+    /// Sub-log records appended by stream leaders (durable mutations).
+    pub sublog_appended: Counter,
+    /// Sub-log records accepted and persisted by followers.
+    pub sublog_replicated: Counter,
+    /// Deposed-epoch sub-log appends rejected by followers (fencing).
+    pub sublog_fenced: Counter,
+    /// Sub-log records replayed from a matcher's own local log at
+    /// restart (local-log-first recovery).
+    pub sublog_replayed: Counter,
+    /// Subscription copies restored onto an heir by promotion replay
+    /// (failover as log replay).
+    pub sublog_promoted: Counter,
+    /// Sub-log records a recovered matcher installed from its heir's
+    /// delta (the mutations it missed while down).
+    pub sublog_caught_up: Counter,
+    /// Subscription copies re-shipped from the registry backstop at
+    /// recovery — zero when the replicated logs covered everything.
+    pub sublog_reshipped: Counter,
 }
 
 impl Counters {
@@ -164,6 +182,34 @@ impl Counters {
             scale_downs: c(
                 "bluedove_scale_downs_total",
                 "graceful elastic leaves executed (autoscaler-driven or manual)",
+            ),
+            sublog_appended: c(
+                "bluedove_sublog_appended_total",
+                "sub-log records appended by stream leaders",
+            ),
+            sublog_replicated: c(
+                "bluedove_sublog_replicated_total",
+                "sub-log records accepted and persisted by followers",
+            ),
+            sublog_fenced: c(
+                "bluedove_sublog_fenced_total",
+                "deposed-epoch sub-log appends rejected by followers",
+            ),
+            sublog_replayed: c(
+                "bluedove_sublog_replayed_total",
+                "sub-log records replayed from a matcher's local log at restart",
+            ),
+            sublog_promoted: c(
+                "bluedove_sublog_promoted_total",
+                "subscription copies restored onto an heir by promotion replay",
+            ),
+            sublog_caught_up: c(
+                "bluedove_sublog_caught_up_total",
+                "sub-log records installed from an heir's delta at recovery",
+            ),
+            sublog_reshipped: c(
+                "bluedove_sublog_reshipped_total",
+                "subscription copies re-shipped from the registry backstop at recovery",
             ),
         }
     }

@@ -2,20 +2,22 @@
 //! item #1: "we will add message persistence mechanism to support
 //! applications that do not tolerate message loss").
 //!
-//! The log is a single append-only file of length-prefixed, Wire-encoded
-//! records. Two record types reconstruct the mailbox state on replay:
-//! `Deliver` adds a message to a subscriber's queue, `Polled` removes the
-//! oldest `n`. A partial trailing record (crash mid-append) is detected
-//! and discarded. [`Wal::compact`] rewrites the file from a state
-//! snapshot so the log does not grow without bound.
+//! Since ISSUE 7 this is a thin, mailbox-shaped wrapper over the general
+//! segmented [`Log`]: records are length-prefixed and Wire-encoded, a
+//! torn trailing record (crash mid-append) is truncated away on open,
+//! and [`Wal::compact`] rewrites the retained history from a state
+//! snapshot via the log's atomic temp-file + rename generation bump, so
+//! a crash during compaction can never lose the old state.
+//!
+//! Two record types reconstruct the mailbox on replay: `Deliver` adds a
+//! message to a subscriber's queue, `Polled` removes the oldest `n`.
 
+use crate::log::{Log, LogConfig};
 use crate::proto::ControlMsg;
 use bluedove_core::{Message, SubscriberId, SubscriptionId};
-use bluedove_net::{frame, NetError, NetResult, Wire};
+use bluedove_net::{NetError, NetResult, Wire};
 use bytes::{Buf, BufMut, BytesMut};
 use std::collections::{HashMap, VecDeque};
-use std::fs::{File, OpenOptions};
-use std::io::{BufReader, BufWriter, Write};
 use std::path::{Path, PathBuf};
 
 /// One stored delivery: `(subscription, message, admitted_us)`.
@@ -85,61 +87,57 @@ impl Wire for WalRecord {
     }
 }
 
-/// The append-only log.
+/// Splits the historical single-file WAL path into the segmented log's
+/// `(dir, base)` pair: `mail/box.wal` → log `box.wal` under `mail/`.
+fn split(path: &Path) -> NetResult<(PathBuf, String)> {
+    let base = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .ok_or(NetError::Truncated)?
+        .to_string();
+    let dir = path.parent().unwrap_or(Path::new(".")).to_path_buf();
+    Ok((dir, base))
+}
+
+/// The append-only mailbox log.
 pub struct Wal {
-    path: PathBuf,
-    writer: BufWriter<File>,
-    /// Records appended since the last compaction (compaction heuristic).
-    appended: u64,
+    log: Log<WalRecord>,
 }
 
 impl Wal {
-    /// Opens (or creates) the log at `path` for appending.
+    /// Opens (or creates) the log rooted at `path` for appending.
     pub fn open(path: impl Into<PathBuf>) -> NetResult<Self> {
         let path = path.into();
-        let file = OpenOptions::new().create(true).append(true).open(&path)?;
-        Ok(Wal {
-            path,
-            writer: BufWriter::new(file),
-            appended: 0,
-        })
+        let (dir, base) = split(&path)?;
+        let (log, _) = Log::open(dir, &base, LogConfig::default())?;
+        Ok(Wal { log })
     }
 
-    /// Appends one record and flushes it to the OS.
+    /// Appends one record (durability per the default
+    /// [`crate::log::FsyncPolicy`]).
     pub fn append(&mut self, rec: &WalRecord) -> NetResult<()> {
-        let bytes = bluedove_net::to_bytes(rec);
-        frame::write_frame(&mut self.writer, &bytes)?;
-        self.writer.flush()?;
-        self.appended += 1;
+        self.log.append(rec)?;
         Ok(())
     }
 
-    /// Number of records appended through this handle.
+    /// Records appended through this handle since open/compaction.
     pub fn appended(&self) -> u64 {
-        self.appended
+        self.log.appended()
+    }
+
+    /// Path of the segment currently appended to (test hook).
+    pub fn current_segment(&self) -> &Path {
+        self.log.current_segment()
     }
 
     /// Replays a log into per-subscriber queues. A torn trailing record
-    /// (crash mid-append) ends the replay cleanly; corruption elsewhere is
+    /// (crash mid-append) is truncated away; corruption elsewhere is
     /// reported.
     pub fn replay(path: &Path) -> NetResult<HashMap<SubscriberId, VecDeque<Stored>>> {
+        let (dir, base) = split(path)?;
+        let (_, records) = Log::<WalRecord>::open(dir, &base, LogConfig::default())?;
         let mut boxes: HashMap<SubscriberId, VecDeque<Stored>> = HashMap::new();
-        let file = match File::open(path) {
-            Ok(f) => f,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(boxes),
-            Err(e) => return Err(e.into()),
-        };
-        let mut reader = BufReader::new(file);
-        loop {
-            let payload = match frame::read_frame(&mut reader) {
-                Ok(p) => p,
-                // Clean EOF or torn tail: stop replaying.
-                Err(NetError::Disconnected) | Err(NetError::Io(_)) => break,
-                Err(e) => return Err(e),
-            };
-            let Ok(rec) = bluedove_net::from_bytes::<WalRecord>(&payload) else {
-                break; // corrupt tail record
-            };
+        for rec in records {
             match rec {
                 WalRecord::Deliver {
                     subscriber,
@@ -163,31 +161,21 @@ impl Wal {
         Ok(boxes)
     }
 
-    /// Rewrites the log as a snapshot of `state` (one `Deliver` per stored
-    /// entry), atomically replacing the old file.
+    /// Rewrites the log as a snapshot of `state` (one `Deliver` per
+    /// stored entry), atomically replacing the retained history.
     pub fn compact(&mut self, state: &HashMap<SubscriberId, VecDeque<Stored>>) -> NetResult<()> {
-        let tmp = self.path.with_extension("wal.tmp");
-        {
-            let file = File::create(&tmp)?;
-            let mut w = BufWriter::new(file);
-            for (&subscriber, q) in state {
-                for (sub, msg, admitted_us) in q {
-                    let rec = WalRecord::Deliver {
-                        subscriber,
-                        sub: *sub,
-                        msg: msg.clone(),
-                        admitted_us: *admitted_us,
-                    };
-                    frame::write_frame(&mut w, &bluedove_net::to_bytes(&rec))?;
-                }
+        let mut snapshot = Vec::new();
+        for (&subscriber, q) in state {
+            for (sub, msg, admitted_us) in q {
+                snapshot.push(WalRecord::Deliver {
+                    subscriber,
+                    sub: *sub,
+                    msg: msg.clone(),
+                    admitted_us: *admitted_us,
+                });
             }
-            w.flush()?;
         }
-        std::fs::rename(&tmp, &self.path)?;
-        let file = OpenOptions::new().append(true).open(&self.path)?;
-        self.writer = BufWriter::new(file);
-        self.appended = 0;
-        Ok(())
+        self.log.compact(&snapshot, 0)
     }
 }
 
@@ -212,13 +200,16 @@ pub fn record_of(msg: &ControlMsg) -> Option<WalRecord> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs::OpenOptions;
+    use std::io::Write;
 
-    fn tmpdir() -> PathBuf {
+    fn tmpdir(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!(
-            "bluedove-wal-{}-{:?}",
+            "bluedove-wal-{tag}-{}-{:?}",
             std::process::id(),
             std::thread::current().id()
         ));
+        let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         dir
     }
@@ -234,8 +225,7 @@ mod tests {
 
     #[test]
     fn append_and_replay_round_trips() {
-        let path = tmpdir().join("a.wal");
-        let _ = std::fs::remove_file(&path);
+        let path = tmpdir("roundtrip").join("a.wal");
         {
             let mut wal = Wal::open(&path).unwrap();
             wal.append(&deliver(1, 10, 1.0)).unwrap();
@@ -256,35 +246,41 @@ mod tests {
 
     #[test]
     fn replay_missing_file_is_empty() {
-        let path = tmpdir().join("missing.wal");
-        let _ = std::fs::remove_file(&path);
+        let path = tmpdir("missing").join("missing.wal");
         assert!(Wal::replay(&path).unwrap().is_empty());
     }
 
     #[test]
     fn torn_tail_is_discarded() {
-        let path = tmpdir().join("torn.wal");
-        let _ = std::fs::remove_file(&path);
+        let path = tmpdir("torn").join("torn.wal");
+        let seg;
         {
             let mut wal = Wal::open(&path).unwrap();
             wal.append(&deliver(1, 10, 1.0)).unwrap();
+            seg = wal.current_segment().to_path_buf();
         }
         // Simulate a crash mid-append: a frame header promising more bytes
         // than exist.
         {
-            use std::io::Write;
-            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            let mut f = OpenOptions::new().append(true).open(&seg).unwrap();
             f.write_all(&100u32.to_le_bytes()).unwrap();
             f.write_all(&[1, 2, 3]).unwrap();
         }
         let boxes = Wal::replay(&path).unwrap();
         assert_eq!(boxes[&SubscriberId(1)].len(), 1, "intact prefix survives");
+        // And the torn bytes are gone: appending after the truncation
+        // yields a fully replayable log (the seed's single-file WAL
+        // appended after the garbage and lost everything from there).
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            wal.append(&deliver(1, 20, 2.0)).unwrap();
+        }
+        assert_eq!(Wal::replay(&path).unwrap()[&SubscriberId(1)].len(), 2);
     }
 
     #[test]
     fn compaction_shrinks_and_preserves_state() {
-        let path = tmpdir().join("compact.wal");
-        let _ = std::fs::remove_file(&path);
+        let path = tmpdir("compact").join("compact.wal");
         let mut wal = Wal::open(&path).unwrap();
         for i in 0..50 {
             wal.append(&deliver(1, i, i as f64)).unwrap();
@@ -294,11 +290,17 @@ mod tests {
             count: 45,
         })
         .unwrap();
-        let before = std::fs::metadata(&path).unwrap().len();
+        let dir_size = |p: &Path| -> u64 {
+            std::fs::read_dir(p.parent().unwrap())
+                .unwrap()
+                .map(|e| e.unwrap().metadata().unwrap().len())
+                .sum()
+        };
+        let before = dir_size(&path);
         let state = Wal::replay(&path).unwrap();
         assert_eq!(state[&SubscriberId(1)].len(), 5);
         wal.compact(&state).unwrap();
-        let after = std::fs::metadata(&path).unwrap().len();
+        let after = dir_size(&path);
         assert!(
             after < before,
             "compaction should shrink: {before} -> {after}"

@@ -46,6 +46,7 @@ pub mod config;
 pub mod dedup;
 pub mod dispatcher;
 pub mod matcher;
+pub mod replication;
 pub mod suspect;
 pub mod timer;
 
@@ -60,6 +61,7 @@ pub use dispatcher::{
     DispatcherPort,
 };
 pub use matcher::{MatcherEngine, MatcherPort, ServiceJob};
+pub use replication::{AppendVerdict, CatchUpPlan, Epoch, FollowerLog, LogPos, ReplicaSet};
 pub use suspect::SuspectList;
 pub use timer::{backoff_delay, jitter_bound, retransmit_delay, RetryPolicy};
 

@@ -1,0 +1,531 @@
+//! Replicated-log state machines: ISR tracking, leader epochs and
+//! `(epoch, offset)` fencing for the matchers' durable subscription logs.
+//!
+//! Each matcher leads one append-only *stream* — the log of every
+//! mutation applied to its own subscription store — and streams records
+//! to its clockwise heirs, which maintain in-sync replicas. The state
+//! machines here are deliberately record-agnostic: they reason about
+//! epochs, offsets and counts only, so the threaded cluster (real files
+//! and TCP) and the simulator (virtual time and in-memory logs) drive the
+//! exact same logic and the hosts own serialization.
+//!
+//! Fencing invariant: a replica's accepted sequence is monotone in
+//! `(epoch, offset)`. A deposed leader (lower epoch) can never append
+//! after the promoted heir's first higher-epoch append reached the
+//! replica, and a higher-epoch append truncates any uncommitted
+//! lower-epoch tail beyond its start offset — two replicas that both
+//! accepted offset `o` therefore hold the record of the same writer.
+
+use bluedove_core::{MatcherId, Time};
+use std::collections::BTreeMap;
+
+/// A leader-epoch number. Each promotion (failover or restart) bumps the
+/// stream's epoch by at least one; epochs are assigned by the control
+/// plane and never reused.
+pub type Epoch = u64;
+
+/// A position in a replicated stream: the fencing order is lexicographic
+/// on `(epoch, offset)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct LogPos {
+    /// Leader epoch the record was appended under.
+    pub epoch: Epoch,
+    /// Logical record offset within the stream.
+    pub offset: u64,
+}
+
+/// A follower's verdict on one replicated append. `Accepted` and `Gap`
+/// both carry an optional truncation obligation: when `truncate` is
+/// `Some(t)`, the host must discard every stored record at offsets
+/// `>= t` *before* doing anything else — they were an uncommitted tail
+/// written by a deposed lower-epoch leader, invalidated by the new
+/// leader's epoch base.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppendVerdict {
+    /// The append (or its fresh suffix) is accepted. The host must store
+    /// the records whose offsets are `>= fresh_from` (records below it
+    /// are retransmitted duplicates it already holds).
+    Accepted {
+        /// First offset of the suffix the host must apply/store.
+        fresh_from: u64,
+        /// Truncate stored records to this offset first, if set.
+        truncate: Option<u64>,
+    },
+    /// The sender's epoch is behind this replica's — the sender is a
+    /// deposed leader and must stop appending (fencing).
+    Fenced {
+        /// The epoch this replica is currently following.
+        current: Epoch,
+    },
+    /// The append starts past this replica's (possibly just truncated)
+    /// tail; the replica must catch up from `expected` before it can
+    /// accept it. The new epoch, when higher, is already adopted, so a
+    /// deposed leader cannot sneak appends in while the fetch runs.
+    Gap {
+        /// The next offset this replica can accept.
+        expected: u64,
+        /// Truncate stored records to this offset first, if set.
+        truncate: Option<u64>,
+    },
+}
+
+/// Follower-side state of one replicated stream: the epoch it follows
+/// and the next offset it expects. Pure fencing logic — record storage
+/// belongs to the host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FollowerLog {
+    epoch: Epoch,
+    next_offset: u64,
+}
+
+impl Default for FollowerLog {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FollowerLog {
+    /// An empty replica: epoch 0, expecting offset 0.
+    pub fn new() -> Self {
+        FollowerLog {
+            epoch: 0,
+            next_offset: 0,
+        }
+    }
+
+    /// A replica resuming at a known position (e.g. rebuilt from a local
+    /// log holding `offset` records appended under `epoch`).
+    pub fn at(epoch: Epoch, offset: u64) -> Self {
+        FollowerLog {
+            epoch,
+            next_offset: offset,
+        }
+    }
+
+    /// The epoch this replica currently follows.
+    pub fn epoch(&self) -> Epoch {
+        self.epoch
+    }
+
+    /// The next offset this replica expects (== number of records it
+    /// holds when it has never been truncated below its tail).
+    pub fn next_offset(&self) -> u64 {
+        self.next_offset
+    }
+
+    /// Classifies an append of `count` records starting at `offset` from
+    /// a leader claiming `epoch`, whose epoch began at offset `base`
+    /// (the leader's promotion point; a leader that never failed over
+    /// has `base == 0`). Advances the replica state when the append is
+    /// accepted. See [`AppendVerdict`] for the host's obligations.
+    ///
+    /// The base is what makes fencing airtight against *ghost tails*: a
+    /// replica whose lower-epoch history runs past the new leader's
+    /// promotion point must discard everything from the base up — those
+    /// records were never replicated into the new leader and a later
+    /// append at a higher offset would otherwise leave them stranded
+    /// under the new epoch.
+    pub fn accept(&mut self, epoch: Epoch, base: u64, offset: u64, count: u64) -> AppendVerdict {
+        if epoch < self.epoch {
+            return AppendVerdict::Fenced {
+                current: self.epoch,
+            };
+        }
+        let mut truncate = None;
+        if epoch > self.epoch {
+            // New leader: adopt its epoch immediately (fencing the
+            // deposed one even while a catch-up runs) and invalidate any
+            // of our history past its promotion base.
+            self.epoch = epoch;
+            if base < self.next_offset {
+                self.next_offset = base;
+                truncate = Some(base);
+            }
+        }
+        if offset > self.next_offset {
+            // Hole between our tail and the append: catch up first.
+            return AppendVerdict::Gap {
+                expected: self.next_offset,
+                truncate,
+            };
+        }
+        // Overlapping retransmission: only the suffix past our tail is
+        // new. `fresh_from == offset + count` means pure duplicate.
+        let end = offset + count;
+        let fresh_from = self.next_offset.min(end);
+        self.next_offset = self.next_offset.max(end);
+        AppendVerdict::Accepted {
+            fresh_from,
+            truncate,
+        }
+    }
+
+    /// Promotes this replica to the stream's leader at `epoch` (assigned
+    /// by the control plane, strictly above the followed epoch): the new
+    /// leader starts appending at the replica's replicated offset.
+    pub fn promote(&self, epoch: Epoch, min_isr: usize) -> ReplicaSet {
+        ReplicaSet::lead(epoch, self.next_offset, min_isr)
+    }
+}
+
+/// Per-follower bookkeeping on the leader.
+#[derive(Debug, Clone, Copy)]
+struct FollowerAck {
+    /// Highest `next_offset` the follower acknowledged.
+    acked: u64,
+    /// When that ack arrived (host clock; ISR staleness input).
+    last_ack: Time,
+}
+
+/// A catch-up plan for one lagging follower: the half-open offset range
+/// the leader must re-send.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CatchUpPlan {
+    /// First offset to re-send.
+    pub from: u64,
+    /// One past the last offset to re-send (the leader's tail).
+    pub to: u64,
+}
+
+/// Leader-side state of one replicated stream: the epoch it writes
+/// under, its append tail and the ack offsets of its followers, from
+/// which the in-sync replica set and the commit point derive.
+#[derive(Debug, Clone)]
+pub struct ReplicaSet {
+    epoch: Epoch,
+    /// The offset this leader's epoch began at — stamped on every
+    /// replicated append so followers can invalidate ghost tails.
+    epoch_base: u64,
+    next_offset: u64,
+    followers: BTreeMap<MatcherId, FollowerAck>,
+    /// Replicas (including the leader) whose acks must cover an offset
+    /// before it counts as committed. `1` commits on the local append
+    /// alone (replication stays asynchronous).
+    min_isr: usize,
+}
+
+impl ReplicaSet {
+    /// A leader starting at `epoch` with its tail at `start_offset`.
+    pub fn lead(epoch: Epoch, start_offset: u64, min_isr: usize) -> Self {
+        ReplicaSet {
+            epoch,
+            epoch_base: start_offset,
+            next_offset: start_offset,
+            followers: BTreeMap::new(),
+            min_isr: min_isr.max(1),
+        }
+    }
+
+    /// The epoch this leader writes under.
+    pub fn epoch(&self) -> Epoch {
+        self.epoch
+    }
+
+    /// The offset this leader's epoch began at (its promotion point).
+    pub fn epoch_base(&self) -> u64 {
+        self.epoch_base
+    }
+
+    /// The leader's append tail (offset the next record will take).
+    pub fn next_offset(&self) -> u64 {
+        self.next_offset
+    }
+
+    /// Reserves positions for `count` records and returns the position
+    /// of the first: the host appends the records to its durable log and
+    /// streams them to the followers stamped with this `(epoch, offset)`.
+    pub fn append(&mut self, count: u64) -> LogPos {
+        let pos = LogPos {
+            epoch: self.epoch,
+            offset: self.next_offset,
+        };
+        self.next_offset += count;
+        pos
+    }
+
+    /// Records a follower's acknowledgement of offsets up to `offset`
+    /// under `epoch`. Returns `false` (and ignores the ack) when the ack
+    /// is from another epoch — a deposed leader's follower set must not
+    /// pollute the new leader's ISR.
+    pub fn record_ack(
+        &mut self,
+        follower: MatcherId,
+        epoch: Epoch,
+        offset: u64,
+        now: Time,
+    ) -> bool {
+        if epoch != self.epoch {
+            return false;
+        }
+        let entry = self.followers.entry(follower).or_insert(FollowerAck {
+            acked: 0,
+            last_ack: now,
+        });
+        entry.acked = entry.acked.max(offset.min(self.next_offset));
+        entry.last_ack = now;
+        true
+    }
+
+    /// Drops a follower (it died or was reassigned).
+    pub fn remove_follower(&mut self, follower: MatcherId) {
+        self.followers.remove(&follower);
+    }
+
+    /// The in-sync replica set: followers whose last ack is within
+    /// `max_lag` records of the tail and arrived within `stale_after`
+    /// seconds of `now`. The leader itself is always in sync and is not
+    /// listed.
+    pub fn isr(&self, now: Time, max_lag: u64, stale_after: Time) -> Vec<MatcherId> {
+        self.followers
+            .iter()
+            .filter(|(_, f)| {
+                self.next_offset - f.acked <= max_lag && now - f.last_ack <= stale_after
+            })
+            .map(|(&m, _)| m)
+            .collect()
+    }
+
+    /// The commit point: the highest offset such that at least
+    /// `min_isr` replicas (leader included) hold everything below it.
+    /// With `min_isr == 1` this is the leader's own tail; with
+    /// `min_isr == n` it is the `(n-1)`-th highest follower ack.
+    pub fn committed(&self) -> u64 {
+        let need = self.min_isr - 1; // follower acks required
+        if need == 0 {
+            return self.next_offset;
+        }
+        let mut acks: Vec<u64> = self.followers.values().map(|f| f.acked).collect();
+        if acks.len() < need {
+            return 0;
+        }
+        acks.sort_unstable_by(|a, b| b.cmp(a));
+        acks[need - 1].min(self.next_offset)
+    }
+
+    /// The catch-up range for a follower that acked (or reported a gap
+    /// at) `follower_offset`, or `None` when it is already at the tail.
+    pub fn catch_up(&self, follower_offset: u64) -> Option<CatchUpPlan> {
+        if follower_offset >= self.next_offset {
+            return None;
+        }
+        Some(CatchUpPlan {
+            from: follower_offset,
+            to: self.next_offset,
+        })
+    }
+
+    /// Steps this leader down to a follower of a successor at
+    /// `epoch` (strictly higher) whose tail is `offset` — the demotion
+    /// half of a failback: the returned replica state fences any of this
+    /// leader's own queued appends.
+    pub fn demote(&self, epoch: Epoch, offset: u64) -> FollowerLog {
+        FollowerLog::at(epoch.max(self.epoch), offset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn follower_accepts_in_order_appends() {
+        let mut f = FollowerLog::new();
+        assert_eq!(
+            f.accept(1, 0, 0, 3),
+            AppendVerdict::Accepted {
+                fresh_from: 0,
+                truncate: None
+            }
+        );
+        assert_eq!(
+            f.accept(1, 0, 3, 2),
+            AppendVerdict::Accepted {
+                fresh_from: 3,
+                truncate: None
+            }
+        );
+        assert_eq!(f.next_offset(), 5);
+        assert_eq!(f.epoch(), 1);
+    }
+
+    #[test]
+    fn overlapping_retransmission_yields_only_the_fresh_suffix() {
+        let mut f = FollowerLog::new();
+        f.accept(1, 0, 0, 4);
+        // Retransmission of [2, 6): offsets 2..4 are already held.
+        assert_eq!(
+            f.accept(1, 0, 2, 4),
+            AppendVerdict::Accepted {
+                fresh_from: 4,
+                truncate: None
+            }
+        );
+        assert_eq!(f.next_offset(), 6);
+        // Pure duplicate: fresh_from == end, nothing to store.
+        assert_eq!(
+            f.accept(1, 0, 0, 2),
+            AppendVerdict::Accepted {
+                fresh_from: 2,
+                truncate: None
+            }
+        );
+        assert_eq!(f.next_offset(), 6);
+    }
+
+    #[test]
+    fn stale_epoch_is_fenced() {
+        let mut f = FollowerLog::new();
+        f.accept(2, 0, 0, 3);
+        assert_eq!(f.accept(1, 0, 3, 1), AppendVerdict::Fenced { current: 2 });
+        assert_eq!(f.next_offset(), 3);
+    }
+
+    #[test]
+    fn gap_adopts_the_higher_epoch_before_catching_up() {
+        let mut f = FollowerLog::new();
+        f.accept(1, 0, 0, 2);
+        assert_eq!(
+            f.accept(3, 2, 5, 1),
+            AppendVerdict::Gap {
+                expected: 2,
+                truncate: None
+            }
+        );
+        // The epoch is adopted immediately so the deposed leader is
+        // fenced while the fetch runs.
+        assert_eq!(f.epoch(), 3);
+        assert_eq!(f.accept(1, 0, 2, 1), AppendVerdict::Fenced { current: 3 });
+    }
+
+    #[test]
+    fn higher_epoch_truncates_the_uncommitted_tail() {
+        let mut f = FollowerLog::new();
+        f.accept(1, 0, 0, 5); // offsets 0..5 under epoch 1
+                              // New leader promoted at offset 3 rewrites history from there.
+        assert_eq!(
+            f.accept(2, 3, 3, 1),
+            AppendVerdict::Accepted {
+                fresh_from: 3,
+                truncate: Some(3)
+            }
+        );
+        assert_eq!(f.next_offset(), 4);
+        assert_eq!(f.epoch(), 2);
+        // The deposed leader's next append is now fenced.
+        assert_eq!(f.accept(1, 0, 5, 1), AppendVerdict::Fenced { current: 2 });
+    }
+
+    #[test]
+    fn ghost_tail_past_the_epoch_base_is_invalidated() {
+        // Replica holds 0..10 under epoch 1; the new leader promoted at
+        // offset 2 and first contacts us with an append at offset 5.
+        // Offsets 2..10 were never replicated into the new leader —
+        // accepting at 5 without truncating to the base would strand
+        // epoch-1 ghosts at 2..5 under epoch 2.
+        let mut f = FollowerLog::new();
+        f.accept(1, 0, 0, 10);
+        assert_eq!(
+            f.accept(2, 2, 5, 1),
+            AppendVerdict::Gap {
+                expected: 2,
+                truncate: Some(2)
+            }
+        );
+        assert_eq!(f.next_offset(), 2);
+        assert_eq!(f.epoch(), 2);
+        // Catch-up from the new leader's history lands cleanly.
+        assert_eq!(
+            f.accept(2, 2, 2, 4),
+            AppendVerdict::Accepted {
+                fresh_from: 2,
+                truncate: None
+            }
+        );
+        assert_eq!(f.next_offset(), 6);
+    }
+
+    #[test]
+    fn promotion_resumes_at_the_replicated_offset() {
+        let mut f = FollowerLog::new();
+        f.accept(1, 0, 0, 7);
+        let mut set = f.promote(2, 1);
+        assert_eq!(set.epoch(), 2);
+        assert_eq!(set.epoch_base(), 7);
+        assert_eq!(set.next_offset(), 7);
+        assert_eq!(
+            set.append(2),
+            LogPos {
+                epoch: 2,
+                offset: 7
+            }
+        );
+        assert_eq!(set.next_offset(), 9);
+    }
+
+    #[test]
+    fn commit_point_tracks_min_isr() {
+        let a = MatcherId(1);
+        let b = MatcherId(2);
+        let mut set = ReplicaSet::lead(1, 0, 2);
+        set.append(10);
+        // No follower acks yet: nothing is committed beyond the leader.
+        assert_eq!(set.committed(), 0);
+        assert!(set.record_ack(a, 1, 4, 0.0));
+        assert_eq!(set.committed(), 4);
+        assert!(set.record_ack(b, 1, 8, 0.0));
+        assert_eq!(set.committed(), 8);
+        // min_isr = 3 would need both: the commit point is the 2nd
+        // highest ack.
+        let mut strict = ReplicaSet::lead(1, 0, 3);
+        strict.append(10);
+        strict.record_ack(a, 1, 4, 0.0);
+        strict.record_ack(b, 1, 8, 0.0);
+        assert_eq!(strict.committed(), 4);
+        // min_isr = 1 commits on the local append alone.
+        let mut lone = ReplicaSet::lead(1, 0, 1);
+        lone.append(3);
+        assert_eq!(lone.committed(), 3);
+    }
+
+    #[test]
+    fn stale_epoch_acks_are_ignored() {
+        let a = MatcherId(1);
+        let mut set = ReplicaSet::lead(3, 0, 2);
+        set.append(5);
+        assert!(!set.record_ack(a, 2, 5, 0.0));
+        assert_eq!(set.committed(), 0);
+    }
+
+    #[test]
+    fn isr_filters_lag_and_staleness() {
+        let a = MatcherId(1);
+        let b = MatcherId(2);
+        let c = MatcherId(3);
+        let mut set = ReplicaSet::lead(1, 0, 1);
+        set.append(100);
+        set.record_ack(a, 1, 100, 10.0); // caught up, fresh
+        set.record_ack(b, 1, 10, 10.0); // lagging
+        set.record_ack(c, 1, 100, 1.0); // caught up, stale
+        let isr = set.isr(10.5, 16, 2.0);
+        assert_eq!(isr, vec![a]);
+        set.remove_follower(a);
+        assert!(set.isr(10.5, 16, 2.0).is_empty());
+    }
+
+    #[test]
+    fn catch_up_plan_covers_tail() {
+        let mut set = ReplicaSet::lead(1, 0, 1);
+        set.append(8);
+        assert_eq!(set.catch_up(3), Some(CatchUpPlan { from: 3, to: 8 }));
+        assert_eq!(set.catch_up(8), None);
+    }
+
+    #[test]
+    fn demote_fences_the_old_leader() {
+        let mut set = ReplicaSet::lead(2, 0, 1);
+        set.append(6);
+        let f = set.demote(3, 4);
+        assert_eq!(f.epoch(), 3);
+        assert_eq!(f.next_offset(), 4);
+    }
+}

@@ -1,0 +1,226 @@
+//! Epoch-fencing property tests for the replicated-log state machines
+//! (ISSUE 7 satellite): interleaved appends from a deposed leader and
+//! the promoted heir never commit out of `(epoch, offset)` order and
+//! never leave two replicas holding different records for the same
+//! committed offset.
+//!
+//! The model: a leader writes offsets `0..tail` under epoch 1; its heir
+//! replicated the prefix `0..k` before the leader was deposed. The heir
+//! promotes at its replicated offset (epoch 2, base `k`) and writes `m`
+//! records of its own, while the deposed leader keeps issuing appends
+//! for its unreplicated tail (and beyond) as retransmissions. Fresh
+//! replicas receive an arbitrary interleaving of both writers' batches
+//! and serve gaps by catching up from the issuing writer.
+
+use bluedove_engine::replication::{AppendVerdict, Epoch, FollowerLog};
+use proptest::prelude::*;
+
+/// A record's identity: which writer produced it. The promoted heir's
+/// servable history shares the deposed leader's records below the
+/// promotion point (it replicated them), so both writers agree on
+/// offsets `< k`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Rec {
+    epoch: Epoch,
+    offset: u64,
+}
+
+/// One replica: the fencing state machine plus the record store the
+/// host would keep, applied exactly per the `AppendVerdict` contract.
+#[derive(Default)]
+struct Replica {
+    log: FollowerLog,
+    store: Vec<Rec>,
+}
+
+impl Replica {
+    /// Applies an append of `records` (consecutive offsets starting at
+    /// `offset`) claimed under `(epoch, base)`. Returns the verdict; on
+    /// `Gap` the caller retries with a catch-up slice from the writer.
+    fn apply(&mut self, epoch: Epoch, base: u64, offset: u64, records: &[Rec]) -> AppendVerdict {
+        let verdict = self.log.accept(epoch, base, offset, records.len() as u64);
+        match verdict {
+            AppendVerdict::Accepted {
+                fresh_from,
+                truncate,
+            } => {
+                if let Some(t) = truncate {
+                    self.store.truncate(t as usize);
+                }
+                // Store contract: when the append carries a fresh
+                // suffix, the store tail must meet it exactly — holes
+                // would mean the state machine accepted past what the
+                // host can hold. (A pure duplicate has
+                // `fresh_from == offset + len` and the loop is empty.)
+                if fresh_from < offset + records.len() as u64 {
+                    assert_eq!(self.store.len() as u64, fresh_from);
+                }
+                for r in &records[(fresh_from - offset) as usize..] {
+                    self.store.push(*r);
+                }
+            }
+            AppendVerdict::Gap { truncate, .. } => {
+                if let Some(t) = truncate {
+                    self.store.truncate(t as usize);
+                }
+            }
+            AppendVerdict::Fenced { .. } => {}
+        }
+        assert_eq!(self.store.len() as u64, self.log.next_offset());
+        verdict
+    }
+}
+
+/// A writer's servable history: what it streams and re-sends on
+/// catch-up, stamped with its epoch and promotion base.
+struct Writer {
+    epoch: Epoch,
+    base: u64,
+    history: Vec<Rec>,
+}
+
+impl Writer {
+    /// Delivers `history[start..end)` to the replica, serving one level
+    /// of gap catch-up (a real leader answers `SubLogFetch` the same
+    /// way: from the follower's expected offset to its own tail).
+    fn send(&self, replica: &mut Replica, start: u64, end: u64) {
+        let end = end.min(self.history.len() as u64);
+        if start >= end {
+            return;
+        }
+        let slice = &self.history[start as usize..end as usize];
+        match replica.apply(self.epoch, self.base, start, slice) {
+            AppendVerdict::Gap { expected, .. } => {
+                // Catch up from our full history, then retry once; a
+                // second gap is impossible (we served to our tail).
+                let full = &self.history[expected as usize..];
+                let v = replica.apply(self.epoch, self.base, expected, full);
+                assert!(
+                    !matches!(v, AppendVerdict::Gap { .. }),
+                    "gap persisted after a full catch-up"
+                );
+            }
+            AppendVerdict::Accepted { .. } | AppendVerdict::Fenced { .. } => {}
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The satellite's stated property: interleaved appends from a
+    /// deposed leader and the promoted heir never commit out of
+    /// `(epoch, offset)` order and never diverge replicas.
+    #[test]
+    fn deposed_and_promoted_appends_never_diverge_replicas(
+        tail in 1u64..24,
+        k_frac in 0.0f64..1.0,
+        m in 1u64..16,
+        extra in 0u64..8,
+        ops in proptest::collection::vec(
+            (0usize..2, 0.0f64..1.0, 1u64..10, 0usize..3),
+            1..40,
+        ),
+    ) {
+        // Replicated prefix: 0 <= k <= tail.
+        let k = ((tail as f64) * k_frac) as u64;
+
+        // Deposed leader: epoch 1, offsets 0..tail, plus `extra`
+        // oblivious post-deposition appends.
+        let old = Writer {
+            epoch: 1,
+            base: 0,
+            history: (0..tail + extra).map(|o| Rec { epoch: 1, offset: o }).collect(),
+        };
+        // Promoted heir: replicated prefix 0..k (epoch-1 records), own
+        // writes k..k+m under epoch 2. Promotion resumes exactly at the
+        // replicated offset, which becomes the epoch base.
+        let heir_log = FollowerLog::at(1, k);
+        let mut heir_set = heir_log.promote(2, 1);
+        prop_assert_eq!(heir_set.next_offset(), k);
+        prop_assert_eq!(heir_set.epoch_base(), k);
+        let mut new_history: Vec<Rec> =
+            (0..k).map(|o| Rec { epoch: 1, offset: o }).collect();
+        for i in 0..m {
+            let pos = heir_set.append(1);
+            prop_assert_eq!(pos.epoch, 2);
+            prop_assert_eq!(pos.offset, k + i);
+            new_history.push(Rec { epoch: 2, offset: pos.offset });
+        }
+        let new = Writer { epoch: 2, base: k, history: new_history };
+
+        // Fresh replicas consume the generated interleaving.
+        let mut replicas = [Replica::default(), Replica::default(), Replica::default()];
+        for &(writer_idx, at, len, target) in &ops {
+            let w = if writer_idx == 0 { &old } else { &new };
+            let hist_len = w.history.len() as u64;
+            let start = ((hist_len as f64) * at) as u64;
+            w.send(&mut replicas[target], start, start + len);
+
+            // Fencing invariants hold at every intermediate point:
+            for r in &replicas {
+                // (epoch, offset) order: the store is exactly the
+                // replica's accepted prefix, epoch-monotone by offset.
+                prop_assert_eq!(r.store.len() as u64, r.log.next_offset());
+                for w in r.store.windows(2) {
+                    prop_assert!(w[0].epoch <= w[1].epoch);
+                    prop_assert_eq!(w[1].offset, w[0].offset + 1);
+                }
+                // A replica that adopted epoch 2 holds no epoch-1
+                // record at or above the promotion point: the epoch
+                // base invalidated any such ghost tail on adoption.
+                if r.log.epoch() >= 2 {
+                    for rec in r.store.iter().skip(k as usize) {
+                        prop_assert_eq!(rec.epoch, 2);
+                    }
+                }
+                // Below the promotion point every store agrees with the
+                // replicated history, always.
+                for (o, rec) in r.store.iter().take(k as usize).enumerate() {
+                    prop_assert_eq!(rec, &Rec { epoch: 1, offset: o as u64 });
+                }
+            }
+        }
+
+        // Final convergence: the promoted leader drives every replica to
+        // its tail (the catch-up all live followers eventually run).
+        for r in &mut replicas {
+            new.send(r, 0, new.history.len() as u64);
+            // A deposed-leader retransmission after convergence is
+            // fenced and changes nothing.
+            let before = r.store.clone();
+            let last = old.history.len() - 1;
+            let v = r.apply(1, 0, last as u64, &old.history[last..]);
+            prop_assert!(matches!(v, AppendVerdict::Fenced { current: 2 }));
+            prop_assert_eq!(&r.store, &before);
+        }
+        for r in &replicas {
+            prop_assert_eq!(r.store.len(), new.history.len());
+            prop_assert_eq!(&r.store, &new.history);
+        }
+    }
+
+    /// Leader-side fencing: acks from another epoch never advance the
+    /// commit point, and the commit point is monotone under any ack
+    /// interleaving.
+    #[test]
+    fn commit_point_is_monotone_and_epoch_scoped(
+        appends in 1u64..64,
+        acks in proptest::collection::vec((0u32..4, 0u64..80, 0u64..3), 0..60),
+    ) {
+        use bluedove_core::MatcherId;
+        use bluedove_engine::replication::ReplicaSet;
+        let mut set = ReplicaSet::lead(3, 0, 2);
+        set.append(appends);
+        let mut last_commit = 0;
+        for (i, &(follower, offset, epoch_off)) in acks.iter().enumerate() {
+            let epoch = 3 + epoch_off as Epoch - 1; // 2, 3 or 4
+            let accepted = set.record_ack(MatcherId(follower), epoch, offset, i as f64);
+            prop_assert_eq!(accepted, epoch == 3);
+            let c = set.committed();
+            prop_assert!(c >= last_commit, "commit point went backwards");
+            prop_assert!(c <= set.next_offset(), "committed past the tail");
+            last_commit = c;
+        }
+    }
+}

@@ -27,13 +27,14 @@ use crate::config::SimConfig;
 use crate::error::SimError;
 use crate::events::EventQueue;
 use crate::metrics::Metrics;
+use crate::replication::{AppendOutcome, ReplAppendFrame, ReplRecord, SimReplication};
 use bluedove_core::{
     Assignment, AttributeSpace, DimIdx, DimStats, ForwardingPolicy, MatchHit, MatcherId, Message,
     MessageId, SubscriberId, Subscription, SubscriptionId, Time,
 };
 use bluedove_engine::{
     Autoscaler, AutoscalerConfig, Coalescer, DispatcherEffect, DispatcherEngine,
-    DispatcherEngineConfig, DispatcherEvent, DispatcherOut, DispatcherPort, LoadSnapshot,
+    DispatcherEngineConfig, DispatcherEvent, DispatcherOut, DispatcherPort, Epoch, LoadSnapshot,
     MatcherEngine, MatcherPort, ScaleDecision, ScaleOutcome, ScalePlan, ServiceJob,
 };
 use bluedove_workload::MessageGenerator;
@@ -129,6 +130,25 @@ enum Event {
     /// A retransmit deadline of the dispatcher engine's at-least-once
     /// ledger may be due (stale ticks are cheap no-ops).
     DispatcherTick,
+    /// A replicated sub-log append reaches a stream follower (or, when a
+    /// failover raced it, the stream's new leader — fenced there).
+    ReplAppend {
+        to: MatcherId,
+        frame: ReplAppendFrame,
+    },
+    /// A follower's replication ack reaches the stream's leader.
+    ReplAck {
+        stream: MatcherId,
+        follower: MatcherId,
+        epoch: Epoch,
+        offset: u64,
+    },
+    /// A lagging follower asks the stream's leader for a catch-up range.
+    ReplFetch {
+        stream: MatcherId,
+        from: u64,
+        by: MatcherId,
+    },
 }
 
 /// The simulated [`DispatcherPort`]: sends become events `dispatch_cost +
@@ -292,6 +312,11 @@ pub struct SimCluster {
     snapshot_log: Vec<LoadSnapshot>,
     /// Every executed scale operation `(time, outcome)`.
     scale_events: Vec<(Time, ScaleOutcome)>,
+    /// The replicated subscription-log layer, when enabled: the
+    /// engine-owned ISR/epoch state machines over in-memory record logs,
+    /// driven by `Repl*` events under virtual time (the sim analogue of
+    /// the threaded cluster's durable sub-logs).
+    replication: Option<SimReplication>,
     /// Metrics of the whole simulation so far.
     pub metrics: Metrics,
 }
@@ -339,6 +364,7 @@ impl SimCluster {
             autoscaler: None,
             snapshot_log: Vec::new(),
             scale_events: Vec::new(),
+            replication: None,
             metrics: Metrics::new(0.5),
         };
         // Kick off the periodic stats pushes. The first fires immediately
@@ -394,6 +420,24 @@ impl SimCluster {
         self.autoscaler.as_ref().map(|a| a.log()).unwrap_or(&[])
     }
 
+    /// Turns the replicated subscription-log layer on: every matcher's
+    /// mutation stream is mirrored to its clockwise heir through delayed
+    /// `Repl*` events (the in-memory analogue of the threaded cluster's
+    /// durable sub-logs), and [`Self::kill_matcher`] fails streams over
+    /// by heir promotion instead of losing the copies with the node.
+    pub fn enable_replication(&mut self, min_isr: usize) {
+        let mut repl = SimReplication::new(min_isr);
+        for &id in self.matchers.keys() {
+            repl.init_stream(id);
+        }
+        self.replication = Some(repl);
+    }
+
+    /// The replication layer, when enabled.
+    pub fn replication(&self) -> Option<&SimReplication> {
+        self.replication.as_ref()
+    }
+
     /// Every load snapshot the autoscaler observed, in order — replay this
     /// through another host's controller to check decision parity.
     pub fn snapshot_log(&self) -> &[LoadSnapshot] {
@@ -406,12 +450,17 @@ impl SimCluster {
     }
 
     /// Registers a subscription (instantaneous, like the paper's pre-load
-    /// phase).
+    /// phase). With replication on, each copy's mutation is journaled to
+    /// the assignee's stream, and a copy assigned to a dead matcher is
+    /// installed at the stream's promoted leader instead (the analogue of
+    /// the threaded dispatcher's store-at-heir failover).
     pub fn subscribe(&mut self, sub: Subscription) {
         for Assignment { matcher, dim } in self.strategy.as_dyn().assign(&sub) {
-            if let Some(m) = self.matchers.get_mut(&matcher) {
+            let target = self.install_target(matcher);
+            if let Some(m) = self.matchers.get_mut(&target) {
                 m.engine.insert(dim, sub.clone());
             }
+            self.journal(matcher, dim, &sub, false);
         }
     }
 
@@ -427,10 +476,62 @@ impl SimCluster {
     /// deterministic, so the same copies are found).
     pub fn unsubscribe(&mut self, sub: &Subscription) {
         for Assignment { matcher, dim } in self.strategy.as_dyn().assign(sub) {
-            if let Some(m) = self.matchers.get_mut(&matcher) {
+            let target = self.install_target(matcher);
+            if let Some(m) = self.matchers.get_mut(&target) {
                 m.engine.remove(dim, sub.id);
             }
+            self.journal(matcher, dim, sub, true);
         }
+    }
+
+    /// Where a copy assigned to `matcher` is installed: normally the
+    /// assignee itself; with replication on and the assignee dead, the
+    /// current leader of its stream.
+    fn install_target(&self, matcher: MatcherId) -> MatcherId {
+        if self.matchers.get(&matcher).is_some_and(|m| m.alive) {
+            return matcher;
+        }
+        self.replication
+            .as_ref()
+            .and_then(|r| r.leader_of(matcher))
+            .unwrap_or(matcher)
+    }
+
+    /// Appends one mutation to the assignee's replicated stream and
+    /// ships the frame to the stream leader's clockwise heir, one
+    /// network hop later.
+    fn journal(&mut self, owner: MatcherId, dim: DimIdx, sub: &Subscription, remove: bool) {
+        let Some(repl) = self.replication.as_mut() else {
+            return;
+        };
+        let rec = ReplRecord {
+            dim,
+            sub: sub.clone(),
+            remove,
+        };
+        let Some(frame) = repl.append(owner, rec) else {
+            return;
+        };
+        let leader = repl.leader_of(owner).expect("stream appended to exists");
+        if let Some(heir) = self.heir_of(leader) {
+            self.queue.push(
+                self.now + self.cfg.net_latency,
+                Event::ReplAppend { to: heir, frame },
+            );
+        }
+    }
+
+    /// The clockwise heir of `m`: the next live matcher id above it,
+    /// wrapping around the ring; `None` when `m` is the only live node.
+    fn heir_of(&self, m: MatcherId) -> Option<MatcherId> {
+        let mut ids: Vec<MatcherId> = self
+            .matchers
+            .iter()
+            .filter(|&(&id, mm)| mm.alive && id != m)
+            .map(|(&id, _)| id)
+            .collect();
+        ids.sort_unstable();
+        ids.iter().find(|&&id| id > m).or(ids.first()).copied()
     }
 
     /// Runs the cluster for `duration` seconds with messages arriving at
@@ -715,6 +816,62 @@ impl SimCluster {
                 self.feed_dispatcher(DispatcherEvent::Tick);
                 self.maybe_schedule_tick();
             }
+            Event::ReplAppend { to, frame } => {
+                if !self.matchers.get(&to).is_some_and(|m| m.alive) {
+                    // Dropped with the node; the leader's ISR shows the lag.
+                    return;
+                }
+                let Some(repl) = self.replication.as_mut() else {
+                    return;
+                };
+                let stream = frame.stream;
+                match repl.on_append(to, &frame) {
+                    AppendOutcome::Ack { epoch, offset } => {
+                        self.queue.push(
+                            self.now + self.cfg.net_latency,
+                            Event::ReplAck {
+                                stream,
+                                follower: to,
+                                epoch,
+                                offset,
+                            },
+                        );
+                    }
+                    AppendOutcome::Fetch { from } => {
+                        self.queue.push(
+                            self.now + self.cfg.net_latency,
+                            Event::ReplFetch {
+                                stream,
+                                from,
+                                by: to,
+                            },
+                        );
+                    }
+                    AppendOutcome::Fenced => {}
+                }
+            }
+            Event::ReplAck {
+                stream,
+                follower,
+                epoch,
+                offset,
+            } => {
+                if let Some(repl) = self.replication.as_mut() {
+                    repl.on_ack(stream, follower, epoch, offset, self.now);
+                }
+            }
+            Event::ReplFetch { stream, from, by } => {
+                if let Some(frame) = self
+                    .replication
+                    .as_ref()
+                    .and_then(|r| r.serve(stream, from))
+                {
+                    self.queue.push(
+                        self.now + self.cfg.net_latency,
+                        Event::ReplAppend { to: by, frame },
+                    );
+                }
+            }
         }
     }
 
@@ -873,6 +1030,9 @@ impl SimCluster {
             }
         }
         self.matchers.insert(new_id, new_matcher);
+        if let Some(repl) = self.replication.as_mut() {
+            repl.init_stream(new_id);
+        }
         // The dispatcher engine keeps routing by its current table until
         // the switch event hands it the post-join one (propagation lag).
         self.queue.push(
@@ -922,6 +1082,13 @@ impl SimCluster {
                     v.engine.insert(dim, sub);
                 }
             }
+        }
+        // The victim's stream retires with it: graceful leave hands the
+        // engine copies over above, so there is nothing left to replay,
+        // and replicas the victim held of other streams are forgotten.
+        if let Some(repl) = self.replication.as_mut() {
+            repl.retire_stream(victim);
+            repl.forget_holder(victim);
         }
         // Nothing to retire at the switch: the heirs keep their new
         // copies, and the victim's disappear at decommission.
@@ -995,6 +1162,35 @@ impl SimCluster {
             self.now + self.cfg.detection_delay,
             Event::DetectFailure { m },
         );
+        // Fail the victim's replicated streams over to its clockwise
+        // heir: the heir promotes at its replicated offset under a
+        // bumped epoch and replays the stream into its own engine, so
+        // the copies survive the crash. In-flight appends from the
+        // deposed leader arrive with the old epoch and are fenced.
+        let heir = self.heir_of(m);
+        let streams = self
+            .replication
+            .as_ref()
+            .map(|r| r.streams_led_by(m))
+            .unwrap_or_default();
+        for stream in streams {
+            if let Some(repl) = self.replication.as_mut() {
+                let Some(heir) = heir else {
+                    repl.retire_stream(stream);
+                    continue;
+                };
+                let epoch = repl.epoch_of(stream).unwrap_or(1) + 1;
+                let replay = repl.promote(stream, heir, epoch);
+                if let Some(h) = self.matchers.get_mut(&heir) {
+                    for r in replay {
+                        h.engine.remove(r.dim, r.sub.id);
+                        if !r.remove {
+                            h.engine.insert(r.dim, r.sub);
+                        }
+                    }
+                }
+            }
+        }
     }
 
     /// Per-matcher subscription-copy counts (diagnostics / load split).

@@ -1,0 +1,299 @@
+//! The simulated replication layer: the in-memory counterpart of the
+//! threaded cluster's durable subscription logs.
+//!
+//! The decisions — epochs, `(epoch, offset)` fencing, ISR membership,
+//! catch-up ranges — live in `bluedove_engine`'s [`ReplicaSet`] and
+//! [`FollowerLog`], the exact state machines the threaded matcher hosts
+//! drive against real files and TCP. This module supplies only what those
+//! machines deliberately lack: record storage (a `Vec` standing in for
+//! the segmented on-disk log) and the bookkeeping of who currently leads
+//! each stream. The [`SimCluster`](crate::cluster::SimCluster) host turns
+//! leader appends into delayed events, so replication lag, in-flight
+//! appends from deposed leaders and promotion races all play out under
+//! virtual time exactly as they do on the wire.
+
+use bluedove_core::{DimIdx, MatcherId, Subscription, Time};
+use bluedove_engine::{AppendVerdict, Epoch, FollowerLog, ReplicaSet};
+use std::collections::HashMap;
+
+/// One record of a matcher's subscription-mutation stream — the
+/// in-memory analogue of the threaded cluster's `SubLogRecord` (the sim
+/// never hands over segment ranges host-side, so there is no `Retire`).
+#[derive(Debug, Clone)]
+pub struct ReplRecord {
+    /// Dimension the copy lives on.
+    pub dim: DimIdx,
+    /// The subscription copy.
+    pub sub: Subscription,
+    /// `true` for an unsubscribe tombstone, `false` for a store.
+    pub remove: bool,
+}
+
+/// A replicated append travelling the simulated wire: the leader's
+/// `(epoch, base, offset)` stamp plus the records starting at `offset`.
+#[derive(Debug, Clone)]
+pub struct ReplAppendFrame {
+    /// Stream the records belong to (the original owner's id).
+    pub stream: MatcherId,
+    /// Leader epoch the records were appended under.
+    pub epoch: Epoch,
+    /// Offset the leader's epoch began at (fences ghost tails).
+    pub base: u64,
+    /// Offset of the first record in `records`.
+    pub offset: u64,
+    /// The records themselves.
+    pub records: Vec<ReplRecord>,
+}
+
+/// What the receiving host must do with one arrived [`ReplAppendFrame`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppendOutcome {
+    /// Stored; acknowledge `(epoch, offset)` back to the leader.
+    Ack {
+        /// Epoch the replica now follows.
+        epoch: Epoch,
+        /// The replica's new tail.
+        offset: u64,
+    },
+    /// The append starts past the replica's tail; fetch from `from`.
+    Fetch {
+        /// First missing offset.
+        from: u64,
+    },
+    /// The sender is a deposed leader; drop the frame.
+    Fenced,
+}
+
+/// Leader-side state of one stream: who leads it, the engine-owned
+/// replication state machine, and the record storage.
+struct StreamLeader {
+    leader: MatcherId,
+    set: ReplicaSet,
+    /// Every record of the stream; `Vec` index == absolute offset (the
+    /// sim never compacts, so streams start at 0).
+    log: Vec<ReplRecord>,
+}
+
+/// The whole deployment's replication state, keyed by stream.
+pub struct SimReplication {
+    min_isr: usize,
+    streams: HashMap<MatcherId, StreamLeader>,
+    /// `(stream, holder)` → follower replica and its stored records.
+    replicas: HashMap<(MatcherId, MatcherId), (FollowerLog, Vec<ReplRecord>)>,
+    fenced: u64,
+    promoted: u64,
+}
+
+impl SimReplication {
+    /// A replication layer committing at `min_isr` replicas (leader
+    /// included; `1` keeps replication asynchronous).
+    pub fn new(min_isr: usize) -> Self {
+        SimReplication {
+            min_isr: min_isr.max(1),
+            streams: HashMap::new(),
+            replicas: HashMap::new(),
+            fenced: 0,
+            promoted: 0,
+        }
+    }
+
+    /// Registers matcher `m`'s own stream, led by itself at epoch 1.
+    pub fn init_stream(&mut self, m: MatcherId) {
+        self.streams.entry(m).or_insert(StreamLeader {
+            leader: m,
+            set: ReplicaSet::lead(1, 0, self.min_isr),
+            log: Vec::new(),
+        });
+    }
+
+    /// Drops a stream whose state was handed over out-of-band (graceful
+    /// leave: the heirs already hold engine copies, the log retires).
+    pub fn retire_stream(&mut self, stream: MatcherId) {
+        self.streams.remove(&stream);
+        self.replicas.retain(|&(s, _), _| s != stream);
+    }
+
+    /// Forgets every replica `holder` keeps and drops it from all ISR
+    /// bookkeeping (the node left the deployment).
+    pub fn forget_holder(&mut self, holder: MatcherId) {
+        self.replicas.retain(|&(_, h), _| h != holder);
+        for sl in self.streams.values_mut() {
+            sl.set.remove_follower(holder);
+        }
+    }
+
+    /// The matcher currently leading `stream`.
+    pub fn leader_of(&self, stream: MatcherId) -> Option<MatcherId> {
+        self.streams.get(&stream).map(|s| s.leader)
+    }
+
+    /// The epoch `stream` is currently written under.
+    pub fn epoch_of(&self, stream: MatcherId) -> Option<Epoch> {
+        self.streams.get(&stream).map(|s| s.set.epoch())
+    }
+
+    /// The streams matcher `m` currently leads.
+    pub fn streams_led_by(&self, m: MatcherId) -> Vec<MatcherId> {
+        let mut v: Vec<MatcherId> = self
+            .streams
+            .iter()
+            .filter(|(_, s)| s.leader == m)
+            .map(|(&k, _)| k)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Records appended to `stream`'s leader log so far.
+    pub fn log_len(&self, stream: MatcherId) -> u64 {
+        self.streams.get(&stream).map_or(0, |s| s.log.len() as u64)
+    }
+
+    /// Records `holder`'s replica of `stream` has stored.
+    pub fn replica_len(&self, stream: MatcherId, holder: MatcherId) -> u64 {
+        self.replicas
+            .get(&(stream, holder))
+            .map_or(0, |(_, store)| store.len() as u64)
+    }
+
+    /// The in-sync replica set of `stream` (followers only).
+    pub fn isr_of(
+        &self,
+        stream: MatcherId,
+        now: Time,
+        max_lag: u64,
+        stale_after: Time,
+    ) -> Vec<MatcherId> {
+        self.streams
+            .get(&stream)
+            .map_or(Vec::new(), |s| s.set.isr(now, max_lag, stale_after))
+    }
+
+    /// Appends from deposed leaders rejected so far.
+    pub fn fenced(&self) -> u64 {
+        self.fenced
+    }
+
+    /// Records replayed into heirs' engines across all promotions.
+    pub fn promoted(&self) -> u64 {
+        self.promoted
+    }
+
+    /// Leader-side append of one record to `stream`: stores it and
+    /// returns the frame the host must ship to the stream's heir (or
+    /// `None` for an unknown stream).
+    pub fn append(&mut self, stream: MatcherId, rec: ReplRecord) -> Option<ReplAppendFrame> {
+        let sl = self.streams.get_mut(&stream)?;
+        let pos = sl.set.append(1);
+        sl.log.push(rec.clone());
+        Some(ReplAppendFrame {
+            stream,
+            epoch: pos.epoch,
+            base: sl.set.epoch_base(),
+            offset: pos.offset,
+            records: vec![rec],
+        })
+    }
+
+    /// Serves a catch-up fetch: the frame re-sending `stream`'s records
+    /// from `from` to the leader's tail (or `None` when already caught
+    /// up / unknown).
+    pub fn serve(&self, stream: MatcherId, from: u64) -> Option<ReplAppendFrame> {
+        let sl = self.streams.get(&stream)?;
+        let plan = sl.set.catch_up(from)?;
+        Some(ReplAppendFrame {
+            stream,
+            epoch: sl.set.epoch(),
+            base: sl.set.epoch_base(),
+            offset: plan.from,
+            records: sl.log[plan.from as usize..plan.to as usize].to_vec(),
+        })
+    }
+
+    /// One replicated append arrives at `holder`. Stores the fresh
+    /// suffix (honouring truncation obligations) and says what to send
+    /// back. A frame landing on the stream's *current leader* is a
+    /// deposed leader's in-flight append — fenced, never applied.
+    pub fn on_append(&mut self, holder: MatcherId, frame: &ReplAppendFrame) -> AppendOutcome {
+        if let Some(sl) = self.streams.get(&frame.stream) {
+            if sl.leader == holder {
+                if frame.epoch < sl.set.epoch() {
+                    self.fenced += 1;
+                }
+                return AppendOutcome::Fenced;
+            }
+        }
+        let (fl, store) = self
+            .replicas
+            .entry((frame.stream, holder))
+            .or_insert_with(|| (FollowerLog::new(), Vec::new()));
+        match fl.accept(
+            frame.epoch,
+            frame.base,
+            frame.offset,
+            frame.records.len() as u64,
+        ) {
+            AppendVerdict::Accepted {
+                fresh_from,
+                truncate,
+            } => {
+                if let Some(t) = truncate {
+                    store.truncate(t as usize);
+                }
+                let skip = (fresh_from - frame.offset) as usize;
+                store.extend(frame.records.iter().skip(skip).cloned());
+                AppendOutcome::Ack {
+                    epoch: fl.epoch(),
+                    offset: fl.next_offset(),
+                }
+            }
+            AppendVerdict::Gap { expected, truncate } => {
+                if let Some(t) = truncate {
+                    store.truncate(t as usize);
+                }
+                AppendOutcome::Fetch { from: expected }
+            }
+            AppendVerdict::Fenced { .. } => {
+                self.fenced += 1;
+                AppendOutcome::Fenced
+            }
+        }
+    }
+
+    /// A follower's ack reaches `stream`'s leader.
+    pub fn on_ack(
+        &mut self,
+        stream: MatcherId,
+        follower: MatcherId,
+        epoch: Epoch,
+        offset: u64,
+        now: Time,
+    ) {
+        if let Some(sl) = self.streams.get_mut(&stream) {
+            sl.set.record_ack(follower, epoch, offset, now);
+        }
+    }
+
+    /// Fails `stream` over to `heir` at `epoch`: the heir's replica
+    /// promotes at its replicated offset and becomes the stream's
+    /// leader-side state; the returned records are what the host must
+    /// replay into the heir's engine. The old leader's unreplicated tail
+    /// is gone with the node — exactly the threaded cluster's semantics.
+    pub fn promote(&mut self, stream: MatcherId, heir: MatcherId, epoch: Epoch) -> Vec<ReplRecord> {
+        let (fl, store) = self
+            .replicas
+            .remove(&(stream, heir))
+            .unwrap_or_else(|| (FollowerLog::new(), Vec::new()));
+        let set = fl.promote(epoch, self.min_isr);
+        self.promoted += store.len() as u64;
+        self.streams.insert(
+            stream,
+            StreamLeader {
+                leader: heir,
+                set,
+                log: store.clone(),
+            },
+        );
+        store
+    }
+}

@@ -1025,3 +1025,143 @@ fn batched_pipeline_stays_exactly_once_under_chaos() {
     assert!(flushes > 0, "the dispatcher coalescer never flushed");
     cluster.shutdown();
 }
+
+// ---------------------------------------------------------------------
+// 15. Replicated durable subscription log: crash a stream's leader AND
+//     the clockwise heir holding its only replica, under live acked
+//     traffic, then restart both. The subscription store must come back
+//     by *log replay* — the restarted matchers recover from their own
+//     durable streams plus the promoted copies journaled downstream —
+//     not from a bulk registry re-ship: every pre-crash subscription
+//     predates the crash watermark, so the backstop ships nothing.
+//     Exactly-once observation holds across the whole run.
+// ---------------------------------------------------------------------
+#[test]
+fn durable_log_replays_after_leader_and_heir_crash() {
+    let seed = scenario_seed("durable_log_replays_after_leader_and_heir_crash", 0x5B106);
+    let fd = FailureDetectorConfig {
+        suspect_after: 0.3,
+        dead_after: 0.9,
+    };
+    let log_dir = std::env::temp_dir().join(format!("bluedove-chaos15-{seed}"));
+    let _ = std::fs::remove_dir_all(&log_dir);
+    let mut cluster = Cluster::start(chaos_config(seed, 4, fd).log_dir(&log_dir));
+    let sub = cluster.subscribe(wildcard(&space())).unwrap();
+    await_membership(&cluster, 3, Duration::from_secs(10)).expect("initial convergence");
+
+    const N: u64 = 160;
+    // Collision-free over 0..N (see `crash_loses_nothing_with_acks`).
+    let unique_probe = |i: u64| Message::new(vec![(i % 100) as f64, (i / 100 * 10) as f64]);
+    let mut published = 0u64;
+    let mut publish_batch = |cluster: &mut Cluster, upto: u64| {
+        while published < upto {
+            cluster.publish(unique_probe(published)).unwrap();
+            published += 1;
+        }
+    };
+
+    // Phase 1: baseline traffic journals StoreSub records on every
+    // matcher's own stream and replicates them clockwise.
+    publish_batch(&mut cluster, 40);
+    std::thread::sleep(Duration::from_millis(300));
+
+    // Phase 2: kill the leader m/1 — its streams promote onto the
+    // clockwise heir m/2 — and publish through a lossy data plane: the
+    // kill-time table push routes new work around the corpse at once, so
+    // the retransmission machinery is exercised by dropped forwards (and
+    // the replication stream's gap-repair by dropped `SubLogAppend`s).
+    FaultSchedule::new()
+        .at(Duration::ZERO, ChaosEvent::Kill(MatcherId(1)))
+        .at(
+            Duration::ZERO,
+            ChaosEvent::Degrade(LinkRule {
+                from: AddrSet::Any,
+                to: AddrSet::Prefix("m/".into()),
+                rule: FaultRule::drop(0.3),
+            }),
+        )
+        .run(&mut cluster)
+        .unwrap();
+    publish_batch(&mut cluster, 80);
+    std::thread::sleep(Duration::from_millis(500));
+    FaultSchedule::new()
+        .at(Duration::ZERO, ChaosEvent::ClearFaults)
+        .run(&mut cluster)
+        .unwrap();
+
+    // Phase 3: kill the heir too. Every copy-holder of m/1's stream is
+    // now dead; m/2's streams (its own plus the inherited one) promote
+    // onto m/3, which holds m/2's replica — including the inherited
+    // copies m/2 journaled at its own promotion.
+    FaultSchedule::new()
+        .at(Duration::ZERO, ChaosEvent::Kill(MatcherId(2)))
+        .run(&mut cluster)
+        .unwrap();
+    publish_batch(&mut cluster, 120);
+    std::thread::sleep(Duration::from_millis(300));
+
+    // Phase 4: restart both. Each replays its own durable stream first,
+    // pulls the downtime delta from the current stream leader, and
+    // rejoins at a bumped epoch that fences the deposed heirs.
+    FaultSchedule::new()
+        .at(Duration::ZERO, ChaosEvent::Restart(MatcherId(1)))
+        .at(
+            Duration::from_millis(100),
+            ChaosEvent::Restart(MatcherId(2)),
+        )
+        .run(&mut cluster)
+        .unwrap();
+    await_membership(&cluster, 3, Duration::from_secs(10)).expect("mesh re-admits both");
+    publish_batch(&mut cluster, N);
+
+    // Every admitted publication must be observed exactly once.
+    let mut seen = vec![0u32; N as usize];
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while Instant::now() < deadline {
+        let Some(d) = sub.recv_timeout(Duration::from_millis(300)) else {
+            if seen.iter().all(|&n| n == 1) {
+                break;
+            }
+            continue;
+        };
+        let i = (0..N)
+            .position(|i| d.msg.values == unique_probe(i).values)
+            .expect("delivery matches one published probe");
+        seen[i] += 1;
+    }
+    let lost: Vec<usize> = (0..N as usize).filter(|&i| seen[i] == 0).collect();
+    let duped: Vec<usize> = (0..N as usize).filter(|&i| seen[i] > 1).collect();
+    let (retried, _dupes, dead_lettered) = cluster.reliability_counters();
+    let counter = |name: &str| cluster.telemetry().counter_value(name, &[]).unwrap_or(0);
+    let replayed = counter("bluedove_sublog_replayed_total");
+    let reshipped = counter("bluedove_sublog_reshipped_total");
+    let appended = counter("bluedove_sublog_appended_total");
+    println!(
+        "scenario 15: retried={retried} dead_lettered={dead_lettered} \
+         appended={appended} replayed={replayed} reshipped={reshipped}"
+    );
+    assert!(
+        lost.is_empty(),
+        "zero publication loss across the double crash; lost probes {lost:?}"
+    );
+    assert!(
+        duped.is_empty(),
+        "exactly-once observation held; duplicated probes {duped:?}"
+    );
+    assert_eq!(dead_lettered, 0, "nothing exhausted its retry budget");
+    assert!(
+        retried > 0,
+        "publishing into the hole drove retransmissions"
+    );
+    assert!(appended > 0, "subscription mutations were journaled");
+    assert!(
+        replayed > 0,
+        "the restarted matchers replayed their local durable streams"
+    );
+    assert_eq!(
+        reshipped, 0,
+        "recovery came from the logs, not a bulk registry re-ship"
+    );
+    cluster.shutdown();
+    let _ = std::fs::remove_dir_all(&log_dir);
+}
