@@ -1054,7 +1054,7 @@ fn overhead() {
 fn bench_trajectory(cfg: &ExpConfig, args: &[String]) {
     use bluedove_bench::json::Json;
     use bluedove_bench::trajectory::validate;
-    use bluedove_cluster::{Cluster, ClusterConfig, PolicyKind};
+    use bluedove_cluster::{Cluster, ClusterConfig, PolicyKind, TransportKind};
     use bluedove_core::Subscription;
     use std::time::{Duration, Instant};
 
@@ -1099,14 +1099,15 @@ fn bench_trajectory(cfg: &ExpConfig, args: &[String]) {
         mean_frames_per_flush: f64,
     }
 
-    let run_mode = |max_batch: usize| -> ModeStats {
+    let run_mode = |max_batch: usize, transport: TransportKind| -> ModeStats {
         let mut cluster = Cluster::start(
             ClusterConfig::new(sp.clone())
                 .matchers(MATCHERS)
                 .policy(PolicyKind::Random)
                 .publication_acks(false)
                 .max_batch(max_batch)
-                .max_delay(MAX_DELAY),
+                .max_delay(MAX_DELAY)
+                .transport(transport),
         );
         let wildcard = cluster
             .subscribe(Subscription::builder(&sp).build().unwrap())
@@ -1183,11 +1184,11 @@ fn bench_trajectory(cfg: &ExpConfig, args: &[String]) {
     let mut off: Option<ModeStats> = None;
     let mut on: Option<ModeStats> = None;
     for _ in 0..iters {
-        let fresh = run_mode(1);
+        let fresh = run_mode(1, TransportKind::Channel);
         if off.as_ref().is_none_or(|b| fresh.throughput > b.throughput) {
             off = Some(fresh);
         }
-        let fresh = run_mode(MAX_BATCH);
+        let fresh = run_mode(MAX_BATCH, TransportKind::Channel);
         if on.as_ref().is_none_or(|b| fresh.throughput > b.throughput) {
             on = Some(fresh);
         }
@@ -1195,6 +1196,13 @@ fn bench_trajectory(cfg: &ExpConfig, args: &[String]) {
     let off = off.expect("iters >= 1");
     let on = on.expect("iters >= 1");
     let speedup = on.throughput / off.throughput;
+    // The same batched pipeline over the nonblocking reactor (real
+    // loopback sockets, fixed event-loop threads): one run — this row
+    // tracks the kernel-path trajectory, it is not gated.
+    let reactor = run_mode(
+        MAX_BATCH,
+        TransportKind::Reactor(bluedove_net::ReactorConfig::default()),
+    );
 
     // Saturation at the same coalescing depth, from the simulator (the
     // cost model the rest of the figures use).
@@ -1252,6 +1260,7 @@ fn bench_trajectory(cfg: &ExpConfig, args: &[String]) {
         ),
         ("batching_off".into(), mode_json(&off)),
         ("batching_on".into(), mode_json(&on)),
+        ("reactor_host".into(), mode_json(&reactor)),
         ("speedup".into(), num((speedup * 100.0).round() / 100.0)),
         ("saturation_rate_msgs_per_sec".into(), num(sat.round())),
     ]);
@@ -1286,6 +1295,15 @@ fn bench_trajectory(cfg: &ExpConfig, args: &[String]) {
         on.bytes_per_msg,
         on.frames_per_msg,
         on.mean_frames_per_flush,
+    );
+    println!(
+        "    reactor host: fwd {} (deliver {}) p99 fwd {} µs  e2e {} µs  {:.0} B/msg ({:.2} frames/msg)",
+        fmt_rate(reactor.throughput).trim(),
+        fmt_rate(reactor.delivery_throughput).trim(),
+        reactor.p99_forward_us,
+        reactor.p99_e2e_us,
+        reactor.bytes_per_msg,
+        reactor.frames_per_msg,
     );
     println!(
         "    speedup: {speedup:.2}x   sim saturation @ depth {MAX_BATCH}: {}",

@@ -39,7 +39,7 @@ use bluedove_engine::{
 };
 use bluedove_net::{
     from_bytes, from_bytes_shared, to_bytes, ChannelTransport, FaultHandle, FaultTransport,
-    NetError, Transport,
+    HostTransport, NetError, ReactorConfig, ReactorTransport, Transport,
 };
 use bytes::Bytes;
 use crossbeam::channel::Receiver;
@@ -76,6 +76,21 @@ impl PolicyKind {
     }
 }
 
+/// Base-transport selector: what actually moves bytes between the
+/// deployment's nodes. All nodes are address-string driven, so either
+/// kind hosts the same engines unchanged.
+#[derive(Debug, Clone, Default)]
+pub enum TransportKind {
+    /// In-process crossbeam channels — zero syscalls, the default for
+    /// tests and single-machine experiments.
+    #[default]
+    Channel,
+    /// The nonblocking reactor over real loopback TCP sockets: frames
+    /// cross the kernel, yet thread count stays O(event loops) instead
+    /// of O(connections), so hundreds of nodes fit one machine.
+    Reactor(ReactorConfig),
+}
+
 /// Partition-strategy selector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum StrategyKind {
@@ -109,6 +124,7 @@ pub struct ClusterConfig {
     fsync: crate::log::FsyncPolicy,
     min_isr: usize,
     log_segment_bytes: u64,
+    transport: TransportKind,
 }
 
 impl ClusterConfig {
@@ -134,7 +150,17 @@ impl ClusterConfig {
             fsync: crate::log::FsyncPolicy::default(),
             min_isr: 1,
             log_segment_bytes: 1 << 20,
+            transport: TransportKind::Channel,
         }
+    }
+
+    /// Selects the base transport the deployment's bytes move over
+    /// (default: in-process channels). `TransportKind::Reactor` runs the
+    /// same nodes over real loopback TCP owned by a fixed set of
+    /// event-loop threads.
+    pub fn transport(mut self, kind: TransportKind) -> Self {
+        self.transport = kind;
+        self
     }
 
     /// Enables the durable replicated subscription log, rooted at `dir`
@@ -582,7 +608,10 @@ impl IndirectSubscriber {
 /// The running deployment.
 pub struct Cluster {
     cfg: ClusterConfig,
-    channel: ChannelTransport,
+    /// The base transport (channels or reactor) carrying every frame;
+    /// also the management-plane path — [`HostTransport`] gives the
+    /// orchestrator alias/unbind/wire-stats/shutdown on top of sends.
+    base: Arc<dyn HostTransport>,
     transport: Arc<dyn Transport>,
     /// Set when [`ClusterConfig::fault_injection`] was enabled: the shared
     /// fault layer every node's transport is scoped from.
@@ -646,18 +675,24 @@ impl Cluster {
     /// Starts the deployment: binds the control inbox, spawns matchers and
     /// dispatchers, and registers all addresses.
     pub fn start(cfg: ClusterConfig) -> Self {
-        let channel = ChannelTransport::new();
-        let base: Arc<dyn Transport> = Arc::new(channel.clone());
+        let base: Arc<dyn HostTransport> = match &cfg.transport {
+            TransportKind::Channel => Arc::new(ChannelTransport::new()),
+            TransportKind::Reactor(rcfg) => {
+                Arc::new(ReactorTransport::start(rcfg.clone()).expect("start reactor event loops"))
+            }
+        };
+        let base_send: Arc<dyn Transport> = base.clone();
         // With fault injection on, every node sends through its own scoped
         // clone of one shared fault layer (so partitions and link rules
-        // can tell senders apart); otherwise nodes share the raw channel.
+        // can tell senders apart); otherwise nodes share the base
+        // transport directly.
         let fault = cfg
             .fault_seed
-            .map(|seed| FaultTransport::new(base.clone(), seed));
+            .map(|seed| FaultTransport::new(base_send.clone(), seed));
         let scope = |origin: &str| -> Arc<dyn Transport> {
             match &fault {
                 Some(f) => Arc::new(f.scoped(origin)),
-                None => base.clone(),
+                None => base_send.clone(),
             }
         };
         let transport: Arc<dyn Transport> = scope(&control_addr());
@@ -764,7 +799,7 @@ impl Cluster {
         let autoscaler = cfg.autoscaler.clone().map(Autoscaler::new);
         Cluster {
             cfg,
-            channel,
+            base,
             transport,
             fault,
             shared,
@@ -819,7 +854,7 @@ impl Cluster {
             epochs: epochs.clone(),
         };
         for (_, a) in &addr_book {
-            let _ = self.channel.send(a, to_bytes(&update).freeze());
+            let _ = self.base.send(a, to_bytes(&update).freeze());
         }
         let state = ControlMsg::TableState {
             version: self.table_version,
@@ -828,7 +863,7 @@ impl Cluster {
             epochs,
         };
         for d in &self.dispatchers {
-            let _ = self.channel.send(&d.addr, to_bytes(&state).freeze());
+            let _ = self.base.send(&d.addr, to_bytes(&state).freeze());
         }
     }
 
@@ -836,7 +871,7 @@ impl Cluster {
     fn scoped_transport(&self, origin: &str) -> Arc<dyn Transport> {
         match &self.fault {
             Some(f) => Arc::new(f.scoped(origin)),
-            None => Arc::new(self.channel.clone()),
+            None => self.base.clone(),
         }
     }
 
@@ -872,7 +907,7 @@ impl Cluster {
     /// frame of the whole deployment. Benches diff this around a
     /// publishing window to attribute wire traffic per message.
     pub fn wire_stats(&self) -> (u64, u64) {
-        self.channel.wire_stats()
+        self.base.wire_stats()
     }
 
     /// The `(message, matcher, dim)` sequence of successful first
@@ -1029,7 +1064,7 @@ impl Cluster {
         // ...then atomically re-route the subscriber address onto the
         // mailbox inbox and forward anything that raced into the
         // temporary endpoint.
-        self.channel
+        self.base
             .alias(&subscriber_addr(handle.id.0), &mailbox_addr)?;
         for raced in handle.drain_raw() {
             let _ = self.transport.send(&mailbox_addr, raced);
@@ -1332,7 +1367,7 @@ impl Cluster {
             epochs: self.epochs_book(),
         };
         for (_, a) in &addr_book {
-            let _ = self.channel.send(a, to_bytes(&update).freeze());
+            let _ = self.base.send(a, to_bytes(&update).freeze());
         }
         let state = ControlMsg::TableState {
             version: self.table_version,
@@ -1341,7 +1376,7 @@ impl Cluster {
             epochs: self.epochs_book(),
         };
         for d in &self.dispatchers {
-            let _ = self.channel.send(&d.addr, to_bytes(&state).freeze());
+            let _ = self.base.send(&d.addr, to_bytes(&state).freeze());
         }
 
         // Publications routed by the old table may still arrive for up to
@@ -1352,12 +1387,12 @@ impl Cluster {
         // victim drains still lands in a live inbox.
         std::thread::sleep(self.cfg.table_pull_interval * 2);
         let _ = self
-            .channel
+            .base
             .send(&victim_addr, to_bytes(&ControlMsg::Leave).freeze());
         if let Some(node) = self.matchers.remove(&victim) {
             let addr = node.addr.clone();
             node.join();
-            self.channel.unbind(&addr);
+            self.base.unbind(&addr);
         }
         // Drop the retiree's stale observability entries so convergence
         // probes don't count a node that left cleanly.
@@ -1446,7 +1481,7 @@ impl Cluster {
     /// the next table broadcast.
     pub fn kill_matcher(&mut self, m: MatcherId) {
         if let Some(node) = self.matchers.remove(&m) {
-            self.channel.unbind(&node.addr);
+            self.base.unbind(&node.addr);
             self.shared.matcher_addrs.write().remove(&m);
             node.crash();
             node.join();
@@ -1476,7 +1511,7 @@ impl Cluster {
                             epoch: *epoch,
                         };
                         if let Some(addr) = self.shared.matcher_addr(heir) {
-                            let _ = self.channel.send(&addr, to_bytes(&promote).freeze());
+                            let _ = self.base.send(&addr, to_bytes(&promote).freeze());
                         }
                         self.stream_leader.insert(stream, heir);
                     }
@@ -1588,7 +1623,7 @@ impl Cluster {
                         from: 0,
                         reply_to: control_addr(),
                     };
-                    let _ = self.channel.send(&leader_addr, to_bytes(&fetch).freeze());
+                    let _ = self.base.send(&leader_addr, to_bytes(&fetch).freeze());
                     let deadline = Instant::now() + Duration::from_secs(5);
                     while Instant::now() < deadline {
                         let remaining = deadline.saturating_duration_since(Instant::now());
@@ -1605,7 +1640,7 @@ impl Cluster {
                                     epoch: e_new,
                                     records,
                                 };
-                                let _ = self.channel.send(&addr, to_bytes(&install).freeze());
+                                let _ = self.base.send(&addr, to_bytes(&install).freeze());
                                 break;
                             }
                         }
@@ -1613,7 +1648,7 @@ impl Cluster {
                         // shares this inbox: skip and keep waiting.
                     }
                     let demote = ControlMsg::SubLogDemote { stream: m };
-                    let _ = self.channel.send(&leader_addr, to_bytes(&demote).freeze());
+                    let _ = self.base.send(&leader_addr, to_bytes(&demote).freeze());
                 }
             }
             self.stream_leader.insert(m, m);
@@ -1637,7 +1672,7 @@ impl Cluster {
             };
             for (dim, sub) in removals {
                 let remove = ControlMsg::RemoveSub { dim, sub };
-                let _ = self.channel.send(&addr, to_bytes(&remove).freeze());
+                let _ = self.base.send(&addr, to_bytes(&remove).freeze());
             }
         }
 
@@ -1685,7 +1720,7 @@ impl Cluster {
         }
         for (dim, sub) in copies {
             let store = ControlMsg::StoreSub { dim, sub };
-            self.channel.send(&addr, to_bytes(&store).freeze())?;
+            self.base.send(&addr, to_bytes(&store).freeze())?;
         }
         self.matchers.insert(m, bound.start(self.shared.clone()));
         self.shared.matchers_gauge.set(self.matchers.len() as i64);
@@ -1694,18 +1729,18 @@ impl Cluster {
 
     /// Orderly shutdown: stops every node and joins the threads.
     pub fn shutdown(mut self) {
-        // Shutdown is management-plane: sent over the raw channel so an
-        // installed drop rule cannot eat the poison pill and wedge the
-        // joins below.
+        // Shutdown is management-plane: sent over the raw base transport
+        // so an installed drop rule cannot eat the poison pill and wedge
+        // the joins below.
         let shutdown = to_bytes(&ControlMsg::Shutdown).freeze();
         for d in &self.dispatchers {
-            let _ = self.channel.send(&d.addr, shutdown.clone());
+            let _ = self.base.send(&d.addr, shutdown.clone());
         }
         for node in self.matchers.values() {
-            let _ = self.channel.send(&node.addr, shutdown.clone());
+            let _ = self.base.send(&node.addr, shutdown.clone());
         }
         if let Some(mb) = self.mailbox.take() {
-            let _ = self.channel.send(&mb.addr, shutdown.clone());
+            let _ = self.base.send(&mb.addr, shutdown.clone());
             mb.join();
         }
         for d in self.dispatchers.drain(..) {
@@ -1720,5 +1755,8 @@ impl Cluster {
                 eprintln!("telemetry dump to {} failed: {e}", path.display());
             }
         }
+        // Nodes are gone; tear down the base transport (joins the
+        // reactor's event loops — a no-op for channels).
+        self.base.shutdown();
     }
 }

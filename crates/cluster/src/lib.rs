@@ -49,7 +49,7 @@ pub use apps::{AppError, AppSpec, MultiAppCluster};
 pub use chaos::{ChaosEvent, ChaosReport, ChaosStep, FaultSchedule};
 pub use cluster::{
     Cluster, ClusterConfig, ClusterError, Delivery, IndirectSubscriber, PolicyKind, Publisher,
-    StrategyKind, SubscriberHandle,
+    StrategyKind, SubscriberHandle, TransportKind,
 };
 pub use log::{FsyncPolicy, Log, LogConfig};
 pub use proto::ControlMsg;

@@ -9,18 +9,24 @@
 //!   but no serializer back-end, so the codec is local);
 //! - [`frame`] — `u32`-length-prefixed framing over byte streams;
 //! - [`transport`] — a [`Transport`] trait with in-process
-//!   ([`ChannelTransport`]) and TCP ([`TcpTransport`]) implementations;
+//!   ([`ChannelTransport`]) and TCP ([`TcpTransport`]) implementations,
+//!   plus the [`HostTransport`] management surface cluster hosts need;
+//! - [`reactor`] — a std-only nonblocking readiness-loop transport
+//!   ([`ReactorTransport`]) that owns all sockets on a fixed set of
+//!   event-loop threads (O(event loops) threads, not O(connections));
 //! - [`fault`] — a deterministic fault-injecting decorator
 //!   ([`FaultTransport`]) for chaos testing any transport.
 
 pub mod error;
 pub mod fault;
 pub mod frame;
+pub mod reactor;
 pub mod transport;
 pub mod wire;
 
 pub use error::{NetError, NetResult};
 pub use fault::{AddrSet, FaultHandle, FaultRule, FaultStats, FaultTransport, LinkRule};
 pub use frame::{read_frame, write_frame, MAX_FRAME};
-pub use transport::{ChannelTransport, TcpTransport, Transport};
+pub use reactor::{ReactorConfig, ReactorTransport};
+pub use transport::{ChannelTransport, HostTransport, TcpTransport, Transport};
 pub use wire::{from_bytes, from_bytes_shared, to_bytes, Wire};

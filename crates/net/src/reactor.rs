@@ -1,0 +1,955 @@
+//! Nonblocking reactor transport: every socket is owned by a fixed set of
+//! event-loop threads, so thread count is O(event loops), not
+//! O(connections).
+//!
+//! The blocking [`TcpTransport`](crate::transport::TcpTransport) spends two
+//! threads per peer (a reader per accepted connection plus the acceptor),
+//! which caps a single machine at tens of nodes. The reactor keeps the
+//! same wire format (`u32`-LE length-prefixed frames) and the same
+//! [`Transport`] contract — in-order delivery per sender, opaque string
+//! addresses — but multiplexes all sockets over `poll(2)` readiness
+//! (a sleep-scan fallback elsewhere) with `set_nonblocking(true)` streams:
+//!
+//! - **Logical registry.** `bind("m/0")` opens a listener on an
+//!   OS-assigned loopback port and records `"m/0" → 127.0.0.1:port` in a
+//!   shared registry; `send("m/0", ..)` resolves through it. Addresses
+//!   that already parse as `host:port` bypass the registry, so separate
+//!   transport instances (or processes) can interoperate.
+//! - **Event loops.** `ReactorConfig::event_loops` threads each own a
+//!   disjoint set of listeners, inbound connections (read + frame
+//!   reassembly) and outbound connections (write-queue draining),
+//!   assigned round-robin. A loopback socket pair per loop is the waker;
+//!   an injection channel carries new sockets and shutdown commands into
+//!   the loop.
+//! - **Backpressure.** Each outbound connection has a byte-bounded write
+//!   queue; `send` blocks on a condvar once
+//!   `ReactorConfig::write_queue_limit` bytes are queued and resumes as
+//!   the loop drains them to the kernel. A peer that stops reading
+//!   therefore stalls its senders instead of ballooning memory.
+//! - **Failure containment.** A write error closes that one connection:
+//!   the loop marks its queue closed (waking blocked senders with an
+//!   error) and unhooks it from the connection cache so the next send
+//!   dials fresh — mirroring the poisoned-writer semantics of the
+//!   blocking transport.
+//! - **Graceful shutdown.** [`ReactorTransport::shutdown`] asks each loop
+//!   to drain every outbound queue (bounded by a deadline), then close
+//!   all sockets and exit; it joins the loop threads before returning.
+
+use crate::error::{NetError, NetResult};
+use crate::frame::MAX_FRAME;
+use crate::transport::{HostTransport, Transport};
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use std::collections::{HashMap, VecDeque};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How long `poll` sleeps when no fd is ready; also the cadence at which
+/// loops notice dropped inbox receivers and transport teardown.
+const POLL_TICK_MS: i32 = 50;
+/// Per-loop budget for draining outbound queues during graceful shutdown.
+const SHUTDOWN_DRAIN: Duration = Duration::from_secs(3);
+/// Quiet period after the last inbound byte before a draining loop exits:
+/// frames already flushed to the kernel by a peer loop get delivered to
+/// their inboxes instead of dying in socket buffers.
+const SHUTDOWN_LINGER: Duration = Duration::from_millis(100);
+/// Upper bound a sender waits for backpressure to clear before giving up
+/// (guards against a peer that never reads and a loop that died).
+const BACKPRESSURE_WAIT: Duration = Duration::from_secs(10);
+/// Scratch read buffer size per event loop.
+const READ_CHUNK: usize = 64 * 1024;
+
+/// Tuning knobs for [`ReactorTransport`].
+#[derive(Debug, Clone)]
+pub struct ReactorConfig {
+    /// Number of event-loop threads; sockets are spread round-robin.
+    pub event_loops: usize,
+    /// Host/IP listeners bind to (always on an OS-assigned port).
+    pub host: String,
+    /// Per-connection cap on queued unwritten bytes before `send` blocks.
+    pub write_queue_limit: usize,
+}
+
+impl Default for ReactorConfig {
+    fn default() -> Self {
+        ReactorConfig {
+            event_loops: 2,
+            host: "127.0.0.1".to_string(),
+            write_queue_limit: 8 * 1024 * 1024,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Readiness: poll(2) on linux, sleep-scan elsewhere
+// ---------------------------------------------------------------------
+
+/// One fd's readiness interest and result, mirroring `struct pollfd`.
+#[repr(C)]
+struct PollFd {
+    fd: i32,
+    events: i16,
+    revents: i16,
+}
+
+const POLLIN: i16 = 0x001;
+const POLLOUT: i16 = 0x004;
+const POLLERR: i16 = 0x008;
+const POLLHUP: i16 = 0x010;
+
+#[cfg(target_os = "linux")]
+fn wait_ready(fds: &mut [PollFd], timeout_ms: i32) {
+    // The container policy forbids new crates (no `libc`), so poll(2) is
+    // declared directly; `nfds_t` is `c_ulong` on linux.
+    unsafe extern "C" {
+        fn poll(fds: *mut PollFd, nfds: std::ffi::c_ulong, timeout: std::ffi::c_int) -> i32;
+    }
+    let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as std::ffi::c_ulong, timeout_ms) };
+    if rc < 0 {
+        // EINTR or transient failure: report nothing ready this tick; the
+        // caller re-polls on the next iteration.
+        for f in fds.iter_mut() {
+            f.revents = 0;
+        }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+fn wait_ready(fds: &mut [PollFd], timeout_ms: i32) {
+    // Portable fallback: a short sleep, then claim everything ready. All
+    // sockets are nonblocking, so spurious readiness costs one
+    // `WouldBlock` syscall per fd per tick.
+    std::thread::sleep(Duration::from_millis((timeout_ms.max(1) as u64).min(5)));
+    for f in fds.iter_mut() {
+        f.revents = f.events;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Connection state
+// ---------------------------------------------------------------------
+
+/// An outbound connection's write queue, shared between senders (who
+/// enqueue) and the owning event loop (which drains to the socket).
+struct OutConn {
+    sock: TcpStream,
+    peer: SocketAddr,
+    state: Mutex<OutState>,
+    /// Signalled when queued bytes drop below the limit or the
+    /// connection closes, releasing senders blocked in `send`.
+    room: Condvar,
+    limit: usize,
+}
+
+struct OutState {
+    /// Pending chunks; each frame contributes its 4-byte prefix and its
+    /// payload as separate chunks (the payload `Bytes` is shared with the
+    /// caller, so enqueueing copies nothing).
+    queue: VecDeque<Bytes>,
+    /// Bytes of `queue.front()` already written to the kernel.
+    offset: usize,
+    /// Total unflushed bytes across the queue.
+    queued: usize,
+    closed: bool,
+}
+
+impl OutConn {
+    /// Enqueues one frame, blocking while the queue is over its byte
+    /// limit. Fails once the connection has closed.
+    fn enqueue(&self, payload: &Bytes) -> NetResult<()> {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let deadline = Instant::now() + BACKPRESSURE_WAIT;
+        while !st.closed && st.queued >= self.limit {
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(NetError::Io(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    "write queue full: peer not draining",
+                )));
+            }
+            let (guard, _) = self
+                .room
+                .wait_timeout(st, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            st = guard;
+        }
+        if st.closed {
+            return Err(NetError::Disconnected);
+        }
+        st.queue
+            .push_back(Bytes::from((payload.len() as u32).to_le_bytes().to_vec()));
+        st.queue.push_back(payload.clone());
+        st.queued += 4 + payload.len();
+        Ok(())
+    }
+
+    /// Drains as much of the queue to the socket as the kernel accepts.
+    /// Returns `false` when the connection failed and must be dropped.
+    fn flush(&self) -> bool {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        while let Some(front) = st.queue.front() {
+            let (off, front_len) = (st.offset, front.len());
+            match (&self.sock).write(&front[off..]) {
+                Ok(n) => {
+                    st.offset += n;
+                    st.queued -= n;
+                    if st.offset == front_len {
+                        st.queue.pop_front();
+                        st.offset = 0;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    st.closed = true;
+                    self.room.notify_all();
+                    return false;
+                }
+            }
+        }
+        if st.queued < self.limit {
+            self.room.notify_all();
+        }
+        true
+    }
+
+    fn has_pending(&self) -> bool {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).queued > 0
+    }
+
+    fn close(&self) {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.closed = true;
+        self.room.notify_all();
+    }
+}
+
+/// An accepted connection being read: raw bytes accumulate in `buf` until
+/// whole frames can be peeled off and delivered to the bound inbox.
+struct InConn {
+    sock: TcpStream,
+    inbox: Sender<Bytes>,
+    buf: Vec<u8>,
+}
+
+impl InConn {
+    /// Peels complete frames off the front of `buf` into the inbox.
+    /// Returns `false` on a poisoned stream (oversized frame) or a
+    /// dropped inbox — either way the connection must be dropped.
+    fn deliver_frames(&mut self) -> bool {
+        loop {
+            if self.buf.len() < 4 {
+                return true;
+            }
+            let len =
+                u32::from_le_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
+            if len > MAX_FRAME {
+                return false;
+            }
+            if self.buf.len() < 4 + len {
+                return true;
+            }
+            let payload = Bytes::from(self.buf[4..4 + len].to_vec());
+            self.buf.drain(..4 + len);
+            if self.inbox.send(payload).is_err() {
+                return false;
+            }
+        }
+    }
+}
+
+/// A listener plus the inbox its accepted connections feed.
+struct BoundListener {
+    sock: TcpListener,
+    inbox: Sender<Bytes>,
+}
+
+/// Commands injected into an event loop from the outside.
+enum Cmd {
+    AddListener(BoundListener),
+    AddOutbound(Arc<OutConn>),
+    Shutdown,
+}
+
+/// The injection side of one event loop.
+struct LoopHandle {
+    cmds: Sender<Cmd>,
+    /// Write end of the loop's waker socket pair; one byte wakes the
+    /// loop out of `poll`. `Write` is implemented for `&TcpStream`, so no
+    /// lock is needed.
+    waker: TcpStream,
+    thread: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl LoopHandle {
+    fn wake(&self) {
+        let _ = (&self.waker).write(&[1u8]);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Transport
+// ---------------------------------------------------------------------
+
+/// Shared state behind every clone of a [`ReactorTransport`].
+struct ReactorShared {
+    cfg: ReactorConfig,
+    /// Logical address → real socket address of the bound listener.
+    registry: Mutex<HashMap<String, SocketAddr>>,
+    /// Destination socket address → live outbound connection. `Arc`'d
+    /// because the event loops also unhook dead connections from it.
+    outbound: Arc<Mutex<HashMap<SocketAddr, Arc<OutConn>>>>,
+    loops: Vec<LoopHandle>,
+    next_loop: AtomicUsize,
+    shutdown: AtomicBool,
+    /// Open kernel connections across all loops (inbound + outbound).
+    open_connections: Arc<AtomicUsize>,
+    frames_sent: AtomicU64,
+    bytes_sent: AtomicU64,
+}
+
+/// The nonblocking readiness-loop transport. Cloning shares all state;
+/// one instance (and its clones) serves a whole in-process deployment
+/// over real kernel loopback sockets.
+#[derive(Clone)]
+pub struct ReactorTransport {
+    shared: Arc<ReactorShared>,
+}
+
+impl ReactorTransport {
+    /// Starts `cfg.event_loops` reactor threads and returns the transport.
+    pub fn start(cfg: ReactorConfig) -> NetResult<Self> {
+        let n = cfg.event_loops.max(1);
+        let mut loops = Vec::with_capacity(n);
+        let outbound: Arc<Mutex<HashMap<SocketAddr, Arc<OutConn>>>> =
+            Arc::new(Mutex::new(HashMap::new()));
+        let open_connections = Arc::new(AtomicUsize::new(0));
+        for i in 0..n {
+            let (cmd_tx, cmd_rx) = unbounded();
+            let (waker_w, waker_r) = waker_pair()?;
+            let outbound = Arc::clone(&outbound);
+            let open = Arc::clone(&open_connections);
+            let thread = std::thread::Builder::new()
+                .name(format!("reactor-{i}"))
+                .spawn(move || event_loop(cmd_rx, waker_r, outbound, open))
+                .map_err(NetError::Io)?;
+            loops.push(LoopHandle {
+                cmds: cmd_tx,
+                waker: waker_w,
+                thread: Mutex::new(Some(thread)),
+            });
+        }
+        let shared = Arc::new(ReactorShared {
+            cfg,
+            registry: Mutex::new(HashMap::new()),
+            outbound,
+            loops,
+            next_loop: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            open_connections,
+            frames_sent: AtomicU64::new(0),
+            bytes_sent: AtomicU64::new(0),
+        });
+        Ok(ReactorTransport { shared })
+    }
+
+    /// Number of event-loop threads this transport runs.
+    pub fn event_loops(&self) -> usize {
+        self.shared.loops.len()
+    }
+
+    /// Currently open kernel connections (inbound + outbound) across all
+    /// loops — the soak test asserts this grows with cluster size while
+    /// thread count does not.
+    pub fn connection_count(&self) -> usize {
+        self.shared.open_connections.load(Ordering::Relaxed)
+    }
+
+    /// The real `host:port` behind a logical address, if bound here.
+    pub fn local_addr(&self, logical: &str) -> Option<String> {
+        self.shared
+            .registry
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(logical)
+            .map(|a| a.to_string())
+    }
+
+    fn resolve(&self, addr: &str) -> NetResult<SocketAddr> {
+        if let Some(sa) = self
+            .shared
+            .registry
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(addr)
+        {
+            return Ok(*sa);
+        }
+        addr.parse::<SocketAddr>()
+            .map_err(|_| NetError::Unroutable(addr.to_string()))
+    }
+
+    fn pick_loop(&self) -> &LoopHandle {
+        let i = self.shared.next_loop.fetch_add(1, Ordering::Relaxed) % self.shared.loops.len();
+        &self.shared.loops[i]
+    }
+
+    /// Returns the cached outbound connection to `peer`, dialing one (and
+    /// handing it to an event loop) on a miss. Concurrent dialers
+    /// converge on the first registered connection.
+    fn outbound_to(&self, peer: SocketAddr) -> NetResult<Arc<OutConn>> {
+        {
+            let cache = self
+                .shared
+                .outbound
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            if let Some(c) = cache.get(&peer) {
+                return Ok(c.clone());
+            }
+        }
+        // std has no nonblocking connect; dial blocking (instant on
+        // loopback), then flip to nonblocking for the loop.
+        let sock = TcpStream::connect(peer)?;
+        sock.set_nodelay(true)?;
+        sock.set_nonblocking(true)?;
+        let conn = Arc::new(OutConn {
+            sock,
+            peer,
+            state: Mutex::new(OutState {
+                queue: VecDeque::new(),
+                offset: 0,
+                queued: 0,
+                closed: false,
+            }),
+            room: Condvar::new(),
+            limit: self.shared.cfg.write_queue_limit,
+        });
+        // Re-check under the lock: a racing sender may have registered a
+        // connection while we dialed. Keep the first; ours drops.
+        let winner = self
+            .shared
+            .outbound
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .entry(peer)
+            .or_insert_with(|| conn.clone())
+            .clone();
+        if Arc::ptr_eq(&winner, &conn) {
+            self.shared.open_connections.fetch_add(1, Ordering::Relaxed);
+            let lp = self.pick_loop();
+            if lp.cmds.send(Cmd::AddOutbound(conn)).is_err() {
+                return Err(NetError::Disconnected);
+            }
+            lp.wake();
+        }
+        Ok(winner)
+    }
+
+    /// Graceful teardown: drain outbound queues, close every socket, stop
+    /// and join the loop threads. Further sends fail. Idempotent.
+    pub fn shutdown(&self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        for lp in &self.shared.loops {
+            let _ = lp.cmds.send(Cmd::Shutdown);
+            lp.wake();
+        }
+        for lp in &self.shared.loops {
+            let handle = lp.thread.lock().unwrap_or_else(|e| e.into_inner()).take();
+            if let Some(h) = handle {
+                let _ = h.join();
+            }
+        }
+        // Unblock any sender still parked on a full queue.
+        for conn in self
+            .shared
+            .outbound
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .values()
+        {
+            conn.close();
+        }
+    }
+}
+
+impl Transport for ReactorTransport {
+    fn bind(&self, addr: &str) -> NetResult<Receiver<Bytes>> {
+        if self.shared.shutdown.load(Ordering::SeqCst) {
+            return Err(NetError::Disconnected);
+        }
+        // A literal host:port binds exactly there; logical names get an
+        // OS-assigned port on the configured host.
+        let listener = match addr.parse::<SocketAddr>() {
+            Ok(sa) => TcpListener::bind(sa)?,
+            Err(_) => TcpListener::bind((self.shared.cfg.host.as_str(), 0))?,
+        };
+        listener.set_nonblocking(true)?;
+        let real = listener.local_addr()?;
+        let (tx, rx) = unbounded();
+        self.shared
+            .registry
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(addr.to_string(), real);
+        let lp = self.pick_loop();
+        lp.cmds
+            .send(Cmd::AddListener(BoundListener {
+                sock: listener,
+                inbox: tx,
+            }))
+            .map_err(|_| NetError::Disconnected)?;
+        lp.wake();
+        Ok(rx)
+    }
+
+    fn send(&self, addr: &str, payload: Bytes) -> NetResult<()> {
+        if self.shared.shutdown.load(Ordering::SeqCst) {
+            return Err(NetError::Disconnected);
+        }
+        let peer = self.resolve(addr)?;
+        let conn = self.outbound_to(peer)?;
+        match conn.enqueue(&payload) {
+            Ok(()) => {
+                self.shared.frames_sent.fetch_add(1, Ordering::Relaxed);
+                self.shared
+                    .bytes_sent
+                    .fetch_add(payload.len() as u64, Ordering::Relaxed);
+                // Tell the owning loop there are bytes to drain. Waking
+                // every loop is wasteful; waking the right one would need
+                // a back-pointer. Compromise: wake all (cheap one-byte
+                // writes, loops coalesce).
+                for lp in &self.shared.loops {
+                    lp.wake();
+                }
+                Ok(())
+            }
+            Err(e) => {
+                // The connection died: unhook it (only if still cached —
+                // a replacement dialed by another sender must survive)
+                // so the next send dials fresh.
+                let mut cache = self
+                    .shared
+                    .outbound
+                    .lock()
+                    .unwrap_or_else(|e2| e2.into_inner());
+                if cache.get(&peer).is_some_and(|c| Arc::ptr_eq(c, &conn)) {
+                    cache.remove(&peer);
+                }
+                Err(e)
+            }
+        }
+    }
+}
+
+impl HostTransport for ReactorTransport {
+    fn alias(&self, addr: &str, target: &str) -> NetResult<()> {
+        let mut reg = self
+            .shared
+            .registry
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let sa = *reg
+            .get(target)
+            .ok_or_else(|| NetError::Unroutable(target.to_string()))?;
+        reg.insert(addr.to_string(), sa);
+        Ok(())
+    }
+
+    fn unbind(&self, addr: &str) {
+        self.shared
+            .registry
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(addr);
+    }
+
+    fn wire_stats(&self) -> (u64, u64) {
+        (
+            self.shared.frames_sent.load(Ordering::Relaxed),
+            self.shared.bytes_sent.load(Ordering::Relaxed),
+        )
+    }
+
+    fn as_transport(&self) -> Arc<dyn Transport> {
+        Arc::new(self.clone())
+    }
+
+    fn shutdown(&self) {
+        ReactorTransport::shutdown(self)
+    }
+}
+
+/// Builds the waker socket pair for one loop: `(write end, nonblocking
+/// read end)` over loopback TCP — std offers no `pipe(2)`.
+fn waker_pair() -> NetResult<(TcpStream, TcpStream)> {
+    let l = TcpListener::bind(("127.0.0.1", 0))?;
+    let w = TcpStream::connect(l.local_addr()?)?;
+    w.set_nodelay(true)?;
+    let (r, _) = l.accept()?;
+    r.set_nonblocking(true)?;
+    Ok((w, r))
+}
+
+// ---------------------------------------------------------------------
+// The event loop
+// ---------------------------------------------------------------------
+
+use std::os::fd::AsRawFd;
+
+/// What each pollfd slot refers to, rebuilt every iteration.
+enum Slot {
+    Waker,
+    Listener(usize),
+    Inbound(usize),
+    Outbound(usize),
+}
+
+fn event_loop(
+    cmds: Receiver<Cmd>,
+    waker: TcpStream,
+    outbound_map: Arc<Mutex<HashMap<SocketAddr, Arc<OutConn>>>>,
+    open: Arc<AtomicUsize>,
+) {
+    let mut listeners: Vec<BoundListener> = Vec::new();
+    let mut inbound: Vec<InConn> = Vec::new();
+    let mut outbound: Vec<Arc<OutConn>> = Vec::new();
+    let mut scratch = vec![0u8; READ_CHUNK];
+    let mut shutting_down = false;
+    let mut drain_deadline: Option<Instant> = None;
+    let mut last_progress = Instant::now();
+
+    loop {
+        // 1. Absorb injected sockets and commands. A disconnected command
+        //    channel means every transport clone is gone: shut down.
+        loop {
+            match cmds.try_recv() {
+                Ok(Cmd::AddListener(l)) => listeners.push(l),
+                Ok(Cmd::AddOutbound(c)) => outbound.push(c),
+                Ok(Cmd::Shutdown) | Err(TryRecvError::Disconnected) => {
+                    if !shutting_down {
+                        shutting_down = true;
+                        drain_deadline = Some(Instant::now() + SHUTDOWN_DRAIN);
+                        last_progress = Instant::now();
+                    }
+                    break;
+                }
+                Err(TryRecvError::Empty) => break,
+            }
+        }
+
+        // 2. Drop bindings whose inbox receiver is gone (unbound or
+        //    crashed node) — this is what frees their ports.
+        listeners.retain(|l| !l.inbox.is_disconnected());
+        inbound.retain(|c| {
+            if c.inbox.is_disconnected() {
+                open.fetch_sub(1, Ordering::Relaxed);
+                false
+            } else {
+                true
+            }
+        });
+
+        if shutting_down {
+            // Exit once our outbound queues are flushed AND inbound has
+            // gone quiet (peer loops may still be flushing toward our
+            // inboxes), or when the drain budget runs out.
+            let drained = outbound.iter().all(|c| !c.has_pending());
+            let quiet = Instant::now() >= last_progress + SHUTDOWN_LINGER;
+            let expired = drain_deadline.is_some_and(|d| Instant::now() >= d);
+            if (drained && quiet) || expired {
+                for c in &outbound {
+                    c.close();
+                    open.fetch_sub(1, Ordering::Relaxed);
+                }
+                open.fetch_sub(inbound.len(), Ordering::Relaxed);
+                return; // sockets close as their owners drop
+            }
+        }
+
+        // 3. Build the readiness set for this iteration.
+        let mut fds: Vec<PollFd> =
+            Vec::with_capacity(1 + listeners.len() + inbound.len() + outbound.len());
+        let mut slots: Vec<Slot> = Vec::with_capacity(fds.capacity());
+        fds.push(PollFd {
+            fd: waker.as_raw_fd(),
+            events: POLLIN,
+            revents: 0,
+        });
+        slots.push(Slot::Waker);
+        // Listeners stay live during shutdown: a peer loop's connection
+        // may still sit unaccepted in the backlog with flushed frames
+        // behind it (new *sends* are refused at the transport layer).
+        for (i, l) in listeners.iter().enumerate() {
+            fds.push(PollFd {
+                fd: l.sock.as_raw_fd(),
+                events: POLLIN,
+                revents: 0,
+            });
+            slots.push(Slot::Listener(i));
+        }
+        // Inbound connections are likewise read to the end, so frames a
+        // peer loop flushed during shutdown still land in their inboxes.
+        for (i, c) in inbound.iter().enumerate() {
+            fds.push(PollFd {
+                fd: c.sock.as_raw_fd(),
+                events: POLLIN,
+                revents: 0,
+            });
+            slots.push(Slot::Inbound(i));
+        }
+        for (i, c) in outbound.iter().enumerate() {
+            if c.has_pending() {
+                fds.push(PollFd {
+                    fd: c.sock.as_raw_fd(),
+                    events: POLLOUT,
+                    revents: 0,
+                });
+                slots.push(Slot::Outbound(i));
+            }
+        }
+
+        wait_ready(&mut fds, if shutting_down { 5 } else { POLL_TICK_MS });
+
+        // 4. Service ready fds. Removals are collected and applied after
+        //    the scan so slot indices stay valid.
+        let mut dead_in: Vec<usize> = Vec::new();
+        let mut dead_out: Vec<usize> = Vec::new();
+        for (fd, slot) in fds.iter().zip(slots.iter()) {
+            if fd.revents == 0 {
+                continue;
+            }
+            match *slot {
+                Slot::Waker => {
+                    // Coalesce wake bytes.
+                    while let Ok(n) = (&waker).read(&mut scratch) {
+                        if n == 0 {
+                            break;
+                        }
+                    }
+                }
+                Slot::Listener(i) => loop {
+                    match listeners[i].sock.accept() {
+                        Ok((stream, _)) => {
+                            if stream.set_nonblocking(true).is_err() {
+                                continue; // toss the one bad socket
+                            }
+                            let _ = stream.set_nodelay(true);
+                            open.fetch_add(1, Ordering::Relaxed);
+                            inbound.push(InConn {
+                                sock: stream,
+                                inbox: listeners[i].inbox.clone(),
+                                buf: Vec::new(),
+                            });
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                        // Transient accept failure (aborted handshake, fd
+                        // pressure): skip it, keep the listener alive.
+                        Err(_) => break,
+                    }
+                },
+                Slot::Inbound(i) => {
+                    // New inbound conns pushed during this scan sit past
+                    // the slot range, so `i` still addresses the right
+                    // connection.
+                    let conn = &mut inbound[i];
+                    let mut alive = true;
+                    loop {
+                        match (&conn.sock).read(&mut scratch) {
+                            Ok(0) => {
+                                alive = false;
+                                break;
+                            }
+                            Ok(n) => {
+                                last_progress = Instant::now();
+                                conn.buf.extend_from_slice(&scratch[..n]);
+                                if !conn.deliver_frames() {
+                                    alive = false;
+                                    break;
+                                }
+                            }
+                            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                            Err(_) => {
+                                alive = false;
+                                break;
+                            }
+                        }
+                    }
+                    if !alive {
+                        dead_in.push(i);
+                    }
+                }
+                Slot::Outbound(i) => {
+                    let hung = fd.revents & (POLLERR | POLLHUP) != 0;
+                    if hung || !outbound[i].flush() {
+                        if hung {
+                            outbound[i].close();
+                        }
+                        dead_out.push(i);
+                    }
+                }
+            }
+        }
+
+        for &i in dead_in.iter().rev() {
+            inbound.swap_remove(i);
+            open.fetch_sub(1, Ordering::Relaxed);
+        }
+        for &i in dead_out.iter().rev() {
+            let conn = outbound.swap_remove(i);
+            open.fetch_sub(1, Ordering::Relaxed);
+            // Unhook from the dial cache so the next send reconnects —
+            // unless a replacement already took the slot.
+            let mut cache = outbound_map.lock().unwrap_or_else(|e| e.into_inner());
+            if cache.get(&conn.peer).is_some_and(|c| Arc::ptr_eq(c, &conn)) {
+                cache.remove(&conn.peer);
+            }
+        }
+
+        // On the portable fallback `wait_ready` claims everything ready,
+        // so pending writes were already attempted above. On linux,
+        // POLLOUT registration covers it.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reactor() -> ReactorTransport {
+        ReactorTransport::start(ReactorConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn logical_bind_send_round_trip() {
+        let t = reactor();
+        let rx = t.bind("m/0").unwrap();
+        t.send("m/0", Bytes::from_static(b"hello reactor")).unwrap();
+        t.send("m/0", Bytes::from_static(b"second")).unwrap();
+        assert_eq!(
+            &rx.recv_timeout(Duration::from_secs(5)).unwrap()[..],
+            b"hello reactor"
+        );
+        assert_eq!(
+            &rx.recv_timeout(Duration::from_secs(5)).unwrap()[..],
+            b"second"
+        );
+        t.shutdown();
+    }
+
+    #[test]
+    fn unroutable_and_unbind() {
+        let t = reactor();
+        assert!(matches!(
+            t.send("ghost", Bytes::new()),
+            Err(NetError::Unroutable(_))
+        ));
+        let rx = t.bind("x").unwrap();
+        HostTransport::unbind(&t, "x");
+        assert!(t.send("x", Bytes::new()).is_err());
+        drop(rx);
+        t.shutdown();
+    }
+
+    #[test]
+    fn alias_funnels_to_one_inbox() {
+        let t = reactor();
+        let rx = t.bind("mailbox").unwrap();
+        HostTransport::alias(&t, "c/1", "mailbox").unwrap();
+        t.send("c/1", Bytes::from_static(b"via alias")).unwrap();
+        assert_eq!(
+            &rx.recv_timeout(Duration::from_secs(5)).unwrap()[..],
+            b"via alias"
+        );
+        assert!(HostTransport::alias(&t, "c/2", "ghost").is_err());
+        t.shutdown();
+    }
+
+    #[test]
+    fn order_preserved_per_sender() {
+        let t = reactor();
+        let rx = t.bind("dest").unwrap();
+        for i in 0..200u8 {
+            t.send("dest", Bytes::from(vec![i])).unwrap();
+        }
+        for i in 0..200u8 {
+            let got = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+            assert_eq!(got[0], i);
+        }
+        t.shutdown();
+    }
+
+    #[test]
+    fn cross_instance_via_real_address() {
+        let a = reactor();
+        let b = reactor();
+        let rx = a.bind("inbox").unwrap();
+        let real = a.local_addr("inbox").unwrap();
+        b.send(&real, Bytes::from_static(b"across instances"))
+            .unwrap();
+        assert_eq!(
+            &rx.recv_timeout(Duration::from_secs(5)).unwrap()[..],
+            b"across instances"
+        );
+        a.shutdown();
+        b.shutdown();
+    }
+
+    #[test]
+    fn tiny_write_queue_applies_backpressure_without_loss() {
+        let t = ReactorTransport::start(ReactorConfig {
+            write_queue_limit: 64,
+            ..ReactorConfig::default()
+        })
+        .unwrap();
+        let rx = t.bind("sink").unwrap();
+        let n = 300u16;
+        for i in 0..n {
+            t.send("sink", Bytes::from(i.to_le_bytes().to_vec()))
+                .unwrap();
+        }
+        for i in 0..n {
+            let got = rx.recv_timeout(Duration::from_secs(10)).unwrap();
+            assert_eq!(u16::from_le_bytes([got[0], got[1]]), i);
+        }
+        t.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_graceful_and_idempotent() {
+        let t = reactor();
+        let rx = t.bind("m/0").unwrap();
+        for _ in 0..50 {
+            t.send("m/0", Bytes::from_static(b"payload")).unwrap();
+        }
+        t.shutdown();
+        t.shutdown();
+        assert!(t.send("m/0", Bytes::new()).is_err());
+        // Everything enqueued before shutdown was drained to the peer.
+        let mut got = 0;
+        while rx.recv_timeout(Duration::from_millis(200)).is_ok() {
+            got += 1;
+        }
+        assert_eq!(got, 50);
+    }
+
+    #[test]
+    fn wire_stats_count_payload_bytes() {
+        let t = reactor();
+        let _rx = t.bind("m/0").unwrap();
+        t.send("m/0", Bytes::from_static(b"12345")).unwrap();
+        t.send("m/0", Bytes::from_static(b"678")).unwrap();
+        let (frames, bytes) = HostTransport::wire_stats(&t);
+        assert_eq!(frames, 2);
+        assert_eq!(bytes, 8);
+        t.shutdown();
+    }
+}

@@ -1,9 +1,15 @@
-//! Engine parity: the threaded cluster and the discrete-event simulator
-//! are two hosts around the *same* sans-IO engines, so under a policy
-//! whose decisions depend only on the engine's seeded RNG (uniform
-//! random) the two deployments must route every publication identically —
-//! same matcher, same dimension, same order — and produce the same total
-//! match-hit count.
+//! Engine parity: the threaded cluster (over either base transport) and
+//! the discrete-event simulator are hosts around the *same* sans-IO
+//! engines, so under a policy whose decisions depend only on the engine's
+//! seeded RNG (uniform random) every deployment must route every
+//! publication identically — same matcher, same dimension, same order —
+//! and produce the same total match-hit count.
+//!
+//! Three hosts are compared:
+//! - the simulator (virtual time, in-memory queues),
+//! - the threaded cluster over in-process channels,
+//! - the threaded cluster over the nonblocking reactor (real loopback
+//!   TCP sockets owned by a fixed set of event loops).
 //!
 //! Setup that makes the comparison exact: one dispatcher (its engine seed
 //! is then the cluster seed, matching the simulator's single shared
@@ -15,10 +21,11 @@
 //! Runs on three fixed seeds; `CHAOS_SEED=<u64>` runs an extra replay
 //! seed, which is how the CI chaos matrix sweeps it.
 
-use bluedove::cluster::{Cluster, ClusterConfig, PolicyKind};
+use bluedove::cluster::{Cluster, ClusterConfig, PolicyKind, TransportKind};
 use bluedove::core::{
     DimIdx, IndexKind, MatcherId, Message, MessageId, RandomPolicy, Subscription,
 };
+use bluedove::net::ReactorConfig;
 use bluedove::sim::{SimCluster, SimConfig, Strategy};
 use bluedove::workload::PaperWorkload;
 use std::time::{Duration, Instant};
@@ -32,6 +39,8 @@ const SUBS: usize = 300;
 const MSGS: usize = 800;
 const MATCHERS: u32 = 6;
 
+type ForwardTrace = Vec<(MessageId, MatcherId, DimIdx)>;
+
 fn workload(seed: u64) -> (Vec<Subscription>, Vec<Message>, PaperWorkload) {
     let w = PaperWorkload {
         seed,
@@ -42,15 +51,11 @@ fn workload(seed: u64) -> (Vec<Subscription>, Vec<Message>, PaperWorkload) {
     (subs, msgs, w)
 }
 
-/// Runs the sim and the threaded cluster with the given coalescing depth
-/// (`max_batch == 1` = batching off), asserts their forward traces are
-/// identical, and returns the agreed trace so callers can compare runs
-/// *across* batch modes too.
-fn parity_for_seed(seed: u64, max_batch: usize) -> Vec<(MessageId, MatcherId, DimIdx)> {
+/// Runs the simulator host; returns its forward trace and total match
+/// hits.
+fn sim_trace(seed: u64, max_batch: usize) -> (ForwardTrace, u64) {
     let (subs, msgs, w) = workload(seed);
     let space = w.space();
-
-    // --- Simulator host -------------------------------------------------
     let base = SimConfig::default();
     let mut engine = bluedove::engine::EngineConfig {
         record_forwards: true,
@@ -74,10 +79,16 @@ fn parity_for_seed(seed: u64, max_batch: usize) -> Vec<(MessageId, MatcherId, Di
     sim.drain(20.0);
     assert_eq!(sim.metrics.total_sent, MSGS as u64);
     assert_eq!(sim.metrics.total_delivered, MSGS as u64);
-    let sim_log = sim.forward_log().to_vec();
-    assert_eq!(sim_log.len(), MSGS, "sim must forward every message once");
+    let log = sim.forward_log().to_vec();
+    assert_eq!(log.len(), MSGS, "sim must forward every message once");
+    (log, sim.metrics.total_matches)
+}
 
-    // --- Threaded host --------------------------------------------------
+/// Runs the threaded cluster host over the given base transport; returns
+/// its forward trace and quiesced delivery count.
+fn cluster_trace(seed: u64, max_batch: usize, transport: TransportKind) -> (ForwardTrace, u64) {
+    let (subs, msgs, w) = workload(seed);
+    let space = w.space();
     let mut cluster = Cluster::start(
         ClusterConfig::new(space.clone())
             .matchers(MATCHERS)
@@ -88,7 +99,8 @@ fn parity_for_seed(seed: u64, max_batch: usize) -> Vec<(MessageId, MatcherId, Di
             .publication_acks(false)
             .record_forwards(true)
             .max_batch(max_batch)
-            .max_delay(Duration::from_secs_f64(BATCH_DELAY)),
+            .max_delay(Duration::from_secs_f64(BATCH_DELAY))
+            .transport(transport),
     );
     // Rebuild each subscription through the cluster's client path (ids are
     // re-stamped by the dispatcher; the predicates are what must match).
@@ -107,7 +119,7 @@ fn parity_for_seed(seed: u64, max_batch: usize) -> Vec<(MessageId, MatcherId, Di
     }
     // Every message forwards exactly once (no faults, no acks): wait for
     // the full trace, then for the delivery counter to quiesce.
-    let deadline = Instant::now() + Duration::from_secs(60);
+    let deadline = Instant::now() + Duration::from_secs(120);
     while cluster.forward_log().len() < MSGS {
         assert!(
             Instant::now() < deadline,
@@ -126,26 +138,50 @@ fn parity_for_seed(seed: u64, max_batch: usize) -> Vec<(MessageId, MatcherId, Di
         deliveries = again;
         assert!(Instant::now() < deadline, "deliveries never quiesced");
     }
-    let cluster_log = cluster.forward_log();
+    let log = cluster.forward_log();
     cluster.shutdown();
+    (log, deliveries)
+}
 
-    // --- The engines must have made identical decisions -----------------
+fn assert_traces_match(seed: u64, host: &str, got: &ForwardTrace, want: &ForwardTrace) {
     assert_eq!(
-        cluster_log.len(),
-        sim_log.len(),
-        "forward counts diverged (seed {seed})"
+        got.len(),
+        want.len(),
+        "forward counts diverged (seed {seed}, host {host})"
     );
-    for (i, (c, s)) in cluster_log.iter().zip(sim_log.iter()).enumerate() {
+    for (i, (c, s)) in got.iter().zip(want.iter()).enumerate() {
         assert_eq!(
             c, s,
-            "forward #{i} diverged (seed {seed}): threaded {c:?} vs sim {s:?}"
+            "forward #{i} diverged (seed {seed}, host {host}): {c:?} vs sim {s:?}"
         );
     }
+}
+
+/// Sim vs threaded-over-channels with the given coalescing depth
+/// (`max_batch == 1` = batching off); returns the agreed trace so callers
+/// can compare *across* batch modes too.
+fn parity_for_seed(seed: u64, max_batch: usize) -> ForwardTrace {
+    let (sim_log, sim_matches) = sim_trace(seed, max_batch);
+    let (cluster_log, deliveries) = cluster_trace(seed, max_batch, TransportKind::Channel);
+    assert_traces_match(seed, "threaded/channel", &cluster_log, &sim_log);
     assert_eq!(
-        deliveries, sim.metrics.total_matches,
+        deliveries, sim_matches,
         "total match-hit counts diverged (seed {seed})"
     );
     sim_log
+}
+
+/// Sim vs threaded-over-reactor: real loopback sockets, fixed event-loop
+/// threads — the forward sequence must still be bit-identical.
+fn reactor_parity_for_seed(seed: u64) {
+    let (sim_log, sim_matches) = sim_trace(seed, 1);
+    let (reactor_log, deliveries) =
+        cluster_trace(seed, 1, TransportKind::Reactor(ReactorConfig::default()));
+    assert_traces_match(seed, "threaded/reactor", &reactor_log, &sim_log);
+    assert_eq!(
+        deliveries, sim_matches,
+        "total match-hit counts diverged (seed {seed}, reactor host)"
+    );
 }
 
 /// Both hosts agree with batching off AND with batching on, and the two
@@ -190,6 +226,32 @@ fn engine_parity_batched_seed_1337() {
     batched_parity_for_seed(1337);
 }
 
+#[test]
+fn engine_parity_reactor_seed_7() {
+    reactor_parity_for_seed(7);
+}
+
+#[test]
+fn engine_parity_reactor_seed_42() {
+    reactor_parity_for_seed(42);
+}
+
+#[test]
+fn engine_parity_reactor_seed_1337() {
+    reactor_parity_for_seed(1337);
+}
+
+/// All three hosts head-to-head on one seed: sim, threaded-over-channels
+/// and threaded-over-reactor produce one forward sequence.
+#[test]
+fn engine_parity_three_hosts_seed_7() {
+    let (sim_log, _) = sim_trace(7, 1);
+    let (channel_log, _) = cluster_trace(7, 1, TransportKind::Channel);
+    let (reactor_log, _) = cluster_trace(7, 1, TransportKind::Reactor(ReactorConfig::default()));
+    assert_traces_match(7, "threaded/channel", &channel_log, &sim_log);
+    assert_traces_match(7, "threaded/reactor", &reactor_log, &sim_log);
+}
+
 /// Extra sweep seed for the CI chaos matrix (`CHAOS_SEED=<u64>`); a no-op
 /// when the variable is unset (the fixed seeds above still run).
 #[test]
@@ -200,5 +262,6 @@ fn engine_parity_env_seed() {
     {
         println!("engine parity replay: seed={seed}");
         batched_parity_for_seed(seed);
+        reactor_parity_for_seed(seed);
     }
 }

@@ -32,10 +32,11 @@ struct TcpPeer {
 }
 
 impl TcpPeer {
-    fn new(port: u16, id: u64) -> Self {
-        let addr = format!("127.0.0.1:{port}");
+    fn new(id: u64) -> Self {
+        // Bind to an OS-assigned port and advertise the actual address —
+        // fixed high ports collide across parallel test runs.
         let transport = TcpTransport::new();
-        let rx = transport.bind(&addr).expect("bind tcp");
+        let (addr, rx) = transport.bind_ephemeral("127.0.0.1").expect("bind tcp");
         let node = GossipNode::new(EndpointState::new(
             NodeId(id),
             NodeRole::Matcher,
@@ -80,8 +81,7 @@ impl TcpPeer {
 
 #[test]
 fn gossip_converges_over_real_tcp() {
-    let base = 41_800u16; // fixed high ports for the test
-    let mut peers: Vec<TcpPeer> = (0..3).map(|i| TcpPeer::new(base + i as u16, i)).collect();
+    let mut peers: Vec<TcpPeer> = (0..3).map(TcpPeer::new).collect();
     // Each node initially knows only node 0 (the seed).
     let seed_state = peers[0].node.own().clone();
     for p in peers.iter_mut().skip(1) {
@@ -141,8 +141,7 @@ fn control_messages_cross_tcp_intact() {
     use bluedove::core::{DimIdx, Message};
 
     let transport = TcpTransport::new();
-    let addr = "127.0.0.1:41810";
-    let rx = transport.bind(addr).expect("bind");
+    let (addr, rx) = transport.bind_ephemeral("127.0.0.1").expect("bind");
     let sender = TcpTransport::new();
 
     let msg = ControlMsg::MatchMsg {
@@ -151,7 +150,7 @@ fn control_messages_cross_tcp_intact() {
         admitted_us: 123_456_789,
         ack_to: "d/0".into(),
     };
-    sender.send(addr, to_bytes(&msg).freeze()).expect("send");
+    sender.send(&addr, to_bytes(&msg).freeze()).expect("send");
     let payload = rx.recv_timeout(Duration::from_secs(5)).expect("recv");
     let back: ControlMsg = from_bytes(&payload).expect("decode");
     assert_eq!(back, msg);

@@ -149,6 +149,14 @@ pub mod channel {
     }
 
     impl<T> Sender<T> {
+        /// True when every receiver has been dropped, i.e. a `send` would
+        /// fail. Lets producers that block in syscalls between sends (the
+        /// TCP acceptor loop) notice an abandoned inbox without paying for
+        /// a probe message.
+        pub fn is_disconnected(&self) -> bool {
+            self.shared.receivers.load(Ordering::SeqCst) == 0
+        }
+
         /// Sends a value; fails only when every receiver has been dropped.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
             if self.shared.receivers.load(Ordering::SeqCst) == 0 {
