@@ -5,8 +5,8 @@
 //! interval tree" and the §III-A claim that separate per-dimension sets
 //! (smaller sets → fewer examined) are the key to matching throughput.
 
-use bluedove_core::{DimIdx, IndexKind, Message};
-use bluedove_workload::PaperWorkload;
+use bluedove_core::{DimIdx, IndexKind, InnerKind, Message};
+use bluedove_workload::{CoverableWorkload, PaperWorkload};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 fn bench_matching(c: &mut Criterion) {
@@ -64,9 +64,67 @@ fn bench_insert(c: &mut Criterion) {
                 for s in &subs {
                     idx.insert(s.clone());
                 }
-                idx.len()
+                idx.logical_len()
             });
         });
+    }
+    group.finish();
+}
+
+/// Covering ablation on the coverable workload: the covering-wrapped
+/// index vs. its bare inner, same subscriptions and probe stream. The
+/// setup pass prints physical/logical compression and the memory
+/// footprint of each variant (criterion times the matching only).
+fn bench_covering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index_covering");
+    for &size in &[20_000usize, 100_000] {
+        let w = CoverableWorkload {
+            seed: 3,
+            ..Default::default()
+        };
+        let subs = w.subscriptions().take(size);
+        let msgs = w.messages().take(256);
+        group.throughput(Throughput::Elements(msgs.len() as u64));
+        for (label, kind) in [
+            ("bare-cell64", IndexKind::Cell(64)),
+            (
+                "covering-cell64",
+                IndexKind::Covering {
+                    inner: InnerKind::Cell(64),
+                },
+            ),
+            ("bare-interval-tree", IndexKind::IntervalTree),
+            (
+                "covering-interval-tree",
+                IndexKind::Covering {
+                    inner: InnerKind::IntervalTree,
+                },
+            ),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, size), &size, |b, _| {
+                let mut idx = kind.build(&w.space(), DimIdx(0));
+                for s in &subs {
+                    idx.insert(s.clone());
+                }
+                println!(
+                    "index_covering/{label}/{size}: logical={} physical={} \
+                     covering_ratio={:.2} memory_bytes={}",
+                    idx.logical_len(),
+                    idx.physical_len(),
+                    idx.logical_len() as f64 / idx.physical_len() as f64,
+                    idx.memory_bytes()
+                );
+                let mut out = Vec::new();
+                let mut i = 0;
+                idx.matching(&msgs[0], &mut out);
+                b.iter(|| {
+                    out.clear();
+                    let m: &Message = &msgs[i % msgs.len()];
+                    i += 1;
+                    idx.matching(m, &mut out)
+                });
+            });
+        }
     }
     group.finish();
 }
@@ -74,6 +132,6 @@ fn bench_insert(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_matching, bench_insert
+    targets = bench_matching, bench_insert, bench_covering
 }
 criterion_main!(benches);

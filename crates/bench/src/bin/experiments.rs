@@ -1214,6 +1214,32 @@ fn bench_trajectory(cfg: &ExpConfig, args: &[String]) {
         scfg.saturation_rate(System::BlueDove, MATCHERS)
     };
 
+    // Covering compression probe: the coverable workload through the
+    // covering decorator (one per-dimension index, the same shape the
+    // `bench_index` covering group measures). Reported so the trajectory
+    // tracks the memory/compression story alongside the throughput story.
+    let (covering_ratio, index_memory_bytes) = {
+        use bluedove_core::{DimIdx, IndexKind, InnerKind};
+        let cw = bluedove_workload::CoverableWorkload {
+            k: 2,
+            seed: 77,
+            ..Default::default()
+        };
+        let csp = cw.space();
+        let n: usize = if quick { 50_000 } else { 200_000 };
+        let mut idx = (IndexKind::Covering {
+            inner: InnerKind::Cell(64),
+        })
+        .build(&csp, DimIdx(0));
+        for s in cw.subscriptions().take(n) {
+            idx.insert(s);
+        }
+        (
+            idx.logical_len() as f64 / idx.physical_len().max(1) as f64,
+            idx.memory_bytes(),
+        )
+    };
+
     let num = Json::Num;
     let mode_json = |m: &ModeStats| {
         Json::Obj(vec![
@@ -1263,6 +1289,11 @@ fn bench_trajectory(cfg: &ExpConfig, args: &[String]) {
         ("reactor_host".into(), mode_json(&reactor)),
         ("speedup".into(), num((speedup * 100.0).round() / 100.0)),
         ("saturation_rate_msgs_per_sec".into(), num(sat.round())),
+        ("index_memory_bytes".into(), num(index_memory_bytes as f64)),
+        (
+            "covering_ratio".into(),
+            num((covering_ratio * 100.0).round() / 100.0),
+        ),
     ]);
 
     // Self-check against the committed schema when it is reachable (the
@@ -1308,6 +1339,10 @@ fn bench_trajectory(cfg: &ExpConfig, args: &[String]) {
     println!(
         "    speedup: {speedup:.2}x   sim saturation @ depth {MAX_BATCH}: {}",
         fmt_rate(sat).trim()
+    );
+    println!(
+        "    covering: {covering_ratio:.1}x logical/physical, index {index_memory_bytes} B \
+         (coverable workload, Covering{{Cell(64)}})"
     );
     println!("    wrote {out}");
 }

@@ -154,6 +154,14 @@ struct MatcherTelemetry {
     /// Current depth of each dimension's queue, refreshed on the stats
     /// tick (the same cadence as the `(q, λ, µ)` load reports).
     queue_depth: Vec<Gauge>,
+    /// Logical subscription copies held (what the forwarding contract
+    /// owes), refreshed on the stats tick.
+    subs_logical: Gauge,
+    /// Physical index entries held — under a covering index this is the
+    /// representative count, so `physical < logical` is the live signal
+    /// that covering is engaged, and recovery tests can assert a
+    /// restarted matcher rebuilds the same logical/physical split.
+    subs_physical: Gauge,
     /// Syn → Ack round trip per gossip exchange, µs.
     gossip_round: Histogram,
     /// Time from first noticing a non-live peer until the failure
@@ -191,6 +199,16 @@ impl MatcherTelemetry {
                     )
                 })
                 .collect(),
+            subs_logical: r.gauge(
+                "bluedove_matcher_subscriptions_logical",
+                "logical subscription copies held, per matcher",
+                &by_matcher,
+            ),
+            subs_physical: r.gauge(
+                "bluedove_matcher_subscriptions_physical",
+                "physical index entries held (covering representatives), per matcher",
+                &by_matcher,
+            ),
             gossip_round: r.histogram(
                 "bluedove_gossip_round_us",
                 "Syn to Ack round trip per gossip exchange, microseconds",
@@ -483,6 +501,10 @@ fn run(
             let now = shared.now();
             let dispatchers = shared.dispatcher_addrs.read().clone();
             let observers = shared.load_observers.read().clone();
+            telemetry.subs_logical.set(engine.total_subs() as i64);
+            telemetry
+                .subs_physical
+                .set(engine.total_physical_subs() as i64);
             let mut reports = Vec::with_capacity(k);
             for d in 0..k {
                 let dim = DimIdx(d as u16);

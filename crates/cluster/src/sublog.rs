@@ -703,6 +703,65 @@ mod tests {
         assert_eq!(engine.total_subs(), 1);
     }
 
+    /// Covering is derived state: the unchanged Store/Remove record
+    /// stream must rebuild identical covering groups on replay — the
+    /// live insert path, a clean replay on a fresh engine, and an
+    /// overlapping catch-up replay (crash recovery re-applying records
+    /// the engine already holds) all converge to the same groups.
+    #[test]
+    fn replay_rebuilds_covering_groups_identically() {
+        let kind = bluedove_core::IndexKind::Covering {
+            inner: bluedove_core::InnerKind::Cell(8),
+        };
+        let recs = vec![
+            store(1, 0.0, 50.0),  // template A
+            store(2, 5.0, 20.0),  // covered by A
+            store(3, 10.0, 40.0), // covered by A
+            store(4, 60.0, 90.0), // template B
+            store(5, 70.0, 80.0), // covered by B
+            SubLogRecord::Remove {
+                dim: DimIdx(0),
+                sub: SubscriptionId(1),
+            }, // dissolves A: 2 promoted, 3 re-covered under... 2? (5..20 vs 10..40: no) → both reps
+            store(6, 0.0, 45.0),  // new cover arrives *after* the dissolution
+            store(3, 10.0, 40.0), // re-registration joins 6's group
+        ];
+
+        // Live path: the host applies each record as it logs it.
+        let mut live = MatcherEngine::new(MatcherId(1), space(), kind, 64);
+        for r in &recs {
+            r.apply(&mut live);
+        }
+        // Clean replay on a fresh engine (failover heir).
+        let mut replayed = MatcherEngine::new(MatcherId(2), space(), kind, 64);
+        for r in &recs {
+            r.apply(&mut replayed);
+        }
+        // Catch-up replay: a restarted matcher re-applies the whole log
+        // over state it already holds from a partial run.
+        let mut caught_up = MatcherEngine::new(MatcherId(3), space(), kind, 64);
+        for r in recs.iter().take(5) {
+            r.apply(&mut caught_up);
+        }
+        for r in &recs {
+            r.apply(&mut caught_up);
+        }
+
+        let groups = live.covering_groups(DimIdx(0)).expect("covering enabled");
+        assert!(!groups.is_empty());
+        assert!(
+            groups
+                .iter()
+                .any(|(rep, members)| *rep == SubscriptionId(6)
+                    && members.contains(&SubscriptionId(3))),
+            "re-registered member should join the later cover: {groups:?}"
+        );
+        assert_eq!(groups, replayed.covering_groups(DimIdx(0)).unwrap());
+        assert_eq!(groups, caught_up.covering_groups(DimIdx(0)).unwrap());
+        assert_eq!(live.total_subs(), replayed.total_subs());
+        assert_eq!(live.total_subs(), caught_up.total_subs());
+    }
+
     #[test]
     fn own_appends_survive_reopen() {
         let dir = tmpdir("own");

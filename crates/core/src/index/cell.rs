@@ -113,8 +113,19 @@ impl MatchIndex for CellIndex {
         examined
     }
 
-    fn len(&self) -> usize {
+    fn logical_len(&self) -> usize {
         self.slab.len()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let buckets = self.cells.capacity() * size_of::<Vec<usize>>();
+        let links: usize = self
+            .cells
+            .iter()
+            .map(|c| c.capacity() * size_of::<usize>())
+            .sum();
+        size_of::<Self>() + self.slab.memory_bytes() + buckets + links
     }
 
     fn extract_overlapping(&mut self, range: &Range) -> Vec<Subscription> {
@@ -213,6 +224,6 @@ mod tests {
         for v in [10.0, 400.0, 990.0] {
             assert_eq!(idx.matching(&Message::new(vec![v, 0.0]), &mut out), 0);
         }
-        assert_eq!(idx.len(), 0);
+        assert_eq!(idx.logical_len(), 0);
     }
 }

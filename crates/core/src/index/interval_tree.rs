@@ -171,8 +171,19 @@ impl MatchIndex for IntervalTreeIndex {
         examined
     }
 
-    fn len(&self) -> usize {
+    fn logical_len(&self) -> usize {
         self.slab.len()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        fn node_bytes(n: &Node) -> usize {
+            size_of::<Node>()
+                + (n.by_lo.capacity() + n.by_hi.capacity()) * size_of::<(f64, usize)>()
+                + n.left.as_deref().map_or(0, node_bytes)
+                + n.right.as_deref().map_or(0, node_bytes)
+        }
+        size_of::<Self>() + self.slab.memory_bytes() + self.root.as_deref().map_or(0, node_bytes)
     }
 
     fn extract_overlapping(&mut self, range: &Range) -> Vec<Subscription> {

@@ -52,8 +52,12 @@ impl MatchIndex for LinearScanIndex {
         examined
     }
 
-    fn len(&self) -> usize {
+    fn logical_len(&self) -> usize {
         self.slab.len()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.slab.memory_bytes()
     }
 
     fn extract_overlapping(&mut self, range: &Range) -> Vec<Subscription> {
@@ -104,7 +108,7 @@ mod tests {
         let mut idx = LinearScanIndex::new(DimIdx(0));
         idx.insert(sub(&space, 5, &[(0, 0.0, 10.0)]));
         idx.insert(sub(&space, 5, &[(0, 100.0, 110.0)]));
-        assert_eq!(idx.len(), 1);
+        assert_eq!(idx.logical_len(), 1);
         let mut out = Vec::new();
         idx.matching(&Message::new(vec![105.0, 0.0]), &mut out);
         assert_eq!(out.len(), 1);

@@ -18,12 +18,21 @@
 //!   A point query scans one cell.
 //! - [`IntervalTreeIndex`] — a centered interval tree over the copy
 //!   dimension's predicate ranges; stabbing queries in `O(log n + m)`.
+//!
+//! A fourth kind, [`CoveringIndex`], is a *decorator* around any of the
+//! three: subscriptions whose hyper-cuboid is subsumed by an already-stored
+//! representative are held as covered group members and never enter the
+//! inner structure, so physical state and per-message examined counts
+//! shrink with workload redundancy while the logical subscription set — and
+//! every match set — is unchanged.
 
 mod cell;
+mod covering;
 mod interval_tree;
 mod linear;
 
 pub use cell::CellIndex;
+pub use covering::CoveringIndex;
 pub use interval_tree::IntervalTreeIndex;
 pub use linear::LinearScanIndex;
 
@@ -55,16 +64,42 @@ pub trait MatchIndex: Send {
 
     /// Appends every subscription matching `msg` to `out` and returns the
     /// number of subscriptions *examined* (the quantity the paper's
-    /// matching-cost argument is about).
+    /// matching-cost argument is about). Under covering this counts the
+    /// physical work actually done — inner-index probes plus covered
+    /// members scanned — not the logical set size.
     fn matching(&mut self, msg: &Message, out: &mut Vec<MatchHit>) -> usize;
 
-    /// Number of subscriptions stored — the `|Si(Mj)|` the
-    /// subscription-count forwarding policy keys on.
-    fn len(&self) -> usize;
+    /// Number of subscriptions *logically* stored — every registration a
+    /// subscriber made, whether physically indexed or held as a covered
+    /// group member. This is the `|Si(Mj)|` the subscription-count
+    /// forwarding policy and the autoscaler's `LoadSnapshot` key on.
+    fn logical_len(&self) -> usize;
 
-    /// Whether the set is empty.
+    /// Number of entries *physically* present in the index structure —
+    /// the per-message matching-cost driver. Equal to [`logical_len`]
+    /// for bare indexes; under covering only representatives count.
+    ///
+    /// [`logical_len`]: MatchIndex::logical_len
+    fn physical_len(&self) -> usize {
+        self.logical_len()
+    }
+
+    /// Estimated resident bytes of the index (slab slots, id maps, cell
+    /// or tree structure, covering group tables). An estimate — used for
+    /// the covering-vs-bare footprint comparison, not an allocator query.
+    fn memory_bytes(&self) -> usize;
+
+    /// Covering groups as `(representative id, covered member ids)` in
+    /// ascending representative order, or `None` for bare indexes.
+    /// Member order is insertion order — deterministic, so replayed and
+    /// live-built indexes can be compared verbatim.
+    fn covering_groups(&self) -> Option<Vec<(SubscriptionId, Vec<SubscriptionId>)>> {
+        None
+    }
+
+    /// Whether the set is logically empty.
     fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.logical_len() == 0
     }
 
     /// Removes and returns every subscription whose predicate along the
@@ -85,6 +120,39 @@ pub enum IndexKind {
     Cell(usize),
     /// Centered interval tree (rebuilt lazily after mutation).
     IntervalTree,
+    /// Covering decorator: subsumed subscriptions are held as covered
+    /// members of a representative and only representatives enter the
+    /// wrapped structure. Match sets are identical to the bare inner
+    /// kind; physical state and examined counts shrink with workload
+    /// redundancy.
+    Covering {
+        /// The physically indexed structure representatives live in.
+        inner: InnerKind,
+    },
+}
+
+/// The index structures a [`CoveringIndex`] can wrap. A separate enum
+/// (rather than `Box<IndexKind>`) keeps [`IndexKind`] `Copy` and rules
+/// out covering-of-covering by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InnerKind {
+    /// Scan every representative.
+    Linear,
+    /// Uniform bucketing with this many cells.
+    Cell(usize),
+    /// Centered interval tree.
+    IntervalTree,
+}
+
+impl InnerKind {
+    /// The equivalent bare (uncovered) index kind.
+    pub fn bare(self) -> IndexKind {
+        match self {
+            InnerKind::Linear => IndexKind::Linear,
+            InnerKind::Cell(cells) => IndexKind::Cell(cells),
+            InnerKind::IntervalTree => IndexKind::IntervalTree,
+        }
+    }
 }
 
 impl IndexKind {
@@ -94,6 +162,7 @@ impl IndexKind {
             IndexKind::Linear => Box::new(LinearScanIndex::new(dim)),
             IndexKind::Cell(cells) => Box::new(CellIndex::new(space, dim, cells)),
             IndexKind::IntervalTree => Box::new(IntervalTreeIndex::new(dim)),
+            IndexKind::Covering { inner } => Box::new(CoveringIndex::new(space, dim, inner)),
         }
     }
 }
@@ -109,19 +178,31 @@ pub(crate) struct Slab {
 
 impl Slab {
     pub(crate) fn insert(&mut self, sub: Subscription) -> (usize, Option<Subscription>) {
-        let prev = self.remove(sub.id);
-        let slot = match self.free.pop() {
-            Some(s) => {
-                self.subs[s] = Some(sub.clone());
-                s
+        use std::collections::hash_map::Entry;
+        match self.by_id.entry(sub.id) {
+            // Re-registration: the id keeps its slot, so callers that
+            // track slot-linked structure see the same slot with the
+            // previous subscription returned for unlinking.
+            Entry::Occupied(e) => {
+                let slot = *e.get();
+                let prev = self.subs[slot].replace(sub);
+                (slot, prev)
             }
-            None => {
-                self.subs.push(Some(sub.clone()));
-                self.subs.len() - 1
+            Entry::Vacant(e) => {
+                let slot = match self.free.pop() {
+                    Some(s) => {
+                        self.subs[s] = Some(sub);
+                        s
+                    }
+                    None => {
+                        self.subs.push(Some(sub));
+                        self.subs.len() - 1
+                    }
+                };
+                e.insert(slot);
+                (slot, None)
             }
-        };
-        self.by_id.insert(sub.id, slot);
-        (slot, prev)
+        }
     }
 
     pub(crate) fn remove(&mut self, id: SubscriptionId) -> Option<Subscription> {
@@ -141,6 +222,20 @@ impl Slab {
 
     pub(crate) fn iter(&self) -> impl Iterator<Item = &Subscription> {
         self.subs.iter().filter_map(|s| s.as_ref())
+    }
+
+    /// Estimated resident bytes: slot vector, out-of-line predicate
+    /// ranges, id map (entry + one control byte per bucket), free list.
+    pub(crate) fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let slots = self.subs.capacity() * size_of::<Option<Subscription>>();
+        let ranges: usize = self
+            .iter()
+            .map(|s| s.predicates.capacity() * size_of::<Range>())
+            .sum();
+        let map = self.by_id.capacity() * (size_of::<(SubscriptionId, usize)>() + 1);
+        let free = self.free.capacity() * size_of::<usize>();
+        slots + ranges + map + free
     }
 }
 
@@ -183,7 +278,9 @@ pub(crate) mod test_support {
         for s in &subs {
             idx.insert(s.clone());
         }
-        assert_eq!(idx.len(), 40);
+        assert_eq!(idx.logical_len(), 40);
+        assert!(idx.physical_len() <= idx.logical_len());
+        assert!(idx.memory_bytes() > 0);
 
         for probe in 0..25 {
             let msg = Message::new(vec![
@@ -208,7 +305,7 @@ pub(crate) mod test_support {
         let removed = idx.remove(SubscriptionId(0)).expect("sub 0 present");
         assert_eq!(removed.id, SubscriptionId(0));
         assert!(idx.remove(SubscriptionId(0)).is_none());
-        assert_eq!(idx.len(), 39);
+        assert_eq!(idx.logical_len(), 39);
 
         // Extraction along the copy dimension.
         let extracted = idx.extract_overlapping(&Range::new(0.0, 300.0));
@@ -260,6 +357,15 @@ mod tests {
             IndexKind::Linear,
             IndexKind::Cell(64),
             IndexKind::IntervalTree,
+            IndexKind::Covering {
+                inner: InnerKind::Linear,
+            },
+            IndexKind::Covering {
+                inner: InnerKind::Cell(64),
+            },
+            IndexKind::Covering {
+                inner: InnerKind::IntervalTree,
+            },
         ] {
             let idx = kind.build(&space, DimIdx(1));
             assert_eq!(idx.dim(), DimIdx(1));

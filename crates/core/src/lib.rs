@@ -41,7 +41,7 @@ pub mod subscription;
 
 pub use error::{CoreError, CoreResult};
 pub use ids::{DimIdx, DispatcherId, MatcherId, MessageId, SubscriberId, SubscriptionId};
-pub use index::{IndexKind, MatchHit, MatchIndex};
+pub use index::{CoveringIndex, IndexKind, InnerKind, MatchHit, MatchIndex};
 pub use matcher::MatcherCore;
 pub use message::Message;
 pub use partition::{Assignment, MPartition, PartitionStrategy, Segment, SegmentTable};

@@ -110,14 +110,41 @@ impl MatcherCore {
         self.sets[dim.index()].extract_overlapping(range)
     }
 
-    /// Number of subscriptions in the dimension-`dim` set (`|Si(Mj)|`).
+    /// Number of subscriptions *logically* stored in the dimension-`dim`
+    /// set (`|Si(Mj)|`) — what the forwarding policy and autoscaler see.
     pub fn sub_count(&self, dim: DimIdx) -> usize {
-        self.sets[dim.index()].len()
+        self.sets[dim.index()].logical_len()
     }
 
-    /// Total copies stored across all dimensions.
+    /// Total logical copies stored across all dimensions.
     pub fn total_subs(&self) -> usize {
-        self.sets.iter().map(|s| s.len()).sum()
+        self.sets.iter().map(|s| s.logical_len()).sum()
+    }
+
+    /// Number of entries *physically* indexed in the dimension-`dim` set —
+    /// representatives only under covering, the matching-cost driver.
+    pub fn physical_sub_count(&self, dim: DimIdx) -> usize {
+        self.sets[dim.index()].physical_len()
+    }
+
+    /// Total physically indexed entries across all dimensions.
+    pub fn total_physical_subs(&self) -> usize {
+        self.sets.iter().map(|s| s.physical_len()).sum()
+    }
+
+    /// Estimated resident bytes of all per-dimension indexes.
+    pub fn index_memory_bytes(&self) -> usize {
+        self.sets.iter().map(|s| s.memory_bytes()).sum()
+    }
+
+    /// Covering groups of the dimension-`dim` set (`None` for bare
+    /// indexes) — representative ids with their covered member ids, in a
+    /// deterministic order for cross-host comparison.
+    pub fn covering_groups(
+        &self,
+        dim: DimIdx,
+    ) -> Option<Vec<(SubscriptionId, Vec<SubscriptionId>)>> {
+        self.sets[dim.index()].covering_groups()
     }
 
     /// Records that a message for dimension `dim` arrived at `t` (feeds λ).
@@ -151,7 +178,9 @@ impl MatcherCore {
     /// dispatchers; the host supplies its current queue length.
     pub fn stats_report(&mut self, dim: DimIdx, queue_len: usize, t: Time) -> DimStats {
         DimStats {
-            sub_count: self.sets[dim.index()].len(),
+            // Logical count: a covered subscription still contributes its
+            // full share to the |Si(Mj)| the forwarding policy keys on.
+            sub_count: self.sets[dim.index()].logical_len(),
             queue_len,
             lambda: self.arrivals[dim.index()].rate(t),
             mu: self.services[dim.index()].mu(),

@@ -144,6 +144,30 @@ impl MatcherEngine {
         self.core.total_subs()
     }
 
+    /// Entries physically indexed in the per-`dim` set (representatives
+    /// only under covering).
+    pub fn physical_sub_count(&self, dim: DimIdx) -> usize {
+        self.core.physical_sub_count(dim)
+    }
+
+    /// Physically indexed entries across all dimensions.
+    pub fn total_physical_subs(&self) -> usize {
+        self.core.total_physical_subs()
+    }
+
+    /// Estimated resident bytes of the per-dimension indexes.
+    pub fn index_memory_bytes(&self) -> usize {
+        self.core.index_memory_bytes()
+    }
+
+    /// Covering groups of the per-`dim` set; `None` for bare indexes.
+    pub fn covering_groups(
+        &self,
+        dim: DimIdx,
+    ) -> Option<Vec<(SubscriptionId, Vec<SubscriptionId>)>> {
+        self.core.covering_groups(dim)
+    }
+
     /// Depth of the per-`dim` FIFO queue.
     pub fn queue_len(&self, dim: DimIdx) -> usize {
         self.queues[dim.index()].len()

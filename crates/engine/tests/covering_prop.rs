@@ -1,0 +1,240 @@
+//! Covering-vs-bare equivalence under random interleavings.
+//!
+//! For each inner index kind, a covering-wrapped index and its bare twin
+//! consume the same random sequence of inserts, removes, match probes and
+//! `extract_overlapping` handovers (extract from both, re-insert into
+//! both — the donor/heir round trip). At every step the two must agree on
+//! the *logical* state: identical match sets, identical logical lengths,
+//! identical extracted id sets, identical snapshots. Physical state is
+//! where they may differ, and the test asserts the covering side never
+//! physically exceeds the bare side.
+//!
+//! Runs the three seeds the chaos matrix pins (7/42/1337) plus
+//! `CHAOS_SEED` when set.
+
+use bluedove_core::{
+    AttributeSpace, DimIdx, IndexKind, InnerKind, MatchIndex, Message, Range, SubscriberId,
+    Subscription, SubscriptionId,
+};
+use bluedove_workload::CoverableWorkload;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const DIM: DimIdx = DimIdx(0);
+const STEPS: usize = 1_500;
+const ID_SPACE: u64 = 400;
+
+fn space() -> AttributeSpace {
+    AttributeSpace::uniform(2, 0.0, 1000.0)
+}
+
+fn every_inner() -> [InnerKind; 3] {
+    [
+        InnerKind::Linear,
+        InnerKind::Cell(16),
+        InnerKind::IntervalTree,
+    ]
+}
+
+/// A random subscription biased toward coverable shapes: half the draws
+/// come from a small set of wide "template-ish" boxes, the rest are
+/// narrow boxes that frequently nest inside them.
+fn random_sub(sp: &AttributeSpace, rng: &mut StdRng) -> Subscription {
+    let id = rng.gen_range(0..ID_SPACE);
+    let mut b = Subscription::builder(sp).subscriber(SubscriberId(id));
+    if rng.gen_bool(0.5) {
+        // One of 8 deterministic wide boxes (same for every seed run).
+        let slot = rng.gen_range(0..8u64) as f64;
+        for d in 0..2 {
+            let lo = slot * 100.0 + d as f64 * 25.0;
+            b = b.range(d, lo, lo + 300.0);
+        }
+    } else {
+        for d in 0..2 {
+            let lo = rng.gen_range(0.0..900.0);
+            let w = rng.gen_range(5.0..150.0);
+            b = b.range(d, lo, lo + w);
+        }
+    }
+    let mut s = b.build().unwrap();
+    s.id = SubscriptionId(id);
+    s
+}
+
+fn sorted_hits(idx: &mut Box<dyn MatchIndex>, msg: &Message) -> Vec<(SubscriptionId, u64)> {
+    let mut out = Vec::new();
+    idx.matching(msg, &mut out);
+    let mut v: Vec<(SubscriptionId, u64)> = out.into_iter().map(|(s, sub)| (s, sub.0)).collect();
+    v.sort_unstable();
+    v
+}
+
+fn sorted_ids(subs: &[Subscription]) -> Vec<SubscriptionId> {
+    let mut v: Vec<SubscriptionId> = subs.iter().map(|s| s.id).collect();
+    v.sort_unstable();
+    v
+}
+
+fn run_interleaving(seed: u64, inner: InnerKind) {
+    let sp = space();
+    let mut covered = (IndexKind::Covering { inner }).build(&sp, DIM);
+    let mut bare = inner.bare().build(&sp, DIM);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    for step in 0..STEPS {
+        match rng.gen_range(0..100u32) {
+            // Insert (covers duplicate-id replacement too).
+            0..=49 => {
+                let s = random_sub(&sp, &mut rng);
+                covered.insert(s.clone());
+                bare.insert(s);
+            }
+            // Remove a possibly-present id.
+            50..=64 => {
+                let id = SubscriptionId(rng.gen_range(0..ID_SPACE));
+                let a = covered.remove(id);
+                let b = bare.remove(id);
+                assert_eq!(
+                    a.is_some(),
+                    b.is_some(),
+                    "remove presence diverged at step {step} (seed {seed}, {inner:?})"
+                );
+                if let (Some(a), Some(b)) = (a, b) {
+                    assert_eq!(a, b, "removed different subscriptions");
+                }
+            }
+            // Match probe.
+            65..=84 => {
+                let msg =
+                    Message::new(vec![rng.gen_range(0.0..1000.0), rng.gen_range(0.0..1000.0)]);
+                assert_eq!(
+                    sorted_hits(&mut covered, &msg),
+                    sorted_hits(&mut bare, &msg),
+                    "match sets diverged at step {step} (seed {seed}, {inner:?})"
+                );
+            }
+            // Handover round trip: extract the same cut from both, then
+            // re-insert — the extracted *logical* sets must be identical
+            // and the round trip lossless.
+            85..=94 => {
+                let lo = rng.gen_range(0.0..800.0);
+                let cut = Range::new(lo, lo + rng.gen_range(20.0..200.0));
+                let from_covered = covered.extract_overlapping(&cut);
+                let from_bare = bare.extract_overlapping(&cut);
+                assert_eq!(
+                    sorted_ids(&from_covered),
+                    sorted_ids(&from_bare),
+                    "extracted sets diverged at step {step} (seed {seed}, {inner:?})"
+                );
+                for s in from_covered {
+                    covered.insert(s);
+                }
+                for s in from_bare {
+                    bare.insert(s);
+                }
+            }
+            // Full-state audit.
+            _ => {
+                assert_eq!(
+                    covered.logical_len(),
+                    bare.logical_len(),
+                    "logical lengths diverged at step {step} (seed {seed}, {inner:?})"
+                );
+                assert!(
+                    covered.physical_len() <= bare.physical_len(),
+                    "covering physically larger at step {step} (seed {seed}, {inner:?})"
+                );
+                let mut a = covered.snapshot();
+                let mut b = bare.snapshot();
+                a.sort_unstable_by_key(|s| s.id);
+                b.sort_unstable_by_key(|s| s.id);
+                assert_eq!(
+                    a, b,
+                    "snapshots diverged at step {step} (seed {seed}, {inner:?})"
+                );
+            }
+        }
+    }
+}
+
+/// The realistic flavour: a coverable-workload stream (Zipf templates +
+/// specializations) through both indexes, probing with the matching
+/// message stream.
+fn run_coverable_stream(seed: u64, inner: InnerKind) {
+    let w = CoverableWorkload {
+        k: 2,
+        seed,
+        ..Default::default()
+    };
+    let sp = w.space();
+    let mut covered = (IndexKind::Covering { inner }).build(&sp, DIM);
+    let mut bare = inner.bare().build(&sp, DIM);
+    let subs = w.subscriptions().take(3_000);
+    let msgs = w.messages().take(200);
+    for s in subs {
+        covered.insert(s.clone());
+        bare.insert(s);
+    }
+    assert!(
+        covered.physical_len() * 2 <= covered.logical_len(),
+        "coverable workload should compress ≥2× (got {} physical / {} logical)",
+        covered.physical_len(),
+        covered.logical_len()
+    );
+    let mut examined_covered = 0usize;
+    let mut examined_bare = 0usize;
+    for (i, msg) in msgs.iter().enumerate() {
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        examined_covered += covered.matching(msg, &mut a);
+        examined_bare += bare.matching(msg, &mut b);
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(
+            a, b,
+            "match sets diverged on msg {i} (seed {seed}, {inner:?})"
+        );
+    }
+    // Linear scans everything, so examined must shrink with physical
+    // state; pruning inners can't be asserted as strictly but must never
+    // be pathologically worse.
+    if matches!(inner, InnerKind::Linear) {
+        assert!(
+            examined_covered * 2 <= examined_bare,
+            "covering should examine ≤ half (covered {examined_covered}, bare {examined_bare})"
+        );
+    }
+}
+
+fn run_all(seed: u64) {
+    for inner in every_inner() {
+        run_interleaving(seed, inner);
+        run_coverable_stream(seed, inner);
+    }
+}
+
+#[test]
+fn covering_parity_seed_7() {
+    run_all(7);
+}
+
+#[test]
+fn covering_parity_seed_42() {
+    run_all(42);
+}
+
+#[test]
+fn covering_parity_seed_1337() {
+    run_all(1337);
+}
+
+/// Extra sweep seed for the CI chaos matrix; no-op when unset.
+#[test]
+fn covering_parity_env_seed() {
+    if let Some(seed) = std::env::var("CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.trim().parse::<u64>().ok())
+    {
+        println!("covering parity replay: seed={seed}");
+        run_all(seed);
+    }
+}

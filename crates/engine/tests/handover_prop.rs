@@ -6,7 +6,8 @@
 //! the moved segment's endpoint stays where it is.
 
 use bluedove_core::{
-    AttributeSpace, DimIdx, IndexKind, MatcherId, Range, SubscriberId, Subscription, SubscriptionId,
+    AttributeSpace, DimIdx, IndexKind, InnerKind, MatcherId, Range, SubscriberId, Subscription,
+    SubscriptionId,
 };
 use bluedove_engine::MatcherEngine;
 use proptest::prelude::*;
@@ -24,11 +25,23 @@ fn engine(kind: IndexKind, id: u32) -> MatcherEngine {
     MatcherEngine::new(MatcherId(id), space(), kind, 64)
 }
 
-fn every_kind() -> [IndexKind; 3] {
+// Covering-wrapped kinds ride the same properties: extraction must
+// dissolve or re-home covering groups without ever losing a covered
+// member or moving a boundary-touching one.
+fn every_kind() -> [IndexKind; 6] {
     [
         IndexKind::Linear,
         IndexKind::Cell(16),
         IndexKind::IntervalTree,
+        IndexKind::Covering {
+            inner: InnerKind::Linear,
+        },
+        IndexKind::Covering {
+            inner: InnerKind::Cell(16),
+        },
+        IndexKind::Covering {
+            inner: InnerKind::IntervalTree,
+        },
     ]
 }
 

@@ -1194,6 +1194,7 @@ impl SimCluster {
     }
 
     /// Per-matcher subscription-copy counts (diagnostics / load split).
+    /// Logical counts: covered group members count like any other copy.
     pub fn sub_counts(&self) -> Vec<(MatcherId, usize)> {
         let mut v: Vec<(MatcherId, usize)> = self
             .matchers
@@ -1202,6 +1203,28 @@ impl SimCluster {
             .collect();
         v.sort_unstable_by_key(|&(m, _)| m);
         v
+    }
+
+    /// Total logical subscription copies across all matchers.
+    pub fn total_logical_subs(&self) -> usize {
+        self.matchers.values().map(|m| m.engine.total_subs()).sum()
+    }
+
+    /// Total physically indexed entries across all matchers —
+    /// representatives only where covering is enabled.
+    pub fn total_physical_subs(&self) -> usize {
+        self.matchers
+            .values()
+            .map(|m| m.engine.total_physical_subs())
+            .sum()
+    }
+
+    /// Estimated resident bytes of every matcher's per-dimension indexes.
+    pub fn index_memory_bytes(&self) -> usize {
+        self.matchers
+            .values()
+            .map(|m| m.engine.index_memory_bytes())
+            .sum()
     }
 }
 

@@ -8,7 +8,7 @@
 //! Figure 11(c)).
 
 use crate::dist::ValueDist;
-use bluedove_core::{AttributeSpace, Message, SubscriberId, Subscription, SubscriptionId};
+use bluedove_core::{AttributeSpace, Message, Range, SubscriberId, Subscription, SubscriptionId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -68,6 +68,127 @@ impl SubscriptionGenerator {
             b = b.range(i, lo, hi);
         }
         let mut s = b.build().expect("generated predicate ranges are valid");
+        s.id = SubscriptionId(self.next_id);
+        self.next_id += 1;
+        self.next_subscriber += 1;
+        s
+    }
+
+    /// Generates `n` subscriptions.
+    pub fn take(&mut self, n: usize) -> Vec<Subscription> {
+        (0..n).map(|_| self.next_sub()).collect()
+    }
+}
+
+/// Deterministic *coverable* subscription generator: a fixed population of
+/// template hyper-cuboids, chosen per subscription with Zipf popularity;
+/// each subscription is either the template box verbatim or a jittered
+/// specialization strictly inside it. Every specialization is subsumed by
+/// its template on all dimensions, so once the template (or any verbatim
+/// copy of it) is registered, a covering index holds the rest as covered
+/// group members — the redundancy real subscriber populations exhibit
+/// ("many users watch the same few hot regions, some with extra filters").
+#[derive(Debug, Clone)]
+pub struct CoverableSubGenerator {
+    space: AttributeSpace,
+    /// One hyper-cuboid per template, fixed at construction.
+    templates: Vec<Vec<Range>>,
+    /// Zipf CDF over template ranks (popularity `∝ (rank+1)^-s`).
+    cdf: Vec<f64>,
+    /// Probability a subscription is the template box verbatim (the
+    /// guaranteed-coverable share; specializations cover only by luck).
+    template_prob: f64,
+    rng: StdRng,
+    next_id: u64,
+    next_subscriber: u64,
+}
+
+impl CoverableSubGenerator {
+    /// Specialization widths are uniform in this fraction range of the
+    /// template's width, per dimension.
+    const SPECIAL_FRAC: std::ops::Range<f64> = 0.3..0.9;
+
+    /// Creates a generator with `templates` template boxes of
+    /// `template_width` per dimension, Zipf exponent `zipf_s`, and the
+    /// given verbatim-template probability.
+    ///
+    /// # Panics
+    /// Panics when `templates == 0` or `template_prob` is outside `[0,1]`.
+    pub fn new(
+        space: AttributeSpace,
+        templates: usize,
+        template_width: f64,
+        zipf_s: f64,
+        template_prob: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(templates > 0, "need at least one template");
+        assert!(
+            (0.0..=1.0).contains(&template_prob),
+            "template_prob must be a probability"
+        );
+        // Template boxes come from their own derived seed so the stream
+        // of per-subscription draws does not perturb them.
+        let mut trng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9).wrapping_add(1));
+        let boxes: Vec<Vec<Range>> = (0..templates)
+            .map(|_| {
+                space
+                    .dims()
+                    .iter()
+                    .map(|d| {
+                        let center = trng.gen_range(d.min..d.max);
+                        let half = template_width / 2.0;
+                        let lo = (center - half).max(d.min);
+                        let hi = (center + half).min(d.max).max(lo + f64::EPSILON * d.len());
+                        Range::new(lo, hi)
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut cdf = Vec::with_capacity(templates);
+        let mut acc = 0.0;
+        for rank in 0..templates {
+            acc += 1.0 / ((rank + 1) as f64).powf(zipf_s);
+            cdf.push(acc);
+        }
+        for c in &mut cdf {
+            *c /= acc;
+        }
+        CoverableSubGenerator {
+            space,
+            templates: boxes,
+            cdf,
+            template_prob,
+            rng: StdRng::seed_from_u64(seed.wrapping_mul(2) + 1),
+            next_id: 1,
+            next_subscriber: 1,
+        }
+    }
+
+    /// The attribute space subscriptions are generated over.
+    pub fn space(&self) -> &AttributeSpace {
+        &self.space
+    }
+
+    /// Generates the next subscription; seeded streams are reproducible.
+    pub fn next_sub(&mut self) -> Subscription {
+        let u: f64 = self.rng.gen();
+        let t = self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1);
+        let verbatim = self.rng.gen_bool(self.template_prob);
+        let mut b =
+            Subscription::builder(&self.space).subscriber(SubscriberId(self.next_subscriber));
+        for (i, r) in self.templates[t].iter().enumerate() {
+            let (lo, hi) = if verbatim {
+                (r.lo, r.hi)
+            } else {
+                let d = &self.space.dims()[i];
+                let w = r.width() * self.rng.gen_range(Self::SPECIAL_FRAC);
+                let lo = r.lo + self.rng.gen_range(0.0..(r.width() - w));
+                (lo, (lo + w).max(lo + f64::EPSILON * d.len()))
+            };
+            b = b.range(i, lo, hi);
+        }
+        let mut s = b.build().expect("template-derived ranges are valid");
         s.id = SubscriptionId(self.next_id);
         self.next_id += 1;
         self.next_subscriber += 1;

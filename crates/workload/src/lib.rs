@@ -20,5 +20,7 @@ pub mod gen;
 pub mod scenario;
 
 pub use dist::ValueDist;
-pub use gen::{MessageGenerator, SubDimConfig, SubscriptionGenerator};
-pub use scenario::{hot_spot_ratio, stock_ticker, traffic_monitoring, PaperWorkload};
+pub use gen::{CoverableSubGenerator, MessageGenerator, SubDimConfig, SubscriptionGenerator};
+pub use scenario::{
+    hot_spot_ratio, stock_ticker, traffic_monitoring, CoverableWorkload, PaperWorkload,
+};

@@ -6,7 +6,7 @@
 //! introduction.
 
 use crate::dist::ValueDist;
-use crate::gen::{MessageGenerator, SubDimConfig, SubscriptionGenerator};
+use crate::gen::{CoverableSubGenerator, MessageGenerator, SubDimConfig, SubscriptionGenerator};
 use bluedove_core::{AttributeSpace, Dimension};
 
 /// The §IV-B evaluation workload:
@@ -98,6 +98,73 @@ impl PaperWorkload {
             })
             .collect();
         MessageGenerator::new(self.space(), dims, self.seed.wrapping_mul(3) + 7)
+    }
+}
+
+/// The *coverable* workload scenario: subscriptions derive from a fixed
+/// set of Zipf-popular template boxes — a fraction subscribe to the
+/// template verbatim, the rest to jittered specializations strictly
+/// inside it — so a covering index has real redundancy to compress, while
+/// messages stay uniform. This is the knob the covering-layer ablation
+/// (`bench_index`, `tests/covering_scale.rs`) runs on.
+#[derive(Debug, Clone)]
+pub struct CoverableWorkload {
+    /// Number of searchable dimensions.
+    pub k: usize,
+    /// Domain length per dimension.
+    pub domain: f64,
+    /// Number of template boxes in the population.
+    pub templates: usize,
+    /// Zipf exponent of template popularity (`∝ (rank+1)^-s`).
+    pub zipf_s: f64,
+    /// Probability a subscription is its template box verbatim.
+    pub template_prob: f64,
+    /// Template box width per dimension (before domain clipping).
+    pub template_width: f64,
+    /// Base RNG seed; subscription and message streams derive distinct
+    /// seeds from it.
+    pub seed: u64,
+}
+
+impl Default for CoverableWorkload {
+    fn default() -> Self {
+        CoverableWorkload {
+            k: 4,
+            domain: 1000.0,
+            templates: 512,
+            zipf_s: 0.9,
+            template_prob: 0.5,
+            template_width: 250.0,
+            seed: 42,
+        }
+    }
+}
+
+impl CoverableWorkload {
+    /// The attribute space.
+    pub fn space(&self) -> AttributeSpace {
+        AttributeSpace::uniform(self.k, 0.0, self.domain)
+    }
+
+    /// Builds the subscription generator.
+    pub fn subscriptions(&self) -> CoverableSubGenerator {
+        CoverableSubGenerator::new(
+            self.space(),
+            self.templates,
+            self.template_width,
+            self.zipf_s,
+            self.template_prob,
+            self.seed,
+        )
+    }
+
+    /// Builds the (uniform) message generator.
+    pub fn messages(&self) -> MessageGenerator {
+        MessageGenerator::new(
+            self.space(),
+            vec![ValueDist::Uniform; self.k],
+            self.seed.wrapping_mul(3) + 7,
+        )
     }
 }
 
@@ -352,6 +419,51 @@ mod tests {
             .filter(|m| (m.values[0] - 125.0).abs() < 250.0)
             .count();
         assert!(near > near_u, "adverse should cluster more than uniform");
+    }
+
+    #[test]
+    fn coverable_workload_is_deterministic_and_valid() {
+        let w = CoverableWorkload::default();
+        let a = w.subscriptions().take(500);
+        let b = w.subscriptions().take(500);
+        assert_eq!(a, b);
+        let sp = w.space();
+        for s in &a {
+            assert_eq!(s.k(), 4);
+            for (i, p) in s.predicates.iter().enumerate() {
+                let d = &sp.dims()[i];
+                assert!(p.lo < p.hi && p.lo >= d.min && p.hi <= d.max);
+            }
+        }
+        for m in w.messages().take(200) {
+            assert!(m.validate(&sp).is_ok());
+        }
+    }
+
+    #[test]
+    fn coverable_workload_compresses_under_covering() {
+        use bluedove_core::{IndexKind, InnerKind};
+        let w = CoverableWorkload {
+            seed: 7,
+            ..Default::default()
+        };
+        let subs = w.subscriptions().take(4_000);
+        let mut idx = IndexKind::Covering {
+            inner: InnerKind::Cell(64),
+        }
+        .build(&w.space(), DimIdx(0));
+        for s in &subs {
+            idx.insert(s.clone());
+        }
+        assert_eq!(idx.logical_len(), 4_000);
+        // At least the verbatim template copies (~template_prob of the
+        // stream) collapse onto their group's representative.
+        assert!(
+            idx.physical_len() * 2 <= idx.logical_len(),
+            "physical {} should be ≤ half of logical {}",
+            idx.physical_len(),
+            idx.logical_len()
+        );
     }
 
     #[test]

@@ -23,7 +23,7 @@
 
 use bluedove::cluster::{Cluster, ClusterConfig, PolicyKind, TransportKind};
 use bluedove::core::{
-    DimIdx, IndexKind, MatcherId, Message, MessageId, RandomPolicy, Subscription,
+    DimIdx, IndexKind, InnerKind, MatcherId, Message, MessageId, RandomPolicy, Subscription,
 };
 use bluedove::net::ReactorConfig;
 use bluedove::sim::{SimCluster, SimConfig, Strategy};
@@ -53,7 +53,7 @@ fn workload(seed: u64) -> (Vec<Subscription>, Vec<Message>, PaperWorkload) {
 
 /// Runs the simulator host; returns its forward trace and total match
 /// hits.
-fn sim_trace(seed: u64, max_batch: usize) -> (ForwardTrace, u64) {
+fn sim_trace(seed: u64, max_batch: usize, index: IndexKind) -> (ForwardTrace, u64) {
     let (subs, msgs, w) = workload(seed);
     let space = w.space();
     let base = SimConfig::default();
@@ -61,6 +61,7 @@ fn sim_trace(seed: u64, max_batch: usize) -> (ForwardTrace, u64) {
         record_forwards: true,
         ..base.engine.clone()
     };
+    engine.index = index;
     engine.batch.max_batch = max_batch;
     engine.batch.max_delay = BATCH_DELAY;
     let sim_cfg = SimConfig {
@@ -86,7 +87,12 @@ fn sim_trace(seed: u64, max_batch: usize) -> (ForwardTrace, u64) {
 
 /// Runs the threaded cluster host over the given base transport; returns
 /// its forward trace and quiesced delivery count.
-fn cluster_trace(seed: u64, max_batch: usize, transport: TransportKind) -> (ForwardTrace, u64) {
+fn cluster_trace(
+    seed: u64,
+    max_batch: usize,
+    transport: TransportKind,
+    index: IndexKind,
+) -> (ForwardTrace, u64) {
     let (subs, msgs, w) = workload(seed);
     let space = w.space();
     let mut cluster = Cluster::start(
@@ -94,7 +100,7 @@ fn cluster_trace(seed: u64, max_batch: usize, transport: TransportKind) -> (Forw
             .matchers(MATCHERS)
             .dispatchers(1)
             .policy(PolicyKind::Random)
-            .index(IndexKind::Linear)
+            .index(index)
             .seed(seed)
             .publication_acks(false)
             .record_forwards(true)
@@ -161,8 +167,9 @@ fn assert_traces_match(seed: u64, host: &str, got: &ForwardTrace, want: &Forward
 /// (`max_batch == 1` = batching off); returns the agreed trace so callers
 /// can compare *across* batch modes too.
 fn parity_for_seed(seed: u64, max_batch: usize) -> ForwardTrace {
-    let (sim_log, sim_matches) = sim_trace(seed, max_batch);
-    let (cluster_log, deliveries) = cluster_trace(seed, max_batch, TransportKind::Channel);
+    let (sim_log, sim_matches) = sim_trace(seed, max_batch, IndexKind::Linear);
+    let (cluster_log, deliveries) =
+        cluster_trace(seed, max_batch, TransportKind::Channel, IndexKind::Linear);
     assert_traces_match(seed, "threaded/channel", &cluster_log, &sim_log);
     assert_eq!(
         deliveries, sim_matches,
@@ -174,9 +181,13 @@ fn parity_for_seed(seed: u64, max_batch: usize) -> ForwardTrace {
 /// Sim vs threaded-over-reactor: real loopback sockets, fixed event-loop
 /// threads — the forward sequence must still be bit-identical.
 fn reactor_parity_for_seed(seed: u64) {
-    let (sim_log, sim_matches) = sim_trace(seed, 1);
-    let (reactor_log, deliveries) =
-        cluster_trace(seed, 1, TransportKind::Reactor(ReactorConfig::default()));
+    let (sim_log, sim_matches) = sim_trace(seed, 1, IndexKind::Linear);
+    let (reactor_log, deliveries) = cluster_trace(
+        seed,
+        1,
+        TransportKind::Reactor(ReactorConfig::default()),
+        IndexKind::Linear,
+    );
     assert_traces_match(seed, "threaded/reactor", &reactor_log, &sim_log);
     assert_eq!(
         deliveries, sim_matches,
@@ -245,11 +256,48 @@ fn engine_parity_reactor_seed_1337() {
 /// and threaded-over-reactor produce one forward sequence.
 #[test]
 fn engine_parity_three_hosts_seed_7() {
-    let (sim_log, _) = sim_trace(7, 1);
-    let (channel_log, _) = cluster_trace(7, 1, TransportKind::Channel);
-    let (reactor_log, _) = cluster_trace(7, 1, TransportKind::Reactor(ReactorConfig::default()));
+    let (sim_log, _) = sim_trace(7, 1, IndexKind::Linear);
+    let (channel_log, _) = cluster_trace(7, 1, TransportKind::Channel, IndexKind::Linear);
+    let (reactor_log, _) = cluster_trace(
+        7,
+        1,
+        TransportKind::Reactor(ReactorConfig::default()),
+        IndexKind::Linear,
+    );
     assert_traces_match(7, "threaded/channel", &channel_log, &sim_log);
     assert_traces_match(7, "threaded/reactor", &reactor_log, &sim_log);
+}
+
+/// All three hosts with the covering index enabled: the decorator changes
+/// physical match work, never logical decisions, so the forward sequence
+/// and match-hit totals must be bit-identical across hosts AND identical
+/// to the bare-index sequence on the same seed.
+#[test]
+fn engine_parity_three_hosts_covering_seed_7() {
+    let covering = IndexKind::Covering {
+        inner: InnerKind::Cell(16),
+    };
+    let (bare_log, bare_matches) = sim_trace(7, 1, IndexKind::Cell(16));
+    let (sim_log, sim_matches) = sim_trace(7, 1, covering);
+    assert_eq!(
+        sim_log, bare_log,
+        "covering changed the sim's forward sequence"
+    );
+    assert_eq!(
+        sim_matches, bare_matches,
+        "covering changed the sim's match-hit total"
+    );
+    let (channel_log, channel_deliveries) = cluster_trace(7, 1, TransportKind::Channel, covering);
+    let (reactor_log, reactor_deliveries) = cluster_trace(
+        7,
+        1,
+        TransportKind::Reactor(ReactorConfig::default()),
+        covering,
+    );
+    assert_traces_match(7, "threaded/channel+covering", &channel_log, &sim_log);
+    assert_traces_match(7, "threaded/reactor+covering", &reactor_log, &sim_log);
+    assert_eq!(channel_deliveries, sim_matches, "channel host match total");
+    assert_eq!(reactor_deliveries, sim_matches, "reactor host match total");
 }
 
 /// Extra sweep seed for the CI chaos matrix (`CHAOS_SEED=<u64>`); a no-op
