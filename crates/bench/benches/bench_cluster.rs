@@ -31,7 +31,7 @@ fn run_once(strategy: StrategyKind, policy: PolicyKind) -> u64 {
     let wildcard = cluster
         .subscribe(Subscription::builder(&sp).build().unwrap())
         .unwrap();
-    let mut gen = w.subscriptions();
+    let gen = w.subscriptions();
     for s in gen.take(SUBS) {
         let mut b = Subscription::builder(&sp);
         for (d, p) in s.predicates.iter().enumerate() {
@@ -39,7 +39,7 @@ fn run_once(strategy: StrategyKind, policy: PolicyKind) -> u64 {
         }
         cluster.subscribe(b.build().unwrap()).unwrap();
     }
-    let mut msgs = w.messages();
+    let msgs = w.messages();
     let mut publisher = cluster.publisher();
     for m in msgs.take(MESSAGES) {
         publisher.publish(m).unwrap();

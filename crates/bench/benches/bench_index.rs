@@ -16,8 +16,8 @@ fn bench_matching(c: &mut Criterion) {
             seed: 1,
             ..Default::default()
         };
-        let subs = w.subscriptions().take(size);
-        let msgs = w.messages().take(256);
+        let subs: Vec<_> = w.subscriptions().take(size).collect();
+        let msgs: Vec<_> = w.messages().take(256).collect();
         group.throughput(Throughput::Elements(msgs.len() as u64));
         for (label, kind) in [
             ("linear", IndexKind::Linear),
@@ -52,7 +52,7 @@ fn bench_insert(c: &mut Criterion) {
         seed: 2,
         ..Default::default()
     };
-    let subs = w.subscriptions().take(10_000);
+    let subs: Vec<_> = w.subscriptions().take(10_000).collect();
     for (label, kind) in [
         ("linear", IndexKind::Linear),
         ("cell64", IndexKind::Cell(64)),
@@ -82,8 +82,8 @@ fn bench_covering(c: &mut Criterion) {
             seed: 3,
             ..Default::default()
         };
-        let subs = w.subscriptions().take(size);
-        let msgs = w.messages().take(256);
+        let subs: Vec<_> = w.subscriptions().take(size).collect();
+        let msgs: Vec<_> = w.messages().take(256).collect();
         group.throughput(Throughput::Elements(msgs.len() as u64));
         for (label, kind) in [
             ("bare-cell64", IndexKind::Cell(64)),

@@ -22,7 +22,7 @@ fn bench_assign(c: &mut Criterion) {
         seed: 3,
         ..Default::default()
     };
-    let subs = w.subscriptions().take(1024);
+    let subs: Vec<_> = w.subscriptions().take(1024).collect();
     group.throughput(Throughput::Elements(subs.len() as u64));
     for n in [5u32, 20] {
         for (name, strat) in strategies(n) {
@@ -46,7 +46,7 @@ fn bench_candidates(c: &mut Criterion) {
         seed: 4,
         ..Default::default()
     };
-    let msgs = w.messages().take(1024);
+    let msgs: Vec<_> = w.messages().take(1024).collect();
     group.throughput(Throughput::Elements(msgs.len() as u64));
     for n in [5u32, 20] {
         for (name, strat) in strategies(n) {

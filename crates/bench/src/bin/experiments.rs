@@ -20,6 +20,8 @@
 //!   recovery  durable-log kill-and-replay smoke; exits nonzero on any loss
 //!   telemetry per-policy estimation error + e2e latency, exposition check
 //!   ablations design-choice ablations (reservations, degenerate replicas)
+//!   scenarios Scenario-API smoke: every Scenario through both hosts; exits
+//!             nonzero if any run diverges from its churn schedule
 //!   bench     batched hot-path A/B; emits BENCH_cluster.json for the CI gate
 //!   all       run everything above in order
 //!
@@ -48,7 +50,7 @@ fn main() {
         cfg = cfg.paper_scale();
     }
     if args.iter().any(|a| a == "--quick") {
-        cfg.subscriptions = 2_000;
+        cfg.scenario.subscriptions = 2_000;
         cfg.probe = SaturationProbe {
             probe_duration: 6.0,
             refine_iters: 4,
@@ -56,7 +58,7 @@ fn main() {
         };
     }
     if let Some(i) = args.iter().position(|a| a == "--subs") {
-        cfg.subscriptions = args
+        cfg.scenario.subscriptions = args
             .get(i + 1)
             .and_then(|s| s.parse().ok())
             .expect("--subs needs a number");
@@ -83,6 +85,7 @@ fn main() {
         }
         "telemetry" => telemetry(&cfg),
         "ablations" => ablations(&cfg),
+        "scenarios" => scenarios_smoke(),
         "bench" => bench_trajectory(&cfg, &args),
         "all" => {
             fig5(&cfg);
@@ -103,6 +106,7 @@ fn main() {
             }
             telemetry(&cfg);
             ablations(&cfg);
+            scenarios_smoke();
             bench_trajectory(&cfg, &args);
         }
         other => {
@@ -718,7 +722,7 @@ fn recovery(cfg: &ExpConfig) -> bool {
         "Recovery: durable-log kill-and-replay smoke",
         "not a paper figure; replicated sub-logs extend §V-D's in-memory copies",
     );
-    let subs = cfg.subscriptions.min(2_000);
+    let subs = cfg.scenario.subscriptions.min(2_000);
     const N: u64 = 600;
     let sp = AttributeSpace::uniform(2, 0.0, 100.0);
     let log_dir = std::env::temp_dir().join(format!("bluedove-recovery-{}", std::process::id()));
@@ -834,7 +838,7 @@ fn telemetry(cfg: &ExpConfig) {
         ..Default::default()
     };
     let sp = w.space();
-    let subs = cfg.subscriptions.min(1_000);
+    let subs = cfg.scenario.subscriptions.min(1_000);
     const MESSAGES: usize = 2_000;
 
     // Families every healthy run must expose. Estimation error is checked
@@ -893,7 +897,7 @@ fn telemetry(cfg: &ExpConfig) {
         // — a tight publish loop would dispatch everything before the
         // first such report and record no estimates at all.
         let mut publisher = cluster.publisher();
-        for (i, m) in w.messages().take(MESSAGES).into_iter().enumerate() {
+        for (i, m) in w.messages().take(MESSAGES).enumerate() {
             publisher.publish(m).unwrap();
             if i % 100 == 99 {
                 std::thread::sleep(Duration::from_millis(20));
@@ -1048,6 +1052,129 @@ fn overhead() {
 
 /// The batched hot-path trajectory: a threaded-cluster A/B (coalescing
 /// off vs on) over a frame-rate-dominated workload, emitting the
+/// Scenario smoke: every shipped `Scenario` implementation driven
+/// unchanged through BOTH hosts' `run_scenario` — the simulator in
+/// virtual time and the threaded cluster in sequence position — plus the
+/// HighChurn schedule a second time over mailbox endpoints, so `Migrate`
+/// re-homes real mailboxes. Every run's executed churn counts must match
+/// the schedule's closed form exactly; any violation panics, so a bare
+/// run is the assertion. `CHAOS_SEED=<u64>` re-seeds every scenario,
+/// which is how the CI chaos matrix sweeps it.
+fn scenarios_smoke() {
+    use bluedove_cluster::{Cluster, ClusterConfig};
+    use bluedove_core::RandomPolicy;
+    use bluedove_sim::{SimCluster, SimConfig, Strategy};
+    use bluedove_workload::{
+        ChurnAction, HighChurn, Scenario, ScenarioConfig, SpatioTextual, StockTicker,
+        TrafficMonitoring,
+    };
+
+    banner(
+        "Scenario smoke: every Scenario through both hosts",
+        "§II-B workload model; not a paper figure",
+    );
+    let seed = std::env::var("CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.trim().parse::<u64>().ok())
+        .unwrap_or(42);
+    println!("    seed={seed} (CHAOS_SEED overrides)");
+
+    let cfg = ScenarioConfig::new()
+        .subscriptions(100)
+        .messages(1_500)
+        .rate(500.0);
+    let churn = HighChurn {
+        waves: 2,
+        wave_size: 15,
+        wave_period: 1.5,
+        wave_ramp: 0.4,
+        wave_hold: 0.8,
+        migrants: 4,
+        migrations: 2,
+        migrate_period: 0.7,
+        seed,
+        ..Default::default()
+    };
+    let scenarios: Vec<Box<dyn Scenario>> = vec![
+        Box::new(PaperWorkload {
+            seed,
+            ..Default::default()
+        }),
+        Box::new(SpatioTextual {
+            seed,
+            ..Default::default()
+        }),
+        Box::new(TrafficMonitoring::new(seed)),
+        Box::new(StockTicker::new(seed)),
+        Box::new(churn.clone()),
+    ];
+
+    // The schedule's closed form: what every host must execute.
+    let expected = |s: &dyn Scenario| {
+        let sched = s.churn_schedule();
+        sched.validate().expect("schedule validates");
+        let mut e = (0u64, 0u64, 0u64);
+        for ev in sched.events() {
+            match ev.action {
+                ChurnAction::Subscribe { .. } => e.0 += 1,
+                ChurnAction::Unsubscribe { .. } => e.1 += 1,
+                ChurnAction::Migrate { .. } => e.2 += 1,
+            }
+        }
+        e
+    };
+    let check =
+        |host: &str, name: &str, run: bluedove_workload::ScenarioRun, e: (u64, u64, u64)| {
+            assert_eq!(
+                run.published, cfg.messages as u64,
+                "{host}/{name} published"
+            );
+            assert_eq!(
+                run.subscribed,
+                cfg.subscriptions as u64 + e.0,
+                "{host}/{name} subscribed"
+            );
+            assert_eq!(run.unsubscribed, e.1, "{host}/{name} unsubscribed");
+            assert_eq!(run.migrated, e.2, "{host}/{name} migrated");
+            println!(
+                "    {host:<8} {name:<18} {} msgs  churn +{} -{} ~{}",
+                run.published, e.0, run.unsubscribed, run.migrated
+            );
+        };
+
+    for s in &scenarios {
+        let e = expected(s.as_ref());
+        let mut sim = SimCluster::new(
+            SimConfig {
+                seed,
+                ..Default::default()
+            },
+            s.space(),
+            Strategy::bluedove(s.space(), 4),
+            Box::new(RandomPolicy),
+        );
+        check("sim", s.name(), sim.run_scenario(s.as_ref(), &cfg), e);
+
+        let mut cluster = Cluster::start(ClusterConfig::new(s.space()).matchers(3));
+        let run = cluster
+            .run_scenario(s.as_ref(), &cfg)
+            .expect("threaded run");
+        cluster.shutdown();
+        check("threaded", s.name(), run, e);
+    }
+
+    // The churn schedule once more over mailbox endpoints: Migrate must
+    // tear down and re-create real mailboxes, not just direct handles.
+    let e = expected(&churn);
+    let mut cluster = Cluster::start(ClusterConfig::new(Scenario::space(&churn)).matchers(3));
+    let run = cluster
+        .run_scenario(&churn, &cfg.clone().mailboxes(true))
+        .expect("mailbox run");
+    cluster.shutdown();
+    check("mailbox", churn.name(), run, e);
+    println!("    all scenario runs executed their schedules exactly");
+}
+
 /// machine-readable `BENCH_cluster.json` the CI "Bench trajectory" step
 /// validates and gates on. Interleaved best-of-N damps scheduler jitter,
 /// exactly like the `reliability` ack A/B.
@@ -1121,7 +1248,7 @@ fn bench_trajectory(cfg: &ExpConfig, args: &[String]) {
         }
         // Pre-materialize the stream so the timed window measures the
         // pipeline, not the workload generator.
-        let stream: Vec<bluedove_core::Message> = w.messages().take(messages);
+        let stream: Vec<bluedove_core::Message> = w.messages().take(messages).collect();
         // Let registration traffic drain so the wire-byte window only
         // sees the publish pipeline (plus background stats/gossip noise).
         std::thread::sleep(Duration::from_millis(50));
@@ -1208,7 +1335,7 @@ fn bench_trajectory(cfg: &ExpConfig, args: &[String]) {
     // cost model the rest of the figures use).
     let sat = {
         let mut scfg = cfg.clone();
-        scfg.subscriptions = scfg.subscriptions.min(2_000);
+        scfg.scenario.subscriptions = scfg.scenario.subscriptions.min(2_000);
         scfg.sim.engine.batch.max_batch = MAX_BATCH;
         scfg.sim.engine.batch.max_delay = MAX_DELAY.as_secs_f64();
         scfg.saturation_rate(System::BlueDove, MATCHERS)
@@ -1238,6 +1365,71 @@ fn bench_trajectory(cfg: &ExpConfig, args: &[String]) {
             idx.logical_len() as f64 / idx.physical_len().max(1) as f64,
             idx.memory_bytes(),
         )
+    };
+
+    // Per-scenario rows: every shipped Scenario driven through the
+    // threaded host's `run_scenario` at smoke scale — same cluster shape
+    // as the hot-path A/B, batching on. Throughput here is publications
+    // per wall second across the whole run, churn round trips included;
+    // the rows track the scenario API's trajectory and are not gated.
+    let scenario_rows = {
+        use bluedove_workload::{HighChurn, Scenario, ScenarioConfig, SpatioTextual};
+        let scen_cfg = ScenarioConfig::new()
+            .subscriptions(if quick { 150 } else { 300 })
+            .messages(if quick { 2_000 } else { 5_000 })
+            .rate(1_000.0);
+        let scenarios: Vec<Box<dyn Scenario>> = vec![
+            Box::new(PaperWorkload {
+                seed: 77,
+                ..Default::default()
+            }),
+            Box::new(SpatioTextual {
+                seed: 77,
+                ..Default::default()
+            }),
+            Box::new(HighChurn {
+                waves: 2,
+                wave_size: 25,
+                wave_period: 2.0,
+                wave_ramp: 0.5,
+                wave_hold: 1.0,
+                migrants: 5,
+                migrations: 2,
+                migrate_period: 1.0,
+                seed: 77,
+                ..Default::default()
+            }),
+        ];
+        scenarios
+            .iter()
+            .map(|s| {
+                let mut cluster = Cluster::start(
+                    ClusterConfig::new(s.space())
+                        .matchers(MATCHERS)
+                        .policy(PolicyKind::Random)
+                        .publication_acks(false)
+                        .max_batch(MAX_BATCH)
+                        .max_delay(MAX_DELAY),
+                );
+                let start = Instant::now();
+                let run = cluster
+                    .run_scenario(s.as_ref(), &scen_cfg)
+                    .expect("scenario run");
+                let elapsed = start.elapsed().as_secs_f64();
+                cluster.shutdown();
+                let rate = run.published as f64 / elapsed;
+                println!(
+                    "    scenario {:<18} {} msgs {}  churn +{} -{} ~{}",
+                    s.name(),
+                    run.published,
+                    fmt_rate(rate).trim(),
+                    run.subscribed - scen_cfg.subscriptions as u64,
+                    run.unsubscribed,
+                    run.migrated,
+                );
+                (s.name(), scen_cfg.subscriptions, run, rate)
+            })
+            .collect::<Vec<_>>()
     };
 
     let num = Json::Num;
@@ -1293,6 +1485,28 @@ fn bench_trajectory(cfg: &ExpConfig, args: &[String]) {
         (
             "covering_ratio".into(),
             num((covering_ratio * 100.0).round() / 100.0),
+        ),
+        (
+            "scenarios".into(),
+            Json::Arr(
+                scenario_rows
+                    .iter()
+                    .map(|(name, subs, run, rate)| {
+                        Json::Obj(vec![
+                            ("name".into(), Json::Str((*name).into())),
+                            ("subscriptions".into(), num(*subs as f64)),
+                            ("messages".into(), num(run.published as f64)),
+                            (
+                                "churn_subscribed".into(),
+                                num((run.subscribed - *subs as u64) as f64),
+                            ),
+                            ("churn_unsubscribed".into(), num(run.unsubscribed as f64)),
+                            ("churn_migrated".into(), num(run.migrated as f64)),
+                            ("publish_throughput_msgs_per_sec".into(), num(rate.round())),
+                        ])
+                    })
+                    .collect(),
+            ),
         ),
     ]);
 

@@ -5,7 +5,7 @@ use bluedove_core::{
     AdaptivePolicy, ForwardingPolicy, RandomPolicy, ResponseTimePolicy, SubscriptionCountPolicy,
 };
 use bluedove_sim::{SaturationProbe, SimCluster, SimConfig, Strategy};
-use bluedove_workload::{MessageGenerator, PaperWorkload};
+use bluedove_workload::{MessageGenerator, PaperWorkload, ScenarioConfig};
 
 /// The three systems Figure 6 compares.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -84,8 +84,9 @@ impl Policy {
 pub struct ExpConfig {
     /// The workload (dimensions, skew, adverse message dims, seed).
     pub workload: PaperWorkload,
-    /// Number of subscriptions loaded before measurement.
-    pub subscriptions: usize,
+    /// Host-independent scenario knobs; `scenario.subscriptions` is the
+    /// population loaded before measurement.
+    pub scenario: ScenarioConfig,
     /// Simulator cost model.
     pub sim: SimConfig,
     /// Saturation probe settings.
@@ -99,7 +100,7 @@ impl Default for ExpConfig {
         // the full scale).
         ExpConfig {
             workload: PaperWorkload::default(),
-            subscriptions: 10_000,
+            scenario: ScenarioConfig::new().subscriptions(10_000),
             sim: SimConfig::default(),
             probe: SaturationProbe::default(),
         }
@@ -109,7 +110,7 @@ impl Default for ExpConfig {
 impl ExpConfig {
     /// The paper's full-scale workload (40 000 subscriptions).
     pub fn paper_scale(mut self) -> Self {
-        self.subscriptions = 40_000;
+        self.scenario.subscriptions = 40_000;
         self
     }
 
@@ -143,7 +144,11 @@ impl ExpConfig {
             System::FullRep => Strategy::full_rep(n),
         };
         let mut cluster = SimCluster::new(self.sim.clone(), space, strategy, policy);
-        cluster.subscribe_all(self.workload.subscriptions().take(self.subscriptions));
+        cluster.subscribe_all(
+            self.workload
+                .subscriptions()
+                .take(self.scenario.subscriptions),
+        );
         (cluster, self.workload.messages())
     }
 
@@ -164,7 +169,7 @@ impl ExpConfig {
     pub fn max_subscriptions(&self, system: System, n: u32, rate: f64) -> usize {
         let saturated_at = |subs: usize| -> bool {
             let mut cfg = self.clone();
-            cfg.subscriptions = subs;
+            cfg.scenario.subscriptions = subs;
             let (mut c, mut g) = cfg.build(system, n);
             cfg.probe.is_saturated(&mut c, &mut g, rate)
         };
@@ -214,7 +219,7 @@ mod tests {
     #[test]
     fn build_loads_subscriptions() {
         let cfg = ExpConfig {
-            subscriptions: 100,
+            scenario: ScenarioConfig::new().subscriptions(100),
             ..Default::default()
         };
         let (c, _g) = cfg.build(System::BlueDove, 4);

@@ -1048,6 +1048,25 @@ impl Cluster {
         Ok(())
     }
 
+    /// Unregisters a subscription by id, for endpoints without a live
+    /// [`SubscriberHandle`] — mailbox ([`subscribe_indirect`]) subscribers
+    /// in particular. The registry supplies the full subscription the
+    /// matchers need to locate every copy.
+    ///
+    /// [`subscribe_indirect`]: Self::subscribe_indirect
+    pub fn unsubscribe_by_id(&mut self, id: SubscriptionId) -> Result<(), ClusterError> {
+        let Some(sub) = self.sub_registry.remove(&id) else {
+            return Err(ClusterError::Invalid("unsubscribe of unknown subscription"));
+        };
+        if self.cfg.log_dir.is_some() {
+            self.unsub_tombstones.push(sub.clone());
+        }
+        let d = &self.dispatchers[(sub.subscriber.0 as usize) % self.dispatchers.len()];
+        self.transport
+            .send(&d.addr, to_bytes(&ControlMsg::Unsubscribe(sub)).freeze())?;
+        Ok(())
+    }
+
     /// Registers `sub` with **indirect delivery** (§II-B): matching
     /// messages accumulate in the cluster's mailbox node and the returned
     /// endpoint fetches them with [`IndirectSubscriber::poll`] — the model

@@ -41,6 +41,7 @@ pub mod log;
 pub mod mailbox;
 pub mod matcher;
 pub mod proto;
+pub mod scenario;
 pub mod shared;
 pub mod sublog;
 pub mod wal;

@@ -1,0 +1,126 @@
+//! Runs a [`Scenario`] on the threaded cluster host.
+//!
+//! The threaded host has no virtual clock, so the churn schedule is
+//! placed *within the publication sequence*: publication `i` stands at
+//! virtual time `(i + 1) / rate`, and every churn event due at or before
+//! that instant fires first. The same schedule therefore interleaves at
+//! the same points on every run and every transport — determinism comes
+//! from sequence position, not wall-clock timing.
+
+use crate::cluster::{Cluster, ClusterError, IndirectSubscriber, SubscriberHandle};
+use bluedove_workload::{ChurnAction, ChurnKey, Scenario, ScenarioConfig, ScenarioRun};
+use std::collections::HashMap;
+
+/// A live churn-keyed endpoint: direct (push) or mailbox (poll).
+enum ChurnEndpoint {
+    Direct(SubscriberHandle),
+    Mailbox(IndirectSubscriber),
+}
+
+impl Cluster {
+    /// Runs `scenario` under `cfg`: pre-loads the initial population
+    /// (blocking on each ack), then publishes `cfg.messages` messages,
+    /// firing churn events at their position in the arrival sequence.
+    ///
+    /// With `cfg.mailboxes` set, churn-keyed subscribers register through
+    /// [`subscribe_indirect`](Self::subscribe_indirect), so a `Migrate`
+    /// re-homes a real mailbox — the §II-B mobile-subscriber model.
+    ///
+    /// The run does not quiesce on return; callers that need every
+    /// delivery accounted for should drain by their own counters, as the
+    /// chaos suite does.
+    pub fn run_scenario(
+        &mut self,
+        scenario: &dyn Scenario,
+        cfg: &ScenarioConfig,
+    ) -> Result<ScenarioRun, ClusterError> {
+        let schedule = scenario.churn_schedule();
+        schedule
+            .validate()
+            .map_err(|_| ClusterError::Invalid("scenario churn schedule failed validation"))?;
+
+        let mut run = ScenarioRun::default();
+        let mut subs = scenario.subscription_stream();
+        let mut population = Vec::with_capacity(cfg.subscriptions);
+        for sub in subs.by_ref().take(cfg.subscriptions) {
+            population.push(self.subscribe(sub)?);
+            run.subscribed += 1;
+        }
+
+        let mut live: HashMap<ChurnKey, ChurnEndpoint> = HashMap::new();
+        let mut msgs = scenario.message_stream();
+        let step = 1.0 / cfg.rate;
+        let mut events = schedule.events().iter().peekable();
+
+        for i in 0..cfg.messages {
+            let now = (i + 1) as f64 * step;
+            while events.peek().is_some_and(|e| e.at <= now) {
+                let e = events.next().expect("peeked");
+                self.fire(&e.action, cfg, &mut live, &mut run)?;
+            }
+            let msg = msgs.next().expect("streams are infinite");
+            self.publish(msg)?;
+            run.published += 1;
+        }
+        // Events past the last arrival still execute (a wave must recede
+        // even if publications stopped mid-hold).
+        for e in events {
+            self.fire(&e.action, cfg, &mut live, &mut run)?;
+        }
+
+        // Keep the base population's endpoints alive for the whole run —
+        // dropping a handle closes its receive side.
+        drop(population);
+        drop(live);
+        Ok(run)
+    }
+
+    /// Executes one churn action against the live endpoint map.
+    fn fire(
+        &mut self,
+        action: &ChurnAction,
+        cfg: &ScenarioConfig,
+        live: &mut HashMap<ChurnKey, ChurnEndpoint>,
+        run: &mut ScenarioRun,
+    ) -> Result<(), ClusterError> {
+        match action {
+            ChurnAction::Subscribe { key, sub } => {
+                let ep = self.churn_subscribe(sub.clone(), cfg)?;
+                live.insert(*key, ep);
+                run.subscribed += 1;
+            }
+            ChurnAction::Unsubscribe { key } => {
+                let ep = live.remove(key).expect("validated schedule");
+                self.churn_unsubscribe(&ep)?;
+                run.unsubscribed += 1;
+            }
+            ChurnAction::Migrate { key, sub } => {
+                let old = live.remove(key).expect("validated schedule");
+                self.churn_unsubscribe(&old)?;
+                let ep = self.churn_subscribe(sub.clone(), cfg)?;
+                live.insert(*key, ep);
+                run.migrated += 1;
+            }
+        }
+        Ok(())
+    }
+
+    fn churn_subscribe(
+        &mut self,
+        sub: bluedove_core::Subscription,
+        cfg: &ScenarioConfig,
+    ) -> Result<ChurnEndpoint, ClusterError> {
+        Ok(if cfg.mailboxes {
+            ChurnEndpoint::Mailbox(self.subscribe_indirect(sub)?)
+        } else {
+            ChurnEndpoint::Direct(self.subscribe(sub)?)
+        })
+    }
+
+    fn churn_unsubscribe(&mut self, ep: &ChurnEndpoint) -> Result<(), ClusterError> {
+        match ep {
+            ChurnEndpoint::Direct(h) => self.unsubscribe(h),
+            ChurnEndpoint::Mailbox(m) => self.unsubscribe_by_id(m.subscription),
+        }
+    }
+}

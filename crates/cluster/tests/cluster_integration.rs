@@ -178,7 +178,7 @@ fn throughput_run_with_paper_workload() {
     let all = cluster
         .subscribe(Subscription::builder(&sp).build().unwrap())
         .unwrap();
-    let mut subs = w.subscriptions();
+    let subs = w.subscriptions();
     for s in subs.take(300) {
         // Re-register through the cluster (ids are re-stamped).
         let plain = Subscription::builder(&sp)
@@ -190,7 +190,7 @@ fn throughput_run_with_paper_workload() {
             .unwrap();
         cluster.subscribe(plain).unwrap();
     }
-    let mut gen = w.messages();
+    let gen = w.messages();
     let mut publisher = cluster.publisher();
     for m in gen.take(2000) {
         publisher.publish(m).unwrap();

@@ -1,0 +1,68 @@
+//! The `Scenario` API on the threaded host: the same scenario values the
+//! simulator consumes run unchanged here, churn events land at their
+//! sequence positions, and mailbox-backed churn re-homes real mailboxes.
+
+use bluedove_cluster::{Cluster, ClusterConfig};
+use bluedove_workload::{HighChurn, Scenario, ScenarioConfig, SpatioTextual};
+
+/// A churn scenario small enough to finish quickly under blocking
+/// subscribe acks.
+fn small_churn() -> HighChurn {
+    HighChurn {
+        waves: 2,
+        wave_size: 10,
+        wave_period: 2.0,
+        wave_ramp: 0.5,
+        wave_hold: 1.0,
+        migrants: 3,
+        migrations: 2,
+        migrate_period: 1.0,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn spatio_textual_runs_on_threaded_host() {
+    let s = SpatioTextual::default();
+    let mut cluster = Cluster::start(ClusterConfig::new(Scenario::space(&s)).matchers(3));
+    let cfg = ScenarioConfig::new().subscriptions(100).messages(300);
+    let run = cluster.run_scenario(&s, &cfg).unwrap();
+    assert_eq!(run.published, 300);
+    assert_eq!(run.subscribed, 100);
+    assert_eq!(run.unsubscribed + run.migrated, 0);
+    cluster.shutdown();
+}
+
+#[test]
+fn high_churn_executes_full_schedule_direct() {
+    let s = small_churn();
+    let mut cluster = Cluster::start(ClusterConfig::new(Scenario::space(&s)).matchers(3));
+    // 6 virtual seconds of arrivals at 100/s spans both waves and every
+    // migration.
+    let cfg = ScenarioConfig::new()
+        .subscriptions(50)
+        .messages(600)
+        .rate(100.0);
+    let run = cluster.run_scenario(&s, &cfg).unwrap();
+    assert_eq!(run.published, 600);
+    assert_eq!(run.subscribed as usize, 50 + 3 + 2 * 10);
+    assert_eq!(run.unsubscribed as usize, 2 * 10);
+    assert_eq!(run.migrated as usize, 3 * 2);
+    cluster.shutdown();
+}
+
+#[test]
+fn high_churn_with_mailbox_endpoints() {
+    let s = small_churn();
+    let mut cluster = Cluster::start(ClusterConfig::new(Scenario::space(&s)).matchers(2));
+    let cfg = ScenarioConfig::new()
+        .subscriptions(20)
+        .messages(600)
+        .rate(100.0)
+        .mailboxes(true);
+    let run = cluster.run_scenario(&s, &cfg).unwrap();
+    assert_eq!(run.published, 600);
+    assert_eq!(run.migrated as usize, 3 * 2);
+    assert_eq!(run.unsubscribed as usize, 2 * 10);
+    cluster.shutdown();
+}

@@ -170,7 +170,7 @@ fn run_coverable_stream(seed: u64, inner: InnerKind) {
     let mut covered = (IndexKind::Covering { inner }).build(&sp, DIM);
     let mut bare = inner.bare().build(&sp, DIM);
     let subs = w.subscriptions().take(3_000);
-    let msgs = w.messages().take(200);
+    let msgs: Vec<_> = w.messages().take(200).collect();
     for s in subs {
         covered.insert(s.clone());
         bare.insert(s);

@@ -643,7 +643,7 @@ impl SimCluster {
     }
 
     /// Admits one message at the current time (dispatcher ingress).
-    fn admit(&mut self, mut msg: Message) {
+    pub(crate) fn admit(&mut self, mut msg: Message) {
         msg.id = MessageId(self.next_msg_id);
         self.next_msg_id += 1;
         self.metrics.record_sent(self.now);

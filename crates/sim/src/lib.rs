@@ -25,6 +25,7 @@ pub mod events;
 pub mod metrics;
 pub mod replication;
 pub mod saturation;
+pub mod scenario;
 
 pub use cluster::{SimCluster, Strategy};
 pub use config::SimConfig;

@@ -73,10 +73,16 @@ impl SubscriptionGenerator {
         self.next_subscriber += 1;
         s
     }
+}
 
-    /// Generates `n` subscriptions.
-    pub fn take(&mut self, n: usize) -> Vec<Subscription> {
-        (0..n).map(|_| self.next_sub()).collect()
+/// The generator as an (infinite) stream — what the `Scenario` trait
+/// boxes; use the standard `Iterator` adapters (`gen.take(n)`,
+/// `.collect()`, …) to slice it.
+impl Iterator for SubscriptionGenerator {
+    type Item = Subscription;
+
+    fn next(&mut self) -> Option<Subscription> {
+        Some(self.next_sub())
     }
 }
 
@@ -194,10 +200,14 @@ impl CoverableSubGenerator {
         self.next_subscriber += 1;
         s
     }
+}
 
-    /// Generates `n` subscriptions.
-    pub fn take(&mut self, n: usize) -> Vec<Subscription> {
-        (0..n).map(|_| self.next_sub()).collect()
+/// The generator as an (infinite) stream.
+impl Iterator for CoverableSubGenerator {
+    type Item = Subscription;
+
+    fn next(&mut self) -> Option<Subscription> {
+        Some(self.next_sub())
     }
 }
 
@@ -252,10 +262,14 @@ impl MessageGenerator {
             .collect();
         Message::with_payload(values, payload)
     }
+}
 
-    /// Generates `n` messages.
-    pub fn take(&mut self, n: usize) -> Vec<Message> {
-        (0..n).map(|_| self.next_msg()).collect()
+/// The generator as an (infinite) stream.
+impl Iterator for MessageGenerator {
+    type Item = Message;
+
+    fn next(&mut self) -> Option<Message> {
+        Some(self.next_msg())
     }
 }
 
@@ -279,15 +293,16 @@ mod tests {
     #[test]
     fn generation_is_deterministic_per_seed() {
         let mut a = SubscriptionGenerator::new(space(), uniform_cfg(), 9);
-        let mut b = SubscriptionGenerator::new(space(), uniform_cfg(), 9);
-        assert_eq!(a.take(50), b.take(50));
+        let b = SubscriptionGenerator::new(space(), uniform_cfg(), 9);
+        let first: Vec<_> = a.by_ref().take(50).collect();
+        assert_eq!(first, b.take(50).collect::<Vec<_>>());
         let mut c = SubscriptionGenerator::new(space(), uniform_cfg(), 10);
-        assert_ne!(a.take(1), c.take(1));
+        assert_ne!(a.next_sub(), c.next_sub());
     }
 
     #[test]
     fn subscriptions_are_valid_and_within_domain() {
-        let mut g = SubscriptionGenerator::new(space(), uniform_cfg(), 1);
+        let g = SubscriptionGenerator::new(space(), uniform_cfg(), 1);
         for s in g.take(200) {
             assert_eq!(s.k(), 4);
             for p in &s.predicates {
@@ -300,8 +315,8 @@ mod tests {
 
     #[test]
     fn ids_are_sequential_and_unique() {
-        let mut g = SubscriptionGenerator::new(space(), uniform_cfg(), 1);
-        let subs = g.take(10);
+        let g = SubscriptionGenerator::new(space(), uniform_cfg(), 1);
+        let subs: Vec<_> = g.take(10).collect();
         for (i, s) in subs.iter().enumerate() {
             assert_eq!(s.id.0, i as u64 + 1);
             assert_eq!(s.subscriber.0, i as u64 + 1);
@@ -333,7 +348,7 @@ mod tests {
     #[test]
     fn messages_are_valid_points() {
         let sp = space();
-        let mut g = MessageGenerator::new(sp.clone(), vec![ValueDist::Uniform; 4], 3);
+        let g = MessageGenerator::new(sp.clone(), vec![ValueDist::Uniform; 4], 3);
         for m in g.take(200) {
             assert!(m.validate(&sp).is_ok());
         }
@@ -348,8 +363,11 @@ mod tests {
 
     #[test]
     fn message_generation_is_deterministic() {
-        let mut a = MessageGenerator::new(space(), vec![ValueDist::Uniform; 4], 11);
-        let mut b = MessageGenerator::new(space(), vec![ValueDist::Uniform; 4], 11);
-        assert_eq!(a.take(20), b.take(20));
+        let a = MessageGenerator::new(space(), vec![ValueDist::Uniform; 4], 11);
+        let b = MessageGenerator::new(space(), vec![ValueDist::Uniform; 4], 11);
+        assert_eq!(
+            a.take(20).collect::<Vec<_>>(),
+            b.take(20).collect::<Vec<_>>()
+        );
     }
 }

@@ -3,17 +3,24 @@
 //! # bluedove-workload
 //!
 //! Seeded workload generators reproducing the BlueDove evaluation
-//! distributions (§IV-B, §IV-F):
+//! distributions (§IV-B, §IV-F), organized around the composable
+//! [`scenario::Scenario`] trait:
 //!
 //! - [`dist::ValueDist`] — uniform, cropped-normal (the paper's skewed
 //!   subscription distribution) and Zipf value distributions;
 //! - [`gen::SubscriptionGenerator`] / [`gen::MessageGenerator`] —
 //!   deterministic streams of subscriptions and publications;
-//! - [`scenario::PaperWorkload`] — the §IV-B setup knob-for-knob, plus the
-//!   traffic-monitoring and stock-ticker scenarios used by the examples.
+//! - [`scenario`] — the [`scenario::Scenario`] trait (attribute space +
+//!   subscription stream + message arrival process + churn schedule)
+//!   both hosts consume directly, and the shipped scenarios:
+//!   [`scenario::PaperWorkload`] (§IV-B knob-for-knob),
+//!   [`scenario::CoverableWorkload`], [`scenario::TrafficMonitoring`],
+//!   [`scenario::StockTicker`], [`scenario::SpatioTextual`] and
+//!   [`scenario::HighChurn`].
 //!
-//! All generators are seeded; identical seeds reproduce identical streams,
-//! which the experiment harness relies on.
+//! All generators are seeded; identical seeds reproduce identical streams
+//! and churn schedules, which the experiment harness and the engine-parity
+//! suite rely on.
 
 pub mod dist;
 pub mod gen;
@@ -22,5 +29,9 @@ pub mod scenario;
 pub use dist::ValueDist;
 pub use gen::{CoverableSubGenerator, MessageGenerator, SubDimConfig, SubscriptionGenerator};
 pub use scenario::{
-    hot_spot_ratio, stock_ticker, traffic_monitoring, CoverableWorkload, PaperWorkload,
+    hot_spot_ratio, ChurnAction, ChurnEvent, ChurnKey, ChurnSchedule, CoverableWorkload, HighChurn,
+    MsgStream, PaperWorkload, Scenario, ScenarioConfig, ScenarioRun, SpatioTextual, StockTicker,
+    SubStream, TrafficMonitoring,
 };
+#[allow(deprecated)]
+pub use scenario::{stock_ticker, traffic_monitoring};

@@ -1,0 +1,264 @@
+//! The high-churn elasticity scenario: flash-crowd subscribe/unsubscribe
+//! waves plus mobile subscribers migrating between locations (and, on
+//! the threaded host with mailbox delivery on, between mailboxes) —
+//! the workload that drives the autoscaler through grow/shrink cycles.
+
+use super::{ChurnAction, ChurnEvent, ChurnSchedule, MsgStream, Scenario, SubStream};
+use crate::dist::ValueDist;
+use crate::gen::{MessageGenerator, SubDimConfig, SubscriptionGenerator};
+use bluedove_core::{AttributeSpace, SubscriberId, Subscription, SubscriptionId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Churned subscription ids start here so they can never collide with
+/// the initial population's sequential ids (the simulator removes
+/// subscriptions by id).
+const CHURN_ID_BASE: u64 = 1 << 32;
+
+/// Wave keys start here so they never collide with migrant keys.
+const WAVE_KEY_BASE: u64 = 1 << 20;
+
+/// A steady base population overlaid with:
+///
+/// - **flash crowds** — `waves` bursts of `wave_size` subscribers each,
+///   arriving over a `wave_ramp` window every `wave_period` seconds and
+///   leaving again `wave_hold` seconds later (the subscribe/unsubscribe
+///   wave the autoscaler must absorb and hand back);
+/// - **mobile subscribers** — `migrants` long-lived subscribers that
+///   re-draw their interest box every `migrate_period` seconds
+///   (generalizing `examples/mobile_subscriber.rs`: with mailbox
+///   delivery on, each migration re-homes a real mailbox).
+#[derive(Debug, Clone)]
+pub struct HighChurn {
+    /// Number of searchable dimensions.
+    pub k: usize,
+    /// Domain length per dimension.
+    pub domain: f64,
+    /// Predicate width of every generated subscription.
+    pub sub_width: f64,
+    /// Number of flash-crowd waves.
+    pub waves: usize,
+    /// Subscribers per wave.
+    pub wave_size: usize,
+    /// Seconds between wave starts.
+    pub wave_period: f64,
+    /// Seconds over which one wave's subscribers arrive (and leave).
+    pub wave_ramp: f64,
+    /// Seconds a wave's subscribers stay before unsubscribing.
+    pub wave_hold: f64,
+    /// Number of mobile subscribers.
+    pub migrants: usize,
+    /// Migrations per mobile subscriber.
+    pub migrations: usize,
+    /// Seconds between one subscriber's migrations.
+    pub migrate_period: f64,
+    /// Base RNG seed; base population, message stream and churn schedule
+    /// derive distinct seeds from it.
+    pub seed: u64,
+}
+
+impl Default for HighChurn {
+    fn default() -> Self {
+        HighChurn {
+            k: 2,
+            domain: 100.0,
+            sub_width: 25.0,
+            waves: 3,
+            wave_size: 150,
+            wave_period: 30.0,
+            wave_ramp: 5.0,
+            wave_hold: 15.0,
+            migrants: 20,
+            migrations: 4,
+            migrate_period: 10.0,
+            seed: 42,
+        }
+    }
+}
+
+impl HighChurn {
+    /// The attribute space.
+    pub fn space(&self) -> AttributeSpace {
+        AttributeSpace::uniform(self.k, 0.0, self.domain)
+    }
+
+    /// Builds the base-population subscription generator (uniform
+    /// centres — churn, not placement skew, is this scenario's point).
+    pub fn subscriptions(&self) -> SubscriptionGenerator {
+        let dims = (0..self.k)
+            .map(|_| SubDimConfig {
+                center: ValueDist::Uniform,
+                width: self.sub_width,
+            })
+            .collect();
+        SubscriptionGenerator::new(self.space(), dims, self.seed.wrapping_mul(2) + 1)
+    }
+
+    /// Builds the (uniform) message generator.
+    pub fn messages(&self) -> MessageGenerator {
+        MessageGenerator::new(
+            self.space(),
+            vec![ValueDist::Uniform; self.k],
+            self.seed.wrapping_mul(3) + 7,
+        )
+    }
+
+    /// One churned subscription: a random box with an id from the
+    /// reserved churn range.
+    fn churn_sub(&self, space: &AttributeSpace, rng: &mut StdRng, id: u64) -> Subscription {
+        let mut b = Subscription::builder(space).subscriber(SubscriberId(id));
+        for (i, d) in space.dims().iter().enumerate() {
+            let center = rng.gen_range(d.min..d.max);
+            let half = self.sub_width / 2.0;
+            let lo = (center - half).max(d.min);
+            let hi = (center + half).min(d.max).max(lo + f64::EPSILON * d.len());
+            b = b.range(i, lo, hi);
+        }
+        let mut s = b.build().expect("clipped ranges are valid");
+        s.id = SubscriptionId(id);
+        s
+    }
+}
+
+impl Scenario for HighChurn {
+    fn name(&self) -> &'static str {
+        "high_churn"
+    }
+
+    fn space(&self) -> AttributeSpace {
+        HighChurn::space(self)
+    }
+
+    fn subscription_stream(&self) -> SubStream {
+        Box::new(self.subscriptions())
+    }
+
+    fn message_stream(&self) -> MsgStream {
+        Box::new(self.messages())
+    }
+
+    fn churn_schedule(&self) -> ChurnSchedule {
+        let space = self.space();
+        let mut rng = StdRng::seed_from_u64(self.seed.wrapping_mul(5) + 3);
+        let mut next_id = CHURN_ID_BASE;
+        let mut id = || {
+            next_id += 1;
+            next_id
+        };
+        let mut events = Vec::new();
+
+        // Mobile subscribers: join at the start, then re-draw their box
+        // every `migrate_period` (staggered so migrations don't all land
+        // on the same instant).
+        for m in 0..self.migrants as u64 {
+            let stagger = m as f64 * 0.05;
+            events.push(ChurnEvent {
+                at: stagger,
+                action: ChurnAction::Subscribe {
+                    key: m,
+                    sub: self.churn_sub(&space, &mut rng, id()),
+                },
+            });
+            for g in 1..=self.migrations {
+                events.push(ChurnEvent {
+                    at: g as f64 * self.migrate_period + stagger,
+                    action: ChurnAction::Migrate {
+                        key: m,
+                        sub: self.churn_sub(&space, &mut rng, id()),
+                    },
+                });
+            }
+        }
+
+        // Flash crowds: each wave's subscribers arrive spread over the
+        // ramp and leave in the same order `wave_hold` later.
+        for w in 0..self.waves as u64 {
+            let start = w as f64 * self.wave_period + 1.0;
+            for j in 0..self.wave_size as u64 {
+                let key = WAVE_KEY_BASE + w * self.wave_size as u64 + j;
+                let offset = if self.wave_size > 1 {
+                    self.wave_ramp * j as f64 / (self.wave_size - 1) as f64
+                } else {
+                    0.0
+                };
+                events.push(ChurnEvent {
+                    at: start + offset,
+                    action: ChurnAction::Subscribe {
+                        key,
+                        sub: self.churn_sub(&space, &mut rng, id()),
+                    },
+                });
+                events.push(ChurnEvent {
+                    at: start + self.wave_hold + offset,
+                    action: ChurnAction::Unsubscribe { key },
+                });
+            }
+        }
+        ChurnSchedule::from_events(events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_deterministic_and_coherent() {
+        let s = HighChurn::default();
+        let a = s.churn_schedule();
+        let b = s.churn_schedule();
+        assert_eq!(a, b, "same seed must give an identical event timeline");
+        a.validate().expect("every keyed event resolves");
+        let expected = s.migrants * (1 + s.migrations) + s.waves * s.wave_size * 2;
+        assert_eq!(a.len(), expected);
+        let other = HighChurn {
+            seed: 7,
+            ..Default::default()
+        };
+        assert_ne!(a, other.churn_schedule());
+    }
+
+    #[test]
+    fn churn_ids_never_collide_with_base_population() {
+        let s = HighChurn::default();
+        let base_max = s
+            .subscriptions()
+            .take(100_000)
+            .map(|sub| sub.id.0)
+            .max()
+            .unwrap();
+        assert!(base_max < CHURN_ID_BASE);
+        for e in s.churn_schedule().events() {
+            if let ChurnAction::Subscribe { sub, .. } | ChurnAction::Migrate { sub, .. } = &e.action
+            {
+                assert!(sub.id.0 >= CHURN_ID_BASE);
+            }
+        }
+    }
+
+    #[test]
+    fn waves_arrive_and_recede() {
+        let s = HighChurn::default();
+        let sched = s.churn_schedule();
+        // Count live wave subscribers just after the first ramp and
+        // after its hold expires.
+        let live_at = |t: f64| {
+            let mut live = 0i64;
+            for e in sched.events() {
+                if e.at > t {
+                    break;
+                }
+                match e.action {
+                    ChurnAction::Subscribe { key, .. } if key >= WAVE_KEY_BASE => live += 1,
+                    ChurnAction::Unsubscribe { key } if key >= WAVE_KEY_BASE => live -= 1,
+                    _ => {}
+                }
+            }
+            live
+        };
+        let peak = live_at(1.0 + s.wave_ramp + 0.1);
+        assert_eq!(peak, s.wave_size as i64, "full first wave live at ramp end");
+        let after = live_at(1.0 + s.wave_hold + s.wave_ramp + 0.1);
+        assert_eq!(after, 0, "first wave fully receded after its hold");
+    }
+}

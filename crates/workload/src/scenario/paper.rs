@@ -1,13 +1,9 @@
-//! Ready-made workload scenarios.
-//!
-//! [`PaperWorkload`] reproduces the §IV-B evaluation setup knob-for-knob;
-//! the traffic-monitoring and stock-ticker scenarios back the example
-//! binaries and give the domain-specific flavour of the paper's
-//! introduction.
+//! The paper's evaluation workloads as [`Scenario`] implementations.
 
+use super::{MsgStream, Scenario, SubStream};
 use crate::dist::ValueDist;
 use crate::gen::{CoverableSubGenerator, MessageGenerator, SubDimConfig, SubscriptionGenerator};
-use bluedove_core::{AttributeSpace, Dimension};
+use bluedove_core::AttributeSpace;
 
 /// The §IV-B evaluation workload:
 ///
@@ -101,6 +97,24 @@ impl PaperWorkload {
     }
 }
 
+impl Scenario for PaperWorkload {
+    fn name(&self) -> &'static str {
+        "paper"
+    }
+
+    fn space(&self) -> AttributeSpace {
+        PaperWorkload::space(self)
+    }
+
+    fn subscription_stream(&self) -> SubStream {
+        Box::new(self.subscriptions())
+    }
+
+    fn message_stream(&self) -> MsgStream {
+        Box::new(self.messages())
+    }
+}
+
 /// The *coverable* workload scenario: subscriptions derive from a fixed
 /// set of Zipf-popular template boxes — a fraction subscribe to the
 /// template verbatim, the rest to jittered specializations strictly
@@ -168,175 +182,27 @@ impl CoverableWorkload {
     }
 }
 
-/// The traffic-monitoring scenario from the paper's introduction:
-/// longitude, latitude, speed (mph) and time-of-day (seconds). Drivers
-/// subscribe to slow traffic in rectangular areas; vehicles publish
-/// readings concentrated around a metro hot spot.
-pub fn traffic_monitoring(seed: u64) -> (AttributeSpace, SubscriptionGenerator, MessageGenerator) {
-    let space = AttributeSpace::new(vec![
-        Dimension::new("longitude", -180.0, 180.0),
-        Dimension::new("latitude", -90.0, 90.0),
-        Dimension::new("speed", 0.0, 120.0),
-        Dimension::new("time_of_day", 0.0, 86_400.0),
-    ])
-    .expect("non-empty dims");
-    let subs = SubscriptionGenerator::new(
-        space.clone(),
-        vec![
-            // Drivers cluster around the metro area (-41.7, 72) and care
-            // about slow traffic during commute hours.
-            SubDimConfig {
-                center: ValueDist::CroppedNormal {
-                    mean: -41.7,
-                    std: 10.0,
-                },
-                width: 2.0,
-            },
-            SubDimConfig {
-                center: ValueDist::CroppedNormal {
-                    mean: 72.0,
-                    std: 5.0,
-                },
-                width: 4.0,
-            },
-            SubDimConfig {
-                center: ValueDist::CroppedNormal {
-                    mean: 12.0,
-                    std: 15.0,
-                },
-                width: 25.0,
-            },
-            SubDimConfig {
-                center: ValueDist::Uniform,
-                width: 14_400.0,
-            },
-        ],
-        seed,
-    );
-    let msgs = MessageGenerator::new(
-        space.clone(),
-        vec![
-            ValueDist::CroppedNormal {
-                mean: -41.7,
-                std: 20.0,
-            },
-            ValueDist::CroppedNormal {
-                mean: 72.0,
-                std: 10.0,
-            },
-            ValueDist::CroppedNormal {
-                mean: 35.0,
-                std: 25.0,
-            },
-            ValueDist::Uniform,
-        ],
-        seed ^ 0xDEAD_BEEF,
-    );
-    (space, subs, msgs)
-}
-
-/// A stock-ticker scenario: symbol id, price, volume and change-percent.
-/// Subscriptions follow a Zipf distribution over symbols (the Twitter-like
-/// 20-80 skew §III-A-2 cites); quotes likewise concentrate on hot symbols.
-pub fn stock_ticker(seed: u64) -> (AttributeSpace, SubscriptionGenerator, MessageGenerator) {
-    let space = AttributeSpace::new(vec![
-        Dimension::new("symbol", 0.0, 10_000.0),
-        Dimension::new("price", 0.0, 5_000.0),
-        Dimension::new("volume", 0.0, 1_000_000.0),
-        Dimension::new("change_pct", -50.0, 50.0),
-    ])
-    .expect("non-empty dims");
-    let subs = SubscriptionGenerator::new(
-        space.clone(),
-        vec![
-            SubDimConfig {
-                center: ValueDist::Zipf {
-                    bins: 100,
-                    s: 1.1,
-                    perm_seed: seed,
-                },
-                width: 100.0,
-            },
-            SubDimConfig {
-                center: ValueDist::CroppedNormal {
-                    mean: 150.0,
-                    std: 400.0,
-                },
-                width: 200.0,
-            },
-            SubDimConfig {
-                center: ValueDist::Uniform,
-                width: 500_000.0,
-            },
-            SubDimConfig {
-                center: ValueDist::CroppedNormal {
-                    mean: 0.0,
-                    std: 10.0,
-                },
-                width: 10.0,
-            },
-        ],
-        seed,
-    );
-    let msgs = MessageGenerator::new(
-        space.clone(),
-        vec![
-            ValueDist::Zipf {
-                bins: 100,
-                s: 1.1,
-                perm_seed: seed,
-            },
-            ValueDist::CroppedNormal {
-                mean: 150.0,
-                std: 400.0,
-            },
-            ValueDist::CroppedNormal {
-                mean: 50_000.0,
-                std: 150_000.0,
-            },
-            ValueDist::CroppedNormal {
-                mean: 0.0,
-                std: 5.0,
-            },
-        ],
-        seed ^ 0xFEED_F00D,
-    );
-    (space, subs, msgs)
-}
-
-/// Measures the hot-spot skew of a subscription population along `dim`:
-/// the ratio of the densest segment's subscription count to the average,
-/// with the dimension split into `segments` equal parts (the paper quotes
-/// 2.7× for σ = 250). "Density" counts subscriptions whose predicate
-/// overlaps the segment — the quantity mPartition assignment sees.
-pub fn hot_spot_ratio(
-    subs: &[bluedove_core::Subscription],
-    space: &AttributeSpace,
-    dim: bluedove_core::DimIdx,
-    segments: usize,
-) -> f64 {
-    let d = space.dim(dim);
-    let width = d.len() / segments as f64;
-    let mut counts = vec![0usize; segments];
-    for s in subs {
-        let p = s.predicate(dim);
-        let first = (((p.lo - d.min) / width) as usize).min(segments - 1);
-        let last = (((p.hi - d.min) / width).ceil() as usize).clamp(first + 1, segments);
-        for c in counts.iter_mut().take(last).skip(first) {
-            *c += 1;
-        }
+impl Scenario for CoverableWorkload {
+    fn name(&self) -> &'static str {
+        "coverable"
     }
-    let max = *counts.iter().max().unwrap_or(&0) as f64;
-    let avg = counts.iter().sum::<usize>() as f64 / segments as f64;
-    if avg == 0.0 {
-        0.0
-    } else {
-        max / avg
+
+    fn space(&self) -> AttributeSpace {
+        CoverableWorkload::space(self)
+    }
+
+    fn subscription_stream(&self) -> SubStream {
+        Box::new(self.subscriptions())
+    }
+
+    fn message_stream(&self) -> MsgStream {
+        Box::new(self.messages())
     }
 }
 
 #[cfg(test)]
 mod tests {
+    use super::super::hot_spot_ratio;
     use super::*;
     use bluedove_core::DimIdx;
 
@@ -360,7 +226,7 @@ mod tests {
     #[test]
     fn default_workload_exhibits_hot_spot_skew() {
         let w = PaperWorkload::default();
-        let subs = w.subscriptions().take(10_000);
+        let subs: Vec<_> = w.subscriptions().take(10_000).collect();
         for dim in 0..4u16 {
             let r = hot_spot_ratio(&subs, &w.space(), DimIdx(dim), 20);
             // The paper quotes 2.7×; our cropped-normal construction lands
@@ -380,18 +246,10 @@ mod tests {
             sub_std: 1000.0,
             ..Default::default()
         };
-        let rs = hot_spot_ratio(
-            &sharp.subscriptions().take(8_000),
-            &sharp.space(),
-            DimIdx(0),
-            20,
-        );
-        let rf = hot_spot_ratio(
-            &flat.subscriptions().take(8_000),
-            &flat.space(),
-            DimIdx(0),
-            20,
-        );
+        let sharp_subs: Vec<_> = sharp.subscriptions().take(8_000).collect();
+        let flat_subs: Vec<_> = flat.subscriptions().take(8_000).collect();
+        let rs = hot_spot_ratio(&sharp_subs, &sharp.space(), DimIdx(0), 20);
+        let rf = hot_spot_ratio(&flat_subs, &flat.space(), DimIdx(0), 20);
         assert!(rs > rf, "σ=250 ratio {rs} should exceed σ=1000 ratio {rf}");
         // Paper: at σ=1000 the max is only ~1.17× the average.
         assert!(rf < 1.5, "σ=1000 ratio {rf} should be nearly flat");
@@ -403,8 +261,7 @@ mod tests {
             adverse_dims: 4,
             ..Default::default()
         };
-        let mut gen = w.messages();
-        let msgs = gen.take(5_000);
+        let msgs: Vec<_> = w.messages().take(5_000).collect();
         // Dimension 0's hot spot is at 125: most adverse messages cluster
         // near it (σ=250).
         let near = msgs
@@ -413,9 +270,9 @@ mod tests {
             .count();
         assert!(near > 2_500, "adverse messages not clustered: {near}/5000");
 
-        let uniform = PaperWorkload::default().messages().take(5_000);
-        let near_u = uniform
-            .iter()
+        let near_u = PaperWorkload::default()
+            .messages()
+            .take(5_000)
             .filter(|m| (m.values[0] - 125.0).abs() < 250.0)
             .count();
         assert!(near > near_u, "adverse should cluster more than uniform");
@@ -424,8 +281,8 @@ mod tests {
     #[test]
     fn coverable_workload_is_deterministic_and_valid() {
         let w = CoverableWorkload::default();
-        let a = w.subscriptions().take(500);
-        let b = w.subscriptions().take(500);
+        let a: Vec<_> = w.subscriptions().take(500).collect();
+        let b: Vec<_> = w.subscriptions().take(500).collect();
         assert_eq!(a, b);
         let sp = w.space();
         for s in &a {
@@ -447,7 +304,7 @@ mod tests {
             seed: 7,
             ..Default::default()
         };
-        let subs = w.subscriptions().take(4_000);
+        let subs: Vec<_> = w.subscriptions().take(4_000).collect();
         let mut idx = IndexKind::Covering {
             inner: InnerKind::Cell(64),
         }
@@ -467,34 +324,13 @@ mod tests {
     }
 
     #[test]
-    fn traffic_scenario_produces_valid_streams() {
-        let (space, mut subs, mut msgs) = traffic_monitoring(5);
-        for s in subs.take(100) {
-            assert_eq!(s.k(), 4);
-            for (i, p) in s.predicates.iter().enumerate() {
-                let d = &space.dims()[i];
-                assert!(p.lo >= d.min && p.hi <= d.max);
-            }
-        }
-        for m in msgs.take(100) {
-            assert!(m.validate(&space).is_ok());
-        }
-    }
-
-    #[test]
-    fn stock_scenario_produces_valid_streams() {
-        let (space, mut subs, mut msgs) = stock_ticker(6);
-        for s in subs.take(100) {
-            assert_eq!(s.k(), 4);
-        }
-        for m in msgs.take(100) {
-            assert!(m.validate(&space).is_ok());
-        }
-    }
-
-    #[test]
-    fn hot_spot_ratio_handles_empty_population() {
+    fn scenario_stream_matches_inherent_generators() {
         let w = PaperWorkload::default();
-        assert_eq!(hot_spot_ratio(&[], &w.space(), DimIdx(0), 10), 0.0);
+        let via_trait: Vec<_> = Scenario::subscription_stream(&w).take(50).collect();
+        let inherent: Vec<_> = w.subscriptions().take(50).collect();
+        assert_eq!(via_trait, inherent);
+        let via_trait: Vec<_> = Scenario::message_stream(&w).take(50).collect();
+        let inherent: Vec<_> = w.messages().take(50).collect();
+        assert_eq!(via_trait, inherent);
     }
 }

@@ -1,0 +1,281 @@
+//! The spatio-textual scenario: location boxes plus a Zipf keyword
+//! dimension (after Chen et al.'s distributed spatio-textual
+//! pub/sub — see PAPERS.md).
+
+use super::{MsgStream, Scenario, SubStream};
+use crate::dist::ValueDist;
+use bluedove_core::{
+    AttributeSpace, Dimension, Message, SubscriberId, Subscription, SubscriptionId,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Lat/lon location boxes as two dimensions plus a keyword dimension
+/// with Zipf-distributed terms — genuinely heterogeneous attributes:
+/// the location dimensions are dense and clustered around a handful of
+/// cities while the keyword dimension is a sparse vocabulary with a
+/// heavy-tailed term popularity, so `dim_select` sees very different
+/// selectivities per dimension.
+///
+/// Subscriptions are "notify me about *term* inside *this box*": a
+/// city-clustered location box and exactly one keyword term (the
+/// predicate covers that term's unit bin). Publications are geo-tagged
+/// posts: a location near a city and a Zipf-popular term.
+#[derive(Debug, Clone)]
+pub struct SpatioTextual {
+    /// Number of city hot spots locations cluster around.
+    pub cities: usize,
+    /// Std-dev (degrees) of subscriber locations around their city.
+    pub city_std: f64,
+    /// Location-box width in longitude, degrees.
+    pub box_lon: f64,
+    /// Location-box height in latitude, degrees.
+    pub box_lat: f64,
+    /// Keyword vocabulary size (terms are integer bins `0..vocab`).
+    pub vocab: usize,
+    /// Zipf exponent of term popularity.
+    pub zipf_s: f64,
+    /// Base RNG seed; city placement, subscription and message streams
+    /// derive distinct seeds from it.
+    pub seed: u64,
+}
+
+impl Default for SpatioTextual {
+    fn default() -> Self {
+        SpatioTextual {
+            cities: 8,
+            city_std: 6.0,
+            box_lon: 4.0,
+            box_lat: 3.0,
+            vocab: 512,
+            zipf_s: 1.1,
+            seed: 42,
+        }
+    }
+}
+
+impl SpatioTextual {
+    /// The three-dimensional space: longitude, latitude, keyword.
+    pub fn space(&self) -> AttributeSpace {
+        AttributeSpace::new(vec![
+            Dimension::new("longitude", -180.0, 180.0),
+            Dimension::new("latitude", -90.0, 90.0),
+            Dimension::new("keyword", 0.0, self.vocab as f64),
+        ])
+        .expect("non-empty dims")
+    }
+
+    /// The fixed city centres `(lon, lat)`, from their own derived seed
+    /// so the per-subscription draws do not perturb them (kept away from
+    /// the poles/date line so location boxes rarely clip).
+    pub fn city_centers(&self) -> Vec<(f64, f64)> {
+        let mut rng = StdRng::seed_from_u64(self.seed.wrapping_mul(0x9E37_79B9).wrapping_add(5));
+        (0..self.cities)
+            .map(|_| (rng.gen_range(-150.0..150.0), rng.gen_range(-60.0..60.0)))
+            .collect()
+    }
+
+    fn stream(&self, seed: u64) -> SpatioStream {
+        SpatioStream {
+            space: self.space(),
+            cities: self.city_centers(),
+            city_std: self.city_std,
+            box_lon: self.box_lon,
+            box_lat: self.box_lat,
+            vocab: self.vocab,
+            term_dist: ValueDist::Zipf {
+                bins: self.vocab,
+                s: self.zipf_s,
+                // Terms rank the same way in subscriptions and messages,
+                // so hot terms coincide across the two streams.
+                perm_seed: self.seed,
+            },
+            rng: StdRng::seed_from_u64(seed),
+            next_id: 1,
+        }
+    }
+
+    /// The subscription stream as a concrete iterator.
+    pub fn subscriptions(&self) -> impl Iterator<Item = Subscription> + Send {
+        let mut s = self.stream(self.seed.wrapping_mul(2) + 1);
+        std::iter::from_fn(move || Some(s.next_sub()))
+    }
+
+    /// The publication stream as a concrete iterator.
+    pub fn messages(&self) -> impl Iterator<Item = Message> + Send {
+        let mut s = self.stream(self.seed.wrapping_mul(3) + 7);
+        std::iter::from_fn(move || Some(s.next_msg()))
+    }
+}
+
+/// The shared sampling state behind both streams.
+struct SpatioStream {
+    space: AttributeSpace,
+    cities: Vec<(f64, f64)>,
+    city_std: f64,
+    box_lon: f64,
+    box_lat: f64,
+    vocab: usize,
+    term_dist: ValueDist,
+    rng: StdRng,
+    next_id: u64,
+}
+
+impl SpatioStream {
+    /// A location near a uniformly chosen city (cropped normal around
+    /// its centre on both axes).
+    fn location(&mut self) -> (f64, f64) {
+        let (clon, clat) = self.cities[self.rng.gen_range(0..self.cities.len())];
+        let dims = self.space.dims();
+        let lon = ValueDist::CroppedNormal {
+            mean: clon,
+            std: self.city_std,
+        }
+        .sample(&mut self.rng, dims[0].min, dims[0].max);
+        let lat = ValueDist::CroppedNormal {
+            mean: clat,
+            std: self.city_std,
+        }
+        .sample(&mut self.rng, dims[1].min, dims[1].max);
+        (lon, lat)
+    }
+
+    /// A Zipf-popular term id in `0..vocab`.
+    fn term(&mut self) -> usize {
+        let v = self.term_dist.sample(&mut self.rng, 0.0, self.vocab as f64);
+        (v.floor() as usize).min(self.vocab - 1)
+    }
+
+    fn next_sub(&mut self) -> Subscription {
+        let (lon, lat) = self.location();
+        let term = self.term() as f64;
+        let dims = self.space.dims();
+        let clip = |center: f64, half: f64, d: &Dimension| {
+            let lo = (center - half).max(d.min);
+            let hi = (center + half).min(d.max).max(lo + f64::EPSILON * d.len());
+            (lo, hi)
+        };
+        let (lon_lo, lon_hi) = clip(lon, self.box_lon / 2.0, &dims[0]);
+        let (lat_lo, lat_hi) = clip(lat, self.box_lat / 2.0, &dims[1]);
+        let mut s = Subscription::builder(&self.space)
+            .subscriber(SubscriberId(self.next_id))
+            .range(0, lon_lo, lon_hi)
+            .range(1, lat_lo, lat_hi)
+            // The keyword predicate covers exactly this term's unit bin.
+            .range(2, term, term + 1.0)
+            .build()
+            .expect("clipped ranges are valid");
+        s.id = SubscriptionId(self.next_id);
+        self.next_id += 1;
+        s
+    }
+
+    fn next_msg(&mut self) -> Message {
+        let (lon, lat) = self.location();
+        // Publications land mid-bin so they fall inside the term's
+        // subscription predicate.
+        let term = self.term() as f64 + 0.5;
+        Message::new(vec![lon, lat, term])
+    }
+}
+
+impl Scenario for SpatioTextual {
+    fn name(&self) -> &'static str {
+        "spatio_textual"
+    }
+
+    fn space(&self) -> AttributeSpace {
+        SpatioTextual::space(self)
+    }
+
+    fn subscription_stream(&self) -> SubStream {
+        Box::new(self.subscriptions())
+    }
+
+    fn message_stream(&self) -> MsgStream {
+        Box::new(self.messages())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic_per_seed() {
+        let s = SpatioTextual::default();
+        let a: Vec<_> = s.subscriptions().take(200).collect();
+        let b: Vec<_> = s.subscriptions().take(200).collect();
+        assert_eq!(a, b);
+        let ma: Vec<_> = s.messages().take(200).collect();
+        let mb: Vec<_> = s.messages().take(200).collect();
+        assert_eq!(ma, mb);
+        let other = SpatioTextual {
+            seed: 7,
+            ..Default::default()
+        };
+        assert_ne!(a, other.subscriptions().take(200).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn keyword_terms_are_zipf_skewed() {
+        let s = SpatioTextual::default();
+        let mut counts = vec![0usize; s.vocab];
+        for m in s.messages().take(20_000) {
+            counts[(m.values[2].floor() as usize).min(s.vocab - 1)] += 1;
+        }
+        let mut sorted = counts.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        let top10: usize = sorted.iter().take(10).sum();
+        // Zipf s=1.1 over 512 terms: the 10 hottest terms take a large
+        // share of the stream.
+        assert!(
+            top10 * 2 > 20_000,
+            "top-10 terms carry {top10}/20000 — not heavy-tailed"
+        );
+    }
+
+    #[test]
+    fn locations_cluster_around_cities() {
+        let s = SpatioTextual::default();
+        let cities = s.city_centers();
+        let near = s
+            .subscriptions()
+            .take(2_000)
+            .filter(|sub| {
+                let lon = (sub.predicates[0].lo + sub.predicates[0].hi) / 2.0;
+                let lat = (sub.predicates[1].lo + sub.predicates[1].hi) / 2.0;
+                cities.iter().any(|&(clon, clat)| {
+                    (lon - clon).abs() < 3.0 * s.city_std && (lat - clat).abs() < 3.0 * s.city_std
+                })
+            })
+            .count();
+        assert!(
+            near > 1_900,
+            "only {near}/2000 subscriptions near a city (3σ)"
+        );
+    }
+
+    #[test]
+    fn subscription_ids_are_sequential() {
+        let s = SpatioTextual::default();
+        for (i, sub) in s.subscriptions().take(20).enumerate() {
+            assert_eq!(sub.id.0, i as u64 + 1);
+            assert_eq!(sub.subscriber.0, i as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn messages_frequently_match_hot_term_subscriptions() {
+        // Heterogeneity sanity: because terms are Zipf on both sides,
+        // a hot-term location box does receive traffic.
+        let s = SpatioTextual::default();
+        let subs: Vec<_> = s.subscriptions().take(500).collect();
+        let msgs: Vec<_> = s.messages().take(2_000).collect();
+        let hits: usize = msgs
+            .iter()
+            .map(|m| subs.iter().filter(|sub| sub.matches(m)).count())
+            .sum();
+        assert!(hits > 0, "spatio-textual workload never matches");
+    }
+}

@@ -10,11 +10,14 @@
 
 use bluedove::cluster::{Cluster, ClusterConfig, PolicyKind};
 use bluedove::core::Subscription;
-use bluedove::workload::stock_ticker;
+use bluedove::workload::{Scenario, StockTicker};
 use std::time::Duration;
 
 fn main() {
-    let (space, mut sub_gen, mut quote_feed) = stock_ticker(99);
+    let scenario = StockTicker::new(99);
+    let space = Scenario::space(&scenario);
+    let sub_gen = scenario.subscriptions();
+    let quote_feed = scenario.messages();
     let mut cluster = Cluster::start(
         ClusterConfig::new(space.clone())
             .matchers(8)

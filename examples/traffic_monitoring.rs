@@ -9,11 +9,13 @@
 
 use bluedove::cluster::{Cluster, ClusterConfig, SubscriberHandle};
 use bluedove::core::{Message, Subscription};
-use bluedove::workload::traffic_monitoring;
+use bluedove::workload::{Scenario, TrafficMonitoring};
 use std::time::Duration;
 
 fn main() {
-    let (space, _subs, mut sensor_feed) = traffic_monitoring(7);
+    let scenario = TrafficMonitoring::new(7);
+    let space = Scenario::space(&scenario);
+    let sensor_feed = scenario.messages();
     let mut cluster = Cluster::start(ClusterConfig::new(space.clone()).matchers(6).dispatchers(2));
 
     // Three drivers watching different rectangles for congestion

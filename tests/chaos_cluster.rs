@@ -1360,3 +1360,238 @@ fn covering_groups_survive_crash_and_replay() {
     cluster.shutdown();
     let _ = std::fs::remove_dir_all(&log_dir);
 }
+
+// ---------------------------------------------------------------------
+// 17. The full elasticity story at once: a flash-crowd subscription wave
+//     arrives (the HighChurn scenario's schedule), the autoscaler grows
+//     the cluster, seeded drop + partition faults hit mid-traffic,
+//     mobile subscribers migrate their boxes, the wave recedes and the
+//     autoscaler gracefully shrinks — and through churn, scaling and
+//     faults combined, every probe is observed exactly once and nothing
+//     dead-letters.
+// ---------------------------------------------------------------------
+
+/// Fires every churn event due at or before `upto` against live handles,
+/// returning by incrementing `(subscribed, unsubscribed, migrated)`.
+fn fire_churn(
+    cluster: &mut Cluster,
+    handles: &mut std::collections::HashMap<u64, bluedove::cluster::SubscriberHandle>,
+    events: &mut std::iter::Peekable<std::slice::Iter<'_, bluedove::workload::ChurnEvent>>,
+    upto: f64,
+    counts: &mut (u64, u64, u64),
+) {
+    use bluedove::workload::ChurnAction;
+    while events.peek().is_some_and(|e| e.at <= upto) {
+        match &events.next().expect("peeked").action {
+            ChurnAction::Subscribe { key, sub } => {
+                handles.insert(*key, cluster.subscribe(sub.clone()).unwrap());
+                counts.0 += 1;
+            }
+            ChurnAction::Unsubscribe { key } => {
+                let h = handles.remove(key).expect("validated schedule");
+                cluster.unsubscribe(&h).unwrap();
+                counts.1 += 1;
+            }
+            ChurnAction::Migrate { key, sub } => {
+                let h = handles.remove(key).expect("validated schedule");
+                cluster.unsubscribe(&h).unwrap();
+                handles.insert(*key, cluster.subscribe(sub.clone()).unwrap());
+                counts.2 += 1;
+            }
+        }
+    }
+}
+
+#[test]
+fn churn_scaling_and_faults_lose_nothing() {
+    use bluedove::core::{DimIdx, DimStats};
+    use bluedove::engine::{AutoscalerConfig, LoadSnapshot, ScaleOutcome};
+    use bluedove::workload::{HighChurn, Scenario};
+    use std::collections::HashMap;
+
+    let seed = scenario_seed("churn_scaling_and_faults_lose_nothing", 42);
+    let mut cluster = Cluster::start(
+        chaos_config(seed, 3, FailureDetectorConfig::default()).autoscaler(AutoscalerConfig {
+            hysteresis: 2,
+            cooldown: 0.0,
+            min_matchers: 2,
+            max_matchers: 6,
+            ..Default::default()
+        }),
+    );
+    let sub = cluster.subscribe(wildcard(&space())).unwrap();
+
+    // The HighChurn scenario's own schedule at test scale: one 25-strong
+    // flash crowd arriving over a second and leaving 5s later, plus 4
+    // migrants re-drawing their boxes once. Same space as `space()`.
+    let churn = HighChurn {
+        waves: 1,
+        wave_size: 25,
+        wave_period: 10.0,
+        wave_ramp: 1.0,
+        wave_hold: 5.0,
+        migrants: 4,
+        migrations: 1,
+        migrate_period: 3.0,
+        seed,
+        ..Default::default()
+    };
+    let schedule = churn.churn_schedule();
+    schedule.validate().expect("coherent schedule");
+    let mut handles: HashMap<u64, bluedove::cluster::SubscriberHandle> = HashMap::new();
+    let mut events = schedule.events().iter().peekable();
+    let mut churned = (0u64, 0u64, 0u64);
+
+    const N: u64 = 200;
+    // Collision-free over 0..N (see `crash_loses_nothing_with_acks`).
+    let unique_probe = |i: u64| Message::new(vec![(i % 100) as f64, (i / 100 * 10) as f64]);
+    let mut published = 0u64;
+    let mut publish_batch = |cluster: &mut Cluster, upto: u64| {
+        while published < upto {
+            cluster.publish(unique_probe(published)).unwrap();
+            published += 1;
+        }
+    };
+
+    // Synthetic load snapshots drive the controller deterministically:
+    // the same watermark/hysteresis/cooldown controller both hosts run,
+    // fed the pressure the wave would produce, so the grow/shrink
+    // sequence is identical on every run of every seed.
+    let hot = DimStats {
+        sub_count: 300,
+        queue_len: 256,
+        lambda: 180.0,
+        mu: 100.0,
+        updated_at: 0.0,
+    };
+    let cold = DimStats {
+        sub_count: 10,
+        queue_len: 0,
+        lambda: 5.0,
+        mu: 100.0,
+        updated_at: 0.0,
+    };
+    let snap_of = |cluster: &Cluster, stats: DimStats, now: f64| {
+        let mut s = LoadSnapshot::new(now);
+        for m in cluster.matcher_ids() {
+            for d in 0..2u16 {
+                s.push(m, DimIdx(d), stats);
+            }
+        }
+        s
+    };
+
+    // Phase 1: migrants join, the flash crowd arrives, probes flow into
+    // the 3-matcher table.
+    fire_churn(&mut cluster, &mut handles, &mut events, 2.5, &mut churned);
+    assert_eq!(churned.0, 4 + 25, "migrants and the full wave joined");
+    publish_batch(&mut cluster, 60);
+
+    // Phase 2: the wave's load trips the controller — two hot snapshots
+    // (hysteresis) fire a Grow through the §III-C join protocol.
+    let snap = snap_of(&cluster, hot, 1.0);
+    assert!(cluster.autoscale_with(&snap).unwrap().is_none(), "streak 1");
+    let snap = snap_of(&cluster, hot, 2.0);
+    let added = match cluster.autoscale_with(&snap).unwrap() {
+        Some(ScaleOutcome::Added(m)) => m,
+        other => panic!("second hot snapshot must grow, got {other:?}"),
+    };
+    assert_eq!(cluster.matcher_ids().len(), 4, "grew to 4 matchers");
+    println!("scenario 17: grew with {added:?}");
+
+    // Phase 3: seeded faults mid-traffic — 20% loss on every
+    // dispatcher→matcher forward (the leg the at-least-once ledger
+    // covers; client→dispatcher ingress is fire-and-forget and out of
+    // scope), plus a partition between the lead dispatcher and an
+    // original matcher. Publications keep flowing; ack timeouts
+    // retransmit through the loss.
+    FaultSchedule::new()
+        .at(
+            Duration::ZERO,
+            ChaosEvent::Degrade(LinkRule {
+                from: AddrSet::Prefix("d/".into()),
+                to: AddrSet::Prefix("m/".into()),
+                rule: FaultRule::drop(0.2),
+            }),
+        )
+        .at(
+            Duration::from_millis(50),
+            ChaosEvent::Partition {
+                a: AddrSet::one("d/0"),
+                b: AddrSet::one("m/1"),
+            },
+        )
+        .run(&mut cluster)
+        .unwrap();
+    publish_batch(&mut cluster, 140);
+
+    // Phase 4: heal, then migrate (subscribe acks are one-shot control
+    // traffic, so re-registration waits for clean links), let the wave
+    // recede, and shrink back: two cold snapshots pick the newest
+    // (coldest-tied) matcher as the victim and retire it through the
+    // graceful-leave protocol.
+    let report = FaultSchedule::new()
+        .at(Duration::ZERO, ChaosEvent::HealPartitions)
+        .at(Duration::from_millis(100), ChaosEvent::ClearFaults)
+        .run(&mut cluster)
+        .unwrap();
+    println!("{report}");
+    fire_churn(&mut cluster, &mut handles, &mut events, 5.0, &mut churned);
+    assert_eq!(churned.2, 4, "every migrant moved once");
+    fire_churn(
+        &mut cluster,
+        &mut handles,
+        &mut events,
+        f64::INFINITY,
+        &mut churned,
+    );
+    assert_eq!(churned.1, 25, "the whole wave unsubscribed");
+    assert!(handles.len() == 4, "only migrants remain subscribed");
+    let snap = snap_of(&cluster, cold, 3.0);
+    assert!(cluster.autoscale_with(&snap).unwrap().is_none(), "streak 1");
+    let snap = snap_of(&cluster, cold, 4.0);
+    let removed = match cluster.autoscale_with(&snap).unwrap() {
+        Some(ScaleOutcome::Removed(m)) => m,
+        other => panic!("second cold snapshot must shrink, got {other:?}"),
+    };
+    assert_eq!(
+        removed, added,
+        "ties prefer the newest join as shrink victim"
+    );
+    assert_eq!(cluster.matcher_ids().len(), 3, "back at 3 matchers");
+    publish_batch(&mut cluster, N);
+
+    // Exactly-once accounting across churn + grow + faults + shrink.
+    let mut seen = vec![0u32; N as usize];
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while Instant::now() < deadline {
+        let Some(d) = sub.recv_timeout(Duration::from_millis(300)) else {
+            if seen.iter().all(|&n| n == 1) {
+                break;
+            }
+            continue;
+        };
+        let i = (0..N)
+            .position(|i| d.msg.values == unique_probe(i).values)
+            .expect("delivery matches one published probe");
+        seen[i] += 1;
+    }
+    let (retried, duplicates_suppressed, dead_lettered) = cluster.reliability_counters();
+    println!(
+        "scenario 17 counters: retried={retried} duplicates_suppressed={duplicates_suppressed} \
+         dead_lettered={dead_lettered} churned={churned:?}"
+    );
+    let lost: Vec<usize> = (0..N as usize).filter(|&i| seen[i] == 0).collect();
+    let duped: Vec<usize> = (0..N as usize).filter(|&i| seen[i] > 1).collect();
+    assert!(
+        lost.is_empty(),
+        "zero publication loss through churn+scaling+faults; lost probes {lost:?}"
+    );
+    assert!(
+        duped.is_empty(),
+        "zero duplicate observations; duplicated probes {duped:?}"
+    );
+    assert_eq!(dead_lettered, 0, "nothing exhausted its retry budget");
+    drop(handles);
+    cluster.shutdown();
+}

@@ -185,10 +185,10 @@ fn five_million_single_index_bit_identical_matches() {
     assert!(covered.memory_bytes() * 2 <= bare.memory_bytes());
 
     let (mut examined_covered, mut examined_bare) = (0usize, 0usize);
-    for (i, msg) in w.messages().take(MSGS).iter().enumerate() {
+    for (i, msg) in w.messages().take(MSGS).enumerate() {
         let (mut a, mut b) = (Vec::new(), Vec::new());
-        examined_covered += covered.matching(msg, &mut a);
-        examined_bare += bare.matching(msg, &mut b);
+        examined_covered += covered.matching(&msg, &mut a);
+        examined_bare += bare.matching(&msg, &mut b);
         a.sort_unstable();
         b.sort_unstable();
         assert_eq!(a, b, "match sets diverged on sampled msg {i}");

@@ -16,8 +16,8 @@ fn workload() -> (Vec<Subscription>, Vec<Message>, PaperWorkload) {
         seed: 77,
         ..Default::default()
     };
-    let subs = w.subscriptions().take(SUBS);
-    let msgs = w.messages().take(MSGS);
+    let subs: Vec<_> = w.subscriptions().take(SUBS).collect();
+    let msgs: Vec<_> = w.messages().take(MSGS).collect();
     (subs, msgs, w)
 }
 

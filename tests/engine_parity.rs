@@ -23,11 +23,12 @@
 
 use bluedove::cluster::{Cluster, ClusterConfig, PolicyKind, TransportKind};
 use bluedove::core::{
-    DimIdx, IndexKind, InnerKind, MatcherId, Message, MessageId, RandomPolicy, Subscription,
+    AttributeSpace, DimIdx, IndexKind, InnerKind, MatcherId, Message, MessageId, RandomPolicy,
+    Subscription,
 };
 use bluedove::net::ReactorConfig;
 use bluedove::sim::{SimCluster, SimConfig, Strategy};
-use bluedove::workload::PaperWorkload;
+use bluedove::workload::{PaperWorkload, Scenario, SpatioTextual};
 use std::time::{Duration, Instant};
 
 /// The coalescing depth of the batched parity runs; the 1 ms `max_delay`
@@ -41,21 +42,42 @@ const MATCHERS: u32 = 6;
 
 type ForwardTrace = Vec<(MessageId, MatcherId, DimIdx)>;
 
-fn workload(seed: u64) -> (Vec<Subscription>, Vec<Message>, PaperWorkload) {
-    let w = PaperWorkload {
+/// A fixed workload every host replays: the materialised prefix of a
+/// scenario's streams plus its attribute space.
+struct Fixture {
+    subs: Vec<Subscription>,
+    msgs: Vec<Message>,
+    space: AttributeSpace,
+}
+
+/// Materialises the first `SUBS`/`MSGS` items of any [`Scenario`]'s
+/// streams — the parity fixture is scenario-agnostic.
+fn fixture_of(scenario: &dyn Scenario) -> Fixture {
+    Fixture {
+        subs: scenario.subscription_stream().take(SUBS).collect(),
+        msgs: scenario.message_stream().take(MSGS).collect(),
+        space: scenario.space(),
+    }
+}
+
+fn workload(seed: u64) -> Fixture {
+    fixture_of(&PaperWorkload {
         seed,
         ..Default::default()
-    };
-    let subs = w.subscriptions().take(SUBS);
-    let msgs = w.messages().take(MSGS);
-    (subs, msgs, w)
+    })
+}
+
+fn spatio_workload(seed: u64) -> Fixture {
+    fixture_of(&SpatioTextual {
+        seed,
+        ..Default::default()
+    })
 }
 
 /// Runs the simulator host; returns its forward trace and total match
 /// hits.
-fn sim_trace(seed: u64, max_batch: usize, index: IndexKind) -> (ForwardTrace, u64) {
-    let (subs, msgs, w) = workload(seed);
-    let space = w.space();
+fn sim_trace(fx: &Fixture, seed: u64, max_batch: usize, index: IndexKind) -> (ForwardTrace, u64) {
+    let (subs, msgs, space) = (&fx.subs, &fx.msgs, &fx.space);
     let base = SimConfig::default();
     let mut engine = bluedove::engine::EngineConfig {
         record_forwards: true,
@@ -78,23 +100,23 @@ fn sim_trace(seed: u64, max_batch: usize, index: IndexKind) -> (ForwardTrace, u6
     sim.subscribe_all(subs.clone());
     sim.run_batch(msgs.clone(), 500.0);
     sim.drain(20.0);
-    assert_eq!(sim.metrics.total_sent, MSGS as u64);
-    assert_eq!(sim.metrics.total_delivered, MSGS as u64);
+    assert_eq!(sim.metrics.total_sent, msgs.len() as u64);
+    assert_eq!(sim.metrics.total_delivered, msgs.len() as u64);
     let log = sim.forward_log().to_vec();
-    assert_eq!(log.len(), MSGS, "sim must forward every message once");
+    assert_eq!(log.len(), msgs.len(), "sim must forward every message once");
     (log, sim.metrics.total_matches)
 }
 
 /// Runs the threaded cluster host over the given base transport; returns
 /// its forward trace and quiesced delivery count.
 fn cluster_trace(
+    fx: &Fixture,
     seed: u64,
     max_batch: usize,
     transport: TransportKind,
     index: IndexKind,
 ) -> (ForwardTrace, u64) {
-    let (subs, msgs, w) = workload(seed);
-    let space = w.space();
+    let (subs, msgs, space) = (&fx.subs, &fx.msgs, &fx.space);
     let mut cluster = Cluster::start(
         ClusterConfig::new(space.clone())
             .matchers(MATCHERS)
@@ -110,8 +132,8 @@ fn cluster_trace(
     );
     // Rebuild each subscription through the cluster's client path (ids are
     // re-stamped by the dispatcher; the predicates are what must match).
-    for s in &subs {
-        let mut b = Subscription::builder(&space);
+    for s in subs {
+        let mut b = Subscription::builder(space);
         for (d, p) in s.predicates.iter().enumerate() {
             b = b.range(d, p.lo, p.hi);
         }
@@ -120,17 +142,18 @@ fn cluster_trace(
             .expect("subscribe through the threaded cluster");
     }
     let mut publisher = cluster.publisher();
-    for m in &msgs {
+    for m in msgs {
         publisher.publish(m.clone()).unwrap();
     }
     // Every message forwards exactly once (no faults, no acks): wait for
     // the full trace, then for the delivery counter to quiesce.
     let deadline = Instant::now() + Duration::from_secs(120);
-    while cluster.forward_log().len() < MSGS {
+    while cluster.forward_log().len() < msgs.len() {
         assert!(
             Instant::now() < deadline,
-            "timed out at {}/{MSGS} forwards (seed {seed})",
-            cluster.forward_log().len()
+            "timed out at {}/{} forwards (seed {seed})",
+            cluster.forward_log().len(),
+            msgs.len()
         );
         std::thread::sleep(Duration::from_millis(20));
     }
@@ -167,9 +190,15 @@ fn assert_traces_match(seed: u64, host: &str, got: &ForwardTrace, want: &Forward
 /// (`max_batch == 1` = batching off); returns the agreed trace so callers
 /// can compare *across* batch modes too.
 fn parity_for_seed(seed: u64, max_batch: usize) -> ForwardTrace {
-    let (sim_log, sim_matches) = sim_trace(seed, max_batch, IndexKind::Linear);
-    let (cluster_log, deliveries) =
-        cluster_trace(seed, max_batch, TransportKind::Channel, IndexKind::Linear);
+    let fx = workload(seed);
+    let (sim_log, sim_matches) = sim_trace(&fx, seed, max_batch, IndexKind::Linear);
+    let (cluster_log, deliveries) = cluster_trace(
+        &fx,
+        seed,
+        max_batch,
+        TransportKind::Channel,
+        IndexKind::Linear,
+    );
     assert_traces_match(seed, "threaded/channel", &cluster_log, &sim_log);
     assert_eq!(
         deliveries, sim_matches,
@@ -181,8 +210,10 @@ fn parity_for_seed(seed: u64, max_batch: usize) -> ForwardTrace {
 /// Sim vs threaded-over-reactor: real loopback sockets, fixed event-loop
 /// threads — the forward sequence must still be bit-identical.
 fn reactor_parity_for_seed(seed: u64) {
-    let (sim_log, sim_matches) = sim_trace(seed, 1, IndexKind::Linear);
+    let fx = workload(seed);
+    let (sim_log, sim_matches) = sim_trace(&fx, seed, 1, IndexKind::Linear);
     let (reactor_log, deliveries) = cluster_trace(
+        &fx,
         seed,
         1,
         TransportKind::Reactor(ReactorConfig::default()),
@@ -256,9 +287,11 @@ fn engine_parity_reactor_seed_1337() {
 /// and threaded-over-reactor produce one forward sequence.
 #[test]
 fn engine_parity_three_hosts_seed_7() {
-    let (sim_log, _) = sim_trace(7, 1, IndexKind::Linear);
-    let (channel_log, _) = cluster_trace(7, 1, TransportKind::Channel, IndexKind::Linear);
+    let fx = workload(7);
+    let (sim_log, _) = sim_trace(&fx, 7, 1, IndexKind::Linear);
+    let (channel_log, _) = cluster_trace(&fx, 7, 1, TransportKind::Channel, IndexKind::Linear);
     let (reactor_log, _) = cluster_trace(
+        &fx,
         7,
         1,
         TransportKind::Reactor(ReactorConfig::default()),
@@ -266,6 +299,36 @@ fn engine_parity_three_hosts_seed_7() {
     );
     assert_traces_match(7, "threaded/channel", &channel_log, &sim_log);
     assert_traces_match(7, "threaded/reactor", &reactor_log, &sim_log);
+}
+
+/// The SpatioTextual scenario — lat/lon boxes plus a Zipf keyword
+/// dimension, a distribution nothing in the paper workload exercises —
+/// through all three hosts unchanged: one `Scenario` value, one forward
+/// sequence, bit-identical on every host.
+#[test]
+fn engine_parity_spatio_textual_three_hosts() {
+    let seed = 42;
+    let fx = spatio_workload(seed);
+    let (sim_log, sim_matches) = sim_trace(&fx, seed, 1, IndexKind::Linear);
+    let (channel_log, channel_deliveries) =
+        cluster_trace(&fx, seed, 1, TransportKind::Channel, IndexKind::Linear);
+    let (reactor_log, reactor_deliveries) = cluster_trace(
+        &fx,
+        seed,
+        1,
+        TransportKind::Reactor(ReactorConfig::default()),
+        IndexKind::Linear,
+    );
+    assert_traces_match(seed, "threaded/channel+spatio", &channel_log, &sim_log);
+    assert_traces_match(seed, "threaded/reactor+spatio", &reactor_log, &sim_log);
+    assert_eq!(
+        channel_deliveries, sim_matches,
+        "spatio-textual match totals diverged (channel host)"
+    );
+    assert_eq!(
+        reactor_deliveries, sim_matches,
+        "spatio-textual match totals diverged (reactor host)"
+    );
 }
 
 /// All three hosts with the covering index enabled: the decorator changes
@@ -277,8 +340,9 @@ fn engine_parity_three_hosts_covering_seed_7() {
     let covering = IndexKind::Covering {
         inner: InnerKind::Cell(16),
     };
-    let (bare_log, bare_matches) = sim_trace(7, 1, IndexKind::Cell(16));
-    let (sim_log, sim_matches) = sim_trace(7, 1, covering);
+    let fx = workload(7);
+    let (bare_log, bare_matches) = sim_trace(&fx, 7, 1, IndexKind::Cell(16));
+    let (sim_log, sim_matches) = sim_trace(&fx, 7, 1, covering);
     assert_eq!(
         sim_log, bare_log,
         "covering changed the sim's forward sequence"
@@ -287,8 +351,10 @@ fn engine_parity_three_hosts_covering_seed_7() {
         sim_matches, bare_matches,
         "covering changed the sim's match-hit total"
     );
-    let (channel_log, channel_deliveries) = cluster_trace(7, 1, TransportKind::Channel, covering);
+    let (channel_log, channel_deliveries) =
+        cluster_trace(&fx, 7, 1, TransportKind::Channel, covering);
     let (reactor_log, reactor_deliveries) = cluster_trace(
+        &fx,
         7,
         1,
         TransportKind::Reactor(ReactorConfig::default()),
@@ -298,6 +364,85 @@ fn engine_parity_three_hosts_covering_seed_7() {
     assert_traces_match(7, "threaded/reactor+covering", &reactor_log, &sim_log);
     assert_eq!(channel_deliveries, sim_matches, "channel host match total");
     assert_eq!(reactor_deliveries, sim_matches, "reactor host match total");
+}
+
+/// Churn schedules are pure functions of (parameters, seed): any host
+/// replaying one sees the same timed actions in the same order, which is
+/// the property the sequence-position interleaving on the threaded host
+/// and the virtual-time interleaving on the simulator both rest on.
+mod churn_determinism {
+    use bluedove::workload::{ChurnAction, HighChurn, Scenario};
+    use proptest::prelude::*;
+
+    fn high_churn(
+        seed: u64,
+        waves: usize,
+        wave_size: usize,
+        migrants: usize,
+        migrations: usize,
+    ) -> HighChurn {
+        HighChurn {
+            waves,
+            wave_size,
+            wave_period: 10.0,
+            wave_ramp: 1.5,
+            wave_hold: 4.0,
+            migrants,
+            migrations,
+            migrate_period: 3.0,
+            seed,
+            ..Default::default()
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Two independent constructions from the same parameters agree
+        /// event-for-event, the schedule passes referential validation,
+        /// and its action counts match the closed form.
+        #[test]
+        fn schedule_is_deterministic_and_coherent(
+            seed in any::<u64>(),
+            waves in 0usize..4,
+            wave_size in 1usize..12,
+            migrants in 0usize..6,
+            migrations in 0usize..4,
+        ) {
+            let a = high_churn(seed, waves, wave_size, migrants, migrations).churn_schedule();
+            let b = high_churn(seed, waves, wave_size, migrants, migrations).churn_schedule();
+            prop_assert_eq!(&a, &b, "same parameters must yield the same schedule");
+            prop_assert!(a.validate().is_ok());
+            prop_assert!(
+                a.events().windows(2).all(|w| w[0].at <= w[1].at),
+                "events must be time-ordered"
+            );
+            let count = |pred: fn(&ChurnAction) -> bool| {
+                a.events().iter().filter(|e| pred(&e.action)).count()
+            };
+            prop_assert_eq!(
+                count(|x| matches!(x, ChurnAction::Subscribe { .. })),
+                waves * wave_size + migrants
+            );
+            prop_assert_eq!(
+                count(|x| matches!(x, ChurnAction::Unsubscribe { .. })),
+                waves * wave_size
+            );
+            prop_assert_eq!(
+                count(|x| matches!(x, ChurnAction::Migrate { .. })),
+                migrants * migrations
+            );
+        }
+
+        /// A different seed re-draws the schedule's subscriptions: the
+        /// timing grid is parameter-driven, but the drawn boxes differ.
+        #[test]
+        fn seed_feeds_the_drawn_subscriptions(seed in any::<u64>()) {
+            let a = high_churn(seed, 1, 6, 2, 1).churn_schedule();
+            let b = high_churn(seed ^ 0x5DEE_CE66, 1, 6, 2, 1).churn_schedule();
+            prop_assert_ne!(&a, &b, "distinct seeds must draw distinct schedules");
+        }
+    }
 }
 
 /// Extra sweep seed for the CI chaos matrix (`CHAOS_SEED=<u64>`); a no-op

@@ -8,7 +8,7 @@ use bluedove::sim::SaturationProbe;
 
 fn quick() -> ExpConfig {
     let mut cfg = ExpConfig::default();
-    cfg.subscriptions = 2_000;
+    cfg.scenario.subscriptions = 2_000;
     cfg.probe = SaturationProbe {
         probe_duration: 6.0,
         refine_iters: 4,
